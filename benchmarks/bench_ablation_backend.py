@@ -1,0 +1,41 @@
+"""Ablation — DFS fast path vs the paper-literal CSP cut encoding.
+
+Both backends enumerate the same trace set (asserted in the test suite);
+this benchmark quantifies the cost of the declarative encoding, i.e. what
+the interleaved search order buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import cached_workload
+
+BACKENDS = ("dfs", "csp")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def bench_backend(benchmark, backend: str) -> None:
+    computation = cached_workload("fischer", 2, 0.8, 10.0, 15)
+    formula = formula_for("phi4", 2, 600)
+    monitor = SmtMonitor(
+        formula,
+        segments=8,
+        max_traces_per_segment=150,
+        backend=backend,
+    )
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def bench_backend_small_exhaustive(benchmark, backend: str) -> None:
+    """Exhaustive comparison on a small computation (no budget cap)."""
+    computation = cached_workload("fischer", 2, 0.3, 10.0, 10)
+    formula = formula_for("phi3", 2)
+    monitor = SmtMonitor(formula, segments=4, backend=backend, saturate=False)
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts

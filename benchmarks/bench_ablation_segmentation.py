@@ -1,0 +1,49 @@
+"""Ablation — segmentation on/off, and the enumeration baseline.
+
+The paper's Section V-C motivates chopping the computation: per-segment
+solver instances are exponentially smaller.  This ablation compares:
+
+* the segmented monitor (g = 8),
+* the unsegmented monitor (g = 1), and
+* the explicit trace-enumeration baseline (Section I's strawman),
+
+on the same workload and enumeration budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for
+from repro.monitor.baseline import EnumerationMonitor
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import cached_workload
+
+BUDGET = 300
+
+
+def _workload():
+    return cached_workload("fischer", 2, 0.8, 10.0, 15)
+
+
+def bench_segmented(benchmark) -> None:
+    monitor = SmtMonitor(
+        formula_for("phi4", 2, 600), segments=8, max_traces_per_segment=BUDGET
+    )
+    result = benchmark.pedantic(monitor.run, args=(_workload(),), rounds=2, iterations=1)
+    assert result.verdicts
+
+
+def bench_unsegmented(benchmark) -> None:
+    monitor = SmtMonitor(
+        formula_for("phi4", 2, 600), segments=1, max_traces_per_segment=BUDGET
+    )
+    result = benchmark.pedantic(monitor.run, args=(_workload(),), rounds=2, iterations=1)
+    assert result.verdicts
+
+
+def bench_enumeration_baseline(benchmark) -> None:
+    monitor = EnumerationMonitor(formula_for("phi4", 2, 600), max_traces=BUDGET)
+    result = benchmark.pedantic(monitor.run, args=(_workload(),), rounds=2, iterations=1)
+    assert result.verdicts

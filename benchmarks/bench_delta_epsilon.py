@@ -1,0 +1,47 @@
+"""Section VI-B.3 — the Delta-vs-epsilon design lesson.
+
+The paper's observation: when the clock-skew bound epsilon approaches the
+transaction deadline Delta, the monitor reports *both* True and False for
+the same log (the deadline check becomes timestamp-nondeterministic), so
+contracts should not use Delta comparable to epsilon.
+
+These benchmarks sweep epsilon for a fixed small Delta and (a) time the
+monitor and (b) record the verdict set per point; the verdict-set flip is
+asserted at the extremes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.log import computation_from_chains
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.protocols.scenarios import SWAP2_CONFORMING
+from repro.protocols.swap2 import run_swap2
+from repro.specs import swap2_specs
+
+DELTA_MS = 20
+EPSILONS_MS = (2, 5, 10, 20, 30)
+
+
+def _verdicts_for(epsilon_ms: int):
+    setup = run_swap2(list(SWAP2_CONFORMING), epsilon_ms=epsilon_ms, delta_ms=DELTA_MS)
+    computation = computation_from_chains([setup.apricot, setup.banana], epsilon_ms)
+    policy = swap2_specs.liveness(DELTA_MS)
+    monitor = SmtMonitor(policy, timestamp_samples=3, max_traces_per_segment=3000)
+    return monitor, computation
+
+
+@pytest.mark.parametrize("epsilon_ms", EPSILONS_MS)
+def bench_delta_vs_epsilon(benchmark, epsilon_ms: int) -> None:
+    monitor, computation = _verdicts_for(epsilon_ms)
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    benchmark.extra_info["verdicts"] = sorted(result.verdicts)
+    benchmark.extra_info["epsilon_over_delta"] = epsilon_ms / DELTA_MS
+    if epsilon_ms <= DELTA_MS // 4:
+        # Small skew: the conforming run is deterministically live.
+        assert result.verdicts == frozenset({True})
+    if epsilon_ms >= DELTA_MS:
+        # Skew comparable to the deadline: timestamp nondeterminism makes
+        # both verdicts possible — the paper's design warning.
+        assert result.verdicts == frozenset({True, False})

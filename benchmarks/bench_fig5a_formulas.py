@@ -1,0 +1,49 @@
+"""Fig 5a — impact of the monitored formula.
+
+Paper series: monitor runtime against the number of processes |P| for
+each of phi1..phi6 (epsilon 15 ms, g 15, l 2 s, 10 events/s).  Expected
+shape: runtime grows with |P|; formulas with more sub-formulas or deeper
+temporal nesting (phi2, phi4, phi6) cost more than flat ones (phi3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for, model_for_formula
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import TRACE_BUDGET, cached_workload
+
+PROCESS_COUNTS = (1, 2, 3)
+FORMULAS = ("phi1", "phi2", "phi3", "phi4", "phi5", "phi6")
+
+#: Scaled-down defaults (paper: l=2 s, 10 ev/s, eps=15 ms, g=15).
+LENGTH_SECONDS = 1.0
+EVENT_RATE = 10.0
+EPSILON_MS = 15
+SEGMENTS = 8
+WINDOW_MS = 600
+
+
+@pytest.mark.parametrize("formula_name", FORMULAS)
+@pytest.mark.parametrize("processes", PROCESS_COUNTS)
+def bench_formula_impact(benchmark, formula_name: str, processes: int) -> None:
+    computation = cached_workload(
+        model_for_formula(formula_name),
+        processes,
+        LENGTH_SECONDS,
+        EVENT_RATE,
+        EPSILON_MS,
+    )
+    formula = formula_for(formula_name, processes, WINDOW_MS)
+    monitor = SmtMonitor(
+        formula,
+        segments=SEGMENTS,
+        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
+    )
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts
+    benchmark.extra_info["verdicts"] = sorted(result.verdicts)
+    benchmark.extra_info["events"] = len(computation)

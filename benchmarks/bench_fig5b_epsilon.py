@@ -1,0 +1,37 @@
+"""Fig 5b — impact of the clock-synchronization constant epsilon.
+
+Paper series: runtime against epsilon for several segment counts g.
+Expected shape: runtime grows (super-linearly) with epsilon — each extra
+millisecond of admissible skew widens every event's timestamp window and
+adds concurrent orderings; longer segments (smaller g) grow faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import TRACE_BUDGET, cached_workload
+
+EPSILONS_MS = (5, 15, 25, 35)
+SEGMENT_COUNTS = (8, 15)
+
+
+@pytest.mark.parametrize("epsilon_ms", EPSILONS_MS)
+@pytest.mark.parametrize("segments", SEGMENT_COUNTS)
+def bench_epsilon_impact(benchmark, epsilon_ms: int, segments: int) -> None:
+    computation = cached_workload("fischer", 2, 1.0, 10.0, epsilon_ms)
+    formula = formula_for("phi4", 2, 600)
+    monitor = SmtMonitor(
+        formula,
+        segments=segments,
+        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
+    )
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts
+    benchmark.extra_info["traces"] = sum(
+        r.traces_enumerated for r in result.segment_reports
+    )

@@ -1,0 +1,40 @@
+"""Fig 5c — impact of segment frequency.
+
+Paper series: runtime against segments-per-second for phi4/phi6 and
+several process counts.  Expected shape: runtime falls as segments get
+shorter, then flattens/rises slightly once per-segment setup dominates
+(the paper's knee near 0.6 1/s).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for, model_for_formula
+from repro.distributed.segmentation import segments_for_frequency
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import TRACE_BUDGET, cached_workload
+
+FREQUENCIES = (0.5, 1.0, 2.0, 4.0, 8.0)
+CASES = (("phi4", 1), ("phi4", 2), ("phi6", 1), ("phi6", 2))
+
+
+@pytest.mark.parametrize("frequency", FREQUENCIES)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-P{c[1]}")
+def bench_segment_frequency(benchmark, frequency: float, case) -> None:
+    formula_name, processes = case
+    computation = cached_workload(
+        model_for_formula(formula_name), processes, 1.0, 10.0, 15
+    )
+    segments = segments_for_frequency(computation, frequency)
+    formula = formula_for(formula_name, processes, 600)
+    monitor = SmtMonitor(
+        formula,
+        segments=segments,
+        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
+    )
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts
+    benchmark.extra_info["segments"] = segments

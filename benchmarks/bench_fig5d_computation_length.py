@@ -1,0 +1,40 @@
+"""Fig 5d — impact of computation length.
+
+Paper series: runtime against the computation length l (seconds) for
+phi4/phi6 and several process counts, with segment *length* held constant
+(more computation => proportionally more segments).  Expected shape:
+runtime grows with l.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for, model_for_formula
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import TRACE_BUDGET, cached_workload
+
+LENGTHS_SECONDS = (0.5, 1.0, 1.5, 2.0)
+CASES = (("phi4", 2), ("phi6", 2))
+SEGMENTS_PER_SECOND = 8
+
+
+@pytest.mark.parametrize("length_seconds", LENGTHS_SECONDS)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-P{c[1]}")
+def bench_computation_length(benchmark, length_seconds: float, case) -> None:
+    formula_name, processes = case
+    computation = cached_workload(
+        model_for_formula(formula_name), processes, length_seconds, 10.0, 15
+    )
+    segments = max(1, round(SEGMENTS_PER_SECOND * length_seconds))
+    formula = formula_for(formula_name, processes, 600)
+    monitor = SmtMonitor(
+        formula,
+        segments=segments,
+        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
+    )
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts
+    benchmark.extra_info["events"] = len(computation)

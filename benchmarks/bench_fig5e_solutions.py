@@ -1,0 +1,45 @@
+"""Fig 5e — impact of the number of truth values (solutions) per segment.
+
+Paper setup: the SMT problem is re-solved with previous verdicts blocked
+until k distinct verdicts are produced.  Expected shape: runtime grows
+roughly *linearly* in k — each extra requested verdict costs another
+sweep of comparable difficulty.
+
+Our monitor expresses the same knob as ``max_distinct_per_segment``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for, model_for_formula
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import cached_workload
+
+SOLUTION_COUNTS = (1, 2, 3, 4)
+CASES = (("phi4", 2), ("phi6", 2))
+
+
+@pytest.mark.parametrize("max_distinct", SOLUTION_COUNTS)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-P{c[1]}")
+def bench_solution_count(benchmark, max_distinct: int, case) -> None:
+    formula_name, processes = case
+    # A generous epsilon creates enough trace diversity that several
+    # distinct residuals exist per segment.
+    computation = cached_workload(
+        model_for_formula(formula_name), processes, 1.0, 10.0, 35
+    )
+    formula = formula_for(formula_name, processes, 600)
+    monitor = SmtMonitor(
+        formula,
+        segments=8,
+        max_distinct_per_segment=max_distinct,
+        max_traces_per_segment=400 * max_distinct,
+        saturate=False,
+    )
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts
+    benchmark.extra_info["distinct"] = [
+        r.distinct_residuals for r in result.segment_reports
+    ]

@@ -1,0 +1,37 @@
+"""Fig 5f — impact of the event rate.
+
+Paper series: runtime against events/second/process for phi4/phi6 and
+several process counts.  Expected shape: runtime grows quickly with the
+rate (more events per segment), steeper for more processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import formula_for, model_for_formula
+from repro.monitor.smt_monitor import SmtMonitor
+
+from conftest import TRACE_BUDGET, cached_workload
+
+EVENT_RATES = (5.0, 10.0, 15.0)
+CASES = (("phi4", 1), ("phi4", 2), ("phi6", 1), ("phi6", 2))
+
+
+@pytest.mark.parametrize("rate", EVENT_RATES)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-P{c[1]}")
+def bench_event_rate(benchmark, rate: float, case) -> None:
+    formula_name, processes = case
+    computation = cached_workload(
+        model_for_formula(formula_name), processes, 1.0, rate, 15
+    )
+    formula = formula_for(formula_name, processes, 600)
+    monitor = SmtMonitor(
+        formula,
+        segments=8,
+        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
+    )
+    result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
+    assert result.verdicts
+    benchmark.extra_info["events"] = len(computation)

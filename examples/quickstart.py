@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: monitor an MTL property over a partially synchronous
+distributed computation.
+
+This reproduces the paper's Fig 3 example end to end:
+
+* two processes log events with their own clocks (max skew epsilon = 2);
+* the specification is ``a U[0,6) b``;
+* because the true timestamps are only known up to the skew bound, the
+  very same log admits traces that satisfy the formula and traces that
+  violate it — the monitor reports the whole verdict set.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import mtl
+from repro.distributed import DistributedComputation
+from repro.monitor import EnumerationMonitor, SmtMonitor
+
+
+def main() -> None:
+    # 1. Parse the specification (Section II-B syntax).
+    spec = mtl.parse("a U[0,6) b")
+    print(f"specification : {spec}")
+
+    # 2. Build the distributed computation of Fig 3:
+    #    P1 logs 'a' at local time 1 and nothing at 4;
+    #    P2 logs 'a' at 2 and 'b' at 5; clocks agree only within eps = 2.
+    computation = DistributedComputation.from_event_lists(
+        2,
+        {
+            "P1": [(1, "a"), (4, ())],
+            "P2": [(2, "a"), (5, "b")],
+        },
+    )
+    print(f"computation   :\n{computation}")
+
+    # 3. Run the solver-backed monitor.  saturate=False asks for exact
+    #    per-verdict trace-class counts, not just the verdict set.
+    result = SmtMonitor(spec, saturate=False).run(computation)
+    print(f"verdict set   : {sorted(result.verdicts)}")
+    print(f"trace classes : {result.verdict_counts}")
+    print(f"deterministic : {result.is_deterministic}")
+
+    # 4. Cross-check against the brute-force baseline (identical by the
+    #    soundness tests; this is the exponential monitor the paper's
+    #    technique replaces).
+    baseline = EnumerationMonitor(spec).run(computation)
+    assert baseline.verdict_counts == result.verdict_counts
+    print("baseline agrees with the solver-backed monitor")
+
+    # 5. The same system with perfectly synchronized clocks (eps = 1) has
+    #    a unique trace and therefore a unique verdict.
+    synchronous = DistributedComputation.from_event_lists(
+        1, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+    sync_result = SmtMonitor(spec).run(synchronous)
+    print(f"with perfect clocks the verdict is {sorted(sync_result.verdicts)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Monitor UPPAAL-style benchmark models (paper Section VI-A).
+
+Simulates the Train-Gate and Fischer models, converts their event logs to
+partially synchronous computations (per-process skewed clocks, bounded by
+epsilon), and monitors the paper's phi1/phi2 and phi3/phi4 specs.
+
+Run:  python examples/train_gate_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.monitor import SmtMonitor
+from repro.specs import uppaal_specs
+from repro.timed_automata import fischer, train_gate
+from repro.timed_automata.trace_gen import generate
+
+EPSILON_MS = 15
+EVENT_RATE = 10.0
+
+
+def show(result, name: str) -> None:
+    traces = sum(r.traces_enumerated for r in result.segment_reports)
+    print(
+        f"  {name:6s} -> verdicts={sorted(result.verdicts)} "
+        f"(segments={len(result.segment_reports)}, traces considered={traces})"
+    )
+
+
+def main() -> None:
+    print("=== Train-Gate, 2 trains ===")
+    computation = generate(
+        train_gate.build_network, 2, 40, epsilon_ms=EPSILON_MS,
+        events_per_second=EVENT_RATE, seed=7,
+    )
+    print(f"  generated {len(computation)} events on {len(computation.processes)} processes")
+    for name, builder in (("phi1", uppaal_specs.phi1), ("phi2", uppaal_specs.phi2)):
+        monitor = SmtMonitor(
+            builder(2), segments=8,
+            max_traces_per_segment=500, max_distinct_per_segment=4,
+        )
+        show(monitor.run(computation), name)
+
+    print("=== Fischer's protocol, 3 processes ===")
+    computation = generate(
+        fischer.build_network, 3, 60, epsilon_ms=EPSILON_MS,
+        events_per_second=EVENT_RATE, seed=11,
+    )
+    print(f"  generated {len(computation)} events on {len(computation.processes)} processes")
+    phi3 = uppaal_specs.phi3(3)
+    phi4 = uppaal_specs.phi4(3, window_ms=2000)
+    for name, phi in (("phi3", phi3), ("phi4", phi4)):
+        monitor = SmtMonitor(
+            phi, segments=10,
+            max_traces_per_segment=500, max_distinct_per_segment=4,
+        )
+        show(monitor.run(computation), name)
+
+    print(
+        "\nphi3 (mutual exclusion) should be SATISFIED on every trace —\n"
+        "Fischer's protocol is correct; timestamp uncertainty may still\n"
+        "make the timed response spec phi4 nondeterministic."
+    )
+
+
+if __name__ == "__main__":
+    main()

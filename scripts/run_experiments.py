@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Run every figure's scaled-down experiment and print markdown tables.
+
+Used to generate the measured columns of EXPERIMENTS.md:
+
+    python scripts/run_experiments.py > /tmp/experiments.out
+
+Each section mirrors one benchmark file in ``benchmarks/`` (same
+workloads, same budgets), so numbers here and ``pytest benchmarks/
+--benchmark-only`` agree up to noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.workload import WorkloadSpec, formula_for, generate_workload, model_for_formula
+from repro.chain.log import computation_from_chains
+from repro.distributed.segmentation import segments_for_frequency
+from repro.monitor.fast import FastMonitor
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.protocols.auction import AuctionBehavior, run_auction
+from repro.protocols.scenarios import SWAP2_CONFORMING
+from repro.protocols.swap2 import run_swap2
+from repro.protocols.swap3 import run_swap3
+from repro.specs import auction_specs, swap2_specs, swap3_specs
+
+TRACE_BUDGET = 400
+#: The paper's own per-segment verdict budget (Fig 5e sweeps 1..4).
+VERDICT_CAP = 4
+
+
+def timed(monitor, computation):
+    start = time.perf_counter()
+    result = monitor.run(computation)
+    return result, time.perf_counter() - start
+
+
+def table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    print(f"\n### {title}\n")
+    print("| " + " | ".join(header) + " |")
+    print("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        print("| " + " | ".join(row) + " |")
+
+
+def workload(model: str, processes: int, length=1.0, rate=10.0, eps=15):
+    return generate_workload(
+        WorkloadSpec(
+            model=model, processes=processes, length_seconds=length,
+            events_per_second=rate, epsilon_ms=eps,
+        )
+    )
+
+
+def fig5a() -> None:
+    rows = []
+    for name in ("phi1", "phi2", "phi3", "phi4", "phi5", "phi6"):
+        for processes in (1, 2, 3):
+            comp = workload(model_for_formula(name), processes)
+            monitor = SmtMonitor(
+                formula_for(name, processes, 600), segments=8,
+                max_traces_per_segment=TRACE_BUDGET,
+                max_distinct_per_segment=VERDICT_CAP,
+            )
+            result, seconds = timed(monitor, comp)
+            rows.append([
+                name, str(processes), str(len(comp)), f"{seconds:.3f}",
+                "".join("TF"[v is False] for v in sorted(result.verdicts, reverse=True)),
+            ])
+    table("Fig 5a — formula impact", ["formula", "|P|", "events", "runtime (s)", "verdicts"], rows)
+
+
+def fig5b() -> None:
+    rows = []
+    for segments in (8, 15):
+        for eps in (5, 15, 25, 35):
+            comp = workload("fischer", 2, eps=eps)
+            monitor = SmtMonitor(
+                formula_for("phi4", 2, 600), segments=segments,
+                max_traces_per_segment=TRACE_BUDGET,
+                max_distinct_per_segment=VERDICT_CAP,
+            )
+            result, seconds = timed(monitor, comp)
+            traces = sum(r.traces_enumerated for r in result.segment_reports)
+            rows.append([str(segments), str(eps), str(traces), f"{seconds:.3f}"])
+    table("Fig 5b — epsilon impact", ["g", "epsilon (ms)", "traces", "runtime (s)"], rows)
+
+
+def fig5c() -> None:
+    rows = []
+    for name, processes in (("phi4", 2), ("phi6", 2)):
+        comp = workload(model_for_formula(name), processes)
+        for frequency in (0.5, 1.0, 2.0, 4.0, 8.0):
+            segments = segments_for_frequency(comp, frequency)
+            monitor = SmtMonitor(
+                formula_for(name, processes, 600), segments=segments,
+                max_traces_per_segment=TRACE_BUDGET,
+                max_distinct_per_segment=VERDICT_CAP,
+            )
+            _, seconds = timed(monitor, comp)
+            rows.append([name, f"{frequency:.2f}", str(segments), f"{seconds:.3f}"])
+    table(
+        "Fig 5c — segment frequency impact",
+        ["formula", "freq (1/s)", "g", "runtime (s)"],
+        rows,
+    )
+
+
+def fig5d() -> None:
+    rows = []
+    for name, processes in (("phi4", 2), ("phi6", 2)):
+        for length in (0.5, 1.0, 1.5, 2.0):
+            comp = workload(model_for_formula(name), processes, length=length)
+            segments = max(1, round(8 * length))
+            monitor = SmtMonitor(
+                formula_for(name, processes, 600), segments=segments,
+                max_traces_per_segment=TRACE_BUDGET,
+                max_distinct_per_segment=VERDICT_CAP,
+            )
+            _, seconds = timed(monitor, comp)
+            rows.append([name, f"{length:.1f}", str(len(comp)), f"{seconds:.3f}"])
+    table(
+        "Fig 5d — computation length impact",
+        ["formula", "l (s)", "events", "runtime (s)"],
+        rows,
+    )
+
+
+def fig5e() -> None:
+    rows = []
+    for name, processes in (("phi4", 2), ("phi6", 2)):
+        comp = workload(model_for_formula(name), processes, eps=35)
+        for max_distinct in (1, 2, 3, 4):
+            monitor = SmtMonitor(
+                formula_for(name, processes, 600), segments=8,
+                max_distinct_per_segment=max_distinct,
+                max_traces_per_segment=400 * max_distinct,
+                saturate=False,
+            )
+            _, seconds = timed(monitor, comp)
+            rows.append([name, str(max_distinct), f"{seconds:.3f}"])
+    table(
+        "Fig 5e — solutions per segment impact",
+        ["formula", "max distinct verdicts", "runtime (s)"],
+        rows,
+    )
+
+
+def fig5f() -> None:
+    rows = []
+    for name, processes in (("phi4", 1), ("phi4", 2), ("phi6", 1), ("phi6", 2)):
+        for rate in (5.0, 10.0, 15.0):
+            comp = workload(model_for_formula(name), processes, rate=rate)
+            monitor = SmtMonitor(
+                formula_for(name, processes, 600), segments=8,
+                max_traces_per_segment=TRACE_BUDGET,
+                max_distinct_per_segment=VERDICT_CAP,
+            )
+            _, seconds = timed(monitor, comp)
+            rows.append([name, str(processes), f"{rate:.0f}", str(len(comp)), f"{seconds:.3f}"])
+    table(
+        "Fig 5f — event rate impact",
+        ["formula", "|P|", "rate (ev/s)", "events", "runtime (s)"],
+        rows,
+    )
+
+
+def fig6() -> None:
+    rows = []
+    eps, delta = 5, 500
+    swap2_points = {
+        "2-party/steps2": (1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0),
+        "2-party/steps4": (1, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0, 0),
+        "2-party/steps6": tuple(SWAP2_CONFORMING),
+    }
+    for label, behavior in swap2_points.items():
+        setup = run_swap2(list(behavior), epsilon_ms=eps, delta_ms=delta)
+        comp = computation_from_chains([setup.apricot, setup.banana], eps)
+        monitor = SmtMonitor(
+            swap2_specs.liveness(delta), segments=1,
+            timestamp_samples=3, max_traces_per_segment=TRACE_BUDGET,
+        )
+        result, seconds = timed(monitor, comp)
+        rows.append([label, "1", str(len(comp)), f"{seconds:.3f}",
+                     str(sorted(result.verdicts))])
+    swap3_points = {
+        "3-party/steps6": (1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0),
+        "3-party/steps9": (1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0),
+        "3-party/steps12": (1,) * 12,
+    }
+    for label, behavior in swap3_points.items():
+        setup = run_swap3(list(behavior), epsilon_ms=eps, delta_ms=delta)
+        comp = computation_from_chains(setup.chains.values(), eps)
+        monitor = SmtMonitor(
+            swap3_specs.liveness(delta), segments=2,
+            timestamp_samples=2, max_traces_per_segment=TRACE_BUDGET,
+        )
+        result, seconds = timed(monitor, comp)
+        rows.append([label, "2", str(len(comp)), f"{seconds:.3f}",
+                     str(sorted(result.verdicts))])
+    auction_points = {
+        "auction/quiet": AuctionBehavior(
+            carol_bid="skip", coin_declaration="skip", tckt_declaration="skip"),
+        "auction/honest": AuctionBehavior(),
+        "auction/contested": AuctionBehavior(
+            coin_declaration="sb", tckt_declaration="sc",
+            bob_challenges=True, carol_challenges=True),
+    }
+    for label, behavior in auction_points.items():
+        setup = run_auction(behavior, epsilon_ms=eps, delta_ms=delta)
+        comp = computation_from_chains([setup.coin, setup.tckt], eps)
+        monitor = SmtMonitor(
+            auction_specs.liveness(delta), segments=2,
+            timestamp_samples=2, max_traces_per_segment=TRACE_BUDGET,
+        )
+        result, seconds = timed(monitor, comp)
+        rows.append([label, "2", str(len(comp)), f"{seconds:.3f}",
+                     str(sorted(result.verdicts))])
+    table(
+        "Fig 6 — blockchain experiments",
+        ["scenario", "g", "events", "runtime (s)", "verdicts"],
+        rows,
+    )
+
+
+def delta_vs_epsilon() -> None:
+    rows = []
+    delta = 20
+    for eps in (2, 4, 8, 12, 16, 20, 30):
+        setup = run_swap2(list(SWAP2_CONFORMING), epsilon_ms=eps, delta_ms=delta)
+        comp = computation_from_chains([setup.apricot, setup.banana], eps)
+        monitor = FastMonitor(swap2_specs.liveness(delta))
+        result, seconds = timed(monitor, comp)
+        rows.append([
+            str(eps), f"{eps / delta:.2f}", str(sorted(result.verdicts)), f"{seconds:.3f}",
+        ])
+    table(
+        "Section VI-B.3 — Delta vs epsilon (Delta = 20 ms, conforming run, exact)",
+        ["epsilon (ms)", "eps/Delta", "verdict set", "runtime (s)"],
+        rows,
+    )
+
+
+def main() -> None:
+    print("# Measured experiment series (scaled-down parameters)")
+    fig5a()
+    fig5b()
+    fig5c()
+    fig5d()
+    fig5e()
+    fig5f()
+    fig6()
+    delta_vs_epsilon()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Benchmark harness support: workloads, sweeps, reporting."""
+
+from repro.bench.reporting import assert_monotone_nondecreasing, format_series, print_series
+from repro.bench.runner import SweepPoint, measure_point, run_monitor_timed, sweep
+from repro.bench.workload import (
+    WorkloadSpec,
+    formula_for,
+    generate_workload,
+    model_for_formula,
+)
+
+__all__ = [
+    "SweepPoint",
+    "WorkloadSpec",
+    "assert_monotone_nondecreasing",
+    "format_series",
+    "formula_for",
+    "generate_workload",
+    "measure_point",
+    "model_for_formula",
+    "print_series",
+    "run_monitor_timed",
+    "sweep",
+]

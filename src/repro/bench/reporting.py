@@ -1,0 +1,40 @@
+"""Rendering sweep results the way the paper's figures present them."""
+
+from __future__ import annotations
+
+from repro.bench.runner import SweepPoint
+
+
+def format_series(title: str, points: list[SweepPoint]) -> str:
+    """A fixed-width table: one row per sweep point."""
+    lines = [title, "-" * len(title)]
+    header = f"{'point':<28} {'runtime(s)':>12} {'traces':>8} {'events':>8} verdicts"
+    lines.append(header)
+    for point in points:
+        verdicts = "".join(
+            symbol for flag, symbol in ((True, "T"), (False, "F")) if flag in point.verdicts
+        ) or "-"
+        lines.append(
+            f"{point.label:<28} {point.runtime_seconds:>12.4f} "
+            f"{point.traces_enumerated:>8} {point.events:>8} {{{verdicts}}}"
+        )
+    return "\n".join(lines)
+
+
+def print_series(title: str, points: list[SweepPoint]) -> None:
+    print(format_series(title, points))
+
+
+def assert_monotone_nondecreasing(
+    values: list[float],
+    tolerance: float = 0.5,
+) -> bool:
+    """Loose shape check: later values should not drop below
+    ``(1 - tolerance)`` of the running maximum.  Used by benchmarks to
+    sanity-check growth trends without pinning absolute runtimes."""
+    running_max = 0.0
+    for value in values:
+        if value < running_max * (1 - tolerance):
+            return False
+        running_max = max(running_max, value)
+    return True

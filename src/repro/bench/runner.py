@@ -1,0 +1,82 @@
+"""Parameter-sweep harness: run the monitor across settings and time it."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.workload import WorkloadSpec, formula_for, generate_workload, model_for_formula
+from repro.distributed.computation import DistributedComputation
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.monitor.verdicts import MonitorResult
+from repro.mtl.ast import Formula
+
+
+@dataclass
+class SweepPoint:
+    """One measured configuration of a sweep."""
+
+    label: str
+    runtime_seconds: float
+    verdicts: frozenset[bool]
+    traces_enumerated: int
+    events: int
+    extra: dict[str, object] = field(default_factory=dict)
+
+
+def run_monitor_timed(
+    formula: Formula,
+    computation: DistributedComputation,
+    segments: int = 1,
+    max_traces_per_segment: int | None = None,
+    max_distinct_per_segment: int | None = None,
+    backend: str = "dfs",
+) -> tuple[MonitorResult, float]:
+    """Run the monitor once, returning (result, wall-clock seconds)."""
+    monitor = SmtMonitor(
+        formula,
+        segments=segments,
+        max_traces_per_segment=max_traces_per_segment,
+        max_distinct_per_segment=max_distinct_per_segment,
+        backend=backend,
+    )
+    started = time.perf_counter()
+    result = monitor.run(computation)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def measure_point(
+    label: str,
+    formula_name: str,
+    workload: WorkloadSpec,
+    segments: int,
+    max_traces_per_segment: int | None = 2000,
+    max_distinct_per_segment: int | None = None,
+    window_ms: int = 1000,
+) -> SweepPoint:
+    """Generate a workload for a formula and time the monitor on it."""
+    formula = formula_for(formula_name, workload.processes, window_ms)
+    computation = generate_workload(workload)
+    result, elapsed = run_monitor_timed(
+        formula,
+        computation,
+        segments=segments,
+        max_traces_per_segment=max_traces_per_segment,
+        max_distinct_per_segment=max_distinct_per_segment,
+    )
+    traces = sum(r.traces_enumerated for r in result.segment_reports)
+    return SweepPoint(
+        label=label,
+        runtime_seconds=elapsed,
+        verdicts=result.verdicts,
+        traces_enumerated=traces,
+        events=len(computation),
+        extra={"exhaustive": result.exhaustive},
+    )
+
+
+def sweep(points: list[tuple[str, Callable[[], SweepPoint]]]) -> list[SweepPoint]:
+    """Evaluate labelled thunks in order (simple, deterministic)."""
+    return [thunk() for _, thunk in points]

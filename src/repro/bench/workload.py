@@ -1,0 +1,81 @@
+"""Synthetic workload generation for the Fig 5 parameter sweeps.
+
+Each workload produces a :class:`~repro.distributed.DistributedComputation`
+from one of the three UPPAAL-style models, with the paper's knobs exposed:
+number of processes, computation length, event rate, clock skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import ReproError
+from repro.mtl.ast import Formula
+from repro.specs import uppaal_specs
+from repro.timed_automata import fischer, gossip, train_gate
+from repro.timed_automata.trace_gen import computation_from_network
+
+_MODELS = {
+    "train_gate": train_gate.build_network,
+    "fischer": fischer.build_network,
+    "gossip": gossip.build_network,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One synthetic-workload configuration (the paper's defaults)."""
+
+    model: str = "fischer"
+    processes: int = 2
+    length_seconds: float = 2.0
+    events_per_second: float = 10.0
+    epsilon_ms: int = 15
+    clock_model: str = "fixed"
+    seed: int = 0
+
+    def length_ticks(self) -> int:
+        """Simulation ticks so the computation spans ``length_seconds``."""
+        return max(1, round(self.length_seconds * self.events_per_second))
+
+
+def generate_workload(spec: WorkloadSpec) -> DistributedComputation:
+    """Simulate the model and emit the partially synchronous computation."""
+    try:
+        build = _MODELS[spec.model]
+    except KeyError:
+        raise ReproError(f"unknown model {spec.model!r}; pick from {sorted(_MODELS)}") from None
+    network = build(spec.processes, seed=spec.seed)
+    network.run(spec.length_ticks())
+    return computation_from_network(
+        network,
+        spec.epsilon_ms,
+        events_per_second=spec.events_per_second,
+        clock_model=spec.clock_model,
+        seed=spec.seed,
+    )
+
+
+def formula_for(name: str, processes: int, window_ms: int = 1000) -> Formula:
+    """Instantiate one of phi1..phi6 for a process count."""
+    builders = {
+        "phi1": lambda: uppaal_specs.phi1(processes),
+        "phi2": lambda: uppaal_specs.phi2(processes),
+        "phi3": lambda: uppaal_specs.phi3(processes),
+        "phi4": lambda: uppaal_specs.phi4(processes, window_ms),
+        "phi5": lambda: uppaal_specs.phi5(processes, window_ms),
+        "phi6": lambda: uppaal_specs.phi6(processes, window_ms),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise ReproError(f"unknown formula {name!r}") from None
+
+
+def model_for_formula(name: str) -> str:
+    """The model whose traces a formula speaks about (Fig 5a pairing)."""
+    try:
+        return uppaal_specs.ALL_SPECS[name][1]
+    except KeyError:
+        raise ReproError(f"unknown formula {name!r}") from None

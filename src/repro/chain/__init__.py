@@ -1,0 +1,19 @@
+"""Simulated blockchain substrate: tokens, contracts, chains, logs."""
+
+from repro.chain.chain import SimulatedChain
+from repro.chain.contract import Contract
+from repro.chain.events import ChainEvent, transfer_deltas
+from repro.chain.log import computation_from_chains, computation_from_events
+from repro.chain.network import ChainNetwork
+from repro.chain.token import Token
+
+__all__ = [
+    "ChainEvent",
+    "ChainNetwork",
+    "Contract",
+    "SimulatedChain",
+    "Token",
+    "computation_from_chains",
+    "computation_from_events",
+    "transfer_deltas",
+]

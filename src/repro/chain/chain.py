@@ -1,0 +1,131 @@
+"""A simulated blockchain (Ganache substitute).
+
+A chain owns a local clock (bounded-skew view of the hidden global
+clock), a set of deployed contracts, token ledgers, and an event log.
+Transactions execute atomically: token state is snapshotted before each
+call and rolled back on :class:`~repro.errors.ContractRevert`, and events
+are buffered and only committed when the call succeeds — mirroring EVM
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.chain.contract import Contract
+from repro.chain.events import ChainEvent
+from repro.chain.token import Token
+from repro.distributed.clocks import ClockModel, PerfectClock
+from repro.errors import ChainError, ContractRevert
+
+
+class SimulatedChain:
+    """One blockchain: clock, contracts, tokens, event log."""
+
+    def __init__(self, name: str, clock: ClockModel | None = None) -> None:
+        if not name:
+            raise ChainError("chain name must be non-empty")
+        self.name = name
+        self._clock = clock if clock is not None else PerfectClock()
+        self._contracts: dict[str, Contract] = {}
+        self._tokens: dict[str, Token] = {}
+        self.log: list[ChainEvent] = []
+        self.failed: list[tuple[int, str]] = []  # (local_time, revert reason)
+        self._current_time: int | None = None
+        self._pending: list[ChainEvent] | None = None
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy(self, contract: Contract) -> Contract:
+        if contract.name in self._contracts:
+            raise ChainError(f"contract {contract.name!r} already deployed on {self.name}")
+        contract._attach(self)
+        self._contracts[contract.name] = contract
+        return contract
+
+    def register_token(self, token: Token) -> Token:
+        if token.symbol in self._tokens:
+            raise ChainError(f"token {token.symbol!r} already registered on {self.name}")
+        self._tokens[token.symbol] = token
+        return token
+
+    def token(self, symbol: str) -> Token:
+        try:
+            return self._tokens[symbol]
+        except KeyError:
+            raise ChainError(f"unknown token {symbol!r} on chain {self.name}") from None
+
+    # -- transaction execution ------------------------------------------------------
+
+    @property
+    def current_time(self) -> int:
+        """Block timestamp of the executing transaction (chain-local ms)."""
+        if self._current_time is None:
+            raise ChainError("no transaction executing; current_time is undefined")
+        return self._current_time
+
+    def buffer_event(
+        self,
+        name: str,
+        party: str,
+        amount: int,
+        deltas: Mapping[str, float],
+    ) -> None:
+        """Called by contracts through :meth:`Contract.emit`."""
+        if self._pending is None:
+            raise ChainError("events can only be emitted inside a transaction")
+        self._pending.append(
+            ChainEvent(
+                chain=self.name,
+                name=name,
+                party=party,
+                local_time=self.current_time,
+                amount=amount,
+                deltas=dict(deltas),
+            )
+        )
+
+    def record_marker(self, global_time_ms: int, name: str, party: str = "any") -> None:
+        """Append a synthetic, contract-less event to the log.
+
+        Used for protocol anchors such as the ``start`` marker at the
+        agreed ``startTime`` — specification windows are measured from the
+        first observation, so every chain logs the start.
+        """
+        self.log.append(
+            ChainEvent(
+                chain=self.name,
+                name=name,
+                party=party,
+                local_time=self._clock.read(global_time_ms),
+            )
+        )
+
+    def execute(self, global_time_ms: int, call: Callable[[], None]) -> bool:
+        """Run one transaction at the given (hidden) global time.
+
+        Returns True when the call succeeded; on revert, token state is
+        rolled back, no events are committed, and the failure is recorded
+        in :attr:`failed`.
+        """
+        if self._pending is not None:
+            raise ChainError("nested transactions are not supported")
+        local = self._clock.read(global_time_ms)
+        snapshots = {
+            symbol: dict(token._balances) for symbol, token in self._tokens.items()
+        }
+        self._current_time = local
+        self._pending = []
+        try:
+            call()
+        except ContractRevert as revert:
+            for symbol, balances in snapshots.items():
+                self._tokens[symbol]._balances = balances
+            self.failed.append((local, revert.reason))
+            return False
+        else:
+            self.log.extend(self._pending)
+            return True
+        finally:
+            self._pending = None
+            self._current_time = None

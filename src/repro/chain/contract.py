@@ -1,0 +1,73 @@
+"""Smart-contract base class (Solidity substitute).
+
+Contracts run on a :class:`~repro.chain.chain.SimulatedChain`.  They use
+``self.require(...)`` for revert-style checks, ``self.emit(...)`` to emit
+events (buffered until the transaction succeeds, mirroring EVM revert
+semantics), ``self.now`` for the chain-local block timestamp, and
+``self.transfer(...)`` for token movements that automatically record the
+payoff deltas the monitoring specifications consume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.chain.events import transfer_deltas
+from repro.chain.token import Token
+from repro.errors import ChainError, ContractRevert
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chain.chain import SimulatedChain
+
+
+class Contract:
+    """Base class for on-chain contracts."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._chain: "SimulatedChain | None" = None
+
+    # -- deployment plumbing ------------------------------------------------------
+
+    def _attach(self, chain: "SimulatedChain") -> None:
+        if self._chain is not None:
+            raise ChainError(f"contract {self.name} already deployed")
+        self._chain = chain
+
+    @property
+    def chain(self) -> "SimulatedChain":
+        if self._chain is None:
+            raise ChainError(f"contract {self.name} is not deployed")
+        return self._chain
+
+    @property
+    def address(self) -> str:
+        """The contract's ledger account."""
+        return f"contract:{self.name}"
+
+    # -- EVM-style helpers -----------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Chain-local block timestamp of the executing transaction (ms)."""
+        return self.chain.current_time
+
+    def require(self, condition: bool, reason: str = "") -> None:
+        """Solidity ``require``: revert the transaction when false."""
+        if not condition:
+            raise ContractRevert(reason)
+
+    def emit(
+        self,
+        name: str,
+        party: str,
+        amount: int = 0,
+        deltas: Mapping[str, float] | None = None,
+    ) -> None:
+        """Emit an event (recorded only if the transaction succeeds)."""
+        self.chain.buffer_event(name, party, amount, deltas or {})
+
+    def transfer(self, token: Token, sender: str, recipient: str, amount: int) -> dict[str, float]:
+        """Move tokens and return the payoff deltas of the movement."""
+        token.transfer(sender, recipient, amount)
+        return transfer_deltas(sender, recipient, amount)

@@ -1,0 +1,55 @@
+"""Events emitted by smart contracts.
+
+Whenever a contract function succeeds, the chain emits an event that the
+monitoring pipeline captures and logs (the paper's Solidity ``event``
+interface).  Each record carries the chain-local block timestamp, the
+calling party, the amount, and — for the payoff specifications — numeric
+deltas tracking value transferred to/from each party.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class ChainEvent:
+    """One emitted contract event, as captured by the log collector."""
+
+    chain: str           # short chain name: "apr", "ban", "che", "coin", "tckt"
+    name: str            # e.g. "premium_deposited"
+    party: str           # the party the event concerns ("alice", "bob", ...)
+    local_time: int      # chain-local (skewed) timestamp in milliseconds
+    amount: int = 0
+    deltas: Mapping[str, float] = field(default_factory=dict)
+
+    def props(self) -> frozenset[str]:
+        """Proposition names: both the party-specific and the ``any`` form.
+
+        The paper's specifications mix forms like
+        ``apr.asset_redeemed(bob)`` and ``apr.all_asset_settled(any)``.
+        """
+        return frozenset(
+            {
+                f"{self.chain}.{self.name}({self.party})",
+                f"{self.chain}.{self.name}(any)",
+            }
+        )
+
+    def __str__(self) -> str:
+        return f"{self.chain}.{self.name}({self.party})@{self.local_time}"
+
+
+def transfer_deltas(sender: str, recipient: str, amount: int) -> dict[str, float]:
+    """Payoff-tracking deltas for a value transfer between parties.
+
+    Contract-held escrow accounts are named ``contract:*`` and are not
+    tracked (the specs only sum per-party flows).
+    """
+    deltas: dict[str, float] = {}
+    if not sender.startswith("contract:"):
+        deltas[f"from.{sender}"] = amount
+    if not recipient.startswith("contract:"):
+        deltas[f"to.{recipient}"] = amount
+    return deltas

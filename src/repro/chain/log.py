@@ -1,0 +1,44 @@
+"""From chain event logs to distributed computations.
+
+Each blockchain is one process of the distributed computation (its block
+timestamps are the process-local clock); the captured contract events are
+the process's events.  This is the glue between the blockchain substrate
+and the monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.chain.chain import SimulatedChain
+from repro.chain.events import ChainEvent
+from repro.distributed.computation import DistributedComputation
+
+
+def computation_from_events(
+    events: Iterable[ChainEvent],
+    epsilon_ms: int,
+) -> DistributedComputation:
+    """Build a computation from raw chain events (one process per chain).
+
+    Same-chain events sharing a block timestamp (several emissions from
+    one transaction) keep their emission order — sorting is stable on
+    ``(local_time, chain, original position)``.
+    """
+    computation = DistributedComputation(epsilon_ms)
+    indexed = list(enumerate(events))
+    indexed.sort(key=lambda pair: (pair[1].local_time, pair[1].chain, pair[0]))
+    for _, event in indexed:
+        computation.add_event(event.chain, event.local_time, event.props(), event.deltas)
+    return computation
+
+
+def computation_from_chains(
+    chains: Iterable[SimulatedChain],
+    epsilon_ms: int,
+) -> DistributedComputation:
+    """Collect every chain's log into one computation."""
+    events: list[ChainEvent] = []
+    for chain in chains:
+        events.extend(chain.log)
+    return computation_from_events(events, epsilon_ms)

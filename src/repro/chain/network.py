@@ -1,0 +1,100 @@
+"""A network of blockchains plus a global transaction scheduler.
+
+Parties act at (hidden) global times; each chain stamps the resulting
+events with its own skewed clock.  This mirrors the paper's setup of
+mimicking several chains whose clocks are synchronized only up to
+``epsilon``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chain.chain import SimulatedChain
+from repro.distributed.clocks import ClockModel, FixedSkewClock, PerfectClock
+from repro.errors import ChainError
+
+
+@dataclass(order=True)
+class _ScheduledCall:
+    global_time: int
+    order: int
+    chain: SimulatedChain = field(compare=False)
+    call: Callable[[], None] = field(compare=False)
+    description: str = field(compare=False, default="")
+
+
+class ChainNetwork:
+    """Several chains with bounded-skew clocks and a call scheduler."""
+
+    def __init__(self, epsilon_ms: int = 1) -> None:
+        if epsilon_ms < 1:
+            raise ChainError(f"epsilon must be >= 1 ms, got {epsilon_ms}")
+        self.epsilon_ms = epsilon_ms
+        self._chains: dict[str, SimulatedChain] = {}
+        self._queue: list[_ScheduledCall] = []
+        self._order = 0
+
+    # -- chains -----------------------------------------------------------------
+
+    def add_chain(self, name: str, skew_ms: int = 0) -> SimulatedChain:
+        """Create a chain whose clock is offset ``skew_ms`` from global.
+
+        ``|skew_ms|`` must stay below the network's epsilon.
+        """
+        if name in self._chains:
+            raise ChainError(f"chain {name!r} already exists")
+        if abs(skew_ms) >= self.epsilon_ms:
+            raise ChainError(
+                f"chain skew {skew_ms} ms violates the network bound "
+                f"epsilon={self.epsilon_ms} ms"
+            )
+        clock: ClockModel
+        if skew_ms == 0:
+            clock = PerfectClock()
+        else:
+            clock = FixedSkewClock(skew_ms, self.epsilon_ms)
+        chain = SimulatedChain(name, clock)
+        self._chains[name] = chain
+        return chain
+
+    def chain(self, name: str) -> SimulatedChain:
+        try:
+            return self._chains[name]
+        except KeyError:
+            raise ChainError(f"unknown chain {name!r}") from None
+
+    @property
+    def chains(self) -> list[SimulatedChain]:
+        return list(self._chains.values())
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(
+        self,
+        global_time_ms: int,
+        chain: SimulatedChain | str,
+        call: Callable[[], None],
+        description: str = "",
+    ) -> None:
+        """Queue a transaction for execution at a global time."""
+        if isinstance(chain, str):
+            chain = self.chain(chain)
+        self._queue.append(
+            _ScheduledCall(global_time_ms, self._order, chain, call, description)
+        )
+        self._order += 1
+
+    def run(self) -> list[tuple[str, bool]]:
+        """Execute all queued calls in global-time order.
+
+        Returns ``(description, succeeded)`` per call, in execution order.
+        """
+        self._queue.sort()
+        results: list[tuple[str, bool]] = []
+        for scheduled in self._queue:
+            ok = scheduled.chain.execute(scheduled.global_time, scheduled.call)
+            results.append((scheduled.description, ok))
+        self._queue = []
+        return results

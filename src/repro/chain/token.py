@@ -1,0 +1,48 @@
+"""An ERC-20-style token ledger.
+
+The cross-chain protocols exchange "100 ERC20 tokens" plus small premium
+amounts; this ledger provides exactly the operations the contracts need —
+mint, transfer, balance queries — with revert-on-insufficient-funds
+semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChainError, ContractRevert
+
+
+class Token:
+    """A fungible token with integer balances."""
+
+    def __init__(self, symbol: str) -> None:
+        if not symbol:
+            raise ChainError("token symbol must be non-empty")
+        self.symbol = symbol
+        self._balances: dict[str, int] = {}
+
+    def mint(self, owner: str, amount: int) -> None:
+        """Create ``amount`` tokens in ``owner``'s balance."""
+        if amount < 0:
+            raise ChainError(f"cannot mint a negative amount ({amount})")
+        self._balances[owner] = self._balances.get(owner, 0) + amount
+
+    def balance_of(self, owner: str) -> int:
+        return self._balances.get(owner, 0)
+
+    def transfer(self, sender: str, recipient: str, amount: int) -> None:
+        """Move tokens; reverts when the sender's balance is insufficient."""
+        if amount < 0:
+            raise ContractRevert(f"negative transfer amount {amount}")
+        balance = self._balances.get(sender, 0)
+        if balance < amount:
+            raise ContractRevert(
+                f"insufficient {self.symbol} balance: {sender} has {balance}, needs {amount}"
+            )
+        self._balances[sender] = balance - amount
+        self._balances[recipient] = self._balances.get(recipient, 0) + amount
+
+    def total_supply(self) -> int:
+        return sum(self._balances.values())
+
+    def __repr__(self) -> str:
+        return f"Token({self.symbol}, holders={len(self._balances)})"

@@ -1,0 +1,43 @@
+"""Distributed-computation substrate: events, happened-before, cuts, segments."""
+
+from repro.distributed.clocks import (
+    ClockModel,
+    DriftingClock,
+    FixedSkewClock,
+    PerfectClock,
+    clocks_for_processes,
+)
+from repro.distributed.computation import DistributedComputation
+from repro.distributed.cuts import (
+    count_linear_extensions,
+    frontier,
+    is_consistent_cut,
+    linear_extensions,
+)
+from repro.distributed.event import Event, make_event
+from repro.distributed.hb import HappenedBefore, HappenedBeforeView
+from repro.distributed.segmentation import (
+    Segment,
+    segment_computation,
+    segments_for_frequency,
+)
+
+__all__ = [
+    "ClockModel",
+    "DistributedComputation",
+    "DriftingClock",
+    "Event",
+    "FixedSkewClock",
+    "HappenedBefore",
+    "HappenedBeforeView",
+    "PerfectClock",
+    "Segment",
+    "clocks_for_processes",
+    "count_linear_extensions",
+    "frontier",
+    "is_consistent_cut",
+    "linear_extensions",
+    "make_event",
+    "segment_computation",
+    "segments_for_frequency",
+]

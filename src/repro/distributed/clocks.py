@@ -1,0 +1,124 @@
+"""Clock models for generating partially synchronous local timestamps.
+
+The paper assumes each process ``P_i`` has a monotone local clock
+``c_i : global -> local`` with ``|c_i(G) - c_j(G)| < epsilon`` for every
+pair of processes.  When *generating* workloads we need the inverse
+direction: given the (hidden, theoretical) global time of an event,
+produce the local reading the process would log.  Three models:
+
+* :class:`PerfectClock` — local == global (epsilon = 1);
+* :class:`FixedSkewClock` — constant per-process offset within the bound;
+* :class:`DriftingClock` — a bounded random walk re-centred as an NTP-like
+  sync would, never exceeding the skew bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ComputationError
+
+
+class ClockModel:
+    """Base class: maps global time to a process-local reading."""
+
+    def read(self, global_time: int) -> int:
+        raise NotImplementedError
+
+    def bound(self) -> int:
+        """An epsilon such that |local - global| < epsilon always holds."""
+        raise NotImplementedError
+
+
+class PerfectClock(ClockModel):
+    """local == global; the bound is the minimal legal epsilon (1)."""
+
+    def read(self, global_time: int) -> int:
+        return global_time
+
+    def bound(self) -> int:
+        return 1
+
+
+class FixedSkewClock(ClockModel):
+    """A constant offset ``|offset| < epsilon`` from the global clock."""
+
+    def __init__(self, offset: int, epsilon: int) -> None:
+        if epsilon < 1:
+            raise ComputationError(f"epsilon must be >= 1, got {epsilon}")
+        if abs(offset) >= epsilon:
+            raise ComputationError(
+                f"offset {offset} violates the skew bound epsilon={epsilon}"
+            )
+        self._offset = offset
+        self._epsilon = epsilon
+
+    def read(self, global_time: int) -> int:
+        return max(0, global_time + self._offset)
+
+    def bound(self) -> int:
+        return self._epsilon
+
+
+class DriftingClock(ClockModel):
+    """A random-walk clock kept within ``(-epsilon, epsilon)`` of global.
+
+    Each read drifts by -1/0/+1 from the previous offset (seeded RNG),
+    re-centring when the walk would touch the bound — the discrete
+    analogue of periodic NTP correction.  Reads must be requested with
+    non-decreasing global times, mirroring a real monotone clock.
+    """
+
+    def __init__(self, epsilon: int, seed: int = 0) -> None:
+        if epsilon < 1:
+            raise ComputationError(f"epsilon must be >= 1, got {epsilon}")
+        self._epsilon = epsilon
+        self._rng = random.Random(seed)
+        self._offset = 0
+        self._last_global: int | None = None
+        self._last_local = 0
+
+    def read(self, global_time: int) -> int:
+        if self._last_global is not None and global_time < self._last_global:
+            raise ComputationError(
+                f"drifting clock read out of order: {self._last_global} then {global_time}"
+            )
+        step = self._rng.choice((-1, 0, 1))
+        proposed = self._offset + step
+        if abs(proposed) >= self._epsilon:
+            proposed = 0  # NTP-style re-centre
+        self._offset = proposed
+        local = max(0, global_time + self._offset)
+        # Local clocks are monotone even while the offset walks backwards.
+        local = max(local, self._last_local)
+        self._last_global = global_time
+        self._last_local = local
+        return local
+
+    def bound(self) -> int:
+        return self._epsilon
+
+
+def clocks_for_processes(
+    processes: list[str],
+    epsilon: int,
+    model: str = "fixed",
+    seed: int = 0,
+) -> dict[str, ClockModel]:
+    """A clock per process, offsets spread across the admissible range.
+
+    ``model`` is one of ``perfect``, ``fixed``, ``drift``.
+    """
+    if model == "perfect":
+        return {p: PerfectClock() for p in processes}
+    rng = random.Random(seed)
+    clocks: dict[str, ClockModel] = {}
+    for process in processes:
+        if model == "fixed":
+            offset = rng.randrange(-(epsilon - 1), epsilon) if epsilon > 1 else 0
+            clocks[process] = FixedSkewClock(offset, epsilon)
+        elif model == "drift":
+            clocks[process] = DriftingClock(epsilon, seed=rng.randrange(1 << 30))
+        else:
+            raise ComputationError(f"unknown clock model {model!r}")
+    return clocks

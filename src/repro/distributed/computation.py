@@ -1,0 +1,151 @@
+"""Distributed computations ``(E, ⇝)`` (paper Definition 1).
+
+A :class:`DistributedComputation` is built incrementally — add processes,
+events, and message edges, then freeze it with :meth:`happened_before` to
+obtain the closure used by the monitor.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Iterable, Mapping
+
+from repro.distributed.event import Event, make_event
+from repro.distributed.hb import HappenedBefore
+from repro.errors import ComputationError
+
+
+class DistributedComputation:
+    """A mutable builder for (and container of) a distributed computation.
+
+    ``epsilon`` is the maximum clock skew guaranteed by the (NTP-like)
+    synchronization algorithm; it is known to the monitor and drives both
+    the epsilon edge rule of ``⇝`` and each event's admissible timestamp
+    window.
+    """
+
+    def __init__(self, epsilon: int) -> None:
+        if epsilon < 1:
+            raise ComputationError(f"epsilon must be >= 1, got {epsilon}")
+        self._epsilon = epsilon
+        self._events: list[Event] = []
+        self._keys: set[tuple[str, int]] = set()
+        self._next_seq: dict[str, int] = {}
+        self._messages: list[tuple[Event, Event]] = []
+        self._hb: HappenedBefore | None = None
+
+    # -- building ---------------------------------------------------------------
+
+    def add_event(
+        self,
+        process: str,
+        local_time: int,
+        props: object = (),
+        deltas: Mapping[str, float] | None = None,
+    ) -> Event:
+        """Append an event to ``process`` at the given local clock reading.
+
+        Sequence numbers are assigned automatically in call order; local
+        times on one process must be non-decreasing in that order.
+        """
+        self._invalidate()
+        seq = self._next_seq.get(process, 0)
+        event = make_event(process, seq, local_time, props, deltas)
+        if self._events:
+            last = self._last_on(process)
+            if last is not None and last.local_time > local_time:
+                raise ComputationError(
+                    f"local clock on {process} must be monotone: "
+                    f"{last.local_time} then {local_time}"
+                )
+        self._events.append(event)
+        self._keys.add(event.key)
+        self._next_seq[process] = seq + 1
+        return event
+
+    def add_message(self, send: Event, recv: Event) -> None:
+        """Record a message edge ``send ⇝ recv`` between two known events."""
+        self._invalidate()
+        for event in (send, recv):
+            if event.key not in self._keys:
+                raise ComputationError(f"unknown event {event}")
+        if send.process == recv.process:
+            raise ComputationError("message edges must connect different processes")
+        self._messages.append((send, recv))
+
+    def _last_on(self, process: str) -> Event | None:
+        for event in reversed(self._events):
+            if event.process == process:
+                return event
+        return None
+
+    def _invalidate(self) -> None:
+        self._hb = None
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def epsilon(self) -> int:
+        return self._epsilon
+
+    @property
+    def events(self) -> list[Event]:
+        """All events in insertion order."""
+        return list(self._events)
+
+    @property
+    def processes(self) -> list[str]:
+        """Process names in first-appearance order."""
+        seen: list[str] = []
+        for event in self._events:
+            if event.process not in seen:
+                seen.append(event.process)
+        return seen
+
+    @property
+    def messages(self) -> list[tuple[Event, Event]]:
+        return list(self._messages)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def local_span(self) -> tuple[int, int]:
+        """``(min, max)`` local timestamp over all events (0, 0 if empty)."""
+        if not self._events:
+            return (0, 0)
+        times = [e.local_time for e in self._events]
+        return (min(times), max(times))
+
+    def happened_before(self) -> HappenedBefore:
+        """The (cached) happened-before closure of this computation."""
+        if self._hb is None:
+            self._hb = HappenedBefore(self._events, self._messages, self._epsilon)
+        return self._hb
+
+    # -- convenience constructors ---------------------------------------------------
+
+    @staticmethod
+    def from_event_lists(
+        epsilon: int,
+        per_process: Mapping[str, Iterable[tuple[int, object]]],
+    ) -> "DistributedComputation":
+        """Build a computation from per-process ``(local_time, props)`` lists.
+
+        >>> comp = DistributedComputation.from_event_lists(
+        ...     2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]})
+        """
+        computation = DistributedComputation(epsilon)
+        for process, entries in per_process.items():
+            for local_time, props in entries:
+                computation.add_event(process, local_time, props)
+        return computation
+
+    def __str__(self) -> str:
+        lines = [f"DistributedComputation(epsilon={self._epsilon})"]
+        for process in self.processes:
+            events = [str(e) for e in self._events if e.process == process]
+            lines.append(f"  {process}: " + " ".join(events))
+        return "\n".join(lines)
+
+
+EMPTY_VALUATION: Mapping[str, float] = MappingProxyType({})

@@ -1,0 +1,75 @@
+"""Consistent cuts, frontiers, and linear extensions (paper Definitions 1-2).
+
+These utilities are primarily used by the *baseline* enumeration monitor
+and by tests that validate the solver-based pipeline; the production
+monitor enumerates traces through :mod:`repro.encoding` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.distributed.event import Event
+from repro.distributed.hb import HappenedBefore, HappenedBeforeView
+
+
+def is_consistent_cut(hb: HappenedBefore, cut: Sequence[Event]) -> bool:
+    """Definition 2: a cut is consistent iff it is downward closed under ⇝."""
+    mask = 0
+    for event in cut:
+        mask |= 1 << hb.index_of(event)
+    for event in cut:
+        preds = hb.predecessors_mask(hb.index_of(event))
+        if preds & ~mask:
+            return False
+    return True
+
+
+def frontier(hb: HappenedBefore, cut: Sequence[Event]) -> list[Event]:
+    """front(C): the last event of each process present in the cut."""
+    last: dict[str, Event] = {}
+    for event in cut:
+        best = last.get(event.process)
+        if best is None or best.seq < event.seq:
+            last[event.process] = event
+    return [last[p] for p in sorted(last)]
+
+
+def linear_extensions(hb: HappenedBefore | HappenedBeforeView) -> Iterator[list[Event]]:
+    """Enumerate every linear extension of ⇝ (every total event ordering).
+
+    Each yielded list is one sequence-of-consistent-cuts C0 ⊂ C1 ⊂ ... in
+    frontier order (Section III).  Exponential in the width of the partial
+    order — only for small computations and tests.
+    """
+    events = hb.events
+    n = len(events)
+    order: list[int] = []
+    chosen = 0
+
+    def emit() -> list[Event]:
+        return [events[i] for i in order]
+
+    def recurse() -> Iterator[list[Event]]:
+        nonlocal chosen
+        if len(order) == n:
+            yield emit()
+            return
+        for i in range(n):
+            bit = 1 << i
+            if chosen & bit:
+                continue
+            if hb.predecessors_mask(i) & ~chosen:
+                continue  # some predecessor not yet in the cut
+            order.append(i)
+            chosen |= bit
+            yield from recurse()
+            order.pop()
+            chosen &= ~bit
+
+    return recurse()
+
+
+def count_linear_extensions(hb: HappenedBefore | HappenedBeforeView) -> int:
+    """Number of linear extensions (for tests and diagnostics)."""
+    return sum(1 for _ in linear_extensions(hb))

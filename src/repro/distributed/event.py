@@ -1,0 +1,98 @@
+"""Events of a distributed computation.
+
+An event ``e^i_sigma`` (paper Section II-A) is a local state change on
+process ``P_i`` stamped with the *local* clock value ``sigma = c_i(G)``.
+Our events additionally carry:
+
+* ``props`` — the atomic propositions that hold at the instant of the
+  event (the labelling function mu of Section V-A);
+* ``deltas`` — numeric increments accumulated along a trace prefix, which
+  feed :class:`~repro.mtl.ast.PredicateAtom` (e.g. the blockchain payoff
+  sums ``sum of amount transferred to alice``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import ComputationError
+
+_NO_DELTAS: Mapping[str, float] = MappingProxyType({})
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single event on one process.
+
+    ``seq`` is the per-process sequence number; together with ``process``
+    it uniquely identifies the event.  ``local_time`` is the local clock
+    reading at the event (``sigma``).
+    """
+
+    process: str
+    seq: int
+    local_time: int
+    props: frozenset[str] = frozenset()
+    deltas: Mapping[str, float] = field(default_factory=lambda: _NO_DELTAS)
+
+    def __post_init__(self) -> None:
+        if not self.process:
+            raise ComputationError("event process name must be non-empty")
+        if self.seq < 0:
+            raise ComputationError(f"event seq must be >= 0, got {self.seq}")
+        if self.local_time < 0:
+            raise ComputationError(f"event local_time must be >= 0, got {self.local_time}")
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Unique identifier ``(process, seq)``."""
+        return (self.process, self.seq)
+
+    def timestamp_window(self, epsilon: int) -> tuple[int, int]:
+        """The admissible true-time window for this event (Section V-A).
+
+        With maximum clock skew ``epsilon``, a local reading ``sigma`` may
+        correspond to any global time in
+        ``[max(0, sigma - epsilon + 1), sigma + epsilon - 1]`` (inclusive).
+        ``epsilon = 1`` therefore means perfect synchrony.
+        """
+        if epsilon < 1:
+            raise ComputationError(f"epsilon must be >= 1, got {epsilon}")
+        low = max(0, self.local_time - epsilon + 1)
+        high = self.local_time + epsilon - 1
+        return (low, high)
+
+    def __hash__(self) -> int:
+        return hash((self.process, self.seq, self.local_time, self.props))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.process == other.process
+            and self.seq == other.seq
+            and self.local_time == other.local_time
+            and self.props == other.props
+            and dict(self.deltas) == dict(other.deltas)
+        )
+
+    def __str__(self) -> str:
+        labels = ",".join(sorted(self.props)) or "·"
+        return f"{self.process}[{self.seq}]@{self.local_time}:{labels}"
+
+
+def make_event(
+    process: str,
+    seq: int,
+    local_time: int,
+    props: object = (),
+    deltas: Mapping[str, float] | None = None,
+) -> Event:
+    """Convenience constructor accepting any iterable of proposition names."""
+    if isinstance(props, str):
+        props = (props,)
+    frozen = frozenset(props)  # type: ignore[arg-type]
+    mapping = MappingProxyType(dict(deltas)) if deltas else _NO_DELTAS
+    return Event(process, seq, local_time, frozen, mapping)

@@ -1,0 +1,99 @@
+"""Turning an ordered, timestamped event sequence into a timed trace.
+
+State semantics follow the paper's frontier reading (Section V-B's atom
+constraint ranges over ``front(rho(i))``): the state at step ``i`` is the
+union of the propositions of the *last event of each process* present in
+the cut.  A proposition therefore persists from the event that emits it
+until the next event of the same process — which is how the models encode
+state-like facts (``gate.occ``, ``p1.cs``) as well as one-shot facts
+(``apr.asset_redeemed(bob)``).
+
+States additionally carry a *cumulative* numeric valuation folded from
+each event's ``deltas`` — this is what the blockchain payoff predicates
+(``sum of amounts transferred to alice``) evaluate against.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping, Sequence
+
+from repro.distributed.event import Event
+from repro.mtl.trace import State, TimedTrace
+
+
+def build_trace(
+    ordered: Sequence[tuple[Event, int]],
+    base_valuation: Mapping[str, float] | None = None,
+    frontier_props: Mapping[str, frozenset[str]] | None = None,
+) -> TimedTrace:
+    """Build a timed trace from ``(event, timestamp)`` pairs in trace order.
+
+    ``frontier_props`` seeds the per-process frontier (the last observed
+    propositions of each process from *earlier segments*), and
+    ``base_valuation`` seeds the cumulative numeric valuation; both are
+    order-independent summaries, so a single value per segment is exact.
+    """
+    states: list[State] = []
+    times: list[int] = []
+    frontier: dict[str, frozenset[str]] = dict(frontier_props) if frontier_props else {}
+    accumulator: dict[str, float] = dict(base_valuation) if base_valuation else {}
+    valuation_dirty = bool(accumulator)
+    snapshot: Mapping[str, float] = MappingProxyType({})
+    for event, timestamp in ordered:
+        frontier[event.process] = event.props
+        if event.deltas:
+            for key, delta in event.deltas.items():
+                accumulator[key] = accumulator.get(key, 0) + delta
+            valuation_dirty = True
+        if valuation_dirty:
+            snapshot = MappingProxyType(dict(accumulator))
+            valuation_dirty = False
+        props = frozenset().union(*frontier.values()) if frontier else frozenset()
+        states.append(State(props, snapshot))
+        times.append(timestamp)
+    return TimedTrace(states, times)
+
+
+def segment_carry(
+    events: Sequence[Event],
+    base_valuation: Mapping[str, float] | None = None,
+    frontier_props: Mapping[str, frozenset[str]] | None = None,
+) -> tuple[dict[str, float], dict[str, frozenset[str]]]:
+    """Fold a segment's events into carry-over state for the next segment.
+
+    Returns the updated ``(base_valuation, frontier_props)``.  The frontier
+    uses each process's last event *in local-time order*, which is the same
+    for every admissible trace of the segment; the valuation is a plain
+    order-independent sum.
+    """
+    valuation: dict[str, float] = dict(base_valuation) if base_valuation else {}
+    frontier: dict[str, frozenset[str]] = dict(frontier_props) if frontier_props else {}
+    last: dict[str, Event] = {}
+    for event in events:
+        for key, delta in event.deltas.items():
+            valuation[key] = valuation.get(key, 0) + delta
+        best = last.get(event.process)
+        if best is None or best.seq < event.seq:
+            last[event.process] = event
+    for process, event in last.items():
+        frontier[process] = event.props
+    return valuation, frontier
+
+
+def model_to_trace(
+    events: Sequence[Event],
+    model: dict[str, int],
+    pos_prefix: str = "pos",
+    time_prefix: str = "t",
+    base_valuation: Mapping[str, float] | None = None,
+    frontier_props: Mapping[str, frozenset[str]] | None = None,
+) -> TimedTrace:
+    """Decode a solver model from the cut encoding into a timed trace.
+
+    The model maps ``pos<i>`` to the event's position in the interleaving
+    and ``t<i>`` to its chosen timestamp, where ``i`` indexes ``events``.
+    """
+    order = sorted(range(len(events)), key=lambda i: model[f"{pos_prefix}{i}"])
+    pairs = [(events[i], model[f"{time_prefix}{i}"]) for i in order]
+    return build_trace(pairs, base_valuation, frontier_props)

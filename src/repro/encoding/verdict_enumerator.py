@@ -1,0 +1,95 @@
+"""Enumerating the distinct progression outcomes of one segment.
+
+Each segment trace progresses the carried formula into a residual; the
+*set of distinct residuals* (with trace-class counts) is the segment's
+verdict information.  This mirrors the paper's repeated SMT invocations
+with previous verdicts blocked (Section VI-A's "number of truth values
+per segment" parameter, Fig 5e): ``max_distinct`` stops the enumeration
+as soon as that many distinct outcomes exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.distributed.hb import HappenedBefore, HappenedBeforeView
+from repro.encoding.enumerator import enumerate_traces
+from repro.mtl.ast import Formula
+from repro.progression.progressor import anchor_shift, close, progress
+
+
+@dataclass
+class SegmentOutcome:
+    """Distinct residual formulas after one segment, with class counts."""
+
+    residuals: dict[Formula, int] = field(default_factory=dict)
+    traces_enumerated: int = 0
+    truncated: bool = False
+    #: True when enumeration stopped because the *final verdict set* was
+    #: already saturated ({True, False}) — lossless for the verdict set.
+    saturated: bool = False
+
+    def add(self, residual: Formula, count: int = 1) -> None:
+        self.residuals[residual] = self.residuals.get(residual, 0) + count
+
+
+def enumerate_segment_outcomes(
+    hb: HappenedBefore | HappenedBeforeView,
+    epsilon: int,
+    carried: Mapping[Formula, int],
+    anchor: int | None,
+    boundary: int,
+    clamp_lo: int | None = None,
+    clamp_hi: int | None = None,
+    max_traces: int | None = None,
+    max_distinct: int | None = None,
+    backend: str = "dfs",
+    base_valuation: Mapping[str, float] | None = None,
+    frontier_props: Mapping[str, frozenset[str]] | None = None,
+    saturate_final: bool = False,
+    timestamp_samples: int | None = None,
+) -> SegmentOutcome:
+    """Progress every carried residual over every trace of the segment.
+
+    ``carried`` maps residual formulas (anchored at ``anchor``; None means
+    "anchored at the first observation", i.e. the initial formula) to the
+    number of trace classes that produced them.  ``boundary`` is the
+    segment's upper time boundary, where the new residuals are anchored.
+
+    ``saturate_final`` is only valid for the *last* segment: enumeration
+    stops once the closed verdicts of the distinct residuals cover both
+    True and False — the verdict set cannot grow further, mirroring the
+    paper's "one SMT query per distinct verdict" loop.
+    """
+    outcome = SegmentOutcome()
+    closed_verdicts: set[bool] = set()
+    for trace in enumerate_traces(
+        hb,
+        epsilon,
+        clamp_lo=clamp_lo,
+        clamp_hi=clamp_hi,
+        limit=max_traces,
+        backend=backend,
+        base_valuation=base_valuation,
+        frontier_props=frontier_props,
+        timestamp_samples=timestamp_samples,
+    ):
+        outcome.traces_enumerated += 1
+        shift = 0 if anchor is None else trace.start_time - anchor
+        effective_boundary = max(boundary, trace.end_time)
+        for residual, count in carried.items():
+            shifted = anchor_shift(residual, shift)
+            progressed = progress(trace, shifted, effective_boundary)
+            if saturate_final and progressed not in outcome.residuals:
+                closed_verdicts.add(close(progressed))
+            outcome.add(progressed, count)
+        if saturate_final and closed_verdicts >= {True, False}:
+            outcome.saturated = True
+            break
+        if max_distinct is not None and len(outcome.residuals) >= max_distinct:
+            outcome.truncated = True
+            break
+    if max_traces is not None and outcome.traces_enumerated >= max_traces:
+        outcome.truncated = True
+    return outcome

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormulaError(ReproError):
+    """An MTL formula is malformed (bad interval, bad operator arity...)."""
+
+
+class ParseError(FormulaError):
+    """The MTL text parser could not parse its input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class TraceError(ReproError):
+    """A timed trace is malformed (non-monotone timestamps, empty trace...)."""
+
+
+class ComputationError(ReproError):
+    """A distributed computation is malformed (cycles in happened-before,
+    non-monotone per-process clocks, unknown processes...)."""
+
+
+class SolverError(ReproError):
+    """The constraint solver was used incorrectly (unknown variable, empty
+    domain at model time...)."""
+
+
+class EncodingError(ReproError):
+    """The cut-sequence/formula encoding could not be constructed."""
+
+
+class MonitorError(ReproError):
+    """The monitor was driven incorrectly (segments out of order...)."""
+
+
+class ChainError(ReproError):
+    """A simulated blockchain operation failed structurally (unknown
+    contract, malformed transaction...)."""
+
+
+class ContractRevert(ChainError):
+    """A contract ``require`` failed: the transaction reverts.
+
+    Mirrors Solidity's ``revert``/``require`` semantics: state changes made
+    by the failing call are rolled back and no events are emitted.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        self.reason = reason
+        super().__init__(reason or "transaction reverted")
+
+
+class ProtocolError(ReproError):
+    """A cross-chain protocol scenario is malformed."""
+
+
+class AutomatonError(ReproError):
+    """A timed automaton or network definition is malformed."""

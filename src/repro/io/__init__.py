@@ -1,0 +1,23 @@
+"""Import/export of computations, formulas, and monitoring results."""
+
+from repro.io.serialize import (
+    SerializationError,
+    computation_from_dict,
+    computation_to_dict,
+    dump_computation,
+    formula_from_text,
+    formula_to_text,
+    load_computation,
+    result_to_dict,
+)
+
+__all__ = [
+    "SerializationError",
+    "computation_from_dict",
+    "computation_to_dict",
+    "dump_computation",
+    "formula_from_text",
+    "formula_to_text",
+    "load_computation",
+    "result_to_dict",
+]

@@ -1,0 +1,140 @@
+"""JSON (de)serialization of computations, formulas, and results.
+
+A deployed monitor consumes event logs produced elsewhere (chain
+indexers, UPPAAL exports); these helpers define a stable wire format:
+
+Computation JSON::
+
+    {
+      "epsilon": 15,
+      "events": [
+        {"process": "apr", "time": 250,
+         "props": ["apr.premium_deposited(bob)"],
+         "deltas": {"from.bob": 1}},
+        ...
+      ],
+      "messages": [{"send": ["P1", 0], "recv": ["P2", 1]}, ...]
+    }
+
+Formulas serialize to their concrete syntax (``repro.mtl.parse`` is the
+inverse); monitor results serialize to a plain summary dictionary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import ReproError
+from repro.monitor.verdicts import MonitorResult
+from repro.mtl.ast import Formula
+from repro.mtl.parser import parse
+
+
+class SerializationError(ReproError):
+    """The JSON payload does not match the wire format."""
+
+
+# -- computations ------------------------------------------------------------------
+
+
+def computation_to_dict(computation: DistributedComputation) -> dict[str, Any]:
+    """The JSON-ready dictionary form of a computation."""
+    events = [
+        {
+            "process": event.process,
+            "time": event.local_time,
+            "props": sorted(event.props),
+            **({"deltas": dict(event.deltas)} if event.deltas else {}),
+        }
+        for event in computation.events
+    ]
+    messages = [
+        {"send": list(send.key), "recv": list(recv.key)}
+        for send, recv in computation.messages
+    ]
+    payload: dict[str, Any] = {"epsilon": computation.epsilon, "events": events}
+    if messages:
+        payload["messages"] = messages
+    return payload
+
+
+def computation_from_dict(payload: Mapping[str, Any]) -> DistributedComputation:
+    """Rebuild a computation from its dictionary form."""
+    try:
+        epsilon = int(payload["epsilon"])
+        raw_events = payload["events"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed computation payload: {exc}") from exc
+    computation = DistributedComputation(epsilon)
+    by_key = {}
+    for raw in raw_events:
+        try:
+            event = computation.add_event(
+                str(raw["process"]),
+                int(raw["time"]),
+                tuple(raw.get("props", ())),
+                {str(k): float(v) for k, v in raw.get("deltas", {}).items()} or None,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed event {raw!r}: {exc}") from exc
+        by_key[event.key] = event
+    for raw in payload.get("messages", ()):
+        try:
+            send = by_key[tuple(raw["send"])]
+            recv = by_key[tuple(raw["recv"])]
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(f"malformed message edge {raw!r}") from exc
+        computation.add_message(send, recv)
+    return computation
+
+
+def dump_computation(computation: DistributedComputation, path: str) -> None:
+    """Write a computation as JSON to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(computation_to_dict(computation), handle, indent=2)
+
+
+def load_computation(path: str) -> DistributedComputation:
+    """Read a computation from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return computation_from_dict(json.load(handle))
+
+
+# -- formulas ----------------------------------------------------------------------
+
+
+def formula_to_text(formula: Formula) -> str:
+    """Concrete syntax; ``formula_from_text`` is the inverse."""
+    return str(formula)
+
+
+def formula_from_text(text: str) -> Formula:
+    return parse(text)
+
+
+# -- results -----------------------------------------------------------------------
+
+
+def result_to_dict(result: MonitorResult) -> dict[str, Any]:
+    """A plain summary of a monitoring result."""
+    return {
+        "formula": str(result.formula),
+        "verdicts": sorted(result.verdicts),
+        "verdict_counts": {str(k): v for k, v in result.verdict_counts.items()},
+        "deterministic": result.is_deterministic,
+        "exhaustive": result.exhaustive,
+        "verdict_set_complete": result.verdict_set_complete,
+        "segments": [
+            {
+                "index": report.index,
+                "events": report.events,
+                "traces": report.traces_enumerated,
+                "distinct_residuals": report.distinct_residuals,
+                "truncated": report.truncated,
+                "saturated": report.saturated,
+            }
+            for report in result.segment_reports
+        ],
+    }

@@ -1,0 +1,17 @@
+"""Monitors: solver-backed segmented monitor, baseline, online wrapper."""
+
+from repro.monitor.baseline import EnumerationMonitor
+from repro.monitor.fast import FastMonitor
+from repro.monitor.online import OnlineMonitor
+from repro.monitor.smt_monitor import SmtMonitor, monitor
+from repro.monitor.verdicts import MonitorResult, SegmentReport
+
+__all__ = [
+    "EnumerationMonitor",
+    "FastMonitor",
+    "MonitorResult",
+    "OnlineMonitor",
+    "SegmentReport",
+    "SmtMonitor",
+    "monitor",
+]

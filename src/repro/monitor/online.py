@@ -1,0 +1,172 @@
+"""Online monitoring: consume an event stream segment-by-segment.
+
+The offline :class:`~repro.monitor.smt_monitor.SmtMonitor` needs the whole
+computation up front.  Deployed against live blockchains (the paper's
+motivating setting), events arrive continuously; this wrapper buffers
+them and lets the caller *advance* the monitor past a time boundary,
+progressing all carried residual formulas over the newly closed segment.
+
+Usage::
+
+    monitor = OnlineMonitor(spec, epsilon=2)
+    monitor.observe("apricot", local_time=3, props={"apr.escrow(alice)"})
+    monitor.advance_to(10)            # everything before t=10 is final
+    ...
+    result = monitor.finish()         # close residuals -> verdict set
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.distributed.computation import DistributedComputation
+from repro.encoding.trace_extractor import segment_carry
+from repro.encoding.verdict_enumerator import enumerate_segment_outcomes
+from repro.errors import MonitorError
+from repro.mtl.ast import FalseConst, Formula, TrueConst
+from repro.monitor.verdicts import MonitorResult, SegmentReport
+from repro.progression.progressor import close
+
+
+class OnlineMonitor:
+    """Incremental monitor over a live, partially synchronous event feed."""
+
+    def __init__(
+        self,
+        formula: Formula,
+        epsilon: int,
+        max_traces_per_segment: int | None = None,
+        backend: str = "dfs",
+    ) -> None:
+        self._formula = formula
+        self._epsilon = epsilon
+        self._max_traces = max_traces_per_segment
+        self._backend = backend
+        self._buffer: list[tuple[str, int, frozenset[str], Mapping[str, float] | None]] = []
+        self._carried: dict[Formula, int] = {formula: 1}
+        self._anchor: int | None = None
+        self._frontier = 0  # everything strictly below is already consumed
+        self._first_segment_done = False
+        self._base_valuation: dict[str, float] = {}
+        self._frontier_props: dict[str, frozenset[str]] = {}
+        self._result = MonitorResult(formula)
+        self._finished = False
+        self._segment_counter = 0
+
+    # -- feeding -----------------------------------------------------------------
+
+    def observe(
+        self,
+        process: str,
+        local_time: int,
+        props: object = (),
+        deltas: Mapping[str, float] | None = None,
+    ) -> None:
+        """Buffer one event (local timestamp, propositions, numeric deltas)."""
+        if self._finished:
+            raise MonitorError("monitor already finished")
+        if local_time < self._frontier:
+            raise MonitorError(
+                f"event at local time {local_time} arrived after the monitor "
+                f"advanced past {self._frontier}"
+            )
+        if isinstance(props, str):
+            props = (props,)
+        self._buffer.append((process, local_time, frozenset(props), deltas))
+
+    # -- advancing ----------------------------------------------------------------
+
+    def advance_to(self, boundary: int) -> frozenset[bool]:
+        """Declare all times below ``boundary`` final and progress over them.
+
+        Returns the set of verdicts already decided (may be empty while
+        everything is still pending).
+        """
+        if self._finished:
+            raise MonitorError("monitor already finished")
+        if boundary <= self._frontier:
+            raise MonitorError(
+                f"boundary must advance: frontier {self._frontier}, got {boundary}"
+            )
+        ready = [e for e in self._buffer if e[1] < boundary]
+        self._buffer = [e for e in self._buffer if e[1] >= boundary]
+        if ready:
+            self._process_segment(ready, boundary)
+        self._frontier = boundary
+        return self._result.verdicts
+
+    def _process_segment(
+        self,
+        ready: list[tuple[str, int, frozenset[str], Mapping[str, float] | None]],
+        boundary: int,
+    ) -> None:
+        computation = DistributedComputation(self._epsilon)
+        ready.sort(key=lambda e: (e[1], e[0]))
+        for process, local_time, props, deltas in ready:
+            computation.add_event(process, local_time, props, deltas)
+        hb = computation.happened_before()
+        outcome = enumerate_segment_outcomes(
+            hb,
+            self._epsilon,
+            self._carried,
+            self._anchor,
+            boundary=boundary,
+            clamp_lo=None if not self._first_segment_done else self._frontier,
+            clamp_hi=boundary,
+            max_traces=self._max_traces,
+            backend=self._backend,
+            base_valuation=self._base_valuation,
+            frontier_props=self._frontier_props,
+        )
+        if outcome.truncated:
+            self._result.exhaustive = False
+        self._result.segment_reports.append(
+            SegmentReport(
+                index=self._segment_counter,
+                events=len(ready),
+                traces_enumerated=outcome.traces_enumerated,
+                distinct_residuals=len(outcome.residuals),
+                truncated=outcome.truncated,
+            )
+        )
+        self._segment_counter += 1
+        self._first_segment_done = True
+        carried: dict[Formula, int] = {}
+        for residual, count in outcome.residuals.items():
+            if isinstance(residual, TrueConst):
+                self._result.record(True, count)
+            elif isinstance(residual, FalseConst):
+                self._result.record(False, count)
+            else:
+                carried[residual] = carried.get(residual, 0) + count
+        self._carried = carried
+        self._anchor = boundary
+        self._base_valuation, self._frontier_props = segment_carry(
+            computation.events, self._base_valuation, self._frontier_props
+        )
+
+    # -- finishing -----------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered, not yet consumed events."""
+        return len(self._buffer)
+
+    @property
+    def undecided_residuals(self) -> int:
+        """Distinct residual formulas still carried."""
+        return len(self._carried)
+
+    def finish(self) -> MonitorResult:
+        """Consume any remaining events, close residuals, return verdicts."""
+        if self._finished:
+            return self._result
+        if self._buffer:
+            last_time = max(e[1] for e in self._buffer)
+            epsilon_pad = self._epsilon  # allow skew-shifted timestamps
+            self.advance_to(last_time + epsilon_pad)
+        for residual, count in self._carried.items():
+            self._result.record(close(residual), count)
+        self._carried = {}
+        self._finished = True
+        return self._result

@@ -1,0 +1,64 @@
+"""Metric temporal logic substrate: AST, intervals, traces, semantics."""
+
+from repro.mtl.ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseConst,
+    Formula,
+    Not,
+    Or,
+    PredicateAtom,
+    TrueConst,
+    Until,
+    always,
+    atom,
+    eventually,
+    implies,
+    land,
+    lnot,
+    lor,
+    until,
+)
+from repro.mtl.interval import INF, Interval
+from repro.mtl.parser import parse
+from repro.mtl.rewrite import simplify, to_nnf
+from repro.mtl.semantics import evaluate, satisfies
+from repro.mtl.trace import EMPTY_STATE, State, TimedTrace
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "INF",
+    "Always",
+    "And",
+    "Atom",
+    "Eventually",
+    "FalseConst",
+    "Formula",
+    "Interval",
+    "Not",
+    "Or",
+    "PredicateAtom",
+    "State",
+    "TimedTrace",
+    "EMPTY_STATE",
+    "TrueConst",
+    "Until",
+    "always",
+    "atom",
+    "eventually",
+    "evaluate",
+    "implies",
+    "land",
+    "lnot",
+    "lor",
+    "parse",
+    "satisfies",
+    "simplify",
+    "to_nnf",
+    "until",
+]

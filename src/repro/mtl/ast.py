@@ -1,0 +1,393 @@
+"""Abstract syntax trees for metric temporal logic (MTL) formulas.
+
+The grammar follows the paper (Section II-B):
+
+    phi ::= p | !phi | phi1 | phi2 | phi1 U_I phi2
+
+with the usual derived operators kept as first-class nodes because the
+progression algorithms (Section IV) treat them directly:
+
+    F_I phi  ("eventually")   =  true U_I phi
+    G_I phi  ("always")       =  !F_I !phi
+
+``phi1 -> phi2`` and ``phi1 & phi2`` desugar to ``!phi1 | phi2`` and
+``!(!phi1 | !phi2)`` would lose readability, so conjunction is also a
+first-class n-ary node; implication desugars at construction time.
+
+All nodes are immutable and hashable.  Hash-consing is not required — the
+verdict enumerator deduplicates progressed formulas via ``==``/``hash``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import FormulaError
+from repro.mtl.interval import Interval
+
+
+class Formula:
+    """Base class for all MTL formula nodes."""
+
+    #: subclasses override; used for cheap structural dispatch
+    arity: int = 0
+
+    def children(self) -> tuple["Formula", ...]:
+        """The direct subformulas of this node."""
+        return ()
+
+    # -- structural measures ----------------------------------------------
+
+    def size(self) -> int:
+        """Number of AST nodes (the paper's "number of sub-formulas")."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def temporal_depth(self) -> int:
+        """Maximum nesting depth of temporal operators.
+
+        The paper observes (Fig 5a) that runtime depends on this depth.
+        """
+        inner = max((child.temporal_depth() for child in self.children()), default=0)
+        return inner + (1 if self.is_temporal() else 0)
+
+    def is_temporal(self) -> bool:
+        """True for U/F/G nodes."""
+        return isinstance(self, (Until, Eventually, Always))
+
+    def atoms(self) -> frozenset["Atom"]:
+        """All atomic propositions occurring in the formula."""
+        found: set[Atom] = set()
+        for node in self.walk():
+            if isinstance(node, Atom):
+                found.add(node)
+        return frozenset(found)
+
+    def walk(self) -> Iterator["Formula"]:
+        """Pre-order iteration over all nodes of the AST."""
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    # -- operator sugar -----------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return land(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return lor(self, other)
+
+    def __invert__(self) -> "Formula":
+        return lnot(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """``self -> other``, desugared to ``!self | other``."""
+        return lor(lnot(self), other)
+
+
+@dataclass(frozen=True)
+class TrueConst(Formula):
+    """The constant ``true``."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseConst(Formula):
+    """The constant ``false``."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+#: Singletons — always compare equal to fresh instances, but reusing these
+#: keeps formula construction allocation-free on the hot simplification path.
+TRUE = TrueConst()
+FALSE = FalseConst()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic proposition, identified by name.
+
+    Names are free-form; the blockchain specs use dotted, argumented names
+    such as ``apr.asset_redeemed(bob)``.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FormulaError("atom name must be non-empty")
+
+    def holds_in(self, props: frozenset[str], valuation: Mapping[str, float]) -> bool:
+        """Truth of this atom in a state (propositional membership)."""
+        return self.name in props
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PredicateAtom(Atom):
+    """An atom whose truth is a predicate over a state's numeric valuation.
+
+    This implements the paper's remark (Section V-A) that for formulas
+    involving non-boolean variables (e.g. ``x1 + x2 <= 7``, or the payoff
+    sums in the blockchain specs) the labelling function mu is updated
+    accordingly.  Equality and hashing use the name only, so two predicate
+    atoms with the same name are the same proposition; keep names unique.
+    """
+
+    predicate: Callable[[Mapping[str, float]], bool] = field(compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.predicate is None:
+            raise FormulaError(f"predicate atom {self.name!r} needs a predicate")
+
+    def holds_in(self, props: frozenset[str], valuation: Mapping[str, float]) -> bool:
+        return bool(self.predicate(valuation))
+
+    def __str__(self) -> str:
+        return f"<{self.name}>"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``!phi``."""
+
+    operand: Formula
+    arity = 1
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"!{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction. Use :func:`land` to build simplified instances."""
+
+    operands: tuple[Formula, ...]
+    arity = -1
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise FormulaError("And requires at least two operands")
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return " & ".join(_paren(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction. Use :func:`lor` to build simplified instances."""
+
+    operands: tuple[Formula, ...]
+    arity = -1
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise FormulaError("Or requires at least two operands")
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return " | ".join(_paren(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """``phi1 U_I phi2`` — phi2 within I, phi1 at every state before it."""
+
+    left: Formula
+    right: Formula
+    interval: Interval
+    arity = 2
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{_paren(self.left)} U{self.interval} {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    """``F_I phi`` — phi at some state whose offset falls in I."""
+
+    operand: Formula
+    interval: Interval
+    arity = 1
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"F{self.interval} {_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """``G_I phi`` — phi at every state whose offset falls in I."""
+
+    operand: Formula
+    interval: Interval
+    arity = 1
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"G{self.interval} {_paren(self.operand)}"
+
+
+def _paren(formula: Formula) -> str:
+    """Parenthesise compound operands for unambiguous printing."""
+    if isinstance(formula, (And, Or, Until)):
+        return f"({formula})"
+    return str(formula)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors.
+#
+# These apply only *local*, constant-folding simplifications; they are what
+# the progression rules (Section IV) rely on for the "trivial cases" of
+# disjunction/conjunction progression.  Deeper rewriting lives in
+# repro.mtl.rewrite.
+# ---------------------------------------------------------------------------
+
+
+def atom(name: str) -> Atom:
+    """Build an atomic proposition."""
+    return Atom(name)
+
+
+def lnot(operand: Formula) -> Formula:
+    """Simplifying negation: folds constants and double negation."""
+    if isinstance(operand, TrueConst):
+        return FALSE
+    if isinstance(operand, FalseConst):
+        return TRUE
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def land(*operands: Formula) -> Formula:
+    """Simplifying n-ary conjunction.
+
+    Folds constants, flattens nested conjunctions, deduplicates operands
+    while preserving first-occurrence order, and detects ``p & !p``.
+    """
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    for op in operands:
+        if isinstance(op, FalseConst):
+            return FALSE
+        if isinstance(op, TrueConst):
+            continue
+        parts = op.operands if isinstance(op, And) else (op,)
+        for part in parts:
+            if part in seen:
+                continue
+            seen.add(part)
+            flat.append(part)
+    for op in flat:
+        if lnot(op) in seen:
+            return FALSE
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def lor(*operands: Formula) -> Formula:
+    """Simplifying n-ary disjunction (dual of :func:`land`)."""
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    for op in operands:
+        if isinstance(op, TrueConst):
+            return TRUE
+        if isinstance(op, FalseConst):
+            continue
+        parts = op.operands if isinstance(op, Or) else (op,)
+        for part in parts:
+            if part in seen:
+                continue
+            seen.add(part)
+            flat.append(part)
+    for op in flat:
+        if lnot(op) in seen:
+            return TRUE
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def implies(left: Formula, right: Formula) -> Formula:
+    """``left -> right`` desugared to ``!left | right``."""
+    return lor(lnot(left), right)
+
+
+def until(left: Formula, right: Formula, interval: Interval | None = None) -> Formula:
+    """``left U_I right``; interval defaults to ``[0, inf)``."""
+    interval = interval if interval is not None else Interval.always()
+    if interval.is_empty():
+        return FALSE
+    return Until(left, right, interval)
+
+
+def eventually(operand: Formula, interval: Interval | None = None) -> Formula:
+    """``F_I operand``; interval defaults to ``[0, inf)``.
+
+    Folding is finite-trace-aware: an empty window can never produce a
+    witness (``false``), and ``F_I false`` is ``false``.  ``F_I true`` is
+    deliberately *not* folded to ``true``: the strong semantics demands
+    some state whose offset lands in ``I``, and a residual formula may end
+    up evaluated against an empty remainder (where it must close to
+    ``false``).
+    """
+    interval = interval if interval is not None else Interval.always()
+    if interval.is_empty():
+        return FALSE
+    if isinstance(operand, FalseConst):
+        return FALSE
+    return Eventually(operand, interval)
+
+
+def always(operand: Formula, interval: Interval | None = None) -> Formula:
+    """``G_I operand``; interval defaults to ``[0, inf)``.
+
+    Dual folding: an empty window is vacuously satisfied and ``G_I true``
+    is ``true``.  ``G_I false`` is deliberately *not* folded to ``false``:
+    the weak semantics holds vacuously when no state ever lands in ``I``
+    (in particular on an empty remainder, where residuals close to
+    ``true``).
+    """
+    interval = interval if interval is not None else Interval.always()
+    if interval.is_empty():
+        return TRUE
+    if isinstance(operand, TrueConst):
+        return TRUE
+    return Always(operand, interval)
+
+
+# Short aliases used pervasively by the spec modules.
+F = eventually
+G = always
+U = until

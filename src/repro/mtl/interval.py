@@ -1,0 +1,142 @@
+"""Half-open integer time intervals ``[start, end)`` for MTL operators.
+
+The paper (Section II-B) defines intervals over the non-negative integers:
+
+    [start, end) = { a in Z>=0 | start <= a < end }
+
+with ``start in Z>=0``, ``end in Z>=0 union {infinity}`` and ``start < end``.
+Interval subtraction ``I - tau`` (used by formula progression, Section IV)
+clamps both endpoints at zero:
+
+    I - tau = [max(0, start - tau), max(0, end - tau))
+
+An interval whose end clamps to zero is empty; progression treats such
+residuals as unsatisfiable windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+
+#: Sentinel for an unbounded right endpoint. ``math.inf`` compares correctly
+#: against integers, which keeps all the arithmetic below branch-free.
+INF = math.inf
+
+
+@dataclass(frozen=True, order=False)
+class Interval:
+    """A half-open interval ``[start, end)`` over non-negative integers.
+
+    ``end`` may be :data:`INF` for unbounded intervals such as ``[5, inf)``.
+    Instances are immutable and hashable, so they can be used as parts of
+    formula AST nodes (which are themselves hashable for deduplication).
+    """
+
+    start: int
+    end: float  # int or INF
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, int) or isinstance(self.start, bool):
+            raise FormulaError(f"interval start must be an int, got {self.start!r}")
+        if self.start < 0:
+            raise FormulaError(f"interval start must be >= 0, got {self.start}")
+        if self.end != INF:
+            if not isinstance(self.end, int) or isinstance(self.end, bool):
+                raise FormulaError(f"interval end must be an int or INF, got {self.end!r}")
+            if self.end < 0:
+                raise FormulaError(f"interval end must be >= 0, got {self.end}")
+        if not self.start < self.end and not (self.start == 0 and self.end == 0):
+            # Only the canonical empty interval [0, 0) is admitted (it is
+            # produced by clamping subtraction via Interval.empty()).
+            raise FormulaError(
+                f"interval must satisfy start < end, got [{self.start}, {self.end})"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def bounded(start: int, end: int) -> "Interval":
+        """Build the bounded interval ``[start, end)``."""
+        return Interval(start, end)
+
+    @staticmethod
+    def unbounded(start: int = 0) -> "Interval":
+        """Build the unbounded interval ``[start, inf)``."""
+        return Interval(start, INF)
+
+    @staticmethod
+    def always() -> "Interval":
+        """The full time line ``[0, inf)`` (untimed operators)."""
+        return Interval(0, INF)
+
+    @staticmethod
+    def empty() -> "Interval":
+        """The canonical empty interval ``[0, 0)``.
+
+        Only produced by clamping subtraction; never accepted from users
+        through :meth:`bounded` (which requires ``start < end``).
+        """
+        interval = object.__new__(Interval)
+        object.__setattr__(interval, "start", 0)
+        object.__setattr__(interval, "end", 0)
+        return interval
+
+    # -- queries -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when the interval contains no integer."""
+        return self.end <= self.start
+
+    def is_unbounded(self) -> bool:
+        """True when the right endpoint is infinite."""
+        return self.end == INF
+
+    def __contains__(self, value: float) -> bool:
+        return self.start <= value < self.end
+
+    def contains(self, value: float) -> bool:
+        """Membership test; equivalent to ``value in self``."""
+        return value in self
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one integer."""
+        if self.is_empty() or other.is_empty():
+            return False
+        return self.start < other.end and other.start < self.end
+
+    # -- arithmetic --------------------------------------------------------
+
+    def shift_down(self, tau: int) -> "Interval":
+        """The paper's ``I - tau`` with clamping at zero.
+
+        >>> Interval.bounded(2, 9).shift_down(3)
+        Interval(start=0, end=6)
+        >>> Interval.bounded(2, 9).shift_down(20).is_empty()
+        True
+        """
+        if tau < 0:
+            raise FormulaError(f"cannot shift an interval by a negative amount: {tau}")
+        new_start = max(0, self.start - tau)
+        new_end = self.end if self.end == INF else max(0, self.end - tau)
+        if new_end <= new_start:
+            return Interval.empty()
+        return Interval(new_start, new_end)
+
+    def shift_up(self, tau: int) -> "Interval":
+        """The interval translated right by ``tau``: ``[start+tau, end+tau)``."""
+        if tau < 0:
+            raise FormulaError(f"cannot shift an interval by a negative amount: {tau}")
+        new_end = INF if self.end == INF else self.end + tau
+        return Interval(self.start + tau, new_end)
+
+    # -- presentation ------------------------------------------------------
+
+    def __str__(self) -> str:
+        end = "inf" if self.end == INF else str(self.end)
+        return f"[{self.start},{end})"
+
+    def __repr__(self) -> str:  # keep dataclass-style repr but shorter end
+        return f"Interval(start={self.start}, end={self.end})"

@@ -1,0 +1,231 @@
+"""A small text parser for MTL formulas.
+
+Grammar (lowest to highest precedence)::
+
+    formula  := implied
+    implied  := disj ('->' implied)?                 (right associative)
+    disj     := conj ('|' conj)*
+    conj     := until ('&' until)*
+    until    := unary ('U' interval? unary)?
+    unary    := '!' unary
+              | 'G' interval? unary
+              | 'F' interval? unary
+              | '(' formula ')'
+              | 'true' | 'false'
+              | atom
+    interval := '[' INT ',' (INT | 'inf') ')'
+    atom     := IDENT ('(' ARGS ')')?                e.g. apr.redeem(bob)
+
+Examples::
+
+    parse("G[0,5) p")
+    parse("!apr.asset_redeemed(bob) U[0,8) ban.asset_redeemed(alice)")
+    parse("F[0,3) (a & !b) -> G c")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.mtl import ast
+from repro.mtl.interval import INF, Interval
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lbracket>\[)
+  | (?P<rparen_interval>\))
+  | (?P<lparen>\()
+  | (?P<comma>,)
+  | (?P<arrow>->)
+  | (?P<bang>!)
+  | (?P<amp>&&?)
+  | (?P<pipe>\|\|?)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true", "false", "U", "G", "F", "inf"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self._text))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            where = token.position if token else len(self._text)
+            got = token.text if token else "end of input"
+            raise ParseError(f"expected {kind}, got {got!r}", where)
+        return self._advance()
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "ident" and token.text == word
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> ast.Formula:
+        formula = self._implied()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(f"trailing input starting at {leftover.text!r}", leftover.position)
+        return formula
+
+    def _implied(self) -> ast.Formula:
+        left = self._disj()
+        if self._peek() is not None and self._peek().kind == "arrow":
+            self._advance()
+            right = self._implied()
+            return ast.implies(left, right)
+        return left
+
+    def _disj(self) -> ast.Formula:
+        operands = [self._conj()]
+        while self._peek() is not None and self._peek().kind == "pipe":
+            self._advance()
+            operands.append(self._conj())
+        return ast.lor(*operands) if len(operands) > 1 else operands[0]
+
+    def _conj(self) -> ast.Formula:
+        operands = [self._until()]
+        while self._peek() is not None and self._peek().kind == "amp":
+            self._advance()
+            operands.append(self._until())
+        return ast.land(*operands) if len(operands) > 1 else operands[0]
+
+    def _until(self) -> ast.Formula:
+        left = self._unary()
+        if self._at_keyword("U"):
+            self._advance()
+            interval = self._maybe_interval()
+            right = self._unary()
+            return ast.until(left, right, interval)
+        return left
+
+    def _unary(self) -> ast.Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self._text))
+        if token.kind == "bang":
+            self._advance()
+            return ast.lnot(self._unary())
+        if token.kind == "lparen":
+            self._advance()
+            inner = self._implied()
+            self._expect("rparen_interval")
+            return inner
+        if token.kind == "ident":
+            if token.text == "G":
+                self._advance()
+                interval = self._maybe_interval()
+                return ast.always(self._unary(), interval)
+            if token.text == "F":
+                self._advance()
+                interval = self._maybe_interval()
+                return ast.eventually(self._unary(), interval)
+            if token.text == "true":
+                self._advance()
+                return ast.TRUE
+            if token.text == "false":
+                self._advance()
+                return ast.FALSE
+            return self._atom()
+        raise ParseError(f"unexpected token {token.text!r}", token.position)
+
+    def _maybe_interval(self) -> Interval | None:
+        token = self._peek()
+        if token is None or token.kind != "lbracket":
+            return None
+        self._advance()
+        start = int(self._expect("int").text)
+        self._expect("comma")
+        bound = self._peek()
+        if bound is not None and bound.kind == "ident" and bound.text == "inf":
+            self._advance()
+            end: float = INF
+        else:
+            end = int(self._expect("int").text)
+        self._expect("rparen_interval")
+        if end != INF and not start < end:
+            raise ParseError(f"empty interval [{start},{end})", token.position)
+        return Interval(start, end)
+
+    def _atom(self) -> ast.Formula:
+        token = self._expect("ident")
+        if token.text in _KEYWORDS:
+            raise ParseError(f"keyword {token.text!r} cannot be an atom", token.position)
+        name = token.text
+        # Optional argument list: apr.redeem(bob) — folded into the name.
+        if self._peek() is not None and self._peek().kind == "lparen":
+            self._advance()
+            args: list[str] = []
+            while True:
+                arg = self._peek()
+                if arg is None:
+                    raise ParseError("unterminated atom argument list", token.position)
+                if arg.kind == "rparen_interval":
+                    self._advance()
+                    break
+                if arg.kind == "comma":
+                    self._advance()
+                    continue
+                if arg.kind in ("ident", "int"):
+                    args.append(self._advance().text)
+                    continue
+                raise ParseError(f"bad atom argument {arg.text!r}", arg.position)
+            name = f"{name}({','.join(args)})"
+        return ast.atom(name)
+
+
+def parse(text: str) -> ast.Formula:
+    """Parse an MTL formula from text.
+
+    >>> parse("p U[0,8) q")
+    Until(left=Atom(name='p'), right=Atom(name='q'), interval=Interval(start=0, end=8))
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,119 @@
+"""Formula rewriting utilities: simplification and normal forms.
+
+The progression engine produces formulas built by the smart constructors in
+:mod:`repro.mtl.ast`, which already fold constants locally.  The functions
+here apply the same folding *bottom-up across a whole formula* (useful when
+formulas were built by hand or parsed), plus negation normal form, which
+the verdict enumerator uses to canonicalise progressed formulas before
+deduplication.
+"""
+
+from __future__ import annotations
+
+from repro.mtl.ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseConst,
+    Formula,
+    Not,
+    Or,
+    TrueConst,
+    Until,
+    always,
+    eventually,
+    land,
+    lnot,
+    lor,
+    until,
+)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up constant folding and flattening.
+
+    Idempotent: ``simplify(simplify(f)) == simplify(f)``.
+    """
+    if isinstance(formula, (TrueConst, FalseConst, Atom)):
+        return formula
+    if isinstance(formula, Not):
+        return lnot(simplify(formula.operand))
+    if isinstance(formula, And):
+        return land(*(simplify(op) for op in formula.operands))
+    if isinstance(formula, Or):
+        return lor(*(simplify(op) for op in formula.operands))
+    if isinstance(formula, Eventually):
+        return eventually(simplify(formula.operand), formula.interval)
+    if isinstance(formula, Always):
+        return always(simplify(formula.operand), formula.interval)
+    if isinstance(formula, Until):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(right, FalseConst):
+            return FALSE
+        if isinstance(right, TrueConst) and formula.interval.start == 0:
+            # true is witnessed immediately at offset 0 in [0, _).
+            return TRUE
+        if isinstance(left, TrueConst):
+            return eventually(right, formula.interval)
+        if isinstance(left, FalseConst):
+            # Only an immediate witness can save us: phi2 now, at offset 0.
+            if formula.interval.start == 0:
+                return right
+            return FALSE
+        return until(left, right, formula.interval)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: push negations down to atoms.
+
+    Dualities used (finite-trace readings preserved by the progression and
+    semantics modules, which treat G weakly and F/U strongly)::
+
+        !(a & b)  =>  !a | !b
+        !(a | b)  =>  !a & !b
+        !G_I phi  =>  F_I !phi
+        !F_I phi  =>  G_I !phi
+        !!phi     =>  phi
+
+    ``!(phi1 U_I phi2)`` has no dual in this fragment (the paper's grammar
+    has no "release"); the negation stays in front of the U node.
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, TrueConst):
+        return FALSE if negate else TRUE
+    if isinstance(formula, FalseConst):
+        return TRUE if negate else FALSE
+    if isinstance(formula, Atom):
+        return lnot(formula) if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, negate) for op in formula.operands)
+        return lor(*parts) if negate else land(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, negate) for op in formula.operands)
+        return land(*parts) if negate else lor(*parts)
+    if isinstance(formula, Eventually):
+        inner = _nnf(formula.operand, negate)
+        if negate:
+            return always(inner, formula.interval)
+        return eventually(inner, formula.interval)
+    if isinstance(formula, Always):
+        inner = _nnf(formula.operand, negate)
+        if negate:
+            return eventually(inner, formula.interval)
+        return always(inner, formula.interval)
+    if isinstance(formula, Until):
+        rewritten = until(
+            _nnf(formula.left, False), _nnf(formula.right, False), formula.interval
+        )
+        return lnot(rewritten) if negate else rewritten
+    raise TypeError(f"unknown formula node: {formula!r}")

@@ -1,0 +1,110 @@
+"""Finite-trace MTL semantics (the paper's ``|=_F``, Section II-B).
+
+Verdicts are the two-valued set B2 = {True, False}:
+
+* ``p``            — membership of ``p`` in the current state;
+* ``phi1 U_I phi2`` — True iff some position ``j >= i`` has
+  ``tau_j - tau_i in I`` and satisfies ``phi2`` with ``phi1`` holding at
+  every position in ``[i, j)``; False otherwise (no witness inside the
+  finite trace means *violation* — the "strong" reading);
+* ``F_I phi``      — strong: no witness in the trace means False;
+* ``G_I phi``      — weak: no counterexample in the trace means True.
+
+These strong/weak readings are exactly the paper's example contrasting
+``F_I p`` and ``G_I p`` on finite traces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.mtl.ast import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseConst,
+    Formula,
+    Not,
+    Or,
+    TrueConst,
+    Until,
+)
+from repro.mtl.trace import TimedTrace
+
+
+def evaluate(trace: TimedTrace, formula: Formula, position: int = 0) -> bool:
+    """Evaluate ``[(alpha, tau_bar, position) |=_F formula]``.
+
+    Raises :class:`TraceError` on an empty trace — the finite semantics
+    needs at least one observation.
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot evaluate MTL semantics on an empty trace")
+    if not 0 <= position < len(trace):
+        raise TraceError(f"position {position} out of range for trace of length {len(trace)}")
+    evaluator = _Evaluator(trace)
+    return evaluator.check(formula, position)
+
+
+def satisfies(trace: TimedTrace, formula: Formula) -> bool:
+    """``(alpha, tau_bar) |=_F formula`` — evaluation at position 0."""
+    return evaluate(trace, formula, 0)
+
+
+class _Evaluator:
+    """Memoized top-down evaluator for one fixed trace.
+
+    Memoization keys on ``(formula, position)``; formula nodes are
+    immutable and hashable so this is a plain dictionary cache.
+    """
+
+    def __init__(self, trace: TimedTrace) -> None:
+        self._trace = trace
+        self._cache: dict[tuple[Formula, int], bool] = {}
+
+    def check(self, formula: Formula, i: int) -> bool:
+        key = (formula, i)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._dispatch(formula, i)
+        self._cache[key] = result
+        return result
+
+    def _dispatch(self, formula: Formula, i: int) -> bool:
+        trace = self._trace
+        if isinstance(formula, TrueConst):
+            return True
+        if isinstance(formula, FalseConst):
+            return False
+        if isinstance(formula, Atom):
+            state = trace.state(i)
+            return formula.holds_in(state.props, state.valuation)
+        if isinstance(formula, Not):
+            return not self.check(formula.operand, i)
+        if isinstance(formula, And):
+            return all(self.check(op, i) for op in formula.operands)
+        if isinstance(formula, Or):
+            return any(self.check(op, i) for op in formula.operands)
+        if isinstance(formula, Eventually):
+            return any(
+                trace.time(j) - trace.time(i) in formula.interval
+                and self.check(formula.operand, j)
+                for j in range(i, len(trace))
+            )
+        if isinstance(formula, Always):
+            return all(
+                self.check(formula.operand, j)
+                for j in range(i, len(trace))
+                if trace.time(j) - trace.time(i) in formula.interval
+            )
+        if isinstance(formula, Until):
+            for j in range(i, len(trace)):
+                if trace.time(j) - trace.time(i) not in formula.interval:
+                    continue
+                if not self.check(formula.right, j):
+                    continue
+                if all(self.check(formula.left, k) for k in range(i, j)):
+                    return True
+            return False
+        raise TypeError(f"unknown formula node: {formula!r}")

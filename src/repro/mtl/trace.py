@@ -1,0 +1,188 @@
+"""Timed traces: the semantic objects MTL formulas are evaluated over.
+
+A trace is the paper's pair ``(alpha, tau_bar)`` — a finite sequence of
+states and a monotonically non-decreasing sequence of integer timestamps
+(Section II-B).  States carry both a set of true propositions and a numeric
+valuation for predicate atoms (payoff sums etc., Section V-A's mu
+extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import TraceError
+
+_EMPTY_VALUATION: Mapping[str, float] = MappingProxyType({})
+
+
+@dataclass(frozen=True)
+class State:
+    """A single observation: which propositions hold, plus numeric values.
+
+    ``props`` is the classic 2^AP state; ``valuation`` feeds
+    :class:`~repro.mtl.ast.PredicateAtom` (non-boolean variables).
+    """
+
+    props: frozenset[str]
+    valuation: Mapping[str, float] = field(default_factory=lambda: _EMPTY_VALUATION)
+
+    @staticmethod
+    def of(*props: str, **valuation: float) -> "State":
+        """Convenience constructor: ``State.of("p", "q", x=3)``."""
+        mapping = MappingProxyType(dict(valuation)) if valuation else _EMPTY_VALUATION
+        return State(frozenset(props), mapping)
+
+    def with_props(self, *extra: str) -> "State":
+        """A copy of this state with extra propositions set."""
+        return State(self.props | frozenset(extra), self.valuation)
+
+    def __contains__(self, prop: str) -> bool:
+        return prop in self.props
+
+    def __hash__(self) -> int:
+        return hash((self.props, tuple(sorted(self.valuation.items()))))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self.props == other.props and dict(self.valuation) == dict(other.valuation)
+
+    def __str__(self) -> str:
+        inner = ",".join(sorted(self.props)) or "∅"
+        return "{" + inner + "}"
+
+
+EMPTY_STATE = State(frozenset())
+
+
+class TimedTrace:
+    """An immutable finite timed word ``(s0, t0)(s1, t1)...(sn, tn)``.
+
+    Timestamps must be non-negative integers and non-decreasing — the
+    paper's monotonicity requirement on ``tau_bar``.
+    """
+
+    __slots__ = ("_states", "_times", "_hash")
+
+    def __init__(self, states: Iterable[State], times: Iterable[int]) -> None:
+        self._states: tuple[State, ...] = tuple(states)
+        self._times: tuple[int, ...] = tuple(times)
+        self._hash: int | None = None
+        if len(self._states) != len(self._times):
+            raise TraceError(
+                f"state/time length mismatch: {len(self._states)} states, "
+                f"{len(self._times)} times"
+            )
+        previous = None
+        for t in self._times:
+            if not isinstance(t, int) or isinstance(t, bool):
+                raise TraceError(f"timestamps must be ints, got {t!r}")
+            if t < 0:
+                raise TraceError(f"timestamps must be >= 0, got {t}")
+            if previous is not None and t < previous:
+                raise TraceError(f"timestamps must be non-decreasing: {previous} then {t}")
+            previous = t
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[tuple[State, int]]) -> "TimedTrace":
+        """Build a trace from ``(state, time)`` pairs."""
+        pairs = list(pairs)
+        return TimedTrace((s for s, _ in pairs), (t for _, t in pairs))
+
+    @staticmethod
+    def single(state: State, time: int) -> "TimedTrace":
+        """A one-observation trace."""
+        return TimedTrace((state,), (time,))
+
+    @staticmethod
+    def empty() -> "TimedTrace":
+        """The empty trace (used as the base for incremental building)."""
+        return TimedTrace((), ())
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return self._states
+
+    @property
+    def times(self) -> tuple[int, ...]:
+        return self._times
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __bool__(self) -> bool:
+        return bool(self._states)
+
+    def __iter__(self) -> Iterator[tuple[State, int]]:
+        return iter(zip(self._states, self._times))
+
+    def state(self, i: int) -> State:
+        return self._states[i]
+
+    def time(self, i: int) -> int:
+        return self._times[i]
+
+    @property
+    def start_time(self) -> int:
+        if not self._states:
+            raise TraceError("empty trace has no start time")
+        return self._times[0]
+
+    @property
+    def end_time(self) -> int:
+        if not self._states:
+            raise TraceError("empty trace has no end time")
+        return self._times[-1]
+
+    def duration(self) -> int:
+        """``t_n - t_0`` for a non-empty trace, else 0."""
+        if not self._states:
+            return 0
+        return self._times[-1] - self._times[0]
+
+    # -- derivation ----------------------------------------------------------
+
+    def suffix(self, i: int) -> "TimedTrace":
+        """The suffix trace ``(alpha^i, tau_bar^i)`` starting at position i."""
+        if not 0 <= i <= len(self._states):
+            raise TraceError(f"suffix index {i} out of range for length {len(self)}")
+        return TimedTrace(self._states[i:], self._times[i:])
+
+    def prefix(self, length: int) -> "TimedTrace":
+        """The first ``length`` observations."""
+        if not 0 <= length <= len(self._states):
+            raise TraceError(f"prefix length {length} out of range for length {len(self)}")
+        return TimedTrace(self._states[:length], self._times[:length])
+
+    def append(self, state: State, time: int) -> "TimedTrace":
+        """A new trace with one more observation at the end."""
+        return TimedTrace(self._states + (state,), self._times + (time,))
+
+    def concat(self, other: "TimedTrace") -> "TimedTrace":
+        """Concatenation ``alpha . alpha'`` (Definition 3's splitting)."""
+        return TimedTrace(self._states + other._states, self._times + other._times)
+
+    # -- equality / presentation ---------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimedTrace):
+            return NotImplemented
+        return self._states == other._states and self._times == other._times
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._states, self._times))
+        return self._hash
+
+    def __str__(self) -> str:
+        return "".join(f"({s},{t})" for s, t in self)
+
+    def __repr__(self) -> str:
+        return f"TimedTrace({self!s})"

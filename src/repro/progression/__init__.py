@@ -1,0 +1,5 @@
+"""Formula progression for MTL over finite segments (paper Section IV)."""
+
+from repro.progression.progressor import anchor_shift, close, progress
+
+__all__ = ["anchor_shift", "close", "progress"]

@@ -1,0 +1,245 @@
+"""Formula progression for MTL over finite trace segments (Section IV).
+
+Given a finite observed segment ``(alpha, tau_bar)`` and a *boundary time*
+``b`` (the time at which the next segment begins), :func:`progress` rewrites
+a formula ``phi`` into a residual formula ``phi'`` over the remainder such
+that the whole trace satisfies ``phi`` iff the remainder satisfies ``phi'``
+(Definition 3).  Residual temporal intervals are *anchored at b*: when the
+next segment's first observation arrives at time ``t0' >= b``, apply
+:func:`anchor_shift` with ``d = t0' - b`` before progressing again.
+
+Relationship to the paper's Algorithms 1-3
+------------------------------------------
+
+The paper expresses the observed-window part of each rule with nested
+``G[0,c)`` sub-progressions.  We use the equivalent *position-wise*
+expansion, which is semantically exact even when several observations share
+a timestamp (the nested-G phrasing would conflate same-time positions):
+
+* ``G_I phi``  ->  AND over observed positions j with offset in I of
+  ``Pr(j, phi)``, plus residual ``G_{I-D} phi`` when I extends past the
+  boundary (Algorithm 1).
+* ``F_I phi``  ->  OR over observed positions j with offset in I of
+  ``Pr(j, phi)``, plus residual ``F_{I-D} phi`` (Algorithm 2).
+* ``phi1 U_I phi2``  ->  OR over observed witnesses j (offset in I) of
+  ``AND_{k in [i,j)} Pr(k, phi1) AND Pr(j, phi2)``, plus — when I extends
+  past the boundary — ``AND_{k in [i,n]} Pr(k, phi1) AND phi1 U_{I-D}
+  phi2`` (Algorithm 3; the paper factors the pre-interval phi1 conjunct
+  out, we keep it per-witness which folds to the same formula).
+
+where ``D = b - tau_i`` is the remaining-window offset at position ``i``.
+
+End of computation
+------------------
+
+When no further observations will arrive, :func:`close` collapses residual
+obligations to verdicts using the finite-MTL strong/weak split
+(Section II-B): pending F/U obligations are violations, pending G
+obligations are satisfied.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MonitorError, TraceError
+from repro.mtl.ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseConst,
+    Formula,
+    Not,
+    Or,
+    TrueConst,
+    Until,
+    always,
+    eventually,
+    land,
+    lnot,
+    lor,
+    until,
+)
+from repro.mtl.trace import TimedTrace
+
+
+def progress(trace: TimedTrace, formula: Formula, boundary: int) -> Formula:
+    """Progress ``formula`` over the observed ``trace`` up to ``boundary``.
+
+    ``boundary`` must be at least the trace's last timestamp; residual
+    intervals come out anchored at ``boundary``.
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot progress over an empty trace; carry the formula instead")
+    if boundary < trace.end_time:
+        raise TraceError(
+            f"boundary {boundary} lies before the last observation at {trace.end_time}"
+        )
+    return _Progressor(trace, boundary).progress(formula, 0)
+
+
+class _Progressor:
+    """Single-segment progression with ``(formula, position)`` memoization."""
+
+    def __init__(self, trace: TimedTrace, boundary: int) -> None:
+        self._trace = trace
+        self._boundary = boundary
+        self._cache: dict[tuple[Formula, int], Formula] = {}
+
+    def progress(self, formula: Formula, i: int) -> Formula:
+        key = (formula, i)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._dispatch(formula, i)
+        self._cache[key] = result
+        return result
+
+    def _dispatch(self, formula: Formula, i: int) -> Formula:
+        trace = self._trace
+        if isinstance(formula, TrueConst) or isinstance(formula, FalseConst):
+            return formula
+        if isinstance(formula, Atom):
+            state = trace.state(i)
+            return TRUE if formula.holds_in(state.props, state.valuation) else FALSE
+        if isinstance(formula, Not):
+            return lnot(self.progress(formula.operand, i))
+        if isinstance(formula, And):
+            return land(*(self.progress(op, i) for op in formula.operands))
+        if isinstance(formula, Or):
+            return lor(*(self.progress(op, i) for op in formula.operands))
+        if isinstance(formula, Always):
+            return self._progress_always(formula, i)
+        if isinstance(formula, Eventually):
+            return self._progress_eventually(formula, i)
+        if isinstance(formula, Until):
+            return self._progress_until(formula, i)
+        raise TypeError(f"unknown formula node: {formula!r}")
+
+    # -- temporal rules ------------------------------------------------------
+
+    def _offsets_in_interval(self, i: int, interval) -> list[int]:
+        """Observed positions ``j >= i`` whose offset from position i is in I."""
+        trace = self._trace
+        base = trace.time(i)
+        return [
+            j
+            for j in range(i, len(trace))
+            if trace.time(j) - base in interval
+        ]
+
+    def _progress_always(self, formula: Always, i: int) -> Formula:
+        trace = self._trace
+        remaining = self._boundary - trace.time(i)
+        conjuncts = [
+            self.progress(formula.operand, j)
+            for j in self._offsets_in_interval(i, formula.interval)
+        ]
+        if formula.interval.end > remaining:
+            conjuncts.append(always(formula.operand, formula.interval.shift_down(remaining)))
+        return land(*conjuncts) if conjuncts else TRUE
+
+    def _progress_eventually(self, formula: Eventually, i: int) -> Formula:
+        trace = self._trace
+        remaining = self._boundary - trace.time(i)
+        disjuncts = [
+            self.progress(formula.operand, j)
+            for j in self._offsets_in_interval(i, formula.interval)
+        ]
+        if formula.interval.end > remaining:
+            disjuncts.append(eventually(formula.operand, formula.interval.shift_down(remaining)))
+        return lor(*disjuncts) if disjuncts else FALSE
+
+    def _progress_until(self, formula: Until, i: int) -> Formula:
+        trace = self._trace
+        remaining = self._boundary - trace.time(i)
+        disjuncts: list[Formula] = []
+        left_so_far: list[Formula] = []
+        witnesses = set(self._offsets_in_interval(i, formula.interval))
+        for j in range(i, len(trace)):
+            if j in witnesses:
+                disjuncts.append(land(*left_so_far, self.progress(formula.right, j)))
+            left_so_far.append(self.progress(formula.left, j))
+        if formula.interval.end > remaining:
+            residual = until(formula.left, formula.right, formula.interval.shift_down(remaining))
+            disjuncts.append(land(*left_so_far, residual))
+        return lor(*disjuncts) if disjuncts else FALSE
+
+
+# ---------------------------------------------------------------------------
+# Residual-formula plumbing used by the monitor.
+# ---------------------------------------------------------------------------
+
+
+def anchor_shift(formula: Formula, d: int) -> Formula:
+    """Re-anchor a residual formula forward by ``d`` time units.
+
+    Residuals produced by :func:`progress` have their *outermost* temporal
+    intervals anchored at the segment boundary ``b``.  When the next
+    observation actually arrives at ``t0' = b + d``, those windows have
+    partially elapsed; this shifts them down by ``d`` (clamping at zero —
+    an elapsed F/U window becomes ``false``, an elapsed G window ``true``).
+    Intervals nested *inside* temporal operators are relative to their own
+    evaluation position and are left untouched.
+    """
+    if d < 0:
+        raise MonitorError(f"cannot anchor-shift backwards (d={d})")
+    if d == 0:
+        return formula
+    return _anchor_shift(formula, d)
+
+
+def _anchor_shift(formula: Formula, d: int) -> Formula:
+    if isinstance(formula, (TrueConst, FalseConst)):
+        return formula
+    if isinstance(formula, Not):
+        return lnot(_anchor_shift(formula.operand, d))
+    if isinstance(formula, And):
+        return land(*(_anchor_shift(op, d) for op in formula.operands))
+    if isinstance(formula, Or):
+        return lor(*(_anchor_shift(op, d) for op in formula.operands))
+    if isinstance(formula, Always):
+        return always(formula.operand, formula.interval.shift_down(d))
+    if isinstance(formula, Eventually):
+        return eventually(formula.operand, formula.interval.shift_down(d))
+    if isinstance(formula, Until):
+        return until(formula.left, formula.right, formula.interval.shift_down(d))
+    if isinstance(formula, Atom):
+        raise MonitorError(
+            f"residual formula contains a bare atom {formula!s}; "
+            "atoms are always resolved during progression"
+        )
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def close(formula: Formula) -> bool:
+    """Final verdict for a residual when no further observations exist.
+
+    Finite-MTL strong/weak split: F/U obligations pending at the end of the
+    trace are violated, G obligations are satisfied.
+    """
+    return _close(formula)
+
+
+def _close(formula: Formula) -> bool:
+    if isinstance(formula, TrueConst):
+        return True
+    if isinstance(formula, FalseConst):
+        return False
+    if isinstance(formula, Not):
+        return not _close(formula.operand)
+    if isinstance(formula, And):
+        return all(_close(op) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(_close(op) for op in formula.operands)
+    if isinstance(formula, (Eventually, Until)):
+        return False
+    if isinstance(formula, Always):
+        return True
+    if isinstance(formula, Atom):
+        raise MonitorError(
+            f"residual formula contains a bare atom {formula!s}; "
+            "atoms are always resolved during progression"
+        )
+    raise TypeError(f"unknown formula node: {formula!r}")

@@ -1,0 +1,68 @@
+"""Cross-chain protocols from Xue & Herlihy: swaps and the auction."""
+
+from repro.protocols.auction import (
+    AuctionBehavior,
+    AuctionSetup,
+    CoinAuction,
+    TicketAuction,
+    deploy_auction,
+    run_auction,
+    schedule_auction,
+)
+from repro.protocols.hashlock import make_hashlock, unlocks
+from repro.protocols.scenarios import (
+    AUCTION_CONFORMING,
+    SWAP2_CONFORMING,
+    SWAP3_CONFORMING,
+    auction_behavior_count,
+    auction_behaviors,
+    swap2_behavior_count,
+    swap2_behaviors,
+    swap3_behavior_count,
+    swap3_behaviors,
+)
+from repro.protocols.swap2 import (
+    HedgedSwapContract,
+    Swap2Setup,
+    deploy_swap2,
+    run_swap2,
+    schedule_swap2,
+)
+from repro.protocols.swap3 import (
+    Swap3Contract,
+    Swap3Setup,
+    deploy_swap3,
+    run_swap3,
+    schedule_swap3,
+)
+
+__all__ = [
+    "AUCTION_CONFORMING",
+    "AuctionBehavior",
+    "AuctionSetup",
+    "CoinAuction",
+    "HedgedSwapContract",
+    "SWAP2_CONFORMING",
+    "SWAP3_CONFORMING",
+    "Swap2Setup",
+    "Swap3Contract",
+    "Swap3Setup",
+    "TicketAuction",
+    "auction_behavior_count",
+    "auction_behaviors",
+    "deploy_auction",
+    "deploy_swap2",
+    "deploy_swap3",
+    "make_hashlock",
+    "run_auction",
+    "run_swap2",
+    "run_swap3",
+    "schedule_auction",
+    "schedule_swap2",
+    "schedule_swap3",
+    "swap2_behavior_count",
+    "swap2_behaviors",
+    "swap3_behavior_count",
+    "swap3_behaviors",
+    "unlocks",
+]

@@ -1,0 +1,320 @@
+"""The cross-chain auction protocol (paper Appendix IX-B.2).
+
+Alice auctions a ticket (worth 100 tokens) on the ``tckt`` chain; Bob and
+Carol bid on the ``coin`` chain.  Alice assigns hashlocks ``h(sb)`` to Bob
+and ``h(sc)`` to Carol; releasing a bidder's secret declares that bidder
+the winner.  Releasing *both* secrets (cheating) refunds everything, and
+bidders can *challenge* by forwarding a secret they observed on the other
+chain.
+
+Steps (deadlines relative to ``start_time``):
+
+1. bidding before ``delta``;
+2. declaration before ``2 * delta`` (Alice sends the winner's secret to
+   both chains);
+3. challenges before ``4 * delta``;
+4. settlement after ``4 * delta``.
+
+Event vocabulary: ``bid``, ``declaration``, ``challenge``,
+``redeem_bid``, ``refund_bid``, ``redeem_premium``, ``refund_premium``,
+``redeem_ticket``, ``refund_ticket``, ``escrow_ticket``,
+``deposit_premium``.  Declarations/challenges carry a two-part party
+field such as ``alice,sb`` to match the paper's
+``coin.declaration(alice, sb)`` atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.chain import SimulatedChain
+from repro.chain.contract import Contract
+from repro.chain.network import ChainNetwork
+from repro.chain.token import Token
+from repro.errors import ProtocolError
+from repro.protocols.hashlock import make_hashlock, unlocks
+
+TICKET_VALUE = 100
+PREMIUM = 2
+DEFAULT_DELTA_MS = 500
+BIDS = {"bob": 100, "carol": 90}  # bob outbids carol in every scenario
+
+
+class _AuctionBase(Contract):
+    """Shared hashlock bookkeeping for both auction contracts."""
+
+    def __init__(self, name: str, hashlocks: dict[str, str]) -> None:
+        super().__init__(name)
+        self.hashlocks = dict(hashlocks)  # bidder -> hashlock
+        self.released: dict[str, str] = {}  # secret tag ("sb"/"sc") -> secret
+        self.settled = False
+
+    def _secret_tag(self, secret: str) -> str:
+        for bidder, hashlock in self.hashlocks.items():
+            if unlocks(secret, hashlock):
+                return "sb" if bidder == "bob" else "sc"
+        raise ProtocolError("secret matches no hashlock")
+
+    def _record_release(self, secret: str) -> str:
+        tag = self._secret_tag(secret)
+        self.released[tag] = secret
+        return tag
+
+    def winner_from_releases(self) -> str | None:
+        """The unique bidder whose secret was released, if exactly one."""
+        if len(self.released) != 1:
+            return None
+        tag = next(iter(self.released))
+        return "bob" if tag == "sb" else "carol"
+
+    def declare(self, party: str, secret: str) -> None:
+        """Alice releases a secret to declare a winner."""
+        self.require(party == "alice", "only the auctioneer declares")
+        self.require(not self.settled, "contract already settled")
+        tag = self._record_release(secret)
+        self.emit("declaration", f"{party},{tag}")
+
+    def challenge(self, party: str, secret: str) -> None:
+        """A bidder forwards a secret observed on the other chain."""
+        self.require(party in self.hashlocks, "only bidders challenge")
+        self.require(not self.settled, "contract already settled")
+        tag = self._record_release(secret)
+        self.emit("challenge", f"{party},{tag}")
+
+
+class CoinAuction(_AuctionBase):
+    """Manages bids and Alice's premium on the coin chain."""
+
+    def __init__(self, token: Token, hashlocks: dict[str, str]) -> None:
+        super().__init__("CoinAuction", hashlocks)
+        self.token = token
+        self.bids: dict[str, int] = {}
+        self.premium_deposited = False
+
+    def deposit_premium(self, party: str) -> None:
+        self.require(party == "alice", "only the auctioneer posts the premium")
+        self.require(not self.premium_deposited, "premium already deposited")
+        deltas = self.transfer(self.token, party, self.address, PREMIUM)
+        self.premium_deposited = True
+        self.emit("deposit_premium", party, PREMIUM, deltas)
+
+    def bid(self, party: str) -> None:
+        self.require(party in self.hashlocks, f"unknown bidder {party}")
+        self.require(party not in self.bids, "already bid")
+        self.require(not self.settled, "contract already settled")
+        amount = BIDS[party]
+        deltas = self.transfer(self.token, party, self.address, amount)
+        self.bids[party] = amount
+        self.emit("bid", party, amount, deltas)
+
+    def settle(self) -> None:
+        """Post-challenge resolution on the coin chain.
+
+        If exactly the winner's hashlock is unlocked, the winner's bid
+        goes to Alice and her premium returns; otherwise the winner is
+        refunded and every bidder receives half the premium as
+        compensation.  The loser's bid is always refunded.
+        """
+        self.require(not self.settled, "already settled")
+        self.settled = True
+        winner = self.winner_from_releases()
+        highest = max(self.bids, key=lambda p: self.bids[p], default=None)
+        for party, amount in self.bids.items():
+            if winner is not None and party == winner == highest:
+                deltas = self.transfer(self.token, self.address, "alice", amount)
+                self.emit("redeem_bid", "any", amount, deltas)
+            else:
+                deltas = self.transfer(self.token, self.address, party, amount)
+                self.emit("refund_bid", "any", amount, deltas)
+        if self.premium_deposited:
+            if winner is not None and winner == highest and highest is not None:
+                deltas = self.transfer(self.token, self.address, "alice", PREMIUM)
+                self.emit("refund_premium", "any", PREMIUM, deltas)
+            else:
+                share = PREMIUM // 2
+                for party in self.bids or ["bob"]:
+                    deltas = self.transfer(self.token, self.address, party, share)
+                    self.emit("redeem_premium", "any", share, deltas)
+                leftover = PREMIUM - share * len(self.bids or ["bob"])
+                if leftover > 0:
+                    self.transfer(self.token, self.address, "alice", leftover)
+        self.emit("all_asset_settled", "any")
+
+
+class TicketAuction(_AuctionBase):
+    """Manages the escrowed ticket on the ticket chain."""
+
+    def __init__(self, token: Token, hashlocks: dict[str, str]) -> None:
+        super().__init__("TicketAuction", hashlocks)
+        self.token = token
+        self.ticket_escrowed = False
+
+    def escrow_ticket(self, party: str) -> None:
+        self.require(party == "alice", "only the auctioneer escrows the ticket")
+        self.require(not self.ticket_escrowed, "ticket already escrowed")
+        deltas = self.transfer(self.token, party, self.address, TICKET_VALUE)
+        self.ticket_escrowed = True
+        self.emit("escrow_ticket", party, TICKET_VALUE, deltas)
+
+    def settle(self) -> None:
+        """If exactly one secret is released, the ticket goes to the
+        corresponding bidder; otherwise it returns to Alice."""
+        self.require(not self.settled, "already settled")
+        self.settled = True
+        if self.ticket_escrowed:
+            winner = self.winner_from_releases()
+            if winner is not None:
+                deltas = self.transfer(self.token, self.address, winner, TICKET_VALUE)
+                self.emit("redeem_ticket", "any", TICKET_VALUE, deltas)
+            else:
+                deltas = self.transfer(self.token, self.address, "alice", TICKET_VALUE)
+                self.emit("refund_ticket", "alice", TICKET_VALUE, deltas)
+        self.emit("all_asset_settled", "any")
+
+
+@dataclass
+class AuctionSetup:
+    """A deployed auction across the coin and ticket chains."""
+
+    network: ChainNetwork
+    coin: SimulatedChain
+    tckt: SimulatedChain
+    coin_auction: CoinAuction
+    ticket_auction: TicketAuction
+    secrets: dict[str, str]  # tag -> secret ("sb" -> ..., "sc" -> ...)
+    delta_ms: int
+
+
+def deploy_auction(
+    epsilon_ms: int = 1,
+    delta_ms: int = DEFAULT_DELTA_MS,
+    coin_skew_ms: int = 0,
+    tckt_skew_ms: int = 0,
+) -> AuctionSetup:
+    """Create the coin/tckt chains and deploy both auction contracts."""
+    network = ChainNetwork(epsilon_ms)
+    coin = network.add_chain("coin", skew_ms=coin_skew_ms)
+    tckt = network.add_chain("tckt", skew_ms=tckt_skew_ms)
+
+    coin_token = coin.register_token(Token("COIN"))
+    tckt_token = tckt.register_token(Token("TCKT"))
+    coin_token.mint("bob", BIDS["bob"])
+    coin_token.mint("carol", BIDS["carol"])
+    coin_token.mint("alice", PREMIUM)
+    tckt_token.mint("alice", TICKET_VALUE)
+
+    secrets = {"sb": "secret-for-bob", "sc": "secret-for-carol"}
+    hashlocks = {"bob": make_hashlock(secrets["sb"]), "carol": make_hashlock(secrets["sc"])}
+    coin_auction = CoinAuction(coin_token, hashlocks)
+    ticket_auction = TicketAuction(tckt_token, hashlocks)
+    coin.deploy(coin_auction)
+    tckt.deploy(ticket_auction)
+    coin.record_marker(0, "start")
+    tckt.record_marker(0, "start")
+    return AuctionSetup(network, coin, tckt, coin_auction, ticket_auction, secrets, delta_ms)
+
+
+def schedule_auction(setup: AuctionSetup, behavior: "AuctionBehavior") -> None:
+    """Queue one auction scenario's transactions."""
+    delta = setup.delta_ms
+    network = setup.network
+
+    # Setup phase: Alice escrows the ticket and posts the premium.
+    if behavior.alice_escrows_ticket:
+        network.schedule(
+            delta // 10, setup.tckt, lambda: setup.ticket_auction.escrow_ticket("alice"),
+            "setup:escrow_ticket",
+        )
+    network.schedule(
+        delta // 10, setup.coin, lambda: setup.coin_auction.deposit_premium("alice"),
+        "setup:deposit_premium",
+    )
+
+    # Step 1: bids (deadline delta).
+    for party, choice in (("bob", behavior.bob_bid), ("carol", behavior.carol_bid)):
+        if choice == "skip":
+            continue
+        at = delta - delta // 2 if choice == "ontime" else delta + delta // 4
+        network.schedule(
+            at, setup.coin, (lambda p=party: setup.coin_auction.bid(p)), f"bid({party})"
+        )
+
+    # Step 2: declarations (deadline 2*delta).
+    timing = {"ontime": 2 * delta - delta // 2, "late": 2 * delta + delta // 4}
+    for chain, contract, choice in (
+        (setup.coin, setup.coin_auction, behavior.coin_declaration),
+        (setup.tckt, setup.ticket_auction, behavior.tckt_declaration),
+    ):
+        if choice == "skip":
+            continue
+        secret = setup.secrets[choice]
+        at = timing["late"] if behavior.declaration_late else timing["ontime"]
+        network.schedule(
+            at, chain, (lambda c=contract, s=secret: c.declare("alice", s)),
+            f"declare({choice})",
+        )
+
+    # Step 3: challenges (deadline 4*delta).  A challenging bidder forwards
+    # the secret released on the *other* chain, if any.
+    challenge_at = 4 * delta + delta // 4 if behavior.challenge_late else 4 * delta - delta // 2
+    if behavior.bob_challenges and behavior.tckt_declaration != "skip":
+        secret = setup.secrets[behavior.tckt_declaration]
+        network.schedule(
+            challenge_at,
+            setup.coin,
+            (lambda s=secret: setup.coin_auction.challenge("bob", s)),
+            "challenge(bob->coin)",
+        )
+    if behavior.carol_challenges and behavior.coin_declaration != "skip":
+        secret = setup.secrets[behavior.coin_declaration]
+        network.schedule(
+            challenge_at,
+            setup.tckt,
+            (lambda s=secret: setup.ticket_auction.challenge("carol", s)),
+            "challenge(carol->tckt)",
+        )
+
+    # Step 4: settlement (after 4*delta).
+    network.schedule(4 * delta + delta // 2, setup.coin, setup.coin_auction.settle, "settle(coin)")
+    network.schedule(4 * delta + delta // 2 + 1, setup.tckt, setup.ticket_auction.settle, "settle(tckt)")
+
+
+@dataclass(frozen=True)
+class AuctionBehavior:
+    """One point of the auction behaviour matrix (3^5 * 2^4 = 3888).
+
+    Ternary choices: each bid in {skip, ontime, late}; each chain's
+    declaration in {skip, sb, sc}; plus the shared declaration timing
+    modelled as its own ternary through ``declaration_late`` combined
+    with ``coin_declaration``'s choices — see
+    :func:`repro.protocols.scenarios.auction_behaviors`.
+    """
+
+    bob_bid: str = "ontime"            # skip | ontime | late
+    carol_bid: str = "ontime"          # skip | ontime | late
+    coin_declaration: str = "sb"       # skip | sb | sc
+    tckt_declaration: str = "sb"       # skip | sb | sc
+    declaration_late: bool = False
+    challenge_late: bool = False
+    bob_challenges: bool = False
+    carol_challenges: bool = False
+    alice_escrows_ticket: bool = True
+
+
+def run_auction(
+    behavior: AuctionBehavior,
+    epsilon_ms: int = 1,
+    delta_ms: int = DEFAULT_DELTA_MS,
+    coin_skew_ms: int = 0,
+    tckt_skew_ms: int = 0,
+) -> AuctionSetup:
+    """Deploy, schedule, and execute one auction behaviour."""
+    setup = deploy_auction(
+        epsilon_ms=epsilon_ms,
+        delta_ms=delta_ms,
+        coin_skew_ms=coin_skew_ms,
+        tckt_skew_ms=tckt_skew_ms,
+    )
+    schedule_auction(setup, behavior)
+    setup.network.run()
+    return setup

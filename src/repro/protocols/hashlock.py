@@ -1,0 +1,15 @@
+"""Hashed-timelock utilities shared by the cross-chain protocols."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def make_hashlock(secret: str) -> str:
+    """``h = H(s)`` — the hashlock for a preimage secret."""
+    return hashlib.sha256(secret.encode("utf-8")).hexdigest()
+
+
+def unlocks(secret: str, hashlock: str) -> bool:
+    """True when ``H(secret) == hashlock``."""
+    return make_hashlock(secret) == hashlock

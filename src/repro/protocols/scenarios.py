@@ -1,0 +1,103 @@
+"""Scenario generators: the paper's behaviour matrices (Section VI-B.2).
+
+The paper generated 1024, 4096, and 3888 different execution logs for the
+two-party swap, three-party swap, and auction protocols respectively.
+These generators reproduce those cardinalities exactly:
+
+* **two-party (1024)** — per chain, the three in-order steps can be
+  truncated at any point (4 options per chain), and each of the six
+  steps carries an in-time/late flag: ``4 * 4 * 2^6 = 1024``.
+* **three-party (4096)** — every one of the 12 steps is independently
+  attempted or skipped (the contract rejects out-of-order attempts):
+  ``2^12 = 4096``.
+* **auction (3888)** — five ternary choices (both bids, both chains'
+  declarations, which bidder challenges) and four binary flags
+  (declaration late, challenge late, ticket escrowed, symmetric extra
+  challenge): ``3^5 * 2^4 = 3888``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.protocols.auction import AuctionBehavior
+
+#: Per-chain truncation options for a 3-step in-order protocol.
+_TRUNCATIONS = ((0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1))
+
+#: Step index (1-based) -> position within its own chain's order.
+#: Apricot hosts steps 2, 3, 6; Banana hosts steps 1, 4, 5.
+_SWAP2_CHAIN_STEPS = {"apr": (2, 3, 6), "ban": (1, 4, 5)}
+
+
+def swap2_behaviors() -> Iterator[list[int]]:
+    """All 1024 two-party behaviour arrays (the paper's 12-entry encoding).
+
+    Even index ``2*(k-1)`` — whether step ``k`` is attempted; odd index —
+    whether it is attempted late.
+    """
+    for apr_steps, ban_steps in product(_TRUNCATIONS, repeat=2):
+        attempted = [0] * 6
+        for chain, steps in (("apr", apr_steps), ("ban", ban_steps)):
+            for position, step in enumerate(_SWAP2_CHAIN_STEPS[chain]):
+                attempted[step - 1] = steps[position]
+        for lateness in product((0, 1), repeat=6):
+            behavior = [0] * 12
+            for k in range(6):
+                behavior[2 * k] = attempted[k]
+                behavior[2 * k + 1] = lateness[k]
+            yield behavior
+
+
+def swap2_behavior_count() -> int:
+    """4 * 4 * 2^6 = 1024."""
+    return len(_TRUNCATIONS) ** 2 * 2**6
+
+
+def swap3_behaviors() -> Iterator[list[int]]:
+    """All 4096 three-party attempted/skipped arrays (2^12)."""
+    for bits in product((0, 1), repeat=12):
+        yield list(bits)
+
+
+def swap3_behavior_count() -> int:
+    """2^12 = 4096."""
+    return 2**12
+
+
+_TERNARY_BIDS = ("skip", "ontime", "late")
+_TERNARY_DECLS = ("skip", "sb", "sc")
+_TERNARY_CHALLENGER = ("none", "bob", "carol")
+
+
+def auction_behaviors() -> Iterator[AuctionBehavior]:
+    """All 3888 auction behaviours (3^5 * 2^4)."""
+    for bob_bid, carol_bid, coin_decl, tckt_decl, challenger in product(
+        _TERNARY_BIDS, _TERNARY_BIDS, _TERNARY_DECLS, _TERNARY_DECLS, _TERNARY_CHALLENGER
+    ):
+        for decl_late, chal_late, escrow, extra in product((False, True), repeat=4):
+            bob_challenges = challenger == "bob" or (extra and challenger == "carol")
+            carol_challenges = challenger == "carol" or (extra and challenger == "bob")
+            yield AuctionBehavior(
+                bob_bid=bob_bid,
+                carol_bid=carol_bid,
+                coin_declaration=coin_decl,
+                tckt_declaration=tckt_decl,
+                declaration_late=decl_late,
+                challenge_late=chal_late,
+                bob_challenges=bob_challenges,
+                carol_challenges=carol_challenges,
+                alice_escrows_ticket=escrow,
+            )
+
+
+def auction_behavior_count() -> int:
+    """3^5 * 2^4 = 3888."""
+    return 3**5 * 2**4
+
+
+#: The all-conforming behaviours — handy anchors for tests and examples.
+SWAP2_CONFORMING = [1, 0] * 6
+SWAP3_CONFORMING = [1] * 12
+AUCTION_CONFORMING = AuctionBehavior()

@@ -1,0 +1,262 @@
+"""The hedged two-party swap protocol (paper Section VI-B, Fig 1).
+
+Alice exchanges 100 apricot tokens for Bob's 100 banana tokens.  Each
+chain hosts one :class:`HedgedSwapContract`:
+
+* ``ApricotSwap`` — Alice escrows her asset, Bob redeems it with the
+  secret; Bob posts premium ``pb`` (1 token) that compensates Alice if
+  her escrowed asset ends up refunded (the sore-loser hedge).
+* ``BananaSwap`` — mirror image: Bob escrows, Alice redeems, Alice posts
+  premium ``pa + pb`` (2 tokens).
+
+Protocol steps and deadlines (relative to ``start_time``, step ``k`` due
+before ``k * delta``):
+
+1. Alice deposits premium on Banana;   2. Bob deposits premium on Apricot;
+3. Alice escrows on Apricot;           4. Bob escrows on Banana;
+5. Alice redeems on Banana;            6. Bob redeems on Apricot;
+then both contracts settle leftovers.
+
+The contract enforces per-chain step order (premium -> escrow -> redeem);
+cross-chain order is the monitor's job, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.chain import SimulatedChain
+from repro.chain.contract import Contract
+from repro.chain.network import ChainNetwork
+from repro.chain.token import Token
+from repro.protocols.hashlock import make_hashlock, unlocks
+
+#: Default protocol parameters (the paper's experimental values).
+ASSET_AMOUNT = 100
+PREMIUM_APRICOT = 1   # pb, posted by Bob on the apricot chain
+PREMIUM_BANANA = 2    # pa + pb, posted by Alice on the banana chain
+DEFAULT_DELTA_MS = 500
+
+
+class HedgedSwapContract(Contract):
+    """One side of the hedged swap: escrow + hashlock + premium logic."""
+
+    def __init__(
+        self,
+        name: str,
+        token: Token,
+        escrower: str,
+        redeemer: str,
+        asset_amount: int,
+        premium_amount: int,
+        hashlock: str,
+    ) -> None:
+        super().__init__(name)
+        self.token = token
+        self.escrower = escrower
+        self.redeemer = redeemer
+        self.asset_amount = asset_amount
+        self.premium_amount = premium_amount
+        self.hashlock = hashlock
+        self.premium_deposited = False
+        self.asset_escrowed = False
+        self.asset_redeemed = False
+        self.settled = False
+
+    # -- protocol steps ---------------------------------------------------------
+
+    def deposit_premium(self, party: str) -> None:
+        """Step: the redeemer posts the premium."""
+        self.require(party == self.redeemer, f"only {self.redeemer} posts the premium")
+        self.require(not self.premium_deposited, "premium already deposited")
+        self.require(not self.settled, "contract already settled")
+        deltas = self.transfer(self.token, party, self.address, self.premium_amount)
+        self.premium_deposited = True
+        self.emit("premium_deposited", party, self.premium_amount, deltas)
+
+    def escrow_asset(self, party: str) -> None:
+        """Step: the escrower locks the asset (requires the premium)."""
+        self.require(party == self.escrower, f"only {self.escrower} escrows")
+        self.require(self.premium_deposited, "premium must be deposited first")
+        self.require(not self.asset_escrowed, "asset already escrowed")
+        self.require(not self.settled, "contract already settled")
+        deltas = self.transfer(self.token, party, self.address, self.asset_amount)
+        self.asset_escrowed = True
+        self.emit("asset_escrowed", party, self.asset_amount, deltas)
+
+    def redeem_asset(self, party: str, secret: str) -> None:
+        """Step: the redeemer claims the asset with the hash preimage.
+
+        The redeemer's premium is refunded on successful redemption.
+        """
+        self.require(party == self.redeemer, f"only {self.redeemer} redeems")
+        self.require(self.asset_escrowed, "nothing escrowed to redeem")
+        self.require(not self.asset_redeemed, "asset already redeemed")
+        self.require(not self.settled, "contract already settled")
+        self.require(unlocks(secret, self.hashlock), "wrong secret")
+        deltas = self.transfer(self.token, self.address, party, self.asset_amount)
+        self.asset_redeemed = True
+        self.emit("asset_redeemed", party, self.asset_amount, deltas)
+        refund = self.transfer(self.token, self.address, party, self.premium_amount)
+        self.emit("premium_refunded", party, self.premium_amount, refund)
+
+    def settle(self) -> None:
+        """Timeout resolution: refund leftovers and pay compensation.
+
+        * escrowed but never redeemed — the asset returns to the escrower
+          who also *takes the premium* (the hedge);
+        * premium posted but no escrow happened — premium returns to the
+          redeemer.
+        Always emits ``all_asset_settled``.
+        """
+        self.require(not self.settled, "already settled")
+        self.settled = True
+        if self.asset_escrowed and not self.asset_redeemed:
+            refund = self.transfer(self.token, self.address, self.escrower, self.asset_amount)
+            self.emit("asset_refunded", self.escrower, self.asset_amount, refund)
+            if self.premium_deposited:
+                compensation = self.transfer(
+                    self.token, self.address, self.escrower, self.premium_amount
+                )
+                self.emit(
+                    "premium_redeemed", self.escrower, self.premium_amount, compensation
+                )
+        elif self.premium_deposited and not self.asset_escrowed:
+            refund = self.transfer(self.token, self.address, self.redeemer, self.premium_amount)
+            self.emit("premium_refunded", self.redeemer, self.premium_amount, refund)
+        self.emit("all_asset_settled", "any")
+
+
+@dataclass
+class Swap2Setup:
+    """A deployed two-party swap: chains, contracts, secret."""
+
+    network: ChainNetwork
+    apricot: SimulatedChain
+    banana: SimulatedChain
+    apricot_swap: HedgedSwapContract
+    banana_swap: HedgedSwapContract
+    secret: str
+    delta_ms: int
+
+
+def deploy_swap2(
+    epsilon_ms: int = 1,
+    delta_ms: int = DEFAULT_DELTA_MS,
+    apricot_skew_ms: int = 0,
+    banana_skew_ms: int = 0,
+    secret: str = "alices-preimage",
+) -> Swap2Setup:
+    """Create the two mocked chains and deploy both swap contracts.
+
+    Alice starts with 100 apricot tokens (plus premium funds on banana);
+    Bob with 100 banana tokens (plus premium funds on apricot).
+    """
+    network = ChainNetwork(epsilon_ms)
+    apricot = network.add_chain("apr", skew_ms=apricot_skew_ms)
+    banana = network.add_chain("ban", skew_ms=banana_skew_ms)
+
+    apricot_token = apricot.register_token(Token("APR"))
+    banana_token = banana.register_token(Token("BAN"))
+    apricot_token.mint("alice", ASSET_AMOUNT)
+    apricot_token.mint("bob", PREMIUM_APRICOT)
+    banana_token.mint("bob", ASSET_AMOUNT)
+    banana_token.mint("alice", PREMIUM_BANANA)
+
+    hashlock = make_hashlock(secret)
+    apricot_swap = HedgedSwapContract(
+        "ApricotSwap",
+        apricot_token,
+        escrower="alice",
+        redeemer="bob",
+        asset_amount=ASSET_AMOUNT,
+        premium_amount=PREMIUM_APRICOT,
+        hashlock=hashlock,
+    )
+    banana_swap = HedgedSwapContract(
+        "BananaSwap",
+        banana_token,
+        escrower="bob",
+        redeemer="alice",
+        asset_amount=ASSET_AMOUNT,
+        premium_amount=PREMIUM_BANANA,
+        hashlock=hashlock,
+    )
+    apricot.deploy(apricot_swap)
+    banana.deploy(banana_swap)
+    # The agreed startTime: every spec window is anchored at the first
+    # observation, so both chains log the protocol start at t=0.
+    apricot.record_marker(0, "start")
+    banana.record_marker(0, "start")
+    return Swap2Setup(network, apricot, banana, apricot_swap, banana_swap, secret, delta_ms)
+
+
+#: The six steps: (index, chain attr, method, party, deadline multiplier).
+SWAP2_STEPS = (
+    (1, "banana", "deposit_premium", "alice"),
+    (2, "apricot", "deposit_premium", "bob"),
+    (3, "apricot", "escrow_asset", "alice"),
+    (4, "banana", "escrow_asset", "bob"),
+    (5, "banana", "redeem_asset", "alice"),
+    (6, "apricot", "redeem_asset", "bob"),
+)
+
+
+def schedule_swap2(setup: Swap2Setup, behavior: list[int]) -> None:
+    """Queue the protocol's transactions per a 12-entry behaviour array.
+
+    The paper's encoding: even indices say whether step ``k`` is
+    attempted, odd indices whether it is attempted *late* (after its
+    deadline ``k * delta``).  In-time calls run at ``k*delta - delta/2``,
+    late calls at ``k*delta + delta/4``.  Both settles run after the last
+    deadline (banana first: its protocol activity ends at ``5*delta``).
+    """
+    if len(behavior) != 12:
+        raise ValueError(f"behaviour array must have 12 entries, got {len(behavior)}")
+    delta = setup.delta_ms
+    for step, chain_attr, method, party in SWAP2_STEPS:
+        attempted = behavior[2 * (step - 1)]
+        late = behavior[2 * (step - 1) + 1]
+        if not attempted:
+            continue
+        deadline = step * delta
+        at = deadline + delta // 4 if late else deadline - delta // 2
+        chain = getattr(setup, chain_attr)
+        contract = setup.apricot_swap if chain_attr == "apricot" else setup.banana_swap
+        if method == "redeem_asset":
+            call = (lambda c=contract, p=party: c.redeem_asset(p, setup.secret))
+        else:
+            call = (lambda c=contract, p=party, m=method: getattr(c, m)(p))
+        setup.network.schedule(at, chain, call, f"step{step}:{method}({party})")
+    setup.network.schedule(
+        5 * delta + delta // 50 + 1,
+        setup.banana,
+        setup.banana_swap.settle,
+        "settle(ban)",
+    )
+    setup.network.schedule(
+        6 * delta + delta // 50 + 1,
+        setup.apricot,
+        setup.apricot_swap.settle,
+        "settle(apr)",
+    )
+
+
+def run_swap2(
+    behavior: list[int],
+    epsilon_ms: int = 1,
+    delta_ms: int = DEFAULT_DELTA_MS,
+    apricot_skew_ms: int = 0,
+    banana_skew_ms: int = 0,
+) -> Swap2Setup:
+    """Deploy, schedule, and execute one behaviour; returns the setup
+    (chain logs are in ``setup.apricot.log`` / ``setup.banana.log``)."""
+    setup = deploy_swap2(
+        epsilon_ms=epsilon_ms,
+        delta_ms=delta_ms,
+        apricot_skew_ms=apricot_skew_ms,
+        banana_skew_ms=banana_skew_ms,
+    )
+    schedule_swap2(setup, behavior)
+    setup.network.run()
+    return setup

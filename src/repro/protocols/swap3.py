@@ -1,0 +1,261 @@
+"""The hedged three-party swap (paper Appendix IX-B.1).
+
+A cyclic swap Alice -> Bob -> Carol -> Alice over three chains:
+
+* ``ApricotSwap`` (apr): Alice escrows 100 apricot tokens for Bob;
+* ``BananaSwap``  (ban): Bob escrows 100 banana tokens for Carol;
+* ``CherrySwap``  (che): Carol escrows 100 cherry tokens for Alice.
+
+Each contract takes two premiums: the *escrow premium* posted by the
+escrower (3 tokens each) and the *redemption premium* posted by the
+redeemer (3 on cherry / 2 on banana / 1 on apricot).  The 12 protocol
+steps and their deadlines ``k * delta`` follow the appendix.
+
+Event vocabulary (per contract): ``deposit_escrow_pr``,
+``deposit_redemption_pr``, ``asset_escrowed``, ``hashlock_unlocked``,
+``asset_redeemed``, ``escrow_premium_refunded``,
+``redemption_premium_refunded``, ``asset_refunded``, ``premium_redeemed``,
+``all_asset_settled``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.chain import SimulatedChain
+from repro.chain.contract import Contract
+from repro.chain.network import ChainNetwork
+from repro.chain.token import Token
+from repro.protocols.hashlock import make_hashlock, unlocks
+
+ASSET_AMOUNT = 100
+ESCROW_PREMIUM = 3
+REDEMPTION_PREMIUMS = {"che": 3, "ban": 2, "apr": 1}
+DEFAULT_DELTA_MS = 500
+
+
+class Swap3Contract(Contract):
+    """One edge of the three-party swap digraph."""
+
+    def __init__(
+        self,
+        name: str,
+        token: Token,
+        escrower: str,
+        redeemer: str,
+        asset_amount: int,
+        escrow_premium: int,
+        redemption_premium: int,
+        hashlock: str,
+    ) -> None:
+        super().__init__(name)
+        self.token = token
+        self.escrower = escrower
+        self.redeemer = redeemer
+        self.asset_amount = asset_amount
+        self.escrow_premium = escrow_premium
+        self.redemption_premium = redemption_premium
+        self.hashlock = hashlock
+        self.escrow_pr_deposited = False
+        self.redemption_pr_deposited = False
+        self.asset_escrowed = False
+        self.asset_redeemed = False
+        self.settled = False
+
+    # -- steps -------------------------------------------------------------------
+
+    def deposit_escrow_pr(self, party: str) -> None:
+        """The escrower posts the escrow premium (first step on a chain)."""
+        self.require(party == self.escrower, f"only {self.escrower} posts the escrow premium")
+        self.require(not self.escrow_pr_deposited, "escrow premium already deposited")
+        self.require(not self.settled, "contract already settled")
+        deltas = self.transfer(self.token, party, self.address, self.escrow_premium)
+        self.escrow_pr_deposited = True
+        self.emit("deposit_escrow_pr", party, self.escrow_premium, deltas)
+
+    def deposit_redemption_pr(self, party: str) -> None:
+        """The redeemer posts the redemption premium (after the escrow premium)."""
+        self.require(party == self.redeemer, f"only {self.redeemer} posts the redemption premium")
+        self.require(self.escrow_pr_deposited, "escrow premium must come first")
+        self.require(not self.redemption_pr_deposited, "redemption premium already deposited")
+        self.require(not self.settled, "contract already settled")
+        deltas = self.transfer(self.token, party, self.address, self.redemption_premium)
+        self.redemption_pr_deposited = True
+        self.emit("deposit_redemption_pr", party, self.redemption_premium, deltas)
+
+    def escrow_asset(self, party: str) -> None:
+        """The escrower locks the asset (requires both premiums)."""
+        self.require(party == self.escrower, f"only {self.escrower} escrows")
+        self.require(self.redemption_pr_deposited, "premiums must be deposited first")
+        self.require(not self.asset_escrowed, "asset already escrowed")
+        self.require(not self.settled, "contract already settled")
+        deltas = self.transfer(self.token, party, self.address, self.asset_amount)
+        self.asset_escrowed = True
+        self.emit("asset_escrowed", party, self.asset_amount, deltas)
+
+    def unlock(self, party: str, secret: str) -> None:
+        """The redeemer reveals the preimage: asset + premium refunds flow."""
+        self.require(party == self.redeemer, f"only {self.redeemer} unlocks")
+        self.require(self.asset_escrowed, "nothing escrowed to redeem")
+        self.require(not self.asset_redeemed, "asset already redeemed")
+        self.require(not self.settled, "contract already settled")
+        self.require(unlocks(secret, self.hashlock), "wrong secret")
+        self.emit("hashlock_unlocked", party)
+        deltas = self.transfer(self.token, self.address, party, self.asset_amount)
+        self.asset_redeemed = True
+        self.emit("asset_redeemed", party, self.asset_amount, deltas)
+        refund = self.transfer(self.token, self.address, party, self.redemption_premium)
+        self.emit("redemption_premium_refunded", party, self.redemption_premium, refund)
+        refund = self.transfer(self.token, self.address, self.escrower, self.escrow_premium)
+        self.emit("escrow_premium_refunded", self.escrower, self.escrow_premium, refund)
+
+    def settle(self) -> None:
+        """Timeout resolution mirroring the two-party rules.
+
+        Escrowed-but-unredeemed assets return to the escrower, who also
+        takes the redemption premium as compensation; outstanding premiums
+        return to their depositors.
+        """
+        self.require(not self.settled, "already settled")
+        self.settled = True
+        if self.asset_escrowed and not self.asset_redeemed:
+            refund = self.transfer(self.token, self.address, self.escrower, self.asset_amount)
+            self.emit("asset_refunded", self.escrower, self.asset_amount, refund)
+            refund = self.transfer(self.token, self.address, self.escrower, self.escrow_premium)
+            self.emit("escrow_premium_refunded", self.escrower, self.escrow_premium, refund)
+            if self.redemption_pr_deposited:
+                compensation = self.transfer(
+                    self.token, self.address, self.escrower, self.redemption_premium
+                )
+                self.emit(
+                    "premium_redeemed", self.escrower, self.redemption_premium, compensation
+                )
+        else:
+            if not self.asset_redeemed:
+                if self.escrow_pr_deposited:
+                    refund = self.transfer(
+                        self.token, self.address, self.escrower, self.escrow_premium
+                    )
+                    self.emit(
+                        "escrow_premium_refunded", self.escrower, self.escrow_premium, refund
+                    )
+                if self.redemption_pr_deposited:
+                    refund = self.transfer(
+                        self.token, self.address, self.redeemer, self.redemption_premium
+                    )
+                    self.emit(
+                        "redemption_premium_refunded",
+                        self.redeemer,
+                        self.redemption_premium,
+                        refund,
+                    )
+        self.emit("all_asset_settled", "any")
+
+
+@dataclass
+class Swap3Setup:
+    """A deployed three-party swap across three chains."""
+
+    network: ChainNetwork
+    chains: dict[str, SimulatedChain]
+    contracts: dict[str, Swap3Contract]
+    secret: str
+    delta_ms: int
+
+
+#: (step, chain, method, party) with deadline ``step * delta``.
+SWAP3_STEPS = (
+    (1, "apr", "deposit_escrow_pr", "alice"),
+    (2, "ban", "deposit_escrow_pr", "bob"),
+    (3, "che", "deposit_escrow_pr", "carol"),
+    (4, "che", "deposit_redemption_pr", "alice"),
+    (5, "ban", "deposit_redemption_pr", "carol"),
+    (6, "apr", "deposit_redemption_pr", "bob"),
+    (7, "apr", "escrow_asset", "alice"),
+    (8, "ban", "escrow_asset", "bob"),
+    (9, "che", "escrow_asset", "carol"),
+    (10, "che", "unlock", "alice"),
+    (11, "ban", "unlock", "carol"),
+    (12, "apr", "unlock", "bob"),
+)
+
+
+def deploy_swap3(
+    epsilon_ms: int = 1,
+    delta_ms: int = DEFAULT_DELTA_MS,
+    skews_ms: dict[str, int] | None = None,
+    secret: str = "three-party-preimage",
+) -> Swap3Setup:
+    """Create apr/ban/che chains and deploy the three contracts."""
+    skews = skews_ms or {}
+    network = ChainNetwork(epsilon_ms)
+    chains = {name: network.add_chain(name, skews.get(name, 0)) for name in ("apr", "ban", "che")}
+
+    roles = {
+        "apr": ("alice", "bob"),
+        "ban": ("bob", "carol"),
+        "che": ("carol", "alice"),
+    }
+    hashlock = make_hashlock(secret)
+    contracts: dict[str, Swap3Contract] = {}
+    for name, (escrower, redeemer) in roles.items():
+        token = chains[name].register_token(Token(name.upper()))
+        token.mint(escrower, ASSET_AMOUNT + ESCROW_PREMIUM)
+        token.mint(redeemer, REDEMPTION_PREMIUMS[name])
+        contract = Swap3Contract(
+            f"{name.capitalize()}Swap",
+            token,
+            escrower=escrower,
+            redeemer=redeemer,
+            asset_amount=ASSET_AMOUNT,
+            escrow_premium=ESCROW_PREMIUM,
+            redemption_premium=REDEMPTION_PREMIUMS[name],
+            hashlock=hashlock,
+        )
+        chains[name].deploy(contract)
+        contracts[name] = contract
+    for chain in chains.values():
+        chain.record_marker(0, "start")
+    return Swap3Setup(network, chains, contracts, secret, delta_ms)
+
+
+def schedule_swap3(setup: Swap3Setup, attempted: list[int]) -> None:
+    """Queue the 12 steps per a 12-entry attempted/skipped array.
+
+    All attempted steps run in time (``k*delta - delta/2``); skipped
+    steps simply never happen and later same-chain steps revert — this is
+    the 2^12 = 4096 behaviour matrix of the paper's Section VI-B.2.
+    """
+    if len(attempted) != 12:
+        raise ValueError(f"behaviour array must have 12 entries, got {len(attempted)}")
+    delta = setup.delta_ms
+    for step, chain_name, method, party in SWAP3_STEPS:
+        if not attempted[step - 1]:
+            continue
+        at = step * delta - delta // 2
+        contract = setup.contracts[chain_name]
+        if method == "unlock":
+            call = (lambda c=contract, p=party: c.unlock(p, setup.secret))
+        else:
+            call = (lambda c=contract, p=party, m=method: getattr(c, m)(p))
+        setup.network.schedule(at, setup.chains[chain_name], call, f"step{step}:{method}({party})")
+    for index, chain_name in enumerate(("che", "ban", "apr")):
+        setup.network.schedule(
+            12 * delta + 10 + index,
+            setup.chains[chain_name],
+            setup.contracts[chain_name].settle,
+            f"settle({chain_name})",
+        )
+
+
+def run_swap3(
+    attempted: list[int],
+    epsilon_ms: int = 1,
+    delta_ms: int = DEFAULT_DELTA_MS,
+    skews_ms: dict[str, int] | None = None,
+) -> Swap3Setup:
+    """Deploy, schedule, and execute one behaviour array."""
+    setup = deploy_swap3(epsilon_ms=epsilon_ms, delta_ms=delta_ms, skews_ms=skews_ms)
+    schedule_swap3(setup, attempted)
+    setup.network.run()
+    return setup

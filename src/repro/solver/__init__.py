@@ -1,0 +1,39 @@
+"""Finite-domain constraint solver — the library's SMT-solver substitute.
+
+See DESIGN.md: the paper's SMT queries (cut sequences + timestamp
+reassignments) are finite-domain problems, on which this solver is sound
+and complete.
+"""
+
+from repro.solver.constraints import (
+    AllDifferent,
+    BinaryRelation,
+    Blocking,
+    ConditionalOrder,
+    FunctionConstraint,
+    Implication,
+    UnaryPredicate,
+    table_constraint,
+)
+from repro.solver.csp import Assignment, Constraint, Problem
+from repro.solver.domain import Domain
+from repro.solver.engine import Solver, Statistics, all_solutions, solve_one
+
+__all__ = [
+    "AllDifferent",
+    "Assignment",
+    "BinaryRelation",
+    "Blocking",
+    "ConditionalOrder",
+    "Constraint",
+    "Domain",
+    "FunctionConstraint",
+    "Implication",
+    "Problem",
+    "Solver",
+    "Statistics",
+    "UnaryPredicate",
+    "all_solutions",
+    "solve_one",
+    "table_constraint",
+]

@@ -1,0 +1,200 @@
+"""Constraint library for the finite-domain solver."""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import SolverError
+from repro.solver.csp import Assignment, Constraint
+from repro.solver.domain import Domain
+
+_OPS: dict[str, Callable[[int, int], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class BinaryRelation(Constraint):
+    """``x <op> y + offset`` for two variables x, y.
+
+    Supports forward-checking bound propagation for the ordering ops.
+    """
+
+    def __init__(self, x: str, y: str, op: str, offset: int = 0) -> None:
+        if op not in _OPS:
+            raise SolverError(f"unknown relation {op!r}")
+        if x == y:
+            raise SolverError("BinaryRelation needs two distinct variables")
+        super().__init__((x, y))
+        self.x, self.y, self.op, self.offset = x, y, op, offset
+        self._fn = _OPS[op]
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        return self._fn(assignment[self.x], assignment[self.y] + self.offset)
+
+    def prune(self, var: str, value: int, domains: dict[str, Domain], assignment: Assignment) -> bool:
+        other = self.y if var == self.x else self.x if var == self.y else None
+        if other is None or other in assignment:
+            return True
+        domain = domains[other]
+        if var == self.x:
+            # value <op> other + offset
+            new = domain.restrict(lambda v: self._fn(value, v + self.offset))
+        else:
+            # other <op> value + offset
+            new = domain.restrict(lambda v: self._fn(v, value + self.offset))
+        domains[other] = new
+        return bool(new)
+
+
+class UnaryPredicate(Constraint):
+    """``pred(x)`` for one variable; pruned immediately at search start."""
+
+    def __init__(self, x: str, predicate: Callable[[int], bool]) -> None:
+        super().__init__((x,))
+        self.x = x
+        self.predicate = predicate
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        return bool(self.predicate(assignment[self.x]))
+
+
+class AllDifferent(Constraint):
+    """All listed variables take pairwise distinct values."""
+
+    def __init__(self, variables: Iterable[str]) -> None:
+        super().__init__(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise SolverError("AllDifferent variables must be distinct names")
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        values = [assignment[v] for v in self.variables]
+        return len(set(values)) == len(values)
+
+    def is_consistent(self, assignment: Assignment) -> bool:
+        seen: set[int] = set()
+        for var in self.variables:
+            if var in assignment:
+                value = assignment[var]
+                if value in seen:
+                    return False
+                seen.add(value)
+        return True
+
+    def prune(self, var: str, value: int, domains: dict[str, Domain], assignment: Assignment) -> bool:
+        if var not in self.variables:
+            return True
+        for other in self.variables:
+            if other == var or other in assignment:
+                continue
+            new = domains[other].remove(value)
+            domains[other] = new
+            if not new:
+                return False
+        return True
+
+
+class Implication(Constraint):
+    """``antecedent(assignment) -> consequent(assignment)`` over given vars.
+
+    Both sides are predicates over the *full* assignment of the mentioned
+    variables; evaluation waits until all are assigned.
+    """
+
+    def __init__(
+        self,
+        variables: Iterable[str],
+        antecedent: Callable[[Assignment], bool],
+        consequent: Callable[[Assignment], bool],
+    ) -> None:
+        super().__init__(variables)
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        return (not self.antecedent(assignment)) or self.consequent(assignment)
+
+
+class FunctionConstraint(Constraint):
+    """Arbitrary predicate over the listed variables (fully assigned)."""
+
+    def __init__(self, variables: Iterable[str], fn: Callable[..., bool]) -> None:
+        super().__init__(variables)
+        self.fn = fn
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        return bool(self.fn(*(assignment[v] for v in self.variables)))
+
+
+class ConditionalOrder(Constraint):
+    """The paper's cut/time coupling: ``pos_x < pos_y  ->  t_x <= t_y``.
+
+    Mentions four variables (two positions, two timestamps).  Checked as
+    the biconditional pair on both orders, which is exactly the trace
+    monotonicity constraint of Section V-B.
+    """
+
+    def __init__(self, pos_x: str, pos_y: str, t_x: str, t_y: str) -> None:
+        super().__init__((pos_x, pos_y, t_x, t_y))
+        self.pos_x, self.pos_y, self.t_x, self.t_y = pos_x, pos_y, t_x, t_y
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        px, py = assignment[self.pos_x], assignment[self.pos_y]
+        tx, ty = assignment[self.t_x], assignment[self.t_y]
+        if px < py:
+            return tx <= ty
+        if py < px:
+            return ty <= tx
+        return False  # positions are distinct by construction
+
+    def is_consistent(self, assignment: Assignment) -> bool:
+        have = {v: assignment[v] for v in self.variables if v in assignment}
+        if len(have) < 4:
+            # Partial check: if both positions and both times are known the
+            # full check applies; with fewer, any completion might work.
+            if (
+                self.pos_x in have
+                and self.pos_y in have
+                and self.t_x in have
+                and self.t_y in have
+            ):
+                return self.is_satisfied(assignment)
+            return True
+        return self.is_satisfied(assignment)
+
+
+class Blocking(Constraint):
+    """Blocks one full assignment (the solver's "no duplicate models")."""
+
+    def __init__(self, model: Mapping[str, int]) -> None:
+        if not model:
+            raise SolverError("cannot block the empty assignment")
+        super().__init__(tuple(model))
+        self.model = dict(model)
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        return any(assignment[v] != value for v, value in self.model.items())
+
+    def is_consistent(self, assignment: Assignment) -> bool:
+        for var, value in self.model.items():
+            if var in assignment and assignment[var] != value:
+                return True
+        if all(v in assignment for v in self.model):
+            return False
+        return True
+
+
+def table_constraint(variables: Sequence[str], rows: Iterable[tuple[int, ...]]) -> Constraint:
+    """Extensional constraint: the variable tuple must equal some row."""
+    allowed = {tuple(row) for row in rows}
+    names = tuple(variables)
+
+    def check(*values: int) -> bool:
+        return tuple(values) in allowed
+
+    return FunctionConstraint(names, check)

@@ -1,0 +1,102 @@
+"""Problem container for the finite-domain constraint solver.
+
+This module plays the role the paper assigns to the SMT solver's input
+format (Section V-A's "SMT entities"): variables with finite integer
+domains and declarative constraints over them.  See DESIGN.md for why a
+finite-domain CP solver is an exact substitute on this problem class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import SolverError
+from repro.solver.domain import Domain
+
+Assignment = Mapping[str, int]
+
+
+class Constraint:
+    """Base class for constraints.
+
+    A constraint declares the variables it mentions and can:
+
+    * decide satisfaction once all its variables are assigned
+      (:meth:`is_satisfied`);
+    * optionally prune a partial assignment early (:meth:`is_consistent`),
+      defaulting to "cannot tell yet" unless fully assigned.
+    """
+
+    def __init__(self, variables: Iterable[str]) -> None:
+        self.variables: tuple[str, ...] = tuple(variables)
+        if not self.variables:
+            raise SolverError("a constraint must mention at least one variable")
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        raise NotImplementedError
+
+    def is_consistent(self, assignment: Assignment) -> bool:
+        """False only if the *partial* assignment already violates us."""
+        if all(v in assignment for v in self.variables):
+            return self.is_satisfied(assignment)
+        return True
+
+    def prune(self, var: str, value: int, domains: dict[str, Domain], assignment: Assignment) -> bool:
+        """Optional forward-checking hook after ``var := value``.
+
+        Mutates ``domains`` (for *unassigned* variables only) and returns
+        False if some domain was wiped out.  The default does nothing.
+        """
+        return True
+
+
+class Problem:
+    """A constraint-satisfaction problem: named variables + constraints."""
+
+    def __init__(self) -> None:
+        self._domains: dict[str, Domain] = {}
+        self._constraints: list[Constraint] = []
+        self._by_var: dict[str, list[Constraint]] = {}
+
+    # -- declaration ------------------------------------------------------------
+
+    def add_variable(self, name: str, domain: Domain | Iterable[int]) -> None:
+        if name in self._domains:
+            raise SolverError(f"variable {name!r} already declared")
+        if not isinstance(domain, Domain):
+            domain = Domain(domain)
+        if not domain:
+            raise SolverError(f"variable {name!r} declared with an empty domain")
+        self._domains[name] = domain
+        self._by_var.setdefault(name, [])
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        for var in constraint.variables:
+            if var not in self._domains:
+                raise SolverError(f"constraint mentions undeclared variable {var!r}")
+        self._constraints.append(constraint)
+        for var in constraint.variables:
+            self._by_var[var].append(constraint)
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def variables(self) -> list[str]:
+        return list(self._domains)
+
+    def domain(self, name: str) -> Domain:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise SolverError(f"unknown variable {name!r}") from None
+
+    @property
+    def domains(self) -> dict[str, Domain]:
+        return dict(self._domains)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        return list(self._constraints)
+
+    def constraints_on(self, var: str) -> list[Constraint]:
+        return list(self._by_var.get(var, ()))

@@ -1,0 +1,106 @@
+"""Finite integer domains for the constraint solver."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SolverError
+
+
+class Domain:
+    """An immutable, sorted finite set of integers.
+
+    Domains are small (timestamp windows, position ranges), so a sorted
+    tuple plus a set gives O(1) membership and cheap min/max without the
+    complexity of interval trees.
+    """
+
+    __slots__ = ("_values", "_set")
+
+    def __init__(self, values: Iterable[int]) -> None:
+        ordered = sorted(set(values))
+        for v in ordered:
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise SolverError(f"domain values must be ints, got {v!r}")
+        self._values: tuple[int, ...] = tuple(ordered)
+        self._set: frozenset[int] = frozenset(ordered)
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "Domain":
+        """Inclusive integer range ``[lo, hi]``."""
+        if hi < lo:
+            return Domain(())
+        return Domain(range(lo, hi + 1))
+
+    @staticmethod
+    def singleton(value: int) -> "Domain":
+        return Domain((value,))
+
+    @staticmethod
+    def boolean() -> "Domain":
+        return Domain((0, 1))
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    @property
+    def values(self) -> tuple[int, ...]:
+        return self._values
+
+    def min(self) -> int:
+        if not self._values:
+            raise SolverError("empty domain has no minimum")
+        return self._values[0]
+
+    def max(self) -> int:
+        if not self._values:
+            raise SolverError("empty domain has no maximum")
+        return self._values[-1]
+
+    def is_singleton(self) -> bool:
+        return len(self._values) == 1
+
+    # -- derivation -------------------------------------------------------------
+
+    def remove(self, value: int) -> "Domain":
+        if value not in self._set:
+            return self
+        return Domain(v for v in self._values if v != value)
+
+    def restrict(self, predicate) -> "Domain":
+        return Domain(v for v in self._values if predicate(v))
+
+    def intersect(self, other: "Domain") -> "Domain":
+        return Domain(self._set & other._set)
+
+    def at_least(self, bound: int) -> "Domain":
+        return Domain(v for v in self._values if v >= bound)
+
+    def at_most(self, bound: int) -> "Domain":
+        return Domain(v for v in self._values if v <= bound)
+
+    def __repr__(self) -> str:
+        if len(self._values) > 8:
+            return f"Domain({self._values[0]}..{self._values[-1]}, n={len(self._values)})"
+        return f"Domain({list(self._values)})"

@@ -1,0 +1,166 @@
+"""Backtracking search engine with forward checking.
+
+The engine enumerates models of a :class:`~repro.solver.csp.Problem`.
+Search is depth-first over variables chosen by minimum-remaining-values
+(MRV), with per-assignment forward checking through each constraint's
+``prune`` hook and early rejection through ``is_consistent``.
+
+The public surface mirrors what the paper needs from its SMT solver:
+``solve_one`` (SAT query), ``solutions`` (model enumeration), and blocking
+via :class:`~repro.solver.constraints.Blocking`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import SolverError
+from repro.solver.constraints import Blocking
+from repro.solver.csp import Assignment, Problem
+from repro.solver.domain import Domain
+
+
+class Statistics:
+    """Search counters, useful for benchmarks and regression tests."""
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.backtracks = 0
+        self.solutions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Statistics(nodes={self.nodes}, backtracks={self.backtracks}, "
+            f"solutions={self.solutions})"
+        )
+
+
+class Solver:
+    """Search over one :class:`Problem`; reusable across blocking rounds."""
+
+    def __init__(self, problem: Problem) -> None:
+        self._problem = problem
+        self.stats = Statistics()
+
+    # -- public API -------------------------------------------------------------
+
+    def solve_one(self) -> dict[str, int] | None:
+        """The first model found, or None when unsatisfiable."""
+        for model in self.solutions():
+            return model
+        return None
+
+    def is_satisfiable(self) -> bool:
+        return self.solve_one() is not None
+
+    def solutions(self, limit: int | None = None) -> Iterator[dict[str, int]]:
+        """Enumerate models depth-first (deterministic order)."""
+        if limit is not None and limit <= 0:
+            return
+        domains = dict(self._problem.domains)
+        # Apply unary constraints once, up front.
+        for constraint in self._problem.constraints:
+            if len(constraint.variables) == 1:
+                var = constraint.variables[0]
+                domain = domains[var]
+                domains[var] = domain.restrict(
+                    lambda v, c=constraint, name=var: c.is_satisfied({name: v})
+                )
+                if not domains[var]:
+                    return
+        yield from self._search({}, domains, [0] if limit is None else [limit])
+
+    def solve_blocking(self, max_models: int | None = None) -> list[dict[str, int]]:
+        """Enumerate models by repeated solve + block — the paper's loop.
+
+        Functionally equivalent to ``list(solutions(max_models))`` but goes
+        through explicit :class:`Blocking` constraints, mirroring how the
+        paper re-invokes the SMT solver with previous verdicts excluded
+        (Fig 5e).  Mutates the problem by adding blocking constraints.
+        """
+        models: list[dict[str, int]] = []
+        while max_models is None or len(models) < max_models:
+            model = self.solve_one()
+            if model is None:
+                break
+            models.append(model)
+            self._problem.add_constraint(Blocking(model))
+        return models
+
+    # -- search ----------------------------------------------------------------------
+
+    def _search(
+        self,
+        assignment: dict[str, int],
+        domains: dict[str, Domain],
+        budget: list[int],
+    ) -> Iterator[dict[str, int]]:
+        if len(assignment) == len(domains):
+            self.stats.solutions += 1
+            yield dict(assignment)
+            if budget[0] > 0:
+                budget[0] -= 1
+                if budget[0] == 0:
+                    budget[0] = -1  # exhausted
+            return
+        if budget[0] < 0:
+            return
+
+        var = self._select_variable(assignment, domains)
+        for value in domains[var].values:
+            if budget[0] < 0:
+                return
+            self.stats.nodes += 1
+            assignment[var] = value
+            if self._consistent(var, assignment):
+                pruned = dict(domains)
+                if self._forward_check(var, value, pruned, assignment):
+                    yield from self._search(assignment, pruned, budget)
+                else:
+                    self.stats.backtracks += 1
+            else:
+                self.stats.backtracks += 1
+            del assignment[var]
+
+    def _select_variable(self, assignment: Assignment, domains: Mapping[str, Domain]) -> str:
+        best: str | None = None
+        best_size = None
+        for var, domain in domains.items():
+            if var in assignment:
+                continue
+            size = len(domain)
+            if best_size is None or size < best_size:
+                best, best_size = var, size
+                if size == 1:
+                    break
+        if best is None:
+            raise SolverError("no unassigned variable left")  # pragma: no cover
+        return best
+
+    def _consistent(self, var: str, assignment: Assignment) -> bool:
+        for constraint in self._problem.constraints_on(var):
+            if not constraint.is_consistent(assignment):
+                return False
+        return True
+
+    def _forward_check(
+        self,
+        var: str,
+        value: int,
+        domains: dict[str, Domain],
+        assignment: Assignment,
+    ) -> bool:
+        for constraint in self._problem.constraints_on(var):
+            if not constraint.prune(var, value, domains, assignment):
+                return False
+        return True
+
+
+def solve_one(problem: Problem) -> dict[str, int] | None:
+    """Module-level convenience wrapper."""
+    return Solver(problem).solve_one()
+
+
+def all_solutions(problem: Problem, limit: int | None = None) -> list[dict[str, int]]:
+    """Module-level convenience wrapper."""
+    return list(Solver(problem).solutions(limit))

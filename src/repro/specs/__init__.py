@@ -1,0 +1,21 @@
+"""The paper's MTL specifications: UPPAAL phi1-phi6 and protocol policies."""
+
+from repro.specs import auction_specs, swap2_specs, swap3_specs, uppaal_specs
+from repro.specs.payoff import compensated_payoff, non_negative_payoff
+from repro.specs.uppaal_specs import ALL_SPECS, phi1, phi2, phi3, phi4, phi5, phi6
+
+__all__ = [
+    "ALL_SPECS",
+    "auction_specs",
+    "compensated_payoff",
+    "non_negative_payoff",
+    "phi1",
+    "phi2",
+    "phi3",
+    "phi4",
+    "phi5",
+    "phi6",
+    "swap2_specs",
+    "swap3_specs",
+    "uppaal_specs",
+]

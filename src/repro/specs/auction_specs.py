@@ -1,0 +1,111 @@
+"""MTL policies for the auction protocol (paper Appendix IX-B.2).
+
+Bob is the expected winner (he bids 100 against Carol's 90).  The
+``declaration``/``challenge`` atoms carry two-part arguments matching the
+paper's ``coin.declaration(alice, sb)`` notation.
+"""
+
+from __future__ import annotations
+
+from repro.mtl.ast import Formula, always, atom, eventually, implies, land, lnot, lor
+from repro.mtl.interval import Interval
+
+
+def _before(k: int, delta: int) -> Interval:
+    return Interval.bounded(0, k * delta)
+
+
+def _after(k: int, delta: int) -> Interval:
+    """The paper's ``(k*delta, inf)`` — open start, so shift by one tick."""
+    return Interval.unbounded(k * delta + 1)
+
+
+def liveness(delta: int) -> Formula:
+    """phi_liveness: bids, honest declaration of Bob, clean settlement."""
+    return land(
+        eventually(atom("coin.bid(bob)"), _before(1, delta)),
+        eventually(atom("coin.declaration(alice,sb)"), _before(2, delta)),
+        eventually(atom("tckt.declaration(alice,sb)"), _before(2, delta)),
+        eventually(atom("coin.redeem_bid(any)"), _after(4, delta)),
+        eventually(atom("coin.refund_premium(any)"), _after(4, delta)),
+        implies(
+            eventually(atom("coin.bid(carol)")),
+            eventually(atom("coin.refund_bid(any)")),
+        ),
+        eventually(atom("tckt.redeem_ticket(any)")),
+        lnot(eventually(atom("coin.challenge(any)"))),
+        lnot(eventually(atom("tckt.challenge(any)"))),
+    )
+
+
+def _seen(chain: str, kind_party_tag: str) -> Formula:
+    """``F chain.<event>`` shorthand for declaration/challenge sightings."""
+    return eventually(atom(f"{chain}.{kind_party_tag}"))
+
+
+def bob_conforming(delta: int) -> Formula:
+    """phi_bob_conform: Bob bids in time and forwards any secret that
+    appears on only one chain (the anti-cheat duty)."""
+    clauses: list[Formula] = [eventually(atom("coin.bid(bob)"), _before(1, delta))]
+    for tag in ("sb", "sc"):
+        coin_release = lor(
+            _seen("coin", f"declaration(alice,{tag})"),
+            _seen("coin", f"challenge(carol,{tag})"),
+        )
+        tckt_release = lor(
+            _seen("tckt", f"declaration(alice,{tag})"),
+            _seen("tckt", f"challenge(carol,{tag})"),
+            _seen("tckt", f"challenge(bob,{tag})"),
+        )
+        clauses.append(implies(coin_release, tckt_release))
+        coin_side = lor(
+            _seen("coin", f"declaration(alice,{tag})"),
+            _seen("coin", f"challenge(carol,{tag})"),
+            _seen("coin", f"challenge(bob,{tag})"),
+        )
+        tckt_side = lor(
+            _seen("tckt", f"declaration(alice,{tag})"),
+            _seen("tckt", f"challenge(carol,{tag})"),
+        )
+        clauses.append(implies(tckt_side, coin_side))
+    return land(*clauses)
+
+
+def bob_safety(delta: int) -> Formula:
+    """phi_bob_safety: a conforming Bob ends with his bid refunded (plus
+    premium compensation) or the ticket."""
+    good_outcome = lor(
+        land(
+            eventually(atom("coin.refund_bid(any)")),
+            eventually(atom("coin.redeem_premium(any)")),
+        ),
+        eventually(atom("tckt.redeem_ticket(any)")),
+    )
+    return implies(bob_conforming(delta), good_outcome)
+
+
+def bob_hedged(delta: int) -> Formula:
+    """phi_bob_hedged: if the ticket escapes Bob despite conformance, his
+    bid is refunded and he is compensated."""
+    return implies(
+        land(
+            bob_conforming(delta),
+            lor(
+                eventually(atom("tckt.refund_ticket(alice)")),
+                eventually(atom("tckt.redeem_ticket(carol)")),
+            ),
+        ),
+        land(
+            eventually(atom("coin.refund_bid(any)")),
+            eventually(atom("coin.redeem_premium(any)")),
+        ),
+    )
+
+
+def all_policies(delta: int) -> dict[str, Formula]:
+    return {
+        "liveness": liveness(delta),
+        "bob_conforming": bob_conforming(delta),
+        "bob_safety": bob_safety(delta),
+        "bob_hedged": bob_hedged(delta),
+    }

@@ -1,0 +1,42 @@
+"""Payoff predicates over cumulative transfer sums (Section V-A's mu
+extension to non-boolean variables).
+
+The blockchain logs attach numeric deltas ``to.<party>`` / ``from.<party>``
+to every value transfer; traces accumulate them, so at any position the
+valuation holds the running sums the paper writes as ``sum of amount,
+TransTo = alice``.  The predicates below compare those sums.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.mtl.ast import PredicateAtom
+
+
+def received(valuation: Mapping[str, float], party: str) -> float:
+    """Total value transferred *to* the party so far."""
+    return valuation.get(f"to.{party}", 0)
+
+
+def sent(valuation: Mapping[str, float], party: str) -> float:
+    """Total value transferred *from* the party so far."""
+    return valuation.get(f"from.{party}", 0)
+
+
+def non_negative_payoff(party: str) -> PredicateAtom:
+    """``sum TransTo(party) >= sum TransFrom(party)`` — the safety payoff."""
+
+    def predicate(valuation: Mapping[str, float]) -> bool:
+        return received(valuation, party) >= sent(valuation, party)
+
+    return PredicateAtom(f"payoff_nonneg({party})", predicate)
+
+
+def compensated_payoff(party: str, premium: int) -> PredicateAtom:
+    """``TransTo(party) >= TransFrom(party) + premium`` — the hedged payoff."""
+
+    def predicate(valuation: Mapping[str, float]) -> bool:
+        return received(valuation, party) >= sent(valuation, party) + premium
+
+    return PredicateAtom(f"payoff_hedged({party},{premium})", predicate)

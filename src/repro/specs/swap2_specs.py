@@ -1,0 +1,131 @@
+"""MTL policies for the hedged two-party swap (paper Section VI-B.2).
+
+All formulas are parameterised on the protocol deadline ``delta`` (ms).
+Step ``k``'s deadline is ``k * delta``.
+
+One adaptation, documented in DESIGN.md: the paper states the safety and
+hedged payoff conditions as bare sum comparisons; since the sums are only
+final after settlement, we guard them with the settlement propositions —
+``G(settled -> payoff)`` — which is the checkable finite-trace reading.
+"""
+
+from __future__ import annotations
+
+from repro.mtl.ast import Formula, always, atom, eventually, implies, land, lnot, until
+from repro.mtl.interval import Interval
+from repro.specs.payoff import compensated_payoff, non_negative_payoff
+
+#: Bob's premium on the apricot chain (the compensation the hedge pays).
+APRICOT_PREMIUM = 1
+#: Alice's premium on the banana chain.
+BANANA_PREMIUM = 2
+
+
+def _before(k: int, delta: int) -> Interval:
+    """The window ``[0, k * delta)``."""
+    return Interval.bounded(0, k * delta)
+
+
+def liveness(delta: int) -> Formula:
+    """phi_liveness: every step happens before its deadline and all assets
+    settle afterwards."""
+    return land(
+        eventually(atom("ban.premium_deposited(alice)"), _before(1, delta)),
+        eventually(atom("apr.premium_deposited(bob)"), _before(2, delta)),
+        eventually(atom("apr.asset_escrowed(alice)"), _before(3, delta)),
+        eventually(atom("ban.asset_escrowed(bob)"), _before(4, delta)),
+        eventually(atom("ban.asset_redeemed(alice)"), _before(5, delta)),
+        eventually(atom("apr.asset_redeemed(bob)"), _before(6, delta)),
+        eventually(atom("ban.premium_refunded(alice)"), _before(5, delta)),
+        eventually(atom("apr.premium_refunded(bob)"), _before(6, delta)),
+        always(atom("apr.all_asset_settled(any)"), Interval.unbounded(6 * delta)),
+        always(atom("ban.all_asset_settled(any)"), Interval.unbounded(5 * delta)),
+    )
+
+
+def alice_conforming(delta: int) -> Formula:
+    """phi_alice_conform: Alice starts the protocol and matches Bob's
+    progress, never revealing the secret before redeeming herself."""
+    return land(
+        eventually(atom("ban.premium_deposited(alice)"), _before(1, delta)),
+        implies(
+            eventually(atom("apr.premium_deposited(bob)"), _before(2, delta)),
+            eventually(atom("apr.asset_escrowed(alice)"), _before(3, delta)),
+        ),
+        implies(
+            eventually(atom("ban.asset_escrowed(bob)"), _before(4, delta)),
+            eventually(atom("ban.asset_redeemed(alice)"), _before(5, delta)),
+        ),
+        until(
+            lnot(atom("apr.asset_redeemed(bob)")),
+            atom("ban.asset_redeemed(alice)"),
+        ),
+    )
+
+
+def bob_conforming(delta: int) -> Formula:
+    """The mirror-image conformance condition for Bob."""
+    return land(
+        eventually(atom("apr.premium_deposited(bob)"), _before(2, delta)),
+        implies(
+            eventually(atom("apr.asset_escrowed(alice)"), _before(3, delta)),
+            eventually(atom("ban.asset_escrowed(bob)"), _before(4, delta)),
+        ),
+        implies(
+            eventually(atom("ban.asset_redeemed(alice)"), _before(5, delta)),
+            eventually(atom("apr.asset_redeemed(bob)"), _before(6, delta)),
+        ),
+    )
+
+
+def _both_settled() -> Formula:
+    return land(
+        atom("apr.all_asset_settled(any)"),
+        atom("ban.all_asset_settled(any)"),
+    )
+
+
+def alice_safety(delta: int) -> Formula:
+    """phi_alice_safety: a conforming Alice never ends with negative payoff."""
+    return implies(
+        alice_conforming(delta),
+        always(implies(_both_settled(), non_negative_payoff("alice"))),
+    )
+
+
+def bob_safety(delta: int) -> Formula:
+    """The mirror-image safety condition for Bob."""
+    return implies(
+        bob_conforming(delta),
+        always(implies(_both_settled(), non_negative_payoff("bob"))),
+    )
+
+
+def alice_hedged(delta: int) -> Formula:
+    """phi_alice_hedged: a conforming Alice whose escrowed asset was
+    refunded is compensated with the counterparty premium."""
+    return implies(
+        land(
+            alice_conforming(delta),
+            eventually(atom("apr.asset_escrowed(alice)")),
+            eventually(atom("apr.asset_refunded(any)")),
+        ),
+        always(
+            implies(
+                _both_settled(),
+                compensated_payoff("alice", APRICOT_PREMIUM),
+            )
+        ),
+    )
+
+
+#: All two-party policies keyed by their paper names.
+def all_policies(delta: int) -> dict[str, Formula]:
+    return {
+        "liveness": liveness(delta),
+        "alice_conforming": alice_conforming(delta),
+        "bob_conforming": bob_conforming(delta),
+        "alice_safety": alice_safety(delta),
+        "bob_safety": bob_safety(delta),
+        "alice_hedged": alice_hedged(delta),
+    }

@@ -1,0 +1,126 @@
+"""MTL policies for the hedged three-party swap (paper Appendix IX-B.1)."""
+
+from __future__ import annotations
+
+from repro.mtl.ast import Formula, always, atom, eventually, implies, land, lnot, until
+from repro.mtl.interval import Interval
+from repro.specs.payoff import compensated_payoff, non_negative_payoff
+
+#: Redemption premiums per chain (the hedge compensation amounts).
+REDEMPTION_PREMIUMS = {"che": 3, "ban": 2, "apr": 1}
+
+
+def _before(k: int, delta: int) -> Interval:
+    return Interval.bounded(0, k * delta)
+
+
+def liveness(delta: int) -> Formula:
+    """phi_liveness: the 12 steps in time, then redemptions and refunds."""
+    timed = [
+        eventually(atom("apr.deposit_escrow_pr(alice)"), _before(1, delta)),
+        eventually(atom("ban.deposit_escrow_pr(bob)"), _before(2, delta)),
+        eventually(atom("che.deposit_escrow_pr(carol)"), _before(3, delta)),
+        eventually(atom("che.deposit_redemption_pr(alice)"), _before(4, delta)),
+        eventually(atom("ban.deposit_redemption_pr(carol)"), _before(5, delta)),
+        eventually(atom("apr.deposit_redemption_pr(bob)"), _before(6, delta)),
+        eventually(atom("apr.asset_escrowed(alice)"), _before(7, delta)),
+        eventually(atom("ban.asset_escrowed(bob)"), _before(8, delta)),
+        eventually(atom("che.asset_escrowed(carol)"), _before(9, delta)),
+        eventually(atom("che.hashlock_unlocked(alice)"), _before(10, delta)),
+        eventually(atom("ban.hashlock_unlocked(carol)"), _before(11, delta)),
+        eventually(atom("apr.hashlock_unlocked(bob)"), _before(12, delta)),
+    ]
+    untimed = [
+        eventually(atom("che.asset_redeemed(alice)")),
+        eventually(atom("apr.asset_redeemed(bob)")),
+        eventually(atom("ban.asset_redeemed(carol)")),
+        eventually(atom("apr.escrow_premium_refunded(alice)")),
+        eventually(atom("ban.escrow_premium_refunded(bob)")),
+        eventually(atom("che.escrow_premium_refunded(carol)")),
+        eventually(atom("che.redemption_premium_refunded(alice)")),
+        eventually(atom("apr.redemption_premium_refunded(bob)")),
+        eventually(atom("ban.redemption_premium_refunded(carol)")),
+    ]
+    return land(*timed, *untimed)
+
+
+def alice_conforming(delta: int) -> Formula:
+    """phi_alice_conf (Appendix IX-B.1.b): Alice's step-for-step duties."""
+    return land(
+        eventually(atom("apr.deposit_escrow_pr(alice)"), _before(1, delta)),
+        implies(
+            eventually(atom("che.deposit_escrow_pr(carol)"), _before(3, delta)),
+            eventually(atom("che.deposit_redemption_pr(alice)"), _before(4, delta)),
+        ),
+        until(
+            lnot(atom("che.deposit_redemption_pr(alice)")),
+            atom("che.deposit_escrow_pr(carol)"),
+        ),
+        implies(
+            eventually(atom("apr.deposit_redemption_pr(bob)"), _before(6, delta)),
+            eventually(atom("apr.asset_escrowed(alice)"), _before(7, delta)),
+        ),
+        until(
+            lnot(atom("apr.asset_escrowed(alice)")),
+            atom("apr.deposit_redemption_pr(bob)"),
+        ),
+        implies(
+            eventually(atom("che.asset_escrowed(carol)"), _before(9, delta)),
+            eventually(atom("che.hashlock_unlocked(alice)"), _before(10, delta)),
+        ),
+        until(
+            lnot(atom("che.hashlock_unlocked(alice)")),
+            atom("che.asset_escrowed(carol)"),
+        ),
+        until(
+            lnot(atom("ban.hashlock_unlocked(carol)")),
+            atom("che.hashlock_unlocked(alice)"),
+        ),
+        until(
+            lnot(atom("apr.hashlock_unlocked(bob)")),
+            atom("che.hashlock_unlocked(alice)"),
+        ),
+    )
+
+
+def _all_settled() -> Formula:
+    return land(
+        atom("apr.all_asset_settled(any)"),
+        atom("ban.all_asset_settled(any)"),
+        atom("che.all_asset_settled(any)"),
+    )
+
+
+def alice_safety(delta: int) -> Formula:
+    """phi_alice_safety: conforming Alice has non-negative final payoff."""
+    return implies(
+        alice_conforming(delta),
+        always(implies(_all_settled(), non_negative_payoff("alice"))),
+    )
+
+
+def alice_hedged(delta: int) -> Formula:
+    """phi_alice_hedged: conforming Alice whose apricot escrow is refunded
+    is compensated by the apricot redemption premium."""
+    return implies(
+        land(
+            alice_conforming(delta),
+            eventually(atom("apr.asset_escrowed(alice)")),
+            eventually(atom("apr.asset_refunded(any)")),
+        ),
+        always(
+            implies(
+                _all_settled(),
+                compensated_payoff("alice", REDEMPTION_PREMIUMS["apr"]),
+            )
+        ),
+    )
+
+
+def all_policies(delta: int) -> dict[str, Formula]:
+    return {
+        "liveness": liveness(delta),
+        "alice_conforming": alice_conforming(delta),
+        "alice_safety": alice_safety(delta),
+        "alice_hedged": alice_hedged(delta),
+    }

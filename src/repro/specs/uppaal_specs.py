@@ -1,0 +1,97 @@
+"""The six MTL specifications of the synthetic evaluation (Section VI-A).
+
+Formulas are parameterised on the process count and, for the time-bounded
+ones, on a window width in the computation's time unit (milliseconds):
+
+* phi1 — no train crosses until train 1 crosses;
+* phi2 — an approaching train implies the gate stays occupied until that
+  train crosses;
+* phi3 — mutual exclusion: at most one process in the critical section
+  (encoded propositionally: no two ``cs`` propositions together);
+* phi4 — every request is followed by the critical section within the
+  window;
+* phi5 — within the window, everyone knows everyone else's secret;
+* phi6 — everyone has fresh secrets to share infinitely often (in the
+  bounded reading: a fresh secret in every window).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormulaError
+from repro.mtl.ast import Formula, always, atom, eventually, implies, land, lnot, until
+from repro.mtl.interval import Interval
+
+
+def _window(width_ms: int) -> Interval:
+    if width_ms <= 0:
+        raise FormulaError(f"window width must be positive, got {width_ms}")
+    return Interval.bounded(0, width_ms)
+
+
+def phi1(processes: int) -> Formula:
+    """``(AND_i !train_i.cross) U train_1.cross``."""
+    no_cross = land(*(lnot(atom(f"train{i}.cross")) for i in range(1, processes + 1)))
+    return until(no_cross, atom("train1.cross"))
+
+
+def phi2(processes: int) -> Formula:
+    """``AND_i G(train_i.appr -> (gate.occ U train_i.cross))``."""
+    parts = []
+    for i in range(1, processes + 1):
+        appr = atom(f"train{i}.appr")
+        occupied_until_cross = until(atom("gate.occ"), atom(f"train{i}.cross"))
+        parts.append(always(implies(appr, occupied_until_cross)))
+    return land(*parts)
+
+
+def phi3(processes: int) -> Formula:
+    """``G(sum_i p_i.cs <= 1)`` encoded as pairwise exclusion."""
+    pairs = []
+    for i in range(1, processes + 1):
+        for j in range(i + 1, processes + 1):
+            pairs.append(lnot(land(atom(f"p{i}.cs"), atom(f"p{j}.cs"))))
+    if not pairs:  # one process is trivially mutually exclusive
+        return always(lnot(land(atom("p1.cs"), lnot(atom("p1.cs")))))
+    return always(land(*pairs))
+
+
+def phi4(processes: int, window_ms: int = 1000) -> Formula:
+    """``G(AND_i (p_i.req -> F_[0,w) p_i.cs))``."""
+    parts = [
+        implies(atom(f"p{i}.req"), eventually(atom(f"p{i}.cs"), _window(window_ms)))
+        for i in range(1, processes + 1)
+    ]
+    return always(land(*parts))
+
+
+def phi5(processes: int, window_ms: int = 2000) -> Formula:
+    """``F_[0,w)(AND_{i != j} person_i.secret_j)``."""
+    parts = []
+    for i in range(1, processes + 1):
+        for j in range(1, processes + 1):
+            if i != j:
+                parts.append(atom(f"person{i}.secret{j}"))
+    if not parts:
+        parts = [atom("person1.secret1")]
+    return eventually(land(*parts), _window(window_ms))
+
+
+def phi6(processes: int, window_ms: int = 1000) -> Formula:
+    """``AND_i G(F_[0,w) person_i.secrets)`` — the nested-operator spec."""
+    parts = [
+        always(eventually(atom(f"person{i}.secrets"), _window(window_ms)))
+        for i in range(1, processes + 1)
+    ]
+    return land(*parts)
+
+
+#: Formula builders keyed the way the paper labels them (Fig 5a's legend),
+#: together with the model that generates matching traces.
+ALL_SPECS = {
+    "phi1": (phi1, "train_gate"),
+    "phi2": (phi2, "train_gate"),
+    "phi3": (phi3, "fischer"),
+    "phi4": (phi4, "fischer"),
+    "phi5": (phi5, "gossip"),
+    "phi6": (phi6, "gossip"),
+}

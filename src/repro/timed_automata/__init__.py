@@ -1,0 +1,27 @@
+"""Timed-automata substrate (UPPAAL substitute) and the benchmark models."""
+
+from repro.timed_automata import fischer, gossip, train_gate
+from repro.timed_automata.automaton import (
+    Channel,
+    Edge,
+    Location,
+    Sync,
+    TimedAutomaton,
+)
+from repro.timed_automata.network import FiredAction, Network
+from repro.timed_automata.trace_gen import computation_from_network, generate
+
+__all__ = [
+    "Channel",
+    "Edge",
+    "FiredAction",
+    "Location",
+    "Network",
+    "Sync",
+    "TimedAutomaton",
+    "computation_from_network",
+    "fischer",
+    "generate",
+    "gossip",
+    "train_gate",
+]

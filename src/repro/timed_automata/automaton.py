@@ -1,0 +1,182 @@
+"""A discrete-time timed-automaton core (UPPAAL substitute).
+
+The paper uses UPPAAL only to *generate traces* from three benchmark
+models (Appendix IX-A).  This module provides the minimal-but-faithful
+machinery those models need:
+
+* locations with invariants;
+* integer-valued clocks per automaton, reset on edges;
+* edges with clock guards, data guards, channel synchronisation
+  (``chan!`` / ``chan?``) and update actions;
+* shared integer variables across a network (Fischer's ``id``).
+
+Time advances in integer ticks; semantics are the standard
+delay-or-action alternation of timed automata, discretised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.errors import AutomatonError
+
+#: Guard/update callbacks receive the automaton's clock valuation and the
+#: network's shared variable store.
+ClockValuation = Mapping[str, int]
+SharedVars = dict[str, int]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A binary synchronisation channel (UPPAAL ``chan``).
+
+    ``arg`` lets models pass a small integer (e.g. a train id) from the
+    sender to the receiver, mirroring UPPAAL's channel arrays
+    (``appr[id]!``).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Sync:
+    """One side of a synchronisation: send (``!``) or receive (``?``)."""
+
+    channel: Channel
+    direction: str  # "!" or "?"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("!", "?"):
+            raise AutomatonError(f"sync direction must be '!' or '?', got {self.direction!r}")
+
+    def matches(self, other: "Sync") -> bool:
+        return self.channel == other.channel and self.direction != other.direction
+
+    def __str__(self) -> str:
+        return f"{self.channel}{self.direction}"
+
+
+@dataclass
+class Edge:
+    """A transition between two locations.
+
+    ``guard`` and ``shared_guard`` must both pass for the edge to be
+    enabled; ``resets`` lists clocks zeroed on firing; ``update`` mutates
+    the shared store; ``label`` becomes the emitted event's proposition.
+    """
+
+    source: str
+    target: str
+    label: str
+    guard: Callable[[ClockValuation], bool] | None = None
+    shared_guard: Callable[[SharedVars], bool] | None = None
+    sync: Sync | None = None
+    resets: tuple[str, ...] = ()
+    update: Callable[[SharedVars], None] | None = None
+    #: Propositions emitted by the fired event; defaults to ``(label,)``.
+    props: tuple[str, ...] | None = None
+    #: Dynamic propositions computed from the shared store after ``update``.
+    props_fn: Callable[[SharedVars], tuple[str, ...]] | None = None
+
+    def emitted_props(self, shared: SharedVars) -> tuple[str, ...]:
+        """The propositions this firing emits (static + dynamic)."""
+        static = self.props if self.props is not None else ((self.label,) if self.label else ())
+        dynamic = self.props_fn(shared) if self.props_fn is not None else ()
+        return tuple(static) + tuple(dynamic)
+
+    def enabled(self, clocks: ClockValuation, shared: SharedVars) -> bool:
+        if self.guard is not None and not self.guard(clocks):
+            return False
+        if self.shared_guard is not None and not self.shared_guard(shared):
+            return False
+        return True
+
+
+@dataclass
+class Location:
+    """A named location with an optional invariant over the clocks."""
+
+    name: str
+    invariant: Callable[[ClockValuation], bool] | None = None
+
+    def admits(self, clocks: ClockValuation) -> bool:
+        return self.invariant is None or self.invariant(clocks)
+
+
+class TimedAutomaton:
+    """One process of the network: locations, edges, private clocks."""
+
+    def __init__(
+        self,
+        name: str,
+        locations: list[Location],
+        edges: list[Edge],
+        initial: str,
+        clocks: tuple[str, ...] = (),
+    ) -> None:
+        self.name = name
+        self._locations: dict[str, Location] = {}
+        for location in locations:
+            if location.name in self._locations:
+                raise AutomatonError(f"duplicate location {location.name!r} in {name}")
+            self._locations[location.name] = location
+        for edge in edges:
+            if edge.source not in self._locations or edge.target not in self._locations:
+                raise AutomatonError(
+                    f"edge {edge.label!r} references unknown locations "
+                    f"{edge.source!r} -> {edge.target!r}"
+                )
+        if initial not in self._locations:
+            raise AutomatonError(f"unknown initial location {initial!r} in {name}")
+        self.edges = list(edges)
+        self.initial = initial
+        self.clock_names = tuple(clocks)
+
+        # Mutable simulation state.
+        self.location = initial
+        self.clocks: dict[str, int] = {c: 0 for c in clocks}
+
+    # -- simulation ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.location = self.initial
+        self.clocks = {c: 0 for c in self.clock_names}
+
+    def tick(self) -> None:
+        """Let one time unit pass (caller checks invariants)."""
+        for clock in self.clocks:
+            self.clocks[clock] += 1
+
+    def can_delay(self) -> bool:
+        """Would the current location's invariant still hold after a tick?"""
+        future = {c: v + 1 for c, v in self.clocks.items()}
+        return self._locations[self.location].admits(future)
+
+    def outgoing(self, shared: SharedVars) -> list[Edge]:
+        """Edges enabled from the current location under current state."""
+        return [
+            edge
+            for edge in self.edges
+            if edge.source == self.location and edge.enabled(self.clocks, shared)
+        ]
+
+    def fire(self, edge: Edge, shared: SharedVars) -> None:
+        """Take an enabled edge: move, reset clocks, apply the update."""
+        if edge.source != self.location:
+            raise AutomatonError(
+                f"{self.name}: cannot fire {edge.label!r} from {self.location!r}"
+            )
+        self.location = edge.target
+        for clock in edge.resets:
+            if clock not in self.clocks:
+                raise AutomatonError(f"{self.name}: unknown clock {clock!r}")
+            self.clocks[clock] = 0
+        if edge.update is not None:
+            edge.update(shared)
+
+    def location_obj(self, name: str) -> Location:
+        return self._locations[name]

@@ -1,0 +1,78 @@
+"""Fischer's mutual-exclusion protocol (paper Appendix IX-A.b, Fig 9).
+
+``n`` processes contend for a critical section guarded by a shared ``id``
+variable.  A process requests (``req``) when ``id == 0``, writes its pid
+within ``K`` ticks and waits; if after the wait ``id`` still equals its
+pid it enters the critical section (``cs``), otherwise it retries.
+
+Emitted propositions (per automaton ``p<i>``): ``p<i>.req``,
+``p<i>.wait``, ``p<i>.cs``, ``p<i>.exit``, ``p<i>.retry``.
+The ``cs`` proposition persists (frontier semantics) until the process's
+``exit`` event — exactly what specs phi3/phi4 need.
+"""
+
+from __future__ import annotations
+
+from repro.timed_automata.automaton import Edge, Location, TimedAutomaton
+from repro.timed_automata.network import Network
+
+#: Fischer's constant: max ticks between the request and the id write.
+K = 2
+
+
+def build_process(pid: int) -> TimedAutomaton:
+    name = f"p{pid}"
+
+    def id_free(shared) -> bool:
+        return shared.get("id", 0) == 0
+
+    def id_mine(shared) -> bool:
+        return shared.get("id", 0) == pid
+
+    def id_not_mine(shared) -> bool:
+        return shared.get("id", 0) != pid
+
+    def write_id(shared) -> None:
+        shared["id"] = pid
+
+    def clear_id(shared) -> None:
+        shared["id"] = 0
+
+    locations = [
+        Location("A"),
+        Location("Req", invariant=lambda c: c["x"] <= K),
+        Location("Wait"),
+        Location("CS"),
+    ]
+    edges = [
+        Edge("A", "Req", "req", shared_guard=id_free, resets=("x",)),
+        Edge(
+            "Req",
+            "Wait",
+            "wait",
+            guard=lambda c: c["x"] <= K,
+            update=write_id,
+            resets=("x",),
+        ),
+        Edge(
+            "Wait",
+            "CS",
+            "cs",
+            guard=lambda c: c["x"] > K,
+            shared_guard=id_mine,
+        ),
+        Edge(
+            "Wait",
+            "A",
+            "retry",
+            guard=lambda c: c["x"] > K,
+            shared_guard=id_not_mine,
+        ),
+        Edge("CS", "A", "exit", guard=lambda c: c["x"] > K + 1, update=clear_id),
+    ]
+    return TimedAutomaton(name, locations, edges, initial="A", clocks=("x",))
+
+
+def build_network(processes: int, seed: int = 0) -> Network:
+    automata = [build_process(i + 1) for i in range(processes)]
+    return Network(automata, shared={"id": 0}, seed=seed)

@@ -1,0 +1,102 @@
+"""The Gossiping People benchmark (paper Appendix IX-A.c, Fig 10).
+
+``n`` people each hold a private secret and share secrets by pairwise
+calls; after a call, both parties know the union of each other's secrets.
+Each person also mints fresh secrets from time to time (specification
+phi6 checks this happens "infinitely often" — in the bounded reading,
+within every window).
+
+Emitted propositions (per automaton ``person<i>``):
+
+* ``person<i>.secret<j>`` — i currently knows j's secret (emitted as the
+  full knowledge set on every call, so frontier semantics keeps it
+  accurate);
+* ``person<i>.secrets``  — i has a fresh secret to share;
+* ``person<i>.talk`` / ``person<i>.listen`` — call roles.
+"""
+
+from __future__ import annotations
+
+from repro.timed_automata.automaton import Channel, Edge, Location, Sync, TimedAutomaton
+from repro.timed_automata.network import Network
+
+
+def _knowledge_props(shared, me: int) -> tuple[str, ...]:
+    mask = shared.get(f"know{me}", 0)
+    props = [f"secret{j}" for j in range(mask.bit_length()) if mask & (1 << j)]
+    if shared.get(f"fresh{me}", 0):
+        props.append("secrets")
+    return tuple(props)
+
+
+def build_person(index: int, total: int) -> TimedAutomaton:
+    """Person ``index`` (1-based) among ``total`` people."""
+    name = f"person{index}"
+
+    def merge_with(other: int):
+        def update(shared) -> None:
+            mine = shared.get(f"know{index}", 0)
+            theirs = shared.get(f"know{other}", 0)
+            union = mine | theirs
+            shared[f"know{index}"] = union
+            shared[f"know{other}"] = union
+            shared[f"fresh{index}"] = 0
+            shared[f"fresh{other}"] = 0
+
+        return update
+
+    def mint(shared) -> None:
+        shared[f"fresh{index}"] = 1
+        shared[f"know{index}"] = shared.get(f"know{index}", 0) | (1 << index)
+
+    edges: list[Edge] = [
+        Edge(
+            "Idle",
+            "Idle",
+            "new_secret",
+            guard=lambda c: c["y"] >= 1,
+            update=mint,
+            resets=("y",),
+            props=("secrets",),
+            props_fn=lambda shared: _knowledge_props(shared, index),
+        )
+    ]
+    for other in range(1, total + 1):
+        if other == index:
+            continue
+        channel = Channel(f"meet_{min(index, other)}_{max(index, other)}")
+        if index < other:
+            edges.append(
+                Edge(
+                    "Idle",
+                    "Idle",
+                    "talk",
+                    sync=Sync(channel, "!"),
+                    update=merge_with(other),
+                    props=("talk",),
+                    props_fn=lambda shared, me=index: _knowledge_props(shared, me),
+                )
+            )
+        else:
+            edges.append(
+                Edge(
+                    "Idle",
+                    "Idle",
+                    "listen",
+                    sync=Sync(channel, "?"),
+                    props=("listen",),
+                    props_fn=lambda shared, me=index: _knowledge_props(shared, me),
+                )
+            )
+    return TimedAutomaton(
+        name, [Location("Idle")], edges, initial="Idle", clocks=("y",)
+    )
+
+
+def build_network(people: int, seed: int = 0) -> Network:
+    automata = [build_person(i + 1, people) for i in range(people)]
+    shared: dict[str, int] = {}
+    for i in range(1, people + 1):
+        shared[f"know{i}"] = 1 << i  # everyone knows their own secret
+        shared[f"fresh{i}"] = 1
+    return Network(automata, shared=shared, seed=seed)

@@ -1,0 +1,78 @@
+"""From simulated networks to distributed computations.
+
+The paper's synthetic pipeline (Section VI-A): run an UPPAAL model, log
+each component's events with *its own, bounded-skew clock*, and hand the
+result to the monitor.  ``events_per_second`` controls the event rate
+(10/s in the paper's default setup): one simulation tick maps to
+``1000 / events_per_second`` milliseconds, and local timestamps are the
+per-process skewed readings of the hidden global clock.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.clocks import ClockModel, clocks_for_processes
+from repro.distributed.computation import DistributedComputation
+from repro.errors import AutomatonError
+from repro.timed_automata.network import Network
+
+
+def computation_from_network(
+    network: Network,
+    epsilon_ms: int,
+    events_per_second: float = 10.0,
+    clock_model: str = "fixed",
+    seed: int = 0,
+    clocks: dict[str, ClockModel] | None = None,
+    include_messages: bool = True,
+) -> DistributedComputation:
+    """Convert a simulated network history into a distributed computation.
+
+    ``epsilon_ms`` is the monitor's clock-skew bound; generated local
+    timestamps respect it by construction (clock models never exceed it).
+    """
+    if events_per_second <= 0:
+        raise AutomatonError(f"event rate must be positive, got {events_per_second}")
+    tick_ms = max(1, round(1000.0 / events_per_second))
+    processes = [a.name for a in network.automata]
+    if clocks is None:
+        clocks = clocks_for_processes(processes, epsilon_ms, model=clock_model, seed=seed)
+
+    computation = DistributedComputation(epsilon_ms)
+    made = []
+    for action in network.history:
+        clock = clocks[action.automaton]
+        local_ms = clock.read(action.global_time * tick_ms)
+        made.append(
+            computation.add_event(action.automaton, local_ms, action.props)
+        )
+    if include_messages:
+        for send_idx, recv_idx in network.sync_pairs:
+            send, recv = made[send_idx], made[recv_idx]
+            if send.process != recv.process:
+                computation.add_message(send, recv)
+    return computation
+
+
+def generate(
+    build_network,
+    processes: int,
+    length_ticks: int,
+    epsilon_ms: int,
+    events_per_second: float = 10.0,
+    clock_model: str = "fixed",
+    seed: int = 0,
+) -> DistributedComputation:
+    """One-call workload generation: build, simulate, convert.
+
+    ``build_network`` is one of the model modules' ``build_network``
+    functions (train_gate, fischer, gossip).
+    """
+    network = build_network(processes, seed=seed)
+    network.run(length_ticks)
+    return computation_from_network(
+        network,
+        epsilon_ms,
+        events_per_second=events_per_second,
+        clock_model=clock_model,
+        seed=seed,
+    )

@@ -1,0 +1,103 @@
+"""The Train-Gate benchmark model (paper Appendix IX-A.a, Figs 7-8).
+
+Several trains share a bridge controlled by a gate.  A train approaches
+(``appr``), either crosses directly (if the bridge is free) or is stopped
+(``stop``) and later released (``go``), crosses (``cross``) and leaves
+(``leave``).  The gate mirrors bridge occupancy with ``occ``/``free``
+propositions, which specification phi2 observes.
+
+Emitted propositions (per automaton ``train<i>`` / ``gate``):
+``train<i>.appr``, ``train<i>.stop``, ``train<i>.go``, ``train<i>.cross``,
+``train<i>.leave``, ``gate.occ``, ``gate.free``.
+"""
+
+from __future__ import annotations
+
+from repro.timed_automata.automaton import Edge, Location, TimedAutomaton
+from repro.timed_automata.network import Network
+
+#: Minimum ticks between approach and crossing (the UPPAAL model's timing).
+APPROACH_TIME = 2
+#: Minimum ticks a crossing occupies the bridge.
+CROSS_TIME = 2
+
+
+def build_train(index: int) -> TimedAutomaton:
+    """One train automaton; shared variable ``bridge`` is 0 when free,
+    otherwise the index of the crossing train."""
+    name = f"train{index}"
+
+    def bridge_free(shared) -> bool:
+        return shared.get("bridge", 0) == 0
+
+    def bridge_busy(shared) -> bool:
+        return shared.get("bridge", 0) != 0
+
+    def claim(shared) -> None:
+        shared["bridge"] = index
+
+    def release(shared) -> None:
+        shared["bridge"] = 0
+        shared["leaves"] = shared.get("leaves", 0) + 1
+
+    locations = [
+        Location("Safe"),
+        Location("Appr"),
+        Location("Stop"),
+        Location("Cross"),
+    ]
+    edges = [
+        Edge("Safe", "Appr", "appr", resets=("x",)),
+        Edge(
+            "Appr",
+            "Cross",
+            "cross",
+            guard=lambda c: c["x"] >= APPROACH_TIME,
+            shared_guard=bridge_free,
+            update=claim,
+            resets=("x",),
+        ),
+        Edge("Appr", "Stop", "stop", shared_guard=bridge_busy),
+        Edge(
+            "Stop",
+            "Cross",
+            "cross",
+            shared_guard=bridge_free,
+            update=claim,
+            resets=("x",),
+            props=("go", "cross"),
+        ),
+        Edge(
+            "Cross",
+            "Safe",
+            "leave",
+            guard=lambda c: c["x"] >= CROSS_TIME,
+            update=release,
+        ),
+    ]
+    return TimedAutomaton(name, locations, edges, initial="Safe", clocks=("x",))
+
+
+def build_gate() -> TimedAutomaton:
+    """The gate mirrors the shared ``bridge`` variable as occ/free props."""
+
+    def busy(shared) -> bool:
+        return shared.get("bridge", 0) != 0
+
+    def free(shared) -> bool:
+        return shared.get("bridge", 0) == 0
+
+    locations = [Location("Free"), Location("Occ")]
+    edges = [
+        Edge("Free", "Occ", "occ", shared_guard=busy),
+        Edge("Occ", "Free", "free", shared_guard=free),
+    ]
+    return TimedAutomaton("gate", locations, edges, initial="Free")
+
+
+def build_network(trains: int, seed: int = 0, include_gate: bool = True) -> Network:
+    """A network of ``trains`` trains (and the gate observer)."""
+    automata: list[TimedAutomaton] = [build_train(i + 1) for i in range(trains)]
+    if include_gate:
+        automata.append(build_gate())
+    return Network(automata, shared={"bridge": 0, "leaves": 0}, seed=seed)

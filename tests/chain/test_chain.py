@@ -1,0 +1,150 @@
+"""Tests for the simulated chain: transactions, reverts, event logs."""
+
+import pytest
+
+from repro.chain.chain import SimulatedChain
+from repro.chain.contract import Contract
+from repro.chain.events import transfer_deltas
+from repro.chain.log import computation_from_chains, computation_from_events
+from repro.chain.network import ChainNetwork
+from repro.chain.token import Token
+from repro.distributed.clocks import FixedSkewClock
+from repro.errors import ChainError
+
+
+class Piggybank(Contract):
+    """A toy contract used to exercise the execution machinery."""
+
+    def __init__(self, token: Token) -> None:
+        super().__init__("Piggybank")
+        self.token = token
+        self.locked = False
+
+    def deposit(self, party: str, amount: int) -> None:
+        self.require(not self.locked, "bank is locked")
+        deltas = self.transfer(self.token, party, self.address, amount)
+        self.emit("deposited", party, amount, deltas)
+
+    def deposit_then_fail(self, party: str, amount: int) -> None:
+        deltas = self.transfer(self.token, party, self.address, amount)
+        self.emit("deposited", party, amount, deltas)
+        self.require(False, "always fails after moving money")
+
+
+@pytest.fixture
+def bank():
+    chain = SimulatedChain("apr")
+    token = chain.register_token(Token("APR"))
+    token.mint("alice", 100)
+    contract = chain.deploy(Piggybank(token))
+    return chain, token, contract
+
+
+class TestExecution:
+    def test_successful_transaction_logs_event(self, bank):
+        chain, token, contract = bank
+        ok = chain.execute(1000, lambda: contract.deposit("alice", 30))
+        assert ok
+        assert len(chain.log) == 1
+        event = chain.log[0]
+        assert event.name == "deposited"
+        assert event.local_time == 1000
+        assert token.balance_of(contract.address) == 30
+
+    def test_revert_rolls_back_state_and_events(self, bank):
+        chain, token, contract = bank
+        ok = chain.execute(1000, lambda: contract.deposit_then_fail("alice", 30))
+        assert not ok
+        assert chain.log == []
+        assert token.balance_of("alice") == 100
+        assert chain.failed and chain.failed[0][1] == "always fails after moving money"
+
+    def test_revert_reason_recorded(self, bank):
+        chain, _, contract = bank
+        contract.locked = True
+        chain.execute(1000, lambda: contract.deposit("alice", 30))
+        assert chain.failed[0] == (1000, "bank is locked")
+
+    def test_current_time_outside_tx_rejected(self, bank):
+        chain, _, _ = bank
+        with pytest.raises(ChainError):
+            chain.current_time
+
+    def test_skewed_clock_stamps_events(self):
+        chain = SimulatedChain("ban", FixedSkewClock(7, 10))
+        token = chain.register_token(Token("BAN"))
+        token.mint("bob", 10)
+        contract = chain.deploy(Piggybank(token))
+        chain.execute(1000, lambda: contract.deposit("bob", 1))
+        assert chain.log[0].local_time == 1007
+
+    def test_duplicate_contract_rejected(self, bank):
+        chain, token, _ = bank
+        with pytest.raises(ChainError):
+            chain.deploy(Piggybank(token))
+
+    def test_event_props_include_any_form(self, bank):
+        chain, _, contract = bank
+        chain.execute(5, lambda: contract.deposit("alice", 1))
+        props = chain.log[0].props()
+        assert "apr.deposited(alice)" in props
+        assert "apr.deposited(any)" in props
+
+
+class TestTransferDeltas:
+    def test_party_to_party(self):
+        deltas = transfer_deltas("alice", "bob", 10)
+        assert deltas == {"from.alice": 10, "to.bob": 10}
+
+    def test_contract_accounts_untracked(self):
+        deltas = transfer_deltas("contract:Swap", "alice", 10)
+        assert deltas == {"to.alice": 10}
+
+
+class TestChainNetwork:
+    def test_schedule_executes_in_time_order(self):
+        network = ChainNetwork(epsilon_ms=5)
+        chain = network.add_chain("apr")
+        token = chain.register_token(Token("APR"))
+        token.mint("alice", 100)
+        contract = chain.deploy(Piggybank(token))
+        network.schedule(300, chain, lambda: contract.deposit("alice", 3), "late")
+        network.schedule(100, chain, lambda: contract.deposit("alice", 1), "early")
+        results = network.run()
+        assert [d for d, _ in results] == ["early", "late"]
+        assert [e.local_time for e in chain.log] == [100, 300]
+
+    def test_skew_must_respect_epsilon(self):
+        network = ChainNetwork(epsilon_ms=5)
+        with pytest.raises(ChainError):
+            network.add_chain("apr", skew_ms=5)
+
+    def test_duplicate_chain_rejected(self):
+        network = ChainNetwork()
+        network.add_chain("apr")
+        with pytest.raises(ChainError):
+            network.add_chain("apr")
+
+
+class TestLogConversion:
+    def test_chains_become_processes(self, bank):
+        chain, _, contract = bank
+        chain.execute(10, lambda: contract.deposit("alice", 1))
+        chain.execute(20, lambda: contract.deposit("alice", 2))
+        comp = computation_from_chains([chain], epsilon_ms=5)
+        assert comp.processes == ["apr"]
+        assert len(comp) == 2
+
+    def test_deltas_carried_into_events(self, bank):
+        chain, _, contract = bank
+        chain.execute(10, lambda: contract.deposit("alice", 5))
+        comp = computation_from_chains([chain], epsilon_ms=5)
+        assert comp.events[0].deltas["from.alice"] == 5
+
+    def test_events_sorted_by_local_time(self, bank):
+        chain, _, contract = bank
+        chain.execute(20, lambda: contract.deposit("alice", 1))
+        chain.execute(10, lambda: contract.deposit("alice", 1))
+        comp = computation_from_events(chain.log, epsilon_ms=5)
+        times = [e.local_time for e in comp.events]
+        assert times == sorted(times)

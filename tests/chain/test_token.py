@@ -1,0 +1,49 @@
+"""Unit tests for the token ledger."""
+
+import pytest
+
+from repro.chain.token import Token
+from repro.errors import ChainError, ContractRevert
+
+
+class TestToken:
+    def test_mint_and_balance(self):
+        token = Token("APR")
+        token.mint("alice", 100)
+        assert token.balance_of("alice") == 100
+
+    def test_unknown_holder_zero(self):
+        assert Token("APR").balance_of("nobody") == 0
+
+    def test_transfer(self):
+        token = Token("APR")
+        token.mint("alice", 100)
+        token.transfer("alice", "bob", 40)
+        assert token.balance_of("alice") == 60
+        assert token.balance_of("bob") == 40
+
+    def test_insufficient_funds_reverts(self):
+        token = Token("APR")
+        token.mint("alice", 10)
+        with pytest.raises(ContractRevert):
+            token.transfer("alice", "bob", 11)
+
+    def test_negative_transfer_reverts(self):
+        token = Token("APR")
+        with pytest.raises(ContractRevert):
+            token.transfer("alice", "bob", -1)
+
+    def test_negative_mint_rejected(self):
+        with pytest.raises(ChainError):
+            Token("APR").mint("alice", -5)
+
+    def test_empty_symbol_rejected(self):
+        with pytest.raises(ChainError):
+            Token("")
+
+    def test_total_supply_conserved_by_transfers(self):
+        token = Token("APR")
+        token.mint("alice", 100)
+        token.mint("bob", 50)
+        token.transfer("alice", "bob", 30)
+        assert token.total_supply() == 150

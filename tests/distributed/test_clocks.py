@@ -1,0 +1,87 @@
+"""Unit tests for the clock models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributed.clocks import (
+    DriftingClock,
+    FixedSkewClock,
+    PerfectClock,
+    clocks_for_processes,
+)
+from repro.errors import ComputationError
+
+
+class TestPerfectClock:
+    def test_identity(self):
+        clock = PerfectClock()
+        assert clock.read(42) == 42
+
+    def test_bound(self):
+        assert PerfectClock().bound() == 1
+
+
+class TestFixedSkewClock:
+    def test_positive_offset(self):
+        assert FixedSkewClock(3, 5).read(10) == 13
+
+    def test_negative_offset_clamped_at_zero(self):
+        assert FixedSkewClock(-3, 5).read(1) == 0
+
+    def test_offset_must_respect_bound(self):
+        with pytest.raises(ComputationError):
+            FixedSkewClock(5, 5)
+
+    @given(st.integers(min_value=-4, max_value=4), st.integers(min_value=0, max_value=100))
+    def test_skew_bound_holds(self, offset, t):
+        clock = FixedSkewClock(offset, 5)
+        assert abs(clock.read(t) - t) < 5 or clock.read(t) == 0
+
+
+class TestDriftingClock:
+    def test_monotone(self):
+        clock = DriftingClock(3, seed=7)
+        readings = [clock.read(t) for t in range(0, 100, 2)]
+        assert readings == sorted(readings)
+
+    def test_bounded_drift(self):
+        clock = DriftingClock(3, seed=11)
+        for t in range(0, 200, 3):
+            local = clock.read(t)
+            # Monotonicity enforcement can hold the local clock slightly
+            # above a backwards-walking offset, but never beyond the bound.
+            assert local - t < 3 + 3  # generous static bound
+
+    def test_out_of_order_reads_rejected(self):
+        clock = DriftingClock(3)
+        clock.read(10)
+        with pytest.raises(ComputationError):
+            clock.read(5)
+
+    def test_deterministic_with_seed(self):
+        a = [DriftingClock(3, seed=5).read(t) for t in range(10)]
+        b = [DriftingClock(3, seed=5).read(t) for t in range(10)]
+        assert a == b
+
+
+class TestFactory:
+    def test_perfect_model(self):
+        clocks = clocks_for_processes(["P1", "P2"], 5, model="perfect")
+        assert all(isinstance(c, PerfectClock) for c in clocks.values())
+
+    def test_fixed_model(self):
+        clocks = clocks_for_processes(["P1", "P2", "P3"], 5, model="fixed", seed=1)
+        assert set(clocks) == {"P1", "P2", "P3"}
+
+    def test_drift_model(self):
+        clocks = clocks_for_processes(["P1"], 5, model="drift")
+        assert isinstance(clocks["P1"], DriftingClock)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ComputationError):
+            clocks_for_processes(["P1"], 5, model="quartz")
+
+    def test_epsilon_one_fixed_is_zero_offset(self):
+        clocks = clocks_for_processes(["P1"], 1, model="fixed")
+        assert clocks["P1"].read(42) == 42

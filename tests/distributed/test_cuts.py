@@ -1,0 +1,99 @@
+"""Unit tests for consistent cuts and linear extensions."""
+
+from hypothesis import given, settings
+
+from repro.distributed.computation import DistributedComputation
+from repro.distributed.cuts import (
+    count_linear_extensions,
+    frontier,
+    is_consistent_cut,
+    linear_extensions,
+)
+
+from tests.conftest import small_computations
+
+
+def chain_computation() -> DistributedComputation:
+    """Two totally ordered processes far apart in time (epsilon small)."""
+    return DistributedComputation.from_event_lists(
+        1, {"P1": [(0, "a"), (10, "b")], "P2": [(20, "c")]}
+    )
+
+
+def concurrent_computation() -> DistributedComputation:
+    """Two fully concurrent events."""
+    return DistributedComputation.from_event_lists(
+        5, {"P1": [(1, "a")], "P2": [(2, "b")]}
+    )
+
+
+class TestConsistency:
+    def test_empty_cut_is_consistent(self):
+        hb = chain_computation().happened_before()
+        assert is_consistent_cut(hb, [])
+
+    def test_full_cut_is_consistent(self):
+        comp = chain_computation()
+        hb = comp.happened_before()
+        assert is_consistent_cut(hb, comp.events)
+
+    def test_prefix_cut_is_consistent(self):
+        comp = chain_computation()
+        hb = comp.happened_before()
+        assert is_consistent_cut(hb, comp.events[:1])
+
+    def test_hole_makes_cut_inconsistent(self):
+        comp = chain_computation()
+        hb = comp.happened_before()
+        # The last event without its predecessors is not downward closed.
+        assert not is_consistent_cut(hb, [comp.events[2]])
+
+
+class TestFrontier:
+    def test_frontier_takes_last_per_process(self):
+        comp = chain_computation()
+        hb = comp.happened_before()
+        front = frontier(hb, comp.events)
+        assert {e.process for e in front} == {"P1", "P2"}
+        p1 = next(e for e in front if e.process == "P1")
+        assert p1.seq == 1
+
+    def test_frontier_of_partial_cut(self):
+        comp = chain_computation()
+        hb = comp.happened_before()
+        front = frontier(hb, comp.events[:2])
+        assert len(front) == 1  # only P1 events present
+
+
+class TestLinearExtensions:
+    def test_totally_ordered_has_one_extension(self):
+        hb = chain_computation().happened_before()
+        assert count_linear_extensions(hb) == 1
+
+    def test_concurrent_pair_has_two_extensions(self):
+        hb = concurrent_computation().happened_before()
+        assert count_linear_extensions(hb) == 2
+
+    def test_extensions_respect_hb(self):
+        comp = chain_computation()
+        hb = comp.happened_before()
+        for order in linear_extensions(hb):
+            positions = {e.key: i for i, e in enumerate(order)}
+            for e in comp.events:
+                for f in comp.events:
+                    if hb.precedes(e, f):
+                        assert positions[e.key] < positions[f.key]
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_computations())
+    def test_every_prefix_is_a_consistent_cut(self, comp):
+        hb = comp.happened_before()
+        for order in linear_extensions(hb):
+            for i in range(len(order) + 1):
+                assert is_consistent_cut(hb, order[:i])
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_computations())
+    def test_extension_count_positive(self, comp):
+        hb = comp.happened_before()
+        assert count_linear_extensions(hb) >= 1

@@ -1,0 +1,130 @@
+"""Unit tests for the happened-before closure."""
+
+import pytest
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import ComputationError
+
+
+def two_process(epsilon: int = 2) -> DistributedComputation:
+    return DistributedComputation.from_event_lists(
+        epsilon, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+
+
+class TestProgramOrder:
+    def test_same_process_ordered(self):
+        comp = two_process()
+        hb = comp.happened_before()
+        e1, e2 = [e for e in comp.events if e.process == "P1"]
+        assert hb.precedes(e1, e2)
+        assert not hb.precedes(e2, e1)
+
+    def test_non_monotone_clock_rejected(self):
+        comp = DistributedComputation(2)
+        comp.add_event("P1", 5)
+        with pytest.raises(ComputationError):
+            comp.add_event("P1", 3)
+
+
+class TestEpsilonRule:
+    def test_far_apart_events_ordered(self):
+        comp = two_process(epsilon=2)
+        hb = comp.happened_before()
+        events = comp.events
+        p1_first = events[0]   # P1 @ 1
+        p2_second = events[3]  # P2 @ 5
+        # 1 + 2 < 5, so the epsilon rule applies.
+        assert hb.precedes(p1_first, p2_second)
+
+    def test_close_events_concurrent(self):
+        comp = two_process(epsilon=2)
+        hb = comp.happened_before()
+        events = comp.events
+        p1_first = events[0]  # P1 @ 1
+        p2_first = events[2]  # P2 @ 2
+        assert hb.concurrent(p1_first, p2_first)
+
+    def test_larger_epsilon_means_more_concurrency(self):
+        small = two_process(epsilon=1).happened_before()
+        large = two_process(epsilon=10).happened_before()
+
+        def concurrent_pairs(hb):
+            events = hb.events
+            return sum(
+                1
+                for i, e in enumerate(events)
+                for f in events[i + 1 :]
+                if hb.concurrent(e, f)
+            )
+
+        assert concurrent_pairs(large) > concurrent_pairs(small)
+
+    def test_epsilon_boundary_is_strict(self):
+        # sigma + eps < sigma' required:  1 + 2 < 3 is false, so @1 and @3
+        # on different processes stay concurrent at epsilon=2.
+        comp = DistributedComputation.from_event_lists(
+            2, {"P1": [(1, "a")], "P2": [(3, "b")]}
+        )
+        hb = comp.happened_before()
+        e, f = comp.events
+        assert hb.concurrent(e, f)
+
+
+class TestMessages:
+    def test_message_edge_orders_events(self):
+        comp = DistributedComputation(10)
+        send = comp.add_event("P1", 1, "send")
+        recv = comp.add_event("P2", 2, "recv")
+        comp.add_message(send, recv)
+        hb = comp.happened_before()
+        assert hb.precedes(send, recv)
+
+    def test_transitivity_through_message(self):
+        comp = DistributedComputation(100)  # epsilon too large to order alone
+        a = comp.add_event("P1", 1)
+        send = comp.add_event("P1", 2)
+        recv = comp.add_event("P2", 3)
+        later = comp.add_event("P2", 4)
+        comp.add_message(send, recv)
+        hb = comp.happened_before()
+        assert hb.precedes(a, later)
+
+    def test_self_message_rejected(self):
+        comp = DistributedComputation(2)
+        a = comp.add_event("P1", 1)
+        b = comp.add_event("P1", 2)
+        with pytest.raises(ComputationError):
+            comp.add_message(a, b)
+
+    def test_unknown_event_rejected(self):
+        comp = DistributedComputation(2)
+        a = comp.add_event("P1", 1)
+        from repro.distributed.event import make_event
+
+        with pytest.raises(ComputationError):
+            comp.add_message(a, make_event("P9", 0, 2))
+
+    def test_cyclic_message_rejected(self):
+        comp = DistributedComputation(100)
+        a = comp.add_event("P1", 1)
+        b = comp.add_event("P2", 1)
+        comp.add_message(a, b)
+        comp.add_message(b, a)
+        with pytest.raises(ComputationError):
+            comp.happened_before()
+
+
+class TestViews:
+    def test_restriction_preserves_order(self):
+        comp = two_process()
+        hb = comp.happened_before()
+        view = hb.restricted_to([0, 3])  # P1@1 and P2@5
+        assert view.precedes_idx(0, 1)
+
+    def test_restriction_events(self):
+        comp = two_process()
+        hb = comp.happened_before()
+        view = hb.restricted_to([1, 2])
+        assert len(view) == 2
+        assert {e.local_time for e in view.events} == {4, 2}

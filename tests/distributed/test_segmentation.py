@@ -1,0 +1,78 @@
+"""Unit tests for computation segmentation (Section V-C)."""
+
+import pytest
+
+from repro.distributed.computation import DistributedComputation
+from repro.distributed.segmentation import segment_computation, segments_for_frequency
+from repro.errors import ComputationError
+
+
+def spread_computation(epsilon: int = 2) -> DistributedComputation:
+    return DistributedComputation.from_event_lists(
+        epsilon,
+        {
+            "P1": [(0, "a"), (10, "b"), (20, "c")],
+            "P2": [(5, "d"), (15, "e"), (25, "f")],
+        },
+    )
+
+
+class TestSegmentation:
+    def test_single_segment_holds_everything(self):
+        comp = spread_computation()
+        segments = segment_computation(comp, 1)
+        assert len(segments) == 1
+        assert len(segments[0].events) == len(comp)
+
+    def test_every_event_in_exactly_one_segment(self):
+        comp = spread_computation()
+        for g in (1, 2, 3, 5):
+            segments = segment_computation(comp, g)
+            keys = [e.key for s in segments for e in s.events]
+            assert sorted(keys) == sorted(e.key for e in comp.events)
+
+    def test_segment_windows_partition_time(self):
+        comp = spread_computation()
+        segments = segment_computation(comp, 3)
+        for a, b in zip(segments, segments[1:]):
+            assert a.hi == b.lo
+        for segment in segments:
+            for event in segment.events:
+                assert segment.lo <= event.local_time < segment.hi
+
+    def test_context_contains_epsilon_overlap(self):
+        comp = spread_computation(epsilon=6)
+        segments = segment_computation(comp, 3)
+        second = segments[1]
+        for event in second.context:
+            assert second.lo - 6 <= event.local_time < second.lo
+
+    def test_more_segments_than_span(self):
+        comp = DistributedComputation.from_event_lists(1, {"P1": [(0, "a")]})
+        segments = segment_computation(comp, 10)
+        non_empty = [s for s in segments if not s.is_empty()]
+        assert len(non_empty) == 1
+
+    def test_empty_computation(self):
+        comp = DistributedComputation(1)
+        segments = segment_computation(comp, 3)
+        assert all(s.is_empty() for s in segments)
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(ComputationError):
+            segment_computation(spread_computation(), 0)
+
+
+class TestFrequency:
+    def test_frequency_to_segment_count(self):
+        comp = spread_computation()  # spans 26 ms
+        # 1 segment per second of computation at 1 ms per unit.
+        assert segments_for_frequency(comp, 1000.0) == 26
+
+    def test_low_frequency_gives_one_segment(self):
+        comp = spread_computation()
+        assert segments_for_frequency(comp, 0.5) == 1
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ComputationError):
+            segments_for_frequency(spread_computation(), 0)

@@ -1,0 +1,71 @@
+"""Tests for trace construction from ordered events (frontier semantics)."""
+
+from repro.distributed.event import make_event
+from repro.encoding.trace_extractor import build_trace, model_to_trace, segment_carry
+
+
+def events_two_processes():
+    return [
+        make_event("P1", 0, 1, ("a",)),
+        make_event("P2", 0, 2, ("b",), {"to.alice": 10}),
+        make_event("P1", 1, 4, ("c",)),
+        make_event("P2", 1, 5, (), {"to.alice": 5}),
+    ]
+
+
+class TestFrontierSemantics:
+    def test_props_persist_until_next_event_of_process(self):
+        e = events_two_processes()
+        trace = build_trace([(e[0], 1), (e[1], 2), (e[2], 4), (e[3], 5)])
+        assert trace.state(0).props == {"a"}
+        assert trace.state(1).props == {"a", "b"}       # P1's a persists
+        assert trace.state(2).props == {"b", "c"}       # a replaced by c
+        assert trace.state(3).props == {"c"}            # P2 clears b
+
+    def test_valuation_accumulates(self):
+        e = events_two_processes()
+        trace = build_trace([(e[0], 1), (e[1], 2), (e[2], 4), (e[3], 5)])
+        assert trace.state(0).valuation == {}
+        assert trace.state(1).valuation["to.alice"] == 10
+        assert trace.state(3).valuation["to.alice"] == 15
+
+    def test_base_valuation_seeds_sums(self):
+        e = events_two_processes()
+        trace = build_trace([(e[1], 2)], base_valuation={"to.alice": 100})
+        assert trace.state(0).valuation["to.alice"] == 110
+
+    def test_frontier_props_seed_state(self):
+        e = events_two_processes()
+        trace = build_trace(
+            [(e[1], 2)], frontier_props={"P1": frozenset({"x"})}
+        )
+        assert trace.state(0).props == {"x", "b"}
+
+    def test_empty_input(self):
+        assert len(build_trace([])) == 0
+
+
+class TestSegmentCarry:
+    def test_valuation_and_frontier(self):
+        e = events_two_processes()
+        valuation, frontier = segment_carry(e)
+        assert valuation == {"to.alice": 15}
+        assert frontier["P1"] == frozenset({"c"})
+        assert frontier["P2"] == frozenset()
+
+    def test_carry_composes(self):
+        e = events_two_processes()
+        v1, f1 = segment_carry(e[:2])
+        v2, f2 = segment_carry(e[2:], v1, f1)
+        v_all, f_all = segment_carry(e)
+        assert v2 == v_all
+        assert f2 == f_all
+
+
+class TestModelDecoding:
+    def test_positions_define_order(self):
+        e = events_two_processes()[:2]
+        model = {"pos0": 1, "pos1": 0, "t0": 3, "t1": 2}
+        trace = model_to_trace(e, model)
+        assert trace.times == (2, 3)
+        assert trace.state(0).props == {"b"}

@@ -1,0 +1,99 @@
+"""Tests for the JSON wire format."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.io.serialize import (
+    SerializationError,
+    computation_from_dict,
+    computation_to_dict,
+    dump_computation,
+    formula_from_text,
+    formula_to_text,
+    load_computation,
+    result_to_dict,
+)
+from repro.monitor.fast import FastMonitor
+from repro.mtl import parse
+
+from tests.conftest import formulas, small_computations
+
+
+class TestComputationRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(small_computations())
+    def test_roundtrip_preserves_events(self, comp):
+        clone = computation_from_dict(computation_to_dict(comp))
+        assert clone.epsilon == comp.epsilon
+        assert clone.events == comp.events
+
+    def test_roundtrip_preserves_messages(self):
+        from repro.distributed.computation import DistributedComputation
+
+        comp = DistributedComputation(5)
+        send = comp.add_event("P1", 1, "send")
+        recv = comp.add_event("P2", 2, "recv")
+        comp.add_message(send, recv)
+        clone = computation_from_dict(computation_to_dict(comp))
+        assert len(clone.messages) == 1
+
+    def test_roundtrip_preserves_deltas(self):
+        from repro.distributed.computation import DistributedComputation
+
+        comp = DistributedComputation(2)
+        comp.add_event("apr", 10, "t", {"to.alice": 7})
+        clone = computation_from_dict(computation_to_dict(comp))
+        assert clone.events[0].deltas == {"to.alice": 7.0}
+
+    def test_file_roundtrip(self, tmp_path, fig3_computation):
+        path = tmp_path / "comp.json"
+        dump_computation(fig3_computation, str(path))
+        loaded = load_computation(str(path))
+        assert loaded.events == fig3_computation.events
+        # The file is real JSON.
+        json.loads(path.read_text())
+
+    def test_monitoring_survives_roundtrip(self, fig3_computation, fig3_formula):
+        clone = computation_from_dict(computation_to_dict(fig3_computation))
+        original = FastMonitor(fig3_formula).run(fig3_computation)
+        reloaded = FastMonitor(fig3_formula).run(clone)
+        assert original.verdict_counts == reloaded.verdict_counts
+
+
+class TestMalformedPayloads:
+    def test_missing_epsilon(self):
+        with pytest.raises(SerializationError):
+            computation_from_dict({"events": []})
+
+    def test_malformed_event(self):
+        with pytest.raises(SerializationError):
+            computation_from_dict({"epsilon": 1, "events": [{"process": "P1"}]})
+
+    def test_malformed_message(self):
+        with pytest.raises(SerializationError):
+            computation_from_dict(
+                {
+                    "epsilon": 1,
+                    "events": [{"process": "P1", "time": 0}],
+                    "messages": [{"send": ["P9", 0], "recv": ["P1", 0]}],
+                }
+            )
+
+
+class TestFormulaAndResult:
+    @given(formulas())
+    def test_formula_text_roundtrip(self, phi):
+        assert formula_from_text(formula_to_text(phi)) == phi
+
+    def test_result_summary(self, fig3_computation, fig3_formula):
+        result = FastMonitor(fig3_formula).run(fig3_computation)
+        summary = result_to_dict(result)
+        assert summary["verdicts"] == [False, True]
+        assert summary["deterministic"] is False
+        assert summary["segments"][0]["events"] == 4
+        json.dumps(summary)  # JSON-serializable
+
+    def test_formula_parse_helper(self):
+        assert formula_from_text("G[0,5) p") == parse("G[0,5) p")

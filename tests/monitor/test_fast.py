@@ -1,0 +1,86 @@
+"""Tests for the memoized FastMonitor — exactness is the whole point."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import MonitorError
+from repro.monitor.baseline import EnumerationMonitor
+from repro.monitor.fast import FastMonitor
+from repro.mtl import parse
+
+from tests.conftest import formulas, small_computations
+
+
+class TestExactEquivalence:
+    """FastMonitor must return the baseline's verdict multiset exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_computations(), formulas(max_depth=2))
+    def test_matches_baseline_counts(self, comp, phi):
+        fast = FastMonitor(phi).run(comp)
+        baseline = EnumerationMonitor(phi).run(comp)
+        assert fast.verdict_counts == baseline.verdict_counts
+
+    def test_fig3(self, fig3_computation, fig3_formula):
+        result = FastMonitor(fig3_formula).run(fig3_computation)
+        assert result.verdict_counts == {True: 112, False: 18}
+        assert result.exhaustive
+
+
+class TestScaling:
+    def test_wide_windows_tractable(self):
+        """A chain of events with huge skew windows: the raw trace count
+        is astronomical, yet the verdict multiset is computed exactly."""
+        comp = DistributedComputation.from_event_lists(
+            20,
+            {
+                "P1": [(100, "a"), (200, "a"), (300, "a"), (400, "a")],
+                "P2": [(150, ()), (250, ()), (350, "b")],
+            },
+        )
+        spec = parse("a U[0,400) b")
+        result = FastMonitor(spec).run(comp)
+        total = sum(result.verdict_counts.values())
+        assert total > 10**9  # far beyond anything enumerable
+        assert result.verdicts
+
+    def test_trace_count_matches_report(self, fig3_computation, fig3_formula):
+        result = FastMonitor(fig3_formula).run(fig3_computation)
+        assert result.segment_reports[0].traces_enumerated == 130
+
+    def test_too_many_events_rejected(self):
+        comp = DistributedComputation(1)
+        for i in range(301):
+            comp.add_event("P1", i)
+        with pytest.raises(MonitorError):
+            FastMonitor(parse("G p")).run(comp)
+
+
+class TestEdgeCases:
+    def test_empty_computation(self):
+        comp = DistributedComputation(1)
+        assert FastMonitor(parse("F[0,5) p")).run(comp).definitely_violated
+        assert FastMonitor(parse("G[0,5) p")).run(comp).definitely_satisfied
+
+    def test_single_event(self):
+        comp = DistributedComputation.from_event_lists(1, {"P1": [(0, "p")]})
+        assert FastMonitor(parse("p")).run(comp).definitely_satisfied
+        assert FastMonitor(parse("!p")).run(comp).definitely_violated
+
+    def test_sampling_marks_incomplete(self, fig3_computation, fig3_formula):
+        result = FastMonitor(fig3_formula, timestamp_samples=2).run(fig3_computation)
+        assert not result.verdict_set_complete
+        exact = FastMonitor(fig3_formula).run(fig3_computation)
+        assert result.verdicts <= exact.verdicts
+
+    def test_payoff_predicates_supported(self):
+        from repro.specs.payoff import non_negative_payoff
+        from repro.mtl import ast
+
+        comp = DistributedComputation(2)
+        comp.add_event("P1", 1, "pay", {"to.alice": 10})
+        comp.add_event("P2", 5, "end", {"from.alice": 3})
+        phi = ast.always(ast.implies(ast.atom("end"), non_negative_payoff("alice")))
+        result = FastMonitor(phi).run(comp)
+        assert result.definitely_satisfied

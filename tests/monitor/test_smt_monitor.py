@@ -1,0 +1,153 @@
+"""Tests for the solver-backed monitor: paper examples, baseline
+equivalence, segmentation, saturation, verdict bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import MonitorError
+from repro.monitor.baseline import EnumerationMonitor
+from repro.monitor.smt_monitor import SmtMonitor, monitor
+from repro.mtl import ast, parse
+from repro.mtl.interval import Interval
+
+from tests.conftest import formulas, small_computations
+
+
+class TestFig3Example:
+    """Section III's motivating example: both verdicts are possible."""
+
+    def test_verdict_set_is_both(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(fig3_formula, saturate=False).run(fig3_computation)
+        assert result.verdicts == frozenset({True, False})
+        assert not result.is_deterministic
+
+    def test_matches_baseline_counts(self, fig3_computation, fig3_formula):
+        smt = SmtMonitor(fig3_formula, saturate=False).run(fig3_computation)
+        baseline = EnumerationMonitor(fig3_formula).run(fig3_computation)
+        assert smt.verdict_counts == baseline.verdict_counts
+
+    def test_saturation_still_finds_both(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(fig3_formula, saturate=True).run(fig3_computation)
+        assert result.verdicts == frozenset({True, False})
+        assert result.verdict_set_complete
+
+    def test_with_perfect_clocks_verdict_unique(self, fig3_formula):
+        comp = DistributedComputation.from_event_lists(
+            1, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+        )
+        result = SmtMonitor(fig3_formula, saturate=False).run(comp)
+        assert result.is_deterministic
+
+
+class TestBaselineEquivalence:
+    """The central soundness theorem of the reproduction: with g=1 the
+    segmented solver monitor equals brute-force enumeration exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_computations(), formulas(max_depth=2))
+    def test_verdict_counts_match(self, comp, phi):
+        smt = SmtMonitor(phi, segments=1, saturate=False).run(comp)
+        baseline = EnumerationMonitor(phi).run(comp)
+        assert smt.verdict_counts == baseline.verdict_counts
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_computations(), formulas(max_depth=2))
+    def test_csp_backend_matches(self, comp, phi):
+        dfs = SmtMonitor(phi, saturate=False, backend="dfs").run(comp)
+        csp = SmtMonitor(phi, saturate=False, backend="csp").run(comp)
+        assert dfs.verdict_counts == csp.verdict_counts
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_computations(), formulas(max_depth=2))
+    def test_segmentation_preserves_verdict_subset(self, comp, phi):
+        """Segmented verdicts are a subset of the exact verdict set (the
+        boundary clamping can only remove interleavings, never invent)."""
+        exact = SmtMonitor(phi, segments=1, saturate=False).run(comp)
+        segmented = SmtMonitor(phi, segments=3, saturate=False).run(comp)
+        assert segmented.verdicts <= exact.verdicts
+        assert segmented.verdicts  # never empty
+
+
+class TestSegmentation:
+    def test_two_segments_report(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(fig3_formula, segments=2, saturate=False).run(fig3_computation)
+        assert len(result.segment_reports) == 2
+        assert all(r.events > 0 for r in result.segment_reports)
+
+    def test_more_segments_than_events(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(fig3_formula, segments=50, saturate=False).run(fig3_computation)
+        assert result.verdicts
+
+    def test_invalid_segments_rejected(self, fig3_formula):
+        with pytest.raises(MonitorError):
+            SmtMonitor(fig3_formula, segments=0)
+
+
+class TestBudgets:
+    def test_max_traces_flags_incomplete(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(
+            fig3_formula, max_traces_per_segment=3, saturate=False
+        ).run(fig3_computation)
+        assert not result.exhaustive
+        assert not result.verdict_set_complete
+
+    def test_max_distinct_stops_early(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(
+            fig3_formula, max_distinct_per_segment=1, saturate=False
+        ).run(fig3_computation)
+        assert len(result.verdicts) >= 1
+        assert not result.exhaustive
+
+    def test_sampling_flags_incomplete(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(
+            fig3_formula, timestamp_samples=2, saturate=False
+        ).run(fig3_computation)
+        assert not result.verdict_set_complete
+        assert result.verdicts  # still sound: found verdicts are real
+
+    def test_sampled_verdicts_are_subset_of_exact(self, fig3_computation, fig3_formula):
+        exact = SmtMonitor(fig3_formula, saturate=False).run(fig3_computation)
+        sampled = SmtMonitor(fig3_formula, timestamp_samples=2, saturate=False).run(
+            fig3_computation
+        )
+        assert sampled.verdicts <= exact.verdicts
+
+
+class TestEmptyComputation:
+    def test_strong_obligation_violated(self):
+        comp = DistributedComputation(1)
+        result = monitor(parse("F[0,5) p"), comp)
+        assert result.definitely_violated
+
+    def test_weak_obligation_satisfied(self):
+        comp = DistributedComputation(1)
+        result = monitor(parse("G[0,5) p"), comp)
+        assert result.definitely_satisfied
+
+
+class TestVerdictBookkeeping:
+    def test_counts_and_str(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(fig3_formula, saturate=False).run(fig3_computation)
+        assert result.count(True) + result.count(False) == sum(
+            r.traces_enumerated for r in result.segment_reports
+        )
+        assert "T×" in str(result) and "F×" in str(result)
+
+    def test_boolean_queries(self, fig3_computation, fig3_formula):
+        result = SmtMonitor(fig3_formula, saturate=False).run(fig3_computation)
+        assert result.may_be_satisfied
+        assert result.may_be_violated
+        assert not result.definitely_satisfied
+        assert not result.definitely_violated
+
+
+class TestEarlyResolution:
+    def test_all_residuals_resolved_stops_early(self):
+        """A formula decided by the first segment stops the monitor."""
+        comp = DistributedComputation.from_event_lists(
+            1, {"P1": [(0, "p"), (10, ()), (20, ()), (30, ())]}
+        )
+        result = SmtMonitor(parse("p"), segments=4, saturate=False).run(comp)
+        assert result.definitely_satisfied
+        assert len(result.segment_reports) == 1

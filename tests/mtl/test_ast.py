@@ -1,0 +1,217 @@
+"""Unit tests for the MTL AST and smart constructors."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import FormulaError
+from repro.mtl.ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    Not,
+    Or,
+    PredicateAtom,
+    Until,
+    always,
+    atom,
+    eventually,
+    implies,
+    land,
+    lnot,
+    lor,
+    until,
+)
+from repro.mtl.interval import Interval
+
+from tests.conftest import formulas
+
+
+class TestAtoms:
+    def test_atom_name(self):
+        assert atom("p").name == "p"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FormulaError):
+            atom("")
+
+    def test_atom_equality(self):
+        assert atom("p") == atom("p")
+        assert atom("p") != atom("q")
+
+    def test_atom_holds_in(self):
+        assert atom("p").holds_in(frozenset({"p"}), {})
+        assert not atom("p").holds_in(frozenset({"q"}), {})
+
+    def test_predicate_atom_uses_valuation(self):
+        rich = PredicateAtom("rich", lambda v: v.get("balance", 0) > 100)
+        assert rich.holds_in(frozenset(), {"balance": 150})
+        assert not rich.holds_in(frozenset(), {"balance": 50})
+
+    def test_predicate_atom_requires_predicate(self):
+        with pytest.raises(FormulaError):
+            PredicateAtom("x", None)  # type: ignore[arg-type]
+
+    def test_predicate_atom_equality_by_name(self):
+        a = PredicateAtom("x", lambda v: True)
+        b = PredicateAtom("x", lambda v: False)
+        assert a == b
+
+
+class TestNegation:
+    def test_double_negation(self):
+        assert lnot(lnot(atom("p"))) == atom("p")
+
+    def test_negate_true(self):
+        assert lnot(TRUE) == FALSE
+
+    def test_negate_false(self):
+        assert lnot(FALSE) == TRUE
+
+    def test_negation_node(self):
+        assert isinstance(lnot(atom("p")), Not)
+
+
+class TestConjunction:
+    def test_flattening(self):
+        result = land(land(atom("a"), atom("b")), atom("c"))
+        assert isinstance(result, And)
+        assert len(result.operands) == 3
+
+    def test_true_identity(self):
+        assert land(TRUE, atom("a")) == atom("a")
+
+    def test_false_absorbs(self):
+        assert land(atom("a"), FALSE, atom("b")) == FALSE
+
+    def test_deduplication(self):
+        assert land(atom("a"), atom("a")) == atom("a")
+
+    def test_contradiction_detected(self):
+        assert land(atom("a"), lnot(atom("a"))) == FALSE
+
+    def test_empty_is_true(self):
+        assert land() == TRUE
+
+    def test_raw_and_requires_two_operands(self):
+        with pytest.raises(FormulaError):
+            And((atom("a"),))
+
+    def test_order_preserved(self):
+        result = land(atom("b"), atom("a"))
+        assert result.operands == (atom("b"), atom("a"))
+
+
+class TestDisjunction:
+    def test_false_identity(self):
+        assert lor(FALSE, atom("a")) == atom("a")
+
+    def test_true_absorbs(self):
+        assert lor(atom("a"), TRUE) == TRUE
+
+    def test_tautology_detected(self):
+        assert lor(atom("a"), lnot(atom("a"))) == TRUE
+
+    def test_flattening(self):
+        result = lor(lor(atom("a"), atom("b")), atom("c"))
+        assert isinstance(result, Or)
+        assert len(result.operands) == 3
+
+    def test_empty_is_false(self):
+        assert lor() == FALSE
+
+
+class TestImplication:
+    def test_desugars_to_or(self):
+        result = implies(atom("a"), atom("b"))
+        assert result == lor(lnot(atom("a")), atom("b"))
+
+    def test_true_antecedent(self):
+        assert implies(TRUE, atom("b")) == atom("b")
+
+    def test_false_antecedent(self):
+        assert implies(FALSE, atom("b")) == TRUE
+
+    def test_method_form(self):
+        assert atom("a").implies(atom("b")) == implies(atom("a"), atom("b"))
+
+
+class TestTemporal:
+    def test_until_default_interval(self):
+        u = until(atom("a"), atom("b"))
+        assert isinstance(u, Until)
+        assert u.interval == Interval.always()
+
+    def test_until_empty_interval_is_false(self):
+        assert until(atom("a"), atom("b"), Interval.empty()) == FALSE
+
+    def test_eventually_constant_folding(self):
+        assert eventually(FALSE) == FALSE
+        # F_I true is NOT folded: on an empty remainder it must be false.
+        assert isinstance(eventually(TRUE), Eventually)
+
+    def test_always_constant_folding(self):
+        assert always(TRUE) == TRUE
+        # G_I false is NOT folded: on an empty remainder it must be true.
+        assert isinstance(always(FALSE), Always)
+
+    def test_eventually_empty_interval(self):
+        assert eventually(atom("p"), Interval.empty()) == FALSE
+
+    def test_always_empty_interval(self):
+        assert always(atom("p"), Interval.empty()) == TRUE
+
+    def test_operator_sugar(self):
+        assert (atom("a") & atom("b")) == land(atom("a"), atom("b"))
+        assert (atom("a") | atom("b")) == lor(atom("a"), atom("b"))
+        assert (~atom("a")) == lnot(atom("a"))
+
+
+class TestStructure:
+    def test_size_counts_nodes(self):
+        phi = until(atom("a"), land(atom("b"), atom("c")), Interval.bounded(0, 5))
+        assert phi.size() == 5  # U, a, And, b, c
+
+    def test_temporal_depth_flat(self):
+        assert eventually(atom("p")).temporal_depth() == 1
+
+    def test_temporal_depth_nested(self):
+        phi = always(eventually(atom("p"), Interval.bounded(0, 3)))
+        assert phi.temporal_depth() == 2
+
+    def test_temporal_depth_boolean_does_not_count(self):
+        phi = land(atom("a"), lnot(atom("b")))
+        assert phi.temporal_depth() == 0
+
+    def test_atoms_collected(self):
+        phi = until(atom("a"), lor(atom("b"), lnot(atom("c"))))
+        assert {a.name for a in phi.atoms()} == {"a", "b", "c"}
+
+    def test_walk_visits_all(self):
+        phi = land(atom("a"), eventually(atom("b")))
+        names = [type(node).__name__ for node in phi.walk()]
+        assert "And" in names and "Eventually" in names and names.count("Atom") == 2
+
+    @given(formulas())
+    def test_formulas_hashable_and_self_equal(self, phi):
+        assert phi == phi
+        hash(phi)
+
+    @given(formulas())
+    def test_size_positive(self, phi):
+        assert phi.size() >= 1
+
+
+class TestPrinting:
+    def test_until_printing(self):
+        phi = until(atom("a"), atom("b"), Interval.bounded(0, 8))
+        assert str(phi) == "a U[0,8) b"
+
+    def test_always_printing(self):
+        assert str(always(atom("p"), Interval.bounded(0, 5))) == "G[0,5) p"
+
+    def test_nested_parenthesised(self):
+        phi = eventually(land(atom("a"), atom("b")), Interval.bounded(0, 3))
+        assert str(phi) == "F[0,3) (a & b)"

@@ -1,0 +1,152 @@
+"""Unit tests for half-open integer intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormulaError
+from repro.mtl.interval import INF, Interval
+
+from tests.conftest import intervals
+
+
+class TestConstruction:
+    def test_bounded(self):
+        interval = Interval.bounded(2, 9)
+        assert interval.start == 2
+        assert interval.end == 9
+
+    def test_unbounded(self):
+        interval = Interval.unbounded(5)
+        assert interval.start == 5
+        assert interval.is_unbounded()
+
+    def test_always_covers_zero(self):
+        assert 0 in Interval.always()
+
+    def test_empty_interval_is_empty(self):
+        assert Interval.empty().is_empty()
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(-1, 5)
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval.bounded(5, 5)
+
+    def test_non_integer_start_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval("0", 5)  # type: ignore[arg-type]
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(FormulaError):
+            Interval(True, 5)  # type: ignore[arg-type]
+
+    def test_negative_end_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval(0, -3)
+
+
+class TestMembership:
+    def test_start_included(self):
+        assert 2 in Interval.bounded(2, 9)
+
+    def test_end_excluded(self):
+        assert 9 not in Interval.bounded(2, 9)
+
+    def test_interior(self):
+        assert 5 in Interval.bounded(2, 9)
+
+    def test_below_start(self):
+        assert 1 not in Interval.bounded(2, 9)
+
+    def test_unbounded_large_values(self):
+        assert 10**9 in Interval.unbounded(3)
+
+    def test_contains_method_matches_operator(self):
+        interval = Interval.bounded(1, 4)
+        for value in range(6):
+            assert interval.contains(value) == (value in interval)
+
+
+class TestShifting:
+    def test_shift_down_basic(self):
+        assert Interval.bounded(2, 9).shift_down(3) == Interval.bounded(0, 6)
+
+    def test_shift_down_clamps_start(self):
+        assert Interval.bounded(2, 9).shift_down(5) == Interval.bounded(0, 4)
+
+    def test_shift_down_to_empty(self):
+        assert Interval.bounded(2, 9).shift_down(20).is_empty()
+
+    def test_shift_down_exactly_to_end(self):
+        assert Interval.bounded(0, 6).shift_down(6).is_empty()
+
+    def test_shift_down_unbounded_stays_unbounded(self):
+        shifted = Interval.unbounded(5).shift_down(100)
+        assert shifted.is_unbounded()
+        assert shifted.start == 0
+
+    def test_shift_down_zero_is_identity(self):
+        interval = Interval.bounded(2, 9)
+        assert interval.shift_down(0) == interval
+
+    def test_shift_down_negative_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval.bounded(0, 5).shift_down(-1)
+
+    def test_shift_up_basic(self):
+        assert Interval.bounded(2, 9).shift_up(3) == Interval.bounded(5, 12)
+
+    def test_shift_up_unbounded(self):
+        assert Interval.unbounded(2).shift_up(3) == Interval.unbounded(5)
+
+    def test_shift_up_negative_rejected(self):
+        with pytest.raises(FormulaError):
+            Interval.bounded(0, 5).shift_up(-2)
+
+    @given(intervals(), st.integers(min_value=0, max_value=20))
+    def test_shift_down_membership(self, interval, tau):
+        """x in (I - tau) iff (x + tau) in I, for x beyond the clamp point."""
+        shifted = interval.shift_down(tau)
+        for x in range(0, 30):
+            if x + tau >= interval.start or x > 0:
+                # Above the clamp, membership must correspond exactly.
+                if x >= shifted.start and x > 0:
+                    assert (x in shifted) == (x + tau in interval)
+
+    @given(intervals(), st.integers(min_value=0, max_value=10))
+    def test_shift_roundtrip_preserves_width_when_unclamped(self, interval, tau):
+        if interval.is_unbounded() or interval.start < tau:
+            return
+        assert interval.shift_down(tau).shift_up(tau) == interval
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert Interval.bounded(0, 5).overlaps(Interval.bounded(3, 8))
+
+    def test_touching_do_not_overlap(self):
+        assert not Interval.bounded(0, 5).overlaps(Interval.bounded(5, 8))
+
+    def test_nested(self):
+        assert Interval.bounded(0, 10).overlaps(Interval.bounded(3, 4))
+
+    def test_empty_never_overlaps(self):
+        assert not Interval.empty().overlaps(Interval.always())
+
+    @given(intervals(), intervals())
+    def test_overlap_symmetric(self, left, right):
+        assert left.overlaps(right) == right.overlaps(left)
+
+
+class TestPresentation:
+    def test_str_bounded(self):
+        assert str(Interval.bounded(2, 9)) == "[2,9)"
+
+    def test_str_unbounded(self):
+        assert str(Interval.unbounded(3)) == "[3,inf)"
+
+    def test_hashable(self):
+        assert len({Interval.bounded(0, 5), Interval.bounded(0, 5)}) == 1

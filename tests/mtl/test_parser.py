@@ -1,0 +1,151 @@
+"""Unit tests for the MTL text parser."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ParseError
+from repro.mtl import ast
+from repro.mtl.interval import INF, Interval
+from repro.mtl.parser import parse
+
+from tests.conftest import formulas
+
+
+class TestAtoms:
+    def test_plain_atom(self):
+        assert parse("p") == ast.atom("p")
+
+    def test_dotted_atom(self):
+        assert parse("apr.redeem") == ast.atom("apr.redeem")
+
+    def test_atom_with_arguments(self):
+        assert parse("apr.redeem(bob)") == ast.atom("apr.redeem(bob)")
+
+    def test_atom_with_two_arguments(self):
+        assert parse("coin.declaration(alice, sb)") == ast.atom("coin.declaration(alice,sb)")
+
+    def test_constants(self):
+        assert parse("true") == ast.TRUE
+        assert parse("false") == ast.FALSE
+
+
+class TestOperators:
+    def test_negation(self):
+        assert parse("!p") == ast.lnot(ast.atom("p"))
+
+    def test_conjunction(self):
+        assert parse("a & b & c") == ast.land(ast.atom("a"), ast.atom("b"), ast.atom("c"))
+
+    def test_disjunction(self):
+        assert parse("a | b") == ast.lor(ast.atom("a"), ast.atom("b"))
+
+    def test_double_symbols_accepted(self):
+        assert parse("a && b") == parse("a & b")
+        assert parse("a || b") == parse("a | b")
+
+    def test_implication(self):
+        assert parse("a -> b") == ast.implies(ast.atom("a"), ast.atom("b"))
+
+    def test_implication_right_associative(self):
+        assert parse("a -> b -> c") == ast.implies(
+            ast.atom("a"), ast.implies(ast.atom("b"), ast.atom("c"))
+        )
+
+    def test_precedence_and_over_or(self):
+        phi = parse("a & b | c")
+        assert phi == ast.lor(ast.land(ast.atom("a"), ast.atom("b")), ast.atom("c"))
+
+    def test_parentheses(self):
+        phi = parse("a & (b | c)")
+        assert phi == ast.land(ast.atom("a"), ast.lor(ast.atom("b"), ast.atom("c")))
+
+
+class TestTemporal:
+    def test_until_with_interval(self):
+        phi = parse("p U[0,8) q")
+        assert phi == ast.until(ast.atom("p"), ast.atom("q"), Interval.bounded(0, 8))
+
+    def test_until_without_interval(self):
+        phi = parse("p U q")
+        assert phi == ast.until(ast.atom("p"), ast.atom("q"))
+
+    def test_eventually(self):
+        assert parse("F[0,3) p") == ast.eventually(ast.atom("p"), Interval.bounded(0, 3))
+
+    def test_always(self):
+        assert parse("G[2,9) p") == ast.always(ast.atom("p"), Interval.bounded(2, 9))
+
+    def test_unbounded_interval(self):
+        phi = parse("F[5,inf) p")
+        assert isinstance(phi, ast.Eventually)
+        assert phi.interval == Interval.unbounded(5)
+
+    def test_untimed_temporal(self):
+        phi = parse("G p")
+        assert isinstance(phi, ast.Always)
+        assert phi.interval == Interval.always()
+
+    def test_nested_temporal_operators(self):
+        phi = parse("G[0,9) F[0,3) p")
+        assert phi == ast.always(
+            ast.eventually(ast.atom("p"), Interval.bounded(0, 3)), Interval.bounded(0, 9)
+        )
+
+    def test_paper_example(self):
+        phi = parse("!apr.redeem(bob) U[0,8) ban.redeem(alice)")
+        assert phi == ast.until(
+            ast.lnot(ast.atom("apr.redeem(bob)")),
+            ast.atom("ban.redeem(alice)"),
+            Interval.bounded(0, 8),
+        )
+
+    def test_fig4_formula(self):
+        phi = parse("F[0,6) r -> (!p U[2,9) q)")
+        expected = ast.implies(
+            ast.eventually(ast.atom("r"), Interval.bounded(0, 6)),
+            ast.until(ast.lnot(ast.atom("p")), ast.atom("q"), Interval.bounded(2, 9)),
+        )
+        assert phi == expected
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("p q")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("(a & b")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ParseError):
+            parse("F[5,5) p")
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ParseError):
+            parse("F[7,3) p")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse("a &")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("a % b")
+
+    def test_keyword_as_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse("inf")
+
+
+class TestRoundTrip:
+    @given(formulas())
+    def test_print_parse_roundtrip(self, phi):
+        """Printing then parsing reproduces the formula (up to smart-
+        constructor normalisation, which printing already reflects)."""
+        printed = str(phi)
+        assert parse(printed) == phi

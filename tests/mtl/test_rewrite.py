@@ -1,0 +1,92 @@
+"""Unit tests for formula simplification and negation normal form."""
+
+from hypothesis import given
+
+from repro.mtl import ast
+from repro.mtl.interval import Interval
+from repro.mtl.rewrite import simplify, to_nnf
+from repro.mtl.semantics import satisfies
+
+from tests.conftest import formulas, timed_traces
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        phi = ast.And((ast.TRUE, ast.atom("p")))
+        assert simplify(phi) == ast.atom("p")
+
+    def test_until_with_false_right(self):
+        phi = ast.Until(ast.atom("a"), ast.FALSE, Interval.bounded(0, 5))
+        assert simplify(phi) == ast.FALSE
+
+    def test_until_with_true_right_zero_start(self):
+        phi = ast.Until(ast.atom("a"), ast.TRUE, Interval.bounded(0, 5))
+        assert simplify(phi) == ast.TRUE
+
+    def test_until_with_true_left_becomes_eventually(self):
+        phi = ast.Until(ast.TRUE, ast.atom("b"), Interval.bounded(0, 5))
+        assert simplify(phi) == ast.eventually(ast.atom("b"), Interval.bounded(0, 5))
+
+    def test_until_with_false_left_zero_start(self):
+        phi = ast.Until(ast.FALSE, ast.atom("b"), Interval.bounded(0, 5))
+        assert simplify(phi) == ast.atom("b")
+
+    def test_until_with_false_left_positive_start(self):
+        phi = ast.Until(ast.FALSE, ast.atom("b"), Interval.bounded(2, 5))
+        assert simplify(phi) == ast.FALSE
+
+    def test_nested_negations(self):
+        phi = ast.Not(ast.Not(ast.Not(ast.atom("p"))))
+        assert simplify(phi) == ast.lnot(ast.atom("p"))
+
+    @given(formulas())
+    def test_idempotent(self, phi):
+        once = simplify(phi)
+        assert simplify(once) == once
+
+    @given(timed_traces(), formulas(max_depth=2))
+    def test_preserves_semantics(self, trace, phi):
+        assert satisfies(trace, phi) == satisfies(trace, simplify(phi))
+
+
+class TestNNF:
+    def test_pushes_through_and(self):
+        phi = ast.Not(ast.And((ast.atom("a"), ast.atom("b"))))
+        result = to_nnf(phi)
+        assert result == ast.lor(ast.lnot(ast.atom("a")), ast.lnot(ast.atom("b")))
+
+    def test_pushes_through_or(self):
+        phi = ast.Not(ast.Or((ast.atom("a"), ast.atom("b"))))
+        result = to_nnf(phi)
+        assert result == ast.land(ast.lnot(ast.atom("a")), ast.lnot(ast.atom("b")))
+
+    def test_always_eventually_duality(self):
+        interval = Interval.bounded(0, 5)
+        phi = ast.Not(ast.always(ast.atom("p"), interval))
+        assert to_nnf(phi) == ast.eventually(ast.lnot(ast.atom("p")), interval)
+
+    def test_eventually_always_duality(self):
+        interval = Interval.bounded(2, 7)
+        phi = ast.Not(ast.eventually(ast.atom("p"), interval))
+        assert to_nnf(phi) == ast.always(ast.lnot(ast.atom("p")), interval)
+
+    def test_negated_until_stays(self):
+        phi = ast.Not(ast.until(ast.atom("a"), ast.atom("b")))
+        result = to_nnf(phi)
+        assert isinstance(result, ast.Not)
+        assert isinstance(result.operand, ast.Until)
+
+    def test_double_negation_eliminated(self):
+        phi = ast.Not(ast.Not(ast.atom("p")))
+        assert to_nnf(phi) == ast.atom("p")
+
+    @given(timed_traces(), formulas(max_depth=2))
+    def test_preserves_semantics(self, trace, phi):
+        assert satisfies(trace, phi) == satisfies(trace, to_nnf(phi))
+
+    @given(formulas())
+    def test_negations_only_on_atoms_or_until(self, phi):
+        result = to_nnf(phi)
+        for node in result.walk():
+            if isinstance(node, ast.Not):
+                assert isinstance(node.operand, (ast.Atom, ast.Until))

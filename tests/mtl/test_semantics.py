@@ -1,0 +1,158 @@
+"""Unit tests for the finite-trace MTL semantics."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TraceError
+from repro.mtl import ast
+from repro.mtl.interval import Interval
+from repro.mtl.semantics import evaluate, satisfies
+from repro.mtl.trace import State, TimedTrace
+
+from tests.conftest import formulas, timed_traces
+
+
+def trace_of(*entries: tuple[str, int]) -> TimedTrace:
+    """Build a trace from ("a b", time) entries."""
+    states = [State(frozenset(props.split())) if props else State(frozenset()) for props, _ in entries]
+    times = [t for _, t in entries]
+    return TimedTrace(states, times)
+
+
+class TestAtoms:
+    def test_atom_true_in_first_state(self):
+        assert satisfies(trace_of(("p", 0)), ast.atom("p"))
+
+    def test_atom_false(self):
+        assert not satisfies(trace_of(("q", 0)), ast.atom("p"))
+
+    def test_constants(self):
+        trace = trace_of(("", 0))
+        assert satisfies(trace, ast.TRUE)
+        assert not satisfies(trace, ast.FALSE)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            satisfies(TimedTrace.empty(), ast.atom("p"))
+
+    def test_position_out_of_range(self):
+        with pytest.raises(TraceError):
+            evaluate(trace_of(("p", 0)), ast.atom("p"), 3)
+
+
+class TestBoolean:
+    def test_negation(self):
+        assert satisfies(trace_of(("q", 0)), ast.lnot(ast.atom("p")))
+
+    def test_conjunction(self):
+        trace = trace_of(("p q", 0))
+        assert satisfies(trace, ast.land(ast.atom("p"), ast.atom("q")))
+        assert not satisfies(trace, ast.land(ast.atom("p"), ast.atom("r")))
+
+    def test_disjunction(self):
+        trace = trace_of(("p", 0))
+        assert satisfies(trace, ast.lor(ast.atom("r"), ast.atom("p")))
+
+
+class TestEventually:
+    def test_witness_inside_window(self):
+        trace = trace_of(("", 0), ("p", 3))
+        assert satisfies(trace, ast.eventually(ast.atom("p"), Interval.bounded(0, 5)))
+
+    def test_witness_outside_window(self):
+        trace = trace_of(("", 0), ("p", 7))
+        assert not satisfies(trace, ast.eventually(ast.atom("p"), Interval.bounded(0, 5)))
+
+    def test_strong_semantics_no_witness_is_false(self):
+        trace = trace_of(("", 0), ("", 1))
+        assert not satisfies(trace, ast.eventually(ast.atom("p"), Interval.bounded(0, 100)))
+
+    def test_window_start_excludes_early_witness(self):
+        trace = trace_of(("p", 0), ("", 5))
+        assert not satisfies(trace, ast.eventually(ast.atom("p"), Interval.bounded(2, 9)))
+
+    def test_offsets_relative_to_evaluation_point(self):
+        trace = trace_of(("", 10), ("p", 13))
+        assert satisfies(trace, ast.eventually(ast.atom("p"), Interval.bounded(0, 5)))
+
+    def test_at_later_position(self):
+        trace = trace_of(("", 0), ("", 6), ("p", 8))
+        assert evaluate(trace, ast.eventually(ast.atom("p"), Interval.bounded(0, 5)), 1)
+
+
+class TestAlways:
+    def test_weak_semantics_vacuous_is_true(self):
+        trace = trace_of(("", 0))
+        assert satisfies(trace, ast.always(ast.atom("p"), Interval.bounded(5, 9)))
+
+    def test_all_inside_window(self):
+        trace = trace_of(("p", 0), ("p", 2), ("q", 8))
+        assert satisfies(trace, ast.always(ast.atom("p"), Interval.bounded(0, 5)))
+
+    def test_violation_inside_window(self):
+        trace = trace_of(("p", 0), ("q", 2))
+        assert not satisfies(trace, ast.always(ast.atom("p"), Interval.bounded(0, 5)))
+
+    def test_paper_example_strong_weak_contrast(self):
+        """F_I p is False and G_I p is True on a trace with no p and no
+        states in I beyond the end — the paper's Section II-B example."""
+        trace = trace_of(("", 0), ("", 1))
+        interval = Interval.bounded(5, 9)
+        assert not satisfies(trace, ast.eventually(ast.atom("p"), interval))
+        assert satisfies(trace, ast.always(ast.atom("p"), interval))
+
+
+class TestUntil:
+    def test_simple_until(self):
+        trace = trace_of(("a", 0), ("a", 1), ("b", 2))
+        assert satisfies(trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 5)))
+
+    def test_witness_time_out_of_window(self):
+        trace = trace_of(("a", 0), ("a", 1), ("b", 9))
+        assert not satisfies(trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 5)))
+
+    def test_left_fails_before_witness(self):
+        trace = trace_of(("a", 0), ("c", 1), ("b", 2))
+        assert not satisfies(trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 5)))
+
+    def test_immediate_witness_ignores_left(self):
+        trace = trace_of(("b", 0), ("c", 1))
+        assert satisfies(trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 5)))
+
+    def test_no_witness_is_false(self):
+        trace = trace_of(("a", 0), ("a", 1))
+        assert not satisfies(trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 5)))
+
+    def test_same_timestamp_positions(self):
+        trace = trace_of(("a", 0), ("a", 0), ("b", 0))
+        assert satisfies(trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 1)))
+
+    def test_left_must_hold_at_same_time_earlier_positions(self):
+        trace = trace_of(("a", 0), ("c", 2), ("b", 2))
+        assert not satisfies(
+            trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 5))
+        )
+
+    def test_fig3_satisfying_order(self):
+        trace = trace_of(("a", 1), ("a", 2), ("b", 4), ("", 5))
+        assert satisfies(trace, ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 6)))
+
+
+class TestDerivedEquivalences:
+    @given(timed_traces(), formulas(max_depth=2))
+    def test_eventually_equals_true_until(self, trace, phi):
+        interval = Interval.bounded(0, 6)
+        lhs = satisfies(trace, ast.eventually(phi, interval))
+        rhs = satisfies(trace, ast.Until(ast.TRUE, phi, interval))
+        assert lhs == rhs
+
+    @given(timed_traces(), formulas(max_depth=2))
+    def test_always_is_dual_of_eventually(self, trace, phi):
+        interval = Interval.bounded(0, 6)
+        lhs = satisfies(trace, ast.always(phi, interval))
+        rhs = not satisfies(trace, ast.eventually(ast.lnot(phi), interval))
+        assert lhs == rhs
+
+    @given(timed_traces(), formulas(max_depth=2))
+    def test_negation_involution(self, trace, phi):
+        assert satisfies(trace, phi) != satisfies(trace, ast.Not(phi))

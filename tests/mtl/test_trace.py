@@ -1,0 +1,119 @@
+"""Unit tests for states and timed traces."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TraceError
+from repro.mtl.trace import EMPTY_STATE, State, TimedTrace
+
+from tests.conftest import timed_traces
+
+
+class TestState:
+    def test_of_constructor(self):
+        state = State.of("a", "b", x=3)
+        assert "a" in state and "b" in state
+        assert state.valuation["x"] == 3
+
+    def test_with_props(self):
+        state = State.of("a").with_props("b")
+        assert "a" in state and "b" in state
+
+    def test_equality_includes_valuation(self):
+        assert State.of("a", x=1) != State.of("a", x=2)
+        assert State.of("a", x=1) == State.of("a", x=1)
+
+    def test_hash_consistent_with_eq(self):
+        assert len({State.of("a", x=1), State.of("a", x=1)}) == 1
+
+    def test_empty_state(self):
+        assert not EMPTY_STATE.props
+
+    def test_str(self):
+        assert str(State.of("b", "a")) == "{a,b}"
+
+
+class TestTimedTraceConstruction:
+    def test_from_pairs(self):
+        trace = TimedTrace.from_pairs([(State.of("a"), 1), (State.of("b"), 3)])
+        assert len(trace) == 2
+        assert trace.time(1) == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            TimedTrace([State.of("a")], [1, 2])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(TraceError):
+            TimedTrace([State.of("a"), State.of("b")], [5, 3])
+
+    def test_equal_times_allowed(self):
+        trace = TimedTrace([State.of("a"), State.of("b")], [5, 5])
+        assert trace.duration() == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            TimedTrace([State.of("a")], [-1])
+
+    def test_non_integer_time_rejected(self):
+        with pytest.raises(TraceError):
+            TimedTrace([State.of("a")], [1.5])  # type: ignore[list-item]
+
+    def test_empty_trace(self):
+        trace = TimedTrace.empty()
+        assert len(trace) == 0
+        assert not trace
+
+
+class TestAccess:
+    def test_start_and_end_time(self):
+        trace = TimedTrace([State.of("a"), State.of("b")], [2, 7])
+        assert trace.start_time == 2
+        assert trace.end_time == 7
+        assert trace.duration() == 5
+
+    def test_empty_trace_has_no_start(self):
+        with pytest.raises(TraceError):
+            TimedTrace.empty().start_time
+
+    def test_iteration(self):
+        trace = TimedTrace([State.of("a"), State.of("b")], [1, 2])
+        pairs = list(trace)
+        assert pairs[0] == (State.of("a"), 1)
+
+    def test_suffix(self):
+        trace = TimedTrace([State.of("a"), State.of("b"), State.of("c")], [1, 2, 3])
+        suffix = trace.suffix(1)
+        assert len(suffix) == 2
+        assert suffix.start_time == 2
+
+    def test_suffix_out_of_range(self):
+        with pytest.raises(TraceError):
+            TimedTrace.single(State.of("a"), 1).suffix(5)
+
+    def test_prefix(self):
+        trace = TimedTrace([State.of("a"), State.of("b")], [1, 2])
+        assert len(trace.prefix(1)) == 1
+
+    def test_append(self):
+        trace = TimedTrace.single(State.of("a"), 1).append(State.of("b"), 4)
+        assert len(trace) == 2
+        assert trace.end_time == 4
+
+    def test_concat(self):
+        left = TimedTrace.single(State.of("a"), 1)
+        right = TimedTrace.single(State.of("b"), 5)
+        whole = left.concat(right)
+        assert len(whole) == 2
+        assert whole.times == (1, 5)
+
+    @given(timed_traces())
+    def test_suffix_concat_identity(self, trace):
+        for i in range(len(trace) + 1):
+            assert trace.prefix(i).concat(trace.suffix(i)) == trace
+
+    @given(timed_traces())
+    def test_hash_equal_traces(self, trace):
+        clone = TimedTrace(trace.states, trace.times)
+        assert trace == clone
+        assert hash(trace) == hash(clone)

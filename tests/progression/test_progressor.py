@@ -1,0 +1,241 @@
+"""Tests for formula progression — including the paper's worked examples
+and the fundamental splitting property of Definition 3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MonitorError, TraceError
+from repro.mtl import ast
+from repro.mtl.interval import Interval
+from repro.mtl.semantics import satisfies
+from repro.mtl.trace import State, TimedTrace
+from repro.progression.progressor import anchor_shift, close, progress
+
+from tests.conftest import formulas, timed_traces
+
+
+def trace_of(*entries: tuple[str, int]) -> TimedTrace:
+    states = [State(frozenset(p.split())) if p else State(frozenset()) for p, _ in entries]
+    return TimedTrace(states, [t for _, t in entries])
+
+
+class TestBaseCases:
+    def test_atom_true(self):
+        assert progress(trace_of(("p", 0)), ast.atom("p"), 1) == ast.TRUE
+
+    def test_atom_false(self):
+        assert progress(trace_of(("q", 0)), ast.atom("p"), 1) == ast.FALSE
+
+    def test_constants(self):
+        trace = trace_of(("", 0))
+        assert progress(trace, ast.TRUE, 1) == ast.TRUE
+        assert progress(trace, ast.FALSE, 1) == ast.FALSE
+
+    def test_negation(self):
+        assert progress(trace_of(("q", 0)), ast.lnot(ast.atom("p")), 1) == ast.TRUE
+
+    def test_disjunction_partial(self):
+        """false | <pending F> leaves the pending obligation."""
+        phi = ast.lor(ast.atom("p"), ast.eventually(ast.atom("q"), Interval.bounded(0, 9)))
+        result = progress(trace_of(("", 0)), phi, 1)
+        assert result == ast.eventually(ast.atom("q"), Interval.bounded(0, 8))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            progress(TimedTrace.empty(), ast.atom("p"), 1)
+
+    def test_boundary_before_end_rejected(self):
+        with pytest.raises(TraceError):
+            progress(trace_of(("p", 5)), ast.atom("p"), 3)
+
+
+class TestEventually:
+    def test_witness_found(self):
+        phi = ast.eventually(ast.atom("p"), Interval.bounded(0, 5))
+        assert progress(trace_of(("", 0), ("p", 2)), phi, 3) == ast.TRUE
+
+    def test_no_witness_window_still_open(self):
+        phi = ast.eventually(ast.atom("p"), Interval.bounded(0, 5))
+        result = progress(trace_of(("", 0), ("", 2)), phi, 3)
+        assert result == ast.eventually(ast.atom("p"), Interval.bounded(0, 2))
+
+    def test_no_witness_window_closed(self):
+        phi = ast.eventually(ast.atom("p"), Interval.bounded(0, 3))
+        assert progress(trace_of(("", 0), ("", 2)), phi, 5) == ast.FALSE
+
+    def test_interval_entirely_in_future(self):
+        phi = ast.eventually(ast.atom("p"), Interval.bounded(10, 20))
+        result = progress(trace_of(("p", 0)), phi, 4)
+        assert result == ast.eventually(ast.atom("p"), Interval.bounded(6, 16))
+
+
+class TestAlways:
+    def test_violation_found(self):
+        phi = ast.always(ast.atom("p"), Interval.bounded(0, 5))
+        assert progress(trace_of(("p", 0), ("q", 2)), phi, 3) == ast.FALSE
+
+    def test_no_violation_window_open(self):
+        phi = ast.always(ast.atom("p"), Interval.bounded(0, 5))
+        result = progress(trace_of(("p", 0), ("p", 2)), phi, 3)
+        assert result == ast.always(ast.atom("p"), Interval.bounded(0, 2))
+
+    def test_no_violation_window_closed(self):
+        phi = ast.always(ast.atom("p"), Interval.bounded(0, 3))
+        assert progress(trace_of(("p", 0), ("p", 2)), phi, 5) == ast.TRUE
+
+
+class TestUntil:
+    def test_witness_in_segment(self):
+        phi = ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 6))
+        assert progress(trace_of(("a", 0), ("b", 2)), phi, 3) == ast.TRUE
+
+    def test_pending_with_left_holding(self):
+        phi = ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 8))
+        result = progress(trace_of(("a", 1), ("a", 3)), phi, 4)
+        assert result == ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 5))
+
+    def test_left_broken_and_window_closed_in_segment(self):
+        phi = ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 3))
+        assert progress(trace_of(("a", 0), ("c", 1), ("c", 4)), phi, 6) == ast.FALSE
+
+    def test_left_broken_kills_future_witness(self):
+        phi = ast.until(ast.atom("a"), ast.atom("b"), Interval.bounded(0, 20))
+        assert progress(trace_of(("a", 0), ("c", 1)), phi, 3) == ast.FALSE
+
+
+class TestPaperFig2:
+    """The Fig 2 motivating example: different timestamp choices rewrite
+    the specification's window differently."""
+
+    SPEC = ast.until(
+        ast.lnot(ast.atom("apr.redeem(bob)")),
+        ast.atom("ban.redeem(alice)"),
+        Interval.bounded(0, 8),
+    )
+
+    def _segment(self, t_start: int, t_first: int, t_second: int) -> TimedTrace:
+        return trace_of(
+            ("setup", t_start),
+            ("setup2", t_start),
+            ("deposit_pb", t_first),
+            ("deposit_papb", t_second),
+        )
+
+    def test_different_times_give_different_residual_windows(self):
+        """Reassigned timestamps (the skew window) change how much of the
+        U window has elapsed at the segment boundary, so the rewritten
+        formulas differ — the paper's phi_spec1 vs phi_spec2."""
+        boundary = 5
+        residual_a = progress(self._segment(1, 3, 4), self.SPEC, boundary)
+        residual_b = progress(self._segment(2, 3, 4), self.SPEC, boundary)
+        assert residual_a != residual_b
+        assert isinstance(residual_a, ast.Until)
+        assert isinstance(residual_b, ast.Until)
+        # Scenario a starts one tick earlier, so more of its window has
+        # elapsed at the boundary: [0,4) versus [0,5).
+        assert residual_a.interval.end == 4
+        assert residual_b.interval.end == 5
+
+
+class TestPaperFig4:
+    """The worked progression example of Fig 4:
+    ``F[0,6) r -> (!p U[2,9) q)`` over three segments."""
+
+    @property
+    def spec(self) -> ast.Formula:
+        return ast.implies(
+            ast.eventually(ast.atom("r"), Interval.bounded(0, 6)),
+            ast.until(ast.lnot(ast.atom("p")), ast.atom("q"), Interval.bounded(2, 9)),
+        )
+
+    def test_three_segment_progression_reaches_true(self):
+        seg1 = trace_of(("", 1), ("", 2), ("", 3))
+        seg2 = trace_of(("r", 3), ("", 4), ("", 5))
+        seg3 = trace_of(("", 6), ("q", 7), ("p", 7))
+
+        r1 = progress(seg1, self.spec, boundary=3)
+        assert r1 not in (ast.TRUE, ast.FALSE)
+        r2 = progress(seg2, r1, boundary=6)
+        assert r2 not in (ast.TRUE, ast.FALSE)
+        r3 = progress(seg3, r2, boundary=8)
+        assert r3 == ast.TRUE
+
+    def test_whole_trace_agrees_with_direct_semantics(self):
+        whole = trace_of(
+            ("", 1), ("", 2), ("", 3), ("r", 3), ("", 4), ("", 5), ("", 6), ("q", 7), ("p", 7)
+        )
+        assert satisfies(whole, self.spec)
+
+
+class TestSplittingProperty:
+    """Definition 3: (alpha.alpha', tau.tau') |= phi  iff
+    (alpha', tau') |= Pr(alpha, tau, phi)."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(timed_traces(min_length=2, max_length=6), formulas(max_depth=2), st.data())
+    def test_progress_then_evaluate_matches_direct(self, trace, phi, data):
+        split = data.draw(st.integers(min_value=1, max_value=len(trace) - 1))
+        prefix, suffix = trace.prefix(split), trace.suffix(split)
+        residual = progress(prefix, phi, boundary=suffix.start_time)
+        assert satisfies(suffix, residual) == satisfies(trace, phi)
+
+    @settings(max_examples=200, deadline=None)
+    @given(timed_traces(min_length=1, max_length=6), formulas(max_depth=2))
+    def test_progress_whole_then_close_matches_direct(self, trace, phi):
+        residual = progress(trace, phi, boundary=trace.end_time)
+        assert close(residual) == satisfies(trace, phi)
+
+
+class TestAnchorShift:
+    def test_shift_zero_is_identity(self):
+        phi = ast.eventually(ast.atom("p"), Interval.bounded(0, 5))
+        assert anchor_shift(phi, 0) is phi
+
+    def test_shifts_outer_interval(self):
+        phi = ast.eventually(ast.atom("p"), Interval.bounded(0, 5))
+        assert anchor_shift(phi, 2) == ast.eventually(ast.atom("p"), Interval.bounded(0, 3))
+
+    def test_elapsed_eventually_becomes_false(self):
+        phi = ast.eventually(ast.atom("p"), Interval.bounded(0, 5))
+        assert anchor_shift(phi, 9) == ast.FALSE
+
+    def test_elapsed_always_becomes_true(self):
+        phi = ast.always(ast.atom("p"), Interval.bounded(0, 5))
+        assert anchor_shift(phi, 9) == ast.TRUE
+
+    def test_does_not_descend_into_operands(self):
+        inner = ast.eventually(ast.atom("p"), Interval.bounded(0, 5))
+        phi = ast.always(inner, Interval.bounded(0, 9))
+        shifted = anchor_shift(phi, 3)
+        assert shifted == ast.always(inner, Interval.bounded(0, 6))
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(MonitorError):
+            anchor_shift(ast.TRUE, -1)
+
+    def test_bare_atom_rejected(self):
+        with pytest.raises(MonitorError):
+            anchor_shift(ast.atom("p"), 1)
+
+
+class TestClose:
+    def test_pending_obligations(self):
+        assert close(ast.eventually(ast.atom("p"))) is False
+        assert close(ast.always(ast.atom("p"))) is True
+        assert close(ast.until(ast.atom("a"), ast.atom("b"))) is False
+
+    def test_boolean_structure(self):
+        phi = ast.lor(
+            ast.eventually(ast.atom("p")),
+            ast.lnot(ast.until(ast.atom("a"), ast.atom("b"))),
+        )
+        assert close(phi) is True
+
+    def test_constants(self):
+        assert close(ast.TRUE) is True
+        assert close(ast.FALSE) is False
+
+    def test_bare_atom_rejected(self):
+        with pytest.raises(MonitorError):
+            close(ast.atom("p"))

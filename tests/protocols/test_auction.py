@@ -1,0 +1,109 @@
+"""Tests for the cross-chain auction protocol."""
+
+from repro.chain.log import computation_from_chains
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.protocols.auction import AuctionBehavior, run_auction
+from repro.specs import auction_specs
+
+
+class TestHonestAuction:
+    def test_winner_gets_ticket_auctioneer_gets_bid(self):
+        setup = run_auction(AuctionBehavior())
+        assert setup.tckt.token("TCKT").balance_of("bob") == 100
+        assert setup.coin.token("COIN").balance_of("alice") == 100 + 2  # bid + premium back
+        assert setup.coin.token("COIN").balance_of("carol") == 90  # refunded
+
+    def test_honest_event_vocabulary(self):
+        setup = run_auction(AuctionBehavior())
+        coin_names = {e.name for e in setup.coin.log}
+        tckt_names = {e.name for e in setup.tckt.log}
+        assert {"bid", "declaration", "redeem_bid", "refund_bid", "refund_premium"} <= coin_names
+        assert {"escrow_ticket", "declaration", "redeem_ticket"} <= tckt_names
+        assert "challenge" not in coin_names | tckt_names
+
+    def test_declaration_prop_carries_secret_tag(self):
+        setup = run_auction(AuctionBehavior())
+        declaration = next(e for e in setup.coin.log if e.name == "declaration")
+        assert "coin.declaration(alice,sb)" in declaration.props()
+
+
+class TestCheatingAuctioneer:
+    def test_mismatched_declarations_refund_everything(self):
+        """Alice releases sb on coin but sc on tckt; challenges forward the
+        secrets so both chains see both -> full refund path."""
+        behavior = AuctionBehavior(
+            coin_declaration="sb",
+            tckt_declaration="sc",
+            bob_challenges=True,
+            carol_challenges=True,
+        )
+        setup = run_auction(behavior)
+        # Both secrets released on each chain -> ticket refunded to Alice,
+        # bids refunded, premium shared as compensation.
+        assert setup.tckt.token("TCKT").balance_of("alice") == 100
+        assert setup.coin.token("COIN").balance_of("bob") == 100 + 1
+        assert setup.coin.token("COIN").balance_of("carol") == 90 + 1
+        names = {e.name for e in setup.coin.log}
+        assert "challenge" in names
+        assert "redeem_premium" in names
+
+    def test_declaring_loser_without_challenge(self):
+        """Alice declares Carol the winner on both chains; nobody
+        challenges: Carol, the highest-losing bidder, is not the top bid
+        so her bid is refunded, and Carol gets the ticket."""
+        behavior = AuctionBehavior(coin_declaration="sc", tckt_declaration="sc")
+        setup = run_auction(behavior)
+        assert setup.tckt.token("TCKT").balance_of("carol") == 100
+        # Carol is not the highest bidder, so no bid goes to Alice.
+        assert setup.coin.token("COIN").balance_of("alice") in (0, 1, 2)
+
+    def test_no_declaration_refunds_ticket(self):
+        behavior = AuctionBehavior(coin_declaration="skip", tckt_declaration="skip")
+        setup = run_auction(behavior)
+        assert setup.tckt.token("TCKT").balance_of("alice") == 100
+        names = {e.name for e in setup.tckt.log}
+        assert "refund_ticket" in names
+
+
+class TestPolicyVerdicts:
+    DELTA = 500
+
+    def _verdicts(self, behavior, policy_name):
+        setup = run_auction(behavior, epsilon_ms=5, delta_ms=self.DELTA)
+        comp = computation_from_chains([setup.coin, setup.tckt], 5)
+        policy = auction_specs.all_policies(self.DELTA)[policy_name]
+        result = SmtMonitor(
+            policy, segments=2, timestamp_samples=2, max_traces_per_segment=2000
+        ).run(comp)
+        return result.verdicts
+
+    def test_honest_liveness(self):
+        assert self._verdicts(AuctionBehavior(), "liveness") == frozenset({True})
+
+    def test_honest_bob_conforming_and_safe(self):
+        assert self._verdicts(AuctionBehavior(), "bob_conforming") == frozenset({True})
+        assert self._verdicts(AuctionBehavior(), "bob_safety") == frozenset({True})
+
+    def test_cheating_declaration_violates_liveness(self):
+        behavior = AuctionBehavior(
+            coin_declaration="sb",
+            tckt_declaration="sc",
+            bob_challenges=True,
+            carol_challenges=True,
+        )
+        assert self._verdicts(behavior, "liveness") == frozenset({False})
+
+    def test_bob_skipping_bid_nonconforming(self):
+        behavior = AuctionBehavior(bob_bid="skip")
+        assert self._verdicts(behavior, "bob_conforming") == frozenset({False})
+
+    def test_cheated_bob_still_hedged(self):
+        """Alice cheats, Bob challenges: his bid is refunded and he takes
+        premium compensation."""
+        behavior = AuctionBehavior(
+            coin_declaration="sb",
+            tckt_declaration="sc",
+            bob_challenges=True,
+            carol_challenges=True,
+        )
+        assert self._verdicts(behavior, "bob_hedged") == frozenset({True})

@@ -1,0 +1,82 @@
+"""The paper's behaviour-matrix cardinalities, asserted exactly."""
+
+from itertools import islice
+
+from repro.protocols.scenarios import (
+    auction_behavior_count,
+    auction_behaviors,
+    swap2_behavior_count,
+    swap2_behaviors,
+    swap3_behavior_count,
+    swap3_behaviors,
+)
+
+
+class TestCardinalities:
+    """Section VI-B.2: 1024, 4096, and 3888 generated logs."""
+
+    def test_swap2_count_is_1024(self):
+        behaviors = list(swap2_behaviors())
+        assert len(behaviors) == 1024
+        assert swap2_behavior_count() == 1024
+
+    def test_swap3_count_is_4096(self):
+        behaviors = list(swap3_behaviors())
+        assert len(behaviors) == 4096
+        assert swap3_behavior_count() == 4096
+
+    def test_auction_count_is_3888(self):
+        behaviors = list(auction_behaviors())
+        assert len(behaviors) == 3888
+        assert auction_behavior_count() == 3888
+
+
+class TestSwap2Structure:
+    def test_all_distinct(self):
+        behaviors = [tuple(b) for b in swap2_behaviors()]
+        assert len(set(behaviors)) == 1024
+
+    def test_arrays_have_twelve_entries(self):
+        for behavior in islice(swap2_behaviors(), 50):
+            assert len(behavior) == 12
+            assert all(bit in (0, 1) for bit in behavior)
+
+    def test_per_chain_truncation_respected(self):
+        """Within each chain, an unattempted step is never followed by an
+        attempted one (the paper's 'later step does not need to be
+        attempted' rule)."""
+        apr_steps, ban_steps = (2, 3, 6), (1, 4, 5)
+        for behavior in swap2_behaviors():
+            for steps in (apr_steps, ban_steps):
+                attempted = [behavior[2 * (s - 1)] for s in steps]
+                assert attempted in ([0, 0, 0], [1, 0, 0], [1, 1, 0], [1, 1, 1])
+
+    def test_conforming_behaviour_present(self):
+        assert [1, 0] * 6 in list(swap2_behaviors())
+
+
+class TestSwap3Structure:
+    def test_all_distinct(self):
+        behaviors = {tuple(b) for b in swap3_behaviors()}
+        assert len(behaviors) == 4096
+
+    def test_covers_full_hypercube(self):
+        behaviors = {tuple(b) for b in swap3_behaviors()}
+        assert (0,) * 12 in behaviors
+        assert (1,) * 12 in behaviors
+
+
+class TestAuctionStructure:
+    def test_distinct_behaviour_count(self):
+        """The 3888 scenario ids include don't-care combinations (like the
+        paper's lateness flags on skipped steps): the symmetric
+        extra-challenge flag collapses when nobody or everybody
+        challenges, leaving 2592 semantically distinct behaviours."""
+        behaviors = list(auction_behaviors())
+        assert len(set(behaviors)) == 2592
+
+    def test_field_domains(self):
+        for behavior in islice(auction_behaviors(), 200):
+            assert behavior.bob_bid in ("skip", "ontime", "late")
+            assert behavior.coin_declaration in ("skip", "sb", "sc")
+            assert isinstance(behavior.declaration_late, bool)

@@ -1,0 +1,146 @@
+"""Tests for the hedged two-party swap contracts and scheduler."""
+
+import pytest
+
+from repro.chain.log import computation_from_chains
+from repro.errors import ContractRevert
+from repro.monitor.fast import FastMonitor
+from repro.protocols.scenarios import SWAP2_CONFORMING
+from repro.protocols.swap2 import deploy_swap2, run_swap2
+from repro.specs import swap2_specs
+
+
+class TestContractRules:
+    def test_conforming_run_emits_all_events(self):
+        setup = run_swap2(SWAP2_CONFORMING)
+        apr_names = [e.name for e in setup.apricot.log]
+        ban_names = [e.name for e in setup.banana.log]
+        assert apr_names == [
+            "start",
+            "premium_deposited",
+            "asset_escrowed",
+            "asset_redeemed",
+            "premium_refunded",
+            "all_asset_settled",
+        ]
+        assert ban_names == apr_names
+
+    def test_conforming_run_swaps_assets(self):
+        setup = run_swap2(SWAP2_CONFORMING)
+        apr_token = setup.apricot.token("APR")
+        ban_token = setup.banana.token("BAN")
+        assert apr_token.balance_of("bob") == 100 + 1  # asset + premium back
+        assert ban_token.balance_of("alice") == 100 + 2
+
+    def test_escrow_requires_premium(self):
+        setup = deploy_swap2()
+        ok = setup.apricot.execute(100, lambda: setup.apricot_swap.escrow_asset("alice"))
+        assert not ok
+        assert "premium" in setup.apricot.failed[0][1]
+
+    def test_redeem_requires_escrow(self):
+        setup = deploy_swap2()
+        setup.apricot.execute(100, lambda: setup.apricot_swap.deposit_premium("bob"))
+        ok = setup.apricot.execute(
+            200, lambda: setup.apricot_swap.redeem_asset("bob", setup.secret)
+        )
+        assert not ok
+
+    def test_wrong_secret_rejected(self):
+        setup = deploy_swap2()
+        setup.apricot.execute(100, lambda: setup.apricot_swap.deposit_premium("bob"))
+        setup.apricot.execute(200, lambda: setup.apricot_swap.escrow_asset("alice"))
+        ok = setup.apricot.execute(
+            300, lambda: setup.apricot_swap.redeem_asset("bob", "wrong")
+        )
+        assert not ok
+        assert "secret" in setup.apricot.failed[-1][1]
+
+    def test_wrong_party_rejected(self):
+        setup = deploy_swap2()
+        ok = setup.apricot.execute(
+            100, lambda: setup.apricot_swap.deposit_premium("alice")
+        )
+        assert not ok
+
+    def test_double_premium_rejected(self):
+        setup = deploy_swap2()
+        setup.apricot.execute(100, lambda: setup.apricot_swap.deposit_premium("bob"))
+        ok = setup.apricot.execute(150, lambda: setup.apricot_swap.deposit_premium("bob"))
+        assert not ok
+
+    def test_settle_compensates_sore_loser(self):
+        """Alice escrows, Bob never redeems: Alice gets asset back plus
+        Bob's premium — the hedge."""
+        behavior = [1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 0, 0]  # step 6 skipped
+        setup = run_swap2(behavior)
+        apr_token = setup.apricot.token("APR")
+        assert apr_token.balance_of("alice") == 100 + 1
+        assert apr_token.balance_of("bob") == 0
+        names = [e.name for e in setup.apricot.log]
+        assert "asset_refunded" in names and "premium_redeemed" in names
+
+    def test_settle_refunds_premium_without_escrow(self):
+        behavior = [1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]  # only premiums
+        setup = run_swap2(behavior)
+        apr_token = setup.apricot.token("APR")
+        assert apr_token.balance_of("bob") == 1  # premium returned
+        names = [e.name for e in setup.apricot.log]
+        assert "premium_refunded" in names
+
+    def test_late_step_emits_late_event(self):
+        behavior = list(SWAP2_CONFORMING)
+        behavior[1] = 1  # step 1 late
+        setup = run_swap2(behavior, delta_ms=500)
+        premium = setup.banana.log[1]
+        assert premium.name == "premium_deposited"
+        assert premium.local_time > 500  # past the deadline
+
+    def test_token_conservation(self):
+        for behavior in (SWAP2_CONFORMING, [1, 0] * 3 + [0, 0] * 3, [0, 0] * 6):
+            setup = run_swap2(list(behavior))
+            assert setup.apricot.token("APR").total_supply() == 101
+            assert setup.banana.token("BAN").total_supply() == 102
+
+    def test_bad_behavior_length_rejected(self):
+        setup = deploy_swap2()
+        from repro.protocols.swap2 import schedule_swap2
+
+        with pytest.raises(ValueError):
+            schedule_swap2(setup, [1, 0, 1])
+
+
+class TestPolicyVerdicts:
+    DELTA = 500
+
+    def _verdicts(self, behavior, policy_name):
+        setup = run_swap2(behavior, epsilon_ms=5, delta_ms=self.DELTA)
+        comp = computation_from_chains([setup.apricot, setup.banana], 5)
+        policy = swap2_specs.all_policies(self.DELTA)[policy_name]
+        result = FastMonitor(policy).run(comp)
+        assert result.exhaustive
+        return result.verdicts
+
+    def test_conforming_satisfies_liveness(self):
+        assert self._verdicts(SWAP2_CONFORMING, "liveness") == frozenset({True})
+
+    def test_conforming_satisfies_safety(self):
+        assert self._verdicts(SWAP2_CONFORMING, "alice_safety") == frozenset({True})
+
+    def test_skipped_step_violates_liveness(self):
+        behavior = [1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 0, 0]
+        assert self._verdicts(behavior, "liveness") == frozenset({False})
+
+    def test_late_step_violates_liveness(self):
+        behavior = list(SWAP2_CONFORMING)
+        behavior[1] = 1
+        assert False in self._verdicts(behavior, "liveness")
+
+    def test_bob_deviating_flagged_nonconforming(self):
+        behavior = [1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 0, 0]  # bob skips redeem
+        assert self._verdicts(behavior, "bob_conforming") == frozenset({False})
+
+    def test_sore_loser_alice_still_safe_and_hedged(self):
+        behavior = [1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 0, 0]
+        assert self._verdicts(behavior, "alice_safety") == frozenset({True})
+        assert self._verdicts(behavior, "alice_hedged") == frozenset({True})

@@ -1,0 +1,93 @@
+"""Tests for the hedged three-party swap."""
+
+from repro.chain.log import computation_from_chains
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.protocols.scenarios import SWAP3_CONFORMING
+from repro.protocols.swap3 import deploy_swap3, run_swap3
+from repro.specs import swap3_specs
+
+
+class TestContractRules:
+    def test_conforming_run_cycles_assets(self):
+        setup = run_swap3(SWAP3_CONFORMING)
+        # Alice receives cherry, Bob apricot, Carol banana.
+        assert setup.chains["che"].token("CHE").balance_of("alice") >= 100
+        assert setup.chains["apr"].token("APR").balance_of("bob") >= 100
+        assert setup.chains["ban"].token("BAN").balance_of("carol") >= 100
+
+    def test_conforming_event_sequence_per_chain(self):
+        setup = run_swap3(SWAP3_CONFORMING)
+        for chain_name in ("apr", "ban", "che"):
+            names = [e.name for e in setup.chains[chain_name].log]
+            assert names[0] == "start"
+            assert names[1] == "deposit_escrow_pr"
+            assert names[2] == "deposit_redemption_pr"
+            assert names[3] == "asset_escrowed"
+            assert "hashlock_unlocked" in names
+            assert "asset_redeemed" in names
+            assert names[-1] == "all_asset_settled"
+
+    def test_out_of_order_step_reverts(self):
+        setup = deploy_swap3()
+        contract = setup.contracts["apr"]
+        ok = setup.chains["apr"].execute(10, lambda: contract.escrow_asset("alice"))
+        assert not ok
+
+    def test_skipped_premium_truncates_chain(self):
+        attempted = list(SWAP3_CONFORMING)
+        attempted[0] = 0  # Alice never posts the apricot escrow premium
+        setup = run_swap3(attempted)
+        names = [e.name for e in setup.chains["apr"].log]
+        # Only the start marker and settle event remain on apricot.
+        assert "asset_escrowed" not in names
+        assert "all_asset_settled" in names
+
+    def test_unredeemed_escrow_compensated(self):
+        attempted = list(SWAP3_CONFORMING)
+        attempted[11] = 0  # Bob never unlocks on apricot
+        setup = run_swap3(attempted)
+        names = [e.name for e in setup.chains["apr"].log]
+        assert "asset_refunded" in names
+        assert "premium_redeemed" in names
+        # Alice keeps her asset and gains Bob's redemption premium.
+        assert setup.chains["apr"].token("APR").balance_of("alice") == 100 + 3 + 1
+
+    def test_token_conservation(self):
+        for flip in (None, 0, 5, 11):
+            attempted = list(SWAP3_CONFORMING)
+            if flip is not None:
+                attempted[flip] = 0
+            setup = run_swap3(attempted)
+            for name in ("apr", "ban", "che"):
+                token = setup.chains[name].token(name.upper())
+                assert token.total_supply() == 100 + 3 + {"che": 3, "ban": 2, "apr": 1}[name]
+
+
+class TestPolicyVerdicts:
+    DELTA = 500
+
+    def _verdicts(self, attempted, policy_name):
+        setup = run_swap3(attempted, epsilon_ms=5, delta_ms=self.DELTA)
+        comp = computation_from_chains(setup.chains.values(), 5)
+        policy = swap3_specs.all_policies(self.DELTA)[policy_name]
+        result = SmtMonitor(
+            policy, segments=2, timestamp_samples=2, max_traces_per_segment=2000
+        ).run(comp)
+        return result.verdicts
+
+    def test_conforming_liveness(self):
+        assert self._verdicts(SWAP3_CONFORMING, "liveness") == frozenset({True})
+
+    def test_conforming_alice_conforms(self):
+        assert self._verdicts(SWAP3_CONFORMING, "alice_conforming") == frozenset({True})
+
+    def test_missing_unlock_violates_liveness(self):
+        attempted = list(SWAP3_CONFORMING)
+        attempted[9] = 0  # Alice never unlocks on cherry
+        assert self._verdicts(attempted, "liveness") == frozenset({False})
+
+    def test_alice_skipping_flagged(self):
+        attempted = list(SWAP3_CONFORMING)
+        attempted[6] = 0  # Alice never escrows though Bob posted premium
+        verdicts = self._verdicts(attempted, "alice_conforming")
+        assert verdicts == frozenset({False})

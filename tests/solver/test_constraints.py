@@ -1,0 +1,132 @@
+"""Unit tests for individual constraint classes (consistency + pruning)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.constraints import (
+    AllDifferent,
+    BinaryRelation,
+    Blocking,
+    ConditionalOrder,
+    FunctionConstraint,
+    Implication,
+    UnaryPredicate,
+)
+from repro.solver.domain import Domain
+
+
+class TestBinaryRelation:
+    def test_satisfaction(self):
+        lt = BinaryRelation("x", "y", "<")
+        assert lt.is_satisfied({"x": 1, "y": 2})
+        assert not lt.is_satisfied({"x": 2, "y": 2})
+
+    def test_offset(self):
+        le = BinaryRelation("x", "y", "<=", offset=3)
+        assert le.is_satisfied({"x": 5, "y": 2})
+        assert not le.is_satisfied({"x": 6, "y": 2})
+
+    def test_partial_assignment_consistent(self):
+        lt = BinaryRelation("x", "y", "<")
+        assert lt.is_consistent({"x": 5})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SolverError):
+            BinaryRelation("x", "y", "<>")
+
+    def test_same_variable_rejected(self):
+        with pytest.raises(SolverError):
+            BinaryRelation("x", "x", "<")
+
+    def test_prune_forward(self):
+        lt = BinaryRelation("x", "y", "<")
+        domains = {"y": Domain.range(0, 5)}
+        assert lt.prune("x", 3, domains, {"x": 3})
+        assert domains["y"].values == (4, 5)
+
+    def test_prune_backward(self):
+        lt = BinaryRelation("x", "y", "<")
+        domains = {"x": Domain.range(0, 5)}
+        assert lt.prune("y", 2, domains, {"y": 2})
+        assert domains["x"].values == (0, 1)
+
+    def test_prune_wipeout_reported(self):
+        lt = BinaryRelation("x", "y", "<")
+        domains = {"y": Domain.range(0, 3)}
+        assert not lt.prune("x", 3, domains, {"x": 3})
+
+    def test_prune_skips_assigned(self):
+        lt = BinaryRelation("x", "y", "<")
+        domains = {"y": Domain.range(0, 5)}
+        assert lt.prune("x", 3, domains, {"x": 3, "y": 1})
+        assert domains["y"].values == (0, 1, 2, 3, 4, 5)
+
+
+class TestAllDifferent:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SolverError):
+            AllDifferent(["a", "a"])
+
+    def test_partial_conflict_detected(self):
+        constraint = AllDifferent(["a", "b", "c"])
+        assert not constraint.is_consistent({"a": 1, "b": 1})
+        assert constraint.is_consistent({"a": 1, "b": 2})
+
+    def test_prune_removes_value(self):
+        constraint = AllDifferent(["a", "b"])
+        domains = {"b": Domain.range(0, 2)}
+        assert constraint.prune("a", 1, domains, {"a": 1})
+        assert domains["b"].values == (0, 2)
+
+
+class TestConditionalOrder:
+    def test_order_implies_time_order(self):
+        c = ConditionalOrder("pa", "pb", "ta", "tb")
+        assert c.is_satisfied({"pa": 0, "pb": 1, "ta": 3, "tb": 5})
+        assert not c.is_satisfied({"pa": 0, "pb": 1, "ta": 5, "tb": 3})
+
+    def test_reverse_order(self):
+        c = ConditionalOrder("pa", "pb", "ta", "tb")
+        assert c.is_satisfied({"pa": 2, "pb": 1, "ta": 5, "tb": 3})
+
+    def test_equal_positions_invalid(self):
+        c = ConditionalOrder("pa", "pb", "ta", "tb")
+        assert not c.is_satisfied({"pa": 1, "pb": 1, "ta": 3, "tb": 3})
+
+    def test_partial_is_consistent(self):
+        c = ConditionalOrder("pa", "pb", "ta", "tb")
+        assert c.is_consistent({"pa": 0, "ta": 9})
+
+
+class TestBlockingAndFriends:
+    def test_blocking_rejects_exact_model(self):
+        b = Blocking({"x": 1, "y": 2})
+        assert not b.is_satisfied({"x": 1, "y": 2})
+        assert b.is_satisfied({"x": 1, "y": 3})
+
+    def test_blocking_partial_consistency(self):
+        b = Blocking({"x": 1, "y": 2})
+        assert b.is_consistent({"x": 1})       # could still differ on y
+        assert b.is_consistent({"x": 0})       # already differs
+        assert not b.is_consistent({"x": 1, "y": 2})
+
+    def test_blocking_empty_rejected(self):
+        with pytest.raises(SolverError):
+            Blocking({})
+
+    def test_unary_predicate(self):
+        p = UnaryPredicate("x", lambda v: v > 2)
+        assert p.is_satisfied({"x": 3})
+        assert not p.is_satisfied({"x": 1})
+
+    def test_implication_vacuous(self):
+        imp = Implication(("x",), lambda m: m["x"] > 5, lambda m: False)
+        assert imp.is_satisfied({"x": 3})
+
+    def test_function_constraint_arity(self):
+        f = FunctionConstraint(("x", "y", "z"), lambda x, y, z: x + y == z)
+        assert f.is_satisfied({"x": 1, "y": 2, "z": 3})
+
+    def test_constraint_requires_variables(self):
+        with pytest.raises(SolverError):
+            FunctionConstraint((), lambda: True)

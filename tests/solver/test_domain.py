@@ -1,0 +1,75 @@
+"""Unit tests for solver domains."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.domain import Domain
+
+
+class TestConstruction:
+    def test_sorted_and_deduplicated(self):
+        domain = Domain([3, 1, 2, 1])
+        assert domain.values == (1, 2, 3)
+
+    def test_range(self):
+        assert Domain.range(2, 5).values == (2, 3, 4, 5)
+
+    def test_range_empty_when_reversed(self):
+        assert not Domain.range(5, 2)
+
+    def test_singleton(self):
+        domain = Domain.singleton(7)
+        assert domain.is_singleton()
+        assert domain.min() == 7
+
+    def test_boolean(self):
+        assert Domain.boolean().values == (0, 1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(SolverError):
+            Domain([1.5])  # type: ignore[list-item]
+
+
+class TestQueries:
+    def test_membership(self):
+        domain = Domain.range(0, 3)
+        assert 2 in domain
+        assert 5 not in domain
+
+    def test_min_max(self):
+        domain = Domain([4, 9, 1])
+        assert domain.min() == 1
+        assert domain.max() == 9
+
+    def test_min_of_empty_rejected(self):
+        with pytest.raises(SolverError):
+            Domain(()).min()
+
+    def test_len_and_bool(self):
+        assert len(Domain.range(1, 3)) == 3
+        assert not Domain(())
+
+
+class TestDerivation:
+    def test_remove(self):
+        assert Domain.range(1, 3).remove(2).values == (1, 3)
+
+    def test_remove_absent_is_identity(self):
+        domain = Domain.range(1, 3)
+        assert domain.remove(9) is domain
+
+    def test_restrict(self):
+        assert Domain.range(0, 9).restrict(lambda v: v % 3 == 0).values == (0, 3, 6, 9)
+
+    def test_intersect(self):
+        assert Domain.range(0, 5).intersect(Domain.range(3, 9)).values == (3, 4, 5)
+
+    def test_at_least(self):
+        assert Domain.range(0, 5).at_least(3).values == (3, 4, 5)
+
+    def test_at_most(self):
+        assert Domain.range(0, 5).at_most(2).values == (0, 1, 2)
+
+    def test_equality_and_hash(self):
+        assert Domain([1, 2]) == Domain([2, 1])
+        assert len({Domain([1, 2]), Domain([2, 1])}) == 1

@@ -1,0 +1,173 @@
+"""Unit and integration tests for the constraint engine."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.constraints import (
+    AllDifferent,
+    BinaryRelation,
+    Blocking,
+    FunctionConstraint,
+    Implication,
+    UnaryPredicate,
+    table_constraint,
+)
+from repro.solver.csp import Problem
+from repro.solver.domain import Domain
+from repro.solver.engine import Solver, all_solutions, solve_one
+
+
+def simple_problem() -> Problem:
+    problem = Problem()
+    problem.add_variable("x", Domain.range(0, 3))
+    problem.add_variable("y", Domain.range(0, 3))
+    return problem
+
+
+class TestBasics:
+    def test_unconstrained_counts(self):
+        problem = simple_problem()
+        assert len(all_solutions(problem)) == 16
+
+    def test_solve_one_returns_model(self):
+        problem = simple_problem()
+        problem.add_constraint(BinaryRelation("x", "y", "<"))
+        model = solve_one(problem)
+        assert model is not None
+        assert model["x"] < model["y"]
+
+    def test_unsatisfiable(self):
+        problem = simple_problem()
+        problem.add_constraint(BinaryRelation("x", "y", "<"))
+        problem.add_constraint(BinaryRelation("y", "x", "<"))
+        assert solve_one(problem) is None
+
+    def test_limit_respected(self):
+        problem = simple_problem()
+        assert len(all_solutions(problem, limit=5)) == 5
+
+    def test_duplicate_variable_rejected(self):
+        problem = simple_problem()
+        with pytest.raises(SolverError):
+            problem.add_variable("x", Domain.range(0, 1))
+
+    def test_empty_domain_rejected(self):
+        problem = Problem()
+        with pytest.raises(SolverError):
+            problem.add_variable("x", Domain(()))
+
+    def test_constraint_on_unknown_variable_rejected(self):
+        problem = simple_problem()
+        with pytest.raises(SolverError):
+            problem.add_constraint(BinaryRelation("x", "z", "<"))
+
+
+class TestConstraints:
+    def test_offset_relation(self):
+        problem = simple_problem()
+        problem.add_constraint(BinaryRelation("x", "y", ">=", offset=2))
+        for model in all_solutions(problem):
+            assert model["x"] >= model["y"] + 2
+
+    def test_unary_predicate(self):
+        problem = simple_problem()
+        problem.add_constraint(UnaryPredicate("x", lambda v: v % 2 == 0))
+        assert {m["x"] for m in all_solutions(problem)} == {0, 2}
+
+    def test_alldifferent(self):
+        problem = Problem()
+        for name in ("a", "b", "c"):
+            problem.add_variable(name, Domain.range(0, 2))
+        problem.add_constraint(AllDifferent(["a", "b", "c"]))
+        solutions = all_solutions(problem)
+        assert len(solutions) == 6  # 3! permutations
+
+    def test_implication(self):
+        problem = simple_problem()
+        problem.add_constraint(
+            Implication(("x", "y"), lambda m: m["x"] == 0, lambda m: m["y"] == 3)
+        )
+        for model in all_solutions(problem):
+            assert model["x"] != 0 or model["y"] == 3
+
+    def test_function_constraint(self):
+        problem = simple_problem()
+        problem.add_constraint(FunctionConstraint(("x", "y"), lambda x, y: x + y == 3))
+        assert all(m["x"] + m["y"] == 3 for m in all_solutions(problem))
+
+    def test_table_constraint(self):
+        problem = simple_problem()
+        problem.add_constraint(table_constraint(("x", "y"), [(0, 1), (2, 3)]))
+        solutions = {(m["x"], m["y"]) for m in all_solutions(problem)}
+        assert solutions == {(0, 1), (2, 3)}
+
+    def test_blocking(self):
+        problem = simple_problem()
+        first = solve_one(problem)
+        problem.add_constraint(Blocking(first))
+        second = solve_one(problem)
+        assert second != first
+
+
+class TestBlockingEnumeration:
+    def test_solve_blocking_enumerates_all(self):
+        problem = Problem()
+        problem.add_variable("x", Domain.range(0, 2))
+        problem.add_variable("y", Domain.range(0, 2))
+        problem.add_constraint(BinaryRelation("x", "y", "=="))
+        solver = Solver(problem)
+        models = solver.solve_blocking()
+        assert len(models) == 3
+
+    def test_solve_blocking_respects_cap(self):
+        problem = simple_problem()
+        solver = Solver(problem)
+        assert len(solver.solve_blocking(max_models=4)) == 4
+
+    def test_blocking_matches_direct_enumeration(self):
+        def build():
+            problem = Problem()
+            for name in ("a", "b"):
+                problem.add_variable(name, Domain.range(0, 3))
+            problem.add_constraint(BinaryRelation("a", "b", "<="))
+            return problem
+
+        direct = {tuple(sorted(m.items())) for m in all_solutions(build())}
+        blocked = {tuple(sorted(m.items())) for m in Solver(build()).solve_blocking()}
+        assert direct == blocked
+
+
+class TestNQueens:
+    """A classic CSP sanity check exercising AllDifferent + functions."""
+
+    def queens(self, n: int) -> int:
+        problem = Problem()
+        for i in range(n):
+            problem.add_variable(f"q{i}", Domain.range(0, n - 1))
+        problem.add_constraint(AllDifferent([f"q{i}" for i in range(n)]))
+        for i in range(n):
+            for j in range(i + 1, n):
+                problem.add_constraint(
+                    FunctionConstraint(
+                        (f"q{i}", f"q{j}"),
+                        lambda a, b, d=j - i: abs(a - b) != d,
+                    )
+                )
+        return len(all_solutions(problem))
+
+    def test_four_queens(self):
+        assert self.queens(4) == 2
+
+    def test_five_queens(self):
+        assert self.queens(5) == 10
+
+    def test_six_queens(self):
+        assert self.queens(6) == 4
+
+    def test_statistics_populated(self):
+        problem = simple_problem()
+        problem.add_constraint(BinaryRelation("x", "y", "<"))
+        solver = Solver(problem)
+        list(solver.solutions())
+        assert solver.stats.nodes > 0
+        assert solver.stats.solutions == 6

@@ -1,0 +1,126 @@
+"""Tests for the protocol policy builders and payoff predicates."""
+
+from repro.mtl import ast
+from repro.mtl.semantics import satisfies
+from repro.mtl.trace import State, TimedTrace
+from repro.specs import auction_specs, swap2_specs, swap3_specs
+from repro.specs.payoff import compensated_payoff, non_negative_payoff, received, sent
+
+
+class TestPayoff:
+    def test_received_and_sent(self):
+        valuation = {"to.alice": 100, "from.alice": 60}
+        assert received(valuation, "alice") == 100
+        assert sent(valuation, "alice") == 60
+
+    def test_non_negative_payoff_atom(self):
+        atom = non_negative_payoff("alice")
+        assert atom.holds_in(frozenset(), {"to.alice": 5, "from.alice": 5})
+        assert not atom.holds_in(frozenset(), {"to.alice": 4, "from.alice": 5})
+
+    def test_missing_keys_default_to_zero(self):
+        assert non_negative_payoff("alice").holds_in(frozenset(), {})
+
+    def test_compensated_payoff_atom(self):
+        atom = compensated_payoff("alice", 1)
+        assert atom.holds_in(frozenset(), {"to.alice": 101, "from.alice": 100})
+        assert not atom.holds_in(frozenset(), {"to.alice": 100, "from.alice": 100})
+
+    def test_payoff_atom_in_trace_semantics(self):
+        phi = ast.always(
+            ast.implies(ast.atom("settled"), non_negative_payoff("alice"))
+        )
+        good = TimedTrace(
+            [State.of("x"), State.of("settled", **{"to.alice": 10, "from.alice": 3})],
+            [0, 5],
+        )
+        bad = TimedTrace(
+            [State.of("x"), State.of("settled", **{"to.alice": 1, "from.alice": 3})],
+            [0, 5],
+        )
+        assert satisfies(good, phi)
+        assert not satisfies(bad, phi)
+
+
+class TestSwap2Policies:
+    def test_all_policies_present(self):
+        policies = swap2_specs.all_policies(500)
+        assert set(policies) == {
+            "liveness",
+            "alice_conforming",
+            "bob_conforming",
+            "alice_safety",
+            "bob_safety",
+            "alice_hedged",
+        }
+
+    def test_liveness_windows_scale_with_delta(self):
+        small = swap2_specs.liveness(100)
+        large = swap2_specs.liveness(1000)
+        small_ends = sorted(
+            n.interval.end for n in small.walk() if isinstance(n, ast.Eventually)
+        )
+        large_ends = sorted(
+            n.interval.end for n in large.walk() if isinstance(n, ast.Eventually)
+        )
+        assert all(l == s * 10 for s, l in zip(small_ends, large_ends))
+
+    def test_conformance_mentions_the_until_guard(self):
+        phi = swap2_specs.alice_conforming(500)
+        untils = [n for n in phi.walk() if isinstance(n, ast.Until)]
+        assert untils
+
+    def test_safety_is_implication(self):
+        phi = swap2_specs.alice_safety(500)
+        assert isinstance(phi, ast.Or)  # conform -> ... desugars to !c | ...
+
+
+class TestSwap3Policies:
+    def test_liveness_covers_twelve_timed_steps(self):
+        phi = swap3_specs.liveness(500)
+        timed = [
+            n
+            for n in phi.walk()
+            if isinstance(n, ast.Eventually) and not n.interval.is_unbounded()
+        ]
+        assert len(timed) == 12
+
+    def test_policy_registry(self):
+        assert set(swap3_specs.all_policies(500)) == {
+            "liveness",
+            "alice_conforming",
+            "alice_safety",
+            "alice_hedged",
+        }
+
+
+class TestAuctionPolicies:
+    def test_liveness_forbids_challenges(self):
+        phi = auction_specs.liveness(500)
+        names = {a.name for a in phi.atoms()}
+        assert "coin.challenge(any)" in names
+        assert "tckt.challenge(any)" in names
+
+    def test_open_start_interval(self):
+        """The paper's (4*delta, inf) becomes [4*delta + 1, inf)."""
+        phi = auction_specs.liveness(500)
+        unbounded = [
+            n.interval.start
+            for n in phi.walk()
+            if isinstance(n, ast.Eventually) and n.interval.is_unbounded()
+        ]
+        assert 2001 in unbounded
+
+    def test_conformance_symmetry_over_tags(self):
+        phi = auction_specs.bob_conforming(500)
+        names = {a.name for a in phi.atoms()}
+        assert "coin.declaration(alice,sb)" in names
+        assert "coin.declaration(alice,sc)" in names
+
+    def test_policy_registry(self):
+        assert set(auction_specs.all_policies(500)) == {
+            "liveness",
+            "bob_conforming",
+            "bob_safety",
+            "bob_hedged",
+        }

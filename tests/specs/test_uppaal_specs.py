@@ -1,0 +1,70 @@
+"""Tests for the phi1..phi6 specification builders."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.mtl import ast
+from repro.specs import uppaal_specs
+
+
+class TestShapes:
+    def test_phi1_until_structure(self):
+        phi = uppaal_specs.phi1(3)
+        assert isinstance(phi, ast.Until)
+        assert phi.right == ast.atom("train1.cross")
+        assert phi.left.size() >= 3
+
+    def test_phi2_per_train_conjunction(self):
+        phi = uppaal_specs.phi2(3)
+        assert isinstance(phi, ast.And)
+        assert len(phi.operands) == 3
+
+    def test_phi2_single_train_not_conjunction(self):
+        phi = uppaal_specs.phi2(1)
+        assert isinstance(phi, ast.Always)
+
+    def test_phi3_pairwise_exclusion(self):
+        phi = uppaal_specs.phi3(3)
+        assert isinstance(phi, ast.Always)
+        # C(3,2) = 3 pairwise clauses.
+        assert isinstance(phi.operand, ast.And)
+        assert len(phi.operand.operands) == 3
+
+    def test_phi3_single_process_trivial(self):
+        assert uppaal_specs.phi3(1) == ast.TRUE
+
+    def test_phi4_window(self):
+        phi = uppaal_specs.phi4(2, window_ms=750)
+        assert isinstance(phi, ast.Always)
+        names = {a.name for a in phi.atoms()}
+        assert names == {"p1.req", "p1.cs", "p2.req", "p2.cs"}
+
+    def test_phi5_all_pairs(self):
+        phi = uppaal_specs.phi5(3)
+        assert isinstance(phi, ast.Eventually)
+        assert len(phi.operand.operands) == 6  # 3*2 ordered pairs
+
+    def test_phi6_nested_depth(self):
+        phi = uppaal_specs.phi6(2)
+        assert phi.temporal_depth() == 2
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(FormulaError):
+            uppaal_specs.phi4(2, window_ms=0)
+
+    def test_all_specs_registry(self):
+        assert set(uppaal_specs.ALL_SPECS) == {f"phi{i}" for i in range(1, 7)}
+        for name, (builder, model) in uppaal_specs.ALL_SPECS.items():
+            assert model in ("train_gate", "fischer", "gossip")
+
+
+class TestDepthOrdering:
+    def test_nested_specs_deeper_than_flat(self):
+        """The paper's Fig 5a analysis: phi6 nests temporal operators,
+        phi3 does not."""
+        assert uppaal_specs.phi6(2).temporal_depth() > uppaal_specs.phi3(2).temporal_depth()
+
+    def test_phi2_contains_untimed_until(self):
+        phi = uppaal_specs.phi2(2)
+        untils = [n for n in phi.walk() if isinstance(n, ast.Until)]
+        assert untils and all(u.interval.is_unbounded() for u in untils)

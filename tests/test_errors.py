@@ -1,0 +1,43 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.FormulaError,
+            errors.ParseError,
+            errors.TraceError,
+            errors.ComputationError,
+            errors.SolverError,
+            errors.EncodingError,
+            errors.MonitorError,
+            errors.ChainError,
+            errors.ContractRevert,
+            errors.ProtocolError,
+            errors.AutomatonError,
+        ],
+    )
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_parse_error_position(self):
+        err = errors.ParseError("bad token", position=7)
+        assert err.position == 7
+        assert "position 7" in str(err)
+
+    def test_parse_error_without_position(self):
+        err = errors.ParseError("bad token")
+        assert err.position is None
+
+    def test_contract_revert_reason(self):
+        assert errors.ContractRevert("nope").reason == "nope"
+        assert "reverted" in str(errors.ContractRevert())
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ChainError("boom")

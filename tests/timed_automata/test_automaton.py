@@ -1,0 +1,170 @@
+"""Unit tests for the timed-automata core and network simulator."""
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.timed_automata.automaton import (
+    Channel,
+    Edge,
+    Location,
+    Sync,
+    TimedAutomaton,
+)
+from repro.timed_automata.network import Network
+
+
+def toggler(name: str = "t") -> TimedAutomaton:
+    return TimedAutomaton(
+        name,
+        [Location("Off"), Location("On")],
+        [
+            Edge("Off", "On", "on", guard=lambda c: c["x"] >= 2, resets=("x",)),
+            Edge("On", "Off", "off", guard=lambda c: c["x"] >= 1, resets=("x",)),
+        ],
+        initial="Off",
+        clocks=("x",),
+    )
+
+
+class TestAutomaton:
+    def test_initial_state(self):
+        auto = toggler()
+        assert auto.location == "Off"
+        assert auto.clocks == {"x": 0}
+
+    def test_guard_blocks_until_time_passes(self):
+        auto = toggler()
+        assert not auto.outgoing({})
+        auto.tick()
+        auto.tick()
+        assert len(auto.outgoing({})) == 1
+
+    def test_fire_moves_and_resets(self):
+        auto = toggler()
+        auto.tick()
+        auto.tick()
+        edge = auto.outgoing({})[0]
+        auto.fire(edge, {})
+        assert auto.location == "On"
+        assert auto.clocks["x"] == 0
+
+    def test_fire_from_wrong_location_rejected(self):
+        auto = toggler()
+        bad_edge = auto.edges[1]  # On -> Off while still in Off
+        with pytest.raises(AutomatonError):
+            auto.fire(bad_edge, {})
+
+    def test_reset_restores_initial(self):
+        auto = toggler()
+        auto.tick()
+        auto.reset()
+        assert auto.clocks["x"] == 0
+        assert auto.location == "Off"
+
+    def test_duplicate_location_rejected(self):
+        with pytest.raises(AutomatonError):
+            TimedAutomaton("z", [Location("A"), Location("A")], [], "A")
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(AutomatonError):
+            TimedAutomaton("z", [Location("A")], [], "B")
+
+    def test_edge_to_unknown_location_rejected(self):
+        with pytest.raises(AutomatonError):
+            TimedAutomaton("z", [Location("A")], [Edge("A", "B", "go")], "A")
+
+    def test_shared_guard(self):
+        auto = TimedAutomaton(
+            "s",
+            [Location("A"), Location("B")],
+            [Edge("A", "B", "go", shared_guard=lambda sh: sh.get("flag") == 1)],
+            "A",
+        )
+        assert not auto.outgoing({"flag": 0})
+        assert len(auto.outgoing({"flag": 1})) == 1
+
+    def test_emitted_props_default_to_label(self):
+        edge = Edge("A", "B", "go")
+        assert edge.emitted_props({}) == ("go",)
+
+    def test_emitted_props_static_and_dynamic(self):
+        edge = Edge(
+            "A", "B", "go",
+            props=("p",),
+            props_fn=lambda sh: ("q",) if sh.get("x") else (),
+        )
+        assert edge.emitted_props({"x": 1}) == ("p", "q")
+        assert edge.emitted_props({}) == ("p",)
+
+
+class TestSync:
+    def test_matching_directions(self):
+        channel = Channel("c")
+        assert Sync(channel, "!").matches(Sync(channel, "?"))
+        assert not Sync(channel, "!").matches(Sync(channel, "!"))
+
+    def test_different_channels_do_not_match(self):
+        assert not Sync(Channel("a"), "!").matches(Sync(Channel("b"), "?"))
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(AutomatonError):
+            Sync(Channel("c"), ">")
+
+
+class TestNetwork:
+    def _sync_pair(self):
+        channel = Channel("go")
+        sender = TimedAutomaton(
+            "s",
+            [Location("A"), Location("B")],
+            [Edge("A", "B", "send", sync=Sync(channel, "!"))],
+            "A",
+        )
+        receiver = TimedAutomaton(
+            "r",
+            [Location("A"), Location("B")],
+            [Edge("A", "B", "recv", sync=Sync(channel, "?"))],
+            "A",
+        )
+        return Network([sender, receiver], seed=1)
+
+    def test_sync_fires_both(self):
+        network = self._sync_pair()
+        fired = network.step()
+        assert len(fired) == 2
+        assert {f.automaton for f in fired} == {"s", "r"}
+        assert network.sync_pairs == [(0, 1)]
+
+    def test_sender_alone_cannot_fire(self):
+        channel = Channel("go")
+        sender = TimedAutomaton(
+            "s",
+            [Location("A"), Location("B")],
+            [Edge("A", "B", "send", sync=Sync(channel, "!"))],
+            "A",
+        )
+        network = Network([sender])
+        assert network.step() == []
+
+    def test_run_advances_time(self):
+        network = self._sync_pair()
+        network.run(5)
+        assert network.time == 5
+
+    def test_props_prefixed_with_automaton(self):
+        network = self._sync_pair()
+        fired = network.step()
+        assert fired[0].props == frozenset({"s.send"})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AutomatonError):
+            Network([toggler("x"), toggler("x")])
+
+    def test_seeded_determinism(self):
+        a = self._sync_pair()
+        b = self._sync_pair()
+        a.run(3)
+        b.run(3)
+        assert [(f.automaton, f.label, f.global_time) for f in a.history] == [
+            (f.automaton, f.label, f.global_time) for f in b.history
+        ]

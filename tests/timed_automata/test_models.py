@@ -1,0 +1,118 @@
+"""Tests for the three UPPAAL benchmark models and trace generation."""
+
+from repro.distributed.computation import DistributedComputation
+from repro.timed_automata import fischer, gossip, train_gate
+from repro.timed_automata.trace_gen import computation_from_network, generate
+
+
+class TestTrainGate:
+    def test_network_shape(self):
+        network = train_gate.build_network(3)
+        names = {a.name for a in network.automata}
+        assert names == {"train1", "train2", "train3", "gate"}
+
+    def test_simulation_produces_events(self):
+        network = train_gate.build_network(2, seed=3)
+        network.run(60)
+        assert network.history
+
+    def test_mutual_exclusion_of_bridge(self):
+        """At most one train holds the bridge at any time."""
+        network = train_gate.build_network(3, seed=5)
+        holder = 0
+        for _ in range(200):
+            fired = network.step()
+            for action in fired:
+                if action.label == "cross":
+                    assert network.shared["bridge"] != 0
+            network.delay()
+        assert network.shared["bridge"] in range(0, 4)
+
+    def test_trains_eventually_cross(self):
+        network = train_gate.build_network(2, seed=7)
+        network.run(100)
+        labels = {f.label for f in network.history}
+        assert "cross" in labels and "leave" in labels
+
+
+class TestFischer:
+    def test_mutual_exclusion_invariant(self):
+        """No two processes are simultaneously in the critical section."""
+        network = fischer.build_network(3, seed=2)
+        in_cs: set[str] = set()
+        for _ in range(300):
+            fired = network.step()
+            for action in fired:
+                if action.label == "cs":
+                    in_cs.add(action.automaton)
+                    assert len(in_cs) <= 1
+                elif action.label == "exit":
+                    in_cs.discard(action.automaton)
+            network.delay()
+
+    def test_processes_make_progress(self):
+        network = fischer.build_network(2, seed=4)
+        network.run(200)
+        labels = [f.label for f in network.history]
+        assert labels.count("cs") >= 1
+
+    def test_cs_prop_emitted(self):
+        network = fischer.build_network(1, seed=1)
+        network.run(100)
+        props = set().union(*(f.props for f in network.history))
+        assert "p1.cs" in props
+
+
+class TestGossip:
+    def test_secrets_spread(self):
+        network = gossip.build_network(3, seed=6)
+        network.run(150)
+        # After enough calls everyone should know several secrets.
+        masks = [network.shared[f"know{i}"] for i in (1, 2, 3)]
+        assert any(bin(m).count("1") >= 2 for m in masks)
+
+    def test_secret_props_emitted(self):
+        network = gossip.build_network(2, seed=8)
+        network.run(100)
+        props = set().union(*(f.props for f in network.history))
+        assert any(".secret" in p for p in props)
+
+    def test_fresh_secret_events(self):
+        network = gossip.build_network(2, seed=9)
+        network.run(100)
+        labels = [f.label for f in network.history]
+        assert "new_secret" in labels
+
+
+class TestTraceGeneration:
+    def test_generate_returns_computation(self):
+        comp = generate(fischer.build_network, 2, 30, epsilon_ms=15, seed=1)
+        assert isinstance(comp, DistributedComputation)
+        assert comp.epsilon == 15
+        assert len(comp) > 0
+
+    def test_event_rate_scales_timestamps(self):
+        slow = generate(fischer.build_network, 2, 30, epsilon_ms=15, events_per_second=5, seed=1)
+        fast = generate(fischer.build_network, 2, 30, epsilon_ms=15, events_per_second=20, seed=1)
+        assert slow.local_span()[1] > fast.local_span()[1]
+
+    def test_per_process_monotone_local_times(self):
+        comp = generate(gossip.build_network, 3, 40, epsilon_ms=10, clock_model="drift", seed=2)
+        per_process: dict[str, list[int]] = {}
+        for event in comp.events:
+            per_process.setdefault(event.process, []).append(event.local_time)
+        for times in per_process.values():
+            assert times == sorted(times)
+
+    def test_sync_pairs_become_messages(self):
+        network = gossip.build_network(2, seed=3)
+        network.run(50)
+        comp = computation_from_network(network, epsilon_ms=10, seed=3)
+        if network.sync_pairs:
+            assert comp.messages
+
+    def test_perfect_clock_model(self):
+        comp = generate(fischer.build_network, 1, 20, epsilon_ms=15, clock_model="perfect", seed=1)
+        # With the perfect model, local time == global tick * 100ms.
+        for event in comp.events:
+            assert event.local_time % 100 == 0
