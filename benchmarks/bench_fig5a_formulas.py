@@ -11,9 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workload import formula_for, model_for_formula
-from repro.monitor.smt_monitor import SmtMonitor
 
-from conftest import TRACE_BUDGET, cached_workload
+from conftest import bench_monitor, cached_workload
 
 PROCESS_COUNTS = (1, 2, 3)
 FORMULAS = ("phi1", "phi2", "phi3", "phi4", "phi5", "phi6")
@@ -37,12 +36,7 @@ def bench_formula_impact(benchmark, formula_name: str, processes: int) -> None:
         EPSILON_MS,
     )
     formula = formula_for(formula_name, processes, WINDOW_MS)
-    monitor = SmtMonitor(
-        formula,
-        segments=SEGMENTS,
-        max_traces_per_segment=TRACE_BUDGET,
-        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
-    )
+    monitor = bench_monitor(formula, segments=SEGMENTS)
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts
     benchmark.extra_info["verdicts"] = sorted(result.verdicts)

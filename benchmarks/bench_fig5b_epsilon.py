@@ -11,9 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workload import formula_for
-from repro.monitor.smt_monitor import SmtMonitor
 
-from conftest import TRACE_BUDGET, cached_workload
+from conftest import bench_monitor, cached_workload
 
 EPSILONS_MS = (5, 15, 25, 35)
 SEGMENT_COUNTS = (8, 15)
@@ -24,12 +23,7 @@ SEGMENT_COUNTS = (8, 15)
 def bench_epsilon_impact(benchmark, epsilon_ms: int, segments: int) -> None:
     computation = cached_workload("fischer", 2, 1.0, 10.0, epsilon_ms)
     formula = formula_for("phi4", 2, 600)
-    monitor = SmtMonitor(
-        formula,
-        segments=segments,
-        max_traces_per_segment=TRACE_BUDGET,
-        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
-    )
+    monitor = bench_monitor(formula, segments=segments)
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts
     benchmark.extra_info["traces"] = sum(

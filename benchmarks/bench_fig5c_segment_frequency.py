@@ -12,9 +12,8 @@ import pytest
 
 from repro.bench.workload import formula_for, model_for_formula
 from repro.distributed.segmentation import segments_for_frequency
-from repro.monitor.smt_monitor import SmtMonitor
 
-from conftest import TRACE_BUDGET, cached_workload
+from conftest import bench_monitor, cached_workload
 
 FREQUENCIES = (0.5, 1.0, 2.0, 4.0, 8.0)
 CASES = (("phi4", 1), ("phi4", 2), ("phi6", 1), ("phi6", 2))
@@ -29,12 +28,7 @@ def bench_segment_frequency(benchmark, frequency: float, case) -> None:
     )
     segments = segments_for_frequency(computation, frequency)
     formula = formula_for(formula_name, processes, 600)
-    monitor = SmtMonitor(
-        formula,
-        segments=segments,
-        max_traces_per_segment=TRACE_BUDGET,
-        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
-    )
+    monitor = bench_monitor(formula, segments=segments)
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts
     benchmark.extra_info["segments"] = segments

@@ -11,9 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workload import formula_for, model_for_formula
-from repro.monitor.smt_monitor import SmtMonitor
 
-from conftest import TRACE_BUDGET, cached_workload
+from conftest import bench_monitor, cached_workload
 
 LENGTHS_SECONDS = (0.5, 1.0, 1.5, 2.0)
 CASES = (("phi4", 2), ("phi6", 2))
@@ -29,12 +28,7 @@ def bench_computation_length(benchmark, length_seconds: float, case) -> None:
     )
     segments = max(1, round(SEGMENTS_PER_SECOND * length_seconds))
     formula = formula_for(formula_name, processes, 600)
-    monitor = SmtMonitor(
-        formula,
-        segments=segments,
-        max_traces_per_segment=TRACE_BUDGET,
-        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
-    )
+    monitor = bench_monitor(formula, segments=segments)
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts
     benchmark.extra_info["events"] = len(computation)

@@ -10,9 +10,8 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.workload import formula_for, model_for_formula
-from repro.monitor.smt_monitor import SmtMonitor
 
-from conftest import TRACE_BUDGET, cached_workload
+from conftest import bench_monitor, cached_workload
 
 EVENT_RATES = (5.0, 10.0, 15.0)
 CASES = (("phi4", 1), ("phi4", 2), ("phi6", 1), ("phi6", 2))
@@ -26,12 +25,7 @@ def bench_event_rate(benchmark, rate: float, case) -> None:
         model_for_formula(formula_name), processes, 1.0, rate, 15
     )
     formula = formula_for(formula_name, processes, 600)
-    monitor = SmtMonitor(
-        formula,
-        segments=8,
-        max_traces_per_segment=TRACE_BUDGET,
-        max_distinct_per_segment=4,  # the paper's per-segment verdict budget
-    )
+    monitor = bench_monitor(formula, segments=8)
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts
     benchmark.extra_info["events"] = len(computation)

@@ -13,11 +13,10 @@ from __future__ import annotations
 import pytest
 
 from repro.chain.log import computation_from_chains
-from repro.monitor.smt_monitor import SmtMonitor
 from repro.protocols.auction import AuctionBehavior, run_auction
 from repro.specs import auction_specs, swap2_specs, swap3_specs
 
-from conftest import TRACE_BUDGET, cached_swap2_computation, cached_swap3_computation
+from conftest import bench_monitor, cached_swap2_computation, cached_swap3_computation
 
 EPSILON_MS = 5
 DELTA_MS = 500
@@ -51,11 +50,11 @@ AUCTION_POINTS = {
 def bench_swap2(benchmark, point: str) -> None:
     computation = cached_swap2_computation(SWAP2_POINTS[point], EPSILON_MS, DELTA_MS)
     policy = swap2_specs.liveness(DELTA_MS)
-    monitor = SmtMonitor(
+    monitor = bench_monitor(
         policy,
         segments=1,  # the paper monitors the 2-party log unsegmented
         timestamp_samples=3,
-        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=None,
     )
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts
@@ -66,11 +65,11 @@ def bench_swap2(benchmark, point: str) -> None:
 def bench_swap3(benchmark, point: str) -> None:
     computation = cached_swap3_computation(SWAP3_POINTS[point], EPSILON_MS, DELTA_MS)
     policy = swap3_specs.liveness(DELTA_MS)
-    monitor = SmtMonitor(
+    monitor = bench_monitor(
         policy,
         segments=2,  # the paper uses g=2 for the larger protocols
         timestamp_samples=2,
-        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=None,
     )
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts
@@ -82,11 +81,11 @@ def bench_auction(benchmark, point: str) -> None:
     setup = run_auction(AUCTION_POINTS[point], epsilon_ms=EPSILON_MS, delta_ms=DELTA_MS)
     computation = computation_from_chains([setup.coin, setup.tckt], EPSILON_MS)
     policy = auction_specs.liveness(DELTA_MS)
-    monitor = SmtMonitor(
+    monitor = bench_monitor(
         policy,
         segments=2,
         timestamp_samples=2,
-        max_traces_per_segment=TRACE_BUDGET,
+        max_distinct_per_segment=None,
     )
     result = benchmark.pedantic(monitor.run, args=(computation,), rounds=2, iterations=1)
     assert result.verdicts

@@ -20,10 +20,34 @@ import pytest
 from repro.bench.workload import WorkloadSpec, formula_for, generate_workload
 from repro.chain.log import computation_from_chains
 from repro.distributed.computation import DistributedComputation
+from repro.monitor import Monitor, make_monitor
+from repro.mtl.ast import Formula
 
 #: Enumeration budget per segment — keeps worst-case points bounded while
 #: leaving the relative scaling intact (every point uses the same budget).
 TRACE_BUDGET = 400
+
+#: The paper's per-segment verdict budget (Fig 5e sweeps 1..4).
+VERDICT_CAP = 4
+
+
+def bench_monitor_kwargs(**overrides) -> dict:
+    """The benchmark suite's standard monitor knobs, with overrides."""
+    kwargs = {
+        "max_traces_per_segment": TRACE_BUDGET,
+        "max_distinct_per_segment": VERDICT_CAP,
+    }
+    kwargs.update(overrides)
+    return kwargs
+
+
+def bench_monitor(formula: Formula, **overrides) -> Monitor:
+    """Build the segmented monitor every figure benchmark times.
+
+    Goes through :func:`repro.monitor.make_monitor` so benchmarks follow
+    the same construction surface as production callers.
+    """
+    return make_monitor(formula, "smt", **bench_monitor_kwargs(**overrides))
 
 
 @lru_cache(maxsize=None)

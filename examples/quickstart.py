@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro import mtl
 from repro.distributed import DistributedComputation
-from repro.monitor import EnumerationMonitor, SmtMonitor
+from repro.monitor import make_monitor
 
 
 def main() -> None:
@@ -37,9 +37,10 @@ def main() -> None:
     )
     print(f"computation   :\n{computation}")
 
-    # 3. Run the solver-backed monitor.  saturate=False asks for exact
-    #    per-verdict trace-class counts, not just the verdict set.
-    result = SmtMonitor(spec, saturate=False).run(computation)
+    # 3. Build a monitor through the factory and run it.  saturate=False
+    #    asks the solver-backed engine for exact per-verdict trace-class
+    #    counts, not just the verdict set.
+    result = make_monitor(spec, "smt", saturate=False).run(computation)
     print(f"verdict set   : {sorted(result.verdicts)}")
     print(f"trace classes : {result.verdict_counts}")
     print(f"deterministic : {result.is_deterministic}")
@@ -47,16 +48,23 @@ def main() -> None:
     # 4. Cross-check against the brute-force baseline (identical by the
     #    soundness tests; this is the exponential monitor the paper's
     #    technique replaces).
-    baseline = EnumerationMonitor(spec).run(computation)
+    baseline = make_monitor(spec, "baseline").run(computation)
     assert baseline.verdict_counts == result.verdict_counts
     print("baseline agrees with the solver-backed monitor")
 
-    # 5. The same system with perfectly synchronized clocks (eps = 1) has
+    # 5. kind="auto" inspects the computation (event count, skew window,
+    #    formula size) and picks an engine; this one is small enough for
+    #    the exact memoized fast monitor.
+    auto = make_monitor(spec, computation=computation)
+    print(f"auto-selected : {type(auto).__name__}")
+    assert auto.run(computation).verdicts == result.verdicts
+
+    # 6. The same system with perfectly synchronized clocks (eps = 1) has
     #    a unique trace and therefore a unique verdict.
     synchronous = DistributedComputation.from_event_lists(
         1, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
     )
-    sync_result = SmtMonitor(spec).run(synchronous)
+    sync_result = make_monitor(spec, "smt").run(synchronous)
     print(f"with perfect clocks the verdict is {sorted(sync_result.verdicts)}")
 
 

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import time
 
+from repro.bench.reporting import format_batch_report
+from repro.bench.runner import run_batch_timed
 from repro.bench.workload import WorkloadSpec, formula_for, generate_workload, model_for_formula
 from repro.chain.log import computation_from_chains
 from repro.distributed.segmentation import segments_for_frequency
-from repro.monitor.fast import FastMonitor
-from repro.monitor.smt_monitor import SmtMonitor
+from repro.monitor import make_monitor
 from repro.protocols.auction import AuctionBehavior, run_auction
 from repro.protocols.scenarios import SWAP2_CONFORMING
 from repro.protocols.swap2 import run_swap2
@@ -58,8 +59,8 @@ def fig5a() -> None:
     for name in ("phi1", "phi2", "phi3", "phi4", "phi5", "phi6"):
         for processes in (1, 2, 3):
             comp = workload(model_for_formula(name), processes)
-            monitor = SmtMonitor(
-                formula_for(name, processes, 600), segments=8,
+            monitor = make_monitor(
+                formula_for(name, processes, 600), "smt", segments=8,
                 max_traces_per_segment=TRACE_BUDGET,
                 max_distinct_per_segment=VERDICT_CAP,
             )
@@ -76,8 +77,8 @@ def fig5b() -> None:
     for segments in (8, 15):
         for eps in (5, 15, 25, 35):
             comp = workload("fischer", 2, eps=eps)
-            monitor = SmtMonitor(
-                formula_for("phi4", 2, 600), segments=segments,
+            monitor = make_monitor(
+                formula_for("phi4", 2, 600), "smt", segments=segments,
                 max_traces_per_segment=TRACE_BUDGET,
                 max_distinct_per_segment=VERDICT_CAP,
             )
@@ -93,8 +94,8 @@ def fig5c() -> None:
         comp = workload(model_for_formula(name), processes)
         for frequency in (0.5, 1.0, 2.0, 4.0, 8.0):
             segments = segments_for_frequency(comp, frequency)
-            monitor = SmtMonitor(
-                formula_for(name, processes, 600), segments=segments,
+            monitor = make_monitor(
+                formula_for(name, processes, 600), "smt", segments=segments,
                 max_traces_per_segment=TRACE_BUDGET,
                 max_distinct_per_segment=VERDICT_CAP,
             )
@@ -113,8 +114,8 @@ def fig5d() -> None:
         for length in (0.5, 1.0, 1.5, 2.0):
             comp = workload(model_for_formula(name), processes, length=length)
             segments = max(1, round(8 * length))
-            monitor = SmtMonitor(
-                formula_for(name, processes, 600), segments=segments,
+            monitor = make_monitor(
+                formula_for(name, processes, 600), "smt", segments=segments,
                 max_traces_per_segment=TRACE_BUDGET,
                 max_distinct_per_segment=VERDICT_CAP,
             )
@@ -132,8 +133,8 @@ def fig5e() -> None:
     for name, processes in (("phi4", 2), ("phi6", 2)):
         comp = workload(model_for_formula(name), processes, eps=35)
         for max_distinct in (1, 2, 3, 4):
-            monitor = SmtMonitor(
-                formula_for(name, processes, 600), segments=8,
+            monitor = make_monitor(
+                formula_for(name, processes, 600), "smt", segments=8,
                 max_distinct_per_segment=max_distinct,
                 max_traces_per_segment=400 * max_distinct,
                 saturate=False,
@@ -152,8 +153,8 @@ def fig5f() -> None:
     for name, processes in (("phi4", 1), ("phi4", 2), ("phi6", 1), ("phi6", 2)):
         for rate in (5.0, 10.0, 15.0):
             comp = workload(model_for_formula(name), processes, rate=rate)
-            monitor = SmtMonitor(
-                formula_for(name, processes, 600), segments=8,
+            monitor = make_monitor(
+                formula_for(name, processes, 600), "smt", segments=8,
                 max_traces_per_segment=TRACE_BUDGET,
                 max_distinct_per_segment=VERDICT_CAP,
             )
@@ -177,8 +178,8 @@ def fig6() -> None:
     for label, behavior in swap2_points.items():
         setup = run_swap2(list(behavior), epsilon_ms=eps, delta_ms=delta)
         comp = computation_from_chains([setup.apricot, setup.banana], eps)
-        monitor = SmtMonitor(
-            swap2_specs.liveness(delta), segments=1,
+        monitor = make_monitor(
+            swap2_specs.liveness(delta), "smt", segments=1,
             timestamp_samples=3, max_traces_per_segment=TRACE_BUDGET,
         )
         result, seconds = timed(monitor, comp)
@@ -192,8 +193,8 @@ def fig6() -> None:
     for label, behavior in swap3_points.items():
         setup = run_swap3(list(behavior), epsilon_ms=eps, delta_ms=delta)
         comp = computation_from_chains(setup.chains.values(), eps)
-        monitor = SmtMonitor(
-            swap3_specs.liveness(delta), segments=2,
+        monitor = make_monitor(
+            swap3_specs.liveness(delta), "smt", segments=2,
             timestamp_samples=2, max_traces_per_segment=TRACE_BUDGET,
         )
         result, seconds = timed(monitor, comp)
@@ -210,8 +211,8 @@ def fig6() -> None:
     for label, behavior in auction_points.items():
         setup = run_auction(behavior, epsilon_ms=eps, delta_ms=delta)
         comp = computation_from_chains([setup.coin, setup.tckt], eps)
-        monitor = SmtMonitor(
-            auction_specs.liveness(delta), segments=2,
+        monitor = make_monitor(
+            auction_specs.liveness(delta), "smt", segments=2,
             timestamp_samples=2, max_traces_per_segment=TRACE_BUDGET,
         )
         result, seconds = timed(monitor, comp)
@@ -230,7 +231,7 @@ def delta_vs_epsilon() -> None:
     for eps in (2, 4, 8, 12, 16, 20, 30):
         setup = run_swap2(list(SWAP2_CONFORMING), epsilon_ms=eps, delta_ms=delta)
         comp = computation_from_chains([setup.apricot, setup.banana], eps)
-        monitor = FastMonitor(swap2_specs.liveness(delta))
+        monitor = make_monitor(swap2_specs.liveness(delta), "fast")
         result, seconds = timed(monitor, comp)
         rows.append([
             str(eps), f"{eps / delta:.2f}", str(sorted(result.verdicts)), f"{seconds:.3f}",
@@ -240,6 +241,29 @@ def delta_vs_epsilon() -> None:
         ["epsilon (ms)", "eps/Delta", "verdict set", "runtime (s)"],
         rows,
     )
+
+
+def parallel_batch() -> None:
+    """Throughput section: one batch of Fig 5d computations over a pool."""
+    comps = [
+        generate_workload(
+            WorkloadSpec(
+                model=model_for_formula("phi4"), processes=2, length_seconds=2.0,
+                events_per_second=10.0, epsilon_ms=15, seed=seed,
+            )
+        )
+        for seed in range(8)
+    ]
+    formula = formula_for("phi4", 2, 600)
+    print()
+    for workers in (1, 4):
+        report = run_batch_timed(
+            formula, comps, monitor="smt", workers=workers, segments=16,
+            max_traces_per_segment=TRACE_BUDGET,
+            max_distinct_per_segment=VERDICT_CAP,
+        )
+        print(format_batch_report(f"parallel batch — {workers} worker(s)", report))
+        print()
 
 
 def main() -> None:
@@ -252,6 +276,7 @@ def main() -> None:
     fig5f()
     fig6()
     delta_vs_epsilon()
+    parallel_batch()
 
 
 if __name__ == "__main__":

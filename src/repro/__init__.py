@@ -23,6 +23,7 @@ from repro import (
     io,
     monitor,
     mtl,
+    parallel,
     progression,
     protocols,
     solver,
@@ -43,6 +44,7 @@ __all__ = [
     "io",
     "monitor",
     "mtl",
+    "parallel",
     "progression",
     "protocols",
     "solver",

@@ -1,7 +1,20 @@
-"""Benchmark harness support: workloads, sweeps, reporting."""
+"""Benchmark harness support: workloads, sweeps, batches, reporting."""
 
-from repro.bench.reporting import assert_monotone_nondecreasing, format_series, print_series
-from repro.bench.runner import SweepPoint, measure_point, run_monitor_timed, sweep
+from repro.bench.reporting import (
+    assert_monotone_nondecreasing,
+    format_batch_report,
+    format_series,
+    print_batch_report,
+    print_series,
+)
+from repro.bench.runner import (
+    SweepPoint,
+    batch_sweep_point,
+    measure_point,
+    run_batch_timed,
+    run_monitor_timed,
+    sweep,
+)
 from repro.bench.workload import (
     WorkloadSpec,
     formula_for,
@@ -13,12 +26,16 @@ __all__ = [
     "SweepPoint",
     "WorkloadSpec",
     "assert_monotone_nondecreasing",
+    "batch_sweep_point",
+    "format_batch_report",
     "format_series",
     "formula_for",
     "generate_workload",
     "measure_point",
     "model_for_formula",
+    "print_batch_report",
     "print_series",
+    "run_batch_timed",
     "run_monitor_timed",
     "sweep",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.bench.runner import SweepPoint
+from repro.parallel.orchestrator import BatchReport
 
 
 def format_series(title: str, points: list[SweepPoint]) -> str:
@@ -23,6 +24,39 @@ def format_series(title: str, points: list[SweepPoint]) -> str:
 
 def print_series(title: str, points: list[SweepPoint]) -> None:
     print(format_series(title, points))
+
+
+def format_batch_report(title: str, report: BatchReport) -> str:
+    """A fixed-width table over the batch items plus a summary footer."""
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'item':>6} {'runtime(s)':>12} {'verdicts':<10} status")
+    for item in report.items:
+        if item.ok:
+            verdicts = "".join(
+                symbol
+                for flag, symbol in ((True, "T"), (False, "F"))
+                if flag in item.result.verdicts
+            ) or "-"
+            status = "ok"
+        else:
+            verdicts = "-"
+            status = item.error
+        lines.append(f"{item.index:>6} {item.seconds:>12.4f} {{{verdicts}}}".ljust(32) + f" {status}")
+    totals = report.verdict_totals
+    totals_text = ", ".join(
+        f"{'T' if verdict else 'F'}×{totals[verdict]}"
+        for verdict in sorted(totals, reverse=True)
+    ) or "-"
+    lines.append(
+        f"total: {len(report.ok_items)}/{len(report.items)} ok | verdicts {totals_text} | "
+        f"wall {report.wall_seconds:.3f}s | {report.workers} workers "
+        f"@ {report.utilization:.0%} busy"
+    )
+    return "\n".join(lines)
+
+
+def print_batch_report(title: str, report: BatchReport) -> None:
+    print(format_batch_report(title, report))
 
 
 def assert_monotone_nondecreasing(

@@ -4,13 +4,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.bench.workload import WorkloadSpec, formula_for, generate_workload, model_for_formula
 from repro.distributed.computation import DistributedComputation
-from repro.monitor.smt_monitor import SmtMonitor
+from repro.monitor.factory import make_monitor
 from repro.monitor.verdicts import MonitorResult
 from repro.mtl.ast import Formula
+from repro.parallel.orchestrator import BatchReport, ParallelMonitor
 
 
 @dataclass
@@ -34,8 +35,9 @@ def run_monitor_timed(
     backend: str = "dfs",
 ) -> tuple[MonitorResult, float]:
     """Run the monitor once, returning (result, wall-clock seconds)."""
-    monitor = SmtMonitor(
+    monitor = make_monitor(
         formula,
+        "smt",
         segments=segments,
         max_traces_per_segment=max_traces_per_segment,
         max_distinct_per_segment=max_distinct_per_segment,
@@ -80,3 +82,49 @@ def measure_point(
 def sweep(points: list[tuple[str, Callable[[], SweepPoint]]]) -> list[SweepPoint]:
     """Evaluate labelled thunks in order (simple, deterministic)."""
     return [thunk() for _, thunk in points]
+
+
+def run_batch_timed(
+    formula: Formula,
+    computations: Sequence[DistributedComputation],
+    monitor: str = "smt",
+    workers: int | None = None,
+    chunksize: int | None = None,
+    **monitor_kwargs,
+) -> BatchReport:
+    """Monitor a batch of computations over a worker pool.
+
+    The orchestration counterpart of :func:`run_monitor_timed`: the
+    returned :class:`~repro.parallel.orchestrator.BatchReport` carries
+    wall-clock, per-verdict totals, and worker utilization — the numbers
+    the parallel-scaling benchmark plots.
+    """
+    orchestrator = ParallelMonitor(
+        formula,
+        monitor=monitor,
+        workers=workers,
+        chunksize=chunksize,
+        **monitor_kwargs,
+    )
+    return orchestrator.run_batch(computations)
+
+
+def batch_sweep_point(label: str, report: BatchReport) -> SweepPoint:
+    """Summarise a batch report as one sweep point (for the reporting tables)."""
+    totals = report.verdict_totals
+    return SweepPoint(
+        label=label,
+        runtime_seconds=report.wall_seconds,
+        verdicts=frozenset(v for v, c in totals.items() if c > 0),
+        traces_enumerated=sum(
+            r.traces_enumerated
+            for item in report.ok_items
+            for r in item.result.segment_reports
+        ),
+        events=len(report.items),
+        extra={
+            "workers": report.workers,
+            "utilization": report.utilization,
+            "errors": len(report.errors),
+        },
+    )

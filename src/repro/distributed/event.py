@@ -64,6 +64,14 @@ class Event:
         high = self.local_time + epsilon - 1
         return (low, high)
 
+    def __reduce__(self):
+        # deltas may be a (non-picklable) mappingproxy; rebuild through
+        # make_event so events survive multiprocessing boundaries.
+        return (
+            make_event,
+            (self.process, self.seq, self.local_time, self.props, dict(self.deltas) or None),
+        )
+
     def __hash__(self) -> int:
         return hash((self.process, self.seq, self.local_time, self.props))
 

@@ -1,17 +1,37 @@
-"""Monitors: solver-backed segmented monitor, baseline, online wrapper."""
+"""Monitors: solver-backed segmented monitor, baseline, online wrapper.
+
+All engines satisfy the :class:`~repro.monitor.protocol.Monitor`
+protocol; build them through :func:`~repro.monitor.factory.make_monitor`
+unless you need engine-specific API.
+"""
 
 from repro.monitor.baseline import EnumerationMonitor
+from repro.monitor.factory import (
+    available_monitors,
+    formula_size,
+    make_monitor,
+    register_monitor,
+    select_kind,
+)
 from repro.monitor.fast import FastMonitor
 from repro.monitor.online import OnlineMonitor
-from repro.monitor.smt_monitor import SmtMonitor, monitor
+from repro.monitor.protocol import Monitor
+from repro.monitor.smt_monitor import PipelineState, SmtMonitor, monitor
 from repro.monitor.verdicts import MonitorResult, SegmentReport
 
 __all__ = [
     "EnumerationMonitor",
     "FastMonitor",
+    "Monitor",
     "MonitorResult",
     "OnlineMonitor",
+    "PipelineState",
     "SegmentReport",
     "SmtMonitor",
+    "available_monitors",
+    "formula_size",
+    "make_monitor",
     "monitor",
+    "register_monitor",
+    "select_kind",
 ]

@@ -53,6 +53,43 @@ class OnlineMonitor:
         self._finished = False
         self._segment_counter = 0
 
+    @property
+    def formula(self) -> Formula:
+        return self._formula
+
+    # -- one-shot protocol adapter -------------------------------------------------
+
+    def run(self, computation: DistributedComputation) -> MonitorResult:
+        """Monitor a complete computation (the :class:`Monitor` protocol).
+
+        Replays the computation's events through a *fresh* online monitor
+        (this instance's buffered state is untouched, so ``run`` is
+        repeatable like the offline monitors) and finishes it in one
+        segment.  The computation's own epsilon wins over the
+        constructor's.  Message edges are not representable in the online
+        feed — dropping them would enlarge the admissible-trace set and
+        return unsound verdicts, so such computations are rejected.
+        """
+        if computation.messages:
+            raise MonitorError(
+                "the online monitor cannot replay message edges; use the "
+                "smt/fast/baseline engines for computations with messages"
+            )
+        replay = OnlineMonitor(
+            self._formula,
+            computation.epsilon,
+            max_traces_per_segment=self._max_traces,
+            backend=self._backend,
+        )
+        events = sorted(
+            computation.events, key=lambda e: (e.local_time, e.process, e.seq)
+        )
+        for event in events:
+            replay.observe(
+                event.process, event.local_time, event.props, dict(event.deltas) or None
+            )
+        return replay.finish()
+
     # -- feeding -----------------------------------------------------------------
 
     def observe(

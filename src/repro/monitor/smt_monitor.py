@@ -15,16 +15,36 @@ concatenate monotonically — the trade-off Section V-C motivates
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.distributed.computation import DistributedComputation
-from repro.distributed.segmentation import segment_computation
+from repro.distributed.hb import HappenedBefore
+from repro.distributed.segmentation import Segment, segment_computation
 from repro.encoding.trace_extractor import segment_carry
 from repro.encoding.verdict_enumerator import enumerate_segment_outcomes
 from repro.errors import MonitorError
 from repro.mtl.ast import FalseConst, Formula, TrueConst
 from repro.monitor.verdicts import MonitorResult, SegmentReport
 from repro.progression.progressor import close
+
+
+@dataclass
+class PipelineState:
+    """Everything the segment pipeline carries from one segment to the next.
+
+    The per-segment loop is a fold over this state: carried residual
+    formulas (with trace-class counts), the time anchor the residuals are
+    anchored at, and the accumulated valuation/frontier context of the
+    already-consumed prefix.  Exposing it lets the parallel orchestrator
+    pause the pipeline at a segment boundary, shard the carried residuals
+    across workers, and resume each shard independently.
+    """
+
+    carried: dict[Formula, int]
+    anchor: int | None = None
+    base_valuation: dict[str, float] = field(default_factory=dict)
+    frontier: dict[str, frozenset[str]] = field(default_factory=dict)
 
 
 class SmtMonitor:
@@ -77,78 +97,114 @@ class SmtMonitor:
 
     def run(self, computation: DistributedComputation) -> MonitorResult:
         """Monitor a complete computation and return its verdict set."""
-        result = MonitorResult(self._formula)
         if len(computation) == 0:
             # No observations at all: close the specification directly
             # (strong F/U obligations are violated, weak G satisfied).
+            result = MonitorResult(self._formula)
             result.record(close(self._formula))
             return result
+        return self.run_from(computation, self.initial_state(), start=0)
 
-        hb = computation.happened_before()
-        all_segments = [
+    # -- resumable pipeline ------------------------------------------------------
+
+    def initial_state(self) -> PipelineState:
+        """The pipeline state before any segment has been consumed."""
+        return PipelineState(carried={self._formula: 1})
+
+    def segments_of(self, computation: DistributedComputation) -> list[Segment]:
+        """The non-empty segments the pipeline will process, in order."""
+        return [
             s for s in segment_computation(computation, self._segments) if not s.is_empty()
         ]
-        carried: dict[Formula, int] = {self._formula: 1}
-        anchor: int | None = None
-        base_valuation: dict[str, float] = {}
-        frontier: dict[str, frozenset[str]] = {}
 
-        for order, segment in enumerate(all_segments):
-            is_first = order == 0
-            is_last = order == len(all_segments) - 1
-            indices = [hb.index_of(e) for e in segment.events]
-            view = hb.restricted_to(indices)
-            outcome = enumerate_segment_outcomes(
-                view,
-                computation.epsilon,
-                carried,
-                anchor,
-                boundary=segment.hi,
-                clamp_lo=None if is_first else segment.lo,
-                clamp_hi=None if is_last else segment.hi,
-                max_traces=self._max_traces,
-                max_distinct=self._max_distinct,
-                backend=self._backend,
-                base_valuation=base_valuation,
-                frontier_props=frontier,
-                saturate_final=self._saturate and is_last,
-                timestamp_samples=self._timestamp_samples,
+    def step(
+        self,
+        hb: HappenedBefore,
+        segments: list[Segment],
+        order: int,
+        state: PipelineState,
+        result: MonitorResult,
+        epsilon: int,
+    ) -> PipelineState:
+        """Consume ``segments[order]``: enumerate its traces, progress every
+        carried residual, record decided verdicts into ``result``, and
+        return the state carried into the next segment."""
+        segment = segments[order]
+        is_first = order == 0
+        is_last = order == len(segments) - 1
+        indices = [hb.index_of(e) for e in segment.events]
+        view = hb.restricted_to(indices)
+        outcome = enumerate_segment_outcomes(
+            view,
+            epsilon,
+            state.carried,
+            state.anchor,
+            boundary=segment.hi,
+            clamp_lo=None if is_first else segment.lo,
+            clamp_hi=None if is_last else segment.hi,
+            max_traces=self._max_traces,
+            max_distinct=self._max_distinct,
+            backend=self._backend,
+            base_valuation=state.base_valuation,
+            frontier_props=state.frontier,
+            saturate_final=self._saturate and is_last,
+            timestamp_samples=self._timestamp_samples,
+        )
+        if outcome.truncated:
+            result.exhaustive = False
+            result.verdict_set_complete = False
+        if self._timestamp_samples is not None:
+            result.exhaustive = False
+            result.verdict_set_complete = False
+        if outcome.saturated:
+            result.exhaustive = False  # counts partial, set complete
+        result.segment_reports.append(
+            SegmentReport(
+                index=segment.index,
+                events=len(segment.events),
+                traces_enumerated=outcome.traces_enumerated,
+                distinct_residuals=len(outcome.residuals),
+                truncated=outcome.truncated,
+                saturated=outcome.saturated,
             )
-            if outcome.truncated:
-                result.exhaustive = False
-                result.verdict_set_complete = False
-            if self._timestamp_samples is not None:
-                result.exhaustive = False
-                result.verdict_set_complete = False
-            if outcome.saturated:
-                result.exhaustive = False  # counts partial, set complete
-            result.segment_reports.append(
-                SegmentReport(
-                    index=segment.index,
-                    events=len(segment.events),
-                    traces_enumerated=outcome.traces_enumerated,
-                    distinct_residuals=len(outcome.residuals),
-                    truncated=outcome.truncated,
-                    saturated=outcome.saturated,
-                )
-            )
+        )
 
-            carried = {}
-            for residual, count in outcome.residuals.items():
-                if isinstance(residual, TrueConst):
-                    result.record(True, count)
-                elif isinstance(residual, FalseConst):
-                    result.record(False, count)
-                else:
-                    carried[residual] = carried.get(residual, 0) + count
-            anchor = segment.hi
-            base_valuation, frontier = segment_carry(
-                segment.events, base_valuation, frontier
-            )
-            if not carried:
+        carried: dict[Formula, int] = {}
+        for residual, count in outcome.residuals.items():
+            if isinstance(residual, TrueConst):
+                result.record(True, count)
+            elif isinstance(residual, FalseConst):
+                result.record(False, count)
+            else:
+                carried[residual] = carried.get(residual, 0) + count
+        base_valuation, frontier = segment_carry(
+            segment.events, state.base_valuation, state.frontier
+        )
+        return PipelineState(
+            carried=carried,
+            anchor=segment.hi,
+            base_valuation=base_valuation,
+            frontier=frontier,
+        )
+
+    def run_from(
+        self,
+        computation: DistributedComputation,
+        state: PipelineState,
+        start: int = 0,
+    ) -> MonitorResult:
+        """Run segments ``start..`` from a given carried state and close the
+        leftover residuals.  ``run()`` is ``run_from(c, initial_state(), 0)``;
+        parallel shard workers call it with ``start > 0`` and a slice of the
+        carried residual formulas."""
+        result = MonitorResult(self._formula)
+        hb = computation.happened_before()
+        segments = self.segments_of(computation)
+        for order in range(start, len(segments)):
+            if not state.carried:
                 break
-
-        for residual, count in carried.items():
+            state = self.step(hb, segments, order, state, result, computation.epsilon)
+        for residual, count in state.carried.items():
             result.record(close(residual), count)
         return result
 

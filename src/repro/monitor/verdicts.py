@@ -74,6 +74,24 @@ class MonitorResult:
     def record(self, verdict: bool, count: int = 1) -> None:
         self.verdict_counts[verdict] = self.verdict_counts.get(verdict, 0) + count
 
+    def merge(self, other: "MonitorResult", weight: int = 1) -> "MonitorResult":
+        """Fold another result into this one (in place, returns self).
+
+        Verdict counts add (scaled by ``weight`` trace classes), segment
+        reports concatenate, and the exactness flags combine
+        conservatively.  Used by the parallel orchestrator to combine the
+        results of independently monitored shards of one computation (or
+        of disjoint computations sharing a formula).
+        """
+        for verdict, count in other.verdict_counts.items():
+            self.record(verdict, count * weight)
+        self.segment_reports.extend(other.segment_reports)
+        self.exhaustive = self.exhaustive and other.exhaustive
+        self.verdict_set_complete = (
+            self.verdict_set_complete and other.verdict_set_complete
+        )
+        return self
+
     def __str__(self) -> str:
         parts = []
         if self.may_be_satisfied:

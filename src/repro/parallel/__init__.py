@@ -1,0 +1,11 @@
+"""Parallel monitoring: fan computations (or segment shards) over cores."""
+
+from repro.parallel.orchestrator import BatchReport, ParallelMonitor, default_workers
+from repro.parallel.worker import BatchItem
+
+__all__ = [
+    "BatchItem",
+    "BatchReport",
+    "ParallelMonitor",
+    "default_workers",
+]

@@ -1,0 +1,302 @@
+"""The parallel monitoring orchestrator.
+
+Two ways to spend cores:
+
+* **Batch mode** (:meth:`ParallelMonitor.run_batch`) — fan a list of
+  independent computations out over a process pool.  This is the
+  production-throughput path: a deployed monitor watches many protocol
+  sessions at once, and each session is embarrassingly parallel.
+  Results come back in input order, and a poisoned computation is
+  captured per-item instead of killing the batch.
+
+* **Segment-parallel mode** (:meth:`ParallelMonitor.run`) — one large
+  computation.  The segmented monitor's pipeline carries a *set* of
+  residual formulas between segments; once more than one residual is in
+  flight, progression of each residual over the remaining segments is
+  independent of the others.  The orchestrator runs the pipeline
+  serially until the carried set is big enough to split, shards it
+  round-robin across workers, resumes every shard from the same segment
+  boundary, and merges the shard results with
+  :meth:`~repro.monitor.verdicts.MonitorResult.merge`.  Verdict
+  multisets are bit-identical to the serial path (enumeration budgets,
+  when set, apply per shard — counts under ``max_distinct`` truncation
+  may then differ).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import MonitorError
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.monitor.verdicts import MonitorResult, SegmentReport
+from repro.progression.progressor import close
+from repro.mtl.ast import Formula
+from repro.parallel.worker import (
+    BatchItem,
+    MonitorTask,
+    SegmentShardTask,
+    run_monitor_task,
+    run_segment_shard,
+)
+
+
+def default_workers() -> int:
+    """Pool size when the caller does not pick one (bounded: oversubscribing
+    a monitoring batch buys nothing)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one monitored batch.
+
+    Per-verdict totals over the successful items, wall-clock time, and
+    worker utilization (total busy seconds across items divided by
+    ``workers * wall``; 1.0 means the pool never idled).
+    """
+
+    items: list[BatchItem] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def ok_items(self) -> list[BatchItem]:
+        return [item for item in self.items if item.ok]
+
+    @property
+    def errors(self) -> list[tuple[int, str]]:
+        return [(item.index, item.error) for item in self.items if not item.ok]
+
+    @property
+    def results(self) -> list[MonitorResult | None]:
+        """Per-item results in input order (None where the item failed)."""
+        return [item.result for item in self.items]
+
+    @property
+    def verdict_totals(self) -> dict[bool, int]:
+        totals: dict[bool, int] = {}
+        for item in self.ok_items:
+            for verdict, count in item.result.verdict_counts.items():
+                totals[verdict] = totals.get(verdict, 0) + count
+        return totals
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(item.seconds for item in self.items)
+
+    @property
+    def utilization(self) -> float:
+        if self.wall_seconds <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
+
+    def merged(self, formula: Formula) -> MonitorResult:
+        """All successful items folded into one result."""
+        merged = MonitorResult(formula)
+        for item in self.ok_items:
+            merged.merge(item.result)
+        return merged
+
+    def __str__(self) -> str:
+        totals = self.verdict_totals
+        parts = [f"{len(self.ok_items)}/{len(self.items)} ok"]
+        if totals:
+            parts.append(
+                "verdicts " + " ".join(
+                    f"{'T' if v else 'F'}×{totals[v]}" for v in sorted(totals, reverse=True)
+                )
+            )
+        parts.append(f"wall {self.wall_seconds:.3f}s")
+        parts.append(f"{self.workers} workers @ {self.utilization:.0%}")
+        return "BatchReport(" + ", ".join(parts) + ")"
+
+
+class ParallelMonitor:
+    """Shard monitoring work over a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    formula:
+        The MTL specification (shared by every computation).
+    monitor:
+        Engine kind for batch mode — any :func:`~repro.monitor.factory.make_monitor`
+        kind, including ``"auto"``.  Segment-parallel mode always uses the
+        segmented smt monitor (the only engine with a resumable pipeline).
+    workers:
+        Pool size; ``None`` picks :func:`default_workers`.  ``workers=1``
+        runs everything inline — no pool, handy under debuggers.
+    chunksize:
+        Batch items handed to a worker per round-trip; ``None`` derives
+        one from the batch size.
+    min_shard_residuals:
+        Segment-parallel mode fans out only once at least this many
+        residual formulas are carried (below it the split cannot win).
+    **monitor_kwargs:
+        Forwarded to the engine constructor (``segments=``, budgets, ...).
+    """
+
+    def __init__(
+        self,
+        formula: Formula,
+        monitor: str = "smt",
+        workers: int | None = None,
+        chunksize: int | None = None,
+        min_shard_residuals: int = 2,
+        **monitor_kwargs,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise MonitorError(f"workers must be >= 1, got {workers}")
+        if min_shard_residuals < 2:
+            raise MonitorError(
+                f"min_shard_residuals must be >= 2, got {min_shard_residuals}"
+            )
+        self._formula = formula
+        self._kind = monitor
+        self._workers = workers if workers is not None else default_workers()
+        self._chunksize = chunksize
+        self._min_shard = min_shard_residuals
+        self._monitor_kwargs = dict(monitor_kwargs)
+
+    @property
+    def formula(self) -> Formula:
+        return self._formula
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    # -- batch mode ---------------------------------------------------------------
+
+    def run_batch(
+        self, computations: Sequence[DistributedComputation]
+    ) -> BatchReport:
+        """Monitor every computation; results keep input order.
+
+        Each worker builds its own engine via ``make_monitor`` (passing
+        the item's computation, so ``monitor="auto"`` re-selects per
+        item).  Failures are captured per item as :class:`BatchItem`
+        errors.
+        """
+        computations = list(computations)
+        tasks = [
+            MonitorTask(
+                index=index,
+                kind=self._kind,
+                formula=self._formula,
+                kwargs=self._monitor_kwargs,
+                computation=computation,
+            )
+            for index, computation in enumerate(computations)
+        ]
+        workers = min(self._workers, max(1, len(tasks)))
+        started = time.perf_counter()
+        if workers <= 1 or len(tasks) <= 1:
+            items = [run_monitor_task(task) for task in tasks]
+        else:
+            chunksize = self._chunksize or max(1, len(tasks) // (workers * 4))
+            with multiprocessing.Pool(processes=workers) as pool:
+                items = pool.map(run_monitor_task, tasks, chunksize=chunksize)
+        wall = time.perf_counter() - started
+        items.sort(key=lambda item: item.index)  # pool.map preserves order; be explicit
+        return BatchReport(items=items, workers=workers, wall_seconds=wall)
+
+    # -- segment-parallel mode ------------------------------------------------------
+
+    def run(self, computation: DistributedComputation) -> MonitorResult:
+        """Monitor one computation, parallelising across its segments.
+
+        The pipeline runs serially until the carried residual set reaches
+        ``min_shard_residuals`` with segments still to go, then shards the
+        residuals across workers and merges the shard results.  Falls back
+        to the plain serial monitor when the computation is too small, the
+        pool has one worker, or the carried set never grows.
+        """
+        engine = SmtMonitor(self._formula, **self._monitor_kwargs)
+        if self._workers <= 1 or len(computation) == 0:
+            return engine.run(computation)
+
+        hb = computation.happened_before()
+        segments = engine.segments_of(computation)
+        result = MonitorResult(self._formula)
+        state = engine.initial_state()
+        order = 0
+        while order < len(segments):
+            if len(state.carried) >= self._min_shard:
+                break  # enough independent work to split; segments[order:] go parallel
+            if not state.carried:
+                break
+            state = engine.step(hb, segments, order, state, result, computation.epsilon)
+            order += 1
+
+        if order >= len(segments) or len(state.carried) < self._min_shard:
+            for residual, count in state.carried.items():
+                result.record(close(residual), count)
+            return result
+
+        shards = self._shard_residuals(state.carried)
+        tasks = [
+            SegmentShardTask(
+                computation=computation,
+                formula=self._formula,
+                kwargs=self._monitor_kwargs,
+                carried=shard,
+                anchor=state.anchor,
+                base_valuation=state.base_valuation,
+                frontier=state.frontier,
+                start=order,
+            )
+            for shard in shards
+        ]
+        with multiprocessing.Pool(processes=len(tasks)) as pool:
+            shard_results = pool.map(run_segment_shard, tasks)
+        for shard_result in shard_results:
+            result.merge(shard_result)
+        self._collapse_segment_reports(result)
+        return result
+
+    @staticmethod
+    def _collapse_segment_reports(result: MonitorResult) -> None:
+        """Fold the K per-shard reports of each parallel segment into one.
+
+        Every shard re-enumerates its segments, so trace and residual
+        counts *add* (they reflect work actually done) while the
+        truncation flags OR — leaving one report per segment index, like
+        the serial monitor produces.
+        """
+        by_index: dict[int, SegmentReport] = {}
+        order: list[int] = []
+        for report in result.segment_reports:
+            existing = by_index.get(report.index)
+            if existing is None:
+                by_index[report.index] = SegmentReport(
+                    index=report.index,
+                    events=report.events,
+                    traces_enumerated=report.traces_enumerated,
+                    distinct_residuals=report.distinct_residuals,
+                    truncated=report.truncated,
+                    saturated=report.saturated,
+                )
+                order.append(report.index)
+            else:
+                existing.traces_enumerated += report.traces_enumerated
+                existing.distinct_residuals += report.distinct_residuals
+                existing.truncated = existing.truncated or report.truncated
+                existing.saturated = existing.saturated or report.saturated
+        result.segment_reports = [by_index[index] for index in order]
+
+    def _shard_residuals(
+        self, carried: dict[Formula, int]
+    ) -> list[dict[Formula, int]]:
+        """Deterministic round-robin split of the carried residuals."""
+        shard_count = min(self._workers, len(carried))
+        ordered = sorted(carried.items(), key=lambda kv: str(kv[0]))
+        shards: list[dict[Formula, int]] = [{} for _ in range(shard_count)]
+        for position, (residual, count) in enumerate(ordered):
+            shards[position % shard_count][residual] = count
+        return shards

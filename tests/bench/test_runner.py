@@ -1,0 +1,144 @@
+"""Tests for the bench runner: timed runs, sweeps, and batch reports.
+
+Also smoke-tests the figure benchmarks themselves: every
+``benchmarks/bench_*.py`` module must import and the shared workload
+builders must construct, so a broken benchmark is caught by tier-1
+instead of at figure-regeneration time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import (
+    SweepPoint,
+    batch_sweep_point,
+    measure_point,
+    run_batch_timed,
+    run_monitor_timed,
+    sweep,
+)
+from repro.bench.workload import WorkloadSpec, formula_for, generate_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
+
+
+class TestRunner:
+    def test_run_monitor_timed(self):
+        spec = WorkloadSpec(model="fischer", processes=1, length_seconds=0.5)
+        comp = generate_workload(spec)
+        phi = formula_for("phi4", 1, window_ms=500)
+        result, elapsed = run_monitor_timed(
+            phi, comp, segments=2, max_traces_per_segment=200
+        )
+        assert elapsed >= 0
+        assert result.verdicts
+
+    def test_measure_point(self):
+        point = measure_point(
+            label="t",
+            formula_name="phi3",
+            workload=WorkloadSpec(model="fischer", processes=2, length_seconds=0.5),
+            segments=2,
+            max_traces_per_segment=100,
+        )
+        assert point.runtime_seconds >= 0
+        assert point.events > 0
+
+    def test_sweep_preserves_order(self):
+        def make(label):
+            return SweepPoint(label, 0.0, frozenset({True}), 0, 0)
+
+        points = sweep([("a", lambda: make("a")), ("b", lambda: make("b"))])
+        assert [p.label for p in points] == ["a", "b"]
+
+
+class TestBatch:
+    def _batch(self):
+        return [
+            generate_workload(
+                WorkloadSpec(model="fischer", processes=1, length_seconds=0.5, seed=seed)
+            )
+            for seed in range(3)
+        ]
+
+    def test_run_batch_timed(self):
+        phi = formula_for("phi4", 1, window_ms=500)
+        report = run_batch_timed(
+            phi, self._batch(), workers=2, segments=2, max_traces_per_segment=200
+        )
+        assert len(report.items) == 3
+        assert not report.errors
+        assert report.wall_seconds > 0
+        assert sum(report.verdict_totals.values()) > 0
+
+    def test_batch_sweep_point(self):
+        phi = formula_for("phi4", 1, window_ms=500)
+        report = run_batch_timed(
+            phi, self._batch(), workers=1, segments=2, max_traces_per_segment=200
+        )
+        point = batch_sweep_point("batch", report)
+        assert point.label == "batch"
+        assert point.runtime_seconds == report.wall_seconds
+        assert point.events == 3
+        assert point.extra["workers"] == 1
+        assert point.extra["errors"] == 0
+
+
+class TestBenchmarkModules:
+    """Every figure benchmark must stay importable with working builders."""
+
+    @staticmethod
+    def _load(path: Path, name: str):
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @classmethod
+    def _bench_conftest(cls):
+        return cls._load(BENCHMARKS_DIR / "conftest.py", "bench_conftest")
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted(BENCHMARKS_DIR.glob("bench_*.py")),
+        ids=lambda p: p.stem,
+    )
+    def test_module_imports_and_declares_benchmarks(self, path, monkeypatch):
+        # Benchmark modules do `from conftest import ...` meaning the
+        # benchmarks/ conftest, not the tests/ one pytest has loaded.
+        monkeypatch.setitem(sys.modules, "conftest", self._bench_conftest())
+        module = self._load(path, f"benchsmoke_{path.stem}")
+        bench_functions = [
+            name for name in vars(module) if name.startswith("bench_") and callable(getattr(module, name))
+        ]
+        assert bench_functions, f"{path.name} declares no bench_* function"
+
+    def test_cached_workload_builder(self):
+        conftest = self._bench_conftest()
+        comp = conftest.cached_workload("fischer", 1, 0.5, 10.0, 15)
+        assert len(comp) > 0
+        assert comp.epsilon == 15
+        assert conftest.cached_workload("fischer", 1, 0.5, 10.0, 15) is comp  # lru cache
+
+    def test_cached_protocol_builders(self):
+        from repro.protocols.scenarios import SWAP2_CONFORMING
+
+        conftest = self._bench_conftest()
+        swap2 = conftest.cached_swap2_computation(tuple(SWAP2_CONFORMING), 5, 500)
+        assert len(swap2) > 0
+        swap3 = conftest.cached_swap3_computation((1,) * 12, 5, 500)
+        assert len(swap3) > 0
+
+    def test_bench_monitor_uses_factory(self):
+        from repro.monitor import Monitor, SmtMonitor
+
+        conftest = self._bench_conftest()
+        monitor = conftest.bench_monitor(formula_for("phi4", 1, 500), segments=4)
+        assert isinstance(monitor, SmtMonitor)
+        assert isinstance(monitor, Monitor)

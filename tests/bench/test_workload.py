@@ -1,9 +1,11 @@
-"""Tests for the benchmark workload harness."""
+"""Tests for the benchmark workload harness.
+
+Runner and reporting coverage lives in ``test_runner.py`` and
+``test_reporting.py``; this file owns workload generation only.
+"""
 
 import pytest
 
-from repro.bench.reporting import assert_monotone_nondecreasing, format_series
-from repro.bench.runner import SweepPoint, measure_point, run_monitor_timed
 from repro.bench.workload import (
     WorkloadSpec,
     formula_for,
@@ -24,6 +26,11 @@ class TestWorkloads:
         spec = WorkloadSpec(length_seconds=2.0, events_per_second=10)
         assert spec.length_ticks() == 20
 
+    def test_seed_changes_workload(self):
+        base = WorkloadSpec(model="fischer", processes=2, length_seconds=1.0)
+        reseeded = WorkloadSpec(model="fischer", processes=2, length_seconds=1.0, seed=7)
+        assert generate_workload(base).events != generate_workload(reseeded).events
+
     def test_unknown_model_rejected(self):
         with pytest.raises(ReproError):
             generate_workload(WorkloadSpec(model="petri"))
@@ -40,45 +47,3 @@ class TestWorkloads:
         assert model_for_formula("phi1") == "train_gate"
         assert model_for_formula("phi4") == "fischer"
         assert model_for_formula("phi6") == "gossip"
-
-
-class TestRunner:
-    def test_run_monitor_timed(self):
-        spec = WorkloadSpec(model="fischer", processes=1, length_seconds=0.5)
-        comp = generate_workload(spec)
-        phi = formula_for("phi4", 1, window_ms=500)
-        result, elapsed = run_monitor_timed(
-            phi, comp, segments=2, max_traces_per_segment=200
-        )
-        assert elapsed >= 0
-        assert result.verdicts
-
-    def test_measure_point(self):
-        point = measure_point(
-            label="t",
-            formula_name="phi3",
-            workload=WorkloadSpec(model="fischer", processes=2, length_seconds=0.5),
-            segments=2,
-            max_traces_per_segment=100,
-        )
-        assert point.runtime_seconds >= 0
-        assert point.events > 0
-
-
-class TestReporting:
-    def test_format_series(self):
-        points = [
-            SweepPoint("a", 0.5, frozenset({True}), 10, 4),
-            SweepPoint("b", 1.0, frozenset({True, False}), 20, 8),
-        ]
-        text = format_series("demo", points)
-        assert "demo" in text and "{T}" in text and "{TF}" in text
-
-    def test_monotone_check_accepts_growth(self):
-        assert assert_monotone_nondecreasing([0.1, 0.2, 0.4, 0.8])
-
-    def test_monotone_check_tolerates_noise(self):
-        assert assert_monotone_nondecreasing([0.1, 0.09, 0.12])
-
-    def test_monotone_check_rejects_collapse(self):
-        assert not assert_monotone_nondecreasing([1.0, 0.1])

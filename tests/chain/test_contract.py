@@ -1,0 +1,130 @@
+"""Tests for the Contract base class: deployment, reverts, state transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import SimulatedChain
+from repro.chain.contract import Contract
+from repro.chain.token import Token
+from repro.errors import ChainError
+
+
+class Escrow(Contract):
+    """A two-phase escrow: open → funded → released."""
+
+    def __init__(self) -> None:
+        super().__init__("escrow")
+        self.state = "open"
+
+    def fund(self, token: Token, party: str, amount: int) -> None:
+        self.require(self.state == "open", "not open")
+        deltas = self.transfer(token, party, self.address, amount)
+        self.state = "funded"
+        self.emit("funded", party, amount, deltas)
+
+    def release(self, token: Token, recipient: str, amount: int, deadline: int) -> None:
+        self.require(self.state == "funded", "not funded")
+        self.require(self.now <= deadline, "deadline passed")
+        deltas = self.transfer(token, self.address, recipient, amount)
+        self.state = "released"
+        self.emit("released", recipient, amount, deltas)
+
+
+@pytest.fixture
+def chain():
+    return SimulatedChain("apr")
+
+
+@pytest.fixture
+def token(chain):
+    token = chain.register_token(Token("APR"))
+    token.mint("alice", 100)
+    return token
+
+
+@pytest.fixture
+def escrow(chain):
+    return chain.deploy(Escrow())
+
+
+class TestDeployment:
+    def test_attach_binds_chain(self, chain, escrow):
+        assert escrow.chain is chain
+        assert escrow.address == "contract:escrow"
+
+    def test_double_deploy_rejected(self, chain, escrow):
+        with pytest.raises(ChainError, match="already deployed"):
+            SimulatedChain("ban").deploy(escrow)
+
+    def test_undeployed_chain_access_rejected(self):
+        with pytest.raises(ChainError, match="not deployed"):
+            Escrow().chain
+
+    def test_now_outside_transaction_rejected(self, escrow):
+        with pytest.raises(ChainError, match="current_time is undefined"):
+            escrow.now
+
+
+class TestStateTransitions:
+    def test_happy_path(self, chain, token, escrow):
+        assert chain.execute(10, lambda: escrow.fund(token, "alice", 40))
+        assert escrow.state == "funded"
+        assert token.balance_of("alice") == 60
+        assert token.balance_of(escrow.address) == 40
+        assert chain.execute(20, lambda: escrow.release(token, "bob", 40, deadline=25))
+        assert escrow.state == "released"
+        assert token.balance_of("bob") == 40
+        assert [event.name for event in chain.log] == ["funded", "released"]
+
+    def test_wrong_state_reverts(self, chain, token, escrow):
+        ok = chain.execute(10, lambda: escrow.release(token, "bob", 1, deadline=99))
+        assert not ok
+        assert escrow.state == "open"
+        assert chain.failed == [(10, "not funded")]
+        assert chain.log == []
+
+    def test_deadline_guard_uses_block_time(self, chain, token, escrow):
+        chain.execute(10, lambda: escrow.fund(token, "alice", 40))
+        ok = chain.execute(30, lambda: escrow.release(token, "bob", 40, deadline=25))
+        assert not ok
+        assert escrow.state == "funded"
+        assert chain.failed[-1] == (30, "deadline passed")
+
+    def test_revert_rolls_back_tokens_and_events(self, chain, token, escrow):
+        def fund_then_fail():
+            escrow.fund(token, "alice", 40)
+            escrow.require(False, "late failure")
+
+        assert not chain.execute(10, fund_then_fail)
+        # Token movement rolled back, buffered event dropped.
+        assert token.balance_of("alice") == 100
+        assert token.balance_of(escrow.address) == 0
+        assert chain.log == []
+
+    def test_insufficient_funds_revert(self, chain, token, escrow):
+        assert not chain.execute(10, lambda: escrow.fund(token, "alice", 500))
+        assert escrow.state == "open"
+        assert "insufficient APR balance" in chain.failed[0][1]
+
+
+class TestEmittedEvents:
+    def test_event_payload(self, chain, token, escrow):
+        chain.execute(10, lambda: escrow.fund(token, "alice", 40))
+        event = chain.log[0]
+        assert event.chain == "apr"
+        assert event.name == "funded"
+        assert event.party == "alice"
+        assert event.local_time == 10
+        assert event.amount == 40
+        assert event.deltas == {"from.alice": 40}
+        assert event.props() == {"apr.funded(alice)", "apr.funded(any)"}
+
+    def test_contract_accounts_untracked_in_deltas(self, chain, token, escrow):
+        chain.execute(10, lambda: escrow.fund(token, "alice", 40))
+        chain.execute(20, lambda: escrow.release(token, "bob", 40, deadline=25))
+        assert chain.log[1].deltas == {"to.bob": 40}
+
+    def test_emit_outside_transaction_rejected(self, escrow):
+        with pytest.raises(ChainError, match="inside a transaction"):
+            escrow.emit("stray", "alice")

@@ -1,0 +1,94 @@
+"""Tests for the chain-log → distributed-computation glue."""
+
+from __future__ import annotations
+
+from repro.chain.events import ChainEvent
+from repro.chain.log import computation_from_chains, computation_from_events
+from repro.chain.network import ChainNetwork
+from repro.io.serialize import computation_from_dict, computation_to_dict
+
+
+def _event(chain: str, name: str, time: int, party: str = "alice", **kw) -> ChainEvent:
+    return ChainEvent(chain=chain, name=name, party=party, local_time=time, **kw)
+
+
+class TestComputationFromEvents:
+    def test_one_process_per_chain(self):
+        events = [
+            _event("apr", "lock", 10),
+            _event("ban", "lock", 12),
+            _event("apr", "redeem", 20),
+        ]
+        comp = computation_from_events(events, epsilon_ms=5)
+        assert comp.epsilon == 5
+        assert comp.processes == ["apr", "ban"]
+        assert len(comp) == 3
+
+    def test_props_carry_party_and_any_forms(self):
+        comp = computation_from_events([_event("apr", "lock", 10, "bob")], 5)
+        assert comp.events[0].props == {"apr.lock(bob)", "apr.lock(any)"}
+
+    def test_sorted_across_chains_stable_within(self):
+        """Same-chain events sharing a block timestamp keep emission order;
+        cross-chain events interleave by local time."""
+        events = [
+            _event("ban", "second", 10, "x"),
+            _event("apr", "first", 5),
+            _event("ban", "third", 10, "y"),
+        ]
+        comp = computation_from_events(events, epsilon_ms=3)
+        ordered = [(e.process, sorted(e.props)[0]) for e in comp.events]
+        assert ordered == [
+            ("apr", "apr.first(alice)"),
+            ("ban", "ban.second(any)"),
+            ("ban", "ban.third(any)"),
+        ]
+        ban_events = [e for e in comp.events if e.process == "ban"]
+        assert [e.seq for e in ban_events] == [0, 1]
+
+    def test_deltas_forwarded(self):
+        comp = computation_from_events(
+            [_event("apr", "pay", 10, deltas={"to.alice": 3.0})], 5
+        )
+        assert dict(comp.events[0].deltas) == {"to.alice": 3.0}
+
+
+class TestComputationFromChains:
+    def _network(self) -> ChainNetwork:
+        network = ChainNetwork(epsilon_ms=5)
+        apr = network.add_chain("apr", skew_ms=2)
+        ban = network.add_chain("ban", skew_ms=-2)
+        apr.record_marker(10, "start")
+        ban.record_marker(10, "start")
+        apr.record_marker(20, "lock", "alice")
+        ban.record_marker(30, "lock", "bob")
+        return network
+
+    def test_collects_every_chain(self):
+        network = self._network()
+        comp = computation_from_chains(network.chains, epsilon_ms=5)
+        assert len(comp) == 4
+        assert set(comp.processes) == {"apr", "ban"}
+        # Chain-local (skewed) stamps survive into the computation.
+        apr_times = [e.local_time for e in comp.events if e.process == "apr"]
+        ban_times = [e.local_time for e in comp.events if e.process == "ban"]
+        assert apr_times == [12, 22]
+        assert ban_times == [8, 28]
+
+    def test_round_trip_through_wire_format(self):
+        """chains → computation → JSON dict → computation is lossless."""
+        network = self._network()
+        comp = computation_from_chains(network.chains, epsilon_ms=5)
+        clone = computation_from_dict(computation_to_dict(comp))
+        assert clone.epsilon == comp.epsilon
+        assert clone.events == comp.events
+        assert computation_to_dict(clone) == computation_to_dict(comp)
+
+    def test_monitorable(self):
+        from repro.monitor import make_monitor
+        from repro.mtl import parse
+
+        comp = computation_from_chains(self._network().chains, epsilon_ms=5)
+        spec = parse("F[0,40) ban.lock(any)")
+        result = make_monitor(spec, computation=comp).run(comp)
+        assert result.verdicts == {True}

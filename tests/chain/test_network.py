@@ -1,0 +1,108 @@
+"""Tests for the chain network: clocks, skew bounds, delivery ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.contract import Contract
+from repro.chain.network import ChainNetwork
+from repro.errors import ChainError
+
+
+class Pinger(Contract):
+    """Minimal contract that emits one event per call."""
+
+    def __init__(self, name: str = "pinger") -> None:
+        super().__init__(name)
+        self.calls = 0
+
+    def ping(self, party: str = "alice") -> None:
+        self.calls += 1
+        self.emit("ping", party)
+
+
+class TestChainManagement:
+    def test_add_and_lookup(self):
+        network = ChainNetwork(epsilon_ms=5)
+        chain = network.add_chain("apr")
+        assert network.chain("apr") is chain
+        assert network.chains == [chain]
+
+    def test_duplicate_chain_rejected(self):
+        network = ChainNetwork(epsilon_ms=5)
+        network.add_chain("apr")
+        with pytest.raises(ChainError, match="already exists"):
+            network.add_chain("apr")
+
+    def test_unknown_chain_rejected(self):
+        with pytest.raises(ChainError, match="unknown chain"):
+            ChainNetwork(epsilon_ms=5).chain("nope")
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ChainError):
+            ChainNetwork(epsilon_ms=0)
+
+    def test_skew_must_stay_below_epsilon(self):
+        network = ChainNetwork(epsilon_ms=3)
+        network.add_chain("ok", skew_ms=2)
+        with pytest.raises(ChainError, match="violates the network bound"):
+            network.add_chain("bad", skew_ms=3)
+        with pytest.raises(ChainError, match="violates the network bound"):
+            network.add_chain("bad2", skew_ms=-3)
+
+    def test_skewed_clock_stamps_events(self):
+        network = ChainNetwork(epsilon_ms=10)
+        ahead = network.add_chain("ahead", skew_ms=4)
+        behind = network.add_chain("behind", skew_ms=-4)
+        ahead.record_marker(100, "start")
+        behind.record_marker(100, "start")
+        assert ahead.log[0].local_time == 104
+        assert behind.log[0].local_time == 96
+
+
+class TestScheduling:
+    def test_calls_execute_in_global_time_order(self):
+        network = ChainNetwork(epsilon_ms=2)
+        chain = network.add_chain("apr")
+        pinger = chain.deploy(Pinger())
+        # Scheduled out of order on purpose.
+        network.schedule(30, chain, lambda: pinger.ping("carol"), "third")
+        network.schedule(10, "apr", lambda: pinger.ping("alice"), "first")
+        network.schedule(20, chain, lambda: pinger.ping("bob"), "second")
+        results = network.run()
+        assert [description for description, _ in results] == ["first", "second", "third"]
+        assert all(ok for _, ok in results)
+        assert [event.party for event in chain.log] == ["alice", "bob", "carol"]
+        assert [event.local_time for event in chain.log] == [10, 20, 30]
+
+    def test_equal_times_keep_submission_order(self):
+        network = ChainNetwork(epsilon_ms=2)
+        chain = network.add_chain("apr")
+        pinger = chain.deploy(Pinger())
+        network.schedule(10, chain, lambda: pinger.ping("first"), "a")
+        network.schedule(10, chain, lambda: pinger.ping("second"), "b")
+        network.run()
+        assert [event.party for event in chain.log] == ["first", "second"]
+
+    def test_queue_drains_after_run(self):
+        network = ChainNetwork(epsilon_ms=2)
+        chain = network.add_chain("apr")
+        pinger = chain.deploy(Pinger())
+        network.schedule(10, chain, pinger.ping)
+        assert len(network.run()) == 1
+        assert network.run() == []
+        assert pinger.calls == 1
+
+    def test_failed_call_reported_not_raised(self):
+        network = ChainNetwork(epsilon_ms=2)
+        chain = network.add_chain("apr")
+        pinger = chain.deploy(Pinger())
+
+        def failing():
+            pinger.require(False, "nope")
+
+        network.schedule(5, chain, failing, "bad")
+        network.schedule(6, chain, pinger.ping, "good")
+        results = network.run()
+        assert results == [("bad", False), ("good", True)]
+        assert chain.failed == [(5, "nope")]

@@ -1,0 +1,77 @@
+"""Direct tests for the explicit-enumeration baseline monitor.
+
+The baseline is the oracle every other engine is validated against, so
+it deserves its own tests instead of being exercised only through
+cross-checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.computation import DistributedComputation
+from repro.monitor.baseline import EnumerationMonitor
+from repro.mtl import parse
+
+
+class TestEmptyComputation:
+    def test_strong_obligations_violated(self):
+        result = EnumerationMonitor(parse("F[0,5) a")).run(DistributedComputation(2))
+        assert result.verdict_counts == {False: 1}
+        assert result.definitely_violated
+
+    def test_weak_obligations_satisfied(self):
+        result = EnumerationMonitor(parse("G[0,5) a")).run(DistributedComputation(2))
+        assert result.verdict_counts == {True: 1}
+        assert result.definitely_satisfied
+
+    def test_until_violated(self):
+        result = EnumerationMonitor(parse("a U[0,5) b")).run(DistributedComputation(2))
+        assert result.verdict_counts == {False: 1}
+
+
+class TestSingleEvent:
+    def _comp(self) -> DistributedComputation:
+        return DistributedComputation.from_event_lists(1, {"P1": [(3, "a")]})
+
+    def test_holding_atom(self):
+        result = EnumerationMonitor(parse("F[0,1) a")).run(self._comp())
+        # Perfect synchrony: exactly one admissible trace.
+        assert result.verdict_counts == {True: 1}
+        assert result.is_deterministic and result.exhaustive
+
+    def test_absent_atom(self):
+        result = EnumerationMonitor(parse("F[0,1) b")).run(self._comp())
+        assert result.verdict_counts == {False: 1}
+
+    def test_skew_multiplies_trace_classes(self):
+        comp = DistributedComputation.from_event_lists(3, {"P1": [(3, "a")]})
+        result = EnumerationMonitor(parse("F[0,9) a")).run(comp)
+        # One event, epsilon 3: five admissible timestamps (1..5), all True.
+        assert result.verdict_counts == {True: 5}
+
+
+class TestFig3:
+    def test_verdict_multiset(self, fig3_computation, fig3_formula):
+        result = EnumerationMonitor(fig3_formula).run(fig3_computation)
+        assert result.verdict_counts == {True: 112, False: 18}
+        assert result.verdicts == {True, False}
+        assert not result.is_deterministic
+        assert result.exhaustive and result.verdict_set_complete
+
+    def test_trace_budget_truncates(self, fig3_computation, fig3_formula):
+        result = EnumerationMonitor(fig3_formula, max_traces=10).run(fig3_computation)
+        assert sum(result.verdict_counts.values()) == 10
+        assert not result.exhaustive
+
+    def test_budget_above_total_stays_exhaustive(self, fig3_computation, fig3_formula):
+        result = EnumerationMonitor(fig3_formula, max_traces=1000).run(fig3_computation)
+        assert result.verdict_counts == {True: 112, False: 18}
+        assert result.exhaustive
+
+    def test_timestamp_sampling_reduces_work(self, fig3_computation, fig3_formula):
+        sampled = EnumerationMonitor(fig3_formula, timestamp_samples=2).run(
+            fig3_computation
+        )
+        assert sum(sampled.verdict_counts.values()) < 130
+        assert sampled.verdicts <= {True, False}

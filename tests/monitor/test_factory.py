@@ -1,0 +1,169 @@
+"""Tests for the Monitor protocol and the make_monitor factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import MonitorError
+from repro.monitor import (
+    EnumerationMonitor,
+    FastMonitor,
+    Monitor,
+    OnlineMonitor,
+    SmtMonitor,
+    available_monitors,
+    formula_size,
+    make_monitor,
+    register_monitor,
+    select_kind,
+)
+from repro.monitor.factory import (
+    FAST_EPSILON_LIMIT,
+    FAST_EVENT_LIMIT,
+    _REGISTRY,
+)
+from repro.mtl import parse
+
+
+@pytest.fixture
+def spec():
+    return parse("a U[0,6) b")
+
+
+class TestRegistry:
+    def test_all_kinds_constructible(self, spec):
+        expected = {
+            "smt": SmtMonitor,
+            "fast": FastMonitor,
+            "baseline": EnumerationMonitor,
+            "enumeration": EnumerationMonitor,
+            "online": OnlineMonitor,
+        }
+        for kind, cls in expected.items():
+            engine = make_monitor(spec, kind, epsilon=2)
+            assert isinstance(engine, cls)
+            assert isinstance(engine, Monitor)
+            assert engine.formula == spec
+
+    def test_available_monitors(self):
+        kinds = available_monitors()
+        assert {"smt", "fast", "baseline", "online"} <= set(kinds)
+        assert kinds == tuple(sorted(kinds))
+
+    def test_unknown_kind_rejected(self, spec):
+        with pytest.raises(MonitorError, match="unknown monitor kind"):
+            make_monitor(spec, "z3")
+
+    def test_register_custom_kind(self, spec):
+        class EchoMonitor:
+            def __init__(self, formula):
+                self._formula = formula
+
+            @property
+            def formula(self):
+                return self._formula
+
+            def run(self, computation):
+                from repro.monitor.verdicts import MonitorResult
+
+                result = MonitorResult(self._formula)
+                result.record(True)
+                return result
+
+        register_monitor("echo", lambda formula, *, epsilon=None, **kw: EchoMonitor(formula))
+        try:
+            engine = make_monitor(spec, "echo")
+            assert isinstance(engine, Monitor)
+            assert engine.run(DistributedComputation(1)).verdicts == {True}
+        finally:
+            _REGISTRY.pop("echo", None)
+
+    def test_register_reserved_names_rejected(self):
+        with pytest.raises(MonitorError):
+            register_monitor("auto", lambda formula, **kw: None)
+        with pytest.raises(MonitorError):
+            register_monitor("", lambda formula, **kw: None)
+
+    def test_online_requires_epsilon(self, spec):
+        with pytest.raises(MonitorError, match="epsilon"):
+            make_monitor(spec, "online")
+
+    def test_kwargs_forwarded(self, spec):
+        engine = make_monitor(spec, "smt", segments=4, saturate=False)
+        assert isinstance(engine, SmtMonitor)
+        assert engine._segments == 4
+
+
+class TestAutoSelection:
+    def test_no_hints_defaults_to_smt(self, spec):
+        assert select_kind(spec) == "smt"
+        assert isinstance(make_monitor(spec), SmtMonitor)
+
+    def test_small_computation_selects_fast(self, spec):
+        comp = DistributedComputation.from_event_lists(
+            2, {"P1": [(1, "a")], "P2": [(2, "b")]}
+        )
+        assert select_kind(spec, event_count=len(comp), epsilon=comp.epsilon) == "fast"
+        assert isinstance(make_monitor(spec, computation=comp), FastMonitor)
+
+    def test_large_event_count_selects_smt(self, spec):
+        assert select_kind(spec, event_count=FAST_EVENT_LIMIT + 1, epsilon=2) == "smt"
+
+    def test_wide_skew_selects_smt(self, spec):
+        assert select_kind(spec, event_count=10, epsilon=FAST_EPSILON_LIMIT + 1) == "smt"
+
+    def test_huge_formula_selects_smt(self):
+        big = parse(" & ".join(f"(F[0,5) a{i})" for i in range(25)))
+        assert formula_size(big) > 40
+        assert select_kind(big, event_count=10, epsilon=2) == "smt"
+
+    def test_auto_smt_gets_segment_heuristic(self, spec):
+        engine = make_monitor(spec, event_count=240, epsilon=50)
+        assert isinstance(engine, SmtMonitor)
+        assert engine._segments == 20  # 240 events / 12 per segment
+
+    def test_auto_with_smt_kwargs_never_picks_fast(self, spec):
+        """SMT-specific knobs express intent the fast monitor cannot honour:
+        auto must fall back to smt instead of raising TypeError."""
+        comp = DistributedComputation.from_event_lists(
+            2, {"P1": [(1, "a")], "P2": [(2, "b")]}
+        )
+        engine = make_monitor(spec, computation=comp, segments=2, saturate=False)
+        assert isinstance(engine, SmtMonitor)
+        assert engine.run(comp).verdicts
+
+    def test_auto_selection_runs(self, spec):
+        comp = DistributedComputation.from_event_lists(
+            2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+        )
+        auto = make_monitor(spec, computation=comp)
+        explicit = make_monitor(spec, "smt", saturate=False)
+        assert auto.run(comp).verdicts == explicit.run(comp).verdicts
+
+
+class TestProtocolCompliance:
+    def test_online_run_adapter_matches_offline(self, spec):
+        comp = DistributedComputation.from_event_lists(
+            2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+        )
+        online = OnlineMonitor(spec, epsilon=comp.epsilon)
+        offline = SmtMonitor(spec, saturate=False).run(comp)
+        result = online.run(comp)
+        assert result.verdicts == offline.verdicts
+        # run() is repeatable and leaves the streaming instance untouched.
+        again = online.run(comp)
+        assert again.verdict_counts == result.verdict_counts
+        assert online.pending == 0
+        online.observe("P1", 10, "a")
+        assert online.pending == 1
+
+    def test_online_run_rejects_message_edges(self, spec):
+        """Dropping message edges would enlarge the admissible-trace set
+        and return unsound verdicts, so run() must refuse."""
+        comp = DistributedComputation(2)
+        send = comp.add_event("P1", 1, "a")
+        recv = comp.add_event("P2", 2, "b")
+        comp.add_message(send, recv)
+        with pytest.raises(MonitorError, match="message edges"):
+            OnlineMonitor(spec, epsilon=2).run(comp)

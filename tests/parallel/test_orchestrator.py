@@ -1,0 +1,163 @@
+"""Tests for the parallel monitoring orchestrator.
+
+The acceptance bar: segment-parallel monitoring at 4 workers returns
+bit-identical verdict multisets to the serial path, and batch mode
+preserves input order while capturing per-item failures.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import MonitorError
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.mtl import parse
+from repro.parallel import BatchReport, ParallelMonitor, default_workers
+
+from tests.conftest import formulas, small_computations
+
+
+def _corpus() -> list[tuple[DistributedComputation, object]]:
+    """A small deterministic differential corpus (formula, computation)."""
+    fig3 = DistributedComputation.from_event_lists(
+        2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+    skewed = DistributedComputation.from_event_lists(
+        3,
+        {
+            "P1": [(0, "a"), (3, "a"), (6, ())],
+            "P2": [(1, ()), (4, "b")],
+            "P3": [(2, "a")],
+        },
+    )
+    chainlike = DistributedComputation.from_event_lists(
+        2, {"apr": [(0, "a"), (5, "a"), (9, "b")], "ban": [(2, "a"), (7, ())]}
+    )
+    specs = [
+        parse("a U[0,6) b"),
+        parse("F[0,8) b"),
+        parse("G[0,4) (a | b)"),
+        parse("(F[0,5) a) & (F[0,9) b)"),
+    ]
+    return [(comp, spec) for comp in (fig3, skewed, chainlike) for spec in specs]
+
+
+class TestSegmentParallel:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("segments", [2, 3])
+    def test_bit_identical_to_serial(self, workers, segments):
+        for computation, spec in _corpus():
+            serial = SmtMonitor(spec, segments=segments, saturate=False).run(computation)
+            parallel = ParallelMonitor(
+                spec, workers=workers, segments=segments, saturate=False
+            ).run(computation)
+            assert parallel.verdict_counts == serial.verdict_counts, (
+                f"{spec} on\n{computation}"
+            )
+            assert parallel.verdicts == serial.verdicts
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(computation=small_computations(), formula=formulas(max_depth=2))
+    def test_random_corpus_identical(self, computation, formula):
+        serial = SmtMonitor(formula, segments=3, saturate=False).run(computation)
+        parallel = ParallelMonitor(
+            formula, workers=4, segments=3, saturate=False
+        ).run(computation)
+        assert parallel.verdict_counts == serial.verdict_counts
+
+    def test_empty_computation(self):
+        spec = parse("F[0,5) a")
+        result = ParallelMonitor(spec, workers=4).run(DistributedComputation(2))
+        assert result.verdict_counts == {False: 1}
+
+    def test_single_worker_never_forks(self, monkeypatch):
+        import multiprocessing
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("workers=1 must not create a pool")
+
+        monkeypatch.setattr(multiprocessing, "Pool", boom)
+        computation, spec = _corpus()[0]
+        result = ParallelMonitor(spec, workers=1, segments=2, saturate=False).run(
+            computation
+        )
+        assert result.verdicts
+
+
+class TestBatchMode:
+    def test_order_and_totals(self):
+        spec = parse("a U[0,6) b")
+        comps = [comp for comp, _ in _corpus()[:6]]
+        report = ParallelMonitor(spec, workers=4, saturate=False).run_batch(comps)
+        assert isinstance(report, BatchReport)
+        assert [item.index for item in report.items] == list(range(len(comps)))
+        assert not report.errors
+        serial = [SmtMonitor(spec, saturate=False).run(c).verdict_counts for c in comps]
+        assert [item.result.verdict_counts for item in report.items] == serial
+        totals = report.verdict_totals
+        for verdict in (True, False):
+            assert totals.get(verdict, 0) == sum(c.get(verdict, 0) for c in serial)
+        assert report.wall_seconds > 0
+        assert 0.0 <= report.utilization <= 1.0
+
+    def test_poisoned_item_is_captured(self):
+        """One computation over the fast monitor's event cap must not kill
+        the batch: its error is captured, every other item succeeds."""
+        spec = parse("G[0,400) (a | !a)")
+        good = DistributedComputation.from_event_lists(1, {"P1": [(0, "a"), (1, "a")]})
+        poisoned = DistributedComputation(1)
+        for i in range(301):
+            poisoned.add_event("P1", i, "a")
+        report = ParallelMonitor(spec, monitor="fast", workers=2).run_batch(
+            [good, poisoned, good]
+        )
+        assert len(report.items) == 3
+        assert report.items[0].ok and report.items[2].ok
+        assert not report.items[1].ok
+        assert "MonitorError" in report.items[1].error
+        assert report.errors == [(1, report.items[1].error)]
+
+    def test_merged_result(self):
+        spec = parse("F[0,8) b")
+        comps = [comp for comp, _ in _corpus()[:3]]
+        report = ParallelMonitor(spec, workers=1, saturate=False).run_batch(comps)
+        merged = report.merged(spec)
+        assert merged.verdict_counts == report.verdict_totals
+
+    def test_auto_kind_batch(self):
+        spec = parse("a U[0,6) b")
+        comps = [comp for comp, _ in _corpus()[:2]]
+        report = ParallelMonitor(spec, monitor="auto", workers=2).run_batch(comps)
+        assert not report.errors
+
+    def test_empty_batch(self):
+        report = ParallelMonitor(parse("F[0,5) a")).run_batch([])
+        assert report.items == []
+        assert report.verdict_totals == {}
+
+
+class TestConstruction:
+    def test_invalid_workers(self):
+        with pytest.raises(MonitorError):
+            ParallelMonitor(parse("F[0,5) a"), workers=0)
+
+    def test_invalid_min_shard(self):
+        with pytest.raises(MonitorError):
+            ParallelMonitor(parse("F[0,5) a"), min_shard_residuals=1)
+
+    def test_default_workers_bounded(self):
+        assert 1 <= default_workers() <= 8
+
+    def test_computation_pickles(self):
+        """Events (with mappingproxy deltas) must survive the pool boundary."""
+        computation = DistributedComputation(2)
+        computation.add_event("P1", 0, "a", {"to.alice": 1.0})
+        computation.add_event("P2", 1, "b")
+        computation.happened_before()  # include the cached closure
+        clone = pickle.loads(pickle.dumps(computation))
+        assert clone.events == computation.events
+        assert dict(clone.events[0].deltas) == {"to.alice": 1.0}

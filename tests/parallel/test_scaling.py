@@ -1,0 +1,43 @@
+"""Slow-lane soak test: batch scaling on the Fig 5d workload.
+
+The wall-clock *speedup* claim lives in
+``benchmarks/bench_parallel_scaling.py`` (it needs real cores); this test
+pins the part that must hold on any machine — a parallel batch over the
+Fig 5d workload returns exactly the serial results, with the pool busy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_batch_timed
+from repro.bench.workload import WorkloadSpec, formula_for, generate_workload
+
+pytestmark = pytest.mark.slow
+
+
+def test_fig5d_batch_matches_serial():
+    formula = formula_for("phi4", 2, 600)
+    batch = [
+        generate_workload(
+            WorkloadSpec(
+                model="fischer",
+                processes=2,
+                length_seconds=1.0,
+                events_per_second=10.0,
+                epsilon_ms=15,
+                seed=seed,
+            )
+        )
+        for seed in range(4)
+    ]
+    knobs = dict(segments=8, max_traces_per_segment=400, max_distinct_per_segment=4)
+    serial = run_batch_timed(formula, batch, workers=1, **knobs)
+    parallel = run_batch_timed(formula, batch, workers=4, **knobs)
+    assert not serial.errors and not parallel.errors
+    assert [item.result.verdict_counts for item in parallel.items] == [
+        item.result.verdict_counts for item in serial.items
+    ]
+    assert parallel.verdict_totals == serial.verdict_totals
+    assert parallel.workers == 4
+    assert parallel.utilization > 0
