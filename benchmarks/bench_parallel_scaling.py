@@ -2,8 +2,9 @@
 
 The workload is Fig 5d's (phi4 on the 2-process Fischer model, l = 2 s,
 10 events/s, epsilon 15 ms): a batch of independent computations (one
-per seed) is monitored by the :class:`~repro.parallel.ParallelMonitor`
-batch mode at 1/2/4/8 workers.  On a machine with >= 4 cores the
+per seed) is monitored through a :class:`~repro.service.MonitorService`
+pool at 1/2/4/8 workers (pool spawn excluded — the service is persistent;
+``benchmarks/bench_service_sessions.py`` measures the spawn cost itself).  On a machine with >= 4 cores the
 4-worker point completes the batch at least ~2x faster than the serial
 point; on fewer cores the sweep still runs but only documents pool
 overhead (the standalone entry point prints the speedup either way and
@@ -28,7 +29,7 @@ import pytest
 from repro.bench.reporting import format_batch_report
 from repro.bench.runner import run_batch_timed
 from repro.bench.workload import formula_for, model_for_formula
-from repro.parallel import ParallelMonitor
+from repro.service import MonitorService
 
 from conftest import TRACE_BUDGET, bench_monitor_kwargs, cached_workload
 
@@ -56,12 +57,13 @@ def _formula():
     return formula_for(FORMULA_NAME, PROCESSES, 600)
 
 
-def _run(workers: int):
+def _run(workers: int, service: MonitorService | None = None):
     return run_batch_timed(
         _formula(),
         _batch(),
         monitor="smt",
         workers=workers,
+        service=service,
         **bench_monitor_kwargs(segments=SEGMENTS),
     )
 
@@ -69,7 +71,17 @@ def _run(workers: int):
 @pytest.mark.slow
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def bench_parallel_batch(benchmark, workers: int) -> None:
-    report = benchmark.pedantic(_run, args=(workers,), rounds=2, iterations=1)
+    # workers=1 is the inline serial baseline (no pool, no IPC) so the
+    # speedup numerator measures the algorithm, not queue round-trips.
+    if workers <= 1:
+        report = benchmark.pedantic(_run, args=(workers,), rounds=2, iterations=1)
+    else:
+        with MonitorService(
+            workers=workers, monitor="smt", **bench_monitor_kwargs(segments=SEGMENTS)
+        ) as service:
+            report = benchmark.pedantic(
+                _run, args=(workers, service), rounds=2, iterations=1
+            )
     assert not report.errors
     assert report.verdict_totals
     benchmark.extra_info["workers"] = workers
@@ -78,7 +90,15 @@ def bench_parallel_batch(benchmark, workers: int) -> None:
 
 def main() -> None:
     print(f"cpu cores: {os.cpu_count()}")
-    reports = {workers: _run(workers) for workers in WORKER_COUNTS}
+    reports = {}
+    for workers in WORKER_COUNTS:
+        if workers <= 1:
+            reports[workers] = _run(workers)  # inline serial baseline
+            continue
+        with MonitorService(
+            workers=workers, monitor="smt", **bench_monitor_kwargs(segments=SEGMENTS)
+        ) as service:
+            reports[workers] = _run(workers, service)
     serial_wall = reports[1].wall_seconds
     print(format_batch_report("parallel batch @ 4 workers", reports[4]))
     print()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The monitoring service: one persistent pool, batches *and* live sessions.
+
+The one-shot entry points spawn a pool per call; a deployed monitor
+instead holds a :class:`repro.service.MonitorService` for its whole
+lifetime and pushes work at it continuously — asynchronous batches of
+finished computations on one side, live per-feed sessions on the other,
+all multiplexed over the same workers.
+
+Run:  PYTHONPATH=src python examples/service_sessions.py
+"""
+
+from __future__ import annotations
+
+from repro.distributed import DistributedComputation
+from repro.mtl import parse
+from repro.service import MonitorService
+
+EPSILON = 2
+
+
+def finished_computations() -> list[DistributedComputation]:
+    """A few already-complete logs (the batch surface's input)."""
+    fig3 = DistributedComputation.from_event_lists(
+        EPSILON, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+    late = DistributedComputation.from_event_lists(
+        EPSILON, {"P1": [(0, "a"), (6, ())], "P2": [(3, "a"), (9, "b")]}
+    )
+    return [fig3, late, fig3]
+
+
+def main() -> None:
+    spec = parse("a U[0,6) b")
+    print(f"specification: {spec}\n")
+
+    with MonitorService(workers=2, formula=spec, saturate=False) as service:
+        # --- batch surface: ordered results, per-item error capture -------
+        report = service.map(finished_computations())
+        print(f"batch: {report}")
+        for item in report.items:
+            print(f"  item {item.index}: {item.result} (worker {item.worker})")
+
+        # --- async submission: fire now, collect later --------------------
+        future = service.submit(finished_computations()[0])
+        print(f"\nasync item: {future.result()!s:.60}")
+
+        # --- session surface: two live feeds, sharded across workers ------
+        swap = service.open_session(spec, EPSILON, key="swap-feed")
+        auction = service.open_session(parse("F[0,12) b"), EPSILON, key="chain-b")
+        print(
+            f"\nsessions open: swap on worker {swap.worker_index}, "
+            f"auction on worker {auction.worker_index}"
+        )
+
+        swap.observe("apricot", 1, "a")
+        auction.observe("coin", 2, ())
+        swap.observe("banana", 2, "a")
+        swap.advance_to(4)                      # everything below t=4 is final
+        auction.observe("tckt", 8, "b")
+        swap.observe("banana", 5, "b")
+
+        status = swap.poll()
+        print(f"swap mid-stream: {status}")
+
+        print(f"swap verdicts:    {swap.finish()}")
+        print(f"auction verdicts: {auction.finish()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ from repro.protocols.auction import AuctionBehavior, run_auction
 from repro.protocols.scenarios import SWAP2_CONFORMING
 from repro.protocols.swap2 import run_swap2
 from repro.protocols.swap3 import run_swap3
+from repro.service import MonitorService
 from repro.specs import auction_specs, swap2_specs, swap3_specs
 
 TRACE_BUDGET = 400
@@ -244,7 +245,8 @@ def delta_vs_epsilon() -> None:
 
 
 def parallel_batch() -> None:
-    """Throughput section: one batch of Fig 5d computations over a pool."""
+    """Throughput section: one batch of Fig 5d computations over the
+    persistent :class:`~repro.service.MonitorService` pool."""
     comps = [
         generate_workload(
             WorkloadSpec(
@@ -257,12 +259,13 @@ def parallel_batch() -> None:
     formula = formula_for("phi4", 2, 600)
     print()
     for workers in (1, 4):
-        report = run_batch_timed(
-            formula, comps, monitor="smt", workers=workers, segments=16,
+        with MonitorService(
+            workers=workers, formula=formula, monitor="smt", segments=16,
             max_traces_per_segment=TRACE_BUDGET,
             max_distinct_per_segment=VERDICT_CAP,
-        )
-        print(format_batch_report(f"parallel batch — {workers} worker(s)", report))
+        ) as service:
+            report = run_batch_timed(formula, comps, service=service)
+        print(format_batch_report(f"service batch — {workers} worker(s)", report))
         print()
 
 

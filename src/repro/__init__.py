@@ -26,6 +26,7 @@ from repro import (
     parallel,
     progression,
     protocols,
+    service,
     solver,
     specs,
     timed_automata,
@@ -47,6 +48,7 @@ __all__ = [
     "parallel",
     "progression",
     "protocols",
+    "service",
     "solver",
     "specs",
     "timed_automata",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.bench.runner import SweepPoint
-from repro.parallel.orchestrator import BatchReport
+from repro.service import BatchReport
 
 
 def format_series(title: str, points: list[SweepPoint]) -> str:

@@ -11,7 +11,7 @@ from repro.distributed.computation import DistributedComputation
 from repro.monitor.factory import make_monitor
 from repro.monitor.verdicts import MonitorResult
 from repro.mtl.ast import Formula
-from repro.parallel.orchestrator import BatchReport, ParallelMonitor
+from repro.service import BatchReport, MonitorService
 
 
 @dataclass
@@ -90,23 +90,31 @@ def run_batch_timed(
     monitor: str = "smt",
     workers: int | None = None,
     chunksize: int | None = None,
+    service: MonitorService | None = None,
     **monitor_kwargs,
 ) -> BatchReport:
     """Monitor a batch of computations over a worker pool.
 
     The orchestration counterpart of :func:`run_monitor_timed`: the
-    returned :class:`~repro.parallel.orchestrator.BatchReport` carries
-    wall-clock, per-verdict totals, and worker utilization — the numbers
-    the parallel-scaling benchmark plots.
+    returned :class:`~repro.service.BatchReport` carries wall-clock,
+    per-verdict totals, and worker utilization — the numbers the
+    parallel-scaling benchmark plots.
+
+    Pass a persistent :class:`~repro.service.MonitorService` as
+    ``service`` to amortise pool startup across repeated batches (the
+    ``workers``/``chunksize`` arguments are then ignored in favour of the
+    service's own pool); without one, a temporary pool is spawned and
+    torn down around this batch — the legacy per-call behaviour.
+    ``workers=1`` without a service runs inline (no pool, no IPC), so
+    serial baselines measure the algorithm, not queue round-trips.
     """
-    orchestrator = ParallelMonitor(
-        formula,
-        monitor=monitor,
-        workers=workers,
-        chunksize=chunksize,
-        **monitor_kwargs,
-    )
-    return orchestrator.run_batch(computations)
+    if service is not None:
+        return service.map(computations, formula, monitor=monitor, **monitor_kwargs)
+    from repro.parallel import ParallelMonitor
+
+    return ParallelMonitor(
+        formula, monitor=monitor, workers=workers, chunksize=chunksize, **monitor_kwargs
+    ).run_batch(computations)
 
 
 def batch_sweep_point(label: str, report: BatchReport) -> SweepPoint:

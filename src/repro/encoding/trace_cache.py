@@ -1,0 +1,101 @@
+"""Per-process memoization of segment-trace enumeration.
+
+Segment-parallel shards of one computation all resume from the same
+segment boundary: every shard enumerates *exactly the same* admissible
+traces per segment and differs only in the residual formulas it
+progresses over them.  A worker process that handles several shards (or
+repeated runs of the same computation — the benchmark/“re-monitor on new
+spec” pattern) therefore re-enumerates identical trace sets.
+
+This cache shares one lazy enumeration per *segment key* inside a
+process.  Entries wrap the live generator: consumers replay the already
+materialised prefix and only pull fresh traces from the underlying
+enumerator when they run past it — so early-stopping consumers
+(``max_distinct`` truncation, verdict saturation) never force a full
+materialisation, and semantics match the uncached path trace-for-trace.
+
+The cache is process-local by design: worker processes are the unit of
+parallelism and fork/spawn gives each its own copy, so no locking is
+needed (engines drive enumeration from a single thread per process).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator
+
+from repro.mtl.trace import TimedTrace
+
+#: Entries kept per process (LRU).  A segment's trace list can be large,
+#: so the bound is deliberately small — shards touch few distinct segments.
+MAX_ENTRIES = 32
+
+
+class _CachedEnumeration:
+    """One shared, lazily materialised trace enumeration."""
+
+    __slots__ = ("traces", "source", "exhausted")
+
+    def __init__(self, source: Iterator[TimedTrace]) -> None:
+        self.traces: list[TimedTrace] = []
+        self.source: Iterator[TimedTrace] | None = source
+        self.exhausted = False
+
+    def iterate(self) -> Iterator[TimedTrace]:
+        index = 0
+        while True:
+            if index < len(self.traces):
+                yield self.traces[index]
+            elif self.exhausted:
+                return
+            else:
+                try:
+                    trace = next(self.source)
+                except StopIteration:
+                    self.exhausted = True
+                    self.source = None
+                    return
+                self.traces.append(trace)
+                yield trace
+            index += 1
+
+
+_cache: OrderedDict[Hashable, _CachedEnumeration] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def shared_traces(
+    key: Hashable, factory: Callable[[], Iterator[TimedTrace]]
+) -> Iterator[TimedTrace]:
+    """Iterate the enumeration for ``key``, creating it via ``factory`` once.
+
+    ``key`` must capture everything that determines the enumeration:
+    segment events, epsilon, clamps, backend, budgets, carried valuation
+    context (see ``SmtMonitor._segment_cache_key``).
+    """
+    global _hits, _misses
+    entry = _cache.get(key)
+    if entry is None:
+        _misses += 1
+        entry = _CachedEnumeration(factory())
+        _cache[key] = entry
+        while len(_cache) > MAX_ENTRIES:
+            _cache.popitem(last=False)
+    else:
+        _hits += 1
+        _cache.move_to_end(key)
+    return entry.iterate()
+
+
+def cache_stats() -> dict[str, int]:
+    """Process-local ``{"hits", "misses", "entries"}`` counters."""
+    return {"hits": _hits, "misses": _misses, "entries": len(_cache)}
+
+
+def clear_cache() -> None:
+    """Drop all entries and reset the counters (tests, memory pressure)."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0

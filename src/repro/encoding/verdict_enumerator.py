@@ -11,10 +11,11 @@ as soon as that many distinct outcomes exist.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Hashable, Mapping
 
 from repro.distributed.hb import HappenedBefore, HappenedBeforeView
 from repro.encoding.enumerator import enumerate_traces
+from repro.encoding.trace_cache import shared_traces
 from repro.mtl.ast import Formula
 from repro.progression.progressor import anchor_shift, close, progress
 
@@ -49,6 +50,7 @@ def enumerate_segment_outcomes(
     frontier_props: Mapping[str, frozenset[str]] | None = None,
     saturate_final: bool = False,
     timestamp_samples: int | None = None,
+    cache_key: Hashable | None = None,
 ) -> SegmentOutcome:
     """Progress every carried residual over every trace of the segment.
 
@@ -61,20 +63,30 @@ def enumerate_segment_outcomes(
     stops once the closed verdicts of the distinct residuals cover both
     True and False — the verdict set cannot grow further, mirroring the
     paper's "one SMT query per distinct verdict" loop.
+
+    ``cache_key``, when given, shares the trace enumeration through the
+    process-local :mod:`~repro.encoding.trace_cache` — the key must
+    capture every argument that shapes the traces (events, epsilon,
+    clamps, backend, limit, valuation context).
     """
     outcome = SegmentOutcome()
     closed_verdicts: set[bool] = set()
-    for trace in enumerate_traces(
-        hb,
-        epsilon,
-        clamp_lo=clamp_lo,
-        clamp_hi=clamp_hi,
-        limit=max_traces,
-        backend=backend,
-        base_valuation=base_valuation,
-        frontier_props=frontier_props,
-        timestamp_samples=timestamp_samples,
-    ):
+
+    def traces():
+        return enumerate_traces(
+            hb,
+            epsilon,
+            clamp_lo=clamp_lo,
+            clamp_hi=clamp_hi,
+            limit=max_traces,
+            backend=backend,
+            base_valuation=base_valuation,
+            frontier_props=frontier_props,
+            timestamp_samples=timestamp_samples,
+        )
+
+    trace_iter = traces() if cache_key is None else shared_traces(cache_key, traces)
+    for trace in trace_iter:
         outcome.traces_enumerated += 1
         shift = 0 if anchor is None else trace.start_time - anchor
         effective_boundary = max(boundary, trace.end_time)

@@ -48,6 +48,13 @@ class MonitorError(ReproError):
     """The monitor was driven incorrectly (segments out of order...)."""
 
 
+class ServiceError(MonitorError):
+    """The monitor service failed at the transport layer (worker died,
+    service already closed, request timed out...).  Worker-side monitoring
+    errors re-raise as their original :class:`ReproError` subclass; this
+    class covers failures of the service plumbing itself."""
+
+
 class ChainError(ReproError):
     """A simulated blockchain operation failed structurally (unknown
     contract, malformed transaction...)."""

@@ -7,10 +7,14 @@ unless you need engine-specific API.
 
 from repro.monitor.baseline import EnumerationMonitor
 from repro.monitor.factory import (
+    apply_calibration,
     available_monitors,
+    calibration,
     formula_size,
+    load_calibration,
     make_monitor,
     register_monitor,
+    reset_calibration,
     select_kind,
 )
 from repro.monitor.fast import FastMonitor
@@ -28,10 +32,14 @@ __all__ = [
     "PipelineState",
     "SegmentReport",
     "SmtMonitor",
+    "apply_calibration",
     "available_monitors",
+    "calibration",
     "formula_size",
+    "load_calibration",
     "make_monitor",
     "monitor",
     "register_monitor",
+    "reset_calibration",
     "select_kind",
 ]

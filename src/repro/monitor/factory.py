@@ -16,7 +16,9 @@ The registry is open: downstream code can plug in engines with
 
 from __future__ import annotations
 
-from typing import Callable
+import json
+import os
+from typing import Callable, Mapping
 
 from repro.distributed.computation import DistributedComputation
 from repro.errors import MonitorError
@@ -29,13 +31,82 @@ from repro.mtl.ast import Formula
 
 #: ``kind="auto"`` selects the fast monitor only below these thresholds
 #: (the bitmask recursion is exponential in the worst case; the hard
-#: event limit inside FastMonitor itself is 300).
+#: event limit inside FastMonitor itself is 300).  These module constants
+#: are the *static defaults*; the effective values live in the
+#: calibration table below and can be overridden from measured crossover
+#: points (``scripts/calibrate_factory.py``).
 FAST_EVENT_LIMIT = 120
 FAST_EPSILON_LIMIT = 25
 FAST_FORMULA_LIMIT = 40
 
 #: Auto-segmentation for the smt monitor: one segment per this many events.
 EVENTS_PER_SEGMENT = 12
+
+_DEFAULT_THRESHOLDS: dict[str, int] = {
+    "fast_event_limit": FAST_EVENT_LIMIT,
+    "fast_epsilon_limit": FAST_EPSILON_LIMIT,
+    "fast_formula_limit": FAST_FORMULA_LIMIT,
+    "events_per_segment": EVENTS_PER_SEGMENT,
+}
+
+#: The live auto-selection thresholds (mutated by calibration).
+_thresholds: dict[str, int] = dict(_DEFAULT_THRESHOLDS)
+
+#: Set this to a calibration JSON path to auto-load it on first import.
+CALIBRATION_ENV_VAR = "REPRO_FACTORY_CALIBRATION"
+
+
+def calibration() -> dict[str, int]:
+    """The auto-selection thresholds currently in effect (a copy)."""
+    return dict(_thresholds)
+
+
+def apply_calibration(overrides: Mapping[str, int]) -> dict[str, int]:
+    """Override auto-selection thresholds from a measured-crossover dict.
+
+    Keys are a subset of ``{"fast_event_limit", "fast_epsilon_limit",
+    "fast_formula_limit", "events_per_segment"}``; values must be
+    positive integers.  Returns the thresholds now in effect.
+    """
+    for key, value in overrides.items():
+        if key not in _DEFAULT_THRESHOLDS:
+            raise MonitorError(
+                f"unknown calibration key {key!r}; known: "
+                + ", ".join(sorted(_DEFAULT_THRESHOLDS))
+            )
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise MonitorError(
+                f"calibration {key} must be a positive integer, got {value!r}"
+            )
+    _thresholds.update(overrides)
+    return calibration()
+
+
+def reset_calibration() -> dict[str, int]:
+    """Restore the static default thresholds (returns them)."""
+    _thresholds.clear()
+    _thresholds.update(_DEFAULT_THRESHOLDS)
+    return calibration()
+
+
+def load_calibration(path: str) -> dict[str, int]:
+    """Load and apply a calibration file written by
+    ``scripts/calibrate_factory.py``.
+
+    The file is JSON: either a flat overrides dict or a report object
+    with the overrides under a ``"thresholds"`` key.
+    """
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and isinstance(data.get("thresholds"), dict):
+        data = data["thresholds"]
+    if not isinstance(data, dict):
+        raise MonitorError(f"calibration file {path} must hold a JSON object")
+    return apply_calibration(data)
+
+
+if os.environ.get(CALIBRATION_ENV_VAR):  # pragma: no cover - environment hook
+    load_calibration(os.environ[CALIBRATION_ENV_VAR])
 
 #: The only engine kwargs the fast monitor understands; auto-selection
 #: falls back to "smt" when the caller passed anything else (segment or
@@ -112,9 +183,9 @@ def select_kind(
     if event_count is None:
         return "smt"
     if (
-        event_count <= FAST_EVENT_LIMIT
-        and (epsilon is None or epsilon <= FAST_EPSILON_LIMIT)
-        and formula_size(formula) <= FAST_FORMULA_LIMIT
+        event_count <= _thresholds["fast_event_limit"]
+        and (epsilon is None or epsilon <= _thresholds["fast_epsilon_limit"])
+        and formula_size(formula) <= _thresholds["fast_formula_limit"]
     ):
         return "fast"
     return "smt"
@@ -146,7 +217,7 @@ def make_monitor(
         if kind == "fast" and set(kwargs) - _FAST_KWARGS:
             kind = "smt"
         if kind == "smt" and event_count and "segments" not in kwargs:
-            kwargs["segments"] = max(1, event_count // EVENTS_PER_SEGMENT)
+            kwargs["segments"] = max(1, event_count // _thresholds["events_per_segment"])
     try:
         factory = _REGISTRY[kind]
     except KeyError:

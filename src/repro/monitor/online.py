@@ -194,6 +194,17 @@ class OnlineMonitor:
         """Distinct residual formulas still carried."""
         return len(self._carried)
 
+    @property
+    def current_verdicts(self) -> frozenset[bool]:
+        """Verdicts decided so far (grows as segments close; final after
+        :meth:`finish`)."""
+        return self._result.verdicts
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has sealed the stream."""
+        return self._finished
+
     def finish(self) -> MonitorResult:
         """Consume any remaining events, close residuals, return verdicts."""
         if self._finished:

@@ -69,6 +69,12 @@ class SmtMonitor:
         provably complete ({True, False} is maximal) but the per-verdict
         trace counts are partial.  Set False for count-exact runs (used
         by the baseline-equivalence tests).
+    cache_traces:
+        Share segment-trace enumeration through the process-local
+        :mod:`~repro.encoding.trace_cache`.  Enabled by segment-parallel
+        shard workers (shards of one computation enumerate identical
+        segment traces); semantics are unchanged, only repeated
+        enumeration work is skipped.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class SmtMonitor:
         backend: str = "dfs",
         saturate: bool = True,
         timestamp_samples: int | None = None,
+        cache_traces: bool = False,
     ) -> None:
         if segments < 1:
             raise MonitorError(f"segments must be >= 1, got {segments}")
@@ -90,6 +97,7 @@ class SmtMonitor:
         self._backend = backend
         self._saturate = saturate
         self._timestamp_samples = timestamp_samples
+        self._cache_traces = cache_traces
 
     @property
     def formula(self) -> Formula:
@@ -134,14 +142,21 @@ class SmtMonitor:
         is_last = order == len(segments) - 1
         indices = [hb.index_of(e) for e in segment.events]
         view = hb.restricted_to(indices)
+        clamp_lo = None if is_first else segment.lo
+        clamp_hi = None if is_last else segment.hi
+        cache_key = None
+        if self._cache_traces:
+            cache_key = self._segment_cache_key(
+                view, segment, state, epsilon, clamp_lo, clamp_hi
+            )
         outcome = enumerate_segment_outcomes(
             view,
             epsilon,
             state.carried,
             state.anchor,
             boundary=segment.hi,
-            clamp_lo=None if is_first else segment.lo,
-            clamp_hi=None if is_last else segment.hi,
+            clamp_lo=clamp_lo,
+            clamp_hi=clamp_hi,
             max_traces=self._max_traces,
             max_distinct=self._max_distinct,
             backend=self._backend,
@@ -149,6 +164,7 @@ class SmtMonitor:
             frontier_props=state.frontier,
             saturate_final=self._saturate and is_last,
             timestamp_samples=self._timestamp_samples,
+            cache_key=cache_key,
         )
         if outcome.truncated:
             result.exhaustive = False
@@ -185,6 +201,46 @@ class SmtMonitor:
             anchor=segment.hi,
             base_valuation=base_valuation,
             frontier=frontier,
+        )
+
+    def _segment_cache_key(
+        self,
+        view,
+        segment: Segment,
+        state: PipelineState,
+        epsilon: int,
+        clamp_lo: int | None,
+        clamp_hi: int | None,
+    ):
+        """Everything that shapes the segment's trace enumeration.
+
+        Value-based (not identity-based) so shards that unpickled their
+        own copy of the computation still share entries.  The view's
+        predecessor masks capture the happened-before topology exactly as
+        enumeration consumes it (process, epsilon, *and message* edges) —
+        two segments with identical event fields but different message
+        edges must not share traces.  The carried *residuals* are
+        deliberately absent: they differ per shard and do not affect
+        which traces the segment admits.
+        """
+        events_key = tuple(
+            (e.process, e.seq, e.local_time, e.props, tuple(sorted(e.deltas.items())))
+            for e in segment.events
+        )
+        topology_key = tuple(
+            view.predecessors_mask(i) for i in range(len(segment.events))
+        )
+        return (
+            events_key,
+            topology_key,
+            epsilon,
+            clamp_lo,
+            clamp_hi,
+            self._backend,
+            self._timestamp_samples,
+            self._max_traces,
+            tuple(sorted(state.base_valuation.items())),
+            tuple(sorted(state.frontier.items())),
         )
 
     def run_from(

@@ -1,4 +1,9 @@
-"""Parallel monitoring: fan computations (or segment shards) over cores."""
+"""Parallel monitoring: fan computations (or segment shards) over cores.
+
+``ParallelMonitor`` is now a per-call compatibility wrapper over the
+persistent :class:`repro.service.MonitorService`; see ``repro.service``
+for the long-lived pool with async submission and live sessions.
+"""
 
 from repro.parallel.orchestrator import BatchReport, ParallelMonitor, default_workers
 from repro.parallel.worker import BatchItem

@@ -1,13 +1,24 @@
-"""The parallel monitoring orchestrator.
+"""The parallel monitoring orchestrator (compatibility wrapper).
+
+.. deprecated::
+    :class:`ParallelMonitor` is kept as a thin per-call wrapper over the
+    persistent :class:`~repro.service.MonitorService`.  It spawns a fresh
+    pool on every ``run``/``run_batch`` call — exactly the fork tax the
+    service exists to amortise — so new code should hold a service
+    instead::
+
+        with MonitorService(workers=4) as svc:
+            report = svc.map(computations, formula=spec)
+
+    The wrapper remains supported for one-shot scripts and for the
+    segment-parallel ``run`` entry point.
 
 Two ways to spend cores:
 
 * **Batch mode** (:meth:`ParallelMonitor.run_batch`) — fan a list of
-  independent computations out over a process pool.  This is the
-  production-throughput path: a deployed monitor watches many protocol
-  sessions at once, and each session is embarrassingly parallel.
-  Results come back in input order, and a poisoned computation is
-  captured per-item instead of killing the batch.
+  independent computations out over the pool; results come back in input
+  order and a poisoned computation is captured per-item instead of
+  killing the batch.
 
 * **Segment-parallel mode** (:meth:`ParallelMonitor.run`) — one large
   computation.  The segmented monitor's pipeline carries a *set* of
@@ -25,10 +36,7 @@ Two ways to spend cores:
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import time
-from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.distributed.computation import DistributedComputation
@@ -37,88 +45,20 @@ from repro.monitor.smt_monitor import SmtMonitor
 from repro.monitor.verdicts import MonitorResult, SegmentReport
 from repro.progression.progressor import close
 from repro.mtl.ast import Formula
-from repro.parallel.worker import (
-    BatchItem,
+from repro.service import MonitorService, default_workers
+from repro.service.reports import BatchReport
+from repro.service.tasks import (
     MonitorTask,
     SegmentShardTask,
     run_monitor_task,
     run_segment_shard,
 )
 
-
-def default_workers() -> int:
-    """Pool size when the caller does not pick one (bounded: oversubscribing
-    a monitoring batch buys nothing)."""
-    return max(1, min(8, os.cpu_count() or 1))
-
-
-@dataclass
-class BatchReport:
-    """Aggregate outcome of one monitored batch.
-
-    Per-verdict totals over the successful items, wall-clock time, and
-    worker utilization (total busy seconds across items divided by
-    ``workers * wall``; 1.0 means the pool never idled).
-    """
-
-    items: list[BatchItem] = field(default_factory=list)
-    workers: int = 1
-    wall_seconds: float = 0.0
-
-    @property
-    def ok_items(self) -> list[BatchItem]:
-        return [item for item in self.items if item.ok]
-
-    @property
-    def errors(self) -> list[tuple[int, str]]:
-        return [(item.index, item.error) for item in self.items if not item.ok]
-
-    @property
-    def results(self) -> list[MonitorResult | None]:
-        """Per-item results in input order (None where the item failed)."""
-        return [item.result for item in self.items]
-
-    @property
-    def verdict_totals(self) -> dict[bool, int]:
-        totals: dict[bool, int] = {}
-        for item in self.ok_items:
-            for verdict, count in item.result.verdict_counts.items():
-                totals[verdict] = totals.get(verdict, 0) + count
-        return totals
-
-    @property
-    def busy_seconds(self) -> float:
-        return sum(item.seconds for item in self.items)
-
-    @property
-    def utilization(self) -> float:
-        if self.wall_seconds <= 0 or self.workers <= 0:
-            return 0.0
-        return min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
-
-    def merged(self, formula: Formula) -> MonitorResult:
-        """All successful items folded into one result."""
-        merged = MonitorResult(formula)
-        for item in self.ok_items:
-            merged.merge(item.result)
-        return merged
-
-    def __str__(self) -> str:
-        totals = self.verdict_totals
-        parts = [f"{len(self.ok_items)}/{len(self.items)} ok"]
-        if totals:
-            parts.append(
-                "verdicts " + " ".join(
-                    f"{'T' if v else 'F'}×{totals[v]}" for v in sorted(totals, reverse=True)
-                )
-            )
-        parts.append(f"wall {self.wall_seconds:.3f}s")
-        parts.append(f"{self.workers} workers @ {self.utilization:.0%}")
-        return "BatchReport(" + ", ".join(parts) + ")"
+__all__ = ["BatchReport", "ParallelMonitor", "default_workers"]
 
 
 class ParallelMonitor:
-    """Shard monitoring work over a ``multiprocessing`` pool.
+    """Shard monitoring work over a worker pool (one pool per call).
 
     Parameters
     ----------
@@ -132,8 +72,8 @@ class ParallelMonitor:
         Pool size; ``None`` picks :func:`default_workers`.  ``workers=1``
         runs everything inline — no pool, handy under debuggers.
     chunksize:
-        Batch items handed to a worker per round-trip; ``None`` derives
-        one from the batch size.
+        Accepted for backward compatibility and ignored: the service pool
+        load-balances per item instead of chunking.
     min_shard_residuals:
         Segment-parallel mode fans out only once at least this many
         residual formulas are carried (below it the split cannot win).
@@ -178,33 +118,37 @@ class ParallelMonitor:
     ) -> BatchReport:
         """Monitor every computation; results keep input order.
 
-        Each worker builds its own engine via ``make_monitor`` (passing
-        the item's computation, so ``monitor="auto"`` re-selects per
-        item).  Failures are captured per item as :class:`BatchItem`
-        errors.
+        Delegates to a temporary :class:`~repro.service.MonitorService`
+        (each worker builds its own engine via ``make_monitor``, so
+        ``monitor="auto"`` re-selects per item; failures are captured per
+        item as :class:`~repro.service.tasks.BatchItem` errors).  With one
+        worker — or one item — everything runs inline without a pool.
         """
         computations = list(computations)
-        tasks = [
-            MonitorTask(
-                index=index,
-                kind=self._kind,
-                formula=self._formula,
-                kwargs=self._monitor_kwargs,
-                computation=computation,
-            )
-            for index, computation in enumerate(computations)
-        ]
-        workers = min(self._workers, max(1, len(tasks)))
-        started = time.perf_counter()
-        if workers <= 1 or len(tasks) <= 1:
-            items = [run_monitor_task(task) for task in tasks]
-        else:
-            chunksize = self._chunksize or max(1, len(tasks) // (workers * 4))
-            with multiprocessing.Pool(processes=workers) as pool:
-                items = pool.map(run_monitor_task, tasks, chunksize=chunksize)
-        wall = time.perf_counter() - started
-        items.sort(key=lambda item: item.index)  # pool.map preserves order; be explicit
-        return BatchReport(items=items, workers=workers, wall_seconds=wall)
+        workers = min(self._workers, max(1, len(computations)))
+        if workers <= 1 or len(computations) <= 1:
+            started = time.perf_counter()
+            items = [
+                run_monitor_task(
+                    MonitorTask(
+                        index=index,
+                        kind=self._kind,
+                        formula=self._formula,
+                        kwargs=self._monitor_kwargs,
+                        computation=computation,
+                    )
+                )
+                for index, computation in enumerate(computations)
+            ]
+            wall = time.perf_counter() - started
+            return BatchReport(items=items, workers=workers, wall_seconds=wall)
+        with MonitorService(
+            workers=workers,
+            formula=self._formula,
+            monitor=self._kind,
+            **self._monitor_kwargs,
+        ) as service:
+            return service.map(computations)
 
     # -- segment-parallel mode ------------------------------------------------------
 
@@ -213,9 +157,9 @@ class ParallelMonitor:
 
         The pipeline runs serially until the carried residual set reaches
         ``min_shard_residuals`` with segments still to go, then shards the
-        residuals across workers and merges the shard results.  Falls back
-        to the plain serial monitor when the computation is too small, the
-        pool has one worker, or the carried set never grows.
+        residuals across service workers and merges the shard results.
+        Falls back to the plain serial monitor when the computation is too
+        small, the pool has one worker, or the carried set never grows.
         """
         engine = SmtMonitor(self._formula, **self._monitor_kwargs)
         if self._workers <= 1 or len(computation) == 0:
@@ -253,8 +197,12 @@ class ParallelMonitor:
             )
             for shard in shards
         ]
-        with multiprocessing.Pool(processes=len(tasks)) as pool:
-            shard_results = pool.map(run_segment_shard, tasks)
+        if len(tasks) == 1:
+            shard_results = [run_segment_shard(tasks[0])]
+        else:
+            with MonitorService(workers=min(self._workers, len(tasks))) as service:
+                futures = [service.submit_shard(task) for task in tasks]
+                shard_results = [future.result() for future in futures]
         for shard_result in shard_results:
             result.merge(shard_result)
         self._collapse_segment_reports(result)
@@ -293,8 +241,15 @@ class ParallelMonitor:
     def _shard_residuals(
         self, carried: dict[Formula, int]
     ) -> list[dict[Formula, int]]:
-        """Deterministic round-robin split of the carried residuals."""
-        shard_count = min(self._workers, len(carried))
+        """Deterministic round-robin split of the carried residuals.
+
+        Oversharded to two shards per worker (when the carried set
+        allows): a worker that processes consecutive shards of the same
+        computation reuses the segment-trace cache instead of
+        re-enumerating, and finer shards balance skewed residual costs.
+        The split never changes the merged verdict multiset.
+        """
+        shard_count = min(self._workers * 2, len(carried))
         ordered = sorted(carried.items(), key=lambda kv: str(kv[0]))
         shards: list[dict[Formula, int]] = [{} for _ in range(shard_count)]
         for position, (residual, count) in enumerate(ordered):

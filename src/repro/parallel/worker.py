@@ -1,99 +1,23 @@
-"""Worker-side entry points for the parallel orchestrator.
+"""Compatibility re-exports for the pool task payloads.
 
-Everything here must be importable and picklable: these functions run in
-``multiprocessing`` pool workers, so the task payloads carry only plain
-data — computations (events pickle through
-:func:`~repro.distributed.event.make_event`), formulas (value-equal
-dataclasses), and keyword dictionaries.
+The task dataclasses and worker entry points moved to
+:mod:`repro.service.tasks` when the persistent :class:`~repro.service.MonitorService`
+became the primary pool owner; this module keeps the historical import
+path (``repro.parallel.worker``) working.
 """
 
-from __future__ import annotations
+from repro.service.tasks import (
+    BatchItem,
+    MonitorTask,
+    SegmentShardTask,
+    run_monitor_task,
+    run_segment_shard,
+)
 
-import os
-import time
-from dataclasses import dataclass, field
-from typing import Any
-
-from repro.distributed.computation import DistributedComputation
-from repro.monitor.factory import make_monitor
-from repro.monitor.smt_monitor import PipelineState, SmtMonitor
-from repro.monitor.verdicts import MonitorResult
-from repro.mtl.ast import Formula
-
-
-@dataclass
-class MonitorTask:
-    """One batch item: monitor ``computation`` with a freshly built engine."""
-
-    index: int
-    kind: str
-    formula: Formula
-    kwargs: dict[str, Any]
-    computation: DistributedComputation
-
-
-@dataclass
-class BatchItem:
-    """The outcome of one batch item (result *or* captured error)."""
-
-    index: int
-    result: MonitorResult | None
-    error: str | None
-    seconds: float
-    worker: int
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-
-@dataclass
-class SegmentShardTask:
-    """Resume the segment pipeline from ``start`` with a residual shard."""
-
-    computation: DistributedComputation
-    formula: Formula
-    kwargs: dict[str, Any]
-    carried: dict[Formula, int]
-    anchor: int | None
-    base_valuation: dict[str, float]
-    frontier: dict[str, frozenset[str]]
-    start: int
-
-
-def run_monitor_task(task: MonitorTask) -> BatchItem:
-    """Monitor one computation, capturing any failure as data.
-
-    A poisoned computation (inconsistent log, an engine limit such as the
-    fast monitor's event cap, a malformed formula) must not kill the
-    batch: the exception is returned in the item, never raised.
-    """
-    started = time.perf_counter()
-    try:
-        engine = make_monitor(
-            task.formula, task.kind, computation=task.computation, **task.kwargs
-        )
-        result = engine.run(task.computation)
-        error = None
-    except Exception as exc:  # noqa: BLE001 — per-item isolation is the point
-        result = None
-        error = f"{type(exc).__name__}: {exc}"
-    return BatchItem(
-        index=task.index,
-        result=result,
-        error=error,
-        seconds=time.perf_counter() - started,
-        worker=os.getpid(),
-    )
-
-
-def run_segment_shard(task: SegmentShardTask) -> MonitorResult:
-    """Continue the segment pipeline for one shard of carried residuals."""
-    engine = SmtMonitor(task.formula, **task.kwargs)
-    state = PipelineState(
-        carried=dict(task.carried),
-        anchor=task.anchor,
-        base_valuation=dict(task.base_valuation),
-        frontier=dict(task.frontier),
-    )
-    return engine.run_from(task.computation, state, start=task.start)
+__all__ = [
+    "BatchItem",
+    "MonitorTask",
+    "SegmentShardTask",
+    "run_monitor_task",
+    "run_segment_shard",
+]

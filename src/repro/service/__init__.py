@@ -1,0 +1,29 @@
+"""The session-oriented monitoring service over a persistent worker pool.
+
+Public surface::
+
+    with MonitorService(workers=4) as svc:
+        future = svc.submit(computation, formula=spec)   # async batch
+        report = svc.map(computations, formula=spec)     # ordered BatchReport
+        session = svc.open_session(spec, epsilon=2)      # live stream
+        session.observe("P1", 3, {"a"}); session.advance_to(10)
+        result = session.finish()
+"""
+
+from repro.service.futures import MonitorFuture
+from repro.service.reports import BatchReport
+from repro.service.service import MonitorService, default_workers
+from repro.service.session import Session, SessionStatus
+from repro.service.tasks import BatchItem, MonitorTask, SegmentShardTask
+
+__all__ = [
+    "BatchItem",
+    "BatchReport",
+    "MonitorFuture",
+    "MonitorService",
+    "MonitorTask",
+    "SegmentShardTask",
+    "Session",
+    "SessionStatus",
+    "default_workers",
+]

@@ -1,0 +1,83 @@
+"""Client-side handles for requests in flight on the service pool."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro import errors
+from repro.errors import ServiceError
+
+
+def raise_remote(error: str) -> None:
+    """Re-raise a worker-side error string as its original exception class.
+
+    Workers serialise failures as ``"TypeName: message"``.  Known
+    :class:`~repro.errors.ReproError` subclasses re-raise as themselves so
+    callers keep the same ``except MonitorError`` behaviour they would have
+    against an in-process engine; everything else (and malformed strings)
+    becomes :class:`~repro.errors.ServiceError`.
+    """
+    name, _, message = error.partition(": ")
+    exc_type = getattr(errors, name, None)
+    if isinstance(exc_type, type) and issubclass(exc_type, errors.ReproError):
+        raise exc_type(message or error)
+    raise ServiceError(error)
+
+
+class MonitorFuture:
+    """Result of one asynchronous service request.
+
+    Resolved by the service's dispatcher thread when the owning worker
+    responds.  ``result()`` blocks; ``done()`` polls.  Transport failures
+    and worker-side exceptions both surface from ``result()`` (see
+    :func:`raise_remote` for the mapping).
+    """
+
+    __slots__ = ("_event", "_payload", "_error", "_callbacks", "_lock")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._payload: Any = None
+        self._error: str | None = None
+        self._callbacks: list[Callable[[], None]] = []
+        self._lock = threading.Lock()
+
+    def done(self) -> bool:
+        """True once the worker has responded (successfully or not)."""
+        return self._event.is_set()
+
+    @property
+    def error(self) -> str | None:
+        """The captured error string, or None (only meaningful once done)."""
+        return self._error
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until resolved; return the payload or raise the error."""
+        if not self._event.wait(timeout):
+            raise ServiceError(f"request did not complete within {timeout}s")
+        if self._error is not None:
+            raise_remote(self._error)
+        return self._payload
+
+    # -- dispatcher side -----------------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when resolved (immediately if already done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def resolve(self, payload: Any, error: str | None = None) -> None:
+        """Set the outcome exactly once and fire callbacks."""
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._payload = payload
+            self._error = error
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for callback in callbacks:
+            callback()

@@ -1,0 +1,448 @@
+"""The long-lived monitoring service: one pool, two surfaces.
+
+The paper's motivating deployment is *continuous* monitoring of live
+blockchain feeds.  The one-shot entry points (fork a pool per call,
+monitor, tear the pool down) pay the fork tax on every batch and cannot
+hold streaming state at all.  :class:`MonitorService` is the server core
+that fixes both:
+
+* **Pool lifecycle** — ``workers`` processes are spawned once (at
+  construction) and reused for every subsequent call; ``close()`` (or the
+  context manager) drains and joins them.  Each worker has a private FIFO
+  inbox; one shared outbox feeds a dispatcher thread in the client
+  process that resolves :class:`~repro.service.futures.MonitorFuture`\\ s.
+
+* **Async batch API** — :meth:`submit` ships one computation and returns
+  a future immediately; :meth:`submit_many` fans a sequence out;
+  :meth:`map` blocks and aggregates a
+  :class:`~repro.service.reports.BatchReport` (ordered items, per-item
+  error capture) compatible with the existing bench wiring.
+  Backpressure: at most ``max_in_flight`` batch items may be unresolved —
+  further submits block until the pool catches up, so an unbounded
+  producer cannot exhaust memory.
+
+* **Session API** — :meth:`open_session` pins a live
+  :class:`~repro.monitor.online.OnlineMonitor` stream to a worker
+  (sharded by session id, or by an explicit affinity ``key``) and returns
+  a :class:`~repro.service.session.Session` handle
+  (``observe``/``advance_to``/``poll``/``finish``).  Many sessions
+  multiplex over the same pool and progress in parallel; requests for one
+  session stay strictly ordered on its worker's inbox.
+
+Usage::
+
+    with MonitorService(workers=4) as svc:
+        report = svc.map(computations, formula=spec)      # batch surface
+        session = svc.open_session(spec, epsilon=2)       # streaming surface
+        session.observe("apricot", 3, {"apr.escrow(alice)"})
+        session.advance_to(10)
+        result = session.finish()
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+import zlib
+from multiprocessing import connection
+from typing import Sequence
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import MonitorError, ReproError, ServiceError
+from repro.mtl.ast import Formula
+from repro.service.futures import MonitorFuture
+from repro.service.reports import BatchReport
+from repro.service.session import Session
+from repro.service.tasks import BatchItem, MonitorTask, SegmentShardTask
+from repro.service.worker import Request, Response, service_worker_loop
+
+
+def default_workers() -> int:
+    """Pool size when the caller does not pick one (bounded: oversubscribing
+    a monitoring pool buys nothing)."""
+    import os
+
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class MonitorService:
+    """A persistent monitoring pool with batch and session surfaces.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` picks :func:`default_workers`.
+    formula:
+        Default specification for :meth:`submit`/:meth:`map` (overridable
+        per call).  Sessions always pass their formula explicitly.
+    monitor:
+        Default engine kind for batch items — any
+        :func:`~repro.monitor.factory.make_monitor` kind including
+        ``"auto"`` (workers re-select per item from its computation).
+    max_in_flight:
+        Backpressure bound on unresolved batch items; ``None`` derives
+        ``workers * 4``.
+    **monitor_kwargs:
+        Default engine knobs for batch items (``segments=``, budgets, ...),
+        merged with per-call overrides.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        formula: Formula | None = None,
+        monitor: str = "auto",
+        max_in_flight: int | None = None,
+        **monitor_kwargs,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise MonitorError(f"workers must be >= 1, got {workers}")
+        self._workers = workers if workers is not None else default_workers()
+        if max_in_flight is None:
+            max_in_flight = self._workers * 4
+        if max_in_flight < 1:
+            raise MonitorError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self._max_in_flight = max_in_flight
+        self._formula = formula
+        self._kind = monitor
+        self._monitor_kwargs = dict(monitor_kwargs)
+
+        self._closed = False
+        self._lock = threading.Lock()
+        self._request_ids = itertools.count()
+        self._session_ids = itertools.count()
+        self._futures: dict[int, MonitorFuture] = {}
+        self._request_to_worker: dict[int, int] = {}
+        self._outstanding = [0] * self._workers
+        self._dead = [False] * self._workers
+        self._sessions: dict[int, Session] = {}
+        self._inflight = threading.BoundedSemaphore(max_in_flight)
+
+        ctx = multiprocessing.get_context()
+        self._inboxes = []
+        self._processes = []
+        self._response_readers = {}  # reader connection -> worker index
+        for index in range(self._workers):
+            inbox = ctx.Queue()
+            # One response pipe per worker: a single writer per pipe means
+            # no lock is shared across workers, so one worker dying
+            # mid-write cannot wedge the others (a shared queue could).
+            reader, writer = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=service_worker_loop,
+                args=(index, inbox, writer),
+                daemon=True,
+                name=f"monitor-service-{index}",
+            )
+            process.start()
+            writer.close()  # child keeps its copy; EOF then tracks its life
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+            self._response_readers[reader] = index
+        self._dispatcher = threading.Thread(
+            target=self._drain_responses, name="monitor-service-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._max_in_flight
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def open_sessions(self) -> int:
+        """Live sessions currently tracked by this client."""
+        return len(self._sessions)
+
+    def worker_pids(self) -> list[int]:
+        """PID of every pool worker (round-trips a ping through each inbox)."""
+        futures = [self._send(index, "ping", None) for index in range(self._workers)]
+        return [future.result()[0] for future in futures]
+
+    # -- async batch surface --------------------------------------------------------
+
+    def submit(
+        self,
+        computation: DistributedComputation,
+        formula: Formula | None = None,
+        index: int = 0,
+        **overrides,
+    ) -> MonitorFuture:
+        """Ship one computation to the pool; resolves to a :class:`BatchItem`.
+
+        Blocks only when ``max_in_flight`` batch items are already
+        unresolved (backpressure).  Engine failures are captured *inside*
+        the item (``BatchItem.error``), so ``result()`` raises only on
+        transport-level trouble.
+        """
+        self._ensure_open()
+        task = MonitorTask(
+            index=index,
+            kind=overrides.pop("monitor", self._kind),
+            formula=self._resolve_formula(formula),
+            kwargs={**self._monitor_kwargs, **overrides},
+            computation=computation,
+        )
+        self._inflight.acquire()
+        try:
+            future = self._send(self._pick_worker(), "monitor", task)
+        except BaseException:
+            self._inflight.release()
+            raise
+        future.add_done_callback(self._inflight.release)
+        return future
+
+    def submit_many(
+        self,
+        computations: Sequence[DistributedComputation],
+        formula: Formula | None = None,
+        **overrides,
+    ) -> list[MonitorFuture]:
+        """Submit a batch; futures keep input order (``BatchItem.index`` too)."""
+        return [
+            self.submit(computation, formula, index=index, **overrides)
+            for index, computation in enumerate(computations)
+        ]
+
+    def map(
+        self,
+        computations: Sequence[DistributedComputation],
+        formula: Formula | None = None,
+        **overrides,
+    ) -> BatchReport:
+        """Monitor every computation and aggregate a :class:`BatchReport`.
+
+        The blocking counterpart of :meth:`submit_many`: items come back
+        in input order with per-item error capture; wall-clock spans the
+        whole batch including queueing.
+        """
+        started = time.perf_counter()
+        futures = self.submit_many(computations, formula, **overrides)
+        items: list[BatchItem] = []
+        for index, future in enumerate(futures):
+            try:
+                items.append(future.result())
+            except ReproError as exc:  # transport failure: keep the batch shape
+                items.append(
+                    BatchItem(
+                        index=index,
+                        result=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        seconds=0.0,
+                        worker=0,
+                    )
+                )
+        wall = time.perf_counter() - started
+        items.sort(key=lambda item: item.index)
+        return BatchReport(items=items, workers=self._workers, wall_seconds=wall)
+
+    def submit_shard(self, task: SegmentShardTask) -> MonitorFuture:
+        """Ship one segment-parallel shard; resolves to a
+        :class:`~repro.monitor.verdicts.MonitorResult`.  Used by the
+        :class:`~repro.parallel.ParallelMonitor` compatibility wrapper."""
+        self._ensure_open()
+        return self._send(self._pick_worker(), "shard", task)
+
+    # -- session surface ------------------------------------------------------------
+
+    def open_session(
+        self,
+        formula: Formula,
+        epsilon: int,
+        key: str | None = None,
+        **monitor_kwargs,
+    ) -> Session:
+        """Open one live monitoring stream, pinned to a pool worker.
+
+        Sessions shard across workers by id (or by ``zlib.crc32(key)``
+        when an affinity ``key`` is given — streams sharing a key land on
+        the same worker).  ``monitor_kwargs`` go to the worker-side
+        :class:`~repro.monitor.online.OnlineMonitor`
+        (``max_traces_per_segment=``, ``backend=``, ...).
+        """
+        self._ensure_open()
+        session_id = next(self._session_ids)
+        if key is None:
+            worker_index = session_id % self._workers
+        else:
+            worker_index = zlib.crc32(key.encode()) % self._workers
+        self._send(
+            worker_index,
+            "session_open",
+            (session_id, formula, epsilon, dict(monitor_kwargs)),
+        ).result()
+        session = Session(self, session_id, worker_index, formula, epsilon)
+        self._sessions[session_id] = session
+        return session
+
+    def _forget_session(self, session_id: int) -> None:
+        self._sessions.pop(session_id, None)
+
+    def _send_session(self, worker_index: int, op: str, payload) -> MonitorFuture:
+        self._ensure_open()
+        return self._send(worker_index, op, payload)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain the pool and shut it down (idempotent).
+
+        Workers finish everything already queued (FIFO) before they see
+        the shutdown sentinel, *bounded by* ``timeout`` seconds: a
+        backlog that outlives the deadline is cut short (workers are
+        terminated) and its unresolved futures fail with
+        :class:`~repro.errors.ServiceError`.  Callers who must not lose
+        queued work should ``result()`` their futures before closing, or
+        pass a ``timeout`` sized to the backlog.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for index, inbox in enumerate(self._inboxes):
+            if not self._dead[index]:
+                inbox.put(None)
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        # Workers close their pipe ends as they exit; the dispatcher
+        # drains any buffered responses, sees EOF everywhere, and stops.
+        self._dispatcher.join(timeout)
+        with self._lock:
+            leftovers = list(self._futures.values())
+            self._futures.clear()
+            self._request_to_worker.clear()
+        for future in leftovers:
+            future.resolve(None, "ServiceError: service closed before completion")
+        for inbox in self._inboxes:
+            inbox.close()
+        self._sessions.clear()
+
+    def __enter__(self) -> "MonitorService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _resolve_formula(self, formula: Formula | None) -> Formula:
+        formula = formula if formula is not None else self._formula
+        if formula is None:
+            raise MonitorError(
+                "no formula: pass formula=... to the call or to MonitorService()"
+            )
+        return formula
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("monitor service is closed")
+
+    def _pick_worker(self) -> int:
+        """Least-outstanding live worker (ties break toward lower index)."""
+        with self._lock:
+            alive = [i for i in range(self._workers) if not self._dead[i]]
+            if not alive:
+                raise ServiceError("all service workers have died")
+            return min(alive, key=lambda i: self._outstanding[i])
+
+    def _send(self, worker_index: int, op: str, payload) -> MonitorFuture:
+        future = MonitorFuture()
+        with self._lock:
+            if self._closed:
+                raise ServiceError("monitor service is closed")
+            if self._dead[worker_index]:
+                raise ServiceError(f"service worker {worker_index} has died")
+            request_id = next(self._request_ids)
+            self._futures[request_id] = future
+            self._request_to_worker[request_id] = worker_index
+            self._outstanding[worker_index] += 1
+        self._inboxes[worker_index].put(Request(request_id, op, payload))
+        return future
+
+    def _drain_responses(self) -> None:
+        """Multiplex every worker's response pipe until all close.
+
+        ``connection.wait`` wakes on readable data *or* EOF; EOF means the
+        worker exited (cleanly at shutdown, or killed) and immediately
+        retires it via :meth:`_retire_worker` — buffered responses are
+        always drained before the EOF is seen, so queued work that
+        finished before a shutdown still resolves.
+        """
+        while self._response_readers:
+            ready = connection.wait(list(self._response_readers), timeout=0.5)
+            if not ready:
+                self._reap_dead_workers()
+                continue
+            for reader in ready:
+                try:
+                    response: Response = reader.recv()
+                except (EOFError, OSError):
+                    self._retire_worker(reader)
+                    continue
+                with self._lock:
+                    future = self._futures.pop(response.request_id, None)
+                    worker_index = self._request_to_worker.pop(response.request_id, None)
+                    if worker_index is not None:
+                        self._outstanding[worker_index] -= 1
+                if future is not None:
+                    future.resolve(response.payload, response.error)
+
+    def _retire_worker(self, reader) -> None:
+        """Drop a worker whose response pipe hit EOF; fail its futures."""
+        index = self._response_readers.pop(reader, None)
+        reader.close()
+        if index is None or self._closed:
+            return
+        self._fail_worker_futures([index])
+
+    def _reap_dead_workers(self) -> None:
+        """Belt-and-braces liveness poll behind the EOF-based detection."""
+        if self._closed:
+            return
+        newly_dead = [
+            index
+            for index, process in enumerate(self._processes)
+            if not self._dead[index] and not process.is_alive()
+        ]
+        if newly_dead:
+            self._fail_worker_futures(newly_dead)
+
+    def _fail_worker_futures(self, worker_indices: list[int]) -> None:
+        """Mark workers dead and fail their outstanding futures.
+
+        Without this, a worker lost to an OOM-kill or crash would leave
+        its callers blocked in ``result()`` forever; instead their
+        futures fail with :class:`~repro.errors.ServiceError` and the
+        worker is excluded from further placement.
+        """
+        orphans: list[tuple[int, MonitorFuture]] = []
+        with self._lock:
+            for index in worker_indices:
+                self._dead[index] = True
+            for request_id, worker_index in list(self._request_to_worker.items()):
+                if worker_index in worker_indices:
+                    future = self._futures.pop(request_id, None)
+                    del self._request_to_worker[request_id]
+                    self._outstanding[worker_index] -= 1
+                    if future is not None:
+                        orphans.append((worker_index, future))
+        for worker_index, future in orphans:
+            future.resolve(
+                None,
+                f"ServiceError: service worker {worker_index} died before responding",
+            )

@@ -1,0 +1,197 @@
+"""Client-side handle for one live monitoring stream on the service.
+
+A :class:`Session` mirrors the :class:`~repro.monitor.online.OnlineMonitor`
+surface (``observe`` / ``advance_to`` / ``poll`` / ``finish``) but the
+monitor state lives inside the worker process the session is sharded to —
+so hundreds of live feeds progress in parallel across the pool while each
+individual stream stays strictly ordered (per-worker inboxes are FIFO).
+
+``observe`` is asynchronous: events buffer client-side and flush to the
+worker in batches, so a hot feed costs one queue round-trip per segment
+advance rather than one per event.  Validation errors (an event behind the
+frontier, a non-advancing boundary) therefore surface at the *next
+synchronising call* (``advance_to``/``poll``/``finish``), not at
+``observe`` itself — the one semantic difference from the in-process
+``OnlineMonitor``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import MonitorError
+from repro.monitor.verdicts import MonitorResult
+from repro.mtl.ast import Formula
+from repro.service.futures import MonitorFuture, raise_remote
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.service import MonitorService
+
+#: Client-side observe buffer auto-flushes beyond this many events.
+OBSERVE_FLUSH_THRESHOLD = 256
+
+
+@dataclass(frozen=True)
+class SessionStatus:
+    """Snapshot of one session's progress (built worker-side by ``poll``)."""
+
+    verdicts: frozenset[bool]
+    pending: int
+    undecided_residuals: int
+    finished: bool
+
+
+class Session:
+    """One multiplexed online-monitoring stream (build via
+    :meth:`~repro.service.MonitorService.open_session`)."""
+
+    def __init__(
+        self,
+        service: "MonitorService",
+        session_id: int,
+        worker_index: int,
+        formula: Formula,
+        epsilon: int,
+    ) -> None:
+        self._service = service
+        self._id = session_id
+        self._worker = worker_index
+        self._formula = formula
+        self._epsilon = epsilon
+        self._buffer: list[tuple[str, int, frozenset[str], dict[str, float] | None]] = []
+        self._inflight: deque[MonitorFuture] = deque()
+        self._finished = False
+        self._result: MonitorResult | None = None
+
+    @property
+    def session_id(self) -> int:
+        return self._id
+
+    @property
+    def worker_index(self) -> int:
+        """The pool worker this session is sharded to."""
+        return self._worker
+
+    @property
+    def formula(self) -> Formula:
+        return self._formula
+
+    @property
+    def epsilon(self) -> int:
+        return self._epsilon
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # -- feeding -----------------------------------------------------------------
+
+    def observe(
+        self,
+        process: str,
+        local_time: int,
+        props: object = (),
+        deltas: Mapping[str, float] | None = None,
+    ) -> None:
+        """Buffer one event for the stream (asynchronous, non-blocking)."""
+        self._ensure_live()
+        if isinstance(props, str):
+            props = (props,)
+        self._buffer.append(
+            (process, local_time, frozenset(props), dict(deltas) if deltas else None)
+        )
+        if len(self._buffer) >= OBSERVE_FLUSH_THRESHOLD:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Ship buffered events to the worker (fire-and-forget, tracked)."""
+        if not self._buffer:
+            return
+        events, self._buffer = self._buffer, []
+        future = self._service._send_session(self._worker, "session_observe", (self._id, events))
+        self._inflight.append(future)
+
+    def _check_inflight(self, wait: bool = False) -> None:
+        """Surface the first failed observe batch; drop completed ones.
+
+        A failed batch is removed *before* its error raises, so the
+        session stays usable afterwards (mirroring the in-process
+        ``OnlineMonitor``, where a rejected ``observe`` does not poison
+        the stream).
+        """
+        while self._inflight:
+            future = self._inflight[0]
+            if not wait and not future.done():
+                break
+            self._inflight.popleft()
+            future.result()  # raises the remote error if the batch failed
+
+    # -- advancing / inspecting ----------------------------------------------------
+
+    def advance_to(self, boundary: int) -> frozenset[bool]:
+        """Declare all times below ``boundary`` final; return decided verdicts."""
+        self._ensure_live()
+        self._flush()
+        self._check_inflight()
+        verdicts = self._roundtrip("session_advance", (self._id, boundary))
+        self._check_inflight(wait=True)
+        return verdicts
+
+    def poll(self) -> SessionStatus:
+        """Current verdicts / buffered-event / residual counts (cheap round-trip)."""
+        if self._finished:
+            return SessionStatus(
+                verdicts=self._result.verdicts if self._result else frozenset(),
+                pending=0,
+                undecided_residuals=0,
+                finished=True,
+            )
+        self._flush()
+        self._check_inflight()
+        status = self._roundtrip("session_poll", (self._id,))
+        # Responses are FIFO per worker, so any flushed observe batch has
+        # resolved by now — surface its rejection here, not one call late.
+        self._check_inflight(wait=True)
+        return status
+
+    def finish(self) -> MonitorResult:
+        """Consume everything buffered, close residuals, return the verdicts.
+
+        Idempotent: repeated calls return the same result object.  A
+        session discarded with :meth:`close` has no verdicts to return.
+        """
+        if self._finished:
+            if self._result is None:
+                raise MonitorError(
+                    f"session {self._id} was closed without computing verdicts"
+                )
+            return self._result
+        self._flush()
+        self._check_inflight()
+        self._result = self._roundtrip("session_finish", (self._id,))
+        self._finished = True
+        self._service._forget_session(self._id)
+        return self._result
+
+    def close(self) -> None:
+        """Discard the stream without computing verdicts."""
+        if self._finished:
+            return
+        self._buffer.clear()
+        self._inflight.clear()
+        try:
+            self._roundtrip("session_close", (self._id,))
+        finally:
+            self._finished = True
+            self._service._forget_session(self._id)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _roundtrip(self, op: str, payload: object):
+        return self._service._send_session(self._worker, op, payload).result()
+
+    def _ensure_live(self) -> None:
+        if self._finished:
+            raise MonitorError(f"session {self._id} already finished")

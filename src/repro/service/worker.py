@@ -1,0 +1,153 @@
+"""The service pool's worker process: one loop, many sessions.
+
+Each worker owns a private inbox queue (so requests for one session are
+processed strictly in submission order) and shares one outbox with the
+whole pool.  Besides one-shot batch/shard tasks it keeps a registry of
+live :class:`~repro.monitor.online.OnlineMonitor` instances — the
+server-side half of the session API — keyed by session id.
+
+Every request produces exactly one response; worker-side exceptions are
+captured as ``"TypeName: message"`` strings and re-raised client-side by
+:func:`~repro.service.futures.raise_remote`.  The loop itself never dies
+on a request failure — only the ``None`` shutdown sentinel ends it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import MonitorError
+from repro.monitor.online import OnlineMonitor
+from repro.service.session import SessionStatus
+from repro.service.tasks import (
+    MonitorTask,
+    SegmentShardTask,
+    run_monitor_task,
+    run_segment_shard,
+)
+
+
+@dataclass
+class Request:
+    """One unit of work for a pool worker."""
+
+    request_id: int
+    op: str
+    payload: Any
+
+
+@dataclass
+class Response:
+    """The worker's answer to one request."""
+
+    request_id: int
+    payload: Any = None
+    error: str | None = None
+    worker: int = 0
+
+
+def service_worker_loop(worker_index: int, inbox, response_writer) -> None:
+    """Process requests until the shutdown sentinel (``None``) arrives.
+
+    Responses go over this worker's *private* pipe connection: one writer
+    per pipe means no lock is shared between workers, so a worker dying
+    mid-write (OOM-kill, crash) can never wedge the others' responses —
+    the parent just sees EOF on this worker's pipe.
+    """
+    sessions: dict[int, OnlineMonitor] = {}
+    pid = os.getpid()
+    while True:
+        request = inbox.get()
+        if request is None:
+            break
+        try:
+            payload = _dispatch(request.op, request.payload, sessions)
+            response = Response(request.request_id, payload, None, pid)
+        except Exception as exc:  # noqa: BLE001 — the loop must survive any request
+            response = Response(
+                request.request_id, None, f"{type(exc).__name__}: {exc}", pid
+            )
+        try:
+            response_writer.send(response)
+        except Exception as exc:  # noqa: BLE001 — e.g. an unpicklable payload
+            # A payload that cannot cross the pipe (a registered custom
+            # engine returning an unpicklable result, say) must fail only
+            # its own request, not the worker and every session on it.
+            try:
+                response_writer.send(
+                    Response(
+                        request.request_id,
+                        None,
+                        f"{type(exc).__name__}: response not picklable: {exc}",
+                        pid,
+                    )
+                )
+            except Exception:  # noqa: BLE001 — pipe itself is gone
+                break  # parent closed/broke the pipe: exit the loop
+    response_writer.close()
+
+
+def _session(sessions: dict[int, OnlineMonitor], session_id: int) -> OnlineMonitor:
+    try:
+        return sessions[session_id]
+    except KeyError:
+        raise MonitorError(f"unknown session {session_id}") from None
+
+
+def _dispatch(op: str, payload: Any, sessions: dict[int, OnlineMonitor]) -> Any:
+    if op == "monitor":
+        task: MonitorTask = payload
+        return run_monitor_task(task)
+    if op == "shard":
+        shard: SegmentShardTask = payload
+        return run_segment_shard(shard)
+    if op == "session_open":
+        session_id, formula, epsilon, kwargs = payload
+        if session_id in sessions:
+            raise MonitorError(f"session {session_id} already open")
+        sessions[session_id] = OnlineMonitor(formula, epsilon, **kwargs)
+        return session_id
+    if op == "session_observe":
+        session_id, events = payload
+        monitor = _session(sessions, session_id)
+        # Events validate independently, like repeated in-process
+        # ``observe`` calls: a rejected event must not drop the valid
+        # events batched after it.  All rejections surface in one error.
+        rejected: list[str] = []
+        for process, local_time, props, deltas in events:
+            try:
+                monitor.observe(process, local_time, props, deltas)
+            except MonitorError as exc:
+                rejected.append(str(exc))
+        if rejected:
+            suffix = "" if len(rejected) == 1 else f" (+{len(rejected) - 1} more)"
+            raise MonitorError(
+                f"{len(rejected)}/{len(events)} observed event(s) rejected: "
+                f"{rejected[0]}{suffix}"
+            )
+        return len(events)
+    if op == "session_advance":
+        session_id, boundary = payload
+        return _session(sessions, session_id).advance_to(boundary)
+    if op == "session_poll":
+        (session_id,) = payload
+        monitor = _session(sessions, session_id)
+        return SessionStatus(
+            verdicts=monitor.current_verdicts,
+            pending=monitor.pending,
+            undecided_residuals=monitor.undecided_residuals,
+            finished=monitor.finished,
+        )
+    if op == "session_finish":
+        (session_id,) = payload
+        result = _session(sessions, session_id).finish()
+        del sessions[session_id]
+        return result
+    if op == "session_close":
+        (session_id,) = payload
+        return sessions.pop(session_id, None) is not None
+    if op == "ping":
+        return (os.getpid(), len(sessions))
+    raise MonitorError(f"unknown service op {op!r}")

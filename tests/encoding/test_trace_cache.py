@@ -1,0 +1,176 @@
+"""Tests for the process-local segment-trace cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.computation import DistributedComputation
+from repro.encoding import trace_cache
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.mtl import parse
+from repro.service.tasks import SegmentShardTask, run_segment_shard
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    trace_cache.clear_cache()
+    yield
+    trace_cache.clear_cache()
+
+
+def _computation() -> DistributedComputation:
+    return DistributedComputation.from_event_lists(
+        2,
+        {
+            "P1": [(0, "a"), (3, "a"), (6, ()), (9, "b")],
+            "P2": [(1, ()), (4, "b"), (8, "a")],
+        },
+    )
+
+
+class TestSharedTraces:
+    def test_shared_enumeration_is_lazy_and_shared(self):
+        produced = []
+
+        def factory():
+            def generate():
+                for value in range(10):
+                    produced.append(value)
+                    yield value
+
+            return generate()
+
+        first = [t for _, t in zip(range(3), trace_cache.shared_traces("k", factory))]
+        assert first == [0, 1, 2]
+        assert produced == [0, 1, 2]  # early-stop consumer pulls only 3
+        second = list(trace_cache.shared_traces("k", factory))
+        assert second == list(range(10))
+        assert produced == list(range(10))  # prefix replayed, tail continued
+        third = list(trace_cache.shared_traces("k", factory))
+        assert third == second
+        assert produced == list(range(10))  # fully cached now
+        stats = trace_cache.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_distinct_keys_do_not_share(self):
+        a = list(trace_cache.shared_traces("a", lambda: iter([1, 2])))
+        b = list(trace_cache.shared_traces("b", lambda: iter([3])))
+        assert (a, b) == ([1, 2], [3])
+        assert trace_cache.cache_stats() == {"hits": 0, "misses": 2, "entries": 2}
+
+    def test_lru_eviction(self, monkeypatch):
+        monkeypatch.setattr(trace_cache, "MAX_ENTRIES", 2)
+        for key in ("a", "b", "c"):
+            list(trace_cache.shared_traces(key, lambda: iter([0])))
+        assert trace_cache.cache_stats()["entries"] == 2
+        # "a" was evicted: touching it again is a miss
+        list(trace_cache.shared_traces("a", lambda: iter([0])))
+        assert trace_cache.cache_stats()["misses"] == 4
+
+
+class TestMonitorCaching:
+    def test_cached_run_identical_to_uncached(self):
+        spec = parse("(F[0,5) a) & (F[0,9) b)")
+        computation = _computation()
+        plain = SmtMonitor(spec, segments=3, saturate=False).run(computation)
+        cached = SmtMonitor(
+            spec, segments=3, saturate=False, cache_traces=True
+        ).run(computation)
+        assert cached.verdict_counts == plain.verdict_counts
+        assert [r.traces_enumerated for r in cached.segment_reports] == [
+            r.traces_enumerated for r in plain.segment_reports
+        ]
+
+    def test_second_run_hits_the_cache(self):
+        spec = parse("F[0,8) b")
+        computation = _computation()
+        engine = SmtMonitor(spec, segments=3, saturate=False, cache_traces=True)
+        first = engine.run(computation)
+        after_first = trace_cache.cache_stats()
+        assert after_first["misses"] > 0
+        second = engine.run(computation)
+        after_second = trace_cache.cache_stats()
+        assert second.verdict_counts == first.verdict_counts
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["hits"] > after_first["hits"]
+
+    def test_uncached_monitor_never_touches_the_cache(self):
+        SmtMonitor(parse("F[0,8) b"), segments=3).run(_computation())
+        assert trace_cache.cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_message_edges_are_part_of_the_key(self):
+        """Two computations with identical event fields but different
+        message topology must not share cached traces (the admissible
+        trace sets differ, so sharing would be unsound)."""
+        spec = parse("a U[0,9) b")
+
+        def build(with_message: bool) -> DistributedComputation:
+            comp = DistributedComputation(3)
+            send = comp.add_event("P1", 1, "a")
+            comp.add_event("P1", 6, ())
+            recv = comp.add_event("P2", 2, "a")
+            comp.add_event("P2", 5, "b")
+            if with_message:
+                comp.add_message(send, recv)
+            return comp
+
+        plain, chained = build(False), build(True)
+        expected_plain = SmtMonitor(spec, saturate=False).run(plain).verdict_counts
+        expected_chained = SmtMonitor(spec, saturate=False).run(chained).verdict_counts
+        assert expected_plain != expected_chained, "corpus must distinguish topologies"
+
+        cached_plain = SmtMonitor(spec, saturate=False, cache_traces=True).run(plain)
+        cached_chained = SmtMonitor(spec, saturate=False, cache_traces=True).run(chained)
+        assert cached_plain.verdict_counts == expected_plain
+        assert cached_chained.verdict_counts == expected_chained
+        assert trace_cache.cache_stats()["misses"] == 2  # distinct keys
+
+    def test_shards_share_segment_enumeration(self):
+        """Two shards of one computation processed by the same worker
+        process must enumerate each segment only once (the satellite's
+        acceptance assertion)."""
+        spec = parse("(F[0,5) a) & (F[0,9) b)")
+        computation = _computation()
+        engine = SmtMonitor(spec, segments=3, saturate=False)
+        hb = computation.happened_before()
+        segments = engine.segments_of(computation)
+        state = engine.initial_state()
+        from repro.monitor.verdicts import MonitorResult
+
+        scratch = MonitorResult(spec)
+        state = engine.step(hb, segments, 0, state, scratch, computation.epsilon)
+        carried = sorted(state.carried.items(), key=lambda kv: str(kv[0]))
+        assert len(carried) >= 2, "corpus must carry >= 2 residuals to shard"
+        half = len(carried) // 2
+        shards = [dict(carried[:half]), dict(carried[half:])]
+        tasks = [
+            SegmentShardTask(
+                computation=computation,
+                formula=spec,
+                kwargs={"segments": 3, "saturate": False},
+                carried=shard,
+                anchor=state.anchor,
+                base_valuation=state.base_valuation,
+                frontier=state.frontier,
+                start=1,
+            )
+            for shard in shards
+        ]
+        first = run_segment_shard(tasks[0])
+        after_first = trace_cache.cache_stats()
+        assert after_first["misses"] >= 1
+        second = run_segment_shard(tasks[1])
+        after_second = trace_cache.cache_stats()
+        # the second shard replays the first shard's enumerations: every
+        # segment it touches is a hit, never a fresh enumeration
+        assert after_second["misses"] == after_first["misses"]
+        assert after_second["hits"] > after_first["hits"]
+        assert len(segments) == 3  # pipeline actually had segments to share
+        # and the merged shard verdicts match the serial pipeline
+        serial = SmtMonitor(spec, segments=3, saturate=False).run(computation)
+        merged = first.merge(second)
+        combined = dict(scratch.verdict_counts)
+        for verdict, count in merged.verdict_counts.items():
+            combined[verdict] = combined.get(verdict, 0) + count
+        assert combined == serial.verdict_counts

@@ -18,6 +18,12 @@ from repro.monitor import (
     register_monitor,
     select_kind,
 )
+from repro.monitor import (
+    apply_calibration,
+    calibration,
+    load_calibration,
+    reset_calibration,
+)
 from repro.monitor.factory import (
     FAST_EPSILON_LIMIT,
     FAST_EVENT_LIMIT,
@@ -140,6 +146,84 @@ class TestAutoSelection:
         auto = make_monitor(spec, computation=comp)
         explicit = make_monitor(spec, "smt", saturate=False)
         assert auto.run(comp).verdicts == explicit.run(comp).verdicts
+
+
+class TestCalibration:
+    """Measured-crossover overrides for the auto-selection thresholds."""
+
+    @pytest.fixture(autouse=True)
+    def restore_defaults(self):
+        yield
+        reset_calibration()
+
+    def test_defaults_match_module_constants(self):
+        thresholds = calibration()
+        assert thresholds["fast_event_limit"] == FAST_EVENT_LIMIT
+        assert thresholds["fast_epsilon_limit"] == FAST_EPSILON_LIMIT
+
+    def test_apply_overrides_change_selection(self, spec):
+        assert select_kind(spec, event_count=10, epsilon=2) == "fast"
+        apply_calibration({"fast_event_limit": 5})
+        assert select_kind(spec, event_count=10, epsilon=2) == "smt"
+        assert select_kind(spec, event_count=5, epsilon=2) == "fast"
+        reset_calibration()
+        assert select_kind(spec, event_count=10, epsilon=2) == "fast"
+
+    def test_apply_overrides_epsilon_axis(self, spec):
+        apply_calibration({"fast_epsilon_limit": 3})
+        assert select_kind(spec, event_count=10, epsilon=4) == "smt"
+        assert select_kind(spec, event_count=10, epsilon=3) == "fast"
+
+    def test_events_per_segment_override(self, spec):
+        apply_calibration({"events_per_segment": 24, "fast_event_limit": 1})
+        engine = make_monitor(spec, event_count=240, epsilon=50)
+        assert isinstance(engine, SmtMonitor)
+        assert engine._segments == 10  # 240 events / 24 per segment
+
+    def test_calibration_returns_a_copy(self):
+        snapshot = calibration()
+        snapshot["fast_event_limit"] = 1
+        assert calibration()["fast_event_limit"] == FAST_EVENT_LIMIT
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(MonitorError, match="unknown calibration key"):
+            apply_calibration({"fast_event_cap": 10})
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(MonitorError, match="positive integer"):
+            apply_calibration({"fast_event_limit": 0})
+        with pytest.raises(MonitorError, match="positive integer"):
+            apply_calibration({"fast_event_limit": 2.5})
+        with pytest.raises(MonitorError, match="positive integer"):
+            apply_calibration({"fast_event_limit": True})
+
+    def test_load_calibration_report_file(self, tmp_path, spec):
+        """The factory reads both the calibrate_factory.py report shape
+        (overrides under "thresholds") and a flat overrides object."""
+        import json
+
+        report = tmp_path / "calibration.json"
+        report.write_text(
+            json.dumps(
+                {
+                    "event_ladder": [{"events": 6, "fast_seconds": 0.1}],
+                    "thresholds": {"fast_event_limit": 6, "fast_epsilon_limit": 3},
+                }
+            )
+        )
+        applied = load_calibration(str(report))
+        assert applied["fast_event_limit"] == 6
+        assert select_kind(spec, event_count=7, epsilon=2) == "smt"
+
+        flat = tmp_path / "flat.json"
+        flat.write_text(json.dumps({"fast_event_limit": 50}))
+        assert load_calibration(str(flat))["fast_event_limit"] == 50
+
+    def test_load_calibration_rejects_non_object(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(MonitorError, match="JSON object"):
+            load_calibration(str(bad))
 
 
 class TestProtocolCompliance:

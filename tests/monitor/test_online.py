@@ -94,3 +94,96 @@ class TestStreaming:
         # b's admissible time ranges over [1,5]; relative to a's time the
         # offset can fall inside or outside [0,4).
         assert result.verdicts == frozenset({True, False})
+
+
+class TestEdgeCases:
+    """Out-of-order observation, empty segments, double finish, and the
+    message-edge rejection path (the streaming API's corner cases)."""
+
+    def test_out_of_order_observe_after_advance(self):
+        online = OnlineMonitor(parse("F[0,100) p"), epsilon=1)
+        online.observe("P1", 5, ())
+        online.advance_to(10)
+        with pytest.raises(MonitorError, match="advanced past"):
+            online.observe("P1", 9, "p")
+        # exactly at the frontier is still admissible...
+        online.observe("P1", 10, "p")
+        # ...and a rejected event must not corrupt the stream
+        result = online.finish()
+        assert result.definitely_satisfied
+
+    def test_out_of_order_between_processes(self):
+        """The frontier applies to every process, not just the one that
+        triggered the advance."""
+        online = OnlineMonitor(parse("F[0,100) p"), epsilon=2)
+        online.observe("P1", 20, ())
+        online.advance_to(15)
+        with pytest.raises(MonitorError, match="advanced past"):
+            online.observe("P2", 3, "p")
+
+    def test_empty_segment_advances(self):
+        """Advancing over a window with no buffered events consumes no
+        segment and decides nothing new."""
+        spec = parse("F[0,100) done")
+        online = OnlineMonitor(spec, epsilon=1)
+        online.observe("P1", 5, "start")
+        online.advance_to(10)
+        reports_after_first = len(online._result.segment_reports)
+        online.advance_to(20)  # empty window: nothing buffered below 20
+        online.advance_to(30)  # and again
+        assert len(online._result.segment_reports) == reports_after_first
+        assert online.pending == 0
+        assert online.undecided_residuals >= 1
+        online.observe("P1", 50, "done")
+        result = online.finish()
+        assert result.definitely_satisfied
+
+    def test_leading_empty_advance(self):
+        """An empty advance before the first event must not anchor the
+        formula early: verdicts match the unadvanced stream."""
+        spec = parse("F[0,8) b")
+        plain = OnlineMonitor(spec, epsilon=2)
+        plain.observe("P1", 6, "b")
+        expected = plain.finish()
+
+        advanced = OnlineMonitor(spec, epsilon=2)
+        advanced.advance_to(3)  # nothing observed yet
+        advanced.observe("P1", 6, "b")
+        assert advanced.finish().verdict_counts == expected.verdict_counts
+
+    def test_empty_stream_with_empty_advances(self):
+        online = OnlineMonitor(parse("G[0,5) p"), epsilon=1)
+        online.advance_to(10)
+        online.advance_to(20)
+        result = online.finish()
+        # weak G over no observations closes to True
+        assert result.definitely_satisfied
+
+    def test_double_finish_returns_same_object(self):
+        online = OnlineMonitor(parse("F[0,10) p"), epsilon=1)
+        online.observe("P1", 2, "p")
+        first = online.finish()
+        second = online.finish()
+        assert second is first
+        assert online.finished
+        assert online.current_verdicts == first.verdicts
+
+    def test_advance_after_finish_rejected(self):
+        online = OnlineMonitor(parse("F p"), epsilon=1)
+        online.finish()
+        with pytest.raises(MonitorError, match="finished"):
+            online.advance_to(10)
+
+    def test_run_rejects_message_edges(self):
+        """Dropping message edges would enlarge the admissible-trace set
+        and return unsound verdicts, so run() must refuse them."""
+        computation = DistributedComputation(2)
+        send = computation.add_event("P1", 1, "a")
+        recv = computation.add_event("P2", 3, "b")
+        computation.add_message(send, recv)
+        online = OnlineMonitor(parse("a U[0,6) b"), epsilon=2)
+        with pytest.raises(MonitorError, match="message edges"):
+            online.run(computation)
+        # the failed run leaves the streaming instance untouched
+        online.observe("P1", 1, "a")
+        assert online.pending == 1

@@ -74,6 +74,21 @@ class TestSegmentParallel:
         result = ParallelMonitor(spec, workers=4).run(DistributedComputation(2))
         assert result.verdict_counts == {False: 1}
 
+    def test_oversharding_bounds(self):
+        """Residual splitting produces at most 2x workers shards (so a
+        worker sees consecutive shards and can reuse the trace cache) and
+        preserves the carried multiset exactly."""
+        spec = parse("F[0,5) a")
+        orchestrator = ParallelMonitor(spec, workers=2)
+        carried = {parse(f"F[0,{5 + i}) a"): i + 1 for i in range(7)}
+        shards = orchestrator._shard_residuals(carried)
+        assert len(shards) == 4  # min(2 * workers, len(carried))
+        recombined: dict = {}
+        for shard in shards:
+            for residual, count in shard.items():
+                recombined[residual] = recombined.get(residual, 0) + count
+        assert recombined == carried
+
     def test_single_worker_never_forks(self, monkeypatch):
         import multiprocessing
 
