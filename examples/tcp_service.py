@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A TCP-backed monitoring pool: two worker agents, one service.
+
+Demonstrates the pluggable transport layer end-to-end on localhost —
+the same thing you would run across hosts by starting
+``scripts/run_worker_agent.py`` on each worker machine and listing
+``tcp://host:port`` endpoints from the client::
+
+    PYTHONPATH=src python examples/tcp_service.py
+
+The example spawns the agents itself (as separate OS processes, exactly
+like remote hosts would run them), drives a `submit_many` batch and a
+live session through the pool, and verifies the outcome matches a
+local-process pool bit-for-bit.
+"""
+
+from repro.distributed.computation import DistributedComputation
+from repro.mtl import parse
+from repro.service import MonitorService
+from repro.transport.agent import spawn_agent
+
+
+def build_computations():
+    fig3 = DistributedComputation.from_event_lists(
+        2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+    skewed = DistributedComputation.from_event_lists(
+        3,
+        {
+            "P1": [(0, "a"), (3, "a"), (6, ())],
+            "P2": [(1, ()), (4, "b")],
+            "P3": [(2, "a")],
+        },
+    )
+    return [fig3, skewed, fig3, skewed]
+
+
+def run_workload(service: MonitorService):
+    spec = parse("a U[0,6) b")
+    futures = service.submit_many(build_computations(), formula=spec, saturate=False)
+    report = service.gather(futures)
+    assert not report.errors, report.errors
+
+    session = service.open_session(parse("F[0,8) b"), epsilon=2)
+    for process, t, props in [("P1", 1, "a"), ("P2", 2, "a"), ("P1", 5, "b")]:
+        session.observe(process, t, props)
+    session.advance_to(4)
+    result = session.finish()
+    return report, result
+
+
+def main() -> int:
+    print("spawning two worker agents on localhost ...")
+    agents = [spawn_agent() for _ in range(2)]
+    endpoints = [f"tcp://{host}:{port}" for _, host, port in agents]
+    try:
+        print(f"pool endpoints: {endpoints}")
+        with MonitorService(endpoints=endpoints) as service:
+            print(f"worker pids over TCP: {service.worker_pids()}")
+            report, session_result = run_workload(service)
+            print(f"batch over TCP:   {report}")
+            print(f"session over TCP: {session_result.verdict_counts}")
+
+        with MonitorService(workers=2) as service:
+            local_report, local_session = run_workload(service)
+        assert [i.result.verdict_counts for i in report.items] == [
+            i.result.verdict_counts for i in local_report.items
+        ], "TCP and local pools disagree on the batch"
+        assert session_result.verdict_counts == local_session.verdict_counts, (
+            "TCP and local pools disagree on the session"
+        )
+        print("bit-identical to a local-process pool: ok")
+    finally:
+        for popen, _, _ in agents:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

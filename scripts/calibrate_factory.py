@@ -1,17 +1,12 @@
 #!/usr/bin/env python3
 """Measure the smt/fast crossover on this hardware and emit factory overrides.
 
-The ``kind="auto"`` heuristics in ``repro.monitor.factory`` ship with
-static thresholds (fast monitor below 120 events / epsilon 25).  The real
-crossover depends on the host: the fast monitor's memoized cut recursion
-explodes with events × skew window (on small containers it can hang where
-the static thresholds still say "fast"), while the segmented smt
-monitor's enumeration cost is budget-bounded.  This script times both
-engines along an event-count ladder (and an epsilon ladder at fixed
-events), guards every point with a wall-clock budget (an arm that blows
-the budget is recorded as a loss instead of hanging the sweep), finds
-where the segmented monitor starts winning, and writes a JSON report
-whose ``thresholds`` object the factory loads::
+CLI wrapper around :mod:`repro.monitor.calibration` (the measurement
+logic lives in the library so ``MonitorService(auto_calibrate=True)``
+can reuse it at startup).  Times both engines along event/epsilon
+ladders, guards every point with a wall-clock budget, finds where the
+segmented monitor starts winning, and writes a JSON report whose
+``thresholds`` object the factory loads::
 
     PYTHONPATH=src python scripts/calibrate_factory.py --output calibration.json
     # then either
@@ -28,134 +23,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
 import sys
-import time
 
-from repro.bench.workload import WorkloadSpec, formula_for, generate_workload, model_for_formula
-from repro.monitor.factory import _DEFAULT_THRESHOLDS, make_monitor
-
-#: The workload the ladders sweep (Fig 5d's pairing, scaled by the ladder).
-FORMULA_NAME = "phi4"
-PROCESSES = 2
-EVENT_RATE = 10.0
-WINDOW_MS = 600
-
-#: Enumeration budget for the smt arm — the same budget the benchmark
-#: suite uses, so the calibrated thresholds match production settings.
-TRACE_BUDGET = 400
-VERDICT_CAP = 4
-
-
-def _workload(events: int, epsilon: int):
-    return generate_workload(
-        WorkloadSpec(
-            model=model_for_formula(FORMULA_NAME),
-            processes=PROCESSES,
-            length_seconds=events / EVENT_RATE,
-            events_per_second=EVENT_RATE,
-            epsilon_ms=epsilon,
-        )
-    )
-
-
-def _probe_target(kind: str, events: int, epsilon: int, repeats: int, out) -> None:
-    """Child-process body: build the workload+engine, time it, report back."""
-    computation = _workload(events, epsilon)
-    formula = formula_for(FORMULA_NAME, PROCESSES, WINDOW_MS)
-    best = float("inf")
-    for _ in range(repeats):
-        if kind == "fast":
-            engine = make_monitor(formula, "fast")
-        else:
-            engine = make_monitor(
-                formula,
-                "smt",
-                event_count=len(computation),
-                max_traces_per_segment=TRACE_BUDGET,
-                max_distinct_per_segment=VERDICT_CAP,
-            )
-        started = time.perf_counter()
-        engine.run(computation)
-        best = min(best, time.perf_counter() - started)
-    out.put((len(computation), best))
-
-
-def probe(kind: str, events: int, epsilon: int, repeats: int, budget: float):
-    """Time one (engine, point) in a subprocess; None when over budget.
-
-    The budget guard is the whole point: the fast monitor's recursion can
-    exceed any reasonable wall-clock right where the calibration matters,
-    and a hung probe would otherwise hang the sweep.
-    """
-    ctx = multiprocessing.get_context()
-    out = ctx.Queue()
-    process = ctx.Process(
-        target=_probe_target, args=(kind, events, epsilon, repeats, out), daemon=True
-    )
-    process.start()
-    process.join(budget)
-    if process.is_alive():
-        process.terminate()
-        process.join(1.0)
-        return None, None
-    try:
-        actual_events, seconds = out.get(timeout=1.0)
-    except Exception:  # noqa: BLE001 - crashed probe == loss
-        return None, None
-    return actual_events, seconds
-
-
-def sweep(
-    axis: str, ladder: list[int], fixed: int, repeats: int, budget: float
-) -> list[dict]:
-    """Time both arms along one ladder; stop the fast arm after it dies."""
-    points = []
-    fast_dead = False
-    for value in ladder:
-        events, epsilon = (value, fixed) if axis == "events" else (fixed, value)
-        actual, smt_seconds = probe("smt", events, epsilon, repeats, budget)
-        if actual is None:
-            print(f"  {axis}={value}: smt over budget, skipping point", file=sys.stderr)
-            continue
-        fast_seconds = None
-        if not fast_dead:
-            _, fast_seconds = probe("fast", events, epsilon, repeats, budget)
-            fast_dead = fast_seconds is None
-        point = {
-            "events": actual,
-            "epsilon": epsilon,
-            axis: value,
-            "fast_seconds": None if fast_seconds is None else round(fast_seconds, 6),
-            "smt_seconds": round(smt_seconds, 6),
-        }
-        points.append(point)
-        fast_text = "over budget" if fast_seconds is None else f"{fast_seconds:.4f}s"
-        winner = "smt" if fast_seconds is None or fast_seconds > smt_seconds else "fast"
-        print(
-            f"  {axis}={value:>4}  fast {fast_text}  smt {smt_seconds:.4f}s  {winner} wins",
-            file=sys.stderr,
-        )
-    return points
-
-
-def crossover(points: list[dict], axis: str) -> int:
-    """Largest axis value where the fast monitor still wins (with margin).
-
-    The ladder is increasing; once the smt arm beats the fast arm (10%
-    noise margin) the recursion has left its sweet spot.  When fast never
-    wins, the limit collapses to just below the smallest measured point.
-    """
-    last_fast_win = None
-    for point in points:
-        fast = point["fast_seconds"]
-        if fast is not None and fast <= point["smt_seconds"] * 1.1:
-            last_fast_win = point[axis]
-        else:
-            break
-    if last_fast_win is None:
-        return max(1, points[0][axis] - 1) if points else 1
-    return last_fast_win
+from repro.monitor.calibration import run_calibration
 
 
 def main() -> int:
@@ -170,40 +40,17 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    if args.quick:
-        event_ladder = [6, 12, 20]
-        epsilon_ladder = [3, 7, 15]
-    else:
-        event_ladder = [6, 10, 14, 20, 30, 40, 60, 90, 120]
-        epsilon_ladder = [3, 5, 7, 11, 15, 21, 25]
-
-    # Small fixed epsilon for the event ladder (and small fixed events for
-    # the epsilon ladder) so each ladder isolates one axis of the AND'ed
-    # auto-selection condition.
-    print("event ladder (epsilon=5):", file=sys.stderr)
-    event_points = sweep("events", event_ladder, 5, args.repeats, args.budget)
-    print("epsilon ladder (~12 events):", file=sys.stderr)
-    epsilon_points = sweep("epsilon", epsilon_ladder, 12, args.repeats, args.budget)
-
-    thresholds = {
-        "fast_event_limit": crossover(event_points, "events"),
-        "fast_epsilon_limit": crossover(epsilon_points, "epsilon"),
-    }
-    report = {
-        "formula": FORMULA_NAME,
-        "trace_budget": TRACE_BUDGET,
-        "verdict_cap": VERDICT_CAP,
-        "probe_budget_seconds": args.budget,
-        "defaults": dict(_DEFAULT_THRESHOLDS),
-        "event_ladder": event_points,
-        "epsilon_ladder": epsilon_points,
-        "thresholds": thresholds,
-    }
+    report = run_calibration(
+        quick=args.quick,
+        repeats=args.repeats,
+        budget=args.budget,
+        log=lambda message: print(message, file=sys.stderr),
+    )
     text = json.dumps(report, indent=2)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
-        print(f"wrote {args.output}: thresholds={thresholds}", file=sys.stderr)
+        print(f"wrote {args.output}: thresholds={report['thresholds']}", file=sys.stderr)
     else:
         print(text)
     return 0

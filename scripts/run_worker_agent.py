@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Host monitor-service workers on this machine behind a TCP listener.
+
+Run one agent per core you want to lend to a pool, then point a
+:class:`~repro.service.MonitorService` at them from anywhere::
+
+    # on the worker host(s):
+    PYTHONPATH=src python scripts/run_worker_agent.py --host 0.0.0.0 --port 7701
+    PYTHONPATH=src python scripts/run_worker_agent.py --host 0.0.0.0 --port 7702
+
+    # on the client:
+    MonitorService(endpoints=["tcp://worker-host:7701", "tcp://worker-host:7702"])
+
+``--port 0`` binds an ephemeral port; the agent prints the bound address
+on stdout once it is accepting connections.  Each accepted connection is
+one logical worker (its own session registry); the agent serves until
+killed.  Thin wrapper over ``python -m repro.transport.agent``.
+
+WARNING: the protocol carries pickle payloads — any peer that can reach
+the port can run arbitrary code in the agent process.  Only bind
+``--host 0.0.0.0`` on a private network you control (or tunnel the
+port); see the trust-boundary note in ``repro.transport.agent``.
+"""
+
+from repro.transport.agent import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

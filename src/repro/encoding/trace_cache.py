@@ -14,13 +14,19 @@ enumerator when they run past it — so early-stopping consumers
 (``max_distinct`` truncation, verdict saturation) never force a full
 materialisation, and semantics match the uncached path trace-for-trace.
 
-The cache is process-local by design: worker processes are the unit of
-parallelism and fork/spawn gives each its own copy, so no locking is
-needed (engines drive enumeration from a single thread per process).
+The cache is thread-local by design: an engine drives enumeration from
+one thread, so giving each thread its own cache keeps the no-locking
+property even where several engines share a process — the TCP
+:class:`~repro.transport.agent.WorkerAgent` runs one executor thread
+per accepted connection, and two connections monitoring the same
+computation must not pull from one live generator concurrently
+(``ValueError: generator already executing``).  Threads simply don't
+share hits; worker processes remain the unit of parallelism.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, Iterator
 
@@ -60,9 +66,14 @@ class _CachedEnumeration:
             index += 1
 
 
-_cache: OrderedDict[Hashable, _CachedEnumeration] = OrderedDict()
-_hits = 0
-_misses = 0
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.cache: OrderedDict[Hashable, _CachedEnumeration] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+
+_state = _ThreadState()
 
 
 def shared_traces(
@@ -74,28 +85,26 @@ def shared_traces(
     segment events, epsilon, clamps, backend, budgets, carried valuation
     context (see ``SmtMonitor._segment_cache_key``).
     """
-    global _hits, _misses
-    entry = _cache.get(key)
+    entry = _state.cache.get(key)
     if entry is None:
-        _misses += 1
+        _state.misses += 1
         entry = _CachedEnumeration(factory())
-        _cache[key] = entry
-        while len(_cache) > MAX_ENTRIES:
-            _cache.popitem(last=False)
+        _state.cache[key] = entry
+        while len(_state.cache) > MAX_ENTRIES:
+            _state.cache.popitem(last=False)
     else:
-        _hits += 1
-        _cache.move_to_end(key)
+        _state.hits += 1
+        _state.cache.move_to_end(key)
     return entry.iterate()
 
 
 def cache_stats() -> dict[str, int]:
-    """Process-local ``{"hits", "misses", "entries"}`` counters."""
-    return {"hits": _hits, "misses": _misses, "entries": len(_cache)}
+    """This thread's ``{"hits", "misses", "entries"}`` counters."""
+    return {"hits": _state.hits, "misses": _state.misses, "entries": len(_state.cache)}
 
 
 def clear_cache() -> None:
-    """Drop all entries and reset the counters (tests, memory pressure)."""
-    global _hits, _misses
-    _cache.clear()
-    _hits = 0
-    _misses = 0
+    """Drop this thread's entries and counters (tests, memory pressure)."""
+    _state.cache.clear()
+    _state.hits = 0
+    _state.misses = 0

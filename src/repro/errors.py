@@ -55,6 +55,11 @@ class ServiceError(MonitorError):
     class covers failures of the service plumbing itself."""
 
 
+class CancelledError(ServiceError):
+    """The request's future was cancelled client-side before it resolved
+    (see :meth:`~repro.service.futures.MonitorFuture.cancel`)."""
+
+
 class ChainError(ReproError):
     """A simulated blockchain operation failed structurally (unknown
     contract, malformed transaction...)."""

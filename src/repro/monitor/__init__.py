@@ -6,6 +6,7 @@ unless you need engine-specific API.
 """
 
 from repro.monitor.baseline import EnumerationMonitor
+from repro.monitor.calibration import run_calibration
 from repro.monitor.factory import (
     apply_calibration,
     available_monitors,
@@ -41,5 +42,6 @@ __all__ = [
     "monitor",
     "register_monitor",
     "reset_calibration",
+    "run_calibration",
     "select_kind",
 ]

@@ -1,0 +1,216 @@
+"""Measured factory calibration: find the smt/fast crossover on this host.
+
+The ``kind="auto"`` heuristics in :mod:`repro.monitor.factory` ship with
+static thresholds (fast monitor below 120 events / epsilon 25).  The
+real crossover depends on the host: the fast monitor's memoized cut
+recursion explodes with events × skew window (on small containers it
+can hang where the static thresholds still say "fast"), while the
+segmented smt monitor's enumeration cost is budget-bounded.
+
+:func:`run_calibration` times both engines along an event-count ladder
+(and an epsilon ladder at fixed events), guards every point with a
+wall-clock budget (an arm that blows the budget is recorded as a loss
+instead of hanging the sweep — each probe runs in a subprocess so it can
+be killed), finds where the segmented monitor starts winning, and
+returns a JSON-serializable report whose ``"thresholds"`` object
+:func:`~repro.monitor.factory.apply_calibration` /
+:func:`~repro.monitor.factory.load_calibration` accept.
+
+Entry points:
+
+* ``scripts/calibrate_factory.py`` — the CLI (writes the report to a
+  file for ``REPRO_FACTORY_CALIBRATION``);
+* ``MonitorService(auto_calibrate=True)`` — runs the quick ladders at
+  service startup, before local workers fork, so the whole pool inherits
+  the measured thresholds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable
+
+from repro.bench.workload import (
+    WorkloadSpec,
+    formula_for,
+    generate_workload,
+    model_for_formula,
+)
+from repro.monitor.factory import _DEFAULT_THRESHOLDS, make_monitor
+
+#: The workload the ladders sweep (Fig 5d's pairing, scaled by the ladder).
+FORMULA_NAME = "phi4"
+PROCESSES = 2
+EVENT_RATE = 10.0
+WINDOW_MS = 600
+
+#: Enumeration budget for the smt arm — the same budget the benchmark
+#: suite uses, so the calibrated thresholds match production settings.
+TRACE_BUDGET = 400
+VERDICT_CAP = 4
+
+#: The full and quick ladder grids (quick: coarse but fast sanity pass).
+EVENT_LADDER = [6, 10, 14, 20, 30, 40, 60, 90, 120]
+EPSILON_LADDER = [3, 5, 7, 11, 15, 21, 25]
+QUICK_EVENT_LADDER = [6, 12, 20]
+QUICK_EPSILON_LADDER = [3, 7, 15]
+
+
+def _workload(events: int, epsilon: int):
+    return generate_workload(
+        WorkloadSpec(
+            model=model_for_formula(FORMULA_NAME),
+            processes=PROCESSES,
+            length_seconds=events / EVENT_RATE,
+            events_per_second=EVENT_RATE,
+            epsilon_ms=epsilon,
+        )
+    )
+
+
+def _probe_target(kind: str, events: int, epsilon: int, repeats: int, out) -> None:
+    """Child-process body: build the workload+engine, time it, report back."""
+    computation = _workload(events, epsilon)
+    formula = formula_for(FORMULA_NAME, PROCESSES, WINDOW_MS)
+    best = float("inf")
+    for _ in range(repeats):
+        if kind == "fast":
+            engine = make_monitor(formula, "fast")
+        else:
+            engine = make_monitor(
+                formula,
+                "smt",
+                event_count=len(computation),
+                max_traces_per_segment=TRACE_BUDGET,
+                max_distinct_per_segment=VERDICT_CAP,
+            )
+        started = time.perf_counter()
+        engine.run(computation)
+        best = min(best, time.perf_counter() - started)
+    out.put((len(computation), best))
+
+
+def probe(kind: str, events: int, epsilon: int, repeats: int, budget: float):
+    """Time one (engine, point) in a subprocess; None when over budget.
+
+    The budget guard is the whole point: the fast monitor's recursion can
+    exceed any reasonable wall-clock right where the calibration matters,
+    and a hung probe would otherwise hang the sweep.
+    """
+    ctx = multiprocessing.get_context()
+    out = ctx.Queue()
+    process = ctx.Process(
+        target=_probe_target, args=(kind, events, epsilon, repeats, out), daemon=True
+    )
+    process.start()
+    process.join(budget)
+    if process.is_alive():
+        process.terminate()
+        process.join(1.0)
+        return None, None
+    try:
+        actual_events, seconds = out.get(timeout=1.0)
+    except Exception:  # noqa: BLE001 - crashed probe == loss
+        return None, None
+    return actual_events, seconds
+
+
+def sweep(
+    axis: str,
+    ladder: list[int],
+    fixed: int,
+    repeats: int,
+    budget: float,
+    log: Callable[[str], None] | None = None,
+) -> list[dict]:
+    """Time both arms along one ladder; stop the fast arm after it dies."""
+    emit = log or (lambda message: None)
+    points = []
+    fast_dead = False
+    for value in ladder:
+        events, epsilon = (value, fixed) if axis == "events" else (fixed, value)
+        actual, smt_seconds = probe("smt", events, epsilon, repeats, budget)
+        if actual is None:
+            emit(f"  {axis}={value}: smt over budget, skipping point")
+            continue
+        fast_seconds = None
+        if not fast_dead:
+            _, fast_seconds = probe("fast", events, epsilon, repeats, budget)
+            fast_dead = fast_seconds is None
+        # "events" holds the *measured* count (generate_workload may emit
+        # more events than the requested ladder step, and select_kind
+        # compares thresholds against real len(computation)); the
+        # requested step rides along separately so nothing clobbers it.
+        point = {
+            "events": actual,
+            "epsilon": epsilon,
+            "requested": value,
+            "fast_seconds": None if fast_seconds is None else round(fast_seconds, 6),
+            "smt_seconds": round(smt_seconds, 6),
+        }
+        points.append(point)
+        fast_text = "over budget" if fast_seconds is None else f"{fast_seconds:.4f}s"
+        winner = "smt" if fast_seconds is None or fast_seconds > smt_seconds else "fast"
+        emit(
+            f"  {axis}={value:>4}  fast {fast_text}  smt {smt_seconds:.4f}s  {winner} wins"
+        )
+    return points
+
+
+def crossover(points: list[dict], axis: str) -> int:
+    """Largest axis value where the fast monitor still wins (with margin).
+
+    The ladder is increasing; once the smt arm beats the fast arm (10%
+    noise margin) the recursion has left its sweet spot.  When fast never
+    wins, the limit collapses to just below the smallest measured point.
+    """
+    last_fast_win = None
+    for point in points:
+        fast = point["fast_seconds"]
+        if fast is not None and fast <= point["smt_seconds"] * 1.1:
+            last_fast_win = point[axis]
+        else:
+            break
+    if last_fast_win is None:
+        return max(1, points[0][axis] - 1) if points else 1
+    return last_fast_win
+
+
+def run_calibration(
+    quick: bool = False,
+    repeats: int = 2,
+    budget: float = 5.0,
+    log: Callable[[str], None] | None = None,
+) -> dict:
+    """Run both ladders and build the calibration report.
+
+    ``budget`` bounds each probe's wall-clock (seconds); ``quick`` uses
+    the coarse ladders.  The returned report carries the measured points
+    and a ``"thresholds"`` dict ready for
+    :func:`~repro.monitor.factory.apply_calibration`.
+    """
+    emit = log or (lambda message: None)
+    event_ladder = QUICK_EVENT_LADDER if quick else EVENT_LADDER
+    epsilon_ladder = QUICK_EPSILON_LADDER if quick else EPSILON_LADDER
+    # Small fixed epsilon for the event ladder (and small fixed events for
+    # the epsilon ladder) so each ladder isolates one axis of the AND'ed
+    # auto-selection condition.
+    emit("event ladder (epsilon=5):")
+    event_points = sweep("events", event_ladder, 5, repeats, budget, log)
+    emit("epsilon ladder (~12 events):")
+    epsilon_points = sweep("epsilon", epsilon_ladder, 12, repeats, budget, log)
+    thresholds = {
+        "fast_event_limit": crossover(event_points, "events"),
+        "fast_epsilon_limit": crossover(epsilon_points, "epsilon"),
+    }
+    return {
+        "formula": FORMULA_NAME,
+        "trace_budget": TRACE_BUDGET,
+        "verdict_cap": VERDICT_CAP,
+        "probe_budget_seconds": budget,
+        "defaults": dict(_DEFAULT_THRESHOLDS),
+        "event_ladder": event_points,
+        "epsilon_ladder": epsilon_points,
+        "thresholds": thresholds,
+    }

@@ -88,6 +88,7 @@ class ParallelMonitor:
         workers: int | None = None,
         chunksize: int | None = None,
         min_shard_residuals: int = 2,
+        endpoints: Sequence[object] | None = None,
         **monitor_kwargs,
     ) -> None:
         if workers is not None and workers < 1:
@@ -98,7 +99,15 @@ class ParallelMonitor:
             )
         self._formula = formula
         self._kind = monitor
-        self._workers = workers if workers is not None else default_workers()
+        self._endpoints = list(endpoints) if endpoints is not None else None
+        if self._endpoints is not None:
+            if workers is not None and workers != len(self._endpoints):
+                raise MonitorError(
+                    f"workers={workers} contradicts the {len(self._endpoints)} endpoints"
+                )
+            self._workers = len(self._endpoints)
+        else:
+            self._workers = workers if workers is not None else default_workers()
         self._chunksize = chunksize
         self._min_shard = min_shard_residuals
         self._monitor_kwargs = dict(monitor_kwargs)
@@ -126,6 +135,16 @@ class ParallelMonitor:
         """
         computations = list(computations)
         workers = min(self._workers, max(1, len(computations)))
+        if self._endpoints is not None:
+            # An explicit endpoint list is the pool: use it as given
+            # (remote agents cost nothing extra to include for one item).
+            with MonitorService(
+                endpoints=self._endpoints,
+                formula=self._formula,
+                monitor=self._kind,
+                **self._monitor_kwargs,
+            ) as service:
+                return service.map(computations)
         if workers <= 1 or len(computations) <= 1:
             started = time.perf_counter()
             items = [
@@ -197,10 +216,15 @@ class ParallelMonitor:
             )
             for shard in shards
         ]
-        if len(tasks) == 1:
+        if len(tasks) == 1 and self._endpoints is None:
             shard_results = [run_segment_shard(tasks[0])]
         else:
-            with MonitorService(workers=min(self._workers, len(tasks))) as service:
+            pool = (
+                {"endpoints": self._endpoints}
+                if self._endpoints is not None
+                else {"workers": min(self._workers, len(tasks))}
+            )
+            with MonitorService(**pool) as service:
                 futures = [service.submit_shard(task) for task in tasks]
                 shard_results = [future.result() for future in futures]
         for shard_result in shard_results:

@@ -8,6 +8,11 @@ Public surface::
         session = svc.open_session(spec, epsilon=2)      # live stream
         session.observe("P1", 3, {"a"}); session.advance_to(10)
         result = session.finish()
+
+Workers live behind the pluggable transport layer
+(:mod:`repro.transport`): the default pool spawns local processes, and
+``MonitorService(endpoints=["tcp://host:7701", "local", ...])`` mixes
+remote worker agents into the same pool.
 """
 
 from repro.service.futures import MonitorFuture

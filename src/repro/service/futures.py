@@ -34,7 +34,19 @@ class MonitorFuture:
     :func:`raise_remote` for the mapping).
     """
 
-    __slots__ = ("_event", "_payload", "_error", "_callbacks", "_lock")
+    __slots__ = (
+        "_event",
+        "_payload",
+        "_error",
+        "_callbacks",
+        "_lock",
+        "_cancelled",
+        "cancel_hook",
+        "task_index",
+    )
+
+    #: The error string a client-side cancellation resolves with.
+    CANCEL_MESSAGE = "CancelledError: cancelled by caller"
 
     def __init__(self) -> None:
         self._event = threading.Event()
@@ -42,6 +54,15 @@ class MonitorFuture:
         self._error: str | None = None
         self._callbacks: list[Callable[[], None]] = []
         self._lock = threading.Lock()
+        self._cancelled = False
+        #: Set by the service: best-effort propagation of a cancel to the
+        #: worker (a ``drop`` control frame).
+        self.cancel_hook: Callable[[], None] | None = None
+        #: Set by batch submits: the ``BatchItem.index`` this request
+        #: carries, so ``gather`` can label a future that never reached
+        #: the worker (cancelled, transport failure) consistently with
+        #: the items that did.
+        self.task_index: int | None = None
 
     def done(self) -> bool:
         """True once the worker has responded (successfully or not)."""
@@ -51,6 +72,36 @@ class MonitorFuture:
     def error(self) -> str | None:
         """The captured error string, or None (only meaningful once done)."""
         return self._error
+
+    @property
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` won the race against the response."""
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the request client-side (best-effort worker-side).
+
+        A future that has not resolved yet resolves immediately with
+        :class:`~repro.errors.CancelledError`; the worker is asked (via
+        the service's drop frame) to skip the request if it has not
+        executed it.  Returns True when the cancel won — an
+        already-resolved future cannot be cancelled (False), and
+        repeated cancels keep returning the first outcome.
+        """
+        with self._lock:
+            if self._event.is_set():
+                return self._cancelled
+            hook = self.cancel_hook
+        self.resolve(None, self.CANCEL_MESSAGE)
+        won = self._error == self.CANCEL_MESSAGE
+        if won:
+            self._cancelled = True
+            if hook is not None:
+                try:
+                    hook()
+                except Exception:  # noqa: BLE001 — cancel must stay best-effort
+                    pass
+        return won
 
     def result(self, timeout: float | None = None) -> Any:
         """Block until resolved; return the payload or raise the error."""

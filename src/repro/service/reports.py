@@ -34,7 +34,17 @@ class BatchReport:
 
     @property
     def errors(self) -> list[tuple[int, str]]:
-        return [(item.index, item.error) for item in self.items if not item.ok]
+        """Failed items (cancelled ones excluded — they were asked for)."""
+        return [
+            (item.index, item.error)
+            for item in self.items
+            if not item.ok and not item.cancelled
+        ]
+
+    @property
+    def cancelled_items(self) -> list[BatchItem]:
+        """Items whose futures were cancelled before they resolved."""
+        return [item for item in self.items if item.cancelled]
 
     @property
     def results(self) -> list[MonitorResult | None]:
@@ -69,6 +79,8 @@ class BatchReport:
     def __str__(self) -> str:
         totals = self.verdict_totals
         parts = [f"{len(self.ok_items)}/{len(self.items)} ok"]
+        if self.cancelled_items:
+            parts.append(f"{len(self.cancelled_items)} cancelled")
         if totals:
             parts.append(
                 "verdicts " + " ".join(

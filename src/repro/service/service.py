@@ -6,57 +6,75 @@ monitor, tear the pool down) pay the fork tax on every batch and cannot
 hold streaming state at all.  :class:`MonitorService` is the server core
 that fixes both:
 
-* **Pool lifecycle** — ``workers`` processes are spawned once (at
-  construction) and reused for every subsequent call; ``close()`` (or the
-  context manager) drains and joins them.  Each worker has a private FIFO
-  inbox; one shared outbox feeds a dispatcher thread in the client
-  process that resolves :class:`~repro.service.futures.MonitorFuture`\\ s.
+* **Pool lifecycle over pluggable transports** — each worker endpoint is
+  a :class:`~repro.transport.Transport` (the default ``workers=N``
+  spawns N local processes; ``endpoints=[...]`` mixes local workers and
+  remote :class:`~repro.transport.agent.WorkerAgent` hosts in one pool).
+  The service itself speaks only the transport interface: requests go
+  out through :meth:`~repro.transport.Connection.send`, responses come
+  back on backend reader threads, and liveness (process health locally,
+  heartbeat recency over TCP) is the backend's verdict — the service
+  just reaps endpoints whose connection reports dead and fails their
+  futures with :class:`~repro.errors.ServiceError`.
 
 * **Async batch API** — :meth:`submit` ships one computation and returns
   a future immediately; :meth:`submit_many` fans a sequence out;
   :meth:`map` blocks and aggregates a
   :class:`~repro.service.reports.BatchReport` (ordered items, per-item
-  error capture) compatible with the existing bench wiring.
-  Backpressure: at most ``max_in_flight`` batch items may be unresolved —
-  further submits block until the pool catches up, so an unbounded
-  producer cannot exhaust memory.
+  error capture, cancelled items marked).  Backpressure: at most
+  ``max_in_flight`` batch items may be unresolved — further submits
+  block until the pool catches up.  Futures support best-effort
+  :meth:`~repro.service.futures.MonitorFuture.cancel`.
 
 * **Session API** — :meth:`open_session` pins a live
   :class:`~repro.monitor.online.OnlineMonitor` stream to a worker
-  (sharded by session id, or by an explicit affinity ``key``) and returns
-  a :class:`~repro.service.session.Session` handle
-  (``observe``/``advance_to``/``poll``/``finish``).  Many sessions
-  multiplex over the same pool and progress in parallel; requests for one
-  session stay strictly ordered on its worker's inbox.
+  (sharded by session id, by an explicit affinity ``key``, or by
+  ``placement="least_loaded"`` from per-endpoint outstanding-request
+  depth) and returns a :class:`~repro.service.session.Session` handle.
+  Requests for one session stay strictly ordered on its endpoint.
 
 Usage::
 
-    with MonitorService(workers=4) as svc:
+    with MonitorService(workers=4) as svc:                # local pool
         report = svc.map(computations, formula=spec)      # batch surface
         session = svc.open_session(spec, epsilon=2)       # streaming surface
         session.observe("apricot", 3, {"apr.escrow(alice)"})
         session.advance_to(10)
         result = session.finish()
+
+    MonitorService(endpoints=["local", "tcp://10.0.0.7:7701"])  # mixed pool
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
 import threading
 import time
 import zlib
-from multiprocessing import connection
 from typing import Sequence
 
 from repro.distributed.computation import DistributedComputation
-from repro.errors import MonitorError, ReproError, ServiceError
+from repro.errors import CancelledError, MonitorError, ReproError, ServiceError
 from repro.mtl.ast import Formula
 from repro.service.futures import MonitorFuture
 from repro.service.reports import BatchReport
 from repro.service.session import Session
 from repro.service.tasks import BatchItem, MonitorTask, SegmentShardTask
-from repro.service.worker import Request, Response, service_worker_loop
+from repro.transport import (
+    CONTROL_ID,
+    Connection,
+    LocalTransport,
+    Request,
+    Response,
+    Transport,
+    resolve_transport,
+)
+
+#: How often the liveness thread polls each connection's own verdict.
+LIVENESS_POLL_SECONDS = 0.25
+
+#: Session placement policies accepted by :meth:`MonitorService.open_session`.
+PLACEMENTS = ("hash", "least_loaded")
 
 
 def default_workers() -> int:
@@ -73,7 +91,9 @@ class MonitorService:
     Parameters
     ----------
     workers:
-        Pool size; ``None`` picks :func:`default_workers`.
+        Pool size for the default all-local pool; ``None`` picks
+        :func:`default_workers`.  Ignored (must match, if given) when
+        ``endpoints`` is passed.
     formula:
         Default specification for :meth:`submit`/:meth:`map` (overridable
         per call).  Sessions always pass their formula explicitly.
@@ -84,6 +104,18 @@ class MonitorService:
     max_in_flight:
         Backpressure bound on unresolved batch items; ``None`` derives
         ``workers * 4``.
+    endpoints:
+        Explicit worker endpoints: each entry is a
+        :class:`~repro.transport.Transport`, ``"local"``, or a TCP
+        address (``"tcp://host:port"``).  Backends mix freely.
+    auto_calibrate:
+        Run a budgeted engine-crossover probe at startup and apply the
+        measured thresholds to the ``kind="auto"`` factory (see
+        :mod:`repro.monitor.calibration`).  Runs *before* local workers
+        spawn so they inherit the thresholds; remote agents keep their
+        own (calibrate on their host via ``REPRO_FACTORY_CALIBRATION``).
+    auto_calibrate_budget:
+        Wall-clock budget per calibration probe, seconds.
     **monitor_kwargs:
         Default engine knobs for batch items (``segments=``, budgets, ...),
         merged with per-call overrides.
@@ -95,11 +127,25 @@ class MonitorService:
         formula: Formula | None = None,
         monitor: str = "auto",
         max_in_flight: int | None = None,
+        endpoints: Sequence[Transport | str] | None = None,
+        auto_calibrate: bool = False,
+        auto_calibrate_budget: float = 1.0,
         **monitor_kwargs,
     ) -> None:
-        if workers is not None and workers < 1:
-            raise MonitorError(f"workers must be >= 1, got {workers}")
-        self._workers = workers if workers is not None else default_workers()
+        if endpoints is not None:
+            transports = [resolve_transport(spec) for spec in endpoints]
+            if not transports:
+                raise MonitorError("endpoints must name at least one worker")
+            if workers is not None and workers != len(transports):
+                raise MonitorError(
+                    f"workers={workers} contradicts the {len(transports)} endpoints"
+                )
+        else:
+            if workers is not None and workers < 1:
+                raise MonitorError(f"workers must be >= 1, got {workers}")
+            count = workers if workers is not None else default_workers()
+            transports = [LocalTransport() for _ in range(count)]
+        self._workers = len(transports)
         if max_in_flight is None:
             max_in_flight = self._workers * 4
         if max_in_flight < 1:
@@ -108,6 +154,33 @@ class MonitorService:
         self._formula = formula
         self._kind = monitor
         self._monitor_kwargs = dict(monitor_kwargs)
+
+        self.calibration_report: dict | None = None
+        self._calibration_path: str | None = None
+        if auto_calibrate:
+            # Before any local worker starts, so the pool inherits the
+            # measured thresholds whatever the start method: forked
+            # children copy the applied table directly, spawned children
+            # re-import the factory and pick the report up through the
+            # calibration env hook set below.
+            import json
+            import os
+            import tempfile
+
+            from repro.monitor.calibration import run_calibration
+            from repro.monitor.factory import CALIBRATION_ENV_VAR, apply_calibration
+
+            self.calibration_report = run_calibration(
+                quick=True, repeats=1, budget=auto_calibrate_budget
+            )
+            apply_calibration(self.calibration_report["thresholds"])
+            handle = tempfile.NamedTemporaryFile(
+                "w", prefix="repro-calibration-", suffix=".json", delete=False
+            )
+            with handle:
+                json.dump(self.calibration_report, handle)
+            self._calibration_path = handle.name
+            os.environ[CALIBRATION_ENV_VAR] = handle.name
 
         self._closed = False
         self._lock = threading.Lock()
@@ -120,31 +193,29 @@ class MonitorService:
         self._sessions: dict[int, Session] = {}
         self._inflight = threading.BoundedSemaphore(max_in_flight)
 
-        ctx = multiprocessing.get_context()
-        self._inboxes = []
-        self._processes = []
-        self._response_readers = {}  # reader connection -> worker index
-        for index in range(self._workers):
-            inbox = ctx.Queue()
-            # One response pipe per worker: a single writer per pipe means
-            # no lock is shared across workers, so one worker dying
-            # mid-write cannot wedge the others (a shared queue could).
-            reader, writer = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=service_worker_loop,
-                args=(index, inbox, writer),
-                daemon=True,
-                name=f"monitor-service-{index}",
-            )
-            process.start()
-            writer.close()  # child keeps its copy; EOF then tracks its life
-            self._inboxes.append(inbox)
-            self._processes.append(process)
-            self._response_readers[reader] = index
-        self._dispatcher = threading.Thread(
-            target=self._drain_responses, name="monitor-service-dispatcher", daemon=True
+        self._connections: list[Connection] = []
+        self._send_locks = [threading.Lock() for _ in transports]
+        try:
+            for index, transport in enumerate(transports):
+                self._connections.append(
+                    transport.open(
+                        self._make_on_response(index),
+                        self._make_on_disconnect(index),
+                    )
+                )
+        except BaseException:
+            # Any spawn/connect failure (not just ServiceError — queue and
+            # pipe creation raise raw OSError under fd pressure) must tear
+            # down the workers already opened, or they leak unjoinable.
+            for connection in self._connections:
+                connection.close(timeout=1.0)
+            self._cleanup_calibration_artifacts()
+            raise
+        self._liveness_stop = threading.Event()
+        self._liveness = threading.Thread(
+            target=self._liveness_loop, name="monitor-service-liveness", daemon=True
         )
-        self._dispatcher.start()
+        self._liveness.start()
 
     # -- introspection -------------------------------------------------------------
 
@@ -165,8 +236,20 @@ class MonitorService:
         """Live sessions currently tracked by this client."""
         return len(self._sessions)
 
+    def endpoints(self) -> list[str]:
+        """Endpoint description of every pool worker, by index."""
+        return [connection.endpoint for connection in self._connections]
+
+    def endpoint(self, worker_index: int) -> str:
+        return self._connections[worker_index].endpoint
+
+    def outstanding(self) -> list[int]:
+        """Per-endpoint outstanding-request depth (the placement signal)."""
+        with self._lock:
+            return list(self._outstanding)
+
     def worker_pids(self) -> list[int]:
-        """PID of every pool worker (round-trips a ping through each inbox)."""
+        """PID of every pool worker (round-trips a ping through each endpoint)."""
         futures = [self._send(index, "ping", None) for index in range(self._workers)]
         return [future.result()[0] for future in futures]
 
@@ -184,7 +267,8 @@ class MonitorService:
         Blocks only when ``max_in_flight`` batch items are already
         unresolved (backpressure).  Engine failures are captured *inside*
         the item (``BatchItem.error``), so ``result()`` raises only on
-        transport-level trouble.
+        transport-level trouble.  The returned future supports
+        best-effort :meth:`~repro.service.futures.MonitorFuture.cancel`.
         """
         self._ensure_open()
         task = MonitorTask(
@@ -200,6 +284,7 @@ class MonitorService:
         except BaseException:
             self._inflight.release()
             raise
+        future.task_index = index
         future.add_done_callback(self._inflight.release)
         return future
 
@@ -224,16 +309,32 @@ class MonitorService:
         """Monitor every computation and aggregate a :class:`BatchReport`.
 
         The blocking counterpart of :meth:`submit_many`: items come back
-        in input order with per-item error capture; wall-clock spans the
-        whole batch including queueing.
+        in input order with per-item error capture (cancelled futures
+        become cancelled items); wall-clock spans the whole batch
+        including queueing.
         """
         started = time.perf_counter()
         futures = self.submit_many(computations, formula, **overrides)
+        return self._gather(futures, started)
+
+    def gather(self, futures: Sequence[MonitorFuture]) -> BatchReport:
+        """Block on a batch of :meth:`submit` futures and aggregate them.
+
+        The tail half of :meth:`map`, usable directly when futures were
+        handed out first (e.g. so some could be
+        :meth:`~repro.service.futures.MonitorFuture.cancel`\\ led):
+        items come back ordered by ``BatchItem.index``, cancelled futures
+        become cancelled items, and wall-clock spans this call.
+        """
+        return self._gather(list(futures), time.perf_counter())
+
+    def _gather(self, futures: list[MonitorFuture], started: float) -> BatchReport:
         items: list[BatchItem] = []
-        for index, future in enumerate(futures):
+        for position, future in enumerate(futures):
             try:
                 items.append(future.result())
             except ReproError as exc:  # transport failure: keep the batch shape
+                index = future.task_index if future.task_index is not None else position
                 items.append(
                     BatchItem(
                         index=index,
@@ -241,6 +342,7 @@ class MonitorService:
                         error=f"{type(exc).__name__}: {exc}",
                         seconds=0.0,
                         worker=0,
+                        cancelled=isinstance(exc, CancelledError) or future.cancelled,
                     )
                 )
         wall = time.perf_counter() - started
@@ -261,22 +363,39 @@ class MonitorService:
         formula: Formula,
         epsilon: int,
         key: str | None = None,
+        placement: str = "hash",
         **monitor_kwargs,
     ) -> Session:
         """Open one live monitoring stream, pinned to a pool worker.
 
-        Sessions shard across workers by id (or by ``zlib.crc32(key)``
-        when an affinity ``key`` is given — streams sharing a key land on
-        the same worker).  ``monitor_kwargs`` go to the worker-side
+        Placement policies:
+
+        * ``"hash"`` (default) — shard by session id, or by
+          ``zlib.crc32(key)`` when an affinity ``key`` is given (streams
+          sharing a key land on the same worker).
+        * ``"least_loaded"`` — pin to the live endpoint with the fewest
+          outstanding requests at open time (skewed feed mixes stop
+          piling onto one worker).  Incompatible with ``key``: an
+          affinity key *is* a placement.
+
+        ``monitor_kwargs`` go to the worker-side
         :class:`~repro.monitor.online.OnlineMonitor`
         (``max_traces_per_segment=``, ``backend=``, ...).
         """
         self._ensure_open()
+        if placement not in PLACEMENTS:
+            raise MonitorError(
+                f"unknown placement {placement!r}; known: {', '.join(PLACEMENTS)}"
+            )
+        if key is not None and placement == "least_loaded":
+            raise MonitorError("pass either an affinity key or placement='least_loaded'")
         session_id = next(self._session_ids)
-        if key is None:
-            worker_index = session_id % self._workers
-        else:
+        if key is not None:
             worker_index = zlib.crc32(key.encode()) % self._workers
+        elif placement == "least_loaded":
+            worker_index = self._pick_worker()
+        else:
+            worker_index = session_id % self._workers
         self._send(
             worker_index,
             "session_open",
@@ -298,39 +417,58 @@ class MonitorService:
     def close(self, timeout: float = 10.0) -> None:
         """Drain the pool and shut it down (idempotent).
 
-        Workers finish everything already queued (FIFO) before they see
-        the shutdown sentinel, *bounded by* ``timeout`` seconds: a
-        backlog that outlives the deadline is cut short (workers are
-        terminated) and its unresolved futures fail with
-        :class:`~repro.errors.ServiceError`.  Callers who must not lose
-        queued work should ``result()`` their futures before closing, or
-        pass a ``timeout`` sized to the backlog.
+        Each endpoint finishes everything already sent (requests on one
+        connection execute FIFO) *bounded by* ``timeout`` seconds: a
+        backlog that outlives the deadline is cut short and its
+        unresolved futures fail with :class:`~repro.errors.ServiceError`.
+        Callers who must not lose queued work should ``result()`` their
+        futures before closing, or pass a ``timeout`` sized to the
+        backlog.  Remote agents outlive the service — closing only
+        releases their connections.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for index, inbox in enumerate(self._inboxes):
-            if not self._dead[index]:
-                inbox.put(None)
+        self._liveness_stop.set()
         deadline = time.monotonic() + timeout
-        for process in self._processes:
-            process.join(max(0.1, deadline - time.monotonic()))
-            if process.is_alive():
-                process.terminate()
-                process.join(1.0)
-        # Workers close their pipe ends as they exit; the dispatcher
-        # drains any buffered responses, sees EOF everywhere, and stops.
-        self._dispatcher.join(timeout)
+        for index, connection in enumerate(self._connections):
+            if self._dead[index]:
+                connection.close(timeout=0.0)
+            else:
+                connection.close(max(0.1, deadline - time.monotonic()))
+        self._liveness.join(timeout=1.0)
         with self._lock:
             leftovers = list(self._futures.values())
             self._futures.clear()
             self._request_to_worker.clear()
         for future in leftovers:
             future.resolve(None, "ServiceError: service closed before completion")
-        for inbox in self._inboxes:
-            inbox.close()
         self._sessions.clear()
+        self._cleanup_calibration_artifacts()
+
+    def _cleanup_calibration_artifacts(self) -> None:
+        """Remove the auto-calibration temp report and env hook.
+
+        The hook exists only so workers spawned by *this* service load
+        the measured thresholds; leaving it behind would silently
+        calibrate every later subprocess in the host application.  The
+        env var is cleared only if it still points at our file (the
+        caller may have set their own since).
+        """
+        if self._calibration_path is None:
+            return
+        import os
+
+        from repro.monitor.factory import CALIBRATION_ENV_VAR
+
+        if os.environ.get(CALIBRATION_ENV_VAR) == self._calibration_path:
+            del os.environ[CALIBRATION_ENV_VAR]
+        try:
+            os.remove(self._calibration_path)
+        except OSError:
+            pass
+        self._calibration_path = None
 
     def __enter__(self) -> "MonitorService":
         return self
@@ -353,7 +491,7 @@ class MonitorService:
             raise ServiceError("monitor service is closed")
 
     def _pick_worker(self) -> int:
-        """Least-outstanding live worker (ties break toward lower index)."""
+        """Least-outstanding live endpoint (ties break toward lower index)."""
         with self._lock:
             alive = [i for i in range(self._workers) if not self._dead[i]]
             if not alive:
@@ -362,73 +500,97 @@ class MonitorService:
 
     def _send(self, worker_index: int, op: str, payload) -> MonitorFuture:
         future = MonitorFuture()
-        with self._lock:
-            if self._closed:
-                raise ServiceError("monitor service is closed")
-            if self._dead[worker_index]:
-                raise ServiceError(f"service worker {worker_index} has died")
-            request_id = next(self._request_ids)
-            self._futures[request_id] = future
-            self._request_to_worker[request_id] = worker_index
-            self._outstanding[worker_index] += 1
-        self._inboxes[worker_index].put(Request(request_id, op, payload))
+        # The per-endpoint lock spans id allocation *and* the send, so
+        # request ids reach one connection in increasing order even under
+        # concurrent submitters — the invariant the worker's drop
+        # high-water mark relies on.  It never nests inside self._lock.
+        with self._send_locks[worker_index]:
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("monitor service is closed")
+                if self._dead[worker_index]:
+                    raise ServiceError(
+                        f"service worker {worker_index} "
+                        f"({self._connections[worker_index].endpoint}) has died"
+                    )
+                request_id = next(self._request_ids)
+                self._futures[request_id] = future
+                self._request_to_worker[request_id] = worker_index
+                self._outstanding[worker_index] += 1
+            try:
+                self._connections[worker_index].send(Request(request_id, op, payload))
+            except BaseException:
+                # Any send failure — transport trouble (ServiceError) or a
+                # payload the codec refuses to serialize (TypeError, ...) —
+                # must unwind the bookkeeping, or the leaked outstanding
+                # count would bias placement against a healthy worker forever.
+                with self._lock:
+                    self._futures.pop(request_id, None)
+                    if self._request_to_worker.pop(request_id, None) is not None:
+                        self._outstanding[worker_index] -= 1
+                raise
+        future.cancel_hook = lambda: self._drop_request(worker_index, request_id)
         return future
 
-    def _drain_responses(self) -> None:
-        """Multiplex every worker's response pipe until all close.
+    def _drop_request(self, worker_index: int, request_id: int) -> None:
+        """Best-effort ``drop`` control frame behind ``MonitorFuture.cancel``.
 
-        ``connection.wait`` wakes on readable data *or* EOF; EOF means the
-        worker exited (cleanly at shutdown, or killed) and immediately
-        retires it via :meth:`_retire_worker` — buffered responses are
-        always drained before the EOF is seen, so queued work that
-        finished before a shutdown still resolves.
+        The worker skips the request if it has not executed yet and
+        acknowledges with a ``CancelledError`` response either way, so
+        the outstanding bookkeeping settles through the normal path.
         """
-        while self._response_readers:
-            ready = connection.wait(list(self._response_readers), timeout=0.5)
-            if not ready:
-                self._reap_dead_workers()
-                continue
-            for reader in ready:
-                try:
-                    response: Response = reader.recv()
-                except (EOFError, OSError):
-                    self._retire_worker(reader)
-                    continue
-                with self._lock:
-                    future = self._futures.pop(response.request_id, None)
-                    worker_index = self._request_to_worker.pop(response.request_id, None)
-                    if worker_index is not None:
-                        self._outstanding[worker_index] -= 1
-                if future is not None:
-                    future.resolve(response.payload, response.error)
+        try:
+            self._connections[worker_index].send(
+                Request(CONTROL_ID, "drop", request_id)
+            )
+        except ServiceError:
+            pass  # peer already gone: its reaping settles the books
 
-    def _retire_worker(self, reader) -> None:
-        """Drop a worker whose response pipe hit EOF; fail its futures."""
-        index = self._response_readers.pop(reader, None)
-        reader.close()
-        if index is None or self._closed:
-            return
-        self._fail_worker_futures([index])
+    def _make_on_response(self, worker_index: int):
+        def on_response(response: Response) -> None:
+            with self._lock:
+                future = self._futures.pop(response.request_id, None)
+                if self._request_to_worker.pop(response.request_id, None) is not None:
+                    self._outstanding[worker_index] -= 1
+            if future is not None:
+                future.resolve(response.payload, response.error)
 
-    def _reap_dead_workers(self) -> None:
-        """Belt-and-braces liveness poll behind the EOF-based detection."""
-        if self._closed:
-            return
-        newly_dead = [
-            index
-            for index, process in enumerate(self._processes)
-            if not self._dead[index] and not process.is_alive()
-        ]
-        if newly_dead:
-            self._fail_worker_futures(newly_dead)
+        return on_response
+
+    def _make_on_disconnect(self, worker_index: int):
+        def on_disconnect() -> None:
+            if not self._closed:
+                self._fail_worker_futures([worker_index])
+
+        return on_disconnect
+
+    def _liveness_loop(self) -> None:
+        """Reap endpoints whose connection reports dead.
+
+        Backends push the fast signal themselves (pipe EOF, socket EOF,
+        heartbeat timeout → ``on_disconnect``); this poll is the
+        belt-and-braces sweep behind it, asking each connection's own
+        :meth:`~repro.transport.Connection.alive` verdict.
+        """
+        while not self._liveness_stop.wait(LIVENESS_POLL_SECONDS):
+            if self._closed:
+                return
+            newly_dead = [
+                index
+                for index, connection in enumerate(self._connections)
+                if not self._dead[index] and not connection.alive()
+            ]
+            if newly_dead and not self._closed:
+                self._fail_worker_futures(newly_dead)
 
     def _fail_worker_futures(self, worker_indices: list[int]) -> None:
-        """Mark workers dead and fail their outstanding futures.
+        """Mark endpoints dead and fail their outstanding futures.
 
-        Without this, a worker lost to an OOM-kill or crash would leave
-        its callers blocked in ``result()`` forever; instead their
-        futures fail with :class:`~repro.errors.ServiceError` and the
-        worker is excluded from further placement.
+        Without this, a worker lost to an OOM-kill, crash, or network
+        partition would leave its callers blocked in ``result()``
+        forever; instead their futures fail with
+        :class:`~repro.errors.ServiceError` and the endpoint is excluded
+        from further placement.
         """
         orphans: list[tuple[int, MonitorFuture]] = []
         with self._lock:
@@ -444,5 +606,6 @@ class MonitorService:
         for worker_index, future in orphans:
             future.resolve(
                 None,
-                f"ServiceError: service worker {worker_index} died before responding",
+                f"ServiceError: service worker {worker_index} "
+                f"({self._connections[worker_index].endpoint}) died before responding",
             )

@@ -75,6 +75,12 @@ class Session:
         return self._worker
 
     @property
+    def endpoint(self) -> str:
+        """Transport endpoint of the worker hosting this stream
+        (``local[i]`` or ``tcp://host:port``)."""
+        return self._service.endpoint(self._worker)
+
+    @property
     def formula(self) -> Formula:
         return self._formula
 

@@ -37,13 +37,14 @@ class MonitorTask:
 
 @dataclass
 class BatchItem:
-    """The outcome of one batch item (result *or* captured error)."""
+    """The outcome of one batch item (result, captured error, or cancel)."""
 
     index: int
     result: MonitorResult | None
     error: str | None
     seconds: float
     worker: int
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:

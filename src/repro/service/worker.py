@@ -1,21 +1,31 @@
-"""The service pool's worker process: one loop, many sessions.
+"""The service pool's worker side: request execution, transport-agnostic.
 
-Each worker owns a private inbox queue (so requests for one session are
-processed strictly in submission order) and shares one outbox with the
-whole pool.  Besides one-shot batch/shard tasks it keeps a registry of
-live :class:`~repro.monitor.online.OnlineMonitor` instances — the
-server-side half of the session API — keyed by session id.
+:class:`RequestExecutor` is the server half of the service protocol —
+it owns one connection's worker state (the registry of live
+:class:`~repro.monitor.online.OnlineMonitor` sessions plus the set of
+dropped request ids) and turns one :class:`~repro.transport.frames.Request`
+into one :class:`~repro.transport.frames.Response`.  Both transport
+backends host it: :func:`service_worker_loop` runs it in a
+``multiprocessing`` child for the local backend, and
+:class:`~repro.transport.agent.WorkerAgent` runs one per accepted socket
+for the TCP backend — so the two paths are behaviourally identical by
+construction.
 
 Every request produces exactly one response; worker-side exceptions are
 captured as ``"TypeName: message"`` strings and re-raised client-side by
-:func:`~repro.service.futures.raise_remote`.  The loop itself never dies
-on a request failure — only the ``None`` shutdown sentinel ends it.
+:func:`~repro.service.futures.raise_remote`.  The executor itself never
+dies on a request failure.  ``drop`` control frames are best-effort
+cancellation: a dropped request that has not executed yet is skipped and
+acknowledged with a ``CancelledError`` response (so client bookkeeping
+still balances); one that already ran simply completes.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import queue
+import time
+from collections import deque
 from typing import Any
 
 from repro.errors import MonitorError
@@ -27,66 +37,132 @@ from repro.service.tasks import (
     run_monitor_task,
     run_segment_shard,
 )
+from repro.transport.frames import (
+    CONTROL_ID,
+    DEFAULT_CODEC,
+    Codec,
+    Request,
+    Response,
+    decode_frame,
+    encode_response_with_fallback,
+)
+
+__all__ = ["Request", "RequestExecutor", "Response", "service_worker_loop"]
 
 
-@dataclass
-class Request:
-    """One unit of work for a pool worker."""
+class RequestExecutor:
+    """One connection's worker state and request dispatch.
 
-    request_id: int
-    op: str
-    payload: Any
-
-
-@dataclass
-class Response:
-    """The worker's answer to one request."""
-
-    request_id: int
-    payload: Any = None
-    error: str | None = None
-    worker: int = 0
-
-
-def service_worker_loop(worker_index: int, inbox, response_writer) -> None:
-    """Process requests until the shutdown sentinel (``None``) arrives.
-
-    Responses go over this worker's *private* pipe connection: one writer
-    per pipe means no lock is shared between workers, so a worker dying
-    mid-write (OOM-kill, crash) can never wedge the others' responses —
-    the parent just sees EOF on this worker's pipe.
+    ``sessions`` maps session id to its live monitor; ``dropped`` holds
+    ids cancelled by the client before execution.  Not thread-safe by
+    itself — hosts must serialize :meth:`execute` calls (``drop`` may be
+    called concurrently: set mutation is atomic and best-effort anyway).
     """
-    sessions: dict[int, OnlineMonitor] = {}
-    pid = os.getpid()
-    while True:
-        request = inbox.get()
-        if request is None:
-            break
-        try:
-            payload = _dispatch(request.op, request.payload, sessions)
-            response = Response(request.request_id, payload, None, pid)
-        except Exception as exc:  # noqa: BLE001 — the loop must survive any request
-            response = Response(
-                request.request_id, None, f"{type(exc).__name__}: {exc}", pid
+
+    def __init__(self) -> None:
+        self.sessions: dict[int, OnlineMonitor] = {}
+        self.dropped: set[int] = set()
+        self.max_executed = -1
+        self.pid = os.getpid()
+
+    def drop(self, request_id: int) -> None:
+        """Mark a request id cancelled (skipped if not yet executed).
+
+        Request ids on one connection arrive in increasing order (the
+        service's counter is monotone and sends are FIFO), so a drop for
+        an id at or below the high-water mark lost its race — the
+        request already executed — and is discarded here rather than
+        parked in ``dropped`` forever.
+        """
+        if request_id > self.max_executed:
+            self.dropped.add(request_id)
+
+    def ingest(self, request: Request) -> bool:
+        """Handle a control frame in-band; True when ``request`` still
+        needs :meth:`execute` (i.e. it was not a control frame)."""
+        if request.request_id == CONTROL_ID:
+            if request.op == "drop":
+                self.drop(request.payload)
+            return False
+        return True
+
+    def execute(self, request: Request) -> Response:
+        """Run one request, capturing any failure as response data."""
+        self.max_executed = max(self.max_executed, request.request_id)
+        if request.request_id in self.dropped:
+            self.dropped.discard(request.request_id)
+            return Response(
+                request.request_id,
+                None,
+                "CancelledError: dropped before execution",
+                self.pid,
             )
         try:
-            response_writer.send(response)
-        except Exception as exc:  # noqa: BLE001 — e.g. an unpicklable payload
-            # A payload that cannot cross the pipe (a registered custom
-            # engine returning an unpicklable result, say) must fail only
-            # its own request, not the worker and every session on it.
+            payload = _dispatch(request.op, request.payload, self.sessions)
+            return Response(request.request_id, payload, None, self.pid)
+        except Exception as exc:  # noqa: BLE001 — the executor must survive any request
+            return Response(
+                request.request_id, None, f"{type(exc).__name__}: {exc}", self.pid
+            )
+
+
+def service_worker_loop(inbox, response_writer, codec: Codec = DEFAULT_CODEC) -> None:
+    """Local-backend worker body: frames off a queue until the sentinel.
+
+    The inbox carries encoded frames (``None`` is the shutdown
+    sentinel); responses go back over this worker's *private* pipe as
+    frames too — one writer per pipe means no lock is shared between
+    workers, so a worker dying mid-write (OOM-kill, crash) can never
+    wedge the others' responses; the parent just sees EOF on this pipe.
+
+    Between executions the loop drains everything already queued, so
+    ``drop`` control frames overtake the requests queued behind the one
+    currently running — that is what makes client-side ``cancel()``
+    effective for a backlog, despite the FIFO inbox.
+    """
+    executor = RequestExecutor()
+    pending: deque[Request] = deque()
+    running = True
+
+    def ingest(item) -> bool:
+        if item is None:
+            return False
+        request = decode_frame(item, codec)
+        if executor.ingest(request):
+            pending.append(request)
+        return True
+
+    while running or pending:
+        if running and not pending:
+            running = ingest(inbox.get())
+        while running:  # opportunistic drain: pick up drops/sentinel early
             try:
-                response_writer.send(
-                    Response(
-                        request.request_id,
-                        None,
-                        f"{type(exc).__name__}: response not picklable: {exc}",
-                        pid,
-                    )
-                )
-            except Exception:  # noqa: BLE001 — pipe itself is gone
-                break  # parent closed/broke the pipe: exit the loop
+                item = inbox.get_nowait()
+            except queue.Empty:
+                break
+            running = ingest(item)
+        if not pending:
+            continue
+        response = executor.execute(pending.popleft())
+        if not _send_response(response_writer, response, codec):
+            break  # parent closed/broke the pipe: exit the loop
     response_writer.close()
+
+
+def _send_response(response_writer, response: Response, codec: Codec) -> bool:
+    """Frame and ship one response; False only when the pipe is gone.
+
+    The unpicklable-payload fallback lives in
+    :func:`~repro.transport.frames.encode_response_with_fallback`:
+    a response that cannot cross the codec fails only its own request,
+    not the worker and every session on it.
+    """
+    frame = encode_response_with_fallback(response, codec)
+    try:
+        response_writer.send_bytes(frame)
+    except Exception:  # noqa: BLE001 — pipe itself is gone
+        return False
+    return True
 
 
 def _session(sessions: dict[int, OnlineMonitor], session_id: int) -> OnlineMonitor:
@@ -150,4 +226,11 @@ def _dispatch(op: str, payload: Any, sessions: dict[int, OnlineMonitor]) -> Any:
         return sessions.pop(session_id, None) is not None
     if op == "ping":
         return (os.getpid(), len(sessions))
+    if op == "echo":
+        return payload
+    if op == "sleep":  # test/ops support: occupy the executor
+        time.sleep(min(float(payload), 60.0))
+        return payload
+    if op == "crash":  # test/ops support: simulate peer death mid-request
+        os._exit(int(payload) if payload else 17)
     raise MonitorError(f"unknown service op {op!r}")

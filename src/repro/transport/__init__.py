@@ -1,0 +1,73 @@
+"""Pluggable transport layer for the monitor service.
+
+The service's wire protocol — typed
+:class:`~repro.transport.frames.Request` /
+:class:`~repro.transport.frames.Response` frames with versioned,
+length-prefixed serialization behind a codec — and the two backends that
+carry it: :class:`~repro.transport.local.LocalTransport` (one
+``multiprocessing`` child per endpoint) and
+:class:`~repro.transport.tcp.TcpTransport` (a socket to a
+:class:`~repro.transport.agent.WorkerAgent`, heartbeat liveness).  A
+service pool is a list of transports and may mix backends freely.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServiceError
+from repro.transport.agent import WorkerAgent, spawn_agent
+from repro.transport.base import Connection, Listener, Transport
+from repro.transport.frames import (
+    CONTROL_ID,
+    DEFAULT_CODEC,
+    HEARTBEAT_ID,
+    Codec,
+    PickleCodec,
+    Request,
+    Response,
+    decode_frame,
+    encode_frame,
+)
+from repro.transport.local import LocalConnection, LocalTransport
+from repro.transport.tcp import TcpConnection, TcpTransport, parse_address
+
+__all__ = [
+    "CONTROL_ID",
+    "Codec",
+    "Connection",
+    "DEFAULT_CODEC",
+    "HEARTBEAT_ID",
+    "Listener",
+    "LocalConnection",
+    "LocalTransport",
+    "PickleCodec",
+    "Request",
+    "Response",
+    "TcpConnection",
+    "TcpTransport",
+    "Transport",
+    "WorkerAgent",
+    "decode_frame",
+    "encode_frame",
+    "parse_address",
+    "resolve_transport",
+    "spawn_agent",
+]
+
+
+def resolve_transport(spec: "Transport | str") -> Transport:
+    """Turn an endpoint spec into a transport.
+
+    Accepts a ready :class:`Transport`, the string ``"local"`` (spawn a
+    worker process), or a TCP address (``"tcp://host:port"`` /
+    ``"host:port"``).
+    """
+    if isinstance(spec, Transport):
+        return spec
+    if isinstance(spec, str):
+        if spec == "local":
+            return LocalTransport()
+        host, port = parse_address(spec)
+        return TcpTransport(host, port)
+    raise ServiceError(
+        f"bad endpoint {spec!r}: expected a Transport, 'local', or 'tcp://host:port'"
+    )

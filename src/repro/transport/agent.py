@@ -1,0 +1,318 @@
+"""The worker agent: a TCP listener hosting service workers.
+
+``python -m repro.transport.agent --port 7701`` (or the
+``scripts/run_worker_agent.py`` wrapper) turns any host into a pool
+endpoint: a :class:`~repro.service.MonitorService` built with
+``endpoints=["tcp://host:7701", ...]`` then ships the same
+Request/Response frames to it that local workers get over queues.
+
+Each *accepted connection* is one logical worker: it gets its own
+:class:`~repro.service.worker.RequestExecutor` (private session
+registry, private drop set) and a pair of threads —
+
+* a **reader** that ingests frames continuously: heartbeats are answered
+  inline (so liveness stays fresh during long monitor tasks), ``drop``
+  control frames take effect immediately, and everything else queues for
+  the executor in FIFO order;
+* an **executor** that runs requests one at a time and writes responses
+  back under a per-connection write lock.
+
+Requests on one connection therefore execute strictly in send order —
+the same ordering guarantee a local worker's FIFO inbox gives — while
+cancellation and liveness stay responsive out-of-band.
+
+One agent process is one CPU's worth of workers (executors are threads
+under the GIL); for real parallelism run one agent per core and list
+each as its own endpoint.
+
+.. warning:: **Trust boundary.**  The wire protocol carries pickle
+   payloads and includes operational ops (``crash``, ``sleep``), so
+   anyone who can connect to an agent can execute arbitrary code in its
+   process — the same trust model as ``multiprocessing`` itself, now
+   stretched over a socket.  Bind agents to loopback or a private
+   network you control (a service mesh, an SSH tunnel, a VPN); never
+   expose the port to untrusted peers.  Authentication/TLS is a
+   deliberate non-goal of this layer and belongs in front of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+from collections import deque
+from typing import Callable
+
+from repro.errors import ServiceError
+from repro.transport.base import Listener
+from repro.transport.frames import (
+    DEFAULT_CODEC,
+    HEARTBEAT_ID,
+    Codec,
+    Request,
+    Response,
+    encode_response_with_fallback,
+    read_frame,
+)
+
+#: Printed (with the bound address) once the agent accepts connections;
+#: spawners wait for this line to learn an ephemeral port.
+READY_PREFIX = "worker-agent listening on "
+
+
+def _default_executor_factory() -> Callable:
+    # Lazy import: keeps the transport layer importable on its own (the
+    # service worker imports transport frames).
+    from repro.service.worker import RequestExecutor
+
+    return RequestExecutor
+
+
+class WorkerAgent(Listener):
+    """Hosts one worker per accepted connection on ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read :attr:`address` after
+    :meth:`start`).  ``executor_factory`` builds the per-connection
+    request executor; it defaults to the monitor service's.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: Codec = DEFAULT_CODEC,
+        executor_factory: Callable | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._codec = codec
+        self._executor_factory = executor_factory or _default_executor_factory()
+        self._sock: socket.socket | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._handlers: list[_ConnectionHandler] = []
+        self._accept_thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        if self._sock is None:
+            raise ServiceError("worker agent is not listening yet")
+        return f"{self._host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        if self._sock is None:
+            raise ServiceError("worker agent is not listening yet")
+        return self._port
+
+    def start(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((self._host, self._port))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"worker agent could not bind {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.listen()
+        self._port = sock.getsockname()[1]
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"worker-agent-{self._port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def close(self) -> None:
+        """Stop accepting, drop live peers (connects are then refused)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handlers, self._handlers = self._handlers, []
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        for handler in handlers:
+            handler.stop()
+        if self._accept_thread is not None:
+            self._accept_thread.join(1.0)
+
+    def __enter__(self) -> "WorkerAgent":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, peer = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = _ConnectionHandler(
+                client, peer, self._codec, self._executor_factory()
+            )
+            with self._lock:
+                if self._closed:
+                    handler.stop()
+                    return
+                self._handlers = [h for h in self._handlers if h.running]
+                self._handlers.append(handler)
+            handler.start()
+
+
+class _ConnectionHandler:
+    """One accepted peer: reader thread + executor thread + write lock."""
+
+    def __init__(self, sock, peer, codec: Codec, executor) -> None:
+        self._sock = sock
+        self._peer = peer
+        self._codec = codec
+        self._executor = executor
+        self._write_lock = threading.Lock()
+        self._pending: deque[Request] = deque()
+        self._wakeup = threading.Condition()
+        self._stopped = False
+        name = f"agent-peer-{peer[0]}:{peer[1]}"
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"{name}-reader", daemon=True
+        )
+        self._runner = threading.Thread(
+            target=self._run_loop, name=f"{name}-executor", daemon=True
+        )
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        self._reader.start()
+        self._runner.start()
+
+    def stop(self) -> None:
+        self._stopped = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        with self._wakeup:
+            self._wakeup.notify_all()
+
+    def _read_loop(self) -> None:
+        while not self._stopped:
+            try:
+                frame = read_frame(self._sock, self._codec)
+            except Exception:  # noqa: BLE001 — broken stream or undecodable frame
+                frame = None
+            if frame is None:  # peer gone/unusable: discard this worker's state
+                break
+            if not isinstance(frame, Request):
+                continue
+            if frame.request_id == HEARTBEAT_ID:
+                # Answered here, not in the executor: a pong must not
+                # queue behind a long monitor task or liveness would
+                # false-positive on a merely busy worker.
+                self._send(
+                    Response(HEARTBEAT_ID, "pong", None, self._executor.pid)
+                )
+                continue
+            with self._wakeup:
+                if self._executor.ingest(frame):
+                    self._pending.append(frame)
+                self._wakeup.notify_all()
+        self.stop()
+
+    def _run_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._pending and not self._stopped:
+                    self._wakeup.wait()
+                if self._stopped and not self._pending:
+                    return
+                request = self._pending.popleft()
+            response = self._executor.execute(request)
+            if not self._send(response):
+                return
+
+    def _send(self, response: Response) -> bool:
+        frame = encode_response_with_fallback(response, self._codec)
+        try:
+            with self._write_lock:
+                self._sock.sendall(frame)
+        except OSError:
+            self.stop()
+            return False
+        return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Host monitor-service workers behind a TCP listener."
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks an ephemeral one)"
+    )
+    args = parser.parse_args(argv)
+    agent = WorkerAgent(args.host, args.port)
+    agent.start()
+    print(f"{READY_PREFIX}{agent.address} (pid {os.getpid()})", flush=True)
+    try:
+        threading.Event().wait()  # serve until killed
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.close()
+    return 0
+
+
+def spawn_agent(host: str = "127.0.0.1", port: int = 0):
+    """Start a worker agent in a fresh OS process; returns ``(popen, host, port)``.
+
+    The helper behind the TCP examples and smoke tests: runs
+    ``python -m repro.transport.agent``, waits for the ready line, and
+    parses the bound port from it.  The caller owns the process
+    (``popen.kill()`` to simulate a host loss, ``terminate()`` to stop).
+    """
+    import subprocess
+
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    popen = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "from repro.transport.agent import main; raise SystemExit(main())",
+            # argparse reads sys.argv[1:], which -c leaves intact:
+            "--host",
+            host,
+            "--port",
+            str(port),
+        ],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = popen.stdout.readline()
+    if not line.startswith(READY_PREFIX):
+        popen.kill()
+        raise ServiceError(f"worker agent failed to start (got {line!r})")
+    address = line[len(READY_PREFIX):].split()[0]
+    bound_host, bound_port = address.rsplit(":", 1)
+    return popen, bound_host, int(bound_port)
+
+
+if __name__ == "__main__":  # pragma: no cover - process entry point
+    raise SystemExit(main())

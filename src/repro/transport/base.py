@@ -1,0 +1,100 @@
+"""Transport abstractions: how a service client reaches a worker.
+
+The :class:`~repro.service.MonitorService` speaks *only* these
+interfaces; everything ``multiprocessing``- or socket-specific lives in
+the backends (:mod:`repro.transport.local`, :mod:`repro.transport.tcp`).
+
+* :class:`Transport` — a factory for connections to one worker endpoint.
+  ``open(on_response, on_disconnect)`` establishes a live
+  :class:`Connection`; a service pool is just a list of transports, and
+  the list may mix backends (local processes next to TCP agents).
+
+* :class:`Connection` — one bidirectional request/response channel.
+  ``send`` is non-blocking; responses arrive on a backend-owned reader
+  thread via the ``on_response`` callback; ``on_disconnect`` fires
+  exactly once when the peer is lost (EOF, heartbeat timeout, kill) —
+  *not* on a locally initiated :meth:`Connection.close`.
+
+* :class:`Listener` — the server half for networked backends: accepts
+  peer connections and hosts worker state for each (see
+  :class:`~repro.transport.agent.WorkerAgent`).
+
+Liveness is the connection's problem, not the service's: ``alive()``
+must answer from the backend's own signal (process liveness for local
+workers, heartbeat recency for sockets), so the service can reap dead
+endpoints without knowing what an endpoint is.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.transport.frames import Request, Response
+
+#: Response callback: invoked from the connection's reader thread.
+OnResponse = Callable[[Response], None]
+
+#: Disconnect callback: invoked at most once, from a backend thread.
+OnDisconnect = Callable[[], None]
+
+
+class Connection(abc.ABC):
+    """One live request/response channel to a worker endpoint."""
+
+    @property
+    @abc.abstractmethod
+    def endpoint(self) -> str:
+        """Human-readable endpoint description (``local[3]``, ``tcp://...``)."""
+
+    @abc.abstractmethod
+    def send(self, request: Request) -> None:
+        """Ship one frame (non-blocking); :class:`~repro.errors.ServiceError`
+        if the connection is closed or the peer is known dead."""
+
+    @abc.abstractmethod
+    def alive(self) -> bool:
+        """Backend's own liveness verdict (process alive / heartbeat fresh)."""
+
+    @abc.abstractmethod
+    def close(self, timeout: float = 5.0) -> None:
+        """Graceful teardown: give the peer up to ``timeout`` seconds to
+        answer everything already sent, then release the channel.  Does
+        not fire ``on_disconnect``.  Idempotent."""
+
+    def kill(self) -> None:
+        """Hard teardown (test/ops hook): drop the channel immediately,
+        killing the peer where the backend owns it.  The loss surfaces
+        through ``on_disconnect``/``alive()`` like any peer death."""
+        self.close(timeout=0.0)
+
+
+class Transport(abc.ABC):
+    """Factory for connections to one worker endpoint."""
+
+    @abc.abstractmethod
+    def open(self, on_response: OnResponse, on_disconnect: OnDisconnect) -> Connection:
+        """Establish a live connection; raises
+        :class:`~repro.errors.ServiceError` when the endpoint is
+        unreachable (connection refused, spawn failure)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Endpoint description for placement/debug output."""
+
+
+class Listener(abc.ABC):
+    """Server half of a networked transport: accepts peer connections."""
+
+    @property
+    @abc.abstractmethod
+    def address(self) -> str:
+        """The bound address (``host:port`` once listening)."""
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Bind and begin accepting peers."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Stop accepting, drop live peers, release the socket."""

@@ -1,0 +1,200 @@
+"""Typed Request/Response frames and their wire encoding.
+
+The service's wire protocol used to be implicit: plain dataclasses
+pickled through ``multiprocessing`` queues and pipes.  This module makes
+it explicit so the same frames can cross process boundaries *and*
+sockets:
+
+* :class:`Request` / :class:`Response` — the only two frame types.  One
+  request produces exactly one response, matched by ``request_id``;
+  responses may interleave arbitrarily across requests, so clients must
+  resolve by id, never by arrival order.  Two ids are reserved:
+  :data:`HEARTBEAT_ID` (liveness pings, answered out-of-band and never
+  surfaced to callers) and :data:`CONTROL_ID` (fire-and-forget control
+  frames such as ``drop``, which get no response).
+
+* **Versioned, length-prefixed encoding** — every frame on the wire is
+  ``magic (2) | version (1) | length (4, big-endian) | payload``.  The
+  length prefix makes stream transports (TCP) self-delimiting; the magic
+  and version bytes reject cross-version peers with a clear
+  :class:`~repro.errors.ServiceError` instead of a pickle explosion.
+
+* **Codec interface** — the payload bytes are produced by a
+  :class:`Codec` (default :class:`PickleCodec`).  Pickle is the codec,
+  not the protocol: a msgpack/json codec for cross-language workers only
+  has to implement ``encode``/``decode``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from repro.errors import ServiceError
+
+#: Reserved request id for liveness pings (answered by the peer's reader
+#: thread even while its executor is busy; never resolved to a future).
+HEARTBEAT_ID = -1
+
+#: Reserved request id for fire-and-forget control frames (no response).
+CONTROL_ID = -2
+
+FRAME_MAGIC = b"RV"
+FRAME_VERSION = 1
+
+#: Sanity bound: a length prefix beyond this is treated as a corrupt or
+#: hostile stream, not an allocation request.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">2sBI")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass
+class Request:
+    """One unit of work for a pool worker."""
+
+    request_id: int
+    op: str
+    payload: Any
+
+
+@dataclass
+class Response:
+    """The worker's answer to one request."""
+
+    request_id: int
+    payload: Any = None
+    error: str | None = None
+    worker: int = 0
+
+
+class Codec(Protocol):
+    """Payload serializer: turns frame objects into bytes and back."""
+
+    name: str
+
+    def encode(self, obj: Any) -> bytes: ...
+
+    def decode(self, data: bytes) -> Any: ...
+
+
+class PickleCodec:
+    """The default codec (highest pickle protocol)."""
+
+    name = "pickle"
+
+    def encode(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+DEFAULT_CODEC = PickleCodec()
+
+
+def encode_frame(obj: Any, codec: Codec = DEFAULT_CODEC) -> bytes:
+    """Serialize one frame: versioned header + codec payload."""
+    payload = codec.encode(obj)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, len(payload)) + payload
+
+
+def encode_response_with_fallback(response: Response, codec: Codec = DEFAULT_CODEC) -> bytes:
+    """Frame a response, substituting an error response when the payload
+    cannot cross the codec.
+
+    A payload that will not serialize (a registered custom engine
+    returning an unpicklable result, say) must fail only its own request
+    — the substitute keeps the request id so client bookkeeping still
+    balances.  Shared by every response writer so the fallback semantics
+    cannot drift between backends.
+    """
+    try:
+        return encode_frame(response, codec)
+    except Exception as exc:  # noqa: BLE001 — e.g. an unpicklable payload
+        return encode_frame(
+            Response(
+                response.request_id,
+                None,
+                f"{type(exc).__name__}: response not picklable: {exc}",
+                response.worker,
+            ),
+            codec,
+        )
+
+
+def decode_header(header: bytes) -> int:
+    """Validate a frame header; return the payload length."""
+    if len(header) != HEADER_SIZE:
+        raise ServiceError(
+            f"truncated frame header: got {len(header)} of {HEADER_SIZE} bytes"
+        )
+    magic, version, length = _HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise ServiceError(f"bad frame magic {magic!r} (not a transport peer?)")
+    if version != FRAME_VERSION:
+        raise ServiceError(
+            f"frame version {version} from peer, this side speaks {FRAME_VERSION}"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return length
+
+
+def decode_frame(data: bytes, codec: Codec = DEFAULT_CODEC) -> Any:
+    """Decode one complete frame (header + payload) from ``data``."""
+    length = decode_header(data[:HEADER_SIZE])
+    payload = data[HEADER_SIZE:]
+    if len(payload) != length:
+        raise ServiceError(
+            f"frame length prefix says {length} bytes, got {len(payload)}"
+        )
+    return codec.decode(payload)
+
+
+def write_frame(sock, obj: Any, codec: Codec = DEFAULT_CODEC) -> None:
+    """Write one frame to a stream socket."""
+    sock.sendall(encode_frame(obj, codec))
+
+
+def _read_exact(sock, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if not chunks:
+                return None
+            raise ServiceError(
+                f"peer closed mid-frame ({count - remaining} of {count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock, codec: Codec = DEFAULT_CODEC) -> Any | None:
+    """Read one frame from a stream socket; None on clean EOF.
+
+    EOF *between* frames is a normal close; EOF inside a frame (or a
+    header that fails validation) raises :class:`~repro.errors.ServiceError`.
+    """
+    header = _read_exact(sock, HEADER_SIZE)
+    if header is None:
+        return None
+    length = decode_header(header)
+    payload = _read_exact(sock, length) if length else b""
+    if payload is None:
+        raise ServiceError(f"peer closed before the {length}-byte frame payload")
+    return codec.decode(payload)

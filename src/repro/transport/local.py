@@ -1,0 +1,177 @@
+"""The in-process transport backend: one ``multiprocessing`` child per
+endpoint.
+
+This is the original service pool scheme — a private FIFO inbox queue
+per worker plus a private response pipe — refactored to implement the
+:class:`~repro.transport.base.Transport` interface, so the service no
+longer knows it exists.  The invariants that made the original design
+robust survive the refactor:
+
+* **Single writer per pipe** — the child is the only writer of its
+  response pipe, so no lock is shared between workers and a worker dying
+  mid-write cannot wedge the others.
+
+* **EOF is the death signal** — the parent closes its copy of the write
+  end after the fork, so the pipe hits EOF exactly when the child exits
+  (cleanly or killed).  The reader thread drains every buffered response
+  first, then fires ``on_disconnect`` — queued work that finished before
+  a shutdown still resolves.
+
+* **Process liveness backs up EOF** — :meth:`LocalConnection.alive`
+  answers from ``Process.is_alive()``, the local analogue of the TCP
+  backend's heartbeat recency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+from typing import Callable
+
+from repro.errors import ServiceError
+from repro.transport.base import Connection, OnDisconnect, OnResponse, Transport
+from repro.transport.frames import (
+    DEFAULT_CODEC,
+    Codec,
+    Request,
+    decode_frame,
+    encode_frame,
+)
+
+_spawn_counter = itertools.count()
+
+
+def _default_target() -> Callable:
+    # Imported lazily: the transport layer stays importable without the
+    # service package (and the service worker imports transport frames).
+    from repro.service.worker import service_worker_loop
+
+    return service_worker_loop
+
+
+class LocalTransport(Transport):
+    """Spawns one worker process per :meth:`open`.
+
+    ``target(inbox, response_writer, codec)`` is the child body; it
+    defaults to the monitor service's worker loop but is injectable so
+    the transport itself stays generic (and testable).
+    """
+
+    def __init__(self, target: Callable | None = None, codec: Codec = DEFAULT_CODEC):
+        self._target = target
+        self._codec = codec
+
+    def describe(self) -> str:
+        return "local"
+
+    def open(self, on_response: OnResponse, on_disconnect: OnDisconnect) -> "LocalConnection":
+        index = next(_spawn_counter)
+        target = self._target if self._target is not None else _default_target()
+        ctx = multiprocessing.get_context()
+        inbox = ctx.Queue()
+        reader, writer = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=target,
+            args=(inbox, writer, self._codec),
+            daemon=True,
+            name=f"monitor-worker-{index}",
+        )
+        try:
+            process.start()
+        except Exception as exc:  # noqa: BLE001 — spawn failure is a transport error
+            raise ServiceError(f"could not spawn local worker: {exc}") from exc
+        writer.close()  # child keeps its copy; EOF then tracks its life
+        return LocalConnection(
+            index, process, inbox, reader, self._codec, on_response, on_disconnect
+        )
+
+
+class LocalConnection(Connection):
+    """Client half of one spawned worker: inbox queue + response pipe."""
+
+    def __init__(
+        self, index, process, inbox, reader, codec, on_response, on_disconnect
+    ) -> None:
+        self._endpoint = f"local[{index}]"
+        self._process = process
+        self._inbox = inbox
+        self._pipe = reader
+        self._codec = codec
+        self._on_response = on_response
+        self._on_disconnect = on_disconnect
+        self._closed = False
+        self._disconnected = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"{self._endpoint}-reader", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def endpoint(self) -> str:
+        return self._endpoint
+
+    @property
+    def process(self):
+        """The backing worker process (test/ops hook)."""
+        return self._process
+
+    def send(self, request: Request) -> None:
+        if self._closed:
+            raise ServiceError(f"connection to {self._endpoint} is closed")
+        if self._disconnected:
+            raise ServiceError(f"worker at {self._endpoint} has died")
+        self._inbox.put(encode_frame(request, self._codec))
+
+    def alive(self) -> bool:
+        return (
+            not self._closed
+            and not self._disconnected
+            and self._process.is_alive()
+        )
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._process.is_alive():
+            try:
+                self._inbox.put(None)  # FIFO: backlog drains before the sentinel
+            except Exception:  # noqa: BLE001 — queue already broken
+                pass
+        self._process.join(max(0.0, timeout))
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(1.0)
+        # The pipe hits EOF once the child is gone; the reader thread
+        # drains buffered responses first, so wait for it before the
+        # caller fails leftover futures.
+        self._reader.join(max(1.0, timeout))
+        self._inbox.close()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (death surfaces via EOF → ``on_disconnect``)."""
+        if self._process.is_alive():
+            self._process.kill()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                frame = self._pipe.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                response = decode_frame(frame, self._codec)
+            except Exception:  # noqa: BLE001 — a frame this side cannot decode
+                # (corrupt pipe, or a cross-revision payload the codec
+                # chokes on) means the channel is unusable: losing the
+                # peer beats hanging its futures forever.
+                break
+            self._on_response(response)
+        self._disconnected = True
+        try:
+            self._pipe.close()
+        except OSError:
+            pass
+        if not self._closed:
+            self._on_disconnect()

@@ -1,0 +1,255 @@
+"""The TCP transport backend (client side): frames over a socket.
+
+One :class:`TcpConnection` is one worker endpoint — a socket to a
+:class:`~repro.transport.agent.WorkerAgent` hosting the worker state for
+this connection.  The frame format is the shared length-prefixed
+encoding from :mod:`repro.transport.frames`; requests and responses are
+matched by id, never by order.
+
+**Liveness is heartbeat-based**, replacing the local backend's
+``Process.is_alive`` reaping (the client cannot poll a remote process):
+
+* a heartbeat thread sends a ``ping`` frame with the reserved
+  :data:`~repro.transport.frames.HEARTBEAT_ID` every
+  ``heartbeat_interval`` seconds;
+* the agent's *reader* thread answers immediately — even while its
+  executor is busy with a long monitor task — so a healthy peer keeps
+  the receive clock fresh no matter the workload;
+* ``alive()`` turns false when nothing (pong or response) has arrived
+  for ``liveness_timeout`` seconds, at which point the socket is torn
+  down and ``on_disconnect`` fires, exactly like an EOF.
+
+A SIGKILLed agent closes its sockets, so outright death is detected by
+EOF within milliseconds; the heartbeat catches the quieter failures
+(network partition, frozen peer) that EOF never reports.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.errors import ServiceError
+from repro.transport.base import Connection, OnDisconnect, OnResponse, Transport
+from repro.transport.frames import (
+    DEFAULT_CODEC,
+    HEARTBEAT_ID,
+    Codec,
+    Request,
+    Response,
+    read_frame,
+    write_frame,
+)
+
+#: Default cadence of client heartbeats (seconds).
+HEARTBEAT_INTERVAL = 1.0
+
+#: Default silence (no pong, no response) before the peer is declared dead.
+LIVENESS_TIMEOUT = 5.0
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``host:port`` or ``tcp://host:port`` → ``(host, port)``."""
+    text = spec[len("tcp://"):] if spec.startswith("tcp://") else spec
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ServiceError(f"bad TCP endpoint {spec!r}: expected host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ServiceError(f"bad TCP endpoint {spec!r}: port must be an integer") from None
+
+
+class TcpTransport(Transport):
+    """Connects to one worker agent at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        codec: Codec = DEFAULT_CODEC,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        liveness_timeout: float = LIVENESS_TIMEOUT,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._codec = codec
+        self._heartbeat_interval = heartbeat_interval
+        self._liveness_timeout = liveness_timeout
+        self._connect_timeout = connect_timeout
+
+    def describe(self) -> str:
+        return f"tcp://{self._host}:{self._port}"
+
+    def open(self, on_response: OnResponse, on_disconnect: OnDisconnect) -> "TcpConnection":
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"could not connect to worker agent at {self.describe()}: {exc}"
+            ) from exc
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return TcpConnection(
+            self.describe(),
+            sock,
+            self._codec,
+            on_response,
+            on_disconnect,
+            self._heartbeat_interval,
+            self._liveness_timeout,
+        )
+
+
+class TcpConnection(Connection):
+    """Client half of one agent socket: reader + heartbeat threads."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        sock: socket.socket,
+        codec: Codec,
+        on_response: OnResponse,
+        on_disconnect: OnDisconnect,
+        heartbeat_interval: float,
+        liveness_timeout: float,
+    ) -> None:
+        self._endpoint = endpoint
+        self._sock = sock
+        self._codec = codec
+        self._on_response = on_response
+        self._on_disconnect = on_disconnect
+        self._heartbeat_interval = heartbeat_interval
+        self._liveness_timeout = liveness_timeout
+        self._write_lock = threading.Lock()
+        self._closed = False
+        self._disconnected = False
+        self._disconnect_fired = False
+        self._disconnect_lock = threading.Lock()
+        self._last_rx = time.monotonic()
+        self._outstanding = 0
+        self._drained = threading.Condition()
+        self._stop = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"{endpoint}-reader", daemon=True
+        )
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name=f"{endpoint}-heartbeat", daemon=True
+        )
+        self._reader.start()
+        self._heartbeat.start()
+
+    @property
+    def endpoint(self) -> str:
+        return self._endpoint
+
+    def send(self, request: Request) -> None:
+        if self._closed:
+            raise ServiceError(f"connection to {self._endpoint} is closed")
+        if self._disconnected:
+            raise ServiceError(f"worker agent at {self._endpoint} is unreachable")
+        tracked = request.request_id >= 0
+        if tracked:
+            # Count *before* the write: once the frame is on the wire the
+            # reader may decrement for it at any moment, and close()'s
+            # drain loop must never observe a dip to zero while an
+            # earlier request is still in flight.
+            with self._drained:
+                self._outstanding += 1
+        try:
+            with self._write_lock:
+                write_frame(self._sock, request, self._codec)
+        except BaseException as exc:
+            if tracked:
+                with self._drained:
+                    self._outstanding -= 1
+                    self._drained.notify_all()
+            if isinstance(exc, OSError):
+                self._lose_peer()
+                raise ServiceError(f"send to {self._endpoint} failed: {exc}") from exc
+            raise
+
+    def alive(self) -> bool:
+        if self._closed or self._disconnected:
+            return False
+        return time.monotonic() - self._last_rx < self._liveness_timeout
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._drained:  # let the peer answer what was already sent
+            while self._outstanding > 0 and not self._disconnected:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._drained.wait(remaining)
+        self._stop.set()
+        self._teardown_socket()
+        self._reader.join(1.0)
+
+    def _teardown_socket(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _lose_peer(self) -> None:
+        """Declare the peer dead exactly once; wake every waiter."""
+        self._disconnected = True
+        self._stop.set()
+        self._teardown_socket()
+        with self._drained:
+            self._drained.notify_all()
+        with self._disconnect_lock:
+            if self._disconnect_fired or self._closed:
+                return
+            self._disconnect_fired = True
+        self._on_disconnect()
+
+    def _read_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                frame = read_frame(self._sock, self._codec)
+            except Exception:  # noqa: BLE001 — broken stream or undecodable frame
+                # Includes codec failures (a cross-revision peer whose
+                # payload will not unpickle here): the channel is
+                # unusable, so lose the peer instead of hanging futures.
+                frame = None
+            if frame is None:  # EOF or broken stream
+                break
+            self._last_rx = time.monotonic()
+            if not isinstance(frame, Response):
+                continue  # protocol noise from a confused peer: ignore
+            if frame.request_id == HEARTBEAT_ID:
+                continue  # pong: the rx clock update above is its whole job
+            with self._drained:
+                self._outstanding -= 1
+                self._drained.notify_all()
+            self._on_response(frame)
+        if not self._closed:
+            self._lose_peer()
+
+    def _heartbeat_loop(self) -> None:
+        ping = Request(HEARTBEAT_ID, "ping", None)
+        while not self._stop.wait(self._heartbeat_interval):
+            if self._closed or self._disconnected:
+                return
+            if time.monotonic() - self._last_rx >= self._liveness_timeout:
+                self._lose_peer()
+                return
+            try:
+                with self._write_lock:
+                    write_frame(self._sock, ping, self._codec)
+            except OSError:
+                self._lose_peer()
+                return

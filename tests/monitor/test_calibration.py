@@ -1,0 +1,74 @@
+"""Tests for the in-library calibration pass and service auto-calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.calibration import crossover, run_calibration
+from repro.monitor.factory import _DEFAULT_THRESHOLDS, calibration, reset_calibration
+from repro.service import MonitorService
+
+
+class TestCrossover:
+    def test_fast_wins_up_to_a_point(self):
+        points = [
+            {"events": 6, "fast_seconds": 0.01, "smt_seconds": 0.05},
+            {"events": 12, "fast_seconds": 0.04, "smt_seconds": 0.05},
+            {"events": 20, "fast_seconds": 0.40, "smt_seconds": 0.06},
+        ]
+        assert crossover(points, "events") == 12
+
+    def test_fast_never_wins_collapses_below_first_point(self):
+        points = [
+            {"events": 6, "fast_seconds": None, "smt_seconds": 0.05},
+            {"events": 12, "fast_seconds": None, "smt_seconds": 0.06},
+        ]
+        assert crossover(points, "events") == 5
+
+    def test_empty_ladder_degrades_to_one(self):
+        assert crossover([], "events") == 1
+
+
+@pytest.mark.slow
+class TestMeasuredCalibration:
+    def test_quick_run_produces_loadable_thresholds(self):
+        lines: list[str] = []
+        report = run_calibration(quick=True, repeats=1, budget=2.0, log=lines.append)
+        thresholds = report["thresholds"]
+        assert set(thresholds) == {"fast_event_limit", "fast_epsilon_limit"}
+        assert all(isinstance(v, int) and v >= 1 for v in thresholds.values())
+        assert report["defaults"] == _DEFAULT_THRESHOLDS
+        assert report["event_ladder"] and report["epsilon_ladder"]
+        assert any("ladder" in line for line in lines)
+
+    def test_service_auto_calibrate_applies_thresholds(self):
+        import json
+        import os
+
+        from repro.monitor.factory import CALIBRATION_ENV_VAR
+
+        try:
+            with MonitorService(
+                workers=1, auto_calibrate=True, auto_calibrate_budget=1.5
+            ) as service:
+                report = service.calibration_report
+                assert report is not None
+                live = calibration()
+                for key, value in report["thresholds"].items():
+                    assert live[key] == value
+                # spawn-started workers re-import the factory: the env
+                # hook must point at a loadable copy of this report
+                path = os.environ[CALIBRATION_ENV_VAR]
+                with open(path, encoding="utf-8") as handle:
+                    assert json.load(handle)["thresholds"] == report["thresholds"]
+        finally:
+            path = os.environ.pop(CALIBRATION_ENV_VAR, None)
+            if path and os.path.exists(path):
+                os.remove(path)
+            reset_calibration()
+
+    def test_no_auto_calibrate_leaves_thresholds_alone(self):
+        before = calibration()
+        with MonitorService(workers=1) as service:
+            assert service.calibration_report is None
+        assert calibration() == before

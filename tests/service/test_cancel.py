@@ -1,0 +1,113 @@
+"""Tests for client-side future cancellation (``MonitorFuture.cancel``).
+
+The contract: a not-yet-resolved future cancels immediately client-side
+(``result()`` raises :class:`~repro.errors.CancelledError`), a drop
+frame asks the worker to skip the request if it has not executed yet,
+and :class:`~repro.service.reports.BatchReport` records cancelled items
+separately from errors.  Cancellation is best-effort — a future that
+already resolved refuses (returns False).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import CancelledError
+from repro.mtl import parse
+from repro.service import MonitorService
+
+SPEC = parse("a U[0,6) b")
+
+
+def _computation() -> DistributedComputation:
+    return DistributedComputation.from_event_lists(
+        2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+
+
+def _occupy(service: MonitorService, seconds: float = 0.4):
+    """Park the single worker on a sleep so submits queue behind it."""
+    return service._send(0, "sleep", seconds)
+
+
+class TestCancel:
+    def test_cancel_pending_future(self):
+        comp = _computation()
+        with MonitorService(workers=1, formula=SPEC, saturate=False) as service:
+            blocker = _occupy(service)
+            futures = service.submit_many([comp, comp, comp])
+            assert futures[1].cancel() is True
+            assert futures[1].cancelled
+            assert futures[1].done()
+            with pytest.raises(CancelledError):
+                futures[1].result(timeout=30)
+            # neighbours are untouched
+            assert futures[0].result(timeout=30).ok
+            assert futures[2].result(timeout=30).ok
+            blocker.result(timeout=30)
+
+    def test_cancel_after_resolve_refuses(self):
+        comp = _computation()
+        with MonitorService(workers=1, formula=SPEC, saturate=False) as service:
+            future = service.submit(comp)
+            assert future.result(timeout=30).ok
+            assert future.cancel() is False
+            assert not future.cancelled
+            assert future.result(timeout=30).ok  # result survives the attempt
+
+    def test_cancel_is_idempotent(self):
+        comp = _computation()
+        with MonitorService(workers=1, formula=SPEC, saturate=False) as service:
+            blocker = _occupy(service)
+            future = service.submit(comp)
+            assert future.cancel() is True
+            assert future.cancel() is True  # repeated cancels keep the outcome
+            blocker.result(timeout=30)
+
+    def test_cancelled_request_releases_backpressure(self):
+        """A cancelled future must release its max_in_flight slot, or the
+        pool would leak capacity on every cancel."""
+        comp = _computation()
+        with MonitorService(
+            workers=1, formula=SPEC, max_in_flight=1, saturate=False
+        ) as service:
+            blocker = _occupy(service)
+            first = service.submit(comp)
+            first.cancel()
+            # with the slot released this submit cannot deadlock
+            second = service.submit(comp)
+            assert second.result(timeout=30).ok
+            blocker.result(timeout=30)
+
+    def test_worker_skips_dropped_request(self):
+        """The drop frame overtakes queued work: a request cancelled while
+        the worker is busy is acknowledged as dropped, never executed."""
+        comp = _computation()
+        with MonitorService(workers=1, formula=SPEC, saturate=False) as service:
+            blocker = _occupy(service, seconds=0.6)
+            future = service.submit(comp)
+            assert future.cancel() is True
+            blocker.result(timeout=30)
+            # the drop-ack settles the books: nothing stays outstanding
+            deadline_futures = service.submit_many([comp, comp])
+            report = service.gather(deadline_futures)
+            assert not report.errors
+            assert service.outstanding() == [0]
+
+
+class TestBatchReportRecordsCancellation:
+    def test_gather_marks_cancelled_items(self):
+        comp = _computation()
+        with MonitorService(workers=1, formula=SPEC, saturate=False) as service:
+            blocker = _occupy(service)
+            futures = service.submit_many([comp, comp, comp])
+            futures[2].cancel()
+            report = service.gather(futures)
+            blocker.result(timeout=30)
+        assert [item.index for item in report.items] == [0, 1, 2]
+        assert [item.cancelled for item in report.items] == [False, False, True]
+        assert [item.index for item in report.cancelled_items] == [2]
+        assert report.errors == []  # cancelled is not failed
+        assert len(report.ok_items) == 2
+        assert "1 cancelled" in str(report)

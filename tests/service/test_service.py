@@ -222,19 +222,31 @@ class TestLifecycle:
         finally:
             _REGISTRY.pop("unpicklable", None)
 
+    def test_unserializable_request_unwinds_bookkeeping(self):
+        """A submit whose payload the codec refuses must raise *and*
+        leave no leaked future or outstanding count (a leak would bias
+        least-loaded placement against a healthy worker forever)."""
+        spec = parse("F[0,8) b")
+        comp, _ = _corpus()[0]
+        with MonitorService(workers=1, formula=spec, saturate=False) as service:
+            with pytest.raises(Exception):
+                # a lambda in the engine kwargs cannot pickle
+                service.submit(comp, poison=lambda: None)
+            assert service.outstanding() == [0]
+            assert not service._futures
+            # backpressure slot was released and the pool still serves
+            assert service.submit(comp).result(timeout=30).ok
+
     def test_dead_worker_fails_futures_instead_of_hanging(self):
         """A killed worker's outstanding requests fail with ServiceError
         (no infinite block) and the pool keeps serving from survivors."""
-        import os
-        import signal
         import time
 
         spec = parse("F[0,8) b")
         comp, _ = _corpus()[0]
         with MonitorService(workers=2, formula=spec, saturate=False) as service:
             session = service.open_session(spec, epsilon=2)  # pinned: id 0 -> worker 0
-            victim = service._processes[session.worker_index]
-            os.kill(victim.pid, signal.SIGKILL)
+            service._connections[session.worker_index].kill()
             deadline = time.monotonic() + 10
             with pytest.raises(ServiceError, match="died|closed"):
                 while time.monotonic() < deadline:

@@ -1,0 +1,134 @@
+"""End-to-end acceptance: the same workload over both transports.
+
+The bar from the transport refactor: a batch + session workload runs
+*bit-identically* on a local-process pool and on a TCP pool of worker
+agents (localhost), and both pools recover from a worker kill — the dead
+endpoint's futures fail with :class:`~repro.errors.ServiceError` while
+survivors keep serving.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.distributed.computation import DistributedComputation
+from repro.errors import ServiceError
+from repro.mtl import parse
+from repro.service import MonitorService
+from repro.transport.agent import spawn_agent
+
+BATCH_SPEC = parse("a U[0,6) b")
+SESSION_SPECS = [parse("F[0,8) b"), parse("G[0,4) (a | b)")]
+
+
+def _computations() -> list[DistributedComputation]:
+    fig3 = DistributedComputation.from_event_lists(
+        2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+    skewed = DistributedComputation.from_event_lists(
+        3,
+        {
+            "P1": [(0, "a"), (3, "a"), (6, ())],
+            "P2": [(1, ()), (4, "b")],
+            "P3": [(2, "a")],
+        },
+    )
+    return [fig3, skewed, fig3]
+
+
+def _session_stream(index: int):
+    return [
+        ("P1", 1 + index, frozenset({"a"})),
+        ("P2", 2 + index, frozenset({"a", "b"})),
+        ("P1", 5 + index, frozenset({"b"})),
+        ("P2", 6 + index, frozenset()),
+    ]
+
+
+def _run_workload(service: MonitorService):
+    """The acceptance workload: a batch and two sessions, interleaved."""
+    sessions = [
+        service.open_session(spec, epsilon=2) for spec in SESSION_SPECS
+    ]
+    for index, session in enumerate(sessions):
+        for process, local_time, props in _session_stream(index)[:2]:
+            session.observe(process, local_time, props)
+    report = service.map(_computations(), formula=BATCH_SPEC, saturate=False)
+    for index, session in enumerate(sessions):
+        for process, local_time, props in _session_stream(index)[2:]:
+            session.observe(process, local_time, props)
+    session_results = [session.finish() for session in sessions]
+    assert not report.errors
+    return (
+        [item.result.verdict_counts for item in report.items],
+        [result.verdict_counts for result in session_results],
+        [result.verdicts for result in session_results],
+    )
+
+
+@pytest.fixture
+def tcp_endpoints():
+    """Two worker agents in their own OS processes on localhost."""
+    agents = [spawn_agent() for _ in range(2)]
+    try:
+        yield agents, [f"tcp://{host}:{port}" for _, host, port in agents]
+    finally:
+        for popen, _, _ in agents:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
+
+
+class TestBitIdentical:
+    def test_local_and_tcp_pools_agree(self, tcp_endpoints):
+        """Acceptance: identical batch + session outcomes on both backends."""
+        _, endpoints = tcp_endpoints
+        with MonitorService(workers=2) as service:
+            local = _run_workload(service)
+        with MonitorService(endpoints=endpoints) as service:
+            assert service.endpoints() == endpoints
+            remote = _run_workload(service)
+        assert remote == local
+
+    def test_mixed_pool_serves_both_backends(self, tcp_endpoints):
+        """One pool, one local worker + one TCP agent: work lands on both."""
+        _, endpoints = tcp_endpoints
+        with MonitorService(endpoints=["local", endpoints[0]]) as service:
+            assert service.endpoints()[0].startswith("local[")
+            assert service.endpoints()[1] == endpoints[0]
+            outcome = _run_workload(service)
+            pids = service.worker_pids()
+        with MonitorService(workers=2) as service:
+            assert _run_workload(service) == outcome
+        assert len(set(pids)) == 2
+
+
+def _kill_and_verify_recovery(service: MonitorService, kill) -> None:
+    """Shared recovery bar: dead endpoint's session fails, pool survives."""
+    session = service.open_session(SESSION_SPECS[0], epsilon=2)  # id 0 -> worker 0
+    assert session.worker_index == 0
+    kill()
+    deadline = time.monotonic() + 15
+    with pytest.raises(ServiceError, match="died|closed|unreachable"):
+        while time.monotonic() < deadline:
+            session.poll()
+            time.sleep(0.05)
+        raise AssertionError("dead worker never detected")
+    report = service.map(_computations(), formula=BATCH_SPEC, saturate=False)
+    assert not report.errors
+    assert all(item.ok for item in report.items)
+
+
+class TestWorkerKillRecovery:
+    def test_local_pool_recovers_from_worker_kill(self):
+        with MonitorService(workers=2, saturate=False) as service:
+            _kill_and_verify_recovery(
+                service, lambda: service._connections[0].kill()
+            )
+
+    def test_tcp_pool_recovers_from_agent_kill(self, tcp_endpoints):
+        agents, endpoints = tcp_endpoints
+        with MonitorService(endpoints=endpoints, saturate=False) as service:
+            _kill_and_verify_recovery(service, lambda: agents[0][0].kill())

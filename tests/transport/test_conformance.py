@@ -1,0 +1,217 @@
+"""Transport conformance: one behavioural contract, every backend.
+
+Each test runs against both backends — ``LocalTransport`` (worker in a
+``multiprocessing`` child) and ``TcpTransport`` (worker hosted by a
+``WorkerAgent`` in a separate OS process) — through nothing but the
+:class:`~repro.transport.Transport` / :class:`~repro.transport.Connection`
+interface.  What the service relies on is exactly what is asserted here:
+echo roundtrips, multi-megabyte frames, response-to-request matching by
+id (not order), disconnect signalling on peer death mid-request, and
+refusal to send after close / reconnect after listener shutdown.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.transport import LocalTransport, Request, TcpTransport
+from repro.transport.agent import spawn_agent
+
+
+class Client:
+    """Callback sink standing in for the service's dispatcher."""
+
+    def __init__(self):
+        self.responses: "queue.Queue" = queue.Queue()
+        self.disconnected = threading.Event()
+
+    def on_response(self, response):
+        self.responses.put(response)
+
+    def on_disconnect(self):
+        self.disconnected.set()
+
+    def next_response(self, timeout=30.0):
+        return self.responses.get(timeout=timeout)
+
+
+@pytest.fixture(params=["local", "tcp"])
+def transport(request):
+    if request.param == "local":
+        yield LocalTransport()
+        return
+    popen, host, port = spawn_agent()
+    try:
+        yield TcpTransport(host, port, heartbeat_interval=0.2, liveness_timeout=3.0)
+    finally:
+        popen.kill()
+        popen.wait(timeout=10)
+        popen.stdout.close()
+
+
+@pytest.fixture
+def conn(transport):
+    client = Client()
+    connection = transport.open(client.on_response, client.on_disconnect)
+    yield connection, client
+    connection.close(timeout=5.0)
+
+
+class TestRequestResponse:
+    def test_echo_roundtrip(self, conn):
+        connection, client = conn
+        connection.send(Request(1, "echo", {"k": [1, 2, 3]}))
+        response = client.next_response()
+        assert response.request_id == 1
+        assert response.error is None
+        assert response.payload == {"k": [1, 2, 3]}
+        assert response.worker > 0  # the hosting pid rides along
+
+    def test_ping_reports_pid_and_sessions(self, conn):
+        connection, client = conn
+        connection.send(Request(2, "ping", None))
+        pid, sessions = client.next_response().payload
+        assert pid > 0 and sessions == 0
+
+    def test_large_frame_roundtrip(self, conn):
+        connection, client = conn
+        blob = bytes(range(256)) * (3 * 1024 * 4)  # ~3 MiB
+        connection.send(Request(3, "echo", blob))
+        assert client.next_response().payload == blob
+
+    def test_responses_resolve_by_id_not_arrival_order(self, conn):
+        """The client contract is id-matching; arrival order is never
+        assumed (a future multiplexing backend may interleave freely)."""
+        connection, client = conn
+        count = 24
+        for request_id in range(count):
+            connection.send(Request(request_id, "echo", f"payload-{request_id}"))
+        seen = {}
+        for _ in range(count):
+            response = client.next_response()
+            seen[response.request_id] = response.payload
+        assert seen == {i: f"payload-{i}" for i in range(count)}
+
+    def test_worker_error_comes_back_as_error_string(self, conn):
+        connection, client = conn
+        connection.send(Request(4, "no-such-op", None))
+        response = client.next_response()
+        assert response.payload is None
+        assert "MonitorError" in response.error and "no-such-op" in response.error
+
+
+class TestLiveness:
+    def test_fresh_connection_is_alive(self, conn):
+        connection, _ = conn
+        assert connection.alive()
+
+    def test_peer_death_mid_request_fires_disconnect(self, conn):
+        connection, client = conn
+        connection.send(Request(5, "crash", 11))
+        assert client.disconnected.wait(timeout=10), "peer death never signalled"
+        deadline = time.monotonic() + 5
+        while connection.alive() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not connection.alive()
+        with pytest.raises(ServiceError):
+            connection.send(Request(6, "ping", None))
+
+
+class TestClose:
+    def test_send_after_close_refused(self, transport):
+        client = Client()
+        connection = transport.open(client.on_response, client.on_disconnect)
+        connection.close(timeout=5.0)
+        with pytest.raises(ServiceError, match="closed"):
+            connection.send(Request(7, "ping", None))
+        # a locally initiated close is not a peer loss
+        assert not client.disconnected.is_set()
+
+    def test_close_is_idempotent(self, transport):
+        client = Client()
+        connection = transport.open(client.on_response, client.on_disconnect)
+        connection.close(timeout=5.0)
+        connection.close(timeout=5.0)
+
+    def test_close_waits_for_sent_requests(self, transport):
+        """Requests already sent resolve before close tears the channel."""
+        client = Client()
+        connection = transport.open(client.on_response, client.on_disconnect)
+        for request_id in range(5):
+            connection.send(Request(request_id, "echo", request_id))
+        connection.close(timeout=10.0)
+        got = set()
+        while True:
+            try:
+                got.add(client.responses.get_nowait().request_id)
+            except queue.Empty:
+                break
+        assert got == set(range(5))
+
+
+class PoisonDecodeCodec:
+    """Pickle codec whose *client-side* decode chokes on one payload —
+    stands in for a cross-revision peer whose response will not decode."""
+
+    name = "poison-decode"
+
+    def encode(self, obj):
+        import pickle
+
+        return pickle.dumps(obj)
+
+    def decode(self, data):
+        import pickle
+
+        obj = pickle.loads(data)
+        if getattr(obj, "payload", None) == "poison":
+            raise RuntimeError("undecodable response")
+        return obj
+
+
+class TestUndecodableResponse:
+    def test_decode_failure_loses_peer_instead_of_hanging(self):
+        """A response the client codec cannot decode must surface as a
+        peer loss (disconnect + dead connection), never a silent hang."""
+        client = Client()
+        connection = LocalTransport(codec=PoisonDecodeCodec()).open(
+            client.on_response, client.on_disconnect
+        )
+        try:
+            connection.send(Request(1, "echo", "fine"))
+            assert client.next_response().payload == "fine"
+            connection.send(Request(2, "echo", "poison"))
+            assert client.disconnected.wait(timeout=10), (
+                "undecodable response did not surface as peer loss"
+            )
+            assert not connection.alive()
+        finally:
+            connection.close(timeout=2.0)
+
+
+class TestReconnectRefusal:
+    def test_tcp_connect_refused_after_agent_close(self):
+        popen, host, port = spawn_agent()
+        try:
+            transport = TcpTransport(host, port, connect_timeout=2.0)
+            client = Client()
+            connection = transport.open(client.on_response, client.on_disconnect)
+            connection.close(timeout=5.0)
+        finally:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                stale = transport.open(client.on_response, client.on_disconnect)
+            except ServiceError:
+                return  # refused, as demanded
+            stale.close(timeout=0.0)
+            time.sleep(0.1)
+        raise AssertionError("agent kept accepting after shutdown")
