@@ -8,7 +8,14 @@ Two claims, both about the :class:`~repro.service.MonitorService` being a
    every ~2 events, multiplexed over one worker pool.  The sweep reports
    wall-clock and end-to-end event throughput per (S, R) point.
 
-2. **Persistent vs fresh pool** — the same sequence of small batches run
+2. **Skewed feed with live rebalancing** (``--skew``) — 1 hot stream at
+   10× the event rate of 15 cold ones, run with placement frozen at open
+   time and again with the :class:`~repro.service.Rebalancer` migrating
+   the hot stream live (plus one forced mid-stream hop).  The run
+   *asserts* bit-identical verdict sets and all-zero outstanding
+   counters — rebalancing is a scheduling lever, never a semantic one.
+
+3. **Persistent vs fresh pool** — the same sequence of small batches run
    (a) through one persistent service and (b) through a fresh service
    per batch (the legacy ``ParallelMonitor.run_batch`` behaviour: spawn,
    monitor, tear down).  On repeated small batches the fork/teardown tax
@@ -55,6 +62,13 @@ SMOKE_GRID = ((8, 10.0),)
 #: Persistent-vs-fresh comparison: repeated small batches.
 BATCH_ROUNDS = 6
 BATCH_SIZE = 4
+
+#: Skewed-feed workload (--skew): 1 hot stream at 10× the event rate of
+#: each of 15 cold ones, driven over every pool endpoint, with live
+#: rebalancing on vs off — the verdicts must be bit-identical either way.
+SKEW_COLD_STREAMS = 15
+SKEW_HOT_MULTIPLIER = 10
+SKEW_BASE_RATE = 5.0
 
 
 def _stream_events(seed: int, rate: float, length_seconds: float):
@@ -129,6 +143,97 @@ def run_session_sweep_point(
         "events_per_second": total_events / wall if wall else float("inf"),
         "verdict_sets": verdict_sets,
     }
+
+
+def run_skewed_point(
+    workers: int,
+    length_seconds: float,
+    endpoints: list[str] | None = None,
+    rebalance: str | None = None,
+    force_migration: bool = False,
+) -> dict:
+    """Drive the skewed mix (1 hot @ 10× + 15 cold); return wall/verdicts.
+
+    ``rebalance`` turns the live :class:`~repro.service.Rebalancer` on;
+    ``force_migration`` additionally hops the hot stream manually at the
+    half-way boundary, so every run exercises at least one mid-stream
+    migration regardless of policy timing.
+    """
+    spec = parse(SESSION_SPEC)
+    hot_rate = SKEW_BASE_RATE * SKEW_HOT_MULTIPLIER
+    advance_ms = max(MIN_ADVANCE_MS, round(1000.0 * EVENTS_PER_ADVANCE / hot_rate))
+    streams = {0: _stream_events(0, hot_rate, length_seconds)}
+    for seed in range(1, SKEW_COLD_STREAMS + 1):
+        streams[seed] = _stream_events(seed, SKEW_BASE_RATE, length_seconds)
+    total_events = sum(len(events) for events in streams.values())
+    horizon = max((e[1] for events in streams.values() for e in events), default=0)
+    pool = {"endpoints": endpoints} if endpoints else {"workers": workers}
+    if rebalance:
+        pool.update({"rebalance": rebalance, "rebalance_interval": 0.05})
+    started = time.perf_counter()
+    with MonitorService(**pool) as service:
+        handles = {
+            seed: service.open_session(spec, EPSILON) for seed in streams
+        }
+        cursors = {seed: 0 for seed in streams}
+        forced = False
+        boundary = advance_ms
+        while boundary <= horizon + advance_ms:
+            for seed, events in streams.items():
+                session = handles[seed]
+                cursor = cursors[seed]
+                while cursor < len(events) and events[cursor][1] < boundary:
+                    process, t, props = events[cursor]
+                    session.observe(process, t, props)
+                    cursor += 1
+                cursors[seed] = cursor
+                session.advance_to(boundary)
+            if force_migration and not forced and boundary >= horizon // 2:
+                hot = handles[0]
+                live = [
+                    index
+                    for index, dead in enumerate(service.dead_endpoints())
+                    if not dead and index != hot.worker_index
+                ]
+                if live:
+                    service.migrate(hot, live[0])
+                    forced = True
+            boundary += advance_ms
+        results = {seed: handles[seed].finish() for seed in streams}
+        migrations = sum(handles[seed].migrations for seed in streams)
+        leftover = service.outstanding()
+    wall = time.perf_counter() - started
+    assert not any(leftover), f"outstanding counters leaked: {leftover}"
+    verdict_sets = sorted(
+        "".join("TF"[v is False] for v in sorted(r.verdicts, reverse=True))
+        for r in results.values()
+    )
+    return {
+        "events": total_events,
+        "wall": wall,
+        "events_per_second": total_events / wall if wall else float("inf"),
+        "migrations": migrations,
+        "verdict_sets": verdict_sets,
+    }
+
+
+def run_skew_comparison(
+    workers: int, length_seconds: float, endpoints: list[str] | None = None
+) -> dict:
+    """The --skew claim: rebalancing changes the schedule, never the verdicts."""
+    frozen = run_skewed_point(workers, length_seconds, endpoints=endpoints)
+    rebalanced = run_skewed_point(
+        workers,
+        length_seconds,
+        endpoints=endpoints,
+        rebalance="periodic",
+        force_migration=True,
+    )
+    assert rebalanced["verdict_sets"] == frozen["verdict_sets"], (
+        "rebalancing changed the verdicts"
+    )
+    assert rebalanced["migrations"] >= 1, "no migration ever happened"
+    return {"frozen": frozen, "rebalanced": rebalanced}
 
 
 def _batch(seed_base: int) -> list[DistributedComputation]:
@@ -216,6 +321,11 @@ def main() -> int:
         "--smoke", action="store_true",
         help="small workload (CI: exercises pool startup/shutdown quickly)",
     )
+    parser.add_argument(
+        "--skew", action="store_true",
+        help="skewed-feed workload (1 hot stream @ 10x vs 15 cold) with live "
+        "rebalancing on vs off; asserts bit-identical verdicts",
+    )
     parser.add_argument("--workers", type=int, default=None, help="pool size")
     parser.add_argument(
         "--endpoint", action="append", default=None, metavar="SPEC",
@@ -232,6 +342,23 @@ def main() -> int:
 
     pool_text = ", ".join(args.endpoint) if args.endpoint else f"{workers} local"
     print(f"cpu cores: {cores}, workers: {pool_text}")
+
+    if args.skew:
+        print(
+            f"\nskewed feed (1 hot @ {SKEW_HOT_MULTIPLIER}x + {SKEW_COLD_STREAMS} "
+            f"cold, rebalancing off vs on):"
+        )
+        comparison = run_skew_comparison(workers, length, endpoints=args.endpoint)
+        for label in ("frozen", "rebalanced"):
+            point = comparison[label]
+            print(
+                f"  {label:>10}: {point['events']:>6} events  "
+                f"wall {point['wall']:.3f}s  {point['events_per_second']:>7.0f} ev/s  "
+                f"{point['migrations']} migration(s)"
+            )
+        print("  verdicts bit-identical with rebalancing: ok (asserted)")
+        return 0
+
     print(
         f"\nsession sweep (~{EVENTS_PER_ADVANCE:.0f} events per advance, "
         f"epsilon {EPSILON} ms):"

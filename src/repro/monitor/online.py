@@ -27,6 +27,10 @@ from repro.mtl.ast import FalseConst, Formula, TrueConst
 from repro.monitor.verdicts import MonitorResult, SegmentReport
 from repro.progression.progressor import close
 
+#: Version tag carried by :meth:`OnlineMonitor.snapshot` payloads, so a
+#: state produced by one revision is rejected (not misread) by another.
+SNAPSHOT_VERSION = 1
+
 
 class OnlineMonitor:
     """Incremental monitor over a live, partially synchronous event feed."""
@@ -181,6 +185,74 @@ class OnlineMonitor:
         self._base_valuation, self._frontier_props = segment_carry(
             computation.events, self._base_valuation, self._frontier_props
         )
+
+    # -- migration -----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the full monitor state for migration to another host.
+
+        The snapshot captures everything :meth:`restore` needs to resume
+        the stream exactly where this instance stands: the frontier and
+        segment counters, buffered (not yet consumed) events, carried
+        residual formulas with their trace-class counts, the valuation /
+        proposition context carried across segment boundaries, and the
+        verdicts decided so far.  The returned dict references this
+        monitor's live objects — it is meant to cross a process boundary
+        (where serialization copies it); a caller restoring *in the same
+        process* must stop using the origin instance afterwards.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "formula": self._formula,
+            "epsilon": self._epsilon,
+            "max_traces": self._max_traces,
+            "backend": self._backend,
+            "buffer": list(self._buffer),
+            "carried": dict(self._carried),
+            "anchor": self._anchor,
+            "frontier": self._frontier,
+            "first_segment_done": self._first_segment_done,
+            "base_valuation": dict(self._base_valuation),
+            "frontier_props": dict(self._frontier_props),
+            "result": self._result,
+            "finished": self._finished,
+            "segment_counter": self._segment_counter,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "OnlineMonitor":
+        """Rehydrate a monitor from a :meth:`snapshot` payload.
+
+        The restored instance continues the stream bit-identically: the
+        same events observed and boundaries advanced on it produce the
+        same verdict multiset the origin instance would have produced.
+        """
+        try:
+            version = snapshot["version"]
+        except (TypeError, KeyError):
+            raise MonitorError("malformed online-monitor snapshot") from None
+        if version != SNAPSHOT_VERSION:
+            raise MonitorError(
+                f"online-monitor snapshot version {version} is not the "
+                f"supported version {SNAPSHOT_VERSION}"
+            )
+        monitor = cls(
+            snapshot["formula"],
+            snapshot["epsilon"],
+            max_traces_per_segment=snapshot["max_traces"],
+            backend=snapshot["backend"],
+        )
+        monitor._buffer = list(snapshot["buffer"])
+        monitor._carried = dict(snapshot["carried"])
+        monitor._anchor = snapshot["anchor"]
+        monitor._frontier = snapshot["frontier"]
+        monitor._first_segment_done = snapshot["first_segment_done"]
+        monitor._base_valuation = dict(snapshot["base_valuation"])
+        monitor._frontier_props = dict(snapshot["frontier_props"])
+        monitor._result = snapshot["result"]
+        monitor._finished = snapshot["finished"]
+        monitor._segment_counter = snapshot["segment_counter"]
+        return monitor
 
     # -- finishing -----------------------------------------------------------------
 

@@ -12,10 +12,15 @@ Public surface::
 Workers live behind the pluggable transport layer
 (:mod:`repro.transport`): the default pool spawns local processes, and
 ``MonitorService(endpoints=["tcp://host:7701", "local", ...])`` mixes
-remote worker agents into the same pool.
+remote worker agents into the same pool.  Sessions are migratable while
+live (``svc.migrate(session, endpoint)``), and
+``MonitorService(rebalance="threshold")`` starts a
+:class:`~repro.service.rebalance.Rebalancer` that moves hot streams off
+overloaded endpoints automatically.
 """
 
 from repro.service.futures import MonitorFuture
+from repro.service.rebalance import Migration, PoolView, Rebalancer
 from repro.service.reports import BatchReport
 from repro.service.service import MonitorService, default_workers
 from repro.service.session import Session, SessionStatus
@@ -24,9 +29,12 @@ from repro.service.tasks import BatchItem, MonitorTask, SegmentShardTask
 __all__ = [
     "BatchItem",
     "BatchReport",
+    "Migration",
     "MonitorFuture",
     "MonitorService",
     "MonitorTask",
+    "PoolView",
+    "Rebalancer",
     "SegmentShardTask",
     "Session",
     "SessionStatus",

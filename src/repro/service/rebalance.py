@@ -1,0 +1,309 @@
+"""Live rebalancing: migrate hot sessions off overloaded endpoints.
+
+Session placement is decided once, at ``open_session`` time — good
+enough for uniform feeds, but a skewed mix (one stream running 10× the
+event rate of the rest) pins load to whichever endpoint looked quiet at
+open.  The :class:`Rebalancer` closes that gap: a background thread that
+watches two signals —
+
+* per-endpoint **outstanding-request depth**
+  (:meth:`~repro.service.MonitorService.outstanding`, the same signal
+  ``least_loaded`` placement uses), and
+* per-session **event rates** (deltas of
+  :attr:`~repro.service.session.Session.events_observed` between
+  cycles),
+
+and migrates the hottest sessions off overloaded endpoints via
+:meth:`~repro.service.session.Session.migrate` (the worker-side
+snapshot/restore hop), working identically over local and TCP
+transports.  Migration never changes verdicts — the snapshot carries the
+monitor's exact state — so rebalancing is purely a latency/throughput
+lever.
+
+Policies are pluggable: pass ``"threshold"`` (hop only when endpoint
+queue depths diverge), ``"periodic"`` (every cycle, greedily even out
+per-endpoint event rates), or any callable ``policy(view) -> [(session,
+target_index), ...]`` taking a :class:`PoolView`.  Manual control stays
+available regardless: :meth:`~repro.service.MonitorService.migrate`.
+
+Usage::
+
+    with MonitorService(workers=4, rebalance="threshold") as svc:   # automatic
+        ...
+    rb = Rebalancer(service, policy="periodic", interval=0.2)       # explicit
+    rb.start(); ...; rb.stop()
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.errors import MonitorError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.service import MonitorService
+    from repro.service.session import Session
+
+#: Default cadence of rebalance cycles (seconds).
+REBALANCE_INTERVAL = 0.25
+
+#: Default ``"threshold"`` policy trigger: the busiest endpoint must hold
+#: at least this many more outstanding requests than the quietest.
+OUTSTANDING_THRESHOLD = 2
+
+#: Policy names accepted by :class:`Rebalancer` and ``MonitorService(rebalance=...)``.
+POLICIES = ("threshold", "periodic")
+
+#: Cycles a freshly migrated session sits out before it may hop again —
+#: damping for signals (queue depth, rates) that need a cycle or two to
+#: reflect the move.
+MIGRATION_COOLDOWN_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class PoolView:
+    """One cycle's picture of the pool, handed to the policy."""
+
+    #: Per-endpoint outstanding-request depth, by worker index.
+    outstanding: Sequence[int]
+    #: Per-endpoint death flags (a dead endpoint is never a target).
+    dead: Sequence[bool]
+    #: Live sessions, each pinned to ``session.worker_index``.
+    sessions: Sequence["Session"]
+    #: Per-session event rate (events/second since the previous cycle).
+    rates: dict[int, float]
+
+    def live_endpoints(self) -> list[int]:
+        return [index for index, dead in enumerate(self.dead) if not dead]
+
+    def endpoint_rate(self, worker_index: int) -> float:
+        """Summed event rate of the sessions pinned to one endpoint."""
+        return sum(
+            self.rates.get(session.session_id, 0.0)
+            for session in self.sessions
+            if session.worker_index == worker_index
+        )
+
+    def session_count(self, worker_index: int) -> int:
+        """Live sessions currently pinned to one endpoint."""
+        return sum(
+            1
+            for session in self.sessions
+            if session.worker_index == worker_index and not session.finished
+        )
+
+    def hottest_session(self, worker_index: int) -> "Session | None":
+        """The highest-rate live session on one endpoint, if any."""
+        candidates = [
+            session for session in self.sessions
+            if session.worker_index == worker_index and not session.finished
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda s: self.rates.get(s.session_id, 0.0)
+        )
+
+
+#: A policy maps one :class:`PoolView` to the migrations to attempt.
+Policy = Callable[[PoolView], "list[tuple[Session, int]]"]
+
+
+def threshold_policy(threshold: int = OUTSTANDING_THRESHOLD) -> Policy:
+    """Hop only on queue-depth divergence.
+
+    When the busiest live endpoint holds at least ``threshold`` more
+    outstanding requests than the quietest, move its hottest session to
+    the quietest.  Conservative: an evenly loaded pool never migrates.
+    """
+
+    def policy(view: PoolView) -> list[tuple["Session", int]]:
+        live = view.live_endpoints()
+        if len(live) < 2:
+            return []
+        busiest = max(live, key=lambda i: view.outstanding[i])
+        quietest = min(live, key=lambda i: view.outstanding[i])
+        if view.outstanding[busiest] - view.outstanding[quietest] < threshold:
+            return []
+        session = view.hottest_session(busiest)
+        if session is None:
+            return []
+        return [(session, quietest)]
+
+    return policy
+
+
+def periodic_policy() -> Policy:
+    """Greedily even out per-endpoint event rates every cycle.
+
+    Moves the hottest session off the endpoint with the highest summed
+    event rate to the one with the lowest — but only off an endpoint it
+    *shares*: isolating a hot stream relieves its co-tenants, whereas
+    bouncing a lone hot stream between endpoints shifts the same load
+    around forever (a rate-symmetric swap), so a session alone on its
+    endpoint stays put and the policy reaches a fixed point.
+    """
+
+    def policy(view: PoolView) -> list[tuple["Session", int]]:
+        live = view.live_endpoints()
+        if len(live) < 2:
+            return []
+        by_rate = {index: view.endpoint_rate(index) for index in live}
+        busiest = max(live, key=lambda i: by_rate[i])
+        quietest = min(live, key=lambda i: (by_rate[i], view.session_count(i)))
+        if by_rate[busiest] <= by_rate[quietest]:
+            return []
+        if view.session_count(busiest) < 2:
+            return []  # already isolated: moving it is a pure swap
+        session = view.hottest_session(busiest)
+        if session is None or view.rates.get(session.session_id, 0.0) <= 0.0:
+            return []
+        return [(session, quietest)]
+
+    return policy
+
+
+def resolve_policy(spec: "str | Policy", threshold: int = OUTSTANDING_THRESHOLD) -> Policy:
+    """Turn a policy spec (name or callable) into a callable policy."""
+    if callable(spec):
+        return spec
+    if spec == "threshold":
+        return threshold_policy(threshold)
+    if spec == "periodic":
+        return periodic_policy()
+    raise MonitorError(
+        f"unknown rebalance policy {spec!r}; known: {', '.join(POLICIES)} "
+        f"or any callable policy(view)"
+    )
+
+
+@dataclass(frozen=True)
+class Migration:
+    """Record of one completed hop (see :attr:`Rebalancer.migrations`)."""
+
+    session_id: int
+    origin: int
+    target: int
+
+
+@dataclass
+class RebalanceStats:
+    """Counters the rebalancer keeps for introspection and tests."""
+
+    cycles: int = 0
+    migrations: list[Migration] = field(default_factory=list)
+    failed: int = 0
+
+
+class Rebalancer:
+    """Background thread that applies a rebalance policy to a service.
+
+    Migrations are best-effort: a hop that fails (target died between
+    the decision and the move, session finished mid-decision) is counted
+    in ``stats.failed`` and the stream stays where it was — the policy
+    simply sees the true picture again next cycle.
+    """
+
+    def __init__(
+        self,
+        service: "MonitorService",
+        policy: "str | Policy" = "threshold",
+        interval: float = REBALANCE_INTERVAL,
+        threshold: int = OUTSTANDING_THRESHOLD,
+        cooldown: int = MIGRATION_COOLDOWN_CYCLES,
+    ) -> None:
+        if interval <= 0:
+            raise MonitorError(f"rebalance interval must be > 0, got {interval}")
+        self._service = service
+        self._policy = resolve_policy(policy, threshold)
+        self._interval = interval
+        self._cooldown = max(0, cooldown)
+        self._cooling: dict[int, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last_counts: dict[int, int] = {}
+        self.stats = RebalanceStats()
+
+    @property
+    def migrations(self) -> list[Migration]:
+        """Completed hops, in order."""
+        return list(self.stats.migrations)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Rebalancer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="monitor-service-rebalancer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # -- one cycle ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            if self._service.closed:
+                return
+            try:
+                self.run_cycle()
+            except Exception:  # noqa: BLE001 — rebalancing must never kill the pool
+                self.stats.failed += 1
+
+    def run_cycle(self) -> list[Migration]:
+        """Sample the pool, ask the policy, attempt its migrations.
+
+        Public so tests and manual operators can drive cycles
+        deterministically without the background thread.
+        """
+        view = self._build_view()
+        self._cooling = {
+            session_id: left - 1
+            for session_id, left in self._cooling.items()
+            if left > 1
+        }
+        moved: list[Migration] = []
+        for session, target in self._policy(view):
+            origin = session.worker_index
+            if target == origin or view.dead[target]:
+                continue
+            if session.session_id in self._cooling:
+                continue  # just hopped: let the signals catch up first
+            try:
+                session.migrate(target)
+            except Exception:  # noqa: BLE001 — best-effort; retry next cycle
+                self.stats.failed += 1
+                continue
+            record = Migration(session.session_id, origin, target)
+            self.stats.migrations.append(record)
+            moved.append(record)
+            if self._cooldown:
+                self._cooling[session.session_id] = self._cooldown
+        self.stats.cycles += 1
+        return moved
+
+    def _build_view(self) -> PoolView:
+        sessions = self._service.live_sessions()
+        counts = {session.session_id: session.events_observed for session in sessions}
+        rates = {
+            session_id: max(0.0, (count - self._last_counts.get(session_id, 0)))
+            / self._interval
+            for session_id, count in counts.items()
+        }
+        self._last_counts = counts
+        return PoolView(
+            outstanding=self._service.outstanding(),
+            dead=self._service.dead_endpoints(),
+            sessions=sessions,
+            rates=rates,
+        )

@@ -32,6 +32,11 @@ that fixes both:
   ``placement="least_loaded"`` from per-endpoint outstanding-request
   depth) and returns a :class:`~repro.service.session.Session` handle.
   Requests for one session stay strictly ordered on its endpoint.
+  Placement is no longer frozen at open time: :meth:`migrate` moves a
+  live stream to another endpoint mid-feed (worker-side
+  snapshot/restore), and ``rebalance="threshold"|"periodic"`` starts a
+  :class:`~repro.service.rebalance.Rebalancer` that does it
+  automatically for skewed feed mixes.
 
 Usage::
 
@@ -116,6 +121,16 @@ class MonitorService:
         own (calibrate on their host via ``REPRO_FACTORY_CALIBRATION``).
     auto_calibrate_budget:
         Wall-clock budget per calibration probe, seconds.
+    rebalance:
+        Live-rebalancing policy: ``"threshold"``, ``"periodic"``, or any
+        callable ``policy(view)`` (see :mod:`repro.service.rebalance`).
+        ``None`` (default) keeps placement frozen at open time; manual
+        :meth:`migrate` works either way.
+    rebalance_interval:
+        Cadence of rebalance cycles, seconds.
+    rebalance_threshold:
+        Outstanding-depth divergence that triggers the ``"threshold"``
+        policy.
     **monitor_kwargs:
         Default engine knobs for batch items (``segments=``, budgets, ...),
         merged with per-call overrides.
@@ -130,8 +145,38 @@ class MonitorService:
         endpoints: Sequence[Transport | str] | None = None,
         auto_calibrate: bool = False,
         auto_calibrate_budget: float = 1.0,
+        rebalance=None,
+        rebalance_interval: float | None = None,
+        rebalance_threshold: int | None = None,
         **monitor_kwargs,
     ) -> None:
+        # Rebalance arguments are validated before any worker spawns: a
+        # typo'd policy name must not pay (then tear down) a pool start.
+        rebalance_policy = None
+        if rebalance is not None:
+            from repro.service.rebalance import (
+                OUTSTANDING_THRESHOLD,
+                REBALANCE_INTERVAL,
+                resolve_policy,
+            )
+
+            rebalance_policy = resolve_policy(
+                rebalance,
+                rebalance_threshold
+                if rebalance_threshold is not None
+                else OUTSTANDING_THRESHOLD,
+            )
+            if rebalance_interval is None:
+                rebalance_interval = REBALANCE_INTERVAL
+            if rebalance_interval <= 0:
+                raise MonitorError(
+                    f"rebalance interval must be > 0, got {rebalance_interval}"
+                )
+        elif rebalance_interval is not None or rebalance_threshold is not None:
+            raise MonitorError(
+                "rebalance_interval/rebalance_threshold need a rebalance policy"
+            )
+
         if endpoints is not None:
             transports = [resolve_transport(spec) for spec in endpoints]
             if not transports:
@@ -217,6 +262,18 @@ class MonitorService:
         )
         self._liveness.start()
 
+        self.rebalancer = None
+        if rebalance_policy is not None:
+            from repro.service.rebalance import Rebalancer
+
+            try:
+                self.rebalancer = Rebalancer(
+                    self, policy=rebalance_policy, interval=rebalance_interval
+                ).start()
+            except BaseException:
+                self.close(timeout=1.0)
+                raise
+
     # -- introspection -------------------------------------------------------------
 
     @property
@@ -247,6 +304,16 @@ class MonitorService:
         """Per-endpoint outstanding-request depth (the placement signal)."""
         with self._lock:
             return list(self._outstanding)
+
+    def dead_endpoints(self) -> list[bool]:
+        """Per-endpoint death flags (reaped endpoints stay dead)."""
+        with self._lock:
+            return list(self._dead)
+
+    def live_sessions(self) -> list[Session]:
+        """The sessions currently tracked by this client (rebalancer input)."""
+        with self._lock:
+            return list(self._sessions.values())
 
     def worker_pids(self) -> list[int]:
         """PID of every pool worker (round-trips a ping through each endpoint)."""
@@ -402,11 +469,43 @@ class MonitorService:
             (session_id, formula, epsilon, dict(monitor_kwargs)),
         ).result()
         session = Session(self, session_id, worker_index, formula, epsilon)
-        self._sessions[session_id] = session
+        with self._lock:
+            self._sessions[session_id] = session
         return session
 
+    def migrate(self, session: Session, endpoint: int | str) -> None:
+        """Move a live session to another pool endpoint, mid-stream.
+
+        ``endpoint`` is a worker index or an endpoint description from
+        :meth:`endpoints` (``"local[3]"``, ``"tcp://host:7701"``).  The
+        hop is the worker-side snapshot/restore pair behind
+        :meth:`Session.migrate <repro.service.session.Session.migrate>`:
+        verdicts are unaffected, ordering is preserved, and a failed hop
+        leaves the stream usable on its origin endpoint.  This is the
+        manual counterpart of the automatic
+        :class:`~repro.service.rebalance.Rebalancer` policies.
+        """
+        self._ensure_open()
+        session.migrate(self._resolve_endpoint_index(endpoint))
+
+    def _resolve_endpoint_index(self, endpoint: int | str) -> int:
+        if isinstance(endpoint, int):
+            if not 0 <= endpoint < self._workers:
+                raise MonitorError(
+                    f"no endpoint {endpoint} in a pool of {self._workers}"
+                )
+            return endpoint
+        descriptions = self.endpoints()
+        try:
+            return descriptions.index(endpoint)
+        except ValueError:
+            raise MonitorError(
+                f"no endpoint {endpoint!r} in this pool; known: {descriptions}"
+            ) from None
+
     def _forget_session(self, session_id: int) -> None:
-        self._sessions.pop(session_id, None)
+        with self._lock:
+            self._sessions.pop(session_id, None)
 
     def _send_session(self, worker_index: int, op: str, payload) -> MonitorFuture:
         self._ensure_open()
@@ -430,6 +529,10 @@ class MonitorService:
             if self._closed:
                 return
             self._closed = True
+        if self.rebalancer is not None:
+            # Before the connections go: a mid-close migration would race
+            # the drain deadlines for no benefit.
+            self.rebalancer.stop()
         self._liveness_stop.set()
         deadline = time.monotonic() + timeout
         for index, connection in enumerate(self._connections):
@@ -442,9 +545,12 @@ class MonitorService:
             leftovers = list(self._futures.values())
             self._futures.clear()
             self._request_to_worker.clear()
+            # Every tracked request is now resolved or failed; the
+            # counters must agree (the placement-signal invariant).
+            self._outstanding = [0] * self._workers
+            self._sessions.clear()
         for future in leftovers:
             future.resolve(None, "ServiceError: service closed before completion")
-        self._sessions.clear()
         self._cleanup_calibration_artifacts()
 
     def _cleanup_calibration_artifacts(self) -> None:
@@ -543,8 +649,11 @@ class MonitorService:
             self._connections[worker_index].send(
                 Request(CONTROL_ID, "drop", request_id)
             )
-        except ServiceError:
-            pass  # peer already gone: its reaping settles the books
+        except Exception:  # noqa: BLE001 — any send failure, not just ServiceError
+            # Peer gone or channel broken: reaping (or close) settles the
+            # books.  A drop frame must never raise out of cancel() or
+            # leave the outstanding counters depending on its delivery.
+            pass
 
     def _make_on_response(self, worker_index: int):
         def on_response(response: Response) -> None:
@@ -603,6 +712,13 @@ class MonitorService:
                     self._outstanding[worker_index] -= 1
                     if future is not None:
                         orphans.append((worker_index, future))
+            for index in worker_indices:
+                # A dead endpoint can never answer again, so any residue
+                # here is by definition a leak — and a permanent one,
+                # since reaping runs once per endpoint.  Zeroing keeps
+                # the placement signal (and the rebalancer feeding on
+                # it) honest whatever path dropped the pairing.
+                self._outstanding[index] = 0
         for worker_index, future in orphans:
             future.resolve(
                 None,

@@ -13,24 +13,40 @@ frontier, a non-advancing boundary) therefore surface at the *next
 synchronising call* (``advance_to``/``poll``/``finish``), not at
 ``observe`` itself — the one semantic difference from the in-process
 ``OnlineMonitor``.
+
+Sessions are **migratable**: :meth:`migrate` moves the worker-side
+monitor state to another pool endpoint mid-stream (see
+:mod:`repro.service.rebalance` for the policies that decide when).  All
+session calls serialize on one internal lock, so a migration triggered
+by a background rebalancer interleaves safely with the thread feeding
+the stream, and per-stream ordering holds across the hop: everything
+sent before the hop completes on the origin endpoint before the snapshot
+is taken, and everything after goes to the target.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
-from repro.errors import MonitorError
+from repro.errors import MonitorError, ServiceError
 from repro.monitor.verdicts import MonitorResult
 from repro.mtl.ast import Formula
 from repro.service.futures import MonitorFuture, raise_remote
+from repro.transport.frames import RESTORE_SESSION, SNAPSHOT_SESSION
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.service.service import MonitorService
 
 #: Client-side observe buffer auto-flushes beyond this many events.
 OBSERVE_FLUSH_THRESHOLD = 256
+
+#: Bound on each blocking round-trip inside a migration (snapshot,
+#: restore): a hop must fail loudly rather than park the stream forever
+#: behind a wedged endpoint.
+MIGRATE_TIMEOUT = 30.0
 
 
 @dataclass(frozen=True)
@@ -64,6 +80,12 @@ class Session:
         self._inflight: deque[MonitorFuture] = deque()
         self._finished = False
         self._result: MonitorResult | None = None
+        # One lock serializes every session call (feeding thread,
+        # rebalancer thread): reentrant because the synchronising calls
+        # flush internally.
+        self._lock = threading.RLock()
+        self._events_observed = 0
+        self._migrations = 0
 
     @property
     def session_id(self) -> int:
@@ -71,7 +93,8 @@ class Session:
 
     @property
     def worker_index(self) -> int:
-        """The pool worker this session is sharded to."""
+        """The pool worker this session is currently pinned to (may change
+        when the session is migrated)."""
         return self._worker
 
     @property
@@ -92,6 +115,16 @@ class Session:
     def finished(self) -> bool:
         return self._finished
 
+    @property
+    def events_observed(self) -> int:
+        """Total events fed so far (the rebalancer's per-stream heat signal)."""
+        return self._events_observed
+
+    @property
+    def migrations(self) -> int:
+        """How many times this stream has hopped endpoints."""
+        return self._migrations
+
     # -- feeding -----------------------------------------------------------------
 
     def observe(
@@ -102,21 +135,37 @@ class Session:
         deltas: Mapping[str, float] | None = None,
     ) -> None:
         """Buffer one event for the stream (asynchronous, non-blocking)."""
-        self._ensure_live()
-        if isinstance(props, str):
-            props = (props,)
-        self._buffer.append(
-            (process, local_time, frozenset(props), dict(deltas) if deltas else None)
-        )
-        if len(self._buffer) >= OBSERVE_FLUSH_THRESHOLD:
-            self._flush()
+        with self._lock:
+            self._ensure_live()
+            if isinstance(props, str):
+                props = (props,)
+            self._buffer.append(
+                (process, local_time, frozenset(props), dict(deltas) if deltas else None)
+            )
+            self._events_observed += 1
+            if len(self._buffer) >= OBSERVE_FLUSH_THRESHOLD:
+                self._flush()
 
     def _flush(self) -> None:
-        """Ship buffered events to the worker (fire-and-forget, tracked)."""
+        """Ship buffered events to the worker (fire-and-forget, tracked).
+
+        A send that fails (dead endpoint, closed service) keeps the
+        buffer intact and raises :class:`~repro.errors.ServiceError`
+        naming the event count — buffered events must never be dropped
+        silently just because the worker died before a flush.
+        """
         if not self._buffer:
             return
-        events, self._buffer = self._buffer, []
-        future = self._service._send_session(self._worker, "session_observe", (self._id, events))
+        try:
+            future = self._service._send_session(
+                self._worker, "session_observe", (self._id, self._buffer)
+            )
+        except ServiceError as exc:
+            raise ServiceError(
+                f"{len(self._buffer)} buffered observe event(s) for session "
+                f"{self._id} could not be flushed to {self._endpoint_text()}: {exc}"
+            ) from exc
+        self._buffer = []
         self._inflight.append(future)
 
     def _check_inflight(self, wait: bool = False) -> None:
@@ -138,29 +187,31 @@ class Session:
 
     def advance_to(self, boundary: int) -> frozenset[bool]:
         """Declare all times below ``boundary`` final; return decided verdicts."""
-        self._ensure_live()
-        self._flush()
-        self._check_inflight()
-        verdicts = self._roundtrip("session_advance", (self._id, boundary))
-        self._check_inflight(wait=True)
-        return verdicts
+        with self._lock:
+            self._ensure_live()
+            self._flush()
+            self._check_inflight()
+            verdicts = self._roundtrip("session_advance", (self._id, boundary))
+            self._check_inflight(wait=True)
+            return verdicts
 
     def poll(self) -> SessionStatus:
         """Current verdicts / buffered-event / residual counts (cheap round-trip)."""
-        if self._finished:
-            return SessionStatus(
-                verdicts=self._result.verdicts if self._result else frozenset(),
-                pending=0,
-                undecided_residuals=0,
-                finished=True,
-            )
-        self._flush()
-        self._check_inflight()
-        status = self._roundtrip("session_poll", (self._id,))
-        # Responses are FIFO per worker, so any flushed observe batch has
-        # resolved by now — surface its rejection here, not one call late.
-        self._check_inflight(wait=True)
-        return status
+        with self._lock:
+            if self._finished:
+                return SessionStatus(
+                    verdicts=self._result.verdicts if self._result else frozenset(),
+                    pending=0,
+                    undecided_residuals=0,
+                    finished=True,
+                )
+            self._flush()
+            self._check_inflight()
+            status = self._roundtrip("session_poll", (self._id,))
+            # Responses are FIFO per worker, so any flushed observe batch has
+            # resolved by now — surface its rejection here, not one call late.
+            self._check_inflight(wait=True)
+            return status
 
     def finish(self) -> MonitorResult:
         """Consume everything buffered, close residuals, return the verdicts.
@@ -168,35 +219,112 @@ class Session:
         Idempotent: repeated calls return the same result object.  A
         session discarded with :meth:`close` has no verdicts to return.
         """
-        if self._finished:
-            if self._result is None:
-                raise MonitorError(
-                    f"session {self._id} was closed without computing verdicts"
-                )
+        with self._lock:
+            if self._finished:
+                if self._result is None:
+                    raise MonitorError(
+                        f"session {self._id} was closed without computing verdicts"
+                    )
+                return self._result
+            self._flush()
+            self._check_inflight()
+            self._result = self._roundtrip("session_finish", (self._id,))
+            self._finished = True
+            self._service._forget_session(self._id)
             return self._result
-        self._flush()
-        self._check_inflight()
-        self._result = self._roundtrip("session_finish", (self._id,))
-        self._finished = True
-        self._service._forget_session(self._id)
-        return self._result
 
     def close(self) -> None:
         """Discard the stream without computing verdicts."""
-        if self._finished:
-            return
-        self._buffer.clear()
-        self._inflight.clear()
+        with self._lock:
+            if self._finished:
+                return
+            self._buffer.clear()
+            self._inflight.clear()
+            try:
+                self._roundtrip("session_close", (self._id,))
+            finally:
+                self._finished = True
+                self._service._forget_session(self._id)
+
+    # -- migration ----------------------------------------------------------------
+
+    def migrate(self, target_index: int, timeout: float = MIGRATE_TIMEOUT) -> None:
+        """Move this stream's monitor state to another pool endpoint.
+
+        The hop preserves strict per-stream ordering and is atomic from
+        the caller's perspective:
+
+        1. the client observe buffer is drained to the origin endpoint
+           (so the snapshot sees every event observed so far);
+        2. the origin serializes the monitor (``session_snapshot``) —
+           FIFO per connection, so the snapshot executes after every
+           flushed batch;
+        3. the target rehydrates it (``session_restore``);
+        4. only then is the stale origin copy discarded and the session
+           repointed — every later call goes to the target.
+
+        A failed hop (dead target, refused restore) raises and leaves
+        the stream exactly where it was, still usable on the origin.
+        Safe to call from a background thread (the rebalancer) while
+        another thread feeds the stream.
+        """
+        with self._lock:
+            self._ensure_live()
+            origin = self._worker
+            if target_index == origin:
+                return
+            if not 0 <= target_index < self._service.workers:
+                raise MonitorError(
+                    f"cannot migrate session {self._id}: no endpoint {target_index} "
+                    f"in a pool of {self._service.workers}"
+                )
+            self._flush()
+            snapshot = self._service._send_session(
+                origin, SNAPSHOT_SESSION, (self._id,)
+            ).result(timeout)
+            # FIFO: every flushed observe batch resolved before the
+            # snapshot did — surface a rejection now, before the hop.
+            self._check_inflight(wait=True)
+            try:
+                self._service._send_session(
+                    target_index, RESTORE_SESSION, (self._id, snapshot)
+                ).result(timeout)
+            except BaseException:
+                # The restore may still be queued on the target (a
+                # timeout lost the race, not the request): queue a
+                # discard behind it — FIFO, so whichever way the race
+                # went the target ends up without a duplicate copy.
+                self._discard_copy(target_index)
+                raise
+            # The hop landed: repoint, then discard the stale origin
+            # copy.  Waiting for the ack keeps the outstanding counters
+            # settled when migrate returns; a dying origin takes its
+            # copy with it, so failure here is fine.
+            self._worker = target_index
+            self._migrations += 1
+            self._discard_copy(origin, wait=timeout)
+
+    def _discard_copy(self, worker_index: int, wait: float | None = None) -> None:
+        """Best-effort ``session_close`` for a stale copy on one endpoint."""
         try:
-            self._roundtrip("session_close", (self._id,))
-        finally:
-            self._finished = True
-            self._service._forget_session(self._id)
+            future = self._service._send_session(
+                worker_index, "session_close", (self._id,)
+            )
+            if wait is not None:
+                future.result(wait)
+        except Exception:  # noqa: BLE001 — cleanup must not mask the outcome
+            pass
 
     # -- plumbing -----------------------------------------------------------------
 
     def _roundtrip(self, op: str, payload: object):
         return self._service._send_session(self._worker, op, payload).result()
+
+    def _endpoint_text(self) -> str:
+        try:
+            return self._service.endpoint(self._worker)
+        except Exception:  # noqa: BLE001 — diagnostics must not mask the error
+            return f"worker {self._worker}"
 
     def _ensure_live(self) -> None:
         if self._finished:

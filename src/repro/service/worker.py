@@ -40,6 +40,8 @@ from repro.service.tasks import (
 from repro.transport.frames import (
     CONTROL_ID,
     DEFAULT_CODEC,
+    RESTORE_SESSION,
+    SNAPSHOT_SESSION,
     Codec,
     Request,
     Response,
@@ -224,6 +226,20 @@ def _dispatch(op: str, payload: Any, sessions: dict[int, OnlineMonitor]) -> Any:
     if op == "session_close":
         (session_id,) = payload
         return sessions.pop(session_id, None) is not None
+    if op == SNAPSHOT_SESSION:
+        # Serialize-but-keep: the origin copy stays live until the client
+        # confirms the restore landed, so a failed hop (dead target,
+        # refused restore) leaves the stream usable where it was.  The
+        # client discards the origin copy (``session_close``) only after
+        # the target acknowledged.
+        (session_id,) = payload
+        return _session(sessions, session_id).snapshot()
+    if op == RESTORE_SESSION:
+        session_id, snapshot = payload
+        if session_id in sessions:
+            raise MonitorError(f"session {session_id} already open")
+        sessions[session_id] = OnlineMonitor.restore(snapshot)
+        return session_id
     if op == "ping":
         return (os.getpid(), len(sessions))
     if op == "echo":

@@ -20,6 +20,9 @@ from repro.transport.frames import (
     CONTROL_ID,
     DEFAULT_CODEC,
     HEARTBEAT_ID,
+    KNOWN_OPS,
+    RESTORE_SESSION,
+    SNAPSHOT_SESSION,
     Codec,
     PickleCodec,
     Request,
@@ -36,12 +39,15 @@ __all__ = [
     "Connection",
     "DEFAULT_CODEC",
     "HEARTBEAT_ID",
+    "KNOWN_OPS",
     "Listener",
     "LocalConnection",
     "LocalTransport",
     "PickleCodec",
+    "RESTORE_SESSION",
     "Request",
     "Response",
+    "SNAPSHOT_SESSION",
     "TcpConnection",
     "TcpTransport",
     "Transport",

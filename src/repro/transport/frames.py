@@ -41,6 +41,35 @@ HEARTBEAT_ID = -1
 #: Reserved request id for fire-and-forget control frames (no response).
 CONTROL_ID = -2
 
+#: Session-migration ops (see the frame-op table in DESIGN.md): snapshot
+#: serializes one live session's full monitor state off its worker;
+#: restore rehydrates that state under the same session id on another.
+#: Named here — not just in the worker's dispatch — because both sides
+#: of the wire and the client-side migration logic must agree on them.
+SNAPSHOT_SESSION = "session_snapshot"
+RESTORE_SESSION = "session_restore"
+
+#: Every op the request executor understands, for conformance checks and
+#: protocol docs.  ``drop`` rides on :data:`CONTROL_ID` and produces no
+#: response; everything else produces exactly one.
+KNOWN_OPS = (
+    "monitor",
+    "shard",
+    "session_open",
+    "session_observe",
+    "session_advance",
+    "session_poll",
+    "session_finish",
+    "session_close",
+    SNAPSHOT_SESSION,
+    RESTORE_SESSION,
+    "ping",
+    "echo",
+    "sleep",
+    "crash",
+    "drop",
+)
+
 FRAME_MAGIC = b"RV"
 FRAME_VERSION = 1
 

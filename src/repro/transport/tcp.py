@@ -130,6 +130,8 @@ class TcpConnection(Connection):
         self._disconnected = False
         self._disconnect_fired = False
         self._disconnect_lock = threading.Lock()
+        self._torn_down = False
+        self._teardown_lock = threading.Lock()
         self._last_rx = time.monotonic()
         self._outstanding = 0
         self._drained = threading.Condition()
@@ -169,8 +171,15 @@ class TcpConnection(Connection):
                     self._outstanding -= 1
                     self._drained.notify_all()
             if isinstance(exc, OSError):
+                # Includes the race where the reader/heartbeat lost the
+                # peer (and closed the socket) between this call's
+                # liveness check and the write: either way the peer is
+                # gone, so report it like any other peer loss.
                 self._lose_peer()
-                raise ServiceError(f"send to {self._endpoint} failed: {exc}") from exc
+                raise ServiceError(
+                    f"worker agent at {self._endpoint} is unreachable "
+                    f"(send failed: {exc})"
+                ) from exc
             raise
 
     def alive(self) -> bool:
@@ -191,9 +200,23 @@ class TcpConnection(Connection):
                 self._drained.wait(remaining)
         self._stop.set()
         self._teardown_socket()
+        # Join both background threads: a closed connection must leave
+        # nothing running (and nothing holding the socket alive — the
+        # leak check is ``-W error::ResourceWarning`` in the test lane).
         self._reader.join(1.0)
+        self._heartbeat.join(self._heartbeat_interval + 1.0)
 
     def _teardown_socket(self) -> None:
+        """Shut down and close the socket exactly once.
+
+        Reachable from ``close()``, the reader (EOF), and the heartbeat
+        (silence) — the flag keeps the close single whichever combination
+        races.
+        """
+        with self._teardown_lock:
+            if self._torn_down:
+                return
+            self._torn_down = True
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:

@@ -187,3 +187,64 @@ class TestEdgeCases:
         # the failed run leaves the streaming instance untouched
         online.observe("P1", 1, "a")
         assert online.pending == 1
+
+
+class TestSnapshotRestore:
+    """Migration support: a restored monitor continues bit-identically."""
+
+    def _feed_first_half(self, monitor: OnlineMonitor) -> None:
+        monitor.observe("P1", 1, "a")
+        monitor.observe("P2", 2, "a")
+        monitor.observe("P1", 5, "a")
+        monitor.advance_to(4)
+        monitor.observe("P2", 6, "a")  # buffered beyond the frontier
+
+    def _feed_second_half(self, monitor: OnlineMonitor) -> None:
+        monitor.observe("P1", 8, "b")
+        monitor.observe("P2", 11, ())
+
+    def test_restore_continues_bit_identically(self):
+        spec = parse("a U[0,20) b")
+        reference = OnlineMonitor(spec, epsilon=2)
+        self._feed_first_half(reference)
+        self._feed_second_half(reference)
+        expected = reference.finish()
+
+        origin = OnlineMonitor(spec, epsilon=2)
+        self._feed_first_half(origin)
+        restored = OnlineMonitor.restore(origin.snapshot())
+        self._feed_second_half(restored)
+        result = restored.finish()
+        assert result.verdict_counts == expected.verdict_counts
+        assert result.verdicts == expected.verdicts
+
+    def test_snapshot_round_trips_through_pickle(self):
+        """The payload must cross the wire codec (migration is remote)."""
+        import pickle
+
+        spec = parse("F[0,30) b")
+        origin = OnlineMonitor(spec, epsilon=1)
+        origin.observe("P1", 2, "a")
+        origin.advance_to(5)
+        origin.observe("P1", 7, "b")
+        snapshot = pickle.loads(pickle.dumps(origin.snapshot()))
+        restored = OnlineMonitor.restore(snapshot)
+        assert restored.pending == origin.pending
+        assert restored.undecided_residuals == origin.undecided_residuals
+        assert restored.finish().verdict_counts == origin.finish().verdict_counts
+
+    def test_restore_preserves_frontier_validation(self):
+        origin = OnlineMonitor(parse("F p"), epsilon=1)
+        origin.advance_to(10)
+        restored = OnlineMonitor.restore(origin.snapshot())
+        with pytest.raises(MonitorError, match="advanced past"):
+            restored.observe("P1", 3, "p")
+
+    def test_restore_rejects_bad_snapshots(self):
+        with pytest.raises(MonitorError, match="malformed"):
+            OnlineMonitor.restore({"no": "version"})
+        origin = OnlineMonitor(parse("F p"), epsilon=1)
+        snapshot = origin.snapshot()
+        snapshot["version"] = 99
+        with pytest.raises(MonitorError, match="version 99"):
+            OnlineMonitor.restore(snapshot)

@@ -1,0 +1,265 @@
+"""Tests for live session migration (snapshot/restore across endpoints).
+
+The contract: a migrated stream's verdicts are bit-identical to a
+never-migrated replay, on both transport backends; a failed hop leaves
+the stream usable on its origin endpoint; ordering holds across the hop
+(events observed before the migration are in the snapshot, events after
+land on the target).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import MonitorError, ServiceError
+from repro.monitor.online import OnlineMonitor
+from repro.mtl import parse
+from repro.service import MonitorService
+from repro.transport.agent import spawn_agent
+
+SPEC = parse("a U[0,40) b")
+
+#: A stream with a mid-point advance: events (process, t, props) fed in
+#: observation order, with ``advance_to(BOUNDARY)`` between the halves.
+FIRST_HALF = [("P1", 1, "a"), ("P2", 2, "a"), ("P1", 5, "a")]
+BOUNDARY = 4
+SECOND_HALF = [("P2", 8, "a"), ("P1", 12, "a"), ("P2", 15, "b"), ("P1", 18, ())]
+
+
+def _reference() -> object:
+    monitor = OnlineMonitor(SPEC, epsilon=2)
+    for event in FIRST_HALF:
+        monitor.observe(*event)
+    monitor.advance_to(BOUNDARY)
+    for event in SECOND_HALF:
+        monitor.observe(*event)
+    return monitor.finish()
+
+
+@pytest.fixture
+def tcp_pool():
+    """Three worker agents in their own OS processes on localhost."""
+    agents = [spawn_agent() for _ in range(3)]
+    try:
+        yield agents, [f"tcp://{host}:{port}" for _, host, port in agents]
+    finally:
+        for popen, _, _ in agents:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
+
+
+class TestMigrationSemantics:
+    def test_migrate_mid_segment_bit_identical(self):
+        """The hop lands between an advance and buffered later events —
+        frontier, carried residuals, and worker-side buffer all cross."""
+        with MonitorService(workers=3) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            for event in FIRST_HALF:
+                session.observe(*event)
+            session.advance_to(BOUNDARY)
+            # Buffer one event worker-side (beyond the frontier) so the
+            # snapshot carries a nonempty monitor buffer too.
+            session.observe(*SECOND_HALF[0])
+            session.poll()  # flushes it to the origin worker
+            target = (origin + 1) % 3
+            service.migrate(session, target)
+            assert session.worker_index == target
+            assert session.migrations == 1
+            for event in SECOND_HALF[1:]:
+                session.observe(*event)
+            result = session.finish()
+            assert service.outstanding() == [0, 0, 0]
+        assert result.verdict_counts == _reference().verdict_counts
+
+    def test_migrate_with_nonempty_client_buffer(self):
+        """Client-side buffered events drain to the origin before the
+        snapshot — nothing is lost or reordered across the hop."""
+        with MonitorService(workers=2) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            for event in FIRST_HALF:
+                session.observe(*event)  # all below the flush threshold
+            service.migrate(session, 1 - session.worker_index)
+            session.advance_to(BOUNDARY)
+            for event in SECOND_HALF:
+                session.observe(*event)
+            result = session.finish()
+            assert service.outstanding() == [0, 0]
+        assert result.verdict_counts == _reference().verdict_counts
+
+    def test_double_migrate_and_back(self):
+        """A→B→A works: the origin copy is discarded after each hop, so
+        returning to a previous endpoint does not collide."""
+        with MonitorService(workers=2) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            for event in FIRST_HALF:
+                session.observe(*event)
+            service.migrate(session, 1 - origin)
+            session.advance_to(BOUNDARY)
+            service.migrate(session, origin)
+            assert session.worker_index == origin
+            assert session.migrations == 2
+            for event in SECOND_HALF:
+                session.observe(*event)
+            result = session.finish()
+        assert result.verdict_counts == _reference().verdict_counts
+
+    def test_migrate_to_same_endpoint_is_a_noop(self):
+        with MonitorService(workers=2) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            service.migrate(session, session.worker_index)
+            assert session.migrations == 0
+            session.close()
+
+    def test_migrate_by_endpoint_description(self):
+        with MonitorService(workers=2) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            target = 1 - session.worker_index
+            service.migrate(session, service.endpoints()[target])
+            assert session.worker_index == target
+            assert session.endpoint == service.endpoints()[target]
+            session.close()
+
+    def test_migrate_unknown_endpoint_rejected(self):
+        with MonitorService(workers=2) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            with pytest.raises(MonitorError, match="no endpoint"):
+                service.migrate(session, 7)
+            with pytest.raises(MonitorError, match="no endpoint"):
+                service.migrate(session, "tcp://nowhere:1")
+            session.close()
+
+    def test_migrate_finished_session_rejected(self):
+        with MonitorService(workers=2) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            session.finish()
+            with pytest.raises(MonitorError, match="finished"):
+                service.migrate(session, 1 - session.worker_index)
+
+
+class TestMigrationFailure:
+    def test_migrate_to_dead_endpoint_leaves_session_usable(self):
+        """A dead target fails the hop cleanly; the stream stays on its
+        origin endpoint and keeps working."""
+        with MonitorService(workers=3) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            for event in FIRST_HALF:
+                session.observe(*event)
+            target = (origin + 1) % 3
+            service._connections[target].kill()
+            deadline = time.monotonic() + 15
+            while not service.dead_endpoints()[target]:
+                assert time.monotonic() < deadline, "kill never detected"
+                time.sleep(0.05)
+            with pytest.raises(ServiceError):
+                service.migrate(session, target)
+            assert session.worker_index == origin  # unchanged
+            session.advance_to(BOUNDARY)
+            for event in SECOND_HALF:
+                session.observe(*event)
+            result = session.finish()
+        assert result.verdict_counts == _reference().verdict_counts
+
+    def test_kill_origin_during_migration_raises_cleanly(self):
+        """The origin dying while the snapshot is queued behind its
+        backlog fails the hop with ServiceError, never a hang."""
+        with MonitorService(workers=2, saturate=False) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            session.observe(*FIRST_HALF[0])
+            # Park the origin so the snapshot queues behind the sleep,
+            # then kill it while the migration is waiting.
+            service._send(origin, "sleep", 30.0)
+            failure: list[BaseException] = []
+
+            def hop():
+                try:
+                    service.migrate(session, 1 - origin)
+                except BaseException as exc:  # noqa: BLE001 — recorded for assert
+                    failure.append(exc)
+
+            mover = threading.Thread(target=hop)
+            mover.start()
+            time.sleep(0.3)  # let the migration reach its snapshot wait
+            service._connections[origin].kill()
+            mover.join(timeout=30)
+            assert not mover.is_alive(), "migration hung on a dead origin"
+            assert failure and isinstance(failure[0], ServiceError)
+
+    def test_timed_out_restore_does_not_leak_a_target_copy(self):
+        """A restore that times out client-side may still execute on the
+        target later; the queued cleanup must discard that duplicate so
+        a retry of the same hop succeeds instead of colliding."""
+        with MonitorService(workers=2, saturate=False) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            target = 1 - origin
+            session.observe(*FIRST_HALF[0])
+            service._send(target, "sleep", 1.0)  # restore queues behind this
+            with pytest.raises(ServiceError, match="did not complete"):
+                session.migrate(target, timeout=0.1)
+            assert session.worker_index == origin  # hop failed cleanly
+            # Once the backlog drains (restore, then the cleanup close,
+            # both executed), the same hop must succeed.
+            deadline = time.monotonic() + 15
+            while True:
+                try:
+                    session.migrate(target)
+                    break
+                except ServiceError:
+                    assert time.monotonic() < deadline, "retry never succeeded"
+                    time.sleep(0.1)
+            assert session.worker_index == target
+            for event in FIRST_HALF[1:]:
+                session.observe(*event)
+            session.advance_to(BOUNDARY)
+            for event in SECOND_HALF:
+                session.observe(*event)
+            result = session.finish()
+        assert result.verdict_counts == _reference().verdict_counts
+
+
+class TestMigrationOverTcp:
+    def test_migrated_tcp_stream_bit_identical(self, tcp_pool):
+        """The same hop over sockets: snapshot crosses two agents."""
+        _, endpoints = tcp_pool
+        with MonitorService(endpoints=endpoints) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            for event in FIRST_HALF:
+                session.observe(*event)
+            session.advance_to(BOUNDARY)
+            service.migrate(session, (origin + 1) % 3)
+            for event in SECOND_HALF:
+                session.observe(*event)
+            result = session.finish()
+            assert service.outstanding() == [0, 0, 0]
+        assert result.verdict_counts == _reference().verdict_counts
+
+    def test_tcp_migrate_to_killed_agent_leaves_session_usable(self, tcp_pool):
+        agents, endpoints = tcp_pool
+        with MonitorService(endpoints=endpoints) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            for event in FIRST_HALF:
+                session.observe(*event)
+            target = (origin + 1) % 3
+            agents[target][0].kill()
+            deadline = time.monotonic() + 15
+            while not service.dead_endpoints()[target]:
+                assert time.monotonic() < deadline, "agent kill never detected"
+                time.sleep(0.05)
+            with pytest.raises(ServiceError):
+                service.migrate(session, target)
+            assert session.worker_index == origin
+            session.advance_to(BOUNDARY)
+            for event in SECOND_HALF:
+                session.observe(*event)
+            result = session.finish()
+        assert result.verdict_counts == _reference().verdict_counts

@@ -1,0 +1,301 @@
+"""Tests for live rebalancing (policies + Rebalancer + skew acceptance).
+
+The acceptance bar: a skewed workload (1 hot stream at 10× the event
+rate of 15 cold ones over 3 endpoints) produces bit-identical verdicts
+with rebalancing enabled vs disabled — including a forced mid-stream
+migration — and the outstanding counters return to all-zeros once each
+workload drains.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor.online import OnlineMonitor
+from repro.mtl import parse
+from repro.service import MonitorService, Rebalancer
+from repro.service.rebalance import (
+    PoolView,
+    periodic_policy,
+    resolve_policy,
+    threshold_policy,
+)
+from repro.transport.agent import spawn_agent
+
+HOT_SPEC = parse("a U[0,4000) b")
+COLD_SPEC = parse("F[0,4000) b")
+
+
+# -- policy unit tests (no service, fake sessions) -----------------------------------
+
+
+@dataclass
+class FakeSession:
+    session_id: int
+    worker_index: int
+    finished: bool = False
+    hops: list[int] = field(default_factory=list)
+
+    def migrate(self, target: int) -> None:
+        self.hops.append(target)
+        self.worker_index = target
+
+
+def _view(outstanding, dead, sessions, rates) -> PoolView:
+    return PoolView(outstanding=outstanding, dead=dead, sessions=sessions, rates=rates)
+
+
+class TestPolicies:
+    def test_threshold_policy_quiet_pool_never_migrates(self):
+        sessions = [FakeSession(0, 0), FakeSession(1, 1)]
+        view = _view([1, 0], [False, False], sessions, {0: 5.0, 1: 5.0})
+        assert threshold_policy(threshold=2)(view) == []
+
+    def test_threshold_policy_moves_hottest_off_deep_queue(self):
+        hot, cold = FakeSession(0, 0), FakeSession(1, 0)
+        view = _view([5, 0], [False, False], [hot, cold], {0: 10.0, 1: 1.0})
+        assert threshold_policy(threshold=2)(view) == [(hot, 1)]
+
+    def test_periodic_policy_isolates_hot_session(self):
+        hot, cold = FakeSession(0, 0), FakeSession(1, 0)
+        view = _view([0, 0], [False, False], [hot, cold], {0: 10.0, 1: 1.0})
+        assert periodic_policy()(view) == [(hot, 1)]
+
+    def test_periodic_policy_lone_hot_session_stays_put(self):
+        """A hot stream alone on its endpoint is already isolated: moving
+        it would just swap the imbalance forever (the ping-pong trap)."""
+        hot, cold = FakeSession(0, 0), FakeSession(1, 1)
+        view = _view([0, 0], [False, False], [hot, cold], {0: 10.0, 1: 0.1})
+        assert periodic_policy()(view) == []
+
+    def test_policies_never_target_dead_endpoints(self):
+        hot, cold = FakeSession(0, 0), FakeSession(1, 0)
+        view = _view([5, 0, 0], [False, False, True], [hot, cold], {0: 10.0, 1: 1.0})
+        for policy in (threshold_policy(threshold=2), periodic_policy()):
+            for _, target in policy(view):
+                assert target == 1  # endpoint 2 is dead
+
+    def test_resolve_policy_accepts_callables_and_rejects_unknowns(self):
+        sentinel = lambda view: []  # noqa: E731
+        assert resolve_policy(sentinel) is sentinel
+        with pytest.raises(MonitorError, match="unknown rebalance policy"):
+            resolve_policy("round-robin")
+
+
+class TestRebalancerCycles:
+    def test_run_cycle_isolates_hot_session_deterministically(self):
+        """Driven by explicit cycles (no background thread): the hot
+        stream hops off the endpoint it shares with a cold one."""
+        with MonitorService(workers=2) as service:
+            hot = service.open_session(HOT_SPEC, epsilon=2, key="pin")
+            cold = service.open_session(COLD_SPEC, epsilon=2, key="pin")
+            assert hot.worker_index == cold.worker_index
+            rebalancer = Rebalancer(service, policy="periodic", interval=0.01)
+            for t in range(1, 40):
+                hot.observe("P1", t, "a")
+            moved = rebalancer.run_cycle()
+            assert [m.session_id for m in moved] == [hot.session_id]
+            assert hot.worker_index != cold.worker_index
+            # cooldown: an immediate identical signal does not bounce it back
+            for t in range(40, 80):
+                hot.observe("P1", t, "a")
+            assert rebalancer.run_cycle() == []
+            hot.close()
+            cold.close()
+            assert service.outstanding() == [0, 0]
+
+    def test_service_rebalance_knob_starts_and_stops_the_thread(self):
+        with MonitorService(workers=2, rebalance="threshold") as service:
+            assert service.rebalancer is not None
+            assert service.rebalancer.running
+            rebalancer = service.rebalancer
+        assert not rebalancer.running
+
+    def test_rebalance_knobs_without_policy_rejected(self):
+        with pytest.raises(MonitorError, match="rebalance"):
+            MonitorService(workers=1, rebalance_interval=0.5)
+
+    def test_bad_rebalance_arguments_rejected_before_pool_start(self):
+        """A typo'd policy or bad interval must fail fast, not after a
+        full pool spawn + teardown."""
+        with pytest.raises(MonitorError, match="unknown rebalance policy"):
+            MonitorService(workers=1, rebalance="round-robin")
+        with pytest.raises(MonitorError, match="interval must be > 0"):
+            MonitorService(workers=1, rebalance="periodic", rebalance_interval=0)
+
+
+# -- skew acceptance -----------------------------------------------------------------
+
+COLD_STREAMS = 15
+HOT_RATE_MULTIPLIER = 10
+COLD_EVENTS = 8
+
+
+def _skewed_streams() -> dict[int, list[tuple[str, int, frozenset[str]]]]:
+    """Stream 0 is hot (10× the events of each cold stream), 1..15 cold."""
+    streams: dict[int, list[tuple[str, int, frozenset[str]]]] = {}
+    for seed in range(COLD_STREAMS + 1):
+        rng = random.Random(seed)
+        count = COLD_EVENTS * (HOT_RATE_MULTIPLIER if seed == 0 else 1)
+        events = []
+        clocks = {"P1": rng.randint(0, 2), "P2": rng.randint(0, 2)}
+        for _ in range(count):
+            process = rng.choice(("P1", "P2"))
+            clocks[process] += rng.randint(1, 3)
+            props = frozenset(p for p in ("a", "b") if rng.random() < 0.4)
+            events.append((process, clocks[process], props))
+        # Observation order = timestamp order (per-process clocks stay
+        # monotone), so the windowed driver feeds strictly below each
+        # advance boundary.
+        events.sort(key=lambda event: event[1])
+        streams[seed] = events
+    return streams
+
+
+def _drive_skewed(service: MonitorService, force_migration: bool) -> list:
+    """Feed the skewed mix interleaved; optionally force one mid-stream hop."""
+    streams = _skewed_streams()
+    sessions = {
+        seed: service.open_session(
+            HOT_SPEC if seed == 0 else COLD_SPEC, epsilon=2
+        )
+        for seed in streams
+    }
+    horizon = max(t for events in streams.values() for _, t, _ in events)
+    cursors = {seed: 0 for seed in streams}
+    forced = False
+    for boundary in range(4, horizon + 5, 4):
+        for seed, events in streams.items():
+            session = sessions[seed]
+            cursor = cursors[seed]
+            while cursor < len(events) and events[cursor][1] < boundary:
+                session.observe(*events[cursor])
+                cursor += 1
+            cursors[seed] = cursor
+            session.advance_to(boundary)
+        if force_migration and not forced and boundary >= horizon // 2:
+            hot = sessions[0]
+            live = [
+                index
+                for index, dead in enumerate(service.dead_endpoints())
+                if not dead and index != hot.worker_index
+            ]
+            service.migrate(hot, live[0])
+            forced = True
+    results = [sessions[seed].finish() for seed in sorted(sessions)]
+    if force_migration:
+        assert sessions[0].migrations >= 1
+    return [result.verdict_counts for result in results]
+
+
+class TestSkewAcceptance:
+    def test_skewed_feed_bit_identical_with_rebalancing_local(self):
+        """Acceptance: 1 hot @ 10× + 15 cold over 3 local endpoints,
+        rebalancing (periodic policy + one forced hop) vs frozen
+        placement — identical verdicts, counters all-zero after drain."""
+        with MonitorService(workers=3) as service:
+            baseline = _drive_skewed(service, force_migration=False)
+            assert service.outstanding() == [0, 0, 0]
+        with MonitorService(
+            workers=3, rebalance="periodic", rebalance_interval=0.05
+        ) as service:
+            rebalanced = _drive_skewed(service, force_migration=True)
+            assert service.outstanding() == [0, 0, 0]
+        assert rebalanced == baseline
+
+    def test_skewed_feed_bit_identical_with_rebalancing_tcp(self):
+        """The same acceptance bar over 3 TCP worker agents."""
+        agents = [spawn_agent() for _ in range(3)]
+        endpoints = [f"tcp://{host}:{port}" for _, host, port in agents]
+        try:
+            with MonitorService(endpoints=endpoints) as service:
+                baseline = _drive_skewed(service, force_migration=False)
+                assert service.outstanding() == [0, 0, 0]
+            with MonitorService(
+                endpoints=endpoints, rebalance="periodic", rebalance_interval=0.05
+            ) as service:
+                rebalanced = _drive_skewed(service, force_migration=True)
+                assert service.outstanding() == [0, 0, 0]
+        finally:
+            for popen, _, _ in agents:
+                popen.kill()
+                popen.wait(timeout=10)
+                popen.stdout.close()
+        assert rebalanced == baseline
+
+    def test_skewed_feed_matches_inprocess_replay(self):
+        """Ground truth: the migrated service streams equal plain
+        OnlineMonitor replays of the same feeds."""
+        streams = _skewed_streams()
+        expected = []
+        for seed in sorted(streams):
+            monitor = OnlineMonitor(
+                HOT_SPEC if seed == 0 else COLD_SPEC, epsilon=2
+            )
+            horizon = max(t for _, t, _ in streams[seed])
+            cursor = 0
+            for boundary in range(4, horizon + 5, 4):
+                while cursor < len(streams[seed]) and streams[seed][cursor][1] < boundary:
+                    monitor.observe(*streams[seed][cursor])
+                    cursor += 1
+                monitor.advance_to(boundary)
+            expected.append(monitor.finish().verdict_counts)
+        with MonitorService(workers=3) as service:
+            got = _drive_skewed(service, force_migration=True)
+        assert got == expected
+
+
+class TestOutstandingInvariant:
+    def test_outstanding_invariant(self):
+        """After every mixed workload drains, the per-endpoint counters
+        are all zero — a leak would permanently skew ``least_loaded``
+        placement and every rebalancing decision built on it."""
+        from repro.distributed.computation import DistributedComputation
+
+        comp = DistributedComputation.from_event_lists(
+            2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+        )
+        spec = parse("a U[0,6) b")
+        with MonitorService(workers=3, formula=spec, saturate=False) as service:
+            # batch traffic, including cancellations racing a parked worker
+            blocker = service._send(0, "sleep", 0.4)
+            futures = service.submit_many([comp] * 6)
+            futures[1].cancel()
+            futures[4].cancel()
+            service.gather(futures)
+            blocker.result(timeout=30)
+            # session traffic: open/feed/migrate/finish/close
+            session = service.open_session(spec, epsilon=2)
+            session.observe("P1", 1, "a")
+            session.observe("P2", 2, "a")
+            service.migrate(session, (session.worker_index + 1) % 3)
+            session.observe("P1", 4, ())
+            session.observe("P2", 5, "b")
+            session.finish()
+            discarded = service.open_session(spec, epsilon=2)
+            discarded.observe("P1", 1, "a")
+            discarded.close()
+            deadline = time.monotonic() + 15
+            while any(service.outstanding()) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert service.outstanding() == [0, 0, 0]
+
+    def test_outstanding_zeroed_for_dead_workers(self):
+        """A worker killed with requests in flight must not leave its
+        counter stuck: reaping settles (and force-zeroes) it."""
+        with MonitorService(workers=2, saturate=False) as service:
+            service._send(0, "sleep", 30.0)  # parked forever
+            service._connections[0].kill()
+            deadline = time.monotonic() + 15
+            while not service.dead_endpoints()[0]:
+                assert time.monotonic() < deadline, "kill never detected"
+                time.sleep(0.05)
+            deadline = time.monotonic() + 5
+            while any(service.outstanding()) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert service.outstanding() == [0, 0]

@@ -231,3 +231,56 @@ class TestSessionSemantics:
             result = session.finish()
         assert not report.errors
         assert result.verdicts == report.items[0].result.verdicts
+
+
+class TestBufferedEventLoss:
+    """Satellite bar: events buffered client-side (below the flush
+    threshold) must never vanish silently when the worker dies — the
+    next synchronising call raises ServiceError naming the count."""
+
+    def _await_death(self, service, worker_index):
+        import time
+
+        deadline = time.monotonic() + 15
+        while not service.dead_endpoints()[worker_index]:
+            assert time.monotonic() < deadline, "worker death never detected"
+            time.sleep(0.05)
+
+    def test_unflushed_events_surface_with_count_on_worker_death(self):
+        from repro.errors import ServiceError
+
+        with MonitorService(workers=2) as service:
+            session = service.open_session(parse("F[0,50) p"), epsilon=1)
+            session.observe("P1", 1, "p")
+            session.observe("P2", 2, "p")
+            session.observe("P1", 3, "p")
+            service._connections[session.worker_index].kill()
+            self._await_death(service, session.worker_index)
+            with pytest.raises(ServiceError, match="3 buffered observe event"):
+                session.advance_to(10)
+
+    def test_failed_flush_keeps_buffer_for_diagnosis(self):
+        """The buffer survives the failed flush — repeated sync calls
+        keep reporting the same count instead of silently dropping it."""
+        from repro.errors import ServiceError
+
+        with MonitorService(workers=2) as service:
+            session = service.open_session(parse("F[0,50) p"), epsilon=1)
+            session.observe("P1", 1, "p")
+            service._connections[session.worker_index].kill()
+            self._await_death(service, session.worker_index)
+            for _ in range(2):
+                with pytest.raises(ServiceError, match="1 buffered observe event"):
+                    session.poll()
+
+    def test_migration_drains_buffer_before_the_hop(self):
+        """Migration flushes buffered events to the origin first, so the
+        snapshot carries them — nothing is lost across the hop."""
+        spec = parse("F[0,50) p")
+        with MonitorService(workers=2) as service:
+            session = service.open_session(spec, epsilon=1)
+            session.observe("P1", 1, "p")  # buffered, below the threshold
+            session.migrate(1 - session.worker_index)
+            status = session.poll()
+            assert status.pending == 1  # the event crossed with the snapshot
+            assert session.finish().definitely_satisfied

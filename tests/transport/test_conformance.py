@@ -215,3 +215,40 @@ class TestReconnectRefusal:
             stale.close(timeout=0.0)
             time.sleep(0.1)
         raise AssertionError("agent kept accepting after shutdown")
+
+
+class TestCloseReleasesResources:
+    """A closed connection leaves no threads running and no sockets open
+    (the fast test lane runs with ``-W error::ResourceWarning``)."""
+
+    def test_close_joins_backend_threads(self, transport):
+        client = Client()
+        connection = transport.open(client.on_response, client.on_disconnect)
+        connection.send(Request(1, "ping", None))
+        client.next_response()
+        connection.close(timeout=5.0)
+        threads = [connection._reader]
+        heartbeat = getattr(connection, "_heartbeat", None)
+        if heartbeat is not None:
+            threads.append(heartbeat)
+        for thread in threads:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), f"{thread.name} survived close()"
+
+    def test_tcp_socket_closed_exactly_once(self):
+        """Teardown is reachable from close(), the reader (EOF), and the
+        heartbeat (silence); whatever the interleaving, the socket must
+        end up closed and repeated closes must stay no-ops."""
+        popen, host, port = spawn_agent()
+        try:
+            transport = TcpTransport(host, port, heartbeat_interval=0.2)
+            client = Client()
+            connection = transport.open(client.on_response, client.on_disconnect)
+            connection.close(timeout=5.0)
+            assert connection._sock.fileno() == -1  # released
+            connection.close(timeout=5.0)  # idempotent
+            connection._teardown_socket()  # direct re-entry is a no-op
+        finally:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
