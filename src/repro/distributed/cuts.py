@@ -11,16 +11,23 @@ from typing import Iterator, Sequence
 
 from repro.distributed.event import Event
 from repro.distributed.hb import HappenedBefore, HappenedBeforeView
+from repro.errors import ComputationError
 
 
 def is_consistent_cut(hb: HappenedBefore, cut: Sequence[Event]) -> bool:
     """Definition 2: a cut is consistent iff it is downward closed under ⇝."""
+    # Resolve every event once through the bulk index map instead of an
+    # ``index_of`` round-trip per event per loop.
+    index_map = hb.index_map()
+    try:
+        indices = [index_map[event.key] for event in cut]
+    except KeyError as exc:
+        raise ComputationError(f"unknown event key {exc.args[0]}") from None
     mask = 0
-    for event in cut:
-        mask |= 1 << hb.index_of(event)
-    for event in cut:
-        preds = hb.predecessors_mask(hb.index_of(event))
-        if preds & ~mask:
+    for i in indices:
+        mask |= 1 << i
+    for i in indices:
+        if hb.predecessors_mask(i) & ~mask:
             return False
     return True
 

@@ -6,18 +6,36 @@ verdict information.  This mirrors the paper's repeated SMT invocations
 with previous verdicts blocked (Section VI-A's "number of truth values
 per segment" parameter, Fig 5e): ``max_distinct`` stops the enumeration
 as soon as that many distinct outcomes exist.
+
+The pipeline is *streaming*: :func:`stream_segment_outcomes` pulls one
+trace at a time from the (lazy) enumerator and progresses every carried
+residual over it before the next trace is produced, yielding the running
+:class:`SegmentOutcome` after each trace.  Memory stays bounded by the
+carried-residual set (plus the shared trace cache when enabled), early
+truncation (``max_distinct``, verdict saturation) stops the underlying
+enumeration mid-stream, and incremental consumers — the segment-parallel
+orchestrator watching for the carried set to cross its shard threshold —
+can act on partial outcomes without waiting for the segment to drain.
+:func:`enumerate_segment_outcomes` is the drain-it-all wrapper.
+
+Hot-path notes: carried residuals are interned on entry
+(:func:`~repro.mtl.ast.intern_formula`), one
+:class:`~repro.progression.progressor.TraceProgressor` per trace is
+shared by *all* residuals (subformulas shared between residuals hit one
+memo), and anchor-shifts are computed once per distinct trace start
+time, not once per (trace, residual) pair.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import Hashable, Iterator, Mapping
 
 from repro.distributed.hb import HappenedBefore, HappenedBeforeView
 from repro.encoding.enumerator import enumerate_traces
 from repro.encoding.trace_cache import shared_traces
-from repro.mtl.ast import Formula
-from repro.progression.progressor import anchor_shift, close, progress
+from repro.mtl.ast import Formula, intern_formula
+from repro.progression.progressor import TraceProgressor, anchor_shift, close
 
 
 @dataclass
@@ -35,7 +53,7 @@ class SegmentOutcome:
         self.residuals[residual] = self.residuals.get(residual, 0) + count
 
 
-def enumerate_segment_outcomes(
+def stream_segment_outcomes(
     hb: HappenedBefore | HappenedBeforeView,
     epsilon: int,
     carried: Mapping[Formula, int],
@@ -51,8 +69,16 @@ def enumerate_segment_outcomes(
     saturate_final: bool = False,
     timestamp_samples: int | None = None,
     cache_key: Hashable | None = None,
-) -> SegmentOutcome:
-    """Progress every carried residual over every trace of the segment.
+) -> Iterator[SegmentOutcome]:
+    """Progress every carried residual over the segment's traces, lazily.
+
+    Yields the running :class:`SegmentOutcome` (one mutating instance)
+    after each progressed trace, and once more after enumeration ends
+    with the truncation flags settled — so ``for outcome in ...: pass``
+    leaves ``outcome`` equal to the drained result.  Traces are pulled
+    from the enumerator one at a time; stopping early (truncation,
+    saturation, or the consumer abandoning the generator) stops the
+    enumeration itself.
 
     ``carried`` maps residual formulas (anchored at ``anchor``; None means
     "anchored at the first observation", i.e. the initial formula) to the
@@ -71,6 +97,14 @@ def enumerate_segment_outcomes(
     """
     outcome = SegmentOutcome()
     closed_verdicts: set[bool] = set()
+    # Interned carried residuals: progression memos key on intern ids,
+    # and structurally equal residuals collapse to one entry up front.
+    pairs: list[tuple[Formula, int]] = []
+    merged: dict[Formula, int] = {}
+    for residual, count in carried.items():
+        canonical = intern_formula(residual)
+        merged[canonical] = merged.get(canonical, 0) + count
+    pairs = list(merged.items())
 
     def traces():
         return enumerate_traces(
@@ -86,16 +120,26 @@ def enumerate_segment_outcomes(
         )
 
     trace_iter = traces() if cache_key is None else shared_traces(cache_key, traces)
+    # One anchor-shift per distinct trace start time, not per (trace,
+    # residual): traces of a segment share a handful of start times.
+    shifted_by_shift: dict[int, list[tuple[Formula, int]]] = {}
     for trace in trace_iter:
         outcome.traces_enumerated += 1
         shift = 0 if anchor is None else trace.start_time - anchor
-        effective_boundary = max(boundary, trace.end_time)
-        for residual, count in carried.items():
-            shifted = anchor_shift(residual, shift)
-            progressed = progress(trace, shifted, effective_boundary)
-            if saturate_final and progressed not in outcome.residuals:
+        shifted = shifted_by_shift.get(shift)
+        if shifted is None:
+            shifted = [
+                (anchor_shift(residual, shift), count) for residual, count in pairs
+            ]
+            shifted_by_shift[shift] = shifted
+        progressor = TraceProgressor(trace, max(boundary, trace.end_time))
+        residuals = outcome.residuals
+        for formula, count in shifted:
+            progressed = progressor.progress(formula, 0)
+            if saturate_final and progressed not in residuals:
                 closed_verdicts.add(close(progressed))
-            outcome.add(progressed, count)
+            residuals[progressed] = residuals.get(progressed, 0) + count
+        yield outcome
         if saturate_final and closed_verdicts >= {True, False}:
             outcome.saturated = True
             break
@@ -104,4 +148,21 @@ def enumerate_segment_outcomes(
             break
     if max_traces is not None and outcome.traces_enumerated >= max_traces:
         outcome.truncated = True
+    yield outcome
+
+
+def enumerate_segment_outcomes(
+    hb: HappenedBefore | HappenedBeforeView,
+    epsilon: int,
+    carried: Mapping[Formula, int],
+    anchor: int | None,
+    boundary: int,
+    **kwargs,
+) -> SegmentOutcome:
+    """Drain :func:`stream_segment_outcomes` and return the final outcome."""
+    outcome = SegmentOutcome()
+    for outcome in stream_segment_outcomes(
+        hb, epsilon, carried, anchor, boundary, **kwargs
+    ):
+        pass
     return outcome

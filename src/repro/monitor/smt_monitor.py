@@ -140,7 +140,8 @@ class SmtMonitor:
         segment = segments[order]
         is_first = order == 0
         is_last = order == len(segments) - 1
-        indices = [hb.index_of(e) for e in segment.events]
+        index_map = hb.index_map()
+        indices = [index_map[e.key] for e in segment.events]
         view = hb.restricted_to(indices)
         clamp_lo = None if is_first else segment.lo
         clamp_hi = None if is_last else segment.hi

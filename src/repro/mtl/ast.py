@@ -14,17 +14,118 @@ progression algorithms (Section IV) treat them directly:
 ``!(!phi1 | !phi2)`` would lose readability, so conjunction is also a
 first-class n-ary node; implication desugars at construction time.
 
-All nodes are immutable and hashable.  Hash-consing is not required — the
-verdict enumerator deduplicates progressed formulas via ``==``/``hash``.
+All nodes are immutable and hashable, and the smart constructors
+hash-cons ("intern") them: structurally equal formulas built through
+:func:`atom`/:func:`lnot`/:func:`land`/:func:`lor`/:func:`until`/
+:func:`eventually`/:func:`always` are the *same object*, so the hot
+monitoring loop's residual-dict operations run on cached hashes and
+identity equality instead of re-walking formula trees.  Directly
+constructed nodes (``Not(x)``) still compare structurally; pass them
+through :func:`intern_formula` to canonicalize.  Interned instances are
+held weakly, so residuals from a long-lived monitoring service are
+garbage-collected once no monitor carries them.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping
 
 from repro.errors import FormulaError
 from repro.mtl.interval import Interval
+
+#: Canonical instance per structural equivalence class, held weakly so
+#: formulas no monitor references any more can be collected.  Keys are
+#: ``(node class, structural fields)``; the lock only guards insertion
+#: (lookups ride on the GIL).
+_INTERN: "weakref.WeakValueDictionary[tuple, Formula]" = weakref.WeakValueDictionary()
+_INTERN_LOCK = threading.Lock()
+_INTERN_IDS = itertools.count()
+
+
+def _reset_intern_lock_after_fork() -> None:
+    """Give forked children a fresh intern lock.
+
+    Worker pools may fork from a background thread while another thread
+    is mid-``_intern_node`` (the segment-parallel orchestrator overlaps
+    pool spawning with prefix enumeration); the child would inherit the
+    lock in its held state and deadlock on its first formula
+    construction.  The table itself is GIL-consistent at fork time.
+    """
+    global _INTERN_LOCK
+    _INTERN_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not available on Windows (spawn-only)
+    os.register_at_fork(after_in_child=_reset_intern_lock_after_fork)
+
+
+def _intern_node(node: "Formula") -> "Formula":
+    """Return the canonical instance structurally equal to ``node``."""
+    key = (node.__class__, node._key_fields())
+    found = _INTERN.get(key)
+    if found is not None:
+        return found
+    with _INTERN_LOCK:
+        found = _INTERN.get(key)
+        if found is not None:
+            return found
+        object.__setattr__(node, "_intern_id", next(_INTERN_IDS))
+        _INTERN[key] = node
+        return node
+
+
+def _mk(cls, *fields) -> "Formula":
+    """Interning constructor: look the node up before building it."""
+    node = _INTERN.get((cls, fields))
+    if node is not None:
+        return node
+    return _intern_node(cls(*fields))
+
+
+def intern_formula(formula: "Formula") -> "Formula":
+    """The canonical (interned) instance equal to ``formula``.
+
+    Recursively canonicalizes directly constructed subtrees; formulas
+    built through the smart constructors come back unchanged.  Interned
+    formulas compare by identity, carry a cached hash, and expose a
+    process-unique :func:`intern_id`.
+    """
+    if formula._intern_id is not None:
+        return formula
+    children = formula.children()
+    if children:
+        canonical = tuple(intern_formula(child) for child in children)
+        if any(new is not old for new, old in zip(canonical, children)):
+            formula = formula._rebuild(canonical)
+            if formula._intern_id is not None:
+                return formula
+    return _intern_node(formula)
+
+
+def intern_id(formula: "Formula") -> int:
+    """Process-unique id of the formula's structural equivalence class.
+
+    Cheap total order for deterministic tie-breaking (residual-shard
+    splits sort by it instead of stringifying formulas); ids are stable
+    within a process but *not* across processes or runs.
+    """
+    node = formula if formula._intern_id is not None else intern_formula(formula)
+    return node._intern_id
+
+
+def interned_count() -> int:
+    """Number of live interned formulas (diagnostics and tests)."""
+    return len(_INTERN)
+
+
+def _restore_interned(cls, args) -> "Formula":
+    """Unpickle hook: rebuild and re-intern in the receiving process."""
+    return intern_formula(cls(*args))
 
 
 class Formula:
@@ -32,6 +133,47 @@ class Formula:
 
     #: subclasses override; used for cheap structural dispatch
     arity: int = 0
+
+    #: lazily cached structural hash (instances shadow via object.__setattr__)
+    _hash: int | None = None
+
+    #: set exactly once when the node is interned; None = not canonical
+    _intern_id: int | None = None
+
+    def _key_fields(self) -> tuple:
+        """The structural identity of this node (children + parameters)."""
+        raise NotImplementedError
+
+    def _build_args(self) -> tuple:
+        """Constructor arguments that reproduce this node (pickling)."""
+        return self._key_fields()
+
+    def _rebuild(self, children: tuple["Formula", ...]) -> "Formula":
+        """This node with its children replaced (leaves return self)."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return self._key_fields() == other._key_fields()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.__class__.__name__, self._key_fields()))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __reduce__(self):
+        return (_restore_interned, (self.__class__, self._build_args()))
 
     def children(self) -> tuple["Formula", ...]:
         """The direct subformulas of this node."""
@@ -87,29 +229,42 @@ class Formula:
         return lor(lnot(self), other)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TrueConst(Formula):
     """The constant ``true``."""
+
+    def _key_fields(self) -> tuple:
+        return ()
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return self
 
     def __str__(self) -> str:
         return "true"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FalseConst(Formula):
     """The constant ``false``."""
+
+    def _key_fields(self) -> tuple:
+        return ()
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return self
 
     def __str__(self) -> str:
         return "false"
 
 
-#: Singletons — always compare equal to fresh instances, but reusing these
-#: keeps formula construction allocation-free on the hot simplification path.
-TRUE = TrueConst()
-FALSE = FalseConst()
+#: Interned singletons — always compare equal to fresh instances, but
+#: reusing these keeps formula construction allocation-free on the hot
+#: simplification path.
+TRUE = _intern_node(TrueConst())
+FALSE = _intern_node(FalseConst())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Atom(Formula):
     """An atomic proposition, identified by name.
 
@@ -123,6 +278,12 @@ class Atom(Formula):
         if not self.name:
             raise FormulaError("atom name must be non-empty")
 
+    def _key_fields(self) -> tuple:
+        return (self.name,)
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return self
+
     def holds_in(self, props: frozenset[str], valuation: Mapping[str, float]) -> bool:
         """Truth of this atom in a state (propositional membership)."""
         return self.name in props
@@ -131,7 +292,7 @@ class Atom(Formula):
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PredicateAtom(Atom):
     """An atom whose truth is a predicate over a state's numeric valuation.
 
@@ -149,6 +310,10 @@ class PredicateAtom(Atom):
         if self.predicate is None:
             raise FormulaError(f"predicate atom {self.name!r} needs a predicate")
 
+    def _build_args(self) -> tuple:
+        # Reconstruction needs the predicate; identity is the name alone.
+        return (self.name, self.predicate)
+
     def holds_in(self, props: frozenset[str], valuation: Mapping[str, float]) -> bool:
         return bool(self.predicate(valuation))
 
@@ -156,7 +321,7 @@ class PredicateAtom(Atom):
         return f"<{self.name}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Not(Formula):
     """Negation ``!phi``."""
 
@@ -166,11 +331,17 @@ class Not(Formula):
     def children(self) -> tuple[Formula, ...]:
         return (self.operand,)
 
+    def _key_fields(self) -> tuple:
+        return (self.operand,)
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return Not(children[0])
+
     def __str__(self) -> str:
         return f"!{_paren(self.operand)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class And(Formula):
     """N-ary conjunction. Use :func:`land` to build simplified instances."""
 
@@ -184,11 +355,17 @@ class And(Formula):
     def children(self) -> tuple[Formula, ...]:
         return self.operands
 
+    def _key_fields(self) -> tuple:
+        return (self.operands,)
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return And(children)
+
     def __str__(self) -> str:
         return " & ".join(_paren(op) for op in self.operands)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Or(Formula):
     """N-ary disjunction. Use :func:`lor` to build simplified instances."""
 
@@ -202,11 +379,17 @@ class Or(Formula):
     def children(self) -> tuple[Formula, ...]:
         return self.operands
 
+    def _key_fields(self) -> tuple:
+        return (self.operands,)
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return Or(children)
+
     def __str__(self) -> str:
         return " | ".join(_paren(op) for op in self.operands)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Until(Formula):
     """``phi1 U_I phi2`` — phi2 within I, phi1 at every state before it."""
 
@@ -218,11 +401,17 @@ class Until(Formula):
     def children(self) -> tuple[Formula, ...]:
         return (self.left, self.right)
 
+    def _key_fields(self) -> tuple:
+        return (self.left, self.right, self.interval)
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return Until(children[0], children[1], self.interval)
+
     def __str__(self) -> str:
         return f"{_paren(self.left)} U{self.interval} {_paren(self.right)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Eventually(Formula):
     """``F_I phi`` — phi at some state whose offset falls in I."""
 
@@ -233,11 +422,17 @@ class Eventually(Formula):
     def children(self) -> tuple[Formula, ...]:
         return (self.operand,)
 
+    def _key_fields(self) -> tuple:
+        return (self.operand, self.interval)
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return Eventually(children[0], self.interval)
+
     def __str__(self) -> str:
         return f"F{self.interval} {_paren(self.operand)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Always(Formula):
     """``G_I phi`` — phi at every state whose offset falls in I."""
 
@@ -247,6 +442,12 @@ class Always(Formula):
 
     def children(self) -> tuple[Formula, ...]:
         return (self.operand,)
+
+    def _key_fields(self) -> tuple:
+        return (self.operand, self.interval)
+
+    def _rebuild(self, children: tuple[Formula, ...]) -> Formula:
+        return Always(children[0], self.interval)
 
     def __str__(self) -> str:
         return f"G{self.interval} {_paren(self.operand)}"
@@ -270,8 +471,8 @@ def _paren(formula: Formula) -> str:
 
 
 def atom(name: str) -> Atom:
-    """Build an atomic proposition."""
-    return Atom(name)
+    """Build an (interned) atomic proposition."""
+    return _mk(Atom, name)
 
 
 def lnot(operand: Formula) -> Formula:
@@ -282,7 +483,7 @@ def lnot(operand: Formula) -> Formula:
         return TRUE
     if isinstance(operand, Not):
         return operand.operand
-    return Not(operand)
+    return _mk(Not, operand)
 
 
 def land(*operands: Formula) -> Formula:
@@ -311,7 +512,7 @@ def land(*operands: Formula) -> Formula:
         return TRUE
     if len(flat) == 1:
         return flat[0]
-    return And(tuple(flat))
+    return _mk(And, tuple(flat))
 
 
 def lor(*operands: Formula) -> Formula:
@@ -336,7 +537,7 @@ def lor(*operands: Formula) -> Formula:
         return FALSE
     if len(flat) == 1:
         return flat[0]
-    return Or(tuple(flat))
+    return _mk(Or, tuple(flat))
 
 
 def implies(left: Formula, right: Formula) -> Formula:
@@ -349,7 +550,7 @@ def until(left: Formula, right: Formula, interval: Interval | None = None) -> Fo
     interval = interval if interval is not None else Interval.always()
     if interval.is_empty():
         return FALSE
-    return Until(left, right, interval)
+    return _mk(Until, left, right, interval)
 
 
 def eventually(operand: Formula, interval: Interval | None = None) -> Formula:
@@ -367,7 +568,7 @@ def eventually(operand: Formula, interval: Interval | None = None) -> Formula:
         return FALSE
     if isinstance(operand, FalseConst):
         return FALSE
-    return Eventually(operand, interval)
+    return _mk(Eventually, operand, interval)
 
 
 def always(operand: Formula, interval: Interval | None = None) -> Formula:
@@ -384,7 +585,7 @@ def always(operand: Formula, interval: Interval | None = None) -> Formula:
         return TRUE
     if isinstance(operand, TrueConst):
         return TRUE
-    return Always(operand, interval)
+    return _mk(Always, operand, interval)
 
 
 # Short aliases used pervasively by the spec modules.

@@ -36,6 +36,7 @@ Two ways to spend cores:
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Sequence
 
@@ -44,14 +45,13 @@ from repro.errors import MonitorError
 from repro.monitor.smt_monitor import SmtMonitor
 from repro.monitor.verdicts import MonitorResult, SegmentReport
 from repro.progression.progressor import close
-from repro.mtl.ast import Formula
+from repro.mtl.ast import Formula, intern_id
 from repro.service import MonitorService, default_workers
 from repro.service.reports import BatchReport
 from repro.service.tasks import (
     MonitorTask,
     SegmentShardTask,
     run_monitor_task,
-    run_segment_shard,
 )
 
 __all__ = ["BatchReport", "ParallelMonitor", "default_workers"]
@@ -179,54 +179,67 @@ class ParallelMonitor:
         residuals across service workers and merges the shard results.
         Falls back to the plain serial monitor when the computation is too
         small, the pool has one worker, or the carried set never grows.
+
+        The worker pool spawns on a background thread *while* the serial
+        prefix enumerates, so shards start executing as soon as the
+        carried set crosses the threshold instead of serialising prefix
+        enumeration behind pool startup.
         """
         engine = SmtMonitor(self._formula, **self._monitor_kwargs)
         if self._workers <= 1 or len(computation) == 0:
             return engine.run(computation)
 
-        hb = computation.happened_before()
         segments = engine.segments_of(computation)
+        if len(segments) <= 1:
+            # One segment can never reach a shardable boundary: stay serial
+            # and skip the pool entirely.
+            return engine.run(computation)
+
+        hb = computation.happened_before()
         result = MonitorResult(self._formula)
         state = engine.initial_state()
-        order = 0
-        while order < len(segments):
-            if len(state.carried) >= self._min_shard:
-                break  # enough independent work to split; segments[order:] go parallel
-            if not state.carried:
-                break
-            state = engine.step(hb, segments, order, state, result, computation.epsilon)
-            order += 1
+        warmup = _PoolWarmup(
+            {"endpoints": self._endpoints}
+            if self._endpoints is not None
+            else {"workers": self._workers}
+        )
+        warmup.start()
+        try:
+            order = 0
+            while order < len(segments):
+                if len(state.carried) >= self._min_shard:
+                    break  # enough independent work to split; segments[order:] go parallel
+                if not state.carried:
+                    break
+                state = engine.step(
+                    hb, segments, order, state, result, computation.epsilon
+                )
+                order += 1
 
-        if order >= len(segments) or len(state.carried) < self._min_shard:
-            for residual, count in state.carried.items():
-                result.record(close(residual), count)
-            return result
+            if order >= len(segments) or len(state.carried) < self._min_shard:
+                for residual, count in state.carried.items():
+                    result.record(close(residual), count)
+                return result
 
-        shards = self._shard_residuals(state.carried)
-        tasks = [
-            SegmentShardTask(
-                computation=computation,
-                formula=self._formula,
-                kwargs=self._monitor_kwargs,
-                carried=shard,
-                anchor=state.anchor,
-                base_valuation=state.base_valuation,
-                frontier=state.frontier,
-                start=order,
-            )
-            for shard in shards
-        ]
-        if len(tasks) == 1 and self._endpoints is None:
-            shard_results = [run_segment_shard(tasks[0])]
-        else:
-            pool = (
-                {"endpoints": self._endpoints}
-                if self._endpoints is not None
-                else {"workers": min(self._workers, len(tasks))}
-            )
-            with MonitorService(**pool) as service:
+            shards = self._shard_residuals(state.carried)
+            tasks = [
+                SegmentShardTask(
+                    computation=computation,
+                    formula=self._formula,
+                    kwargs=self._monitor_kwargs,
+                    carried=shard,
+                    anchor=state.anchor,
+                    base_valuation=state.base_valuation,
+                    frontier=state.frontier,
+                    start=order,
+                )
+                for shard in shards
+            ]
+            with warmup.service() as service:
                 futures = [service.submit_shard(task) for task in tasks]
                 shard_results = [future.result() for future in futures]
+        finally:
+            warmup.discard()
         for shard_result in shard_results:
             result.merge(shard_result)
         self._collapse_segment_reports(result)
@@ -272,10 +285,70 @@ class ParallelMonitor:
         computation reuses the segment-trace cache instead of
         re-enumerating, and finer shards balance skewed residual costs.
         The split never changes the merged verdict multiset.
+
+        Ordering is by :func:`~repro.mtl.ast.intern_id` — an O(1) lookup
+        per residual instead of stringifying every formula tree, and just
+        as deterministic: equal carried sets split identically within a
+        process whatever insertion order produced them.
         """
         shard_count = min(self._workers * 2, len(carried))
-        ordered = sorted(carried.items(), key=lambda kv: str(kv[0]))
+        ordered = sorted(carried.items(), key=lambda kv: intern_id(kv[0]))
         shards: list[dict[Formula, int]] = [{} for _ in range(shard_count)]
         for position, (residual, count) in enumerate(ordered):
             shards[position % shard_count][residual] = count
         return shards
+
+
+class _PoolWarmup:
+    """Spawns a :class:`MonitorService` pool concurrently with the serial
+    prefix of a segment-parallel run.
+
+    ``service()`` joins the spawn and hands the pool over (re-raising a
+    spawn failure); ``discard()`` retires an unused pool — the prefix
+    decided everything, or failed — *without blocking the caller*: the
+    serial result is already computed at that point, so teardown happens
+    on a background thread.  This is the overlap's cost model: a run
+    that never shards pays one speculative pool spawn (in background
+    CPU, not latency) in exchange for shards starting the moment the
+    carried set crosses the threshold on runs that do.
+    """
+
+    def __init__(self, pool_kwargs: dict) -> None:
+        self._pool_kwargs = pool_kwargs
+        self._service: MonitorService | None = None
+        self._error: BaseException | None = None
+        self._taken = False
+        self._thread = threading.Thread(
+            target=self._spawn, name="parallel-monitor-pool-warmup", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _spawn(self) -> None:
+        try:
+            self._service = MonitorService(**self._pool_kwargs)
+        except BaseException as exc:  # noqa: BLE001 — surfaced in service()
+            self._error = exc
+
+    def service(self) -> MonitorService:
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        self._taken = True
+        return self._service
+
+    def discard(self) -> None:
+        if self._taken:
+            return  # the with-block already closed it
+
+        def close_when_spawned() -> None:
+            self._thread.join()
+            if self._service is not None:
+                self._service.close()
+
+        threading.Thread(
+            target=close_when_spawned,
+            name="parallel-monitor-pool-discard",
+            daemon=True,
+        ).start()

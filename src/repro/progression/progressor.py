@@ -56,11 +56,13 @@ from repro.mtl.ast import (
     Until,
     always,
     eventually,
+    intern_formula,
     land,
     lnot,
     lor,
     until,
 )
+from repro.mtl.interval import Interval
 from repro.mtl.trace import TimedTrace
 
 
@@ -76,19 +78,33 @@ def progress(trace: TimedTrace, formula: Formula, boundary: int) -> Formula:
         raise TraceError(
             f"boundary {boundary} lies before the last observation at {trace.end_time}"
         )
-    return _Progressor(trace, boundary).progress(formula, 0)
+    return TraceProgressor(trace, boundary).progress(formula, 0)
 
 
-class _Progressor:
-    """Single-segment progression with ``(formula, position)`` memoization."""
+class TraceProgressor:
+    """Single-segment progression with ``(formula, position)`` memoization.
+
+    Reusable across formulas for one ``(trace, boundary)`` pair — the
+    verdict enumerator progresses every carried residual of a segment
+    trace through one instance, so shared subformulas across residuals
+    hit the same memo.  Formulas are interned on entry: the memo keys on
+    ``(intern id, position)`` (two ints) instead of structurally hashing
+    formula trees, which is what makes carried-residual-heavy workloads
+    cheap (see DESIGN.md, "Hot path & performance").
+    """
 
     def __init__(self, trace: TimedTrace, boundary: int) -> None:
         self._trace = trace
         self._boundary = boundary
-        self._cache: dict[tuple[Formula, int], Formula] = {}
+        self._cache: dict[tuple[int, int], Formula] = {}
+        self._offsets: dict[tuple[Interval, int], list[int]] = {}
 
     def progress(self, formula: Formula, i: int) -> Formula:
-        key = (formula, i)
+        fid = formula._intern_id
+        if fid is None:
+            formula = intern_formula(formula)
+            fid = formula._intern_id
+        key = (fid, i)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -119,15 +135,25 @@ class _Progressor:
 
     # -- temporal rules ------------------------------------------------------
 
-    def _offsets_in_interval(self, i: int, interval) -> list[int]:
-        """Observed positions ``j >= i`` whose offset from position i is in I."""
+    def _offsets_in_interval(self, i: int, interval: Interval) -> list[int]:
+        """Observed positions ``j >= i`` whose offset from position i is in I.
+
+        Memoized per ``(interval, i)``: distinct residuals overwhelmingly
+        share windows, so each window is scanned once per position.
+        """
+        key = (interval, i)
+        cached = self._offsets.get(key)
+        if cached is not None:
+            return cached
         trace = self._trace
         base = trace.time(i)
-        return [
+        result = [
             j
             for j in range(i, len(trace))
             if trace.time(j) - base in interval
         ]
+        self._offsets[key] = result
+        return result
 
     def _progress_always(self, formula: Always, i: int) -> Formula:
         trace = self._trace

@@ -23,10 +23,22 @@ sockets:
   :class:`Codec` (default :class:`PickleCodec`).  Pickle is the codec,
   not the protocol: a msgpack/json codec for cross-language workers only
   has to implement ``encode``/``decode``.
+
+* **Packed observe-batch fast path** — ``session_observe`` requests (the
+  per-event hot path of every live session) are struct-packed into a
+  :data:`FRAME_VERSION_PACKED` frame instead of pickled, negotiated per
+  frame through the existing version byte: a frame's version says how
+  its payload was encoded, so packed frames ride beside pickled ones on
+  the same connection and a peer that does not know the packed version
+  rejects it with a clear error instead of misreading it.  Beyond speed,
+  the packed decoder never runs pickle on the highest-volume frame type
+  (``REPRO_WIRE_FASTPATH=0`` disables the packing side; decoding is
+  always understood).
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 from dataclasses import dataclass
@@ -72,6 +84,14 @@ KNOWN_OPS = (
 
 FRAME_MAGIC = b"RV"
 FRAME_VERSION = 1
+
+#: Frame version for struct-packed ``session_observe`` requests.  The
+#: version byte is per *frame*, so packed and pickled frames interleave
+#: freely on one connection.
+FRAME_VERSION_PACKED = 2
+
+#: Versions this side understands on receive.
+KNOWN_FRAME_VERSIONS = (FRAME_VERSION, FRAME_VERSION_PACKED)
 
 #: Sanity bound: a length prefix beyond this is treated as a corrupt or
 #: hostile stream, not an allocation request.
@@ -125,8 +145,221 @@ class PickleCodec:
 DEFAULT_CODEC = PickleCodec()
 
 
+# -- packed observe-batch fast path -------------------------------------------------
+
+#: The op whose requests take the packed fast path.
+OBSERVE_OP = "session_observe"
+
+#: ``REPRO_WIRE_FASTPATH=0`` falls back to pickling observe batches
+#: (decoding packed frames from a peer still works either way).
+PACK_OBSERVE_BATCHES = os.environ.get("REPRO_WIRE_FASTPATH", "1") != "0"
+
+#: request_id, session_id, event count, distinct-string count
+_PACK_HEAD = struct.Struct(">qqIH")
+_PACK_U16 = struct.Struct(">H")
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
+#: Largest integer an IEEE double represents exactly; integer delta
+#: values beyond it would silently change through the ``d`` conversion.
+_DOUBLE_EXACT_INT = 1 << 53
+
+
+def pack_observe_request(request: "Request") -> bytes | None:
+    """Struct-pack a ``session_observe`` request payload, or ``None``.
+
+    Strictly shape-checked: anything that is not exactly the session
+    surface's ``(session_id, [(process, local_time, props, deltas), ...])``
+    (or whose integers overflow the packed field widths) returns ``None``
+    and takes the pickle path — the fast path must never change what the
+    peer decodes.
+
+    Layout after the frame header: the fixed head; a *string table*
+    (every distinct process name / proposition / delta key, u16-length-
+    prefixed, in first-use order — event streams repeat a small
+    vocabulary, so each string crosses the wire once); then seven
+    *columnar* sections, each one uniform ``struct`` array (one C-level
+    pack/unpack call per section instead of per event)::
+
+        proc_idx:   nevents * H     (string-table index per event)
+        time:       nevents * q
+        nprops:     nevents * H
+        props:      sum(nprops) * H (flattened string-table indices)
+        delta_tag:  nevents * H     (0xFFFF = deltas is None, else count)
+        delta_keys: sum(tags) * H
+        delta_vals: sum(tags) * d
+
+    Note one narrowing: integer delta *values* cross as IEEE doubles
+    (the session surface's deltas are numeric sums, consumed as floats).
+    """
+    payload = request.payload
+    if type(payload) is not tuple or len(payload) != 2:
+        return None
+    session_id, events = payload
+    if (
+        type(request.request_id) is not int
+        or type(session_id) is not int
+        or type(events) not in (list, tuple)
+        or not _INT64_MIN <= request.request_id <= _INT64_MAX
+        or not _INT64_MIN <= session_id <= _INT64_MAX
+        or len(events) > 0xFFFFFFFF
+    ):
+        return None
+    strings: dict[str, int] = {}
+    proc_col: list[int] = []
+    time_col: list[int] = []
+    nprops_col: list[int] = []
+    props_col: list[int] = []
+    tag_col: list[int] = []
+    key_col: list[int] = []
+    value_col: list[float] = []
+    # Hot loop: hoisted bound methods, and ``setdefault(s, len(strings))``
+    # as the one-call string-table ref (the default is evaluated before
+    # insertion, so it is exactly the next index on a miss).
+    ref = strings.setdefault
+    proc_append, time_append = proc_col.append, time_col.append
+    nprops_append, props_append = nprops_col.append, props_col.append
+    tag_append, key_append, value_append = (
+        tag_col.append,
+        key_col.append,
+        value_col.append,
+    )
+    try:
+        for event in events:
+            if type(event) is not tuple or len(event) != 4:
+                return None
+            process, local_time, props, deltas = event
+            proc_append(ref(process, len(strings)))
+            time_append(local_time)
+            if type(props) is not frozenset or len(props) >= 0xFFFF:
+                return None
+            nprops_append(len(props))
+            for prop in props:
+                props_append(ref(prop, len(strings)))
+            if deltas is None:
+                tag_append(0xFFFF)
+            else:
+                if type(deltas) is not dict or len(deltas) >= 0xFFFF:
+                    return None
+                tag_append(len(deltas))
+                for key, value in deltas.items():
+                    if type(value) is int and not (
+                        -_DOUBLE_EXACT_INT <= value <= _DOUBLE_EXACT_INT
+                    ):
+                        return None  # would lose precision as a double
+                    key_append(ref(key, len(strings)))
+                    value_append(value)
+        if len(strings) >= 0xFFFF:
+            return None  # table indices are u16; a batch this odd takes pickle
+        count = len(events)
+        out = [
+            _PACK_HEAD.pack(request.request_id, session_id, count, len(strings))
+        ]
+        for text in strings:
+            data = text.encode()
+            if len(data) > 0xFFFF:
+                return None
+            out.append(_PACK_U16.pack(len(data)))
+            out.append(data)
+        out.append(struct.pack(f">{count}H", *proc_col))
+        out.append(struct.pack(f">{count}q", *time_col))
+        out.append(struct.pack(f">{count}H", *nprops_col))
+        out.append(struct.pack(f">{len(props_col)}H", *props_col))
+        out.append(struct.pack(f">{count}H", *tag_col))
+        out.append(struct.pack(f">{len(key_col)}H", *key_col))
+        out.append(struct.pack(f">{len(value_col)}d", *value_col))
+    except (struct.error, TypeError, AttributeError, OverflowError):
+        # A value escaped the shape checks (non-int time, non-str prop or
+        # key, boolean, out-of-range int, non-numeric delta): fall back.
+        return None
+    return b"".join(out)
+
+
+def unpack_observe_request(payload: bytes) -> "Request":
+    """Decode a :data:`FRAME_VERSION_PACKED` payload back into a request."""
+    try:
+        request_id, session_id, count, nstrings = _PACK_HEAD.unpack_from(payload, 0)
+        offset = _PACK_HEAD.size
+        strings: list[str] = []
+        for _ in range(nstrings):
+            (length,) = _PACK_U16.unpack_from(payload, offset)
+            offset += 2
+            end = offset + length
+            if end > len(payload):
+                raise ServiceError("packed observe frame: string table overrun")
+            strings.append(payload[offset:end].decode())
+            offset = end
+        proc_col = struct.unpack_from(f">{count}H", payload, offset)
+        offset += 2 * count
+        time_col = struct.unpack_from(f">{count}q", payload, offset)
+        offset += 8 * count
+        nprops_col = struct.unpack_from(f">{count}H", payload, offset)
+        offset += 2 * count
+        total_props = sum(nprops_col)
+        props_col = struct.unpack_from(f">{total_props}H", payload, offset)
+        offset += 2 * total_props
+        tag_col = struct.unpack_from(f">{count}H", payload, offset)
+        offset += 2 * count
+        total_deltas = sum(tag for tag in tag_col if tag != 0xFFFF)
+        key_col = struct.unpack_from(f">{total_deltas}H", payload, offset)
+        offset += 2 * total_deltas
+        value_col = struct.unpack_from(f">{total_deltas}d", payload, offset)
+        offset += 8 * total_deltas
+        if offset != len(payload):
+            raise ServiceError(
+                f"packed observe frame has {len(payload) - offset} trailing bytes"
+            )
+        events = []
+        events_append = events.append
+        # Identical prop-index runs decode to one shared frozenset — live
+        # feeds repeat a small vocabulary of proposition sets.
+        prop_sets: dict[tuple, frozenset] = {}
+        prop_at = 0
+        delta_at = 0
+        for i in range(count):
+            nprops = nprops_col[i]
+            prop_idx = props_col[prop_at : prop_at + nprops]
+            prop_at += nprops
+            props = prop_sets.get(prop_idx)
+            if props is None:
+                props = frozenset(strings[j] for j in prop_idx)
+                prop_sets[prop_idx] = props
+            tag = tag_col[i]
+            deltas = None
+            if tag != 0xFFFF:
+                deltas = {
+                    strings[key_col[delta_at + j]]: value_col[delta_at + j]
+                    for j in range(tag)
+                }
+                delta_at += tag
+            events_append((strings[proc_col[i]], time_col[i], props, deltas))
+    except (struct.error, UnicodeDecodeError, IndexError) as exc:
+        raise ServiceError(f"corrupt packed observe frame: {exc}") from None
+    return Request(request_id, OBSERVE_OP, (session_id, events))
+
+
 def encode_frame(obj: Any, codec: Codec = DEFAULT_CODEC) -> bytes:
-    """Serialize one frame: versioned header + codec payload."""
+    """Serialize one frame: versioned header + payload.
+
+    ``session_observe`` requests take the struct-packed fast path (frame
+    version :data:`FRAME_VERSION_PACKED`); everything else goes through
+    the codec under :data:`FRAME_VERSION`.
+    """
+    if (
+        PACK_OBSERVE_BATCHES
+        and codec is DEFAULT_CODEC
+        and type(obj) is Request
+        and obj.op == OBSERVE_OP
+    ):
+        # Only beside the stock pickle codec: a custom codec (compressing,
+        # encrypting, cross-language) must see every payload, per the
+        # codec contract above.
+        payload = pack_observe_request(obj)
+        if payload is not None:
+            if len(payload) > MAX_FRAME_BYTES:
+                raise ServiceError(
+                    f"frame payload of {len(payload)} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte frame limit"
+                )
+            return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION_PACKED, len(payload)) + payload
     payload = codec.encode(obj)
     if len(payload) > MAX_FRAME_BYTES:
         raise ServiceError(
@@ -160,8 +393,8 @@ def encode_response_with_fallback(response: Response, codec: Codec = DEFAULT_COD
         )
 
 
-def decode_header(header: bytes) -> int:
-    """Validate a frame header; return the payload length."""
+def split_header(header: bytes) -> tuple[int, int]:
+    """Validate a frame header; return ``(version, payload length)``."""
     if len(header) != HEADER_SIZE:
         raise ServiceError(
             f"truncated frame header: got {len(header)} of {HEADER_SIZE} bytes"
@@ -169,26 +402,38 @@ def decode_header(header: bytes) -> int:
     magic, version, length = _HEADER.unpack(header)
     if magic != FRAME_MAGIC:
         raise ServiceError(f"bad frame magic {magic!r} (not a transport peer?)")
-    if version != FRAME_VERSION:
+    if version not in KNOWN_FRAME_VERSIONS:
         raise ServiceError(
-            f"frame version {version} from peer, this side speaks {FRAME_VERSION}"
+            f"frame version {version} from peer, this side speaks "
+            f"{', '.join(map(str, KNOWN_FRAME_VERSIONS))}"
         )
     if length > MAX_FRAME_BYTES:
         raise ServiceError(
             f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte frame limit"
         )
-    return length
+    return version, length
+
+
+def decode_header(header: bytes) -> int:
+    """Validate a frame header; return the payload length."""
+    return split_header(header)[1]
+
+
+def _decode_payload(version: int, payload: bytes, codec: Codec) -> Any:
+    if version == FRAME_VERSION_PACKED:
+        return unpack_observe_request(payload)
+    return codec.decode(payload)
 
 
 def decode_frame(data: bytes, codec: Codec = DEFAULT_CODEC) -> Any:
     """Decode one complete frame (header + payload) from ``data``."""
-    length = decode_header(data[:HEADER_SIZE])
+    version, length = split_header(data[:HEADER_SIZE])
     payload = data[HEADER_SIZE:]
     if len(payload) != length:
         raise ServiceError(
             f"frame length prefix says {length} bytes, got {len(payload)}"
         )
-    return codec.decode(payload)
+    return _decode_payload(version, payload, codec)
 
 
 def write_frame(sock, obj: Any, codec: Codec = DEFAULT_CODEC) -> None:
@@ -222,8 +467,8 @@ def read_frame(sock, codec: Codec = DEFAULT_CODEC) -> Any | None:
     header = _read_exact(sock, HEADER_SIZE)
     if header is None:
         return None
-    length = decode_header(header)
+    version, length = split_header(header)
     payload = _read_exact(sock, length) if length else b""
     if payload is None:
         raise ServiceError(f"peer closed before the {length}-byte frame payload")
-    return codec.decode(payload)
+    return _decode_payload(version, payload, codec)

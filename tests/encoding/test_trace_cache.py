@@ -174,3 +174,65 @@ class TestMonitorCaching:
         for verdict, count in merged.verdict_counts.items():
             combined[verdict] = combined.get(verdict, 0) + count
         assert combined == serial.verdict_counts
+
+
+class TestInterningInteraction:
+    """Segment-cache keys must keep hitting now that formulas intern.
+
+    The cache key deliberately excludes the carried residuals; interning
+    must not leak formula identity into it (e.g. via valuation/frontier
+    tuples), so two shards carrying *different* residual sets over the
+    same segments still share one enumeration.
+    """
+
+    def test_cache_hits_across_interned_residual_shards(self):
+        from repro.mtl.ast import intern_formula
+        from repro.monitor.verdicts import MonitorResult
+        from repro.service.tasks import SegmentShardTask, run_segment_shard
+
+        spec = parse("(F[0,5) a) & (F[0,9) b)")
+        computation = _computation()
+        engine = SmtMonitor(spec, segments=3, saturate=False)
+        hb = computation.happened_before()
+        segments = engine.segments_of(computation)
+        state = engine.initial_state()
+        sink = MonitorResult(spec)
+        order = 0
+        while order < len(segments) and len(state.carried) < 2:
+            state = engine.step(hb, segments, order, state, sink, computation.epsilon)
+            order += 1
+        assert len(state.carried) >= 2, "corpus must fan out"
+        residuals = sorted(state.carried.items(), key=lambda kv: str(kv[0]))
+        half = len(residuals) // 2
+        shards = [dict(residuals[:half]), dict(residuals[half:])]
+        assert all(
+            intern_formula(f) is f for shard in shards for f in shard
+        ), "carried residuals come out of the pipeline interned"
+
+        trace_cache.clear_cache()
+        results = [
+            run_segment_shard(
+                SegmentShardTask(
+                    computation=computation,
+                    formula=spec,
+                    kwargs={"segments": 3, "saturate": False},
+                    carried=shard,
+                    anchor=state.anchor,
+                    base_valuation=state.base_valuation,
+                    frontier=state.frontier,
+                    start=order,
+                )
+            )
+            for shard in shards
+        ]
+        stats = trace_cache.cache_stats()
+        assert stats["hits"] > 0, "second shard must reuse the first's enumeration"
+        # Prefix-decided verdicts plus the merged shard verdicts must be
+        # exactly the serial run's multiset (interning changed no verdict).
+        merged = results[0]
+        merged.merge(results[1])
+        serial = SmtMonitor(spec, segments=3, saturate=False).run(computation)
+        combined = dict(sink.verdict_counts)
+        for verdict, count in merged.verdict_counts.items():
+            combined[verdict] = combined.get(verdict, 0) + count
+        assert combined == dict(serial.verdict_counts)

@@ -16,6 +16,7 @@ from repro.monitor.fast import FastMonitor
 from repro.monitor.smt_monitor import SmtMonitor
 
 from tests.conftest import formulas, small_computations
+from tests.mtl.test_interning import structural_clone
 
 _SETTINGS = dict(
     deadline=None,
@@ -42,6 +43,22 @@ def test_csp_backend_agrees_with_dfs(computation, formula):
     dfs = SmtMonitor(formula, segments=1, saturate=False, backend="dfs").run(computation)
     csp = SmtMonitor(formula, segments=1, saturate=False, backend="csp").run(computation)
     assert csp.verdict_counts == dfs.verdict_counts
+
+
+@given(computation=small_computations(), formula=formulas(max_depth=2))
+@settings(max_examples=40, **_SETTINGS)
+def test_interned_equals_structural(computation, formula):
+    """Interning is invisible to verdicts: a formula rebuilt through the
+    raw (non-interning) constructors produces a bit-identical verdict
+    multiset to the canonical instance, across engines and segmentation."""
+    clone = structural_clone(formula)
+    assert clone == formula
+    interned = SmtMonitor(formula, segments=1, saturate=False).run(computation)
+    structural = SmtMonitor(clone, segments=1, saturate=False).run(computation)
+    assert structural.verdict_counts == interned.verdict_counts
+    segmented_interned = SmtMonitor(formula, segments=3, saturate=False).run(computation)
+    segmented_structural = SmtMonitor(clone, segments=3, saturate=False).run(computation)
+    assert segmented_structural.verdict_counts == segmented_interned.verdict_counts
 
 
 @given(computation=small_computations(), formula=formulas(max_depth=2))

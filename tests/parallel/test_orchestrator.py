@@ -89,6 +89,26 @@ class TestSegmentParallel:
                 recombined[residual] = recombined.get(residual, 0) + count
         assert recombined == carried
 
+    def test_shard_split_deterministic_and_verdict_preserving(self):
+        """The intern-id sort behind ``_shard_residuals``: the split of a
+        carried set does not depend on dict insertion order, repeated
+        splits agree, and the recombined multiset is exact."""
+        spec = parse("F[0,5) a")
+        orchestrator = ParallelMonitor(spec, workers=2)
+        residuals = [(parse(f"F[0,{5 + i}) (a | b)"), i + 1) for i in range(9)]
+        forward = dict(residuals)
+        backward = dict(reversed(residuals))
+        assert list(forward) != list(backward)  # genuinely different orders
+        split_forward = orchestrator._shard_residuals(forward)
+        split_backward = orchestrator._shard_residuals(backward)
+        assert split_forward == split_backward
+        assert split_forward == orchestrator._shard_residuals(forward)
+        recombined: dict = {}
+        for shard in split_forward:
+            for residual, count in shard.items():
+                recombined[residual] = recombined.get(residual, 0) + count
+        assert recombined == forward
+
     def test_single_worker_never_forks(self, monkeypatch):
         import multiprocessing
 

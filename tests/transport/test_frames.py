@@ -9,7 +9,9 @@ from repro.transport import Request, Response, decode_frame, encode_frame
 from repro.transport.frames import (
     FRAME_MAGIC,
     FRAME_VERSION,
+    FRAME_VERSION_PACKED,
     HEADER_SIZE,
+    KNOWN_FRAME_VERSIONS,
     PickleCodec,
     decode_header,
 )
@@ -45,7 +47,7 @@ class TestRejection:
 
     def test_version_mismatch(self):
         frame = bytearray(encode_frame(Request(0, "ping", None)))
-        frame[2] = FRAME_VERSION + 1
+        frame[2] = max(KNOWN_FRAME_VERSIONS) + 1
         with pytest.raises(ServiceError, match="version"):
             decode_frame(bytes(frame))
 
@@ -74,3 +76,121 @@ class TestRejection:
         assert decode_frame(frame, codec) == request
         with pytest.raises(Exception):  # noqa: B017 - default codec must not read it
             decode_frame(frame)
+
+
+class TestPackedObserveFastPath:
+    """The struct-packed ``session_observe`` frame (FRAME_VERSION_PACKED)."""
+
+    EVENTS = [
+        ("apricot", 250, frozenset({"apr.escrow(alice)", "apr.premium"}), None),
+        ("banana", 251, frozenset(), {"from.bob": 1.0, "fee": -0.5}),
+        ("çedille", 300, frozenset({"ünïcode.prop"}), {"π": 3.5}),
+    ]
+
+    def request(self):
+        return Request(42, "session_observe", (7, list(self.EVENTS)))
+
+    def test_observe_requests_take_the_packed_version(self):
+        frame = encode_frame(self.request())
+        assert frame[2] == FRAME_VERSION_PACKED
+
+    def test_roundtrip_bit_identical(self):
+        decoded = decode_frame(encode_frame(self.request()))
+        assert decoded == self.request()
+        assert decoded.payload[1] == list(self.EVENTS)
+
+    def test_socketless_other_ops_stay_pickled(self):
+        frame = encode_frame(Request(1, "session_advance", (7, 10)))
+        assert frame[2] == FRAME_VERSION
+        assert decode_frame(frame) == Request(1, "session_advance", (7, 10))
+
+    def test_packed_is_smaller_than_pickled(self):
+        packed = encode_frame(self.request())
+        pickled = encode_frame(Request(42, "not_observe", (7, list(self.EVENTS))))
+        assert len(packed) < len(pickled)
+
+    def test_ineligible_payload_falls_back_to_pickle(self):
+        # complex deltas cannot pack (doubles only) but pickle fine
+        odd = Request(3, "session_observe", (7, [("p", 1, frozenset(), {"x": 1 + 2j})]))
+        frame = encode_frame(odd)
+        assert frame[2] == FRAME_VERSION  # pickled, not packed
+        assert decode_frame(frame).payload[1][0][3]["x"] == 1 + 2j
+
+    def test_malformed_shapes_fall_back(self):
+        from repro.transport.frames import pack_observe_request
+
+        assert pack_observe_request(Request(1, "session_observe", "nope")) is None
+        assert pack_observe_request(Request(1, "session_observe", (1, 2, 3))) is None
+        assert pack_observe_request(
+            Request(1, "session_observe", (1, [("p", "not-an-int", frozenset(), None)]))
+        ) is None
+        assert pack_observe_request(
+            Request(1, "session_observe", (1, [("p", 1, ["list-not-frozenset"], None)]))
+        ) is None
+        # int64 overflow must not truncate silently
+        assert pack_observe_request(
+            Request(1, "session_observe", (1, [("p", 1 << 70, frozenset(), None)]))
+        ) is None
+
+    def test_empty_batch_roundtrip(self):
+        request = Request(5, "session_observe", (9, []))
+        decoded = decode_frame(encode_frame(request))
+        assert decoded == request
+
+    def test_corrupt_packed_frame_raises_service_error(self):
+        frame = bytearray(encode_frame(self.request()))
+        truncated = bytes(frame[: len(frame) - 3])
+        with pytest.raises(ServiceError):
+            decode_frame(truncated)
+
+    def test_trailing_garbage_rejected(self):
+        from repro.transport.frames import HEADER_SIZE as H
+        from repro.transport.frames import _HEADER, FRAME_MAGIC
+
+        frame = encode_frame(self.request())
+        payload = frame[H:] + b"\x00\x00"
+        rebuilt = _HEADER.pack(FRAME_MAGIC, FRAME_VERSION_PACKED, len(payload)) + payload
+        with pytest.raises(ServiceError, match="trailing|corrupt"):
+            decode_frame(rebuilt)
+
+    def test_opt_out_env_flag(self, monkeypatch):
+        from repro.transport import frames
+
+        monkeypatch.setattr(frames, "PACK_OBSERVE_BATCHES", False)
+        frame = encode_frame(self.request())
+        assert frame[2] == FRAME_VERSION
+        assert decode_frame(frame) == self.request()  # decode side unchanged
+
+    def test_deltas_preserve_float_values(self):
+        events = [("p", 0, frozenset(), {"v": 0.1 + 0.2})]
+        decoded = decode_frame(encode_frame(Request(1, "session_observe", (0, events))))
+        assert decoded.payload[1][0][3]["v"] == 0.1 + 0.2  # exact double roundtrip
+
+    def test_huge_int_deltas_fall_back_to_pickle(self):
+        """An integer delta beyond 2^53 would lose precision as a double;
+        the packed path must refuse it so both codepaths decode the same
+        number (wei-sized payoff sums are realistic inputs)."""
+        events = [("p", 0, frozenset(), {"wei": 2**60 + 1})]
+        frame = encode_frame(Request(1, "session_observe", (0, events)))
+        assert frame[2] == FRAME_VERSION  # pickled
+        assert decode_frame(frame).payload[1][0][3]["wei"] == 2**60 + 1
+
+    def test_custom_codec_bypasses_the_fast_path(self):
+        """A non-default codec must see every payload (the codec contract:
+        compressing/encrypting/cross-language codecs own the bytes)."""
+
+        class Tracing(PickleCodec):
+            name = "tracing"
+
+            def __init__(self):
+                self.encoded = 0
+
+            def encode(self, obj):
+                self.encoded += 1
+                return super().encode(obj)
+
+        codec = Tracing()
+        frame = encode_frame(self.request(), codec)
+        assert codec.encoded == 1
+        assert frame[2] == FRAME_VERSION  # codec payload, not packed
+        assert decode_frame(frame, codec) == self.request()
