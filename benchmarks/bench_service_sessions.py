@@ -95,12 +95,14 @@ def run_session_sweep_point(
     rate: float,
     length_seconds: float,
     endpoints: list[str] | None = None,
+    checkpoint: dict | None = None,
 ) -> dict:
     """Drive ``sessions`` concurrent streams; return wall/throughput.
 
     ``endpoints`` swaps the local pool for explicit transport endpoints
     (e.g. ``["tcp://host:7701", ...]`` worker agents) — same workload,
-    different wire.
+    different wire.  ``checkpoint`` (a ``CheckpointConfig`` spec dict)
+    makes every stream durable, so the sweep prices the checkpoint tax.
     """
     spec = parse(SESSION_SPEC)
     advance_ms = max(MIN_ADVANCE_MS, round(1000.0 * EVENTS_PER_ADVANCE / rate))
@@ -113,7 +115,9 @@ def run_session_sweep_point(
     started = time.perf_counter()
     with MonitorService(**pool) as service:
         handles = {
-            seed: service.open_session(spec, EPSILON, key=f"stream-{seed}")
+            seed: service.open_session(
+                spec, EPSILON, key=f"stream-{seed}", checkpoint=checkpoint
+            )
             for seed in streams
         }
         cursors = {seed: 0 for seed in streams}
@@ -130,7 +134,10 @@ def run_session_sweep_point(
                 session.advance_to(boundary)
             boundary += advance_ms
         results = {seed: handles[seed].finish() for seed in streams}
+        checkpoints = sum(handles[seed].checkpoints for seed in streams)
+        leftover = service.outstanding()
     wall = time.perf_counter() - started
+    assert not any(leftover), f"outstanding counters leaked: {leftover}"
     verdict_sets = sorted(
         "".join("TF"[v is False] for v in sorted(r.verdicts, reverse=True))
         for r in results.values()
@@ -141,6 +148,7 @@ def run_session_sweep_point(
         "events": total_events,
         "wall": wall,
         "events_per_second": total_events / wall if wall else float("inf"),
+        "checkpoints": checkpoints,
         "verdict_sets": verdict_sets,
     }
 
@@ -328,6 +336,11 @@ def main() -> int:
     )
     parser.add_argument("--workers", type=int, default=None, help="pool size")
     parser.add_argument(
+        "--checkpoint", type=int, default=None, metavar="N",
+        help="open every sweep session with checkpointing every N flushed "
+        "events — the sweep then prices the durability tax",
+    )
+    parser.add_argument(
         "--endpoint", action="append", default=None, metavar="SPEC",
         help="worker endpoint ('tcp://host:port' or 'local'); repeatable — "
         "replaces the local pool for the session sweep",
@@ -359,18 +372,27 @@ def main() -> int:
         print("  verdicts bit-identical with rebalancing: ok (asserted)")
         return 0
 
+    checkpoint = {"every_events": args.checkpoint} if args.checkpoint else None
+    durability = (
+        f", checkpoint every {args.checkpoint} events" if args.checkpoint else ""
+    )
     print(
         f"\nsession sweep (~{EVENTS_PER_ADVANCE:.0f} events per advance, "
-        f"epsilon {EPSILON} ms):"
+        f"epsilon {EPSILON} ms{durability}):"
     )
-    print(f"{'sessions':>9} {'rate(ev/s)':>11} {'events':>8} {'wall(s)':>9} {'ev/s':>9}")
+    print(
+        f"{'sessions':>9} {'rate(ev/s)':>11} {'events':>8} {'wall(s)':>9} "
+        f"{'ev/s':>9} {'ckpts':>6}"
+    )
     for sessions, rate in grid:
         point = run_session_sweep_point(
-            workers, sessions, rate, length, endpoints=args.endpoint
+            workers, sessions, rate, length,
+            endpoints=args.endpoint, checkpoint=checkpoint,
         )
         print(
             f"{point['sessions']:>9} {point['rate']:>11.0f} {point['events']:>8} "
-            f"{point['wall']:>9.3f} {point['events_per_second']:>9.0f}"
+            f"{point['wall']:>9.3f} {point['events_per_second']:>9.0f} "
+            f"{point['checkpoints']:>6}"
         )
 
     print(f"\npersistent vs fresh pool ({rounds} batches of {BATCH_SIZE} items):")

@@ -1,0 +1,167 @@
+"""Chaos smoke: durable sessions survive worker-agent SIGKILLs.
+
+Spawns a small fleet of TCP worker agents and runs rounds of a
+checkpointed session workload while a killer timer SIGKILLs one agent
+mid-stream each round, then respawns a replacement so the fleet stays
+at full strength for the next round (a reaped endpoint stays dead for
+the service that saw it die — the respawn models the host coming back
+for *future* pools, exactly like a restarted machine rejoining a
+cluster).
+
+Asserted every round:
+
+* **zero lost sessions** — every stream finishes with a verdict
+  multiset bit-identical to an uninterrupted in-process
+  :class:`~repro.monitor.online.OnlineMonitor` replay; no
+  ``ServiceError`` ever reaches the caller;
+* **recovery actually happened** — at least one session was restored
+  off the killed endpoint (the kill wasn't a no-op);
+* **settled books** — ``outstanding()`` drains to all-zeros (dead
+  endpoints are force-zeroed by the reaper; live ones must drain).
+
+Run standalone (CI chaos-smoke job)::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+    PYTHONPATH=src python scripts/chaos_smoke.py --rounds 3 --kill-after 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from repro.monitor.online import OnlineMonitor
+from repro.mtl import parse
+from repro.service import MonitorService
+from repro.transport.agent import spawn_agent
+
+SPEC = parse("a U[0,30) b")
+EPSILON = 2
+TICKS = 24
+CHECKPOINT = {"every_events": 4}
+
+
+def _drive(targets: dict[int, object], tick_seconds: float) -> dict[int, object]:
+    """Feed every target one deterministic multi-segment stream, interleaved.
+
+    ``targets`` maps a per-stream seed to anything with the
+    online-monitor surface (an in-process reference monitor or a durable
+    service session).  The second process is sparse so segment
+    enumeration stays cheap — this smoke prices recovery, not traces.
+    """
+    for t in range(1, TICKS + 1):
+        for seed, target in targets.items():
+            shift = (t + seed) % 3
+            target.observe("P1", t, {"a"} if shift else {"a", "b"})
+            if (t + seed) % 5 == 0:
+                target.observe("P2", t, {"b"} if (t + seed) % 10 == 0 else set())
+            if t % 6 == 0:
+                target.advance_to(t)
+        if tick_seconds:
+            time.sleep(tick_seconds)
+    return {seed: target.finish() for seed, target in targets.items()}
+
+
+def _reference_counts(sessions: int) -> dict[int, object]:
+    monitors = {
+        seed: OnlineMonitor(SPEC, epsilon=EPSILON) for seed in range(sessions)
+    }
+    results = _drive(monitors, tick_seconds=0.0)
+    return {seed: result.verdict_counts for seed, result in results.items()}
+
+
+def run_round(
+    fleet: list, victim: int, sessions: int, kill_after: float, tick_seconds: float
+) -> dict:
+    """One chaos round over the current fleet; returns round stats.
+
+    The killer timer SIGKILLs ``fleet[victim]`` mid-stream; the caller
+    replaces it afterwards.  Raises on any lost session or unsettled
+    counter.
+    """
+    endpoints = [f"tcp://{host}:{port}" for _, host, port in fleet]
+    expected = _reference_counts(sessions)
+    with MonitorService(endpoints=endpoints, saturate=False) as service:
+        handles = {
+            seed: service.open_session(SPEC, EPSILON, checkpoint=CHECKPOINT)
+            for seed in range(sessions)
+        }
+        placements = {seed: handles[seed].worker_index for seed in handles}
+        exposed = [seed for seed, index in placements.items() if index == victim]
+        killer = threading.Timer(kill_after, fleet[victim][0].kill)
+        killer.start()
+        try:
+            results = _drive(handles, tick_seconds)
+        finally:
+            killer.cancel()  # no-op once fired; stops an unfired timer on error
+        lost = [
+            seed
+            for seed in handles
+            if results[seed].verdict_counts != expected[seed]
+        ]
+        assert not lost, f"sessions {lost} diverged from the in-process replay"
+        recoveries = sum(handles[seed].recoveries for seed in handles)
+        assert recoveries >= len(exposed) >= 1, (
+            f"kill was a no-op: {len(exposed)} session(s) on the victim, "
+            f"{recoveries} recoveries"
+        )
+        deadline = time.monotonic() + 15
+        while any(service.outstanding()) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        leftover = service.outstanding()
+        assert not any(leftover), f"outstanding counters leaked: {leftover}"
+    return {
+        "sessions": sessions,
+        "exposed": len(exposed),
+        "recoveries": recoveries,
+        "checkpoints": sum(handles[seed].checkpoints for seed in handles),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--agents", type=int, default=3, help="fleet size")
+    parser.add_argument("--sessions", type=int, default=4, help="streams per round")
+    parser.add_argument("--rounds", type=int, default=2, help="chaos rounds")
+    parser.add_argument(
+        "--kill-after", type=float, default=0.25, metavar="SECONDS",
+        help="killer timer: SIGKILL one agent this long into each round",
+    )
+    parser.add_argument(
+        "--tick", type=float, default=0.03, metavar="SECONDS",
+        help="pause per stream tick (stretches the round past the timer)",
+    )
+    args = parser.parse_args(argv)
+    if args.agents < 2:
+        parser.error("--agents must be >= 2 (recovery needs a survivor)")
+
+    fleet = [spawn_agent() for _ in range(args.agents)]
+    try:
+        for round_index in range(args.rounds):
+            victim = round_index % args.agents
+            stats = run_round(
+                fleet, victim, args.sessions, args.kill_after, args.tick
+            )
+            dead, _, _ = fleet[victim]
+            dead.wait(timeout=10)
+            dead.stdout.close()
+            fleet[victim] = spawn_agent()  # the host comes back
+            print(
+                f"round {round_index + 1}/{args.rounds}: killed agent {victim}, "
+                f"{stats['exposed']}/{stats['sessions']} session(s) exposed, "
+                f"{stats['recoveries']} recoveries, "
+                f"{stats['checkpoints']} checkpoints, zero lost"
+            )
+    finally:
+        for popen, _, _ in fleet:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
+    print(f"chaos smoke: {args.rounds} round(s), zero lost sessions (asserted)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

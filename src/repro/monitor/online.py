@@ -29,7 +29,8 @@ from repro.progression.progressor import close
 
 #: Version tag carried by :meth:`OnlineMonitor.snapshot` payloads, so a
 #: state produced by one revision is rejected (not misread) by another.
-SNAPSHOT_VERSION = 1
+#: v2 added ``events_consumed`` (the durable-session replay audit).
+SNAPSHOT_VERSION = 2
 
 
 class OnlineMonitor:
@@ -56,6 +57,7 @@ class OnlineMonitor:
         self._result = MonitorResult(formula)
         self._finished = False
         self._segment_counter = 0
+        self._events_consumed = 0
 
     @property
     def formula(self) -> Formula:
@@ -114,6 +116,7 @@ class OnlineMonitor:
         if isinstance(props, str):
             props = (props,)
         self._buffer.append((process, local_time, frozenset(props), deltas))
+        self._events_consumed += 1
 
     # -- advancing ----------------------------------------------------------------
 
@@ -217,6 +220,7 @@ class OnlineMonitor:
             "result": self._result,
             "finished": self._finished,
             "segment_counter": self._segment_counter,
+            "events_consumed": self._events_consumed,
         }
 
     @classmethod
@@ -252,6 +256,7 @@ class OnlineMonitor:
         monitor._result = snapshot["result"]
         monitor._finished = snapshot["finished"]
         monitor._segment_counter = snapshot["segment_counter"]
+        monitor._events_consumed = snapshot["events_consumed"]
         return monitor
 
     # -- finishing -----------------------------------------------------------------
@@ -265,6 +270,12 @@ class OnlineMonitor:
     def undecided_residuals(self) -> int:
         """Distinct residual formulas still carried."""
         return len(self._carried)
+
+    @property
+    def events_consumed(self) -> int:
+        """Total events accepted over the monitor's lifetime (survives
+        snapshot/restore — the durable-session replay audit signal)."""
+        return self._events_consumed
 
     @property
     def current_verdicts(self) -> frozenset[bool]:

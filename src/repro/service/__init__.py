@@ -17,8 +17,17 @@ live (``svc.migrate(session, endpoint)``), and
 ``MonitorService(rebalance="threshold")`` starts a
 :class:`~repro.service.rebalance.Rebalancer` that moves hot streams off
 overloaded endpoints automatically.
+
+Sessions are durable on request: ``MonitorService(checkpoint=...)`` (or
+``open_session(checkpoint=...)``) makes a stream checkpoint its
+worker-side state periodically and keep a client-side replay journal, so
+a worker death recovers the stream transparently — see
+:class:`~repro.service.durability.CheckpointConfig`.  Queued batch work
+on a dead or persistently overloaded endpoint is *stolen* (re-executed
+exactly once on a live endpoint) instead of failed.
 """
 
+from repro.service.durability import CheckpointConfig, ReplayJournal, resolve_checkpoint
 from repro.service.futures import MonitorFuture
 from repro.service.rebalance import Migration, PoolView, Rebalancer
 from repro.service.reports import BatchReport
@@ -29,14 +38,17 @@ from repro.service.tasks import BatchItem, MonitorTask, SegmentShardTask
 __all__ = [
     "BatchItem",
     "BatchReport",
+    "CheckpointConfig",
     "Migration",
     "MonitorFuture",
     "MonitorService",
     "MonitorTask",
     "PoolView",
     "Rebalancer",
+    "ReplayJournal",
     "SegmentShardTask",
     "Session",
     "SessionStatus",
     "default_workers",
+    "resolve_checkpoint",
 ]

@@ -1,0 +1,188 @@
+"""Durable sessions: checkpoint cadence and the client-side replay journal.
+
+Migration (PR 4) made monitor state *mobile*; this module makes it
+*durable*.  The pieces:
+
+* :class:`CheckpointConfig` — how often a live session checkpoints its
+  worker-side monitor state back to the client (interval in
+  events-since-last-checkpoint and/or seconds), and whether it keeps a
+  warm standby replica on a second endpoint.  Resolved from the
+  ``MonitorService(checkpoint=...)`` / ``open_session(checkpoint=...)``
+  arguments by :func:`resolve_checkpoint`.
+
+* :class:`ReplayJournal` — the client-side record of everything the
+  session did since the last *applied* checkpoint: observed events and
+  successfully acknowledged ``advance_to`` boundaries, in call order.
+  A checkpoint is the worker's ``session_snapshot`` payload (the same
+  serialize-but-keep frame migration uses); snapshot + journal replay
+  reconstructs the stream's exact state on any live endpoint, which is
+  what turns worker death into a transparent restore-and-replay instead
+  of a :class:`~repro.errors.ServiceError`.
+
+The journal records *intent*, not worker acknowledgements: events enter
+at ``observe`` time (before they flush), boundaries only after their
+round-trip succeeded.  That asymmetry is deliberate — replay tolerates
+re-observing an event the dead worker may already have consumed (the
+rebuilt state starts from the snapshot, so nothing double-applies), but
+an advance that never succeeded must be *retried* by the caller after
+replay, not replayed as if it had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import MonitorError
+
+#: Default checkpoint interval in events flushed since the last applied
+#: checkpoint (``MonitorService(checkpoint=True)``).
+DEFAULT_EVERY_EVENTS = 64
+
+#: Accepted values of :attr:`CheckpointConfig.standby`.
+STANDBY_MODES = (False, True, "hot")
+
+#: One observed event as the session surface carries it.
+Event = "tuple[str, int, frozenset[str], dict[str, float] | None]"
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Per-session durability policy.
+
+    Parameters
+    ----------
+    every_events:
+        Checkpoint after this many events have been flushed since the
+        last applied checkpoint (``None`` disables the event trigger).
+    every_seconds:
+        Checkpoint when this much wall-clock time has passed since the
+        last applied checkpoint *and* the journal is non-empty (``None``
+        disables the time trigger).
+    standby:
+        Warm-standby replication: ``False`` (none), ``True`` (every
+        checkpoint is pushed to a second live endpoint), or ``"hot"``
+        (only sessions the rebalancer has marked hot keep a standby).
+        With a standby, failover skips the snapshot transfer — the
+        replica endpoint already holds it, so recovery is promote +
+        journal replay only.
+    max_recovery_attempts:
+        How many consecutive restore-and-replay attempts one session
+        call may make before the underlying
+        :class:`~repro.errors.ServiceError` is allowed to surface
+        (each attempt targets a different live endpoint pick).
+    """
+
+    every_events: int | None = DEFAULT_EVERY_EVENTS
+    every_seconds: float | None = None
+    standby: bool | str = False
+    max_recovery_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.every_events is None and self.every_seconds is None:
+            raise MonitorError(
+                "checkpoint needs an interval: every_events and/or every_seconds"
+            )
+        if self.every_events is not None and self.every_events < 1:
+            raise MonitorError(
+                f"checkpoint every_events must be >= 1, got {self.every_events}"
+            )
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise MonitorError(
+                f"checkpoint every_seconds must be > 0, got {self.every_seconds}"
+            )
+        if self.standby not in STANDBY_MODES:
+            raise MonitorError(
+                f"checkpoint standby must be one of {STANDBY_MODES}, "
+                f"got {self.standby!r}"
+            )
+        if self.max_recovery_attempts < 1:
+            raise MonitorError(
+                "checkpoint max_recovery_attempts must be >= 1, "
+                f"got {self.max_recovery_attempts}"
+            )
+
+
+def resolve_checkpoint(spec) -> CheckpointConfig | None:
+    """Normalise a checkpoint spec: None/False, True, dict, or config."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return CheckpointConfig()
+    if isinstance(spec, CheckpointConfig):
+        return spec
+    if isinstance(spec, dict):
+        try:
+            return CheckpointConfig(**spec)
+        except TypeError as exc:
+            raise MonitorError(f"bad checkpoint spec {spec!r}: {exc}") from None
+    raise MonitorError(
+        f"checkpoint must be True, a dict, or a CheckpointConfig, got {spec!r}"
+    )
+
+
+class ReplayJournal:
+    """Everything a session did since its last applied checkpoint.
+
+    Entries are ``("observe", event)`` and ``("advance", boundary)`` in
+    call order.  :meth:`mark` / :meth:`apply_checkpoint` implement the
+    truncation protocol: the session records the journal length when it
+    *sends* a snapshot request (every entry at or below that mark is
+    ordered before the snapshot on the worker's FIFO connection, so the
+    snapshot covers it) and truncates up to the mark once the snapshot
+    payload arrives.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[str, object]] = []
+        #: The last applied checkpoint payload (an
+        #: :meth:`~repro.monitor.online.OnlineMonitor.snapshot` dict),
+        #: or None while the stream has never checkpointed — recovery
+        #: then replays from a fresh ``session_open``.
+        self.snapshot: dict | None = None
+        #: Checkpoints applied so far (introspection/tests).
+        self.checkpoints_applied = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record_event(self, event) -> None:
+        self._entries.append(("observe", event))
+
+    def record_advance(self, boundary: int) -> None:
+        self._entries.append(("advance", boundary))
+
+    def mark(self) -> int:
+        """Current journal length: the truncation point for a snapshot
+        requested *now* (everything recorded so far precedes it)."""
+        return len(self._entries)
+
+    def apply_checkpoint(self, snapshot: dict, mark: int) -> None:
+        """Adopt a resolved snapshot; forget the entries it covers."""
+        self.snapshot = snapshot
+        del self._entries[:mark]
+        self.checkpoints_applied += 1
+
+    def clear(self) -> None:
+        """Release the journal's state (the stream sealed); counters stay."""
+        self._entries = []
+        self.snapshot = None
+
+    def replay_ops(self) -> Iterator[tuple[str, object]]:
+        """The journal as worker ops: consecutive observes batched.
+
+        Yields ``("observe", [event, ...])`` and ``("advance", boundary)``
+        items whose in-order execution on a monitor restored from
+        :attr:`snapshot` reproduces the stream's state exactly.
+        """
+        batch: list = []
+        for kind, payload in self._entries:
+            if kind == "observe":
+                batch.append(payload)
+                continue
+            if batch:
+                yield ("observe", batch)
+                batch = []
+            yield ("advance", payload)
+        if batch:
+            yield ("observe", batch)

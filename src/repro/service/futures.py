@@ -111,6 +111,15 @@ class MonitorFuture:
             raise_remote(self._error)
         return self._payload
 
+    def forward_to(self, other: "MonitorFuture") -> None:
+        """Mirror this future's outcome into ``other`` once resolved.
+
+        Used by work stealing: the caller keeps blocking on the original
+        future while its request is transparently re-executed elsewhere —
+        the replacement request's future forwards here.
+        """
+        self.add_done_callback(lambda: other.resolve(self._payload, self._error))
+
     # -- dispatcher side -----------------------------------------------------------
 
     def add_done_callback(self, callback: Callable[[], None]) -> None:

@@ -61,6 +61,15 @@ POLICIES = ("threshold", "periodic")
 #: reflect the move.
 MIGRATION_COOLDOWN_CYCLES = 4
 
+#: Consecutive cycles an endpoint must stay past the steal threshold
+#: before the rebalancer steals its queued batch work — one hot sample
+#: is noise; a streak is a stuck queue.
+STEAL_PATIENCE_CYCLES = 2
+
+#: A session whose event rate is at least this multiple of the mean live
+#: session rate is marked *hot* (drives ``standby="hot"`` replication).
+HOT_STREAM_FACTOR = 3.0
+
 
 @dataclass(frozen=True)
 class PoolView:
@@ -195,6 +204,8 @@ class RebalanceStats:
     cycles: int = 0
     migrations: list[Migration] = field(default_factory=list)
     failed: int = 0
+    #: Live-steal sweeps initiated (summed ``steal_queued`` results).
+    steals: int = 0
 
 
 class Rebalancer:
@@ -213,14 +224,24 @@ class Rebalancer:
         interval: float = REBALANCE_INTERVAL,
         threshold: int = OUTSTANDING_THRESHOLD,
         cooldown: int = MIGRATION_COOLDOWN_CYCLES,
+        steal_threshold: int | None = None,
+        steal_patience: int = STEAL_PATIENCE_CYCLES,
     ) -> None:
         if interval <= 0:
             raise MonitorError(f"rebalance interval must be > 0, got {interval}")
+        if steal_threshold is not None and steal_threshold < 1:
+            raise MonitorError(
+                f"steal threshold must be >= 1, got {steal_threshold}"
+            )
         self._service = service
         self._policy = resolve_policy(policy, threshold)
         self._interval = interval
         self._cooldown = max(0, cooldown)
         self._cooling: dict[int, int] = {}
+        self._steal_threshold = steal_threshold
+        self._steal_patience = max(1, steal_patience)
+        #: Per-endpoint consecutive cycles past the steal threshold.
+        self._overload_streak: dict[int, int] = {}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._last_counts: dict[int, int] = {}
@@ -289,8 +310,59 @@ class Rebalancer:
             moved.append(record)
             if self._cooldown:
                 self._cooling[session.session_id] = self._cooldown
+        self._mark_heat(view)
+        self._steal_from_overloaded(view)
         self.stats.cycles += 1
         return moved
+
+    def _mark_heat(self, view: PoolView) -> None:
+        """Flag sessions running far above the mean rate as *hot*.
+
+        Drives ``standby="hot"`` durability: only streams the rebalancer
+        considers hot keep a warm replica.  Duck-typed (``mark_hot`` /
+        ``mark_cold``) so policy unit tests with bare fakes stay valid.
+        """
+        live = [s for s in view.sessions if not s.finished]
+        if not live:
+            return
+        mean = sum(view.rates.get(s.session_id, 0.0) for s in live) / len(live)
+        for session in live:
+            rate = view.rates.get(session.session_id, 0.0)
+            hot = mean > 0.0 and rate >= HOT_STREAM_FACTOR * mean
+            marker = getattr(session, "mark_hot" if hot else "mark_cold", None)
+            if marker is not None:
+                marker()
+
+    def _steal_from_overloaded(self, view: PoolView) -> None:
+        """Steal queued batch work off persistently overloaded endpoints.
+
+        An endpoint whose outstanding depth exceeds the quietest live
+        endpoint's by at least ``steal_threshold`` for ``steal_patience``
+        consecutive cycles gets its *queued* (proven-unstarted) batch
+        requests re-placed via
+        :meth:`~repro.service.MonitorService.steal_queued` — migration
+        moves future session load, stealing rescues the backlog already
+        queued.
+        """
+        if self._steal_threshold is None:
+            return
+        live = view.live_endpoints()
+        if len(live) < 2:
+            self._overload_streak.clear()
+            return
+        quietest = min(view.outstanding[i] for i in live)
+        for index in live:
+            if view.outstanding[index] - quietest >= self._steal_threshold:
+                streak = self._overload_streak.get(index, 0) + 1
+                self._overload_streak[index] = streak
+                if streak >= self._steal_patience:
+                    try:
+                        self.stats.steals += self._service.steal_queued(index)
+                    except Exception:  # noqa: BLE001 — best-effort, like hops
+                        self.stats.failed += 1
+                    self._overload_streak[index] = 0
+            else:
+                self._overload_streak.pop(index, None)
 
     def _build_view(self) -> PoolView:
         sessions = self._service.live_sessions()

@@ -61,12 +61,14 @@ from typing import Sequence
 from repro.distributed.computation import DistributedComputation
 from repro.errors import CancelledError, MonitorError, ReproError, ServiceError
 from repro.mtl.ast import Formula
+from repro.service.durability import CheckpointConfig, resolve_checkpoint
 from repro.service.futures import MonitorFuture
 from repro.service.reports import BatchReport
 from repro.service.session import Session
 from repro.service.tasks import BatchItem, MonitorTask, SegmentShardTask
 from repro.transport import (
     CONTROL_ID,
+    DROPPED_BEFORE_EXECUTION,
     Connection,
     LocalTransport,
     Request,
@@ -74,6 +76,13 @@ from repro.transport import (
     Transport,
     resolve_transport,
 )
+
+#: Batch ops whose requests may be *stolen* — re-executed on another
+#: endpoint when the one they were queued on dies or stays overloaded.
+#: Only pure computations qualify: session ops mutate worker-held stream
+#: state, so replaying one elsewhere would corrupt the stream (sessions
+#: have their own recovery — checkpoints and journal replay).
+STEALABLE_OPS = ("monitor", "shard")
 
 #: How often the liveness thread polls each connection's own verdict.
 LIVENESS_POLL_SECONDS = 0.25
@@ -131,6 +140,17 @@ class MonitorService:
     rebalance_threshold:
         Outstanding-depth divergence that triggers the ``"threshold"``
         policy.
+    rebalance_steal_threshold:
+        Outstanding-depth divergence beyond which the rebalancer also
+        *steals* queued batch work from a persistently overloaded
+        endpoint (see :meth:`steal_queued`).  ``None`` (default)
+        disables live stealing; dead-endpoint stealing is always on.
+    checkpoint:
+        Default durability policy for sessions: ``None`` (default) opens
+        plain non-durable sessions; ``True`` checkpoints at the default
+        cadence; a dict or :class:`~repro.service.durability.CheckpointConfig`
+        picks the cadence/standby mode.  Overridable per
+        :meth:`open_session` call.
     **monitor_kwargs:
         Default engine knobs for batch items (``segments=``, budgets, ...),
         merged with per-call overrides.
@@ -148,10 +168,18 @@ class MonitorService:
         rebalance=None,
         rebalance_interval: float | None = None,
         rebalance_threshold: int | None = None,
+        rebalance_steal_threshold: int | None = None,
+        checkpoint: bool | dict | CheckpointConfig | None = None,
         **monitor_kwargs,
     ) -> None:
-        # Rebalance arguments are validated before any worker spawns: a
-        # typo'd policy name must not pay (then tear down) a pool start.
+        # Rebalance/durability arguments are validated before any worker
+        # spawns: a typo'd policy must not pay (then tear down) a pool start.
+        self._checkpoint = resolve_checkpoint(checkpoint)
+        if rebalance_steal_threshold is not None and rebalance_steal_threshold < 1:
+            raise MonitorError(
+                f"rebalance_steal_threshold must be >= 1, got "
+                f"{rebalance_steal_threshold}"
+            )
         rebalance_policy = None
         if rebalance is not None:
             from repro.service.rebalance import (
@@ -172,9 +200,14 @@ class MonitorService:
                 raise MonitorError(
                     f"rebalance interval must be > 0, got {rebalance_interval}"
                 )
-        elif rebalance_interval is not None or rebalance_threshold is not None:
+        elif (
+            rebalance_interval is not None
+            or rebalance_threshold is not None
+            or rebalance_steal_threshold is not None
+        ):
             raise MonitorError(
-                "rebalance_interval/rebalance_threshold need a rebalance policy"
+                "rebalance_interval/rebalance_threshold/rebalance_steal_threshold "
+                "need a rebalance policy"
             )
 
         if endpoints is not None:
@@ -233,6 +266,14 @@ class MonitorService:
         self._session_ids = itertools.count()
         self._futures: dict[int, MonitorFuture] = {}
         self._request_to_worker: dict[int, int] = {}
+        # Work-stealing state: ``_stealable`` keeps the (op, payload) of
+        # every outstanding *pure* batch request so it can be re-sent to
+        # another endpoint; ``_stealing`` marks request ids whose drop
+        # frame is in flight to a live-but-overloaded endpoint — their
+        # dropped-before-execution ack triggers the resubmit.
+        self._stealable: dict[int, tuple[str, object]] = {}
+        self._stealing: set[int] = set()
+        self._steals = 0
         self._outstanding = [0] * self._workers
         self._dead = [False] * self._workers
         self._sessions: dict[int, Session] = {}
@@ -268,7 +309,10 @@ class MonitorService:
 
             try:
                 self.rebalancer = Rebalancer(
-                    self, policy=rebalance_policy, interval=rebalance_interval
+                    self,
+                    policy=rebalance_policy,
+                    interval=rebalance_interval,
+                    steal_threshold=rebalance_steal_threshold,
                 ).start()
             except BaseException:
                 self.close(timeout=1.0)
@@ -292,6 +336,13 @@ class MonitorService:
     def open_sessions(self) -> int:
         """Live sessions currently tracked by this client."""
         return len(self._sessions)
+
+    @property
+    def steals(self) -> int:
+        """Batch requests transparently re-placed on another endpoint so
+        far (dead-endpoint work stealing plus :meth:`steal_queued`)."""
+        with self._lock:
+            return self._steals
 
     def endpoints(self) -> list[str]:
         """Endpoint description of every pool worker, by index."""
@@ -431,6 +482,7 @@ class MonitorService:
         epsilon: int,
         key: str | None = None,
         placement: str = "hash",
+        checkpoint: bool | dict | CheckpointConfig | None = None,
         **monitor_kwargs,
     ) -> Session:
         """Open one live monitoring stream, pinned to a pool worker.
@@ -448,8 +500,20 @@ class MonitorService:
         ``monitor_kwargs`` go to the worker-side
         :class:`~repro.monitor.online.OnlineMonitor`
         (``max_traces_per_segment=``, ``backend=``, ...).
+
+        ``checkpoint`` makes the session *durable* (periodic worker-side
+        checkpoints plus a client-side replay journal, so a worker death
+        recovers transparently instead of failing the stream — see
+        :mod:`repro.service.durability`): ``None`` inherits the
+        service-level default, ``False`` forces a plain session, ``True``
+        / dict / :class:`~repro.service.durability.CheckpointConfig`
+        picks a policy for this session alone.
         """
         self._ensure_open()
+        if checkpoint is None:
+            config = self._checkpoint
+        else:
+            config = resolve_checkpoint(checkpoint)
         if placement not in PLACEMENTS:
             raise MonitorError(
                 f"unknown placement {placement!r}; known: {', '.join(PLACEMENTS)}"
@@ -468,7 +532,15 @@ class MonitorService:
             "session_open",
             (session_id, formula, epsilon, dict(monitor_kwargs)),
         ).result()
-        session = Session(self, session_id, worker_index, formula, epsilon)
+        session = Session(
+            self,
+            session_id,
+            worker_index,
+            formula,
+            epsilon,
+            monitor_kwargs=monitor_kwargs,
+            checkpoint=config,
+        )
         with self._lock:
             self._sessions[session_id] = session
         return session
@@ -545,6 +617,8 @@ class MonitorService:
             leftovers = list(self._futures.values())
             self._futures.clear()
             self._request_to_worker.clear()
+            self._stealable.clear()
+            self._stealing.clear()
             # Every tracked request is now resolved or failed; the
             # counters must agree (the placement-signal invariant).
             self._outstanding = [0] * self._workers
@@ -596,12 +670,19 @@ class MonitorService:
         if self._closed:
             raise ServiceError("monitor service is closed")
 
-    def _pick_worker(self) -> int:
-        """Least-outstanding live endpoint (ties break toward lower index)."""
+    def _pick_worker(self, avoid: int | None = None) -> int:
+        """Least-outstanding live endpoint (ties break toward lower index).
+
+        ``avoid`` steers stolen work away from the endpoint it was stolen
+        from (re-queueing it behind the same backlog would defeat the
+        steal) — honoured only while another live endpoint exists.
+        """
         with self._lock:
             alive = [i for i in range(self._workers) if not self._dead[i]]
             if not alive:
                 raise ServiceError("all service workers have died")
+            if avoid is not None and len(alive) > 1:
+                alive = [i for i in alive if i != avoid]
             return min(alive, key=lambda i: self._outstanding[i])
 
     def _send(self, worker_index: int, op: str, payload) -> MonitorFuture:
@@ -623,6 +704,10 @@ class MonitorService:
                 self._futures[request_id] = future
                 self._request_to_worker[request_id] = worker_index
                 self._outstanding[worker_index] += 1
+                if op in STEALABLE_OPS:
+                    # Kept until the response arrives, so the request can
+                    # be re-sent elsewhere if this endpoint dies first.
+                    self._stealable[request_id] = (op, payload)
             try:
                 self._connections[worker_index].send(Request(request_id, op, payload))
             except BaseException:
@@ -632,6 +717,7 @@ class MonitorService:
                 # count would bias placement against a healthy worker forever.
                 with self._lock:
                     self._futures.pop(request_id, None)
+                    self._stealable.pop(request_id, None)
                     if self._request_to_worker.pop(request_id, None) is not None:
                         self._outstanding[worker_index] -= 1
                 raise
@@ -657,14 +743,92 @@ class MonitorService:
 
     def _make_on_response(self, worker_index: int):
         def on_response(response: Response) -> None:
+            resteal: tuple[str, object, MonitorFuture] | None = None
             with self._lock:
                 future = self._futures.pop(response.request_id, None)
+                stealable = self._stealable.pop(response.request_id, None)
                 if self._request_to_worker.pop(response.request_id, None) is not None:
                     self._outstanding[worker_index] -= 1
+                if response.request_id in self._stealing:
+                    self._stealing.discard(response.request_id)
+                    if (
+                        response.error == DROPPED_BEFORE_EXECUTION
+                        and stealable is not None
+                        and future is not None
+                        and not future.cancelled
+                        and not self._closed
+                    ):
+                        # The drop won: the worker *proved* it never
+                        # started this request, so re-executing it
+                        # elsewhere cannot double-execute.  Any other
+                        # response means the drop lost — the request
+                        # completed where it was, resolve normally.
+                        resteal = (stealable[0], stealable[1], future)
+            if resteal is not None:
+                self._resteal(*resteal, avoid=worker_index)
+                return
             if future is not None:
                 future.resolve(response.payload, response.error)
 
         return on_response
+
+    def steal_queued(self, from_index: int, limit: int | None = None) -> int:
+        """Steal queued batch work off a live (overloaded) endpoint.
+
+        Sends best-effort drop frames for the stealable (pure batch)
+        requests outstanding on ``from_index``.  The worker acknowledges
+        each drop either with :data:`~repro.transport.DROPPED_BEFORE_EXECUTION`
+        — proof the request never started, which triggers a transparent
+        resubmit to the least-loaded live endpoint — or with the real
+        response, when the request executed before the drop arrived.
+        Either way each request runs **exactly once**; callers blocked in
+        ``result()`` never notice the hop.  Returns the number of steals
+        initiated (not all of them will win their race).
+
+        Called by the :class:`~repro.service.rebalance.Rebalancer` when
+        ``rebalance_steal_threshold`` is set; safe to call directly.
+        """
+        self._ensure_open()
+        with self._lock:
+            if self._dead[from_index]:
+                return 0
+            candidates = sorted(
+                request_id
+                for request_id in self._stealable
+                if self._request_to_worker.get(request_id) == from_index
+                and request_id not in self._stealing
+            )
+            if limit is not None:
+                candidates = candidates[:limit]
+            self._stealing.update(candidates)
+        for request_id in candidates:
+            self._drop_request(from_index, request_id)
+        return len(candidates)
+
+    def _resteal(
+        self, op: str, payload, original: MonitorFuture, avoid: int | None = None
+    ) -> None:
+        """Re-send a proven-unstarted request; chain into the original future.
+
+        Runs outside ``self._lock`` (it sends).  When no live endpoint is
+        left — or the service closed meanwhile — the original future
+        fails with :class:`~repro.errors.ServiceError` instead of hanging.
+        """
+        try:
+            replacement = self._send(self._pick_worker(avoid=avoid), op, payload)
+        except BaseException as exc:  # noqa: BLE001 — the caller must unblock
+            original.resolve(
+                None,
+                f"ServiceError: stolen request could not be re-placed: "
+                f"{type(exc).__name__}: {exc}",
+            )
+            return
+        with self._lock:
+            self._steals += 1
+        # A later cancel() on the original must chase the replacement,
+        # not the endpoint the request was stolen from.
+        original.cancel_hook = replacement.cancel
+        replacement.forward_to(original)
 
     def _make_on_disconnect(self, worker_index: int):
         def on_disconnect() -> None:
@@ -693,25 +857,60 @@ class MonitorService:
                 self._fail_worker_futures(newly_dead)
 
     def _fail_worker_futures(self, worker_indices: list[int]) -> None:
-        """Mark endpoints dead and fail their outstanding futures.
+        """Mark endpoints dead; steal or fail their outstanding requests.
 
         Without this, a worker lost to an OOM-kill, crash, or network
         partition would leave its callers blocked in ``result()``
-        forever; instead their futures fail with
-        :class:`~repro.errors.ServiceError` and the endpoint is excluded
+        forever.  Pure batch requests (``_stealable``) that *provably
+        never started* are transparently re-executed on live endpoints
+        instead of failing; everything else fails with
+        :class:`~repro.errors.ServiceError`, and the endpoint is excluded
         from further placement.
+
+        The idempotency guard: each connection executes FIFO in request-id
+        order, and a worker ships the response for id *k* before touching
+        *k+1* — reader threads drain every delivered response before
+        reporting the disconnect.  So of the ids still outstanding on a
+        dead connection only the **lowest** may have begun executing;
+        that one is *failed*, never stolen (re-running a request that may
+        have produced side effects elsewhere would double-execute it).
+        Strictly higher ids never started and are safe to steal.
         """
-        orphans: list[tuple[int, MonitorFuture]] = []
+        orphans: list[tuple[int, MonitorFuture, bool]] = []
+        steals: list[tuple[str, object, MonitorFuture]] = []
         with self._lock:
             for index in worker_indices:
                 self._dead[index] = True
-            for request_id, worker_index in list(self._request_to_worker.items()):
+            any_alive = not all(self._dead)
+            by_worker: dict[int, list[int]] = {}
+            for request_id, worker_index in self._request_to_worker.items():
                 if worker_index in worker_indices:
+                    by_worker.setdefault(worker_index, []).append(request_id)
+            for worker_index, request_ids in by_worker.items():
+                request_ids.sort()
+                maybe_started = request_ids[0]
+                for request_id in request_ids:
                     future = self._futures.pop(request_id, None)
                     del self._request_to_worker[request_id]
-                    self._outstanding[worker_index] -= 1
-                    if future is not None:
-                        orphans.append((worker_index, future))
+                    stealable = self._stealable.pop(request_id, None)
+                    self._stealing.discard(request_id)
+                    if future is None:
+                        continue
+                    if (
+                        stealable is not None
+                        and any_alive
+                        and request_id != maybe_started
+                        and not future.cancelled
+                    ):
+                        steals.append((stealable[0], stealable[1], future))
+                    else:
+                        orphans.append(
+                            (
+                                worker_index,
+                                future,
+                                stealable is not None and request_id == maybe_started,
+                            )
+                        )
             for index in worker_indices:
                 # A dead endpoint can never answer again, so any residue
                 # here is by definition a leak — and a permanent one,
@@ -719,9 +918,17 @@ class MonitorService:
                 # the placement signal (and the rebalancer feeding on
                 # it) honest whatever path dropped the pairing.
                 self._outstanding[index] = 0
-        for worker_index, future in orphans:
+        for worker_index, future, guarded in orphans:
+            detail = (
+                " while it may have been executing (not re-run: it could "
+                "double-execute)"
+                if guarded
+                else " before responding"
+            )
             future.resolve(
                 None,
                 f"ServiceError: service worker {worker_index} "
-                f"({self._connections[worker_index].endpoint}) died before responding",
+                f"({self._connections[worker_index].endpoint}) died{detail}",
             )
+        for op, payload, future in steals:
+            self._resteal(op, payload, future)

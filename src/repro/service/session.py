@@ -22,20 +22,41 @@ by a background rebalancer interleaves safely with the thread feeding
 the stream, and per-stream ordering holds across the hop: everything
 sent before the hop completes on the origin endpoint before the snapshot
 is taken, and everything after goes to the target.
+
+Sessions are also **durable** when opened with a checkpoint policy
+(``MonitorService(checkpoint=...)`` or ``open_session(checkpoint=...)``):
+the worker-side monitor state is checkpointed back to the client
+periodically (the same serialize-but-keep ``session_snapshot`` frame
+migration uses), every call is recorded in a client-side
+:class:`~repro.service.durability.ReplayJournal`, and when the hosting
+worker dies the session transparently restores the last checkpoint onto
+a live endpoint and replays the journal instead of surfacing a
+:class:`~repro.errors.ServiceError`.  With ``standby=True`` (or
+``"hot"`` for rebalancer-marked streams) each checkpoint is also pushed
+to a second endpoint, so failover skips the snapshot transfer entirely —
+recovery is promote + journal replay.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.errors import MonitorError, ServiceError
+from repro.errors import MonitorError, ReproError, ServiceError
 from repro.monitor.verdicts import MonitorResult
 from repro.mtl.ast import Formula
+from repro.service.durability import CheckpointConfig, ReplayJournal
 from repro.service.futures import MonitorFuture, raise_remote
-from repro.transport.frames import RESTORE_SESSION, SNAPSHOT_SESSION
+from repro.transport.frames import (
+    DROP_STANDBY,
+    PROMOTE_SESSION,
+    RESTORE_SESSION,
+    SNAPSHOT_SESSION,
+    STANDBY_SESSION,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.service.service import MonitorService
@@ -47,6 +68,11 @@ OBSERVE_FLUSH_THRESHOLD = 256
 #: restore): a hop must fail loudly rather than park the stream forever
 #: behind a wedged endpoint.
 MIGRATE_TIMEOUT = 30.0
+
+#: Bound on each blocking round-trip inside a recovery (promote,
+#: restore, replayed batch): recovery happens on the caller's thread, so
+#: a wedged replacement endpoint must fail the call, not hang it.
+RECOVERY_TIMEOUT = 30.0
 
 
 @dataclass(frozen=True)
@@ -70,12 +96,15 @@ class Session:
         worker_index: int,
         formula: Formula,
         epsilon: int,
+        monitor_kwargs: Mapping[str, object] | None = None,
+        checkpoint: CheckpointConfig | None = None,
     ) -> None:
         self._service = service
         self._id = session_id
         self._worker = worker_index
         self._formula = formula
         self._epsilon = epsilon
+        self._monitor_kwargs = dict(monitor_kwargs or {})
         self._buffer: list[tuple[str, int, frozenset[str], dict[str, float] | None]] = []
         self._inflight: deque[MonitorFuture] = deque()
         self._finished = False
@@ -86,6 +115,25 @@ class Session:
         self._lock = threading.RLock()
         self._events_observed = 0
         self._migrations = 0
+        # Endpoints that may still hold a stale copy of this session: a
+        # migration's best-effort origin discard that was not confirmed
+        # (send failed or ack timed out).  Maps worker index to the
+        # discard's future (None when the discard never left the
+        # client).  Any later hop back to such an endpoint must fence on
+        # the discard first — see :meth:`_fence_stale_copy`.
+        self._stale_copies: dict[int, MonitorFuture | None] = {}
+        # -- durability state (all None/zero when not checkpointing) --
+        self._checkpoint = checkpoint
+        self._journal: ReplayJournal | None = (
+            ReplayJournal() if checkpoint is not None else None
+        )
+        self._events_since_checkpoint = 0
+        self._last_checkpoint_time = time.monotonic()
+        #: In-flight snapshot request: ``(future, journal mark)``.
+        self._pending_checkpoint: tuple[MonitorFuture, int] | None = None
+        self._standby_worker: int | None = None
+        self._hot = False
+        self._recoveries = 0
 
     @property
     def session_id(self) -> int:
@@ -117,13 +165,54 @@ class Session:
 
     @property
     def events_observed(self) -> int:
-        """Total events fed so far (the rebalancer's per-stream heat signal)."""
+        """Total events successfully flushed to the worker so far (the
+        rebalancer's per-stream heat signal).  Buffered events that die
+        in a failed flush — or are discarded by :meth:`close` — never
+        count, so the signal reflects load the pool actually carried."""
         return self._events_observed
 
     @property
     def migrations(self) -> int:
         """How many times this stream has hopped endpoints."""
         return self._migrations
+
+    @property
+    def durable(self) -> bool:
+        """True when this session checkpoints (worker death recovers)."""
+        return self._journal is not None
+
+    @property
+    def checkpoints(self) -> int:
+        """Checkpoints applied so far (0 for non-durable sessions)."""
+        return self._journal.checkpoints_applied if self._journal is not None else 0
+
+    @property
+    def journal_length(self) -> int:
+        """Ops recorded since the last applied checkpoint (replay cost)."""
+        return len(self._journal) if self._journal is not None else 0
+
+    @property
+    def recoveries(self) -> int:
+        """How many times this stream was restored after a worker death."""
+        return self._recoveries
+
+    @property
+    def standby_worker(self) -> int | None:
+        """Endpoint holding this stream's warm-standby replica, if any."""
+        return self._standby_worker
+
+    @property
+    def hot(self) -> bool:
+        """True while the rebalancer considers this stream hot (drives
+        ``standby="hot"`` replication)."""
+        return self._hot
+
+    def mark_hot(self) -> None:
+        """Flag this stream hot (rebalancer heat signal)."""
+        self._hot = True
+
+    def mark_cold(self) -> None:
+        self._hot = False
 
     # -- feeding -----------------------------------------------------------------
 
@@ -139,12 +228,18 @@ class Session:
             self._ensure_live()
             if isinstance(props, str):
                 props = (props,)
-            self._buffer.append(
-                (process, local_time, frozenset(props), dict(deltas) if deltas else None)
+            event = (
+                process,
+                local_time,
+                frozenset(props),
+                dict(deltas) if deltas else None,
             )
-            self._events_observed += 1
+            self._buffer.append(event)
+            if self._journal is not None:
+                self._journal.record_event(event)
             if len(self._buffer) >= OBSERVE_FLUSH_THRESHOLD:
-                self._flush()
+                self._durable_call(self._flush)
+                self._maybe_checkpoint()
 
     def _flush(self) -> None:
         """Ship buffered events to the worker (fire-and-forget, tracked).
@@ -152,7 +247,9 @@ class Session:
         A send that fails (dead endpoint, closed service) keeps the
         buffer intact and raises :class:`~repro.errors.ServiceError`
         naming the event count — buffered events must never be dropped
-        silently just because the worker died before a flush.
+        silently just because the worker died before a flush.  (Durable
+        sessions recover instead: the journal already records the
+        buffered events, so restore-and-replay re-feeds them.)
         """
         if not self._buffer:
             return
@@ -165,6 +262,12 @@ class Session:
                 f"{len(self._buffer)} buffered observe event(s) for session "
                 f"{self._id} could not be flushed to {self._endpoint_text()}: {exc}"
             ) from exc
+        # Counted only now: the events have actually left for the worker,
+        # so the rebalancer's heat signal tracks carried load, not
+        # buffered intent that a failed flush (or close) may discard.
+        flushed = len(self._buffer)
+        self._events_observed += flushed
+        self._events_since_checkpoint += flushed
         self._buffer = []
         self._inflight.append(future)
 
@@ -189,11 +292,21 @@ class Session:
         """Declare all times below ``boundary`` final; return decided verdicts."""
         with self._lock:
             self._ensure_live()
-            self._flush()
-            self._check_inflight()
-            verdicts = self._roundtrip("session_advance", (self._id, boundary))
-            self._check_inflight(wait=True)
+            verdicts = self._durable_call(lambda: self._advance_once(boundary))
+            self._durable_call(lambda: self._check_inflight(wait=True))
+            self._maybe_checkpoint()
             return verdicts
+
+    def _advance_once(self, boundary: int) -> frozenset[bool]:
+        self._flush()
+        self._check_inflight()
+        verdicts = self._roundtrip("session_advance", (self._id, boundary))
+        if self._journal is not None:
+            # Journaled only after the worker acknowledged: an advance
+            # that died mid-flight is *retried* after replay, not
+            # replayed as if it had happened.
+            self._journal.record_advance(boundary)
+        return verdicts
 
     def poll(self) -> SessionStatus:
         """Current verdicts / buffered-event / residual counts (cheap round-trip)."""
@@ -205,13 +318,17 @@ class Session:
                     undecided_residuals=0,
                     finished=True,
                 )
-            self._flush()
-            self._check_inflight()
-            status = self._roundtrip("session_poll", (self._id,))
+            status = self._durable_call(self._poll_once)
             # Responses are FIFO per worker, so any flushed observe batch has
             # resolved by now — surface its rejection here, not one call late.
-            self._check_inflight(wait=True)
+            self._durable_call(lambda: self._check_inflight(wait=True))
+            self._maybe_checkpoint()
             return status
+
+    def _poll_once(self) -> SessionStatus:
+        self._flush()
+        self._check_inflight()
+        return self._roundtrip("session_poll", (self._id,))
 
     def finish(self) -> MonitorResult:
         """Consume everything buffered, close residuals, return the verdicts.
@@ -226,25 +343,274 @@ class Session:
                         f"session {self._id} was closed without computing verdicts"
                     )
                 return self._result
-            self._flush()
-            self._check_inflight()
-            self._result = self._roundtrip("session_finish", (self._id,))
+            self._result = self._durable_call(self._finish_once)
             self._finished = True
+            self._teardown_durability()
             self._service._forget_session(self._id)
             return self._result
 
+    def _finish_once(self) -> MonitorResult:
+        self._flush()
+        self._check_inflight()
+        return self._roundtrip("session_finish", (self._id,))
+
     def close(self) -> None:
-        """Discard the stream without computing verdicts."""
+        """Discard the stream without computing verdicts.
+
+        Best-effort cancels every in-flight observe batch first (a drop
+        frame lets the worker skip batches it has not executed yet), so
+        a closed session's queued work does not keep burning the pool —
+        and its rejections cannot surface anywhere afterwards.
+        """
         with self._lock:
             if self._finished:
                 return
             self._buffer.clear()
+            for future in self._inflight:
+                future.cancel()
             self._inflight.clear()
             try:
                 self._roundtrip("session_close", (self._id,))
             finally:
                 self._finished = True
+                self._teardown_durability()
                 self._service._forget_session(self._id)
+
+    def _teardown_durability(self) -> None:
+        """Release durability resources when the stream seals.
+
+        The journal object itself stays (its counters remain
+        introspectable after :meth:`finish`); only its replay state and
+        any standby replica are released.
+        """
+        if self._standby_worker is not None:
+            self._drop_standby(self._standby_worker)
+            self._standby_worker = None
+        self._pending_checkpoint = None
+        if self._journal is not None:
+            self._journal.clear()
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def checkpoint_now(self, wait: bool = True) -> bool:
+        """Force a checkpoint regardless of cadence (ops/test hook).
+
+        Returns True when a checkpoint was applied (or the journal was
+        already empty, i.e. the last applied checkpoint is current).
+        """
+        with self._lock:
+            if self._journal is None or self._finished:
+                return False
+            self._durable_call(self._flush)
+            self._maybe_checkpoint(force=True)
+            if wait:
+                self._apply_pending_checkpoint(wait=True)
+                return len(self._journal) == 0
+            return self._pending_checkpoint is not None
+
+    def _maybe_checkpoint(self, force: bool = False) -> None:
+        """Request a snapshot when the cadence says so (non-blocking).
+
+        Only ever called with an empty client buffer (right after a
+        flush or a synchronising round-trip): the journal mark recorded
+        here must count *flushed* work only, since the snapshot request
+        queues behind exactly that on the worker's FIFO connection.
+        """
+        if self._journal is None or self._finished:
+            return
+        self._apply_pending_checkpoint()
+        if self._pending_checkpoint is not None or self._buffer:
+            return
+        config = self._checkpoint
+        due = force
+        if (
+            not due
+            and config.every_events is not None
+            and self._events_since_checkpoint >= config.every_events
+        ):
+            due = True
+        if (
+            not due
+            and config.every_seconds is not None
+            and time.monotonic() - self._last_checkpoint_time >= config.every_seconds
+        ):
+            due = True
+        if not due:
+            return
+        self._events_since_checkpoint = 0
+        self._last_checkpoint_time = time.monotonic()
+        if self._journal.mark() == 0:
+            # Nothing new since the applied checkpoint: snapshot + empty
+            # journal already reconstructs the current state exactly.
+            return
+        try:
+            future = self._service._send_session(
+                self._worker, SNAPSHOT_SESSION, (self._id,)
+            )
+        except ServiceError:
+            return  # dead worker: the next synchronising call recovers
+        self._pending_checkpoint = (future, self._journal.mark())
+
+    def _apply_pending_checkpoint(self, wait: bool = False) -> None:
+        """Adopt a resolved snapshot request; truncate the journal.
+
+        Polled from session calls (never from response-dispatcher
+        callbacks: those must not take the session lock).  A failed
+        snapshot is simply dropped — the journal still covers everything
+        since the last *applied* checkpoint, so recovery stays correct,
+        just with a longer replay.
+        """
+        if self._pending_checkpoint is None:
+            return
+        future, mark = self._pending_checkpoint
+        if not wait and not future.done():
+            return
+        self._pending_checkpoint = None
+        try:
+            snapshot = future.result(RECOVERY_TIMEOUT)
+        except ReproError:
+            return
+        self._journal.apply_checkpoint(snapshot, mark)
+        self._push_standby(snapshot)
+
+    def _push_standby(self, snapshot: dict) -> None:
+        """Ship the applied checkpoint to a warm-standby endpoint."""
+        config = self._checkpoint
+        if config.standby is False or (config.standby == "hot" and not self._hot):
+            return
+        dead = self._service.dead_endpoints()
+        target = self._standby_worker
+        if target is None or target == self._worker or dead[target]:
+            depth = self._service.outstanding()
+            candidates = [
+                index
+                for index in range(self._service.workers)
+                if index != self._worker and not dead[index]
+            ]
+            if not candidates:
+                return  # nowhere to replicate: the pool is down to one endpoint
+            target = min(candidates, key=lambda index: depth[index])
+        if (
+            self._standby_worker is not None
+            and self._standby_worker not in (target, self._worker)
+        ):
+            self._drop_standby(self._standby_worker)
+        try:
+            self._service._send_session(
+                target, STANDBY_SESSION, (self._id, snapshot)
+            )
+        except ServiceError:
+            return  # best-effort: recovery falls back to a client restore
+        self._standby_worker = target
+
+    def _drop_standby(self, worker_index: int) -> None:
+        """Best-effort discard of a standby replica on one endpoint."""
+        try:
+            self._service._send_session(worker_index, DROP_STANDBY, (self._id,))
+        except Exception:  # noqa: BLE001 — cleanup must not mask the outcome
+            pass
+
+    # -- recovery -------------------------------------------------------------------
+
+    def _durable_call(self, fn: Callable):
+        """Run one session step; on transport death, restore-and-replay
+        onto a live endpoint and retry the step.
+
+        Non-durable sessions get the plain call (errors surface).  The
+        retry loop is bounded by the config's ``max_recovery_attempts``;
+        a recovery that fails (its own target died mid-restore) counts
+        as an attempt and the loop tries again — the failed target is
+        reaped, so the next pick lands elsewhere.
+        """
+        if self._journal is None:
+            return fn()
+        attempts = 0
+        while True:
+            try:
+                return fn()
+            except ServiceError as exc:
+                if self._service.closed or self._finished:
+                    raise
+                attempts += 1
+                if attempts > self._checkpoint.max_recovery_attempts:
+                    raise
+                try:
+                    self._recover(exc)
+                except ServiceError:
+                    continue  # recovery target died too: loop picks another
+
+    def _recover(self, cause: ServiceError) -> None:
+        """Restore the stream onto a live endpoint and replay the journal.
+
+        Runs on the caller's thread, under the session lock.  By the
+        time a session call observes a worker-death ServiceError the
+        service has already marked the endpoint dead, so live-endpoint
+        picks can never return the corpse.
+        """
+        # Adopt a checkpoint that resolved before the death (its
+        # snapshot is strictly newer than the one we hold).
+        self._apply_pending_checkpoint()
+        # Whatever was in flight or buffered is superseded: the journal
+        # records it all, and replay re-feeds it onto the rebuilt state.
+        self._inflight.clear()
+        self._buffer.clear()
+        restored = False
+        dead = self._service.dead_endpoints()
+        standby = self._standby_worker
+        if standby is not None and standby != self._worker and not dead[standby]:
+            # Warm path: the replica endpoint already holds the last
+            # checkpoint — promote it and skip the snapshot transfer.
+            try:
+                self._service._send_session(
+                    standby, PROMOTE_SESSION, (self._id,)
+                ).result(RECOVERY_TIMEOUT)
+                self._worker = standby
+                self._standby_worker = None
+                restored = True
+            except ReproError:
+                self._standby_worker = None  # replica unusable: cold path
+        if not restored:
+            target = self._service._pick_worker()  # raises when none live
+            if target == self._worker:
+                # The origin is somehow still live: the error was not a
+                # worker death — restoring on top of the live copy would
+                # collide, so surface the original failure.
+                raise cause
+            self._fence_stale_copy(target, RECOVERY_TIMEOUT)
+            if self._journal.snapshot is not None:
+                self._service._send_session(
+                    target, RESTORE_SESSION, (self._id, self._journal.snapshot)
+                ).result(RECOVERY_TIMEOUT)
+            else:
+                # Died before the first checkpoint: the journal covers the
+                # stream from the very beginning, so recovery is a fresh
+                # open plus a full replay.
+                self._service._send_session(
+                    target,
+                    "session_open",
+                    (self._id, self._formula, self._epsilon, dict(self._monitor_kwargs)),
+                ).result(RECOVERY_TIMEOUT)
+            self._worker = target
+        self._recoveries += 1
+        self._replay()
+
+    def _replay(self) -> None:
+        """Re-apply the journal, in order, onto the rebuilt monitor."""
+        for kind, payload in self._journal.replay_ops():
+            if kind == "observe":
+                try:
+                    self._service._send_session(
+                        self._worker, "session_observe", (self._id, payload)
+                    ).result(RECOVERY_TIMEOUT)
+                except MonitorError:
+                    # A journaled event the monitor rejects was rejected
+                    # identically when first fed (and surfaced then);
+                    # valid events in the batch still applied.
+                    pass
+            else:
+                self._service._send_session(
+                    self._worker, "session_advance", (self._id, payload)
+                ).result(RECOVERY_TIMEOUT)
 
     # -- migration ----------------------------------------------------------------
 
@@ -278,6 +644,10 @@ class Session:
                     f"cannot migrate session {self._id}: no endpoint {target_index} "
                     f"in a pool of {self._service.workers}"
                 )
+            # Fence: an earlier hop *away from* the target whose discard
+            # was never confirmed may have left a stale copy there — a
+            # fast A→B→A re-migration must not race it.
+            self._fence_stale_copy(target_index, timeout)
             self._flush()
             snapshot = self._service._send_session(
                 origin, SNAPSHOT_SESSION, (self._id,)
@@ -299,21 +669,73 @@ class Session:
             # The hop landed: repoint, then discard the stale origin
             # copy.  Waiting for the ack keeps the outstanding counters
             # settled when migrate returns; a dying origin takes its
-            # copy with it, so failure here is fine.
+            # copy with it, so failure here is fine — the unconfirmed
+            # discard is remembered and fenced on any later hop back.
             self._worker = target_index
             self._migrations += 1
+            if self._standby_worker == target_index:
+                # The primary now lives where the replica was; the
+                # worker dropped the shadowed blob on restore.
+                self._standby_worker = None
             self._discard_copy(origin, wait=timeout)
 
     def _discard_copy(self, worker_index: int, wait: float | None = None) -> None:
-        """Best-effort ``session_close`` for a stale copy on one endpoint."""
+        """Best-effort ``session_close`` for a stale copy on one endpoint.
+
+        Every discard is tracked in ``_stale_copies`` until its ack
+        confirms the copy is gone; an unconfirmed endpoint is fenced
+        before this session may ever be restored onto it again.
+        """
         try:
             future = self._service._send_session(
                 worker_index, "session_close", (self._id,)
             )
-            if wait is not None:
-                future.result(wait)
         except Exception:  # noqa: BLE001 — cleanup must not mask the outcome
-            pass
+            # The discard never left the client: remember the endpoint
+            # as unconfirmed so a later hop back re-issues it first.
+            self._stale_copies[worker_index] = None
+            return
+        self._stale_copies[worker_index] = future
+        if wait is not None:
+            try:
+                future.result(wait)
+            except Exception:  # noqa: BLE001 — stays unconfirmed, fenced later
+                return
+            del self._stale_copies[worker_index]
+
+    def _fence_stale_copy(self, worker_index: int, timeout: float) -> None:
+        """Confirm no stale copy of this session survives on an endpoint.
+
+        No-op for endpoints with no unconfirmed discard.  A dead
+        endpoint took its copy with it, which confirms the discard for
+        free.  Otherwise the fence waits for the outstanding discard ack
+        (re-issuing the discard if the original send never happened) and
+        raises :class:`~repro.errors.MonitorError` when the copy's fate
+        cannot be confirmed — migrating into a possible duplicate would
+        race two live copies of one stream.
+        """
+        if worker_index not in self._stale_copies:
+            return
+        if self._service.dead_endpoints()[worker_index]:
+            del self._stale_copies[worker_index]
+            return
+        future = self._stale_copies[worker_index]
+        try:
+            if future is None:
+                future = self._service._send_session(
+                    worker_index, "session_close", (self._id,)
+                )
+                self._stale_copies[worker_index] = future
+            future.result(timeout)
+        except Exception as exc:  # noqa: BLE001 — any failure leaves it unconfirmed
+            if self._service.dead_endpoints()[worker_index]:
+                del self._stale_copies[worker_index]
+                return
+            raise MonitorError(
+                f"cannot place session {self._id} on endpoint {worker_index}: "
+                f"a stale copy there has an unconfirmed discard ({exc})"
+            ) from exc
+        del self._stale_copies[worker_index]
 
     # -- plumbing -----------------------------------------------------------------
 

@@ -40,8 +40,12 @@ from repro.service.tasks import (
 from repro.transport.frames import (
     CONTROL_ID,
     DEFAULT_CODEC,
+    DROP_STANDBY,
+    DROPPED_BEFORE_EXECUTION,
+    PROMOTE_SESSION,
     RESTORE_SESSION,
     SNAPSHOT_SESSION,
+    STANDBY_SESSION,
     Codec,
     Request,
     Response,
@@ -63,6 +67,10 @@ class RequestExecutor:
 
     def __init__(self) -> None:
         self.sessions: dict[int, OnlineMonitor] = {}
+        #: Warm-standby snapshots held for sessions that live on *other*
+        #: endpoints: raw snapshot payloads, never rehydrated until a
+        #: ``session_promote`` turns one into the live monitor.
+        self.standby: dict[int, dict] = {}
         self.dropped: set[int] = set()
         self.max_executed = -1
         self.pid = os.getpid()
@@ -96,11 +104,11 @@ class RequestExecutor:
             return Response(
                 request.request_id,
                 None,
-                "CancelledError: dropped before execution",
+                DROPPED_BEFORE_EXECUTION,
                 self.pid,
             )
         try:
-            payload = _dispatch(request.op, request.payload, self.sessions)
+            payload = _dispatch(request.op, request.payload, self.sessions, self.standby)
             return Response(request.request_id, payload, None, self.pid)
         except Exception as exc:  # noqa: BLE001 — the executor must survive any request
             return Response(
@@ -174,7 +182,14 @@ def _session(sessions: dict[int, OnlineMonitor], session_id: int) -> OnlineMonit
         raise MonitorError(f"unknown session {session_id}") from None
 
 
-def _dispatch(op: str, payload: Any, sessions: dict[int, OnlineMonitor]) -> Any:
+def _dispatch(
+    op: str,
+    payload: Any,
+    sessions: dict[int, OnlineMonitor],
+    standby: dict[int, dict] | None = None,
+) -> Any:
+    if standby is None:
+        standby = {}
     if op == "monitor":
         task: MonitorTask = payload
         return run_monitor_task(task)
@@ -239,7 +254,34 @@ def _dispatch(op: str, payload: Any, sessions: dict[int, OnlineMonitor]) -> Any:
         if session_id in sessions:
             raise MonitorError(f"session {session_id} already open")
         sessions[session_id] = OnlineMonitor.restore(snapshot)
+        # A restored primary supersedes any standby copy still held here
+        # (e.g. recovery fell back to a client-side restore onto the
+        # standby endpoint): keeping the stale blob would shadow later
+        # replicas of the same stream.
+        standby.pop(session_id, None)
         return session_id
+    if op == STANDBY_SESSION:
+        session_id, snapshot = payload
+        if session_id in sessions:
+            raise MonitorError(
+                f"session {session_id} is live on this endpoint; "
+                f"it cannot also hold the standby"
+            )
+        standby[session_id] = snapshot  # replaces any older replica
+        return session_id
+    if op == PROMOTE_SESSION:
+        (session_id,) = payload
+        if session_id in sessions:
+            raise MonitorError(f"session {session_id} already open")
+        try:
+            snapshot = standby.pop(session_id)
+        except KeyError:
+            raise MonitorError(f"no standby for session {session_id}") from None
+        sessions[session_id] = OnlineMonitor.restore(snapshot)
+        return session_id
+    if op == DROP_STANDBY:
+        (session_id,) = payload
+        return standby.pop(session_id, None) is not None
     if op == "ping":
         return (os.getpid(), len(sessions))
     if op == "echo":

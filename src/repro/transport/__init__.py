@@ -19,10 +19,14 @@ from repro.transport.base import Connection, Listener, Transport
 from repro.transport.frames import (
     CONTROL_ID,
     DEFAULT_CODEC,
+    DROP_STANDBY,
+    DROPPED_BEFORE_EXECUTION,
     HEARTBEAT_ID,
     KNOWN_OPS,
+    PROMOTE_SESSION,
     RESTORE_SESSION,
     SNAPSHOT_SESSION,
+    STANDBY_SESSION,
     Codec,
     PickleCodec,
     Request,
@@ -38,16 +42,20 @@ __all__ = [
     "Codec",
     "Connection",
     "DEFAULT_CODEC",
+    "DROPPED_BEFORE_EXECUTION",
+    "DROP_STANDBY",
     "HEARTBEAT_ID",
     "KNOWN_OPS",
     "Listener",
     "LocalConnection",
     "LocalTransport",
+    "PROMOTE_SESSION",
     "PickleCodec",
     "RESTORE_SESSION",
     "Request",
     "Response",
     "SNAPSHOT_SESSION",
+    "STANDBY_SESSION",
     "TcpConnection",
     "TcpTransport",
     "Transport",

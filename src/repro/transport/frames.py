@@ -61,6 +61,26 @@ CONTROL_ID = -2
 SNAPSHOT_SESSION = "session_snapshot"
 RESTORE_SESSION = "session_restore"
 
+#: Durability ops (see the "Durability" section in DESIGN.md).
+#: ``session_snapshot`` doubles as the checkpoint frame — it is
+#: serialize-but-keep, exactly what a periodic checkpoint needs.  The
+#: standby trio manages warm replicas: ``session_standby`` stores a
+#: snapshot payload on a peer endpoint *without* rehydrating it (cheap:
+#: no monitor is built), ``session_promote`` turns a stored standby into
+#: the live monitor at failover (so recovery is journal-replay only, no
+#: snapshot transfer), and ``session_standby_drop`` discards a standby
+#: that is no longer wanted (session finished, replica moved).
+STANDBY_SESSION = "session_standby"
+PROMOTE_SESSION = "session_promote"
+DROP_STANDBY = "session_standby_drop"
+
+#: The exact error string a worker answers for a request it skipped
+#: because a ``drop`` control frame arrived first.  Work stealing keys on
+#: it: this ack *proves* the request never started executing, so
+#: resubmitting it elsewhere cannot double-execute.  Any other response
+#: to a dropped request means the drop lost its race.
+DROPPED_BEFORE_EXECUTION = "CancelledError: dropped before execution"
+
 #: Every op the request executor understands, for conformance checks and
 #: protocol docs.  ``drop`` rides on :data:`CONTROL_ID` and produces no
 #: response; everything else produces exactly one.
@@ -75,6 +95,9 @@ KNOWN_OPS = (
     "session_close",
     SNAPSHOT_SESSION,
     RESTORE_SESSION,
+    STANDBY_SESSION,
+    PROMOTE_SESSION,
+    DROP_STANDBY,
     "ping",
     "echo",
     "sleep",

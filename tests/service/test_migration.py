@@ -192,6 +192,41 @@ class TestMigrationFailure:
             assert not mover.is_alive(), "migration hung on a dead origin"
             assert failure and isinstance(failure[0], ServiceError)
 
+    def test_unconfirmed_discard_is_fenced_on_hop_back(self):
+        """A→B where the origin discard is lost, then B→A: the fence
+        must re-issue the discard before restoring, or the hop back
+        races a stale, still-open origin copy of the same stream."""
+        with MonitorService(workers=2) as service:
+            session = service.open_session(SPEC, epsilon=2)
+            origin = session.worker_index
+            for event in FIRST_HALF:
+                session.observe(*event)
+            real_send = service._send_session
+            lost = []
+
+            def flaky_send(worker_index, op, payload):
+                if op == "session_close" and worker_index == origin and not lost:
+                    lost.append(op)
+                    raise ServiceError("injected: discard send failed")
+                return real_send(worker_index, op, payload)
+
+            service._send_session = flaky_send
+            try:
+                service.migrate(session, 1 - origin)
+            finally:
+                service._send_session = real_send
+            assert lost  # the origin discard really was swallowed
+            assert origin in session._stale_copies  # remembered as unconfirmed
+            session.advance_to(BOUNDARY)
+            service.migrate(session, origin)  # fence re-issues the discard
+            assert session.worker_index == origin
+            assert origin not in session._stale_copies
+            for event in SECOND_HALF:
+                session.observe(*event)
+            result = session.finish()
+            assert service.outstanding() == [0, 0]
+        assert result.verdict_counts == _reference().verdict_counts
+
     def test_timed_out_restore_does_not_leak_a_target_copy(self):
         """A restore that times out client-side may still execute on the
         target later; the queued cleanup must discard that duplicate so

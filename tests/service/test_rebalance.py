@@ -98,12 +98,14 @@ class TestRebalancerCycles:
             rebalancer = Rebalancer(service, policy="periodic", interval=0.01)
             for t in range(1, 40):
                 hot.observe("P1", t, "a")
+            hot.poll()  # flush: events count toward the heat signal on arrival
             moved = rebalancer.run_cycle()
             assert [m.session_id for m in moved] == [hot.session_id]
             assert hot.worker_index != cold.worker_index
             # cooldown: an immediate identical signal does not bounce it back
             for t in range(40, 80):
                 hot.observe("P1", t, "a")
+            hot.poll()
             assert rebalancer.run_cycle() == []
             hot.close()
             cold.close()

@@ -233,6 +233,56 @@ class TestSessionSemantics:
         assert result.verdicts == report.items[0].result.verdicts
 
 
+class TestSessionLifecycleFixes:
+    """Regression bar for the session-lifecycle bugfixes: the heat signal
+    counts only events that actually reached a worker, and close()
+    cancels queued observe batches instead of abandoning them."""
+
+    def test_events_observed_counts_flushed_not_buffered(self):
+        with MonitorService(workers=1) as service:
+            session = service.open_session(parse("F[0,50) p"), epsilon=1)
+            for t in range(1, 6):
+                session.observe("P1", t, "p")
+            assert session.events_observed == 0  # buffered, not yet carried
+            session.poll()  # flushes
+            assert session.events_observed == 5
+            session.finish()
+
+    def test_failed_flush_does_not_inflate_the_count(self):
+        import time
+
+        from repro.errors import ServiceError
+
+        with MonitorService(workers=2) as service:
+            session = service.open_session(parse("F[0,50) p"), epsilon=1)
+            session.observe("P1", 1, "p")
+            service._connections[session.worker_index].kill()
+            deadline = time.monotonic() + 15
+            while not service.dead_endpoints()[session.worker_index]:
+                assert time.monotonic() < deadline, "worker death never detected"
+                time.sleep(0.05)
+            with pytest.raises(ServiceError, match="buffered observe event"):
+                session.poll()
+            assert session.events_observed == 0  # the batch never landed
+
+    def test_close_cancels_inflight_observe_batches(self):
+        """A closed session's queued batches are dropped worker-side (the
+        cancel's drop frame overtakes the backlog), not left to burn the
+        pool — and their rejections can never surface afterwards."""
+        from repro.service.session import OBSERVE_FLUSH_THRESHOLD
+
+        with MonitorService(workers=1) as service:
+            session = service.open_session(parse("F[0,100000) p"), epsilon=1)
+            service._send(0, "sleep", 1.0)  # park the worker
+            for t in range(1, OBSERVE_FLUSH_THRESHOLD + 1):
+                session.observe("P1", t, "p")
+            inflight = list(session._inflight)
+            assert inflight  # the auto-flush queued behind the parked worker
+            session.close()
+            assert all(future.cancelled for future in inflight)
+            assert service.outstanding() == [0]  # drop acks settled the books
+
+
 class TestBufferedEventLoss:
     """Satellite bar: events buffered client-side (below the flush
     threshold) must never vanish silently when the worker dies — the

@@ -15,6 +15,7 @@ import pytest
 
 from repro.distributed.computation import DistributedComputation
 from repro.errors import ServiceError
+from repro.monitor.online import OnlineMonitor
 from repro.mtl import parse
 from repro.service import MonitorService
 from repro.transport.agent import spawn_agent
@@ -132,3 +133,55 @@ class TestWorkerKillRecovery:
         agents, endpoints = tcp_endpoints
         with MonitorService(endpoints=endpoints, saturate=False) as service:
             _kill_and_verify_recovery(service, lambda: agents[0][0].kill())
+
+
+DURABLE_SPEC = parse("a U[0,30) b")
+KILL_AT = 15  # mid-stream: after two checkpoints, before the last boundary
+
+
+def _drive_durable_stream(target, kill_at=None, kill=None):
+    """Feed one deterministic multi-segment stream; return verdict counts.
+
+    ``target`` is anything with the online-monitor surface — an
+    in-process :class:`OnlineMonitor` (the reference) or a durable
+    :class:`~repro.service.session.Session` (the system under test,
+    optionally killed mid-stream via ``kill``).
+    """
+    for t in range(1, 25):
+        target.observe("P1", t, {"a"} if t % 3 else {"a", "b"})
+        if t % 5 == 0:  # sparse second process: keeps enumeration cheap
+            target.observe("P2", t, {"b"} if t % 10 == 0 else set())
+        if t % 6 == 0:
+            target.advance_to(t)
+        if kill is not None and t == kill_at:
+            kill()
+    return target.finish().verdict_counts
+
+
+class TestDurableKillMidStream:
+    """Acceptance: kill -9 mid-stream with checkpointing enabled yields a
+    verdict multiset bit-identical to an uninterrupted in-process replay —
+    no ServiceError ever reaches the caller."""
+
+    def _verify(self, service: MonitorService, kill) -> None:
+        reference = _drive_durable_stream(OnlineMonitor(DURABLE_SPEC, epsilon=2))
+        session = service.open_session(
+            DURABLE_SPEC, epsilon=2, checkpoint={"every_events": 4}
+        )
+        assert session.worker_index == 0  # id 0 hashes to endpoint 0
+        counts = _drive_durable_stream(session, kill_at=KILL_AT, kill=kill)
+        assert counts == reference
+        assert session.recoveries == 1
+        assert session.worker_index == 1
+        assert session.checkpoints >= 1
+
+    def test_local_worker_kill_is_bit_identical(self):
+        with MonitorService(workers=2, saturate=False) as service:
+            self._verify(service, lambda: service._connections[0].kill())
+            assert service.outstanding() == [0, 0]
+
+    def test_tcp_agent_sigkill_is_bit_identical(self, tcp_endpoints):
+        agents, endpoints = tcp_endpoints
+        with MonitorService(endpoints=endpoints, saturate=False) as service:
+            self._verify(service, lambda: agents[0][0].kill())
+            assert service.outstanding() == [0, 0]
