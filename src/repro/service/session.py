@@ -34,7 +34,10 @@ a live endpoint and replays the journal instead of surfacing a
 :class:`~repro.errors.ServiceError`.  With ``standby=True`` (or
 ``"hot"`` for rebalancer-marked streams) each checkpoint is also pushed
 to a second endpoint, so failover skips the snapshot transfer entirely —
-recovery is promote + journal replay.
+recovery is promote + journal replay.  Replicas are trusted only once
+the store is acknowledged, and each blob carries its checkpoint
+sequence number so a promote can never rehydrate a replica that went
+stale relative to the truncated journal.
 """
 
 from __future__ import annotations
@@ -131,6 +134,10 @@ class Session:
         self._last_checkpoint_time = time.monotonic()
         #: In-flight snapshot request: ``(future, journal mark)``.
         self._pending_checkpoint: tuple[MonitorFuture, int] | None = None
+        #: In-flight standby store: ``(future, target)``.  The replica is
+        #: recorded in ``_standby_worker`` only once the worker acks it —
+        #: see :meth:`_poll_pending_standby`.
+        self._pending_standby: tuple[MonitorFuture, int] | None = None
         self._standby_worker: int | None = None
         self._hot = False
         self._recoveries = 0
@@ -383,9 +390,7 @@ class Session:
         introspectable after :meth:`finish`); only its replay state and
         any standby replica are released.
         """
-        if self._standby_worker is not None:
-            self._drop_standby(self._standby_worker)
-            self._standby_worker = None
+        self._retire_standby()
         self._pending_checkpoint = None
         if self._journal is not None:
             self._journal.clear()
@@ -437,18 +442,23 @@ class Session:
             due = True
         if not due:
             return
-        self._events_since_checkpoint = 0
-        self._last_checkpoint_time = time.monotonic()
         if self._journal.mark() == 0:
             # Nothing new since the applied checkpoint: snapshot + empty
             # journal already reconstructs the current state exactly.
+            self._events_since_checkpoint = 0
+            self._last_checkpoint_time = time.monotonic()
             return
         try:
             future = self._service._send_session(
                 self._worker, SNAPSHOT_SESSION, (self._id,)
             )
         except ServiceError:
+            # Cadence counters deliberately untouched: the checkpoint is
+            # still due, so the next sync point retries immediately
+            # instead of letting the replay window grow a full interval.
             return  # dead worker: the next synchronising call recovers
+        self._events_since_checkpoint = 0
+        self._last_checkpoint_time = time.monotonic()
         self._pending_checkpoint = (future, self._journal.mark())
 
     def _apply_pending_checkpoint(self, wait: bool = False) -> None:
@@ -458,50 +468,125 @@ class Session:
         callbacks: those must not take the session lock).  A failed
         snapshot is simply dropped — the journal still covers everything
         since the last *applied* checkpoint, so recovery stays correct,
-        just with a longer replay.
+        just with a longer replay.  The same poll settles any in-flight
+        standby store (commit on ack, retire on failure).
         """
-        if self._pending_checkpoint is None:
-            return
-        future, mark = self._pending_checkpoint
-        if not wait and not future.done():
-            return
-        self._pending_checkpoint = None
-        try:
-            snapshot = future.result(RECOVERY_TIMEOUT)
-        except ReproError:
-            return
-        self._journal.apply_checkpoint(snapshot, mark)
-        self._push_standby(snapshot)
+        self._poll_pending_standby()
+        if self._pending_checkpoint is not None:
+            future, mark = self._pending_checkpoint
+            if wait or future.done():
+                self._pending_checkpoint = None
+                try:
+                    snapshot = future.result(RECOVERY_TIMEOUT)
+                except ReproError:
+                    pass
+                else:
+                    self._journal.apply_checkpoint(snapshot, mark)
+                    self._push_standby(snapshot)
+        if wait:
+            self._poll_pending_standby(wait=True)
 
     def _push_standby(self, snapshot: dict) -> None:
-        """Ship the applied checkpoint to a warm-standby endpoint."""
+        """Ship the just-applied checkpoint to a warm-standby endpoint.
+
+        Every applied checkpoint either refreshes the replica or retires
+        it: the journal was just truncated to this checkpoint, so a
+        replica that silently stops being refreshed (stream went cold,
+        no live peer, send failure) would promote into lost history.
+        "No refresh" therefore always means "no replica" — and the
+        worker-side sequence guard backstops any window this
+        bookkeeping cannot see.
+        """
         config = self._checkpoint
         if config.standby is False or (config.standby == "hot" and not self._hot):
+            self._retire_standby()
             return
         dead = self._service.dead_endpoints()
-        target = self._standby_worker
-        if target is None or target == self._worker or dead[target]:
+
+        def usable(index: int | None) -> bool:
+            # An endpoint with an unconfirmed discard of this session
+            # may still hold a stale *live* copy that would reject (or
+            # worse, shadow) the store — never replicate onto one.
+            return (
+                index is not None
+                and index != self._worker
+                and not dead[index]
+                and index not in self._stale_copies
+            )
+
+        pending_target = (
+            self._pending_standby[1] if self._pending_standby is not None else None
+        )
+        if usable(pending_target):
+            target = pending_target
+        elif usable(self._standby_worker):
+            target = self._standby_worker
+        else:
             depth = self._service.outstanding()
             candidates = [
-                index
-                for index in range(self._service.workers)
-                if index != self._worker and not dead[index]
+                index for index in range(self._service.workers) if usable(index)
             ]
             if not candidates:
+                self._retire_standby()
                 return  # nowhere to replicate: the pool is down to one endpoint
             target = min(candidates, key=lambda index: depth[index])
-        if (
-            self._standby_worker is not None
-            and self._standby_worker not in (target, self._worker)
-        ):
-            self._drop_standby(self._standby_worker)
+        if pending_target is not None and pending_target != target:
+            self._pending_standby = None
+            self._drop_standby(pending_target)
+        if self._standby_worker is not None and self._standby_worker != target:
+            worker_index, self._standby_worker = self._standby_worker, None
+            self._drop_standby(worker_index)
         try:
-            self._service._send_session(
-                target, STANDBY_SESSION, (self._id, snapshot)
+            future = self._service._send_session(
+                target,
+                STANDBY_SESSION,
+                (self._id, self._journal.checkpoints_applied, snapshot),
             )
         except ServiceError:
-            return  # best-effort: recovery falls back to a client restore
+            self._retire_standby()
+            return
+        self._pending_standby = (future, target)
+
+    def _poll_pending_standby(self, wait: bool = False) -> None:
+        """Commit an acked standby store; retire the replica on a failure.
+
+        ``_standby_worker`` repoints only once the worker acknowledged
+        holding the blob — a store that failed (rejected by a stale live
+        copy, endpoint died, send lost) leaves whatever replica exists
+        one checkpoint behind the truncated journal, so it is dropped
+        rather than left around to be promoted stale later.
+        """
+        if self._pending_standby is None:
+            return
+        future, target = self._pending_standby
+        if not wait and not future.done():
+            return
+        self._pending_standby = None
+        try:
+            future.result(RECOVERY_TIMEOUT)
+        except ReproError:
+            self._retire_standby()
+            return
+        if self._standby_worker is not None and self._standby_worker != target:
+            self._drop_standby(self._standby_worker)
         self._standby_worker = target
+
+    def _retire_standby(self) -> None:
+        """Drop the replica everywhere it may live (acked or in flight).
+
+        Called whenever replication stops tracking the journal's
+        truncation point; recovery then takes the cold restore path
+        instead of gambling on a frozen blob.
+        """
+        targets = set()
+        if self._pending_standby is not None:
+            targets.add(self._pending_standby[1])
+            self._pending_standby = None
+        if self._standby_worker is not None:
+            targets.add(self._standby_worker)
+            self._standby_worker = None
+        for target in targets:
+            self._drop_standby(target)
 
     def _drop_standby(self, worker_index: int) -> None:
         """Best-effort discard of a standby replica on one endpoint."""
@@ -548,21 +633,26 @@ class Session:
         picks can never return the corpse.
         """
         # Adopt a checkpoint that resolved before the death (its
-        # snapshot is strictly newer than the one we hold).
+        # snapshot is strictly newer than the one we hold), and settle
+        # any in-flight standby store so the warm path below sees the
+        # freshest committed replica.
         self._apply_pending_checkpoint()
-        # Whatever was in flight or buffered is superseded: the journal
-        # records it all, and replay re-feeds it onto the rebuilt state.
-        self._inflight.clear()
-        self._buffer.clear()
+        self._poll_pending_standby(wait=True)
         restored = False
         dead = self._service.dead_endpoints()
         standby = self._standby_worker
         if standby is not None and standby != self._worker and not dead[standby]:
             # Warm path: the replica endpoint already holds the last
             # checkpoint — promote it and skip the snapshot transfer.
+            # The promote names the checkpoint sequence it expects; the
+            # worker rejects a blob that does not match, so a replica
+            # that went stale behind the truncated journal can never be
+            # rehydrated with history silently missing.
             try:
                 self._service._send_session(
-                    standby, PROMOTE_SESSION, (self._id,)
+                    standby,
+                    PROMOTE_SESSION,
+                    (self._id, self._journal.checkpoints_applied),
                 ).result(RECOVERY_TIMEOUT)
                 self._worker = standby
                 self._standby_worker = None
@@ -574,7 +664,9 @@ class Session:
             if target == self._worker:
                 # The origin is somehow still live: the error was not a
                 # worker death — restoring on top of the live copy would
-                # collide, so surface the original failure.
+                # collide, so surface the original failure.  Nothing has
+                # been cleared yet: the buffer and in-flight batches are
+                # intact for the retried call to deliver.
                 raise cause
             self._fence_stale_copy(target, RECOVERY_TIMEOUT)
             if self._journal.snapshot is not None:
@@ -591,6 +683,13 @@ class Session:
                     (self._id, self._formula, self._epsilon, dict(self._monitor_kwargs)),
                 ).result(RECOVERY_TIMEOUT)
             self._worker = target
+        # Only now that a rebuilt copy verifiably exists is the
+        # superseded work dropped: the journal records it all, and
+        # replay re-feeds it onto the restored state.  Clearing any
+        # earlier would let a recovery that secures no target (e.g. the
+        # raise above) silently strand buffered events in the journal.
+        self._inflight.clear()
+        self._buffer.clear()
         self._recoveries += 1
         self._replay()
 
@@ -673,6 +772,15 @@ class Session:
             # discard is remembered and fenced on any later hop back.
             self._worker = target_index
             self._migrations += 1
+            if (
+                self._pending_standby is not None
+                and self._pending_standby[1] == target_index
+            ):
+                # An in-flight store raced the hop to the same endpoint:
+                # whichever landed first, no usable blob remains there
+                # (the restore pops a stored one; a store after the
+                # restore is rejected as a live-copy conflict).
+                self._pending_standby = None
             if self._standby_worker == target_index:
                 # The primary now lives where the replica was; the
                 # worker dropped the shadowed blob on restore.

@@ -68,9 +68,11 @@ class RequestExecutor:
     def __init__(self) -> None:
         self.sessions: dict[int, OnlineMonitor] = {}
         #: Warm-standby snapshots held for sessions that live on *other*
-        #: endpoints: raw snapshot payloads, never rehydrated until a
-        #: ``session_promote`` turns one into the live monitor.
-        self.standby: dict[int, dict] = {}
+        #: endpoints: ``(checkpoint sequence, raw snapshot payload)``,
+        #: never rehydrated until a ``session_promote`` turns one into
+        #: the live monitor — and only when the promote's expected
+        #: sequence matches, so a stale blob is rejected, not restored.
+        self.standby: dict[int, tuple[int, dict]] = {}
         self.dropped: set[int] = set()
         self.max_executed = -1
         self.pid = os.getpid()
@@ -261,22 +263,32 @@ def _dispatch(
         standby.pop(session_id, None)
         return session_id
     if op == STANDBY_SESSION:
-        session_id, snapshot = payload
+        session_id, sequence, snapshot = payload
         if session_id in sessions:
             raise MonitorError(
                 f"session {session_id} is live on this endpoint; "
                 f"it cannot also hold the standby"
             )
-        standby[session_id] = snapshot  # replaces any older replica
+        standby[session_id] = (sequence, snapshot)  # replaces any older replica
         return session_id
     if op == PROMOTE_SESSION:
-        (session_id,) = payload
+        session_id, expected_sequence = payload
         if session_id in sessions:
             raise MonitorError(f"session {session_id} already open")
         try:
-            snapshot = standby.pop(session_id)
+            sequence, snapshot = standby.pop(session_id)
         except KeyError:
             raise MonitorError(f"no standby for session {session_id}") from None
+        if sequence != expected_sequence:
+            # The blob predates the client's last applied checkpoint (a
+            # refresh was lost or never sent): rehydrating it would
+            # silently shed every event between the two, since the
+            # replay journal only covers the newer one.  Popped either
+            # way — a stale blob has no future use.
+            raise MonitorError(
+                f"standby for session {session_id} is stale: holds "
+                f"checkpoint {sequence}, promote expects {expected_sequence}"
+            )
         sessions[session_id] = OnlineMonitor.restore(snapshot)
         return session_id
     if op == DROP_STANDBY:

@@ -65,11 +65,15 @@ RESTORE_SESSION = "session_restore"
 #: ``session_snapshot`` doubles as the checkpoint frame — it is
 #: serialize-but-keep, exactly what a periodic checkpoint needs.  The
 #: standby trio manages warm replicas: ``session_standby`` stores a
-#: snapshot payload on a peer endpoint *without* rehydrating it (cheap:
-#: no monitor is built), ``session_promote`` turns a stored standby into
-#: the live monitor at failover (so recovery is journal-replay only, no
-#: snapshot transfer), and ``session_standby_drop`` discards a standby
-#: that is no longer wanted (session finished, replica moved).
+#: snapshot payload tagged with its checkpoint sequence number on a peer
+#: endpoint *without* rehydrating it (cheap: no monitor is built),
+#: ``session_promote`` turns a stored standby into the live monitor at
+#: failover (so recovery is journal-replay only, no snapshot transfer) —
+#: but only when the stored sequence matches the one the promote
+#: expects, so a replica that went stale behind the client's truncated
+#: replay journal is rejected instead of losing history silently — and
+#: ``session_standby_drop`` discards a standby that is no longer wanted
+#: (session finished, replica moved or retired).
 STANDBY_SESSION = "session_standby"
 PROMOTE_SESSION = "session_promote"
 DROP_STANDBY = "session_standby_drop"

@@ -158,6 +158,36 @@ class TestCheckpointCadence:
             assert session.journal_length == 0
             session.finish()
 
+    def test_failed_snapshot_send_retries_at_next_sync_point(self):
+        """A snapshot request that cannot be sent leaves the cadence
+        counters untouched: the checkpoint stays due and the next sync
+        point retries, instead of the replay window growing by a full
+        extra interval."""
+        with MonitorService(workers=1) as service:
+            session = service.open_session(
+                SPEC, epsilon=2, checkpoint={"every_events": 4}
+            )
+            real = service._send_session
+            failed = []
+
+            def flaky(worker_index, op, payload):
+                if op == "session_snapshot" and not failed:
+                    failed.append(op)
+                    raise ServiceError("transient send failure")
+                return real(worker_index, op, payload)
+
+            service._send_session = flaky
+            try:
+                _feed(session, 1, 7)
+                session.advance_to(6)  # snapshot send fails; still due
+            finally:
+                service._send_session = real
+            assert failed
+            session.poll()  # retried here, not an interval later
+            session.poll()  # adopt the resolved snapshot
+            assert session.checkpoints >= 1
+            session.finish()
+
     def test_service_level_default_is_inherited_and_overridable(self):
         with MonitorService(workers=1, checkpoint={"every_events": 8}) as service:
             durable = service.open_session(SPEC, epsilon=2)
@@ -209,6 +239,37 @@ class TestRecovery:
             with pytest.raises(ServiceError):
                 session.advance_to(3)
 
+    def test_transient_send_failure_does_not_lose_buffered_events(self):
+        """A send-side ServiceError with the endpoint still live resolves
+        to a recovery whose only pick is the origin itself; that path
+        must leave the client buffer intact so the retried flush
+        delivers the events instead of vacuously succeeding on an empty
+        buffer (stranding them in the journal, to be truncated away by
+        the next checkpoint)."""
+        with MonitorService(workers=1) as service:
+            session = service.open_session(
+                SPEC, epsilon=2, checkpoint={"every_events": 4}
+            )
+            _feed(session, 1, 6)
+            real = service._send_session
+            failed = []
+
+            def flaky(worker_index, op, payload):
+                if op == "session_observe" and not failed:
+                    failed.append(op)
+                    raise ServiceError("transient send failure")
+                return real(worker_index, op, payload)
+
+            service._send_session = flaky
+            try:
+                session.advance_to(5)  # first flush fails, retry must deliver
+            finally:
+                service._send_session = real
+            assert failed
+            result = session.finish()
+            assert session.recoveries == 0  # no restore happened, just a retry
+            assert result.verdict_counts == _reference(1, 6, [5])
+
     def test_replayed_rejections_do_not_resurface(self):
         """A client-rejected observe surfaces exactly once; after a
         recovery its journaled twin is swallowed during replay."""
@@ -239,9 +300,27 @@ class TestWarmStandby:
             session.advance_to(6)
             _feed(session, 7, 13)
             session.advance_to(12)
+            assert session.checkpoint_now()  # settles the store ack too
             assert session.checkpoints >= 1
             assert session.standby_worker is not None
             assert session.standby_worker != session.worker_index
+            session.finish()
+
+    def test_replica_commit_is_ack_gated(self):
+        """The replica endpoint is recorded only once the worker acks
+        the store — an in-flight push is never trusted for failover."""
+        with MonitorService(workers=2) as service:
+            session = service.open_session(
+                SPEC, epsilon=2,
+                checkpoint={"every_events": 4, "standby": True},
+            )
+            _feed(session, 1, 7)
+            session.advance_to(6)
+            _feed(session, 7, 13)
+            session.advance_to(12)  # applies a checkpoint, starts the push
+            assert session.standby_worker is None  # ack not yet harvested
+            assert session.checkpoint_now()
+            assert session.standby_worker is not None
             session.finish()
 
     def test_failover_promotes_the_standby(self):
@@ -253,7 +332,8 @@ class TestWarmStandby:
             _feed(session, 1, 7)
             session.advance_to(6)
             _feed(session, 7, 13)
-            session.advance_to(12)  # ensures an applied, replicated checkpoint
+            session.advance_to(12)
+            assert session.checkpoint_now()  # applied + acked replica
             standby = session.standby_worker
             assert standby is not None
             service._connections[session.worker_index].kill()
@@ -277,10 +357,73 @@ class TestWarmStandby:
             session.mark_hot()
             _feed(session, 13, 19)
             session.advance_to(18)
-            _feed(session, 19, 25)
-            session.advance_to(24)
+            session.checkpoint_now()
             assert session.standby_worker is not None
             session.finish()
+
+    def test_mark_cold_retires_the_replica(self):
+        """A ``standby="hot"`` stream marked cold drops its replica at
+        the next checkpoint instead of letting it freeze: the journal
+        keeps truncating, so promoting the frozen blob later would
+        silently lose every event since — recovery must take the cold
+        restore path, bit-identically."""
+        with MonitorService(workers=2) as service:
+            session = service.open_session(
+                SPEC, epsilon=2,
+                checkpoint={"every_events": 4, "standby": "hot"},
+            )
+            session.mark_hot()
+            _feed(session, 1, 7)
+            session.advance_to(6)
+            session.checkpoint_now()
+            assert session.standby_worker is not None
+            session.mark_cold()
+            _feed(session, 7, 13)
+            session.advance_to(12)
+            session.checkpoint_now()  # journal truncates; replica retired
+            assert session.standby_worker is None
+            service._connections[session.worker_index].kill()
+            _feed(session, 13, 16)
+            result = session.finish()
+            assert session.recoveries == 1
+            assert result.verdict_counts == _reference(1, 16, [6, 12])
+
+    def test_push_skips_endpoints_with_unconfirmed_discards(self):
+        """An endpoint that may still hold a stale live copy of this
+        session (a migration discard that was never confirmed) is not a
+        standby candidate; with no other peer, the stream simply keeps
+        no replica."""
+        with MonitorService(workers=2) as service:
+            session = service.open_session(
+                SPEC, epsilon=2,
+                checkpoint={"every_events": 4, "standby": True},
+            )
+            other = 1 - session.worker_index
+            session._stale_copies[other] = None  # unconfirmed discard
+            _feed(session, 1, 7)
+            session.advance_to(6)
+            session.checkpoint_now()
+            assert session.checkpoints >= 1
+            assert session.standby_worker is None
+            session.finish()
+
+    def test_promote_rejects_a_stale_replica_blob(self):
+        """Worker-side sequence guard: a standby blob whose checkpoint
+        sequence does not match the promote's expectation is rejected
+        (and discarded) instead of rehydrated with history missing."""
+        from repro.service.worker import _dispatch
+        from repro.transport.frames import PROMOTE_SESSION, STANDBY_SESSION
+
+        snapshot = OnlineMonitor(SPEC, epsilon=2).snapshot()
+        sessions: dict = {}
+        standby: dict = {}
+        _dispatch(STANDBY_SESSION, (7, 3, snapshot), sessions, standby)
+        with pytest.raises(MonitorError, match="stale"):
+            _dispatch(PROMOTE_SESSION, (7, 5), sessions, standby)
+        assert 7 not in standby  # a stale blob has no future use
+        _dispatch(STANDBY_SESSION, (7, 5, snapshot), sessions, standby)
+        assert _dispatch(PROMOTE_SESSION, (7, 5), sessions, standby) == 7
+        assert 7 in sessions
 
 
 # -- work stealing --------------------------------------------------------------------
