@@ -8,6 +8,14 @@ the service that saw it die — the respawn models the host coming back
 for *future* pools, exactly like a restarted machine rejoining a
 cluster).
 
+``--registry`` runs the same chaos through the elastic control plane:
+a :class:`~repro.cluster.ClusterRegistry` is spun up, agents announce
+themselves to it (token-authenticated), the service discovers its pool
+via ``registry=`` instead of an endpoint list — and the respawned
+replacement **rejoins the registry mid-round**, so the same service
+that watched the victim die absorbs the replacement live and ends the
+round back at full strength (the static mode's dead slot stays dead).
+
 Asserted every round:
 
 * **zero lost sessions** — every stream finishes with a verdict
@@ -23,6 +31,7 @@ Run standalone (CI chaos-smoke job)::
 
     PYTHONPATH=src python scripts/chaos_smoke.py
     PYTHONPATH=src python scripts/chaos_smoke.py --rounds 3 --kill-after 0.2
+    PYTHONPATH=src python scripts/chaos_smoke.py --registry
 """
 
 from __future__ import annotations
@@ -73,23 +82,40 @@ def _reference_counts(sessions: int) -> dict[int, object]:
 
 
 def run_round(
-    fleet: list, victim: int, sessions: int, kill_after: float, tick_seconds: float
+    fleet: list,
+    victim: int,
+    sessions: int,
+    kill_after: float,
+    tick_seconds: float,
+    registry: str | None = None,
+    token: str | None = None,
 ) -> dict:
     """One chaos round over the current fleet; returns round stats.
 
     The killer timer SIGKILLs ``fleet[victim]`` mid-stream; the caller
-    replaces it afterwards.  Raises on any lost session or unsettled
-    counter.
+    replaces it afterwards — except with ``registry``, where the
+    replacement is respawned *inside* the round, announces itself to the
+    registry, and must be absorbed live by the same service that watched
+    the victim die.  Raises on any lost session or unsettled counter.
     """
     endpoints = [f"tcp://{host}:{port}" for _, host, port in fleet]
     expected = _reference_counts(sessions)
-    with MonitorService(endpoints=endpoints, saturate=False) as service:
+    if registry is not None:
+        pool_kwargs = {"registry": registry, "token": token}
+    else:
+        pool_kwargs = {"endpoints": endpoints}
+    with MonitorService(saturate=False, **pool_kwargs) as service:
+        # With a registry the pool order is registration order, which can
+        # lag a respawn; resolve the victim by address either way.
+        victim_index = service.endpoints().index(endpoints[victim])
         handles = {
             seed: service.open_session(SPEC, EPSILON, checkpoint=CHECKPOINT)
             for seed in range(sessions)
         }
         placements = {seed: handles[seed].worker_index for seed in handles}
-        exposed = [seed for seed, index in placements.items() if index == victim]
+        exposed = [
+            seed for seed, index in placements.items() if index == victim_index
+        ]
         killer = threading.Timer(kill_after, fleet[victim][0].kill)
         killer.start()
         try:
@@ -112,11 +138,32 @@ def run_round(
             time.sleep(0.02)
         leftover = service.outstanding()
         assert not any(leftover), f"outstanding counters leaked: {leftover}"
+        rejoined = False
+        if registry is not None:
+            # The host comes back *through the registry*: the dead slot
+            # stays a tombstone, but the join event must grow the same
+            # service's pool back to full strength, live.
+            dead_popen, _, _ = fleet[victim]
+            dead_popen.wait(timeout=10)
+            dead_popen.stdout.close()
+            fleet[victim] = spawn_agent(token=token, registry=registry)
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                live = sum(1 for dead in service.dead_endpoints() if not dead)
+                if live >= len(fleet):
+                    rejoined = True
+                    break
+                time.sleep(0.05)
+            assert rejoined, (
+                f"respawned agent never rejoined the pool: "
+                f"{service.endpoints()} / dead={service.dead_endpoints()}"
+            )
     return {
         "sessions": sessions,
         "exposed": len(exposed),
         "recoveries": recoveries,
         "checkpoints": sum(handles[seed].checkpoints for seed in handles),
+        "rejoined": rejoined,
     }
 
 
@@ -133,33 +180,62 @@ def main(argv: list[str] | None = None) -> int:
         "--tick", type=float, default=0.03, metavar="SECONDS",
         help="pause per stream tick (stretches the round past the timer)",
     )
+    parser.add_argument(
+        "--registry", action="store_true",
+        help="elastic mode: discover the fleet through a cluster registry "
+        "(token-authenticated) and respawn killed agents through it, "
+        "mid-round, into the same service's pool",
+    )
     args = parser.parse_args(argv)
     if args.agents < 2:
         parser.error("--agents must be >= 2 (recovery needs a survivor)")
 
-    fleet = [spawn_agent() for _ in range(args.agents)]
+    registry_popen = None
+    registry_spec = None
+    token = None
+    if args.registry:
+        from repro.cluster import spawn_registry
+
+        token = "chaos-smoke-token"
+        registry_popen, rhost, rport = spawn_registry(token=token)
+        registry_spec = f"tcp://{rhost}:{rport}"
+    fleet = [
+        spawn_agent(token=token, registry=registry_spec)
+        for _ in range(args.agents)
+    ]
     try:
         for round_index in range(args.rounds):
             victim = round_index % args.agents
             stats = run_round(
-                fleet, victim, args.sessions, args.kill_after, args.tick
+                fleet, victim, args.sessions, args.kill_after, args.tick,
+                registry=registry_spec, token=token,
             )
-            dead, _, _ = fleet[victim]
-            dead.wait(timeout=10)
-            dead.stdout.close()
-            fleet[victim] = spawn_agent()  # the host comes back
+            if registry_spec is None:
+                dead, _, _ = fleet[victim]
+                dead.wait(timeout=10)
+                dead.stdout.close()
+                fleet[victim] = spawn_agent()  # the host comes back
+            rejoin_note = ", live rejoin through the registry" if stats["rejoined"] else ""
             print(
                 f"round {round_index + 1}/{args.rounds}: killed agent {victim}, "
                 f"{stats['exposed']}/{stats['sessions']} session(s) exposed, "
                 f"{stats['recoveries']} recoveries, "
-                f"{stats['checkpoints']} checkpoints, zero lost"
+                f"{stats['checkpoints']} checkpoints, zero lost{rejoin_note}"
             )
     finally:
         for popen, _, _ in fleet:
             popen.kill()
             popen.wait(timeout=10)
             popen.stdout.close()
-    print(f"chaos smoke: {args.rounds} round(s), zero lost sessions (asserted)")
+        if registry_popen is not None:
+            registry_popen.kill()
+            registry_popen.wait(timeout=10)
+            registry_popen.stdout.close()
+    mode = "registry" if args.registry else "static"
+    print(
+        f"chaos smoke ({mode}): {args.rounds} round(s), "
+        f"zero lost sessions (asserted)"
+    )
     return 0
 
 

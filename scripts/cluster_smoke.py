@@ -1,0 +1,236 @@
+"""Cluster smoke: the elastic control plane, end-to-end, asserted.
+
+One scripted scenario covering the whole membership lifecycle against a
+live skewed workload (1 hot stream at 4× the event rate of the cold
+ones, so the rebalancer has real pressure to react to):
+
+1. a :class:`~repro.cluster.ClusterRegistry` starts (own process,
+   token-authenticated), and a :class:`~repro.service.MonitorService`
+   boots on **one local endpoint** plus ``registry=``;
+2. mid-workload, **two authenticated TCP agents join late** — one
+   thread-mode, one ``--processes`` (a :class:`ProcessPoolAgent`
+   forking an executor child per connection); the pool must grow to
+   three live endpoints and the rebalancer must treat the joins as
+   placement events (at least one stream migrates onto a joined agent);
+3. later, one agent **retires gracefully** (SIGTERM → registry leave →
+   the service drains it): its sessions migrate off with **zero
+   recoveries** (graceful ≠ crash) and no ``ServiceError`` ever
+   reaches the caller;
+4. the run finishes with verdict multisets **bit-identical** to a
+   frozen static-pool run of the same streams, and every outstanding
+   counter settled to zero;
+5. an unauthenticated client is **rejected before dispatch** with a
+   typed error naming the endpoint.
+
+Run standalone (CI cluster-smoke job)::
+
+    PYTHONPATH=src python scripts/cluster_smoke.py
+    PYTHONPATH=src python scripts/cluster_smoke.py --ticks 60 --tick 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.errors import ServiceError
+from repro.mtl import parse
+from repro.service import MonitorService
+from repro.transport.agent import spawn_agent
+
+SPEC = parse("a U[0,600) b")
+EPSILON = 2
+TOKEN = "cluster-smoke-token"
+COLD_STREAMS = 6
+#: Hot-stream event density per tick.  Kept at 4 — the hot stream also
+#: advances its frontier every tick (cold ones every 4th), so every
+#: stream closes segments of ~4 events; segment trace enumeration is
+#: exponential in per-segment events, and the smoke prices the control
+#: plane, not enumeration.  The rebalancer still sees a 4× rate gap.
+HOT_MULTIPLIER = 4
+
+
+def _streams(ticks: int) -> dict[int, list[tuple[str, int, set]]]:
+    """Deterministic skewed feed: stream 0 hot (denser ticks), rest cold.
+
+    The hot stream carries ``HOT_MULTIPLIER`` P1 events per tick and the
+    driver advances it every tick; cold streams get one event per tick
+    and advance every fourth.  Every stream therefore closes segments of
+    ~4 events — the skew is pure *rate*, never per-segment density, so
+    monitoring stays cheap while the rebalancer sees the gap.
+    """
+    streams: dict[int, list[tuple[str, int, set]]] = {}
+    for seed in range(COLD_STREAMS + 1):
+        rng = random.Random(seed)
+        per_tick = HOT_MULTIPLIER if seed == 0 else 1
+        events = []
+        for t in range(1, ticks + 1):
+            for sub in range(per_tick):
+                t_ms = t * 10 + sub
+                props = {"a"} if rng.random() < 0.8 else {"a", "b"}
+                events.append(("P1", t_ms, props))
+            if t % 5 == 0:
+                events.append(("P2", t * 10 + 9, {"b"} if t % 10 == 0 else set()))
+        streams[seed] = events
+    return streams
+
+
+def _drive(handles: dict, streams: dict, ticks: int, tick_seconds: float, churn=None):
+    """Interleave all streams tick by tick; fire churn callbacks by tick."""
+    cursors = {seed: 0 for seed in streams}
+    for t in range(1, ticks + 1):
+        boundary = t * 10
+        for seed, events in streams.items():
+            session = handles[seed]
+            cursor = cursors[seed]
+            while cursor < len(events) and events[cursor][1] < boundary:
+                process, t_ms, props = events[cursor]
+                session.observe(process, t_ms, props)
+                cursor += 1
+            cursors[seed] = cursor
+            # Hot stream advances every tick, cold ones every fourth —
+            # keeps segments small (enumeration is exponential in them).
+            if seed == 0 or t % 4 == 0:
+                session.advance_to(boundary)
+        if churn and t in churn:
+            churn[t]()
+        if tick_seconds:
+            time.sleep(tick_seconds)
+    return {seed: handles[seed].finish() for seed in streams}
+
+
+def _verdict_multisets(results: dict) -> list[str]:
+    return sorted(
+        "".join("TF"[v is False] for v in sorted(r.verdicts, reverse=True))
+        for r in results.values()
+    )
+
+
+def _static_reference(streams: dict, ticks: int) -> list[str]:
+    """The frozen-pool run the elastic one must match bit-for-bit."""
+    with MonitorService(workers=2) as service:
+        handles = {
+            seed: service.open_session(SPEC, EPSILON) for seed in streams
+        }
+        results = _drive(handles, streams, ticks, tick_seconds=0.0)
+    return _verdict_multisets(results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ticks", type=int, default=40, help="workload length")
+    parser.add_argument(
+        "--tick", type=float, default=0.05, metavar="SECONDS",
+        help="pause per tick (gives joins/retires time to land mid-stream)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.cluster import spawn_registry
+
+    streams = _streams(args.ticks)
+    expected = _static_reference(streams, args.ticks)
+    print(f"static reference: {COLD_STREAMS + 1} streams, verdicts frozen")
+
+    registry_popen, rhost, rport = spawn_registry(token=TOKEN)
+    registry_spec = f"tcp://{rhost}:{rport}"
+    agents: list = []
+    join_deadline_missed = []
+
+    try:
+        with MonitorService(
+            endpoints=["local"],
+            registry=registry_spec,
+            token=TOKEN,
+            rebalance="periodic",
+            rebalance_interval=0.05,
+        ) as service:
+            handles = {
+                seed: service.open_session(SPEC, EPSILON) for seed in streams
+            }
+            assert len(service.endpoints()) == 1
+
+            def late_join() -> None:
+                # One thread-mode agent, one process-pool agent — both
+                # authenticated, both announced through the registry.
+                agents.append(spawn_agent(token=TOKEN, registry=registry_spec))
+                agents.append(
+                    spawn_agent(token=TOKEN, registry=registry_spec, processes=True)
+                )
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if len(service.endpoints()) == 3:
+                        return
+                    time.sleep(0.05)
+                join_deadline_missed.append(service.endpoints())
+
+            def graceful_retire() -> None:
+                live = sum(1 for dead in service.dead_endpoints() if not dead)
+                assert live == 3, f"expected 3 live endpoints, saw {live}"
+                popen, host, port = agents[0]
+                popen.terminate()  # SIGTERM → registry leave → service drain
+                address = f"tcp://{host}:{port}"
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline:
+                    index = service.endpoints().index(address)
+                    if service.dead_endpoints()[index]:
+                        return
+                    time.sleep(0.05)
+                raise AssertionError(f"agent at {address} never drained out")
+
+            churn = {
+                max(1, args.ticks // 4): late_join,
+                max(2, (3 * args.ticks) // 4): graceful_retire,
+            }
+            results = _drive(handles, streams, args.ticks, args.tick, churn)
+
+            assert not join_deadline_missed, (
+                f"late join never grew the pool: {join_deadline_missed}"
+            )
+            migrations = sum(handles[seed].migrations for seed in streams)
+            recoveries = sum(handles[seed].recoveries for seed in streams)
+            assert migrations >= 1, (
+                "the rebalancer never treated the joins as placement events"
+            )
+            assert recoveries == 0, (
+                f"a graceful retire must not look like a crash "
+                f"({recoveries} recoveries)"
+            )
+            got = _verdict_multisets(results)
+            assert got == expected, "elastic run diverged from the frozen pool"
+            deadline = time.monotonic() + 15
+            while any(service.outstanding()) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            leftover = service.outstanding()
+            assert not any(leftover), f"outstanding counters leaked: {leftover}"
+            print(
+                f"elastic run: pool 1→3→2, {migrations} migration(s), "
+                f"0 recoveries, verdicts bit-identical, counters settled"
+            )
+
+            # Unauthenticated rejection: before any frame is dispatched,
+            # with a typed error naming the endpoint.
+            _, host, port = agents[1]
+            try:
+                MonitorService(endpoints=[f"tcp://{host}:{port}"], token="")
+            except ServiceError as exc:
+                message = str(exc)
+                assert f"tcp://{host}:{port}" in message, message
+                print(f"unauthenticated client rejected: {message}")
+            else:
+                raise AssertionError("unauthenticated connection was accepted")
+    finally:
+        for popen, _, _ in agents:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
+        registry_popen.kill()
+        registry_popen.wait(timeout=10)
+        registry_popen.stdout.close()
+    print("cluster smoke: join, rebalance, retire, auth — all asserted")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Run the cluster registry: the membership directory for elastic pools.
+
+One registry serves a whole cluster.  Agents announce themselves to it
+(``run_worker_agent.py --registry``), services subscribe to it
+(``MonitorService(registry="tcp://host:port")``) and resize their pools
+live as agents join, leave, and die::
+
+    export REPRO_AGENT_TOKEN=...    # one shared secret = one cluster
+    PYTHONPATH=src python scripts/run_registry.py --host 0.0.0.0 --port 7700
+
+``--port 0`` binds an ephemeral port; the registry prints the bound
+address on stdout once it is accepting connections and serves until
+killed.  The registry holds no monitor state and routes no work — if it
+goes down, running services keep serving on their current pools; only
+membership *changes* stop propagating until it is back.  Thin wrapper
+over ``python -m repro.cluster.registry``.
+"""
+
+from repro.cluster.registry import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

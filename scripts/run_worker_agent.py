@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Host monitor-service workers on this machine behind a TCP listener.
 
-Run one agent per core you want to lend to a pool, then point a
+Static pool — run one agent per core you want to lend, then point a
 :class:`~repro.service.MonitorService` at them from anywhere::
 
     # on the worker host(s):
@@ -11,15 +11,38 @@ Run one agent per core you want to lend to a pool, then point a
     # on the client:
     MonitorService(endpoints=["tcp://worker-host:7701", "tcp://worker-host:7702"])
 
-``--port 0`` binds an ephemeral port; the agent prints the bound address
-on stdout once it is accepting connections.  Each accepted connection is
-one logical worker (its own session registry); the agent serves until
-killed.  Thin wrapper over ``python -m repro.transport.agent``.
+Elastic pool — run **one** agent per host with ``--processes`` (each
+accepted connection forks its own executor process, so a single agent
+lends the whole machine) and announce it to a cluster registry; services
+built with ``registry=`` pick it up live, no endpoint list anywhere::
 
-WARNING: the protocol carries pickle payloads — any peer that can reach
-the port can run arbitrary code in the agent process.  Only bind
-``--host 0.0.0.0`` on a private network you control (or tunnel the
-port); see the trust-boundary note in ``repro.transport.agent``.
+    # once, anywhere reachable:
+    PYTHONPATH=src python scripts/run_registry.py --host 0.0.0.0 --port 7700
+
+    # on each worker host:
+    export REPRO_AGENT_TOKEN=...      # one shared secret = one cluster
+    PYTHONPATH=src python scripts/run_worker_agent.py \
+        --host 0.0.0.0 --port 7701 --processes \
+        --registry tcp://registry-host:7700 --advertise worker-host
+
+    # on the client:
+    MonitorService(registry="tcp://registry-host:7700")
+
+``--port 0`` binds an ephemeral port; the agent prints the bound address
+on stdout once it is accepting connections.  The agent serves until
+killed; **SIGTERM is a graceful leave** — it deregisters from the
+registry first, waits up to ``--drain-timeout`` seconds while services
+migrate sessions off, then exits with nothing lost.  Thin wrapper over
+``python -m repro.transport.agent``.
+
+Authentication: with ``--token`` (or ``REPRO_AGENT_TOKEN`` exported) the
+agent rejects any connection that fails the HMAC challenge/response
+handshake before a single frame is dispatched.  The token gates access
+but does not encrypt the stream — the protocol still carries pickle
+payloads, so an *authenticated* peer can run arbitrary code in the agent
+process.  Only bind ``--host 0.0.0.0`` on a private network you control
+(or tunnel the port); see the trust-boundary note in
+``repro.transport.agent``.
 """
 
 from repro.transport.agent import main

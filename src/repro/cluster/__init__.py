@@ -1,0 +1,32 @@
+"""The elastic cluster control plane.
+
+Turns the static endpoint list into live membership: agents announce
+themselves to a :class:`~repro.cluster.registry.ClusterRegistry`, a
+:class:`~repro.service.MonitorService` built with
+``registry="tcp://host:port"`` watches it and resizes its pool as
+members join, leave, and die.  See the "Cluster control plane" section
+of ``DESIGN.md`` for the frame ops, the auth handshake, and the
+join/leave state machine.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.client import RegistryClient
+from repro.cluster.registry import (
+    EVENT_DEATH,
+    EVENT_JOIN,
+    EVENT_LEAVE,
+    ClusterRegistry,
+    Member,
+    spawn_registry,
+)
+
+__all__ = [
+    "ClusterRegistry",
+    "EVENT_DEATH",
+    "EVENT_JOIN",
+    "EVENT_LEAVE",
+    "Member",
+    "RegistryClient",
+    "spawn_registry",
+]

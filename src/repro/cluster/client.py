@@ -1,0 +1,287 @@
+"""Client for the cluster registry: register, watch, and react.
+
+Used by two very different callers with one small class:
+
+* a **worker agent** registers its advertised address on start and
+  leaves gracefully on SIGTERM — the connection it keeps open *is* its
+  lease, so no renewal loop is needed;
+* a **monitor service** watches membership and turns the pushed events
+  into pool changes (grow on ``join``, drain on ``leave``, and let its
+  own connection liveness catch what a ``death`` event describes).
+
+This is deliberately *not* a :class:`~repro.transport.tcp.TcpConnection`:
+that class books every non-heartbeat response against an outstanding
+request counter, which unsolicited pushed events would corrupt.  The
+registry dialect needs the opposite split — a tiny request/response
+surface plus an event firehose — so the client here keeps its own
+reader thread (events → callback, responses → waiting calls by id) and
+a heartbeat thread that both keeps the server's lease reaper fed and
+detects a dead registry.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ServiceError
+from repro.transport.auth import client_handshake, resolve_token
+from repro.transport.frames import (
+    DEFAULT_CODEC,
+    HEARTBEAT_ID,
+    REGISTRY_EVENT_ID,
+    Codec,
+    Request,
+    Response,
+    read_frame,
+    write_frame,
+)
+from repro.transport.tcp import HEARTBEAT_INTERVAL, LIVENESS_TIMEOUT, parse_address
+
+from repro.cluster.registry import LEAVE_OP, MEMBERS_OP, REGISTER_OP, WATCH_OP
+
+#: Membership event callback: receives the pushed event payload dict
+#: (``{"event": "join"|"leave"|"death", "address": ..., "kind": ...}``),
+#: invoked from the client's reader thread.
+OnEvent = Callable[[dict], None]
+
+#: Registry-loss callback: fired at most once, from a client thread.
+OnLost = Callable[[], None]
+
+#: Bound on one registry round trip (register/leave/members/watch).
+CALL_TIMEOUT = 10.0
+
+
+class RegistryClient:
+    """One authenticated connection to a :class:`~repro.cluster.registry.ClusterRegistry`."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        sock: socket.socket,
+        codec: Codec = DEFAULT_CODEC,
+        on_event: OnEvent | None = None,
+        on_lost: OnLost | None = None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        liveness_timeout: float = LIVENESS_TIMEOUT,
+    ) -> None:
+        self._endpoint = endpoint
+        self._sock = sock
+        self._codec = codec
+        self._on_event = on_event
+        self._on_lost = on_lost
+        self._heartbeat_interval = heartbeat_interval
+        self._liveness_timeout = liveness_timeout
+        self._write_lock = threading.Lock()
+        self._calls_lock = threading.Lock()
+        self._calls: dict[int, _PendingCall] = {}
+        self._next_id = 0
+        self._closed = False
+        self._lost = False
+        self._lost_fired = False
+        self._lost_lock = threading.Lock()
+        self._last_rx = time.monotonic()
+        self._stop = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"registry-client-{endpoint}", daemon=True
+        )
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"registry-client-{endpoint}-hb",
+            daemon=True,
+        )
+        self._reader.start()
+        self._heartbeat.start()
+
+    @classmethod
+    def connect(
+        cls,
+        spec: str,
+        token: str | None = None,
+        codec: Codec = DEFAULT_CODEC,
+        on_event: OnEvent | None = None,
+        on_lost: OnLost | None = None,
+        connect_timeout: float = 5.0,
+        **kwargs,
+    ) -> "RegistryClient":
+        """Dial ``tcp://host:port``, authenticate, return a live client."""
+        host, port = parse_address(spec)
+        endpoint = f"tcp://{host}:{port}"
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"could not connect to cluster registry at {endpoint}: {exc}"
+            ) from exc
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            client_handshake(sock, codec, resolve_token(token), endpoint)
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        return cls(endpoint, sock, codec, on_event=on_event, on_lost=on_lost, **kwargs)
+
+    @property
+    def endpoint(self) -> str:
+        return self._endpoint
+
+    def alive(self) -> bool:
+        if self._closed or self._lost:
+            return False
+        return time.monotonic() - self._last_rx < self._liveness_timeout
+
+    # -- the registry dialect --
+
+    def register(self, address: str, kind: str = "thread") -> dict:
+        """Announce an agent at ``address``; the connection is its lease."""
+        return self.call(REGISTER_OP, {"address": address, "kind": kind})
+
+    def leave(self, address: str | None = None) -> list[str]:
+        """Gracefully deregister (all leases held here, or one address)."""
+        return self.call(LEAVE_OP, address)
+
+    def members(self) -> list[dict]:
+        """Current membership snapshot (one-shot, no subscription)."""
+        return self.call(MEMBERS_OP, None)
+
+    def watch(self) -> list[dict]:
+        """Subscribe to membership events; returns the atomic snapshot
+        the event stream continues from (``on_event`` fires for every
+        change after it)."""
+        return self.call(WATCH_OP, None)
+
+    def call(self, op: str, payload, timeout: float = CALL_TIMEOUT):
+        """One registry round trip; raises on error, loss, or timeout."""
+        if self._closed:
+            raise ServiceError(f"registry client for {self._endpoint} is closed")
+        if self._lost:
+            raise ServiceError(f"cluster registry at {self._endpoint} is unreachable")
+        pending = _PendingCall()
+        with self._calls_lock:
+            request_id = self._next_id
+            self._next_id += 1
+            self._calls[request_id] = pending
+        try:
+            try:
+                with self._write_lock:
+                    write_frame(self._sock, Request(request_id, op, payload), self._codec)
+            except (ServiceError, OSError) as exc:
+                self._lose()
+                raise ServiceError(
+                    f"cluster registry at {self._endpoint} is unreachable "
+                    f"(send failed: {exc})"
+                ) from exc
+            if not pending.done.wait(timeout):
+                raise ServiceError(
+                    f"registry call {op!r} to {self._endpoint} timed out"
+                )
+        finally:
+            with self._calls_lock:
+                self._calls.pop(request_id, None)
+        if pending.response is None:
+            raise ServiceError(
+                f"cluster registry at {self._endpoint} was lost mid-call"
+            )
+        if pending.response.error is not None:
+            raise ServiceError(
+                f"registry call {op!r} to {self._endpoint} failed: "
+                f"{pending.response.error}"
+            )
+        return pending.response.payload
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._fail_pending()
+        self._reader.join(1.0)
+        self._heartbeat.join(self._heartbeat_interval + 1.0)
+
+    # -- plumbing --
+
+    def _lose(self) -> None:
+        self._lost = True
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._fail_pending()
+        with self._lost_lock:
+            if self._lost_fired or self._closed:
+                return
+            self._lost_fired = True
+        if self._on_lost is not None:
+            self._on_lost()
+
+    def _fail_pending(self) -> None:
+        with self._calls_lock:
+            pending, self._calls = list(self._calls.values()), {}
+        for call in pending:
+            call.done.set()  # response stays None → "lost mid-call"
+
+    def _read_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                frame = read_frame(self._sock, self._codec)
+            except Exception:  # noqa: BLE001 — broken stream or undecodable frame
+                frame = None
+            if frame is None:
+                break
+            self._last_rx = time.monotonic()
+            if not isinstance(frame, Response):
+                continue
+            if frame.request_id == HEARTBEAT_ID:
+                continue  # pong: the rx clock update is its whole job
+            if frame.request_id == REGISTRY_EVENT_ID:
+                if self._on_event is not None and isinstance(frame.payload, dict):
+                    try:
+                        self._on_event(frame.payload)
+                    except Exception:  # noqa: BLE001 — a watcher bug must not kill the reader
+                        pass
+                continue
+            with self._calls_lock:
+                pending = self._calls.get(frame.request_id)
+            if pending is not None:
+                pending.response = frame
+                pending.done.set()
+        if not self._closed:
+            self._lose()
+
+    def _heartbeat_loop(self) -> None:
+        ping = Request(HEARTBEAT_ID, "ping", None)
+        while not self._stop.wait(self._heartbeat_interval):
+            if self._closed or self._lost:
+                return
+            if time.monotonic() - self._last_rx >= self._liveness_timeout:
+                self._lose()
+                return
+            try:
+                with self._write_lock:
+                    write_frame(self._sock, ping, self._codec)
+            except (ServiceError, OSError):
+                self._lose()
+                return
+
+
+class _PendingCall:
+    __slots__ = ("done", "response")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.response: Response | None = None

@@ -1,0 +1,443 @@
+"""The cluster registry: a tiny control-plane service for agent membership.
+
+The data plane (worker agents serving monitor frames) already scales to
+many hosts; what was missing is the *control* plane — how a service
+learns that agents exist without a hand-maintained endpoint list.  The
+:class:`ClusterRegistry` is that directory: a small TCP service speaking
+the existing versioned frame codec, where
+
+* **agents announce themselves** on start (``registry_register`` with
+  their advertised ``tcp://host:port`` address and mode), keep their
+  registration alive simply by keeping the connection open, and
+  **deregister gracefully** (``registry_leave``) on SIGTERM;
+* **services subscribe** (``registry_watch``) and receive an atomic
+  snapshot of current members plus pushed events —
+  :data:`~repro.transport.frames.REGISTRY_EVENT_ID` response frames —
+  for every later ``join``, ``leave``, and ``death``.
+
+**The connection is the lease.**  A registration lives exactly as long
+as the TCP connection that made it: a SIGKILLed agent's socket closes
+and the registry announces a ``death``; a frozen or partitioned agent
+stops heartbeating and the reaper closes it to the same effect.  There
+is no lease-renewal protocol to get wrong — liveness bookkeeping reuses
+the transport's existing heartbeat frames, answered inline like the
+worker agent answers them.
+
+The registry is deliberately *not* a coordinator: it never routes
+frames, never picks placements, and holds no monitor state.  Services
+own their reaction to membership events (grow the pool on ``join``,
+drain on ``leave``, let the PR 6 recovery path handle ``death``), so a
+registry outage degrades to a static pool — running services keep
+serving; only membership *changes* stop propagating.
+
+Authentication: the same shared-token handshake as worker agents
+(:mod:`repro.transport.auth`) gates every registry connection, so one
+exported ``REPRO_AGENT_TOKEN`` secures the whole cluster surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+from repro.transport.auth import resolve_token, server_handshake
+from repro.transport.frames import (
+    DEFAULT_CODEC,
+    HEARTBEAT_ID,
+    REGISTRY_EVENT_ID,
+    Codec,
+    Request,
+    Response,
+    read_frame,
+    write_frame,
+)
+
+#: Registry frame ops (regular request/response ops, one frame each).
+REGISTER_OP = "registry_register"
+LEAVE_OP = "registry_leave"
+MEMBERS_OP = "registry_members"
+WATCH_OP = "registry_watch"
+
+#: Membership event kinds pushed to watchers.
+EVENT_JOIN = "join"
+EVENT_LEAVE = "leave"
+EVENT_DEATH = "death"
+
+#: Printed once the registry accepts connections (spawners parse the port).
+READY_PREFIX = "cluster-registry listening on "
+
+#: How long a registrant may stay silent (no heartbeat, no request)
+#: before its lease is reaped as a death.  Watchers are exempt — a
+#: service that is merely busy must not be disconnected.
+LEASE_TIMEOUT = 5.0
+
+
+@dataclass
+class Member:
+    """One registered agent: its advertised address and serving mode."""
+
+    address: str
+    kind: str = "thread"
+
+    def to_wire(self) -> dict:
+        return {"address": self.address, "kind": self.kind}
+
+
+class ClusterRegistry:
+    """Serves agent membership on ``host:port`` (``port=0`` = ephemeral)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: Codec = DEFAULT_CODEC,
+        token: str | None = None,
+        lease_timeout: float = LEASE_TIMEOUT,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._codec = codec
+        self._token = resolve_token(token)
+        self._lease_timeout = lease_timeout
+        self._sock: socket.socket | None = None
+        self._closed = False
+        self._lock = threading.Lock()  # membership + watcher set + event order
+        self._members: dict[str, Member] = {}
+        self._owners: dict[str, "_RegistryPeer"] = {}  # address → leasing peer
+        self._peers: list[_RegistryPeer] = []
+        self._accept_thread: threading.Thread | None = None
+        self._reaper_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    @property
+    def address(self) -> str:
+        if self._sock is None:
+            raise ServiceError("cluster registry is not listening yet")
+        return f"{self._host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        if self._sock is None:
+            raise ServiceError("cluster registry is not listening yet")
+        return self._port
+
+    def describe(self) -> str:
+        return f"tcp://{self.address}"
+
+    def members(self) -> list[Member]:
+        with self._lock:
+            return list(self._members.values())
+
+    def start(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((self._host, self._port))
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"cluster registry could not bind {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.listen()
+        self._port = sock.getsockname()[1]
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"registry-{self._port}", daemon=True
+        )
+        self._accept_thread.start()
+        self._reaper_thread = threading.Thread(
+            target=self._reap_loop, name=f"registry-{self._port}-reaper", daemon=True
+        )
+        self._reaper_thread.start()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            peers, self._peers = self._peers, []
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        for peer in peers:
+            peer.stop()
+        if self._accept_thread is not None:
+            self._accept_thread.join(1.0)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(1.0)
+
+    def __enter__(self) -> "ClusterRegistry":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- membership transitions (all under self._lock for event ordering) --
+
+    def _register(self, peer: "_RegistryPeer", payload) -> dict:
+        if not isinstance(payload, dict) or not isinstance(payload.get("address"), str):
+            raise ServiceError("registry_register payload must be {'address': str, ...}")
+        member = Member(payload["address"], str(payload.get("kind", "thread")))
+        with self._lock:
+            rejoin = member.address in self._members
+            self._members[member.address] = member
+            # Re-registering an address moves the lease to the new
+            # connection: the *old* peer's later loss must not evict the
+            # fresh registration (the rejoin-after-SIGKILL race).
+            self._owners[member.address] = peer
+            peer.owned.add(member.address)
+            self._push_event(EVENT_JOIN, member, rejoin=rejoin)
+        return member.to_wire()
+
+    def _leave(self, peer: "_RegistryPeer", payload) -> list[str]:
+        addresses = (
+            [payload] if isinstance(payload, str) else sorted(peer.owned)
+        )
+        left = []
+        with self._lock:
+            for address in addresses:
+                if self._owners.get(address) is not peer:
+                    continue  # lease moved (rejoin) or already gone
+                member = self._members.pop(address, None)
+                del self._owners[address]
+                peer.owned.discard(address)
+                if member is not None:
+                    left.append(address)
+                    self._push_event(EVENT_LEAVE, member)
+        return left
+
+    def _lose_peer(self, peer: "_RegistryPeer") -> None:
+        """Connection lost without a leave: every lease it held is a death."""
+        with self._lock:
+            if peer in self._peers:
+                self._peers.remove(peer)
+            for address in sorted(peer.owned):
+                if self._owners.get(address) is not peer:
+                    continue
+                member = self._members.pop(address, None)
+                del self._owners[address]
+                if member is not None:
+                    self._push_event(EVENT_DEATH, member)
+            peer.owned.clear()
+
+    def _watch_snapshot(self, peer: "_RegistryPeer") -> list[dict]:
+        # Snapshot and subscription flip under one lock hold: a watcher
+        # can never miss an event between "members as of now" and "events
+        # from now on", and never sees a join duplicated in both.
+        with self._lock:
+            peer.watching = True
+            return [member.to_wire() for member in self._members.values()]
+
+    def _push_event(self, event: str, member: Member, rejoin: bool = False) -> None:
+        """Fan an event out to watchers (caller holds ``self._lock``)."""
+        payload = dict(member.to_wire(), event=event)
+        if rejoin:
+            payload["rejoin"] = True
+        frame = Response(REGISTRY_EVENT_ID, payload, None)
+        for peer in self._peers:
+            if peer.watching:
+                peer.push(frame, self._codec)
+
+    # -- plumbing --
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, addr = self._sock.accept()
+            except OSError:
+                return
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            peer = _RegistryPeer(self, client, addr)
+            with self._lock:
+                if self._closed:
+                    peer.stop()
+                    return
+                self._peers.append(peer)
+            peer.start()
+
+    def _reap_loop(self) -> None:
+        """Close leaseholders that went silent (partition/freeze deaths)."""
+        while not self._stop.wait(min(1.0, self._lease_timeout / 2)):
+            now = time.monotonic()
+            with self._lock:
+                stale = [
+                    peer
+                    for peer in self._peers
+                    if peer.owned and now - peer.last_rx > self._lease_timeout
+                ]
+            for peer in stale:
+                peer.stop()  # reader EOFs → _lose_peer → death events
+
+
+class _RegistryPeer:
+    """One accepted registry connection (an agent, a watcher, or both)."""
+
+    def __init__(self, registry: ClusterRegistry, sock, addr) -> None:
+        self._registry = registry
+        self._sock = sock
+        self._codec = registry._codec
+        self._write_lock = threading.Lock()
+        self._stopped = False
+        self.owned: set[str] = set()  # addresses this connection leases
+        self.watching = False
+        self.last_rx = time.monotonic()
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"registry-peer-{addr[0]}:{addr[1]}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._reader.start()
+
+    def stop(self) -> None:
+        self._stopped = True
+        # Shutdown before close: close() alone does not wake a reader
+        # thread blocked in recv (the kernel keeps the file description
+        # open), so a reaped peer would never actually disconnect.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def push(self, frame: Response, codec: Codec) -> None:
+        """Best-effort event delivery; a dead watcher is reaped by its EOF."""
+        try:
+            with self._write_lock:
+                write_frame(self._sock, frame, codec)
+        except (ServiceError, OSError):
+            self.stop()
+
+    def _read_loop(self) -> None:
+        try:
+            leftover = server_handshake(
+                self._sock, self._codec, self._registry._token
+            )
+        except (ServiceError, OSError):
+            self.stop()
+            self._registry._lose_peer(self)
+            return
+        if leftover is not None:
+            self._dispatch(leftover)
+        while not self._stopped:
+            try:
+                frame = read_frame(self._sock, self._codec)
+            except Exception:  # noqa: BLE001 — broken stream or undecodable frame
+                frame = None
+            if frame is None:
+                break
+            self.last_rx = time.monotonic()
+            self._dispatch(frame)
+        self.stop()
+        self._registry._lose_peer(self)
+
+    def _dispatch(self, frame) -> None:
+        if not isinstance(frame, Request):
+            return
+        if frame.request_id == HEARTBEAT_ID:
+            self._respond(Response(HEARTBEAT_ID, "pong", None))
+            return
+        try:
+            if frame.op == REGISTER_OP:
+                payload = self._registry._register(self, frame.payload)
+            elif frame.op == LEAVE_OP:
+                payload = self._registry._leave(self, frame.payload)
+            elif frame.op == MEMBERS_OP:
+                payload = [m.to_wire() for m in self._registry.members()]
+            elif frame.op == WATCH_OP:
+                payload = self._registry._watch_snapshot(self)
+            else:
+                raise ServiceError(f"unknown registry op {frame.op!r}")
+        except ServiceError as exc:
+            self._respond(Response(frame.request_id, None, f"ServiceError: {exc}"))
+            return
+        self._respond(Response(frame.request_id, payload, None))
+
+    def _respond(self, response: Response) -> None:
+        try:
+            with self._write_lock:
+                write_frame(self._sock, response, self._codec)
+        except (ServiceError, OSError):
+            self.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the cluster registry (agent membership directory)."
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks an ephemeral one)"
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="shared auth token gating connections (default: REPRO_AGENT_TOKEN)",
+    )
+    args = parser.parse_args(argv)
+    registry = ClusterRegistry(args.host, args.port, token=args.token)
+    registry.start()
+    auth = "token-auth" if registry._token is not None else "no-auth"
+    print(f"{READY_PREFIX}{registry.address} (pid {os.getpid()}, {auth})", flush=True)
+    stop = threading.Event()
+    import signal
+
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        registry.close()
+    return 0
+
+
+def spawn_registry(host: str = "127.0.0.1", port: int = 0, token: str | None = None):
+    """Start a registry in a fresh OS process; returns ``(popen, host, port)``."""
+    import subprocess
+    import sys
+
+    here = os.path.abspath(__file__)  # src/repro/cluster/registry.py
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    argv = [
+        sys.executable,
+        "-c",
+        "from repro.cluster.registry import main; raise SystemExit(main())",
+        "--host",
+        host,
+        "--port",
+        str(port),
+    ]
+    if token is not None:
+        argv += ["--token", token]
+    popen = subprocess.Popen(argv, stdout=subprocess.PIPE, env=env, text=True)
+    line = popen.stdout.readline()
+    if not line.startswith(READY_PREFIX):
+        popen.kill()
+        raise ServiceError(f"cluster registry failed to start (got {line!r})")
+    address = line[len(READY_PREFIX):].split()[0]
+    bound_host, bound_port = address.rsplit(":", 1)
+    return popen, bound_host, int(bound_port)
+
+
+if __name__ == "__main__":  # pragma: no cover - process entry point
+    raise SystemExit(main())

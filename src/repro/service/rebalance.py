@@ -243,6 +243,7 @@ class Rebalancer:
         #: Per-endpoint consecutive cycles past the steal threshold.
         self._overload_streak: dict[int, int] = {}
         self._stop = threading.Event()
+        self._kick = threading.Event()
         self._thread: threading.Thread | None = None
         self._last_counts: dict[int, int] = {}
         self.stats = RebalanceStats()
@@ -267,14 +268,26 @@ class Rebalancer:
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
+        self._kick.set()  # wake a sleeping loop so stop() is prompt
         if self._thread is not None:
             self._thread.join(timeout)
+
+    def kick(self) -> None:
+        """Run a cycle now instead of at the next interval tick.
+
+        Called on membership changes (an endpoint joined or is
+        retiring): a placement event should reflow load immediately, not
+        up to one interval later.
+        """
+        self._kick.set()
 
     # -- one cycle ------------------------------------------------------------------
 
     def _loop(self) -> None:
-        while not self._stop.wait(self._interval):
-            if self._service.closed:
+        while True:
+            self._kick.wait(self._interval)
+            self._kick.clear()
+            if self._stop.is_set() or self._service.closed:
                 return
             try:
                 self.run_cycle()

@@ -53,6 +53,7 @@ Usage::
 from __future__ import annotations
 
 import itertools
+import queue
 import threading
 import time
 import zlib
@@ -122,6 +123,23 @@ class MonitorService:
         Explicit worker endpoints: each entry is a
         :class:`~repro.transport.Transport`, ``"local"``, or a TCP
         address (``"tcp://host:port"``).  Backends mix freely.
+    registry:
+        A :class:`~repro.cluster.ClusterRegistry` address
+        (``"tcp://host:port"``): subscribe to live membership and resize
+        the pool as agents come and go — a **join** adds the agent as a
+        new endpoint (and kicks the rebalancer: a placement event), a
+        graceful **leave** drains the endpoint through
+        :meth:`retire_endpoint` (sessions migrate off, queued batch work
+        is stolen back, nothing is lost), and a missed-heartbeat
+        **death** falls through to the usual recovery path (work
+        stealing, durable-session restore).  Combines with ``workers``/
+        ``endpoints``: those are the static floor of the pool (default:
+        none — the pool starts empty and grows as members announce).
+    token:
+        Shared auth token for TCP endpoints and the registry connection
+        (HMAC challenge/response at connection open — see
+        :mod:`repro.transport.auth`).  ``None`` resolves
+        ``REPRO_AGENT_TOKEN``; the empty string disables auth explicitly.
     auto_calibrate:
         Run a budgeted engine-crossover probe at startup and apply the
         measured thresholds to the ``kind="auto"`` factory (see
@@ -163,6 +181,8 @@ class MonitorService:
         monitor: str = "auto",
         max_in_flight: int | None = None,
         endpoints: Sequence[Transport | str] | None = None,
+        registry: str | None = None,
+        token: str | None = None,
         auto_calibrate: bool = False,
         auto_calibrate_budget: float = 1.0,
         rebalance=None,
@@ -211,8 +231,8 @@ class MonitorService:
             )
 
         if endpoints is not None:
-            transports = [resolve_transport(spec) for spec in endpoints]
-            if not transports:
+            transports = [resolve_transport(spec, token) for spec in endpoints]
+            if not transports and registry is None:
                 raise MonitorError("endpoints must name at least one worker")
             if workers is not None and workers != len(transports):
                 raise MonitorError(
@@ -221,11 +241,15 @@ class MonitorService:
         else:
             if workers is not None and workers < 1:
                 raise MonitorError(f"workers must be >= 1, got {workers}")
-            count = workers if workers is not None else default_workers()
+            if workers is None and registry is not None:
+                count = 0  # elastic-only pool: every endpoint comes from members
+            else:
+                count = workers if workers is not None else default_workers()
             transports = [LocalTransport() for _ in range(count)]
         self._workers = len(transports)
+        self._token = token
         if max_in_flight is None:
-            max_in_flight = self._workers * 4
+            max_in_flight = max(4, self._workers * 4)
         if max_in_flight < 1:
             raise MonitorError(f"max_in_flight must be >= 1, got {max_in_flight}")
         self._max_in_flight = max_in_flight
@@ -276,8 +300,17 @@ class MonitorService:
         self._steals = 0
         self._outstanding = [0] * self._workers
         self._dead = [False] * self._workers
+        self._retired = [False] * self._workers
         self._sessions: dict[int, Session] = {}
         self._inflight = threading.BoundedSemaphore(max_in_flight)
+        # Serializes pool-shape changes (add/retire): reservations and
+        # connection installs must land in index order.  Never nests
+        # inside self._lock (membership holds it *around* short _lock
+        # sections and the blocking transport open).
+        self._membership_lock = threading.Lock()
+        self._registry = None
+        self._membership_events: queue.Queue = queue.Queue()
+        self._membership_thread: threading.Thread | None = None
 
         self._connections: list[Connection] = []
         self._send_locks = [threading.Lock() for _ in transports]
@@ -314,6 +347,28 @@ class MonitorService:
                     interval=rebalance_interval,
                     steal_threshold=rebalance_steal_threshold,
                 ).start()
+            except BaseException:
+                self.close(timeout=1.0)
+                raise
+
+        if registry is not None:
+            from repro.cluster import RegistryClient
+
+            try:
+                self._membership_thread = threading.Thread(
+                    target=self._membership_loop,
+                    name="monitor-service-membership",
+                    daemon=True,
+                )
+                self._membership_thread.start()
+                self._registry = RegistryClient.connect(
+                    registry, token=token, on_event=self._on_membership_event
+                )
+                # watch() returns the snapshot the event stream continues
+                # from, so members present before we subscribed and members
+                # joining after are absorbed by the same path, exactly once.
+                for member in self._registry.watch():
+                    self._absorb_member(member)
             except BaseException:
                 self.close(timeout=1.0)
                 raise
@@ -357,9 +412,21 @@ class MonitorService:
             return list(self._outstanding)
 
     def dead_endpoints(self) -> list[bool]:
-        """Per-endpoint death flags (reaped endpoints stay dead)."""
+        """Per-endpoint unusability flags (reaped endpoints stay dead).
+
+        True also for endpoints that are *retiring* (draining toward a
+        graceful leave) — everything that keys placement off this signal
+        (standby replicas, rebalance targets) must treat a retiring
+        endpoint exactly like a dead one: never put anything new there.
+        """
         with self._lock:
-            return list(self._dead)
+            installed = len(self._connections)
+            return [
+                dead or retired or index >= installed
+                for index, (dead, retired) in enumerate(
+                    zip(self._dead, self._retired)
+                )
+            ]
 
     def live_sessions(self) -> list[Session]:
         """The sessions currently tracked by this client (rebalancer input)."""
@@ -368,7 +435,10 @@ class MonitorService:
 
     def worker_pids(self) -> list[int]:
         """PID of every pool worker (round-trips a ping through each endpoint)."""
-        futures = [self._send(index, "ping", None) for index in range(self._workers)]
+        futures = [
+            self._send(index, "ping", None)
+            for index in range(len(self._connections))
+        ]
         return [future.result()[0] for future in futures]
 
     # -- async batch surface --------------------------------------------------------
@@ -521,12 +591,25 @@ class MonitorService:
         if key is not None and placement == "least_loaded":
             raise MonitorError("pass either an affinity key or placement='least_loaded'")
         session_id = next(self._session_ids)
-        if key is not None:
-            worker_index = zlib.crc32(key.encode()) % self._workers
-        elif placement == "least_loaded":
+        if placement == "least_loaded":
             worker_index = self._pick_worker()
         else:
-            worker_index = session_id % self._workers
+            # Hash placement shards over the *live* endpoints in index
+            # order: with a static, healthy pool this is exactly the old
+            # ``id % workers``; with an elastic pool it skips dead and
+            # retiring slots without re-sharding what already landed.
+            with self._lock:
+                candidates = [
+                    i
+                    for i in range(len(self._connections))
+                    if not self._dead[i] and not self._retired[i]
+                ]
+            if not candidates:
+                raise ServiceError("all service workers have died")
+            if key is not None:
+                worker_index = candidates[zlib.crc32(key.encode()) % len(candidates)]
+            else:
+                worker_index = candidates[session_id % len(candidates)]
         self._send(
             worker_index,
             "session_open",
@@ -562,18 +645,232 @@ class MonitorService:
 
     def _resolve_endpoint_index(self, endpoint: int | str) -> int:
         if isinstance(endpoint, int):
-            if not 0 <= endpoint < self._workers:
+            if not 0 <= endpoint < len(self._connections):
                 raise MonitorError(
-                    f"no endpoint {endpoint} in a pool of {self._workers}"
+                    f"no endpoint {endpoint} in a pool of {len(self._connections)}"
                 )
             return endpoint
         descriptions = self.endpoints()
-        try:
-            return descriptions.index(endpoint)
-        except ValueError:
+        matches = [i for i, desc in enumerate(descriptions) if desc == endpoint]
+        if not matches:
             raise MonitorError(
                 f"no endpoint {endpoint!r} in this pool; known: {descriptions}"
-            ) from None
+            )
+        # An address can repeat across an agent's lifetimes (die, rejoin):
+        # the old slot stays as a dead tombstone, so prefer a usable match.
+        with self._lock:
+            for index in matches:
+                if not self._dead[index] and not self._retired[index]:
+                    return index
+        return matches[-1]
+
+    # -- live membership ------------------------------------------------------------
+
+    def add_endpoint(self, spec: Transport | str, token: str | None = None) -> int:
+        """Grow the pool with one more endpoint, live; returns its index.
+
+        The new endpoint joins placement immediately: ``least_loaded``
+        picks it while it is the quietest, hash placement folds it into
+        the live-candidate ring, and a running rebalancer is kicked so a
+        skewed pool reflows onto it without waiting for the next interval
+        tick.  Existing sessions and queued work are untouched.  This is
+        what a registry **join** event calls; it is equally usable
+        directly.  ``token`` defaults to the service-wide one.
+        """
+        self._ensure_open()
+        transport = resolve_transport(
+            spec, token if token is not None else self._token
+        )
+        with self._membership_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("monitor service is closed")
+                # Reserve the slot first: the connection's callbacks carry
+                # this index, so the index-parallel state must exist before
+                # the transport can possibly fire them.
+                index = self._workers
+                self._workers += 1
+                self._outstanding.append(0)
+                self._dead.append(False)
+                self._retired.append(False)
+                self._send_locks.append(threading.Lock())
+            installed = threading.Event()
+            on_response = self._make_on_response(index)
+            on_disconnect = self._make_on_disconnect(index)
+
+            def guarded_response(response: Response) -> None:
+                installed.wait()
+                on_response(response)
+
+            def guarded_disconnect() -> None:
+                # A connection may lose its peer between open() returning
+                # and the install below (heartbeat races are real): hold
+                # the report until the slot is fully wired.
+                installed.wait()
+                on_disconnect()
+
+            try:
+                connection = transport.open(guarded_response, guarded_disconnect)
+            except BaseException:
+                with self._lock:
+                    # Unwind the reservation: the membership lock is still
+                    # held, so the slot is provably the last one and no
+                    # request can have targeted it (placement only sees
+                    # installed connections).
+                    self._workers -= 1
+                    self._outstanding.pop()
+                    self._dead.pop()
+                    self._retired.pop()
+                    self._send_locks.pop()
+                raise
+            with self._lock:
+                if self._closed:
+                    installed.set()
+                    connection.close(timeout=0.0)
+                    raise ServiceError("monitor service is closed")
+                self._connections.append(connection)
+            installed.set()
+        if self.rebalancer is not None:
+            self.rebalancer.kick()
+        return index
+
+    def retire_endpoint(self, endpoint: int | str, timeout: float = 30.0) -> None:
+        """Drain one endpoint out of the pool, gracefully (a planned leave).
+
+        The inverse of a worker death: nothing is lost.  The endpoint is
+        first excluded from all placement (new sessions, batch sends,
+        standby replicas, rebalance targets), then
+
+        1. live sessions pinned to it **migrate off** via the usual
+           snapshot/restore hop — verdicts unaffected;
+        2. queued batch work is **stolen back** (each request re-placed
+           exactly once, via the proven-unstarted drop protocol);
+        3. requests already executing get up to ``timeout`` seconds to
+           answer, then the connection closes and the slot becomes a dead
+           tombstone (its index is never reused).
+
+        This is what a registry **leave** event calls; idempotent, and
+        refused while it would leave no live endpoint to drain into.
+        """
+        self._ensure_open()
+        index = self._resolve_endpoint_index(endpoint)
+        with self._lock:
+            if self._dead[index] or self._retired[index]:
+                return
+            others = [
+                i
+                for i in range(len(self._connections))
+                if i != index and not self._dead[i] and not self._retired[i]
+            ]
+            if not others:
+                raise ServiceError(
+                    f"cannot retire endpoint {index} "
+                    f"({self._connections[index].endpoint}): it is the last "
+                    f"live endpoint in the pool"
+                )
+            self._retired[index] = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        # Sessions first (their requests keep flowing while we drain, so
+        # the sooner they hop the less there is to wait out).  Loop: an
+        # open_session racing the flag flip above may still land one here.
+        while time.monotonic() < deadline:
+            stragglers = [
+                session
+                for session in self.live_sessions()
+                if session.worker_index == index and not session.finished
+            ]
+            if not stragglers:
+                break
+            for session in stragglers:
+                try:
+                    session.migrate(self._pick_worker())
+                except ReproError:
+                    # Mid-advance, target vanished, ...: retry next sweep;
+                    # a session we cannot move by the deadline rides the
+                    # connection close into the death-recovery path.
+                    time.sleep(0.05)
+        self.steal_queued(index)
+        with self._lock:
+            remaining = self._outstanding[index]
+        while remaining > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+            with self._lock:
+                remaining = self._outstanding[index]
+                if self._dead[index]:
+                    break
+        self._connections[index].close(max(0.1, deadline - time.monotonic()))
+        # Seal the slot: marks it dead, zeroes the placement counter, and
+        # settles anything that outlived the drain deadline (steal or fail
+        # through the normal death bookkeeping).
+        self._fail_worker_futures([index])
+        if self.rebalancer is not None:
+            self.rebalancer.kick()
+
+    def _find_live_index(self, address: str) -> int | None:
+        with self._lock:
+            for i, connection in enumerate(self._connections):
+                if (
+                    connection.endpoint == address
+                    and not self._dead[i]
+                    and not self._retired[i]
+                ):
+                    return i
+        return None
+
+    def _absorb_member(self, member: dict) -> None:
+        """Add a registry member as an endpoint unless it already is one."""
+        address = member.get("address")
+        if not isinstance(address, str):
+            return
+        if self._find_live_index(address) is not None:
+            return  # already serving (e.g. also named in ``endpoints=``)
+        self.add_endpoint(address)
+
+    def _on_membership_event(self, event: dict) -> None:
+        """Registry push callback (registry reader thread): enqueue only.
+
+        Events are applied by the membership thread so a slow reaction (a
+        retire drains for seconds) never stalls the event stream or the
+        registry heartbeats behind it.
+        """
+        if not self._closed:
+            self._membership_events.put(event)
+
+    def _membership_loop(self) -> None:
+        while True:
+            event = self._membership_events.get()
+            if event is None:
+                return
+            try:
+                self._apply_membership_event(event)
+            except Exception:  # noqa: BLE001 — the loop must outlive one event
+                # Late events race the pool's own signals (a leave for an
+                # endpoint the heartbeat already reaped, a join landing
+                # mid-close): the pool state they describe is simply gone.
+                pass
+
+    def _apply_membership_event(self, event: dict) -> None:
+        from repro.cluster import EVENT_DEATH, EVENT_JOIN, EVENT_LEAVE
+
+        kind = event.get("event")
+        address = event.get("address")
+        if self._closed or not isinstance(address, str):
+            return
+        if kind == EVENT_JOIN:
+            self._absorb_member(event)
+        elif kind == EVENT_LEAVE:
+            index = self._find_live_index(address)
+            if index is not None:
+                self.retire_endpoint(index)
+        elif kind == EVENT_DEATH:
+            # The registry saw the agent's lease break — usually ahead of
+            # our own heartbeat timeout.  Cut the connection now and run
+            # the standard death recovery (steal queued batch work, fail
+            # or restore sessions) instead of waiting out the silence.
+            index = self._find_live_index(address)
+            if index is not None:
+                self._connections[index].close(timeout=0.0)
+                self._fail_worker_futures([index])
 
     def _forget_session(self, session_id: int) -> None:
         with self._lock:
@@ -605,6 +902,13 @@ class MonitorService:
             # Before the connections go: a mid-close migration would race
             # the drain deadlines for no benefit.
             self.rebalancer.stop()
+        if self._registry is not None:
+            # Stop membership churn first: a join event landing while the
+            # pool tears down would race the connection drain below.
+            self._registry.close()
+        if self._membership_thread is not None:
+            self._membership_events.put(None)
+            self._membership_thread.join(timeout=1.0)
         self._liveness_stop.set()
         deadline = time.monotonic() + timeout
         for index, connection in enumerate(self._connections):
@@ -678,7 +982,11 @@ class MonitorService:
         steal) — honoured only while another live endpoint exists.
         """
         with self._lock:
-            alive = [i for i in range(self._workers) if not self._dead[i]]
+            alive = [
+                i
+                for i in range(len(self._connections))
+                if not self._dead[i] and not self._retired[i]
+            ]
             if not alive:
                 raise ServiceError("all service workers have died")
             if avoid is not None and len(alive) > 1:

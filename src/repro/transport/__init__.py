@@ -14,7 +14,8 @@ service pool is a list of transports and may mix backends freely.
 from __future__ import annotations
 
 from repro.errors import ServiceError
-from repro.transport.agent import WorkerAgent, spawn_agent
+from repro.transport.agent import ProcessPoolAgent, WorkerAgent, spawn_agent
+from repro.transport.auth import TOKEN_ENV_VAR, resolve_token
 from repro.transport.base import Connection, Listener, Transport
 from repro.transport.frames import (
     CONTROL_ID,
@@ -51,11 +52,13 @@ __all__ = [
     "LocalTransport",
     "PROMOTE_SESSION",
     "PickleCodec",
+    "ProcessPoolAgent",
     "RESTORE_SESSION",
     "Request",
     "Response",
     "SNAPSHOT_SESSION",
     "STANDBY_SESSION",
+    "TOKEN_ENV_VAR",
     "TcpConnection",
     "TcpTransport",
     "Transport",
@@ -63,17 +66,20 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "parse_address",
+    "resolve_token",
     "resolve_transport",
     "spawn_agent",
 ]
 
 
-def resolve_transport(spec: "Transport | str") -> Transport:
+def resolve_transport(spec: "Transport | str", token: str | None = None) -> Transport:
     """Turn an endpoint spec into a transport.
 
     Accepts a ready :class:`Transport`, the string ``"local"`` (spawn a
     worker process), or a TCP address (``"tcp://host:port"`` /
-    ``"host:port"``).
+    ``"host:port"``).  ``token`` authenticates TCP endpoints (``None``
+    resolves ``REPRO_AGENT_TOKEN``); ready transports and local workers
+    ignore it.
     """
     if isinstance(spec, Transport):
         return spec
@@ -81,7 +87,7 @@ def resolve_transport(spec: "Transport | str") -> Transport:
         if spec == "local":
             return LocalTransport()
         host, port = parse_address(spec)
-        return TcpTransport(host, port)
+        return TcpTransport(host, port, token=token)
     raise ServiceError(
         f"bad endpoint {spec!r}: expected a Transport, 'local', or 'tcp://host:port'"
     )

@@ -21,31 +21,49 @@ Requests on one connection therefore execute strictly in send order —
 the same ordering guarantee a local worker's FIFO inbox gives — while
 cancellation and liveness stay responsive out-of-band.
 
-One agent process is one CPU's worth of workers (executors are threads
-under the GIL); for real parallelism run one agent per core and list
-each as its own endpoint.
+**Two agent modes** decide where the executor runs:
+
+* the default **thread mode** runs it on a thread in the agent process —
+  one agent process is one CPU's worth of workers (executors share the
+  GIL), so real parallelism means one agent per core;
+* **process mode** (:class:`ProcessPoolAgent`, ``--processes``) forks one
+  executor *child process* per accepted connection, running the exact
+  local-backend worker loop (:func:`~repro.service.worker.service_worker_loop`)
+  behind the socket — a single agent then lends a whole multi-core host,
+  with per-connection isolation for free (a crashing request kills only
+  its own connection's child).  The handler still answers heartbeats
+  inline, so liveness stays fresh while a child grinds.
+
+**Authentication**: with a shared token configured (``--token`` /
+``REPRO_AGENT_TOKEN``), every accepted connection must pass the HMAC
+challenge/response handshake (:mod:`repro.transport.auth`) before a
+single frame is dispatched; failures are rejected with a typed
+``AuthError`` response frame, never a bare close.
 
 .. warning:: **Trust boundary.**  The wire protocol carries pickle
-   payloads and includes operational ops (``crash``, ``sleep``), so
-   anyone who can connect to an agent can execute arbitrary code in its
-   process — the same trust model as ``multiprocessing`` itself, now
-   stretched over a socket.  Bind agents to loopback or a private
-   network you control (a service mesh, an SSH tunnel, a VPN); never
-   expose the port to untrusted peers.  Authentication/TLS is a
-   deliberate non-goal of this layer and belongs in front of it.
+   payloads and includes operational ops (``crash``, ``sleep``), so any
+   *authenticated* peer can execute arbitrary code in the agent (or its
+   executor children) — the same trust model as ``multiprocessing``
+   itself, stretched over a socket.  The shared token keeps
+   unauthenticated peers out, but it does not encrypt the stream: still
+   bind agents to loopback or a private network you control (a service
+   mesh, an SSH tunnel, a VPN) rather than the open internet.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import socket
 import sys
 import threading
+import time
 from collections import deque
 from typing import Callable
 
 from repro.errors import ServiceError
+from repro.transport.auth import resolve_token, server_handshake
 from repro.transport.base import Listener
 from repro.transport.frames import (
     DEFAULT_CODEC,
@@ -53,6 +71,7 @@ from repro.transport.frames import (
     Codec,
     Request,
     Response,
+    encode_frame,
     encode_response_with_fallback,
     read_frame,
 )
@@ -75,7 +94,11 @@ class WorkerAgent(Listener):
 
     ``port=0`` binds an ephemeral port (read :attr:`address` after
     :meth:`start`).  ``executor_factory`` builds the per-connection
-    request executor; it defaults to the monitor service's.
+    request executor; it defaults to the monitor service's.  ``token``
+    gates connections behind the shared-token handshake (``None``
+    resolves ``REPRO_AGENT_TOKEN``; empty string disables).
+    ``processes=True`` forks one executor child per connection instead
+    of running it on an agent thread (see :class:`ProcessPoolAgent`).
     """
 
     def __init__(
@@ -84,15 +107,19 @@ class WorkerAgent(Listener):
         port: int = 0,
         codec: Codec = DEFAULT_CODEC,
         executor_factory: Callable | None = None,
+        token: str | None = None,
+        processes: bool = False,
     ) -> None:
         self._host = host
         self._port = port
         self._codec = codec
         self._executor_factory = executor_factory or _default_executor_factory()
+        self._token = resolve_token(token)
+        self._processes = processes
         self._sock: socket.socket | None = None
         self._closed = False
         self._lock = threading.Lock()
-        self._handlers: list[_ConnectionHandler] = []
+        self._handlers: list = []
         self._accept_thread: threading.Thread | None = None
 
     @property
@@ -106,6 +133,16 @@ class WorkerAgent(Listener):
         if self._sock is None:
             raise ServiceError("worker agent is not listening yet")
         return self._port
+
+    @property
+    def authenticated(self) -> bool:
+        """True when a shared token gates this agent's connections."""
+        return self._token is not None
+
+    def active_connections(self) -> int:
+        """Currently served peer connections (drain/ops signal)."""
+        with self._lock:
+            return sum(1 for handler in self._handlers if handler.running)
 
     def start(self) -> None:
         if self._sock is not None:
@@ -126,6 +163,22 @@ class WorkerAgent(Listener):
             target=self._accept_loop, name=f"worker-agent-{self._port}", daemon=True
         )
         self._accept_thread.start()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for every live peer connection to finish (graceful leave).
+
+        Used by the SIGTERM path after the registry leave is announced:
+        services react to the leave by migrating sessions off and
+        closing their connections, which this call observes as handlers
+        winding down.  Returns True when the agent is idle, False when
+        the deadline passed with peers still attached.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        while self.active_connections() > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.05)
+        return True
 
     def close(self) -> None:
         """Stop accepting, drop live peers (connects are then refused)."""
@@ -158,9 +211,14 @@ class WorkerAgent(Listener):
             except OSError:
                 return  # listener closed
             client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            handler = _ConnectionHandler(
-                client, peer, self._codec, self._executor_factory()
-            )
+            if self._processes:
+                handler = _ProcessConnectionHandler(
+                    client, peer, self._codec, self._token
+                )
+            else:
+                handler = _ConnectionHandler(
+                    client, peer, self._codec, self._executor_factory(), self._token
+                )
             with self._lock:
                 if self._closed:
                     handler.stop()
@@ -170,14 +228,35 @@ class WorkerAgent(Listener):
             handler.start()
 
 
+class ProcessPoolAgent(WorkerAgent):
+    """A worker agent that forks one executor process per connection.
+
+    One ``ProcessPoolAgent`` lends a whole multi-core host to the pool:
+    a service that opens N connections to it gets N *processes*, not N
+    GIL-sharing threads, so ``endpoints=["tcp://host:7701"] * cores``
+    scales like one agent-per-core used to — with one listener to
+    deploy, register, and authenticate.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: Codec = DEFAULT_CODEC,
+        token: str | None = None,
+    ) -> None:
+        super().__init__(host, port, codec=codec, token=token, processes=True)
+
+
 class _ConnectionHandler:
     """One accepted peer: reader thread + executor thread + write lock."""
 
-    def __init__(self, sock, peer, codec: Codec, executor) -> None:
+    def __init__(self, sock, peer, codec: Codec, executor, token: str | None = None) -> None:
         self._sock = sock
         self._peer = peer
         self._codec = codec
         self._executor = executor
+        self._token = token
         self._write_lock = threading.Lock()
         self._pending: deque[Request] = deque()
         self._wakeup = threading.Condition()
@@ -200,6 +279,12 @@ class _ConnectionHandler:
 
     def stop(self) -> None:
         self._stopped = True
+        # Shutdown before close: close() alone does not wake a reader
+        # blocked in recv (the file description stays open in-kernel).
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:
@@ -208,6 +293,15 @@ class _ConnectionHandler:
             self._wakeup.notify_all()
 
     def _read_loop(self) -> None:
+        # Gate: nothing is dispatched until the peer authenticates.  The
+        # tokenless leniency hands back the peer's first regular frame.
+        try:
+            leftover = server_handshake(self._sock, self._codec, self._token)
+        except (ServiceError, OSError):
+            self.stop()
+            return
+        if leftover is not None:
+            self._ingest(leftover)
         while not self._stopped:
             try:
                 frame = read_frame(self._sock, self._codec)
@@ -215,21 +309,22 @@ class _ConnectionHandler:
                 frame = None
             if frame is None:  # peer gone/unusable: discard this worker's state
                 break
-            if not isinstance(frame, Request):
-                continue
-            if frame.request_id == HEARTBEAT_ID:
-                # Answered here, not in the executor: a pong must not
-                # queue behind a long monitor task or liveness would
-                # false-positive on a merely busy worker.
-                self._send(
-                    Response(HEARTBEAT_ID, "pong", None, self._executor.pid)
-                )
-                continue
-            with self._wakeup:
-                if self._executor.ingest(frame):
-                    self._pending.append(frame)
-                self._wakeup.notify_all()
+            self._ingest(frame)
         self.stop()
+
+    def _ingest(self, frame) -> None:
+        if not isinstance(frame, Request):
+            return
+        if frame.request_id == HEARTBEAT_ID:
+            # Answered here, not in the executor: a pong must not
+            # queue behind a long monitor task or liveness would
+            # false-positive on a merely busy worker.
+            self._send(Response(HEARTBEAT_ID, "pong", None, self._executor.pid))
+            return
+        with self._wakeup:
+            if self._executor.ingest(frame):
+                self._pending.append(frame)
+            self._wakeup.notify_all()
 
     def _run_loop(self) -> None:
         while True:
@@ -254,6 +349,168 @@ class _ConnectionHandler:
         return True
 
 
+class _ProcessConnectionHandler:
+    """One accepted peer backed by a forked executor child process.
+
+    The child runs :func:`~repro.service.worker.service_worker_loop` —
+    the exact local-backend worker body — over a private inbox queue and
+    response pipe, so thread mode and process mode stay behaviourally
+    identical by construction.  The handler is a frame pump:
+
+    * reader thread: socket frames → heartbeats answered inline (a pong
+      must never wait on a busy child), everything else re-framed into
+      the child's inbox (``drop`` control frames included — the worker
+      loop's opportunistic drain gives them overtaking semantics);
+    * pump thread: response frames off the child's pipe → socket,
+      verbatim (the child already framed them).
+
+    Child death (a ``crash`` op, an OOM kill) surfaces as pipe EOF; the
+    handler then drops the socket so the service sees the standard
+    peer-loss signal and runs its recovery path.
+    """
+
+    def __init__(self, sock, peer, codec: Codec, token: str | None = None) -> None:
+        self._sock = sock
+        self._peer = peer
+        self._codec = codec
+        self._token = token
+        self._write_lock = threading.Lock()
+        self._stopped = False
+        self._stop_lock = threading.Lock()
+        self._process = None
+        self._inbox = None
+        self._pipe = None
+        self._name = f"agent-child-{peer[0]}:{peer[1]}"
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"{self._name}-reader", daemon=True
+        )
+        self._pump: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        self._reader.start()
+
+    def stop(self) -> None:
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        # Shutdown before close: close() alone does not wake a reader
+        # blocked in recv (the file description stays open in-kernel).
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        process, inbox = self._process, self._inbox
+        if inbox is not None:
+            try:
+                inbox.put(None)  # FIFO sentinel: backlog drains, then exit
+            except Exception:  # noqa: BLE001 — queue already broken
+                pass
+        if process is not None:
+            process.join(2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        if inbox is not None:
+            inbox.close()
+
+    def _spawn_child(self) -> bool:
+        """Fork the executor child (post-auth only: no token, no fork)."""
+        import multiprocessing
+
+        from repro.service.worker import service_worker_loop
+
+        ctx = multiprocessing.get_context()
+        self._inbox = ctx.Queue()
+        reader, writer = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=service_worker_loop,
+            args=(self._inbox, writer, self._codec),
+            daemon=True,
+            name=self._name,
+        )
+        try:
+            process.start()
+        except Exception:  # noqa: BLE001 — fork/spawn failure: drop the peer
+            return False
+        writer.close()  # child keeps its copy; EOF then tracks its life
+        self._process = process
+        self._pipe = reader
+        self._pump = threading.Thread(
+            target=self._pump_loop, name=f"{self._name}-pump", daemon=True
+        )
+        self._pump.start()
+        return True
+
+    def _read_loop(self) -> None:
+        try:
+            leftover = server_handshake(self._sock, self._codec, self._token)
+        except (ServiceError, OSError):
+            self.stop()
+            return
+        if not self._spawn_child():
+            self.stop()
+            return
+        if leftover is not None:
+            self._ingest(leftover)
+        while not self._stopped:
+            try:
+                frame = read_frame(self._sock, self._codec)
+            except Exception:  # noqa: BLE001 — broken stream or undecodable frame
+                frame = None
+            if frame is None:
+                break
+            self._ingest(frame)
+        self.stop()
+
+    def _ingest(self, frame) -> None:
+        if not isinstance(frame, Request):
+            return
+        if frame.request_id == HEARTBEAT_ID:
+            self._send_raw(
+                encode_frame(
+                    Response(HEARTBEAT_ID, "pong", None, self._process.pid),
+                    self._codec,
+                )
+            )
+            return
+        try:
+            self._inbox.put(encode_frame(frame, self._codec))
+        except Exception:  # noqa: BLE001 — child/queue gone: drop the peer
+            self.stop()
+
+    def _pump_loop(self) -> None:
+        while True:
+            try:
+                frame = self._pipe.recv_bytes()
+            except (EOFError, OSError):
+                break  # child exited (or was killed): peer loss for the client
+            if not self._send_raw(frame):
+                break
+        try:
+            self._pipe.close()
+        except OSError:
+            pass
+        self.stop()
+
+    def _send_raw(self, frame: bytes) -> bool:
+        try:
+            with self._write_lock:
+                self._sock.sendall(frame)
+        except OSError:
+            self.stop()
+            return False
+        return True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Host monitor-service workers behind a TCP listener."
@@ -262,26 +519,109 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--port", type=int, default=0, help="bind port (0 picks an ephemeral one)"
     )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="shared auth token gating connections (default: REPRO_AGENT_TOKEN)",
+    )
+    parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="fork one executor process per connection (lend the whole host)",
+    )
+    parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="tcp://HOST:PORT",
+        help="announce this agent to a cluster registry (join on start, "
+        "deregister + drain on SIGTERM)",
+    )
+    parser.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST",
+        help="address to announce to the registry (default: --host, or "
+        "127.0.0.1 when bound to 0.0.0.0)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-leave bound: how long SIGTERM waits for services "
+        "to migrate sessions off before the agent exits",
+    )
     args = parser.parse_args(argv)
-    agent = WorkerAgent(args.host, args.port)
+    agent = WorkerAgent(
+        args.host, args.port, token=args.token, processes=args.processes
+    )
     agent.start()
-    print(f"{READY_PREFIX}{agent.address} (pid {os.getpid()})", flush=True)
+
+    # Install the handler before announcing readiness anywhere (ready
+    # line, registry join): a spawner may SIGTERM the moment it learns
+    # the agent exists, and that must already mean "graceful leave".
+    stop = threading.Event()
+
+    def _graceful(_signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+
+    registry_client = None
+    if args.registry is not None:
+        from repro.cluster import RegistryClient  # lazy: cluster imports transport
+
+        advertise_host = args.advertise or args.host
+        if advertise_host in ("0.0.0.0", "::"):
+            advertise_host = "127.0.0.1"
+        registry_client = RegistryClient.connect(args.registry, token=args.token)
+        registry_client.register(
+            f"tcp://{advertise_host}:{agent.port}",
+            kind="process" if args.processes else "thread",
+        )
+
+    mode = "process-pool" if args.processes else "thread"
+    auth = "token-auth" if agent.authenticated else "no-auth"
+    print(
+        f"{READY_PREFIX}{agent.address} (pid {os.getpid()}, {mode}, {auth})",
+        flush=True,
+    )
+
     try:
-        threading.Event().wait()  # serve until killed
+        stop.wait()  # serve until SIGTERM (or KeyboardInterrupt)
     except KeyboardInterrupt:
         pass
     finally:
+        # Graceful leave: announce first (services start draining), wait
+        # for them to detach, then stop serving.  A second SIGTERM during
+        # the drain is harmless (the event is already set).
+        if registry_client is not None:
+            try:
+                registry_client.leave()
+            except Exception:  # noqa: BLE001 — registry may already be gone
+                pass
+        agent.drain(args.drain_timeout)
+        if registry_client is not None:
+            registry_client.close()
         agent.close()
     return 0
 
 
-def spawn_agent(host: str = "127.0.0.1", port: int = 0):
+def spawn_agent(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    token: str | None = None,
+    processes: bool = False,
+    registry: str | None = None,
+):
     """Start a worker agent in a fresh OS process; returns ``(popen, host, port)``.
 
     The helper behind the TCP examples and smoke tests: runs
     ``python -m repro.transport.agent``, waits for the ready line, and
     parses the bound port from it.  The caller owns the process
-    (``popen.kill()`` to simulate a host loss, ``terminate()`` to stop).
+    (``popen.kill()`` to simulate a host loss, ``terminate()`` for a
+    graceful SIGTERM leave).  ``token``/``processes``/``registry`` pass
+    through to the agent's flags.
     """
     import subprocess
 
@@ -290,21 +630,23 @@ def spawn_agent(host: str = "127.0.0.1", port: int = 0):
     env["PYTHONPATH"] = os.pathsep.join(
         [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
-    popen = subprocess.Popen(
-        [
-            sys.executable,
-            "-c",
-            "from repro.transport.agent import main; raise SystemExit(main())",
-            # argparse reads sys.argv[1:], which -c leaves intact:
-            "--host",
-            host,
-            "--port",
-            str(port),
-        ],
-        stdout=subprocess.PIPE,
-        env=env,
-        text=True,
-    )
+    argv = [
+        sys.executable,
+        "-c",
+        "from repro.transport.agent import main; raise SystemExit(main())",
+        # argparse reads sys.argv[1:], which -c leaves intact:
+        "--host",
+        host,
+        "--port",
+        str(port),
+    ]
+    if token is not None:
+        argv += ["--token", token]
+    if processes:
+        argv.append("--processes")
+    if registry is not None:
+        argv += ["--registry", registry]
+    popen = subprocess.Popen(argv, stdout=subprocess.PIPE, env=env, text=True)
     line = popen.stdout.readline()
     if not line.startswith(READY_PREFIX):
         popen.kill()

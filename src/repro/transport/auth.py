@@ -1,0 +1,233 @@
+"""Shared-token authentication for networked transport peers.
+
+The TCP surface used to trust its network outright: anyone who could
+reach a :class:`~repro.transport.agent.WorkerAgent` port could execute
+arbitrary code in the agent process (the frames carry pickle payloads
+and operational ops).  This module gates every networked connection —
+worker agents *and* the cluster registry — behind an HMAC
+challenge/response handshake keyed on a shared token:
+
+* the **server** (agent/registry) sends a one-time nonce as the very
+  first frame after accept (``auth_challenge``);
+* the **client** answers with ``HMAC-SHA256(token, nonce)``
+  (``auth_response``) before any other frame;
+* the server verifies the digest and acknowledges (or rejects with a
+  **typed error frame** — a :class:`~repro.transport.frames.Response`
+  carrying an ``AuthError: ...`` string — never a bare socket close, so
+  the client can surface a clear :class:`~repro.errors.ServiceError`
+  naming the endpoint).
+
+Only after the acknowledgement does the server dispatch frames to its
+executor: an unauthenticated peer is rejected *before* any payload it
+sent is unpickled or executed.  The handshake runs even when no token is
+configured (the server then accepts any digest), so the greeting doubles
+as a protocol check; a token on either side makes it enforcing.
+
+The token comes from an explicit ``token=`` argument or the
+:data:`TOKEN_ENV_VAR` environment variable (``REPRO_AGENT_TOKEN``) —
+the same resolution on both sides, so a fleet exported one env var is a
+cluster.  The handshake authenticates and replay-protects connection
+*establishment*; it does not encrypt the stream.  Confidentiality and
+tamper-proofing still require a private network or a TLS/SSH tunnel in
+front (see the trust-boundary note in :mod:`repro.transport.agent`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import secrets
+import socket
+
+from repro.errors import ServiceError
+from repro.transport.frames import (
+    AUTH_ID,
+    DEFAULT_CODEC,
+    Codec,
+    Request,
+    Response,
+    read_frame,
+    write_frame,
+)
+
+#: Environment variable both sides resolve a missing ``token=`` from.
+TOKEN_ENV_VAR = "REPRO_AGENT_TOKEN"
+
+#: Handshake frame ops (ride on the reserved :data:`~repro.transport.frames.AUTH_ID`).
+AUTH_CHALLENGE_OP = "auth_challenge"
+AUTH_RESPONSE_OP = "auth_response"
+
+#: Payload of the server's acknowledgement response.
+AUTH_OK = "authenticated"
+
+#: Prefix of every typed rejection (the conformance suite keys on it).
+AUTH_ERROR_PREFIX = "AuthError"
+
+#: Bound on the whole handshake: a silent or hostile peer must release
+#: the server's handler (and the client's connect) instead of parking it.
+HANDSHAKE_TIMEOUT = 10.0
+
+
+def resolve_token(token: str | None) -> str | None:
+    """Normalize a token argument: explicit value, else the environment.
+
+    An explicit empty string *disables* auth even when the environment
+    variable is set (the escape hatch for loopback tooling); ``None``
+    defers to :data:`TOKEN_ENV_VAR`.
+    """
+    if token is not None:
+        return token or None
+    return os.environ.get(TOKEN_ENV_VAR) or None
+
+
+def auth_digest(token: str, nonce: str) -> str:
+    """The challenge answer: hex HMAC-SHA256 of the nonce under the token."""
+    return hmac.new(token.encode(), nonce.encode(), hashlib.sha256).hexdigest()
+
+
+def server_handshake(
+    sock: socket.socket,
+    codec: Codec = DEFAULT_CODEC,
+    token: str | None = None,
+    timeout: float = HANDSHAKE_TIMEOUT,
+) -> object | None:
+    """Run the server half of the handshake on a just-accepted socket.
+
+    Sends the challenge, reads the peer's first frame, and verifies.
+    Returns ``None`` on success.  On failure the typed rejection frame
+    is written (best-effort) and :class:`~repro.errors.ServiceError`
+    is raised — the caller must drop the connection without dispatching
+    anything the peer sent.
+
+    One leniency, for tokenless servers only: a peer whose first frame
+    is a regular request (not an ``auth_response``) is accepted and that
+    frame is **returned** so the caller can process it — an
+    unauthenticated deployment keeps working with any frame-speaking
+    client.  With a token configured the first frame *must* be the auth
+    response; anything else is rejected before dispatch.
+    """
+    nonce = secrets.token_hex(16)
+    previous_timeout = sock.gettimeout()
+    sock.settimeout(timeout)
+    try:
+        write_frame(
+            sock,
+            Request(
+                AUTH_ID,
+                AUTH_CHALLENGE_OP,
+                {"nonce": nonce, "required": token is not None},
+            ),
+            codec,
+        )
+        try:
+            frame = read_frame(sock, codec)
+        except (ServiceError, OSError) as exc:
+            raise ServiceError(f"auth handshake failed: {exc}") from exc
+        if frame is None:
+            raise ServiceError("peer closed during the auth handshake")
+        is_auth_response = (
+            isinstance(frame, Request)
+            and frame.request_id == AUTH_ID
+            and frame.op == AUTH_RESPONSE_OP
+        )
+        if not is_auth_response:
+            if token is None:
+                return frame  # tokenless leniency: first real frame
+            _reject(
+                sock,
+                codec,
+                f"{AUTH_ERROR_PREFIX}: this endpoint requires a shared "
+                f"auth token (configure token=/{TOKEN_ENV_VAR} on the client)",
+            )
+            raise ServiceError("unauthenticated peer rejected (no auth response)")
+        digest = frame.payload
+        if token is not None and (
+            not isinstance(digest, str)
+            or not hmac.compare_digest(digest, auth_digest(token, nonce))
+        ):
+            _reject(
+                sock,
+                codec,
+                f"{AUTH_ERROR_PREFIX}: shared-token digest mismatch "
+                f"(wrong or missing token)",
+            )
+            raise ServiceError("peer failed the shared-token challenge")
+        write_frame(sock, Response(AUTH_ID, AUTH_OK, None), codec)
+        return None
+    finally:
+        sock.settimeout(previous_timeout)
+
+
+def _reject(sock: socket.socket, codec: Codec, error: str) -> None:
+    """Ship the typed rejection; best-effort (the peer may be gone)."""
+    try:
+        write_frame(sock, Response(AUTH_ID, None, error), codec)
+    except (ServiceError, OSError):
+        pass
+
+
+def client_handshake(
+    sock: socket.socket,
+    codec: Codec = DEFAULT_CODEC,
+    token: str | None = None,
+    endpoint: str = "peer",
+    timeout: float = HANDSHAKE_TIMEOUT,
+) -> None:
+    """Run the client half on a just-connected socket.
+
+    Reads the server's challenge, answers it, and waits for the
+    acknowledgement.  Raises :class:`~repro.errors.ServiceError` naming
+    ``endpoint`` on any rejection or protocol mismatch — including the
+    server's typed ``AuthError`` frame, which arrives here verbatim.
+    """
+    previous_timeout = sock.gettimeout()
+    sock.settimeout(timeout)
+    try:
+        try:
+            frame = read_frame(sock, codec)
+        except (ServiceError, OSError) as exc:
+            raise ServiceError(
+                f"auth handshake with {endpoint} failed: {exc}"
+            ) from exc
+        if frame is None:
+            raise ServiceError(f"{endpoint} closed during the auth handshake")
+        if not (
+            isinstance(frame, Request)
+            and frame.request_id == AUTH_ID
+            and frame.op == AUTH_CHALLENGE_OP
+            and isinstance(frame.payload, dict)
+            and isinstance(frame.payload.get("nonce"), str)
+        ):
+            raise ServiceError(
+                f"{endpoint} did not open with an auth challenge "
+                f"(not a transport peer, or a cross-version one?)"
+            )
+        required = bool(frame.payload.get("required"))
+        if required and token is None:
+            raise ServiceError(
+                f"worker endpoint {endpoint} requires a shared auth token: "
+                f"pass token=... or set {TOKEN_ENV_VAR}"
+            )
+        write_frame(
+            sock,
+            Request(AUTH_ID, AUTH_RESPONSE_OP, auth_digest(token or "", frame.payload["nonce"])),
+            codec,
+        )
+        try:
+            reply = read_frame(sock, codec)
+        except (ServiceError, OSError) as exc:
+            raise ServiceError(
+                f"auth handshake with {endpoint} failed: {exc}"
+            ) from exc
+        if reply is None:
+            raise ServiceError(
+                f"{endpoint} closed during the auth handshake "
+                f"(rejected without a typed error frame?)"
+            )
+        if not (isinstance(reply, Response) and reply.request_id == AUTH_ID):
+            raise ServiceError(f"{endpoint} answered the handshake with protocol noise")
+        if reply.error is not None:
+            raise ServiceError(f"authentication rejected by {endpoint}: {reply.error}")
+    finally:
+        sock.settimeout(previous_timeout)

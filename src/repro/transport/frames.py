@@ -53,6 +53,18 @@ HEARTBEAT_ID = -1
 #: Reserved request id for fire-and-forget control frames (no response).
 CONTROL_ID = -2
 
+#: Reserved request id for the connection-open auth handshake (see
+#: :mod:`repro.transport.auth`): the challenge, its answer, and the
+#: server's acknowledgement (or typed ``AuthError`` rejection) all ride
+#: on this id, strictly before any other frame is dispatched.
+AUTH_ID = -3
+
+#: Reserved request id for unsolicited cluster-membership events pushed
+#: by the :class:`~repro.cluster.ClusterRegistry` to its subscribers.
+#: Never resolved to a future — subscribers route it to their event
+#: callback instead.
+REGISTRY_EVENT_ID = -4
+
 #: Session-migration ops (see the frame-op table in DESIGN.md): snapshot
 #: serializes one live session's full monitor state off its worker;
 #: restore rehydrates that state under the same session id on another.
@@ -117,8 +129,14 @@ FRAME_VERSION = 1
 #: freely on one connection.
 FRAME_VERSION_PACKED = 2
 
+#: Frame version for struct-packed fixed-shape session calls
+#: (``session_advance`` / ``session_poll``) — with observe these cover
+#: the entire per-event hot loop of a live session, so a feeding client
+#: runs pickle-free on the wire between checkpoints.
+FRAME_VERSION_PACKED_CALL = 3
+
 #: Versions this side understands on receive.
-KNOWN_FRAME_VERSIONS = (FRAME_VERSION, FRAME_VERSION_PACKED)
+KNOWN_FRAME_VERSIONS = (FRAME_VERSION, FRAME_VERSION_PACKED, FRAME_VERSION_PACKED_CALL)
 
 #: Sanity bound: a length prefix beyond this is treated as a corrupt or
 #: hostile stream, not an allocation request.
@@ -300,6 +318,68 @@ def pack_observe_request(request: "Request") -> bytes | None:
     return b"".join(out)
 
 
+# -- packed fixed-shape session calls (advance / poll) -------------------------------
+
+#: Ops whose requests take the :data:`FRAME_VERSION_PACKED_CALL` path.
+ADVANCE_OP = "session_advance"
+POLL_OP = "session_poll"
+
+#: opcode (1 = advance, 2 = poll), request_id, session_id, argument
+#: (the advance boundary; zero-padded for poll).
+_PACK_CALL = struct.Struct(">Bqqq")
+_CALL_ADVANCE = 1
+_CALL_POLL = 2
+
+
+def pack_call_request(request: "Request") -> bytes | None:
+    """Struct-pack a ``session_advance``/``session_poll`` request, or ``None``.
+
+    Same contract as :func:`pack_observe_request`: strictly shape-checked
+    (exact payload tuples of in-range ints), anything else returns
+    ``None`` and takes the pickle path.  Both calls fit one fixed 25-byte
+    struct, so the entire frame is a single C-level pack.
+    """
+    if type(request.request_id) is not int or not (
+        _INT64_MIN <= request.request_id <= _INT64_MAX
+    ):
+        return None
+    payload = request.payload
+    if request.op == ADVANCE_OP:
+        if type(payload) is not tuple or len(payload) != 2:
+            return None
+        session_id, boundary = payload
+        if (
+            type(session_id) is not int
+            or type(boundary) is not int
+            or not _INT64_MIN <= session_id <= _INT64_MAX
+            or not _INT64_MIN <= boundary <= _INT64_MAX
+        ):
+            return None
+        return _PACK_CALL.pack(_CALL_ADVANCE, request.request_id, session_id, boundary)
+    if request.op == POLL_OP:
+        if type(payload) is not tuple or len(payload) != 1:
+            return None
+        (session_id,) = payload
+        if type(session_id) is not int or not _INT64_MIN <= session_id <= _INT64_MAX:
+            return None
+        return _PACK_CALL.pack(_CALL_POLL, request.request_id, session_id, 0)
+    return None
+
+
+def unpack_call_request(payload: bytes) -> "Request":
+    """Decode a :data:`FRAME_VERSION_PACKED_CALL` payload back into a request."""
+    if len(payload) != _PACK_CALL.size:
+        raise ServiceError(
+            f"packed call frame is {len(payload)} bytes, expected {_PACK_CALL.size}"
+        )
+    opcode, request_id, session_id, argument = _PACK_CALL.unpack(payload)
+    if opcode == _CALL_ADVANCE:
+        return Request(request_id, ADVANCE_OP, (session_id, argument))
+    if opcode == _CALL_POLL:
+        return Request(request_id, POLL_OP, (session_id,))
+    raise ServiceError(f"packed call frame has unknown opcode {opcode}")
+
+
 def unpack_observe_request(payload: bytes) -> "Request":
     """Decode a :data:`FRAME_VERSION_PACKED` payload back into a request."""
     try:
@@ -367,26 +447,34 @@ def encode_frame(obj: Any, codec: Codec = DEFAULT_CODEC) -> bytes:
     """Serialize one frame: versioned header + payload.
 
     ``session_observe`` requests take the struct-packed fast path (frame
-    version :data:`FRAME_VERSION_PACKED`); everything else goes through
+    version :data:`FRAME_VERSION_PACKED`), ``session_advance`` and
+    ``session_poll`` the fixed-shape one
+    (:data:`FRAME_VERSION_PACKED_CALL`); everything else goes through
     the codec under :data:`FRAME_VERSION`.
     """
-    if (
-        PACK_OBSERVE_BATCHES
-        and codec is DEFAULT_CODEC
-        and type(obj) is Request
-        and obj.op == OBSERVE_OP
-    ):
+    if PACK_OBSERVE_BATCHES and codec is DEFAULT_CODEC and type(obj) is Request:
         # Only beside the stock pickle codec: a custom codec (compressing,
         # encrypting, cross-language) must see every payload, per the
         # codec contract above.
-        payload = pack_observe_request(obj)
-        if payload is not None:
-            if len(payload) > MAX_FRAME_BYTES:
-                raise ServiceError(
-                    f"frame payload of {len(payload)} bytes exceeds the "
-                    f"{MAX_FRAME_BYTES}-byte frame limit"
+        if obj.op == OBSERVE_OP:
+            payload = pack_observe_request(obj)
+            if payload is not None:
+                if len(payload) > MAX_FRAME_BYTES:
+                    raise ServiceError(
+                        f"frame payload of {len(payload)} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte frame limit"
+                    )
+                return (
+                    _HEADER.pack(FRAME_MAGIC, FRAME_VERSION_PACKED, len(payload))
+                    + payload
                 )
-            return _HEADER.pack(FRAME_MAGIC, FRAME_VERSION_PACKED, len(payload)) + payload
+        elif obj.op in (ADVANCE_OP, POLL_OP):
+            payload = pack_call_request(obj)
+            if payload is not None:
+                return (
+                    _HEADER.pack(FRAME_MAGIC, FRAME_VERSION_PACKED_CALL, len(payload))
+                    + payload
+                )
     payload = codec.encode(obj)
     if len(payload) > MAX_FRAME_BYTES:
         raise ServiceError(
@@ -449,6 +537,8 @@ def decode_header(header: bytes) -> int:
 def _decode_payload(version: int, payload: bytes, codec: Codec) -> Any:
     if version == FRAME_VERSION_PACKED:
         return unpack_observe_request(payload)
+    if version == FRAME_VERSION_PACKED_CALL:
+        return unpack_call_request(payload)
     return codec.decode(payload)
 
 

@@ -31,6 +31,7 @@ import threading
 import time
 
 from repro.errors import ServiceError
+from repro.transport.auth import client_handshake, resolve_token
 from repro.transport.base import Connection, OnDisconnect, OnResponse, Transport
 from repro.transport.frames import (
     DEFAULT_CODEC,
@@ -62,7 +63,13 @@ def parse_address(spec: str) -> tuple[str, int]:
 
 
 class TcpTransport(Transport):
-    """Connects to one worker agent at ``host:port``."""
+    """Connects to one worker agent at ``host:port``.
+
+    ``token`` authenticates the connection against the agent's shared
+    token (HMAC challenge/response at open — see
+    :mod:`repro.transport.auth`); ``None`` resolves from
+    ``REPRO_AGENT_TOKEN``, the empty string disables auth explicitly.
+    """
 
     def __init__(
         self,
@@ -72,6 +79,7 @@ class TcpTransport(Transport):
         heartbeat_interval: float = HEARTBEAT_INTERVAL,
         liveness_timeout: float = LIVENESS_TIMEOUT,
         connect_timeout: float = 5.0,
+        token: str | None = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -79,6 +87,7 @@ class TcpTransport(Transport):
         self._heartbeat_interval = heartbeat_interval
         self._liveness_timeout = liveness_timeout
         self._connect_timeout = connect_timeout
+        self._token = resolve_token(token)
 
     def describe(self) -> str:
         return f"tcp://{self._host}:{self._port}"
@@ -94,6 +103,17 @@ class TcpTransport(Transport):
             ) from exc
         sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Authenticate before the connection machinery exists: the
+        # handshake owns the socket alone, so challenge/ack frames can
+        # never interleave with the reader or heartbeat threads.
+        try:
+            client_handshake(sock, self._codec, self._token, self.describe())
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
         return TcpConnection(
             self.describe(),
             sock,

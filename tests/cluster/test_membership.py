@@ -1,0 +1,293 @@
+"""Live pool membership: grow, drain, and churn without losing a verdict.
+
+Two layers under test.  The direct API
+(:meth:`~repro.service.MonitorService.add_endpoint` /
+:meth:`~repro.service.MonitorService.retire_endpoint`) must grow and
+drain a running pool with sessions live on it.  Wired through a
+:class:`~repro.cluster.ClusterRegistry`, the same operations must happen
+*by themselves* on membership events — join grows the pool, a graceful
+leave drains, a death trips the recovery bookkeeping — and a workload
+riding through the churn must finish with verdicts bit-identical to an
+uninterrupted in-process replay, with every outstanding counter settled.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.monitor.online import OnlineMonitor
+from repro.mtl import parse
+from repro.service import MonitorService
+from repro.transport.agent import spawn_agent
+
+SPEC = parse("a U[0,60) b")
+EPSILON = 2
+TOKEN = "membership-secret"
+TICKS = 24
+SESSIONS = 4
+
+
+def _stream(seed: int) -> list:
+    """One deterministic multi-segment stream: (op, args) feed script."""
+    rng = random.Random(seed)
+    script = []
+    for t in range(1, TICKS + 1):
+        props = {"a"} if rng.random() < 0.8 else {"a", "b"}
+        script.append(("observe", ("P1", t, props)))
+        if (t + seed) % 5 == 0:
+            script.append(
+                ("observe", ("P2", t, {"b"} if (t + seed) % 10 == 0 else set()))
+            )
+        if t % 6 == 0:
+            script.append(("advance", (t,)))
+    return script
+
+
+def _replay(target, script):
+    for op, args in script:
+        if op == "observe":
+            target.observe(*args)
+        else:
+            target.advance_to(*args)
+    return target.finish()
+
+
+def _reference_counts() -> dict:
+    return {
+        seed: _replay(OnlineMonitor(SPEC, epsilon=EPSILON), _stream(seed)).verdict_counts
+        for seed in range(SESSIONS)
+    }
+
+
+def _poll(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _live_count(service) -> int:
+    return sum(1 for dead in service.dead_endpoints() if not dead)
+
+
+class TestDirectMembershipApi:
+    def test_add_endpoint_joins_placement_immediately(self):
+        with MonitorService(workers=2) as service:
+            index = service.add_endpoint("local")
+            assert index == 2
+            assert len(service.endpoints()) == 3
+            assert service.outstanding() == [0, 0, 0]
+            assert service.dead_endpoints() == [False, False, False]
+            sessions = [
+                service.open_session(SPEC, epsilon=EPSILON) for _ in range(6)
+            ]
+            placed = {session.worker_index for session in sessions}
+            assert placed == {0, 1, 2}, f"new endpoint skipped: {placed}"
+            for session in sessions:
+                session.close()
+
+    def test_retire_endpoint_migrates_sessions_off(self):
+        with MonitorService(workers=3) as service:
+            handles = {
+                seed: service.open_session(SPEC, epsilon=EPSILON)
+                for seed in range(SESSIONS)
+            }
+            scripts = {seed: _stream(seed) for seed in handles}
+            # Feed the first half, retire a loaded endpoint mid-stream,
+            # feed the rest: verdicts must come out untouched.
+            half = TICKS // 2
+            for seed, handle in handles.items():
+                for op, args in scripts[seed]:
+                    when = args[1] if op == "observe" else args[0]
+                    if when > half:
+                        break  # the script is time-ordered
+                    if op == "observe":
+                        handle.observe(*args)
+                    else:
+                        handle.advance_to(*args)
+            victim = handles[0].worker_index
+            service.retire_endpoint(victim, timeout=20.0)
+            assert service.dead_endpoints()[victim] is True
+            service.retire_endpoint(victim)  # idempotent
+            for seed, handle in handles.items():
+                assert handle.worker_index != victim
+            migrated = sum(handle.migrations for handle in handles.values())
+            assert migrated >= 1
+            results = {}
+            for seed, handle in handles.items():
+                for op, args in scripts[seed]:
+                    when = args[1] if op == "observe" else args[0]
+                    if when <= half:
+                        continue
+                    if op == "observe":
+                        handle.observe(*args)
+                    else:
+                        handle.advance_to(*args)
+                results[seed] = handle.finish()
+            expected = _reference_counts()
+            for seed in handles:
+                assert results[seed].verdict_counts == expected[seed]
+            assert sum(handle.recoveries for handle in handles.values()) == 0
+
+    def test_retiring_the_last_live_endpoint_is_refused(self):
+        with MonitorService(workers=1) as service:
+            with pytest.raises(ServiceError, match="last"):
+                service.retire_endpoint(0)
+
+    def test_add_endpoint_after_close_refused(self):
+        service = MonitorService(workers=1)
+        service.close()
+        with pytest.raises(ServiceError, match="closed"):
+            service.add_endpoint("local")
+
+
+@pytest.fixture
+def registry_process():
+    from repro.cluster import spawn_registry
+
+    popen, host, port = spawn_registry(token=TOKEN)
+    try:
+        yield f"tcp://{host}:{port}"
+    finally:
+        popen.kill()
+        popen.wait(timeout=10)
+        popen.stdout.close()
+
+
+def _close_agent(agent) -> None:
+    popen, _, _ = agent
+    popen.kill()
+    popen.wait(timeout=10)
+    popen.stdout.close()
+
+
+class TestRegistryDrivenMembership:
+    def test_churn_join_leave_rejoin_bit_identical(self, registry_process):
+        """The tentpole scenario: an elastic-only pool discovers a
+        pre-registered agent, grows on a late join, drains a graceful
+        SIGTERM leave, and absorbs a rejoin on the *same address* — all
+        mid-workload, with verdicts bit-identical to an in-process
+        replay, zero recoveries, and settled counters."""
+        expected = _reference_counts()
+        agents = [spawn_agent(token=TOKEN, registry=registry_process)]
+        first_port = agents[0][2]
+        try:
+            with MonitorService(registry=registry_process, token=TOKEN) as service:
+                # The watch snapshot alone built the pool: no endpoint
+                # list, no workers= count anywhere.
+                assert len(service.endpoints()) == 1
+                handles = {
+                    seed: service.open_session(SPEC, epsilon=EPSILON)
+                    for seed in range(SESSIONS)
+                }
+                scripts = {seed: _stream(seed) for seed in handles}
+                cursors = {seed: 0 for seed in handles}
+
+                def feed_through(tick: int) -> None:
+                    for seed, handle in handles.items():
+                        script = scripts[seed]
+                        cursor = cursors[seed]
+                        while cursor < len(script):
+                            op, args = script[cursor]
+                            when = args[1] if op == "observe" else args[0]
+                            if when > tick:
+                                break
+                            if op == "observe":
+                                handle.observe(*args)
+                            else:
+                                handle.advance_to(*args)
+                            cursor += 1
+                        cursors[seed] = cursor
+
+                feed_through(6)
+                # Join: a second agent announces itself mid-workload.
+                agents.append(spawn_agent(token=TOKEN, registry=registry_process))
+                _poll(
+                    lambda: len(service.endpoints()) == 2,
+                    10.0,
+                    "the join to grow the pool",
+                )
+                feed_through(12)
+                # Graceful leave: SIGTERM → registry leave → drain.  The
+                # first agent hosted every session at open time, so the
+                # drain must migrate them (never recover them).
+                agents[0][0].terminate()
+                first = f"tcp://{agents[0][1]}:{first_port}"
+                _poll(
+                    lambda: service.dead_endpoints()[
+                        service.endpoints().index(first)
+                    ],
+                    20.0,
+                    "the leave to drain the first agent",
+                )
+                agents[0][0].wait(timeout=10)
+                feed_through(18)
+                # Rejoin: a fresh agent on the *same* address (the host
+                # came back).  The tombstoned slot stays dead; the rejoin
+                # must land in a new live slot.
+                agents.append(
+                    spawn_agent(
+                        port=first_port, token=TOKEN, registry=registry_process
+                    )
+                )
+                _poll(
+                    lambda: _live_count(service) == 2,
+                    10.0,
+                    "the rejoin to restore two live endpoints",
+                )
+                feed_through(TICKS)
+                results = {
+                    seed: handle.finish() for seed, handle in handles.items()
+                }
+                for seed in handles:
+                    assert results[seed].verdict_counts == expected[seed], (
+                        f"stream {seed} diverged through the churn"
+                    )
+                assert sum(h.recoveries for h in handles.values()) == 0
+                assert sum(h.migrations for h in handles.values()) >= 1
+                _poll(
+                    lambda: not any(service.outstanding()),
+                    15.0,
+                    "outstanding counters to settle",
+                )
+        finally:
+            for agent in agents:
+                _close_agent(agent)
+
+    def test_death_event_marks_the_endpoint_dead(self, registry_process):
+        """A SIGKILLed agent's registry death event must trip the
+        service's recovery bookkeeping promptly (no waiting out the full
+        heartbeat silence), while work elsewhere rides on unharmed."""
+        agents = [
+            spawn_agent(token=TOKEN, registry=registry_process) for _ in range(2)
+        ]
+        try:
+            with MonitorService(registry=registry_process, token=TOKEN) as service:
+                assert len(service.endpoints()) == 2
+                session = service.open_session(SPEC, epsilon=EPSILON)
+                survivor_index = session.worker_index
+                victim_index = 1 - survivor_index
+                victim_address = service.endpoints()[victim_index]
+                victim = next(
+                    agent
+                    for agent in agents
+                    if f"tcp://{agent[1]}:{agent[2]}" == victim_address
+                )
+                victim[0].kill()
+                _poll(
+                    lambda: service.dead_endpoints()[victim_index],
+                    10.0,
+                    "the death event to mark the endpoint dead",
+                )
+                result = _replay(session, _stream(0))
+                assert result.verdict_counts == _reference_counts()[0]
+                assert session.recoveries == 0
+        finally:
+            for agent in agents:
+                _close_agent(agent)

@@ -1,0 +1,258 @@
+"""Cluster registry tests: leases, events, reaping, rejoin, auth.
+
+The contract (see :mod:`repro.cluster.registry`): a registration lives
+exactly as long as the TCP connection that made it; graceful leaves and
+deaths are distinct events; re-registering an address *moves* the lease
+so the old connection's loss cannot evict the fresh registration; the
+watch snapshot and the event subscription flip atomically; silent
+leaseholders are reaped, watchers never are; the shared-token handshake
+gates every connection.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterRegistry, RegistryClient
+from repro.cluster.registry import EVENT_DEATH, EVENT_JOIN, EVENT_LEAVE
+from repro.errors import ServiceError
+
+
+class Events:
+    """Thread-safe sink for pushed membership events."""
+
+    def __init__(self):
+        self.queue: "queue.Queue" = queue.Queue()
+
+    def __call__(self, event: dict) -> None:
+        self.queue.put(event)
+
+    def next(self, timeout: float = 5.0) -> dict:
+        return self.queue.get(timeout=timeout)
+
+    def empty_for(self, seconds: float) -> bool:
+        try:
+            unexpected = self.queue.get(timeout=seconds)
+        except queue.Empty:
+            return True
+        raise AssertionError(f"unexpected event: {unexpected}")
+
+
+@pytest.fixture
+def registry():
+    # token="" pins auth off even if REPRO_AGENT_TOKEN leaks into the
+    # environment; the short lease keeps the reaper tests fast.
+    with ClusterRegistry(token="", lease_timeout=1.0) as reg:
+        yield reg
+
+
+def _connect(reg, token="", **kwargs) -> RegistryClient:
+    kwargs.setdefault("heartbeat_interval", 0.2)
+    return RegistryClient.connect(reg.describe(), token=token, **kwargs)
+
+
+class TestRegisterLeave:
+    def test_register_shows_in_members(self, registry):
+        client = _connect(registry)
+        try:
+            client.register("tcp://worker:7701", kind="process")
+            assert client.members() == [
+                {"address": "tcp://worker:7701", "kind": "process"}
+            ]
+        finally:
+            client.close()
+
+    def test_leave_removes_and_notifies(self, registry):
+        events = Events()
+        watcher = _connect(registry, on_event=events)
+        agent = _connect(registry)
+        try:
+            assert watcher.watch() == []
+            agent.register("tcp://worker:7701")
+            assert events.next()["event"] == EVENT_JOIN
+            assert agent.leave() == ["tcp://worker:7701"]
+            event = events.next()
+            assert event["event"] == EVENT_LEAVE
+            assert event["address"] == "tcp://worker:7701"
+            assert watcher.members() == []
+        finally:
+            agent.close()
+            watcher.close()
+
+    def test_leave_of_one_address_keeps_the_rest(self, registry):
+        agent = _connect(registry)
+        try:
+            agent.register("tcp://worker:1")
+            agent.register("tcp://worker:2")
+            assert agent.leave("tcp://worker:1") == ["tcp://worker:1"]
+            assert [m["address"] for m in agent.members()] == ["tcp://worker:2"]
+        finally:
+            agent.close()
+
+    def test_bad_register_payload_is_a_typed_error(self, registry):
+        client = _connect(registry)
+        try:
+            with pytest.raises(ServiceError, match="address"):
+                client.call("registry_register", {"no": "address"})
+        finally:
+            client.close()
+
+    def test_unknown_op_is_a_typed_error(self, registry):
+        client = _connect(registry)
+        try:
+            with pytest.raises(ServiceError, match="unknown registry op"):
+                client.call("registry_frobnicate", None)
+        finally:
+            client.close()
+
+
+class TestWatch:
+    def test_snapshot_then_events(self, registry):
+        pre = _connect(registry)
+        events = Events()
+        watcher = _connect(registry, on_event=events)
+        late = _connect(registry)
+        try:
+            pre.register("tcp://worker:1")
+            snapshot = watcher.watch()
+            assert snapshot == [{"address": "tcp://worker:1", "kind": "thread"}]
+            late.register("tcp://worker:2")
+            event = events.next()
+            assert event["event"] == EVENT_JOIN
+            assert event["address"] == "tcp://worker:2"
+        finally:
+            late.close()
+            watcher.close()
+            pre.close()
+
+    def test_non_watchers_get_no_events(self, registry):
+        events = Events()
+        silent = _connect(registry, on_event=events)  # never calls watch()
+        agent = _connect(registry)
+        try:
+            agent.register("tcp://worker:1")
+            assert events.empty_for(0.5)
+        finally:
+            agent.close()
+            silent.close()
+
+
+class TestConnectionIsTheLease:
+    def test_abrupt_close_is_a_death(self, registry):
+        events = Events()
+        watcher = _connect(registry, on_event=events)
+        agent = _connect(registry)
+        watcher.watch()
+        agent.register("tcp://worker:1")
+        assert events.next()["event"] == EVENT_JOIN
+        try:
+            # Shutdown (not just close) so the FIN reaches the registry
+            # even while the client's reader still holds the fd.
+            agent._sock.shutdown(socket.SHUT_RDWR)
+            event = events.next()
+            assert event["event"] == EVENT_DEATH
+            assert event["address"] == "tcp://worker:1"
+            assert watcher.members() == []
+        finally:
+            agent.close()
+            watcher.close()
+
+    def test_rejoin_moves_the_lease(self, registry):
+        """A replacement registering the same address must survive the
+        old connection's loss (the rejoin-after-SIGKILL race)."""
+        events = Events()
+        watcher = _connect(registry, on_event=events)
+        old = _connect(registry)
+        replacement = _connect(registry)
+        watcher.watch()
+        old.register("tcp://worker:1")
+        assert events.next()["event"] == EVENT_JOIN
+        try:
+            replacement.register("tcp://worker:1")
+            event = events.next()
+            assert event["event"] == EVENT_JOIN and event.get("rejoin") is True
+            old._sock.shutdown(socket.SHUT_RDWR)
+            # The old lease moved: its loss must produce no death event
+            # and the fresh registration must stay.
+            assert events.empty_for(1.0)
+            assert [m["address"] for m in watcher.members()] == ["tcp://worker:1"]
+        finally:
+            replacement.close()
+            old.close()
+            watcher.close()
+
+    def test_silent_leaseholder_is_reaped(self, registry):
+        events = Events()
+        watcher = _connect(registry, on_event=events)
+        watcher.watch()
+        # A leaseholder that never heartbeats within the 1 s lease.
+        mute = _connect(registry, heartbeat_interval=60.0)
+        try:
+            mute.register("tcp://worker:1")
+            assert events.next()["event"] == EVENT_JOIN
+            event = events.next(timeout=5.0)
+            assert event["event"] == EVENT_DEATH
+            assert event["address"] == "tcp://worker:1"
+        finally:
+            mute.close()
+            watcher.close()
+
+    def test_watchers_are_exempt_from_the_reaper(self, registry):
+        """A busy service that misses heartbeats holds no lease and must
+        not be disconnected."""
+        idle_watcher = _connect(registry, heartbeat_interval=60.0)
+        try:
+            idle_watcher.watch()
+            time.sleep(2.5)  # well past the 1 s lease timeout
+            assert idle_watcher.members() == []  # still served
+        finally:
+            idle_watcher.close()
+
+
+class TestAuth:
+    def test_token_gated_registry_rejects_unauthenticated(self):
+        with ClusterRegistry(token="registry-secret") as reg:
+            with pytest.raises(ServiceError) as excinfo:
+                RegistryClient.connect(reg.describe(), token="")
+            assert reg.describe() in str(excinfo.value)
+
+    def test_wrong_token_rejected_with_typed_error(self):
+        with ClusterRegistry(token="registry-secret") as reg:
+            with pytest.raises(ServiceError, match="AuthError"):
+                RegistryClient.connect(reg.describe(), token="wrong")
+
+    def test_matching_token_serves(self):
+        with ClusterRegistry(token="registry-secret") as reg:
+            client = RegistryClient.connect(
+                reg.describe(), token="registry-secret", heartbeat_interval=0.2
+            )
+            try:
+                client.register("tcp://worker:1")
+                assert [m["address"] for m in client.members()] == ["tcp://worker:1"]
+            finally:
+                client.close()
+
+
+class TestClientLoss:
+    def test_on_lost_fires_when_registry_dies(self, registry):
+        lost = threading.Event()
+        client = _connect(registry, on_lost=lost.set)
+        try:
+            client.members()  # proven live first
+            registry.close()
+            assert lost.wait(timeout=5.0), "registry loss never surfaced"
+            with pytest.raises(ServiceError, match="unreachable|lost|closed"):
+                client.members()
+        finally:
+            client.close()
+
+    def test_calls_after_close_are_refused(self, registry):
+        client = _connect(registry)
+        client.close()
+        with pytest.raises(ServiceError, match="closed"):
+            client.members()

@@ -1,0 +1,271 @@
+"""Shared-token auth handshake: protocol unit tests + agent integration.
+
+The contract under test (see :mod:`repro.transport.auth`): every
+networked connection opens with an HMAC challenge/response before any
+other frame is dispatched; rejection is a *typed* error frame (never a
+bare close) so clients surface a :class:`~repro.errors.ServiceError`
+naming the endpoint; a tokenless server stays lenient so unauthenticated
+deployments keep working; an explicit empty token disables auth even
+when the environment variable is set.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.transport import Request, Response, TcpTransport
+from repro.transport.agent import WorkerAgent
+from repro.transport.auth import (
+    AUTH_ERROR_PREFIX,
+    AUTH_OK,
+    TOKEN_ENV_VAR,
+    auth_digest,
+    client_handshake,
+    resolve_token,
+    server_handshake,
+)
+from repro.transport.frames import AUTH_ID, read_frame, write_frame
+
+
+class TestResolveToken:
+    def test_explicit_token_wins(self, monkeypatch):
+        monkeypatch.setenv(TOKEN_ENV_VAR, "from-env")
+        assert resolve_token("explicit") == "explicit"
+
+    def test_none_defers_to_environment(self, monkeypatch):
+        monkeypatch.setenv(TOKEN_ENV_VAR, "from-env")
+        assert resolve_token(None) == "from-env"
+        monkeypatch.delenv(TOKEN_ENV_VAR)
+        assert resolve_token(None) is None
+
+    def test_empty_string_disables_even_with_env(self, monkeypatch):
+        monkeypatch.setenv(TOKEN_ENV_VAR, "from-env")
+        assert resolve_token("") is None
+
+    def test_empty_env_is_no_token(self, monkeypatch):
+        monkeypatch.setenv(TOKEN_ENV_VAR, "")
+        assert resolve_token(None) is None
+
+
+class TestDigest:
+    def test_deterministic_hex(self):
+        first = auth_digest("token", "nonce")
+        assert first == auth_digest("token", "nonce")
+        assert len(first) == 64 and int(first, 16) >= 0
+
+    def test_varies_with_token_and_nonce(self):
+        assert auth_digest("a", "n") != auth_digest("b", "n")
+        assert auth_digest("a", "n") != auth_digest("a", "m")
+
+
+def _run_handshake(server_token, client_token, endpoint="tcp://peer:7"):
+    """Drive both halves over a socketpair; returns the server outcome."""
+    server_sock, client_sock = socket.socketpair()
+    outcome: dict = {}
+
+    def server():
+        try:
+            outcome["leftover"] = server_handshake(
+                server_sock, token=server_token, timeout=5.0
+            )
+        except ServiceError as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=server)
+    thread.start()
+    try:
+        client_handshake(
+            client_sock, token=client_token, endpoint=endpoint, timeout=5.0
+        )
+    finally:
+        # Close the client side first: an early client abort (missing
+        # token) leaves the server blocked on the auth response, and the
+        # EOF is what releases it before the join.
+        client_sock.close()
+        thread.join(5.0)
+        server_sock.close()
+    return outcome
+
+
+class TestHandshake:
+    def test_matching_token_authenticates(self):
+        outcome = _run_handshake("secret", "secret")
+        assert outcome == {"leftover": None}
+
+    def test_tokenless_both_sides_authenticates(self):
+        outcome = _run_handshake(None, None)
+        assert outcome == {"leftover": None}
+
+    def test_tokenless_server_accepts_token_bearing_client(self):
+        outcome = _run_handshake(None, "whatever")
+        assert outcome == {"leftover": None}
+
+    def test_wrong_token_rejected_with_typed_error(self):
+        with pytest.raises(ServiceError, match=AUTH_ERROR_PREFIX) as excinfo:
+            _run_handshake("secret", "not-the-secret", endpoint="tcp://w:9")
+        assert "tcp://w:9" in str(excinfo.value)
+
+    def test_missing_token_names_endpoint_and_env_var(self):
+        with pytest.raises(ServiceError, match=TOKEN_ENV_VAR) as excinfo:
+            _run_handshake("secret", None, endpoint="tcp://w:9")
+        assert "tcp://w:9" in str(excinfo.value)
+
+    def test_tokenless_server_leniency_returns_first_regular_frame(self):
+        """A pre-auth client that never reads the challenge still works
+        against a tokenless server: its first real frame is handed back
+        to the caller instead of being rejected."""
+        server_sock, client_sock = socket.socketpair()
+        outcome: dict = {}
+
+        def server():
+            outcome["leftover"] = server_handshake(server_sock, timeout=5.0)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        try:
+            write_frame(client_sock, Request(1, "echo", "legacy"))
+            thread.join(5.0)
+        finally:
+            server_sock.close()
+            client_sock.close()
+        assert outcome["leftover"] == Request(1, "echo", "legacy")
+
+    def test_token_server_rejects_regular_first_frame_before_dispatch(self):
+        """With a token configured there is no leniency: a peer that
+        skips the handshake gets the typed rejection and nothing it sent
+        is ever returned for dispatch."""
+        server_sock, client_sock = socket.socketpair()
+        outcome: dict = {}
+
+        def server():
+            try:
+                outcome["leftover"] = server_handshake(
+                    server_sock, token="secret", timeout=5.0
+                )
+            except ServiceError as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        try:
+            challenge = read_frame(client_sock)
+            assert challenge.payload["required"] is True
+            write_frame(client_sock, Request(1, "echo", "smuggled"))
+            thread.join(5.0)
+            rejection = read_frame(client_sock)
+        finally:
+            server_sock.close()
+            client_sock.close()
+        assert "leftover" not in outcome and "error" in outcome
+        assert isinstance(rejection, Response)
+        assert rejection.request_id == AUTH_ID
+        assert rejection.error.startswith(AUTH_ERROR_PREFIX)
+
+    def test_acknowledgement_frame_shape(self):
+        """The success ack is a Response on AUTH_ID carrying AUTH_OK —
+        pinned because cross-version peers key on it."""
+        server_sock, client_sock = socket.socketpair()
+        thread = threading.Thread(
+            target=server_handshake, args=(server_sock,), kwargs={"token": "t"}
+        )
+        thread.start()
+        try:
+            challenge = read_frame(client_sock)
+            write_frame(
+                client_sock,
+                Request(
+                    AUTH_ID,
+                    "auth_response",
+                    auth_digest("t", challenge.payload["nonce"]),
+                ),
+            )
+            ack = read_frame(client_sock)
+            thread.join(5.0)
+        finally:
+            server_sock.close()
+            client_sock.close()
+        assert ack == Response(AUTH_ID, AUTH_OK, None)
+
+
+class _Sink:
+    def __init__(self):
+        self.responses: "queue.Queue" = queue.Queue()
+        self.disconnected = threading.Event()
+
+    def on_response(self, response):
+        self.responses.put(response)
+
+    def on_disconnect(self):
+        self.disconnected.set()
+
+
+class TestAgentIntegration:
+    """The handshake wired through WorkerAgent + TcpTransport."""
+
+    def test_matching_token_serves_requests(self):
+        with WorkerAgent(token="secret") as agent:
+            assert agent.authenticated
+            sink = _Sink()
+            connection = TcpTransport(
+                "127.0.0.1", agent.port, token="secret"
+            ).open(sink.on_response, sink.on_disconnect)
+            try:
+                connection.send(Request(1, "echo", "over-auth"))
+                assert sink.responses.get(timeout=10).payload == "over-auth"
+            finally:
+                connection.close(timeout=5.0)
+
+    def test_unauthenticated_client_rejected_naming_endpoint(self):
+        with WorkerAgent(token="secret") as agent:
+            endpoint = f"tcp://127.0.0.1:{agent.port}"
+            with pytest.raises(ServiceError, match=TOKEN_ENV_VAR) as excinfo:
+                TcpTransport("127.0.0.1", agent.port, token="").open(
+                    lambda r: None, lambda: None
+                )
+            assert endpoint in str(excinfo.value)
+
+    def test_wrong_token_rejected_naming_endpoint(self):
+        with WorkerAgent(token="secret") as agent:
+            endpoint = f"tcp://127.0.0.1:{agent.port}"
+            with pytest.raises(ServiceError, match=AUTH_ERROR_PREFIX) as excinfo:
+                TcpTransport("127.0.0.1", agent.port, token="wrong").open(
+                    lambda r: None, lambda: None
+                )
+            assert endpoint in str(excinfo.value)
+
+    def test_pre_auth_frames_never_dispatch(self):
+        """A raw peer that skips the handshake on a token-gated agent
+        gets the typed rejection and EOF; its smuggled request is never
+        executed (no echo response ever arrives)."""
+        with WorkerAgent(token="secret") as agent:
+            sock = socket.create_connection(("127.0.0.1", agent.port), timeout=5)
+            sock.settimeout(5.0)
+            try:
+                read_frame(sock)  # the challenge
+                write_frame(sock, Request(1, "echo", "smuggled"))
+                rejection = read_frame(sock)
+                assert rejection.request_id == AUTH_ID
+                assert rejection.error.startswith(AUTH_ERROR_PREFIX)
+                assert read_frame(sock) is None  # EOF, not an echo
+            finally:
+                sock.close()
+
+    def test_tokenless_agent_env_token_still_gates(self, monkeypatch):
+        """token=None resolves the environment on the agent side too."""
+        monkeypatch.setenv(TOKEN_ENV_VAR, "env-secret")
+        with WorkerAgent() as agent:
+            assert agent.authenticated
+            sink = _Sink()
+            connection = TcpTransport("127.0.0.1", agent.port).open(
+                sink.on_response, sink.on_disconnect
+            )
+            try:
+                connection.send(Request(1, "ping", None))
+                assert sink.responses.get(timeout=10).error is None
+            finally:
+                connection.close(timeout=5.0)

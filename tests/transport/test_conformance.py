@@ -40,12 +40,15 @@ class Client:
         return self.responses.get(timeout=timeout)
 
 
-@pytest.fixture(params=["local", "tcp"])
+@pytest.fixture(params=["local", "tcp", "tcp-process"])
 def transport(request):
     if request.param == "local":
         yield LocalTransport()
         return
-    popen, host, port = spawn_agent()
+    # "tcp-process" hosts the worker in a ProcessPoolAgent: the agent
+    # forks one executor child per accepted connection, so the same
+    # contract must hold across a pipe-pumped process boundary.
+    popen, host, port = spawn_agent(processes=request.param == "tcp-process")
     try:
         yield TcpTransport(host, port, heartbeat_interval=0.2, liveness_timeout=3.0)
     finally:
@@ -215,6 +218,56 @@ class TestReconnectRefusal:
             stale.close(timeout=0.0)
             time.sleep(0.1)
         raise AssertionError("agent kept accepting after shutdown")
+
+
+class TestAuthConformance:
+    """Token-gated agents reject unauthenticated peers *as a typed
+    error*: the client must surface a ServiceError naming the endpoint,
+    before any frame it sent is dispatched."""
+
+    @pytest.fixture(params=["tcp", "tcp-process"])
+    def gated_agent(self, request):
+        popen, host, port = spawn_agent(
+            token="conformance-secret", processes=request.param == "tcp-process"
+        )
+        try:
+            yield host, port
+        finally:
+            popen.kill()
+            popen.wait(timeout=10)
+            popen.stdout.close()
+
+    def test_unauthenticated_open_surfaces_service_error_naming_endpoint(
+        self, gated_agent
+    ):
+        host, port = gated_agent
+        client = Client()
+        with pytest.raises(ServiceError) as excinfo:
+            TcpTransport(host, port, token="").open(
+                client.on_response, client.on_disconnect
+            )
+        assert f"tcp://{host}:{port}" in str(excinfo.value)
+
+    def test_wrong_token_surfaces_typed_auth_error(self, gated_agent):
+        host, port = gated_agent
+        client = Client()
+        with pytest.raises(ServiceError, match="AuthError") as excinfo:
+            TcpTransport(host, port, token="not-it").open(
+                client.on_response, client.on_disconnect
+            )
+        assert f"tcp://{host}:{port}" in str(excinfo.value)
+
+    def test_matching_token_conforms(self, gated_agent):
+        host, port = gated_agent
+        client = Client()
+        connection = TcpTransport(host, port, token="conformance-secret").open(
+            client.on_response, client.on_disconnect
+        )
+        try:
+            connection.send(Request(1, "echo", "authenticated"))
+            assert client.next_response().payload == "authenticated"
+        finally:
+            connection.close(timeout=5.0)
 
 
 class TestCloseReleasesResources:

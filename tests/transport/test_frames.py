@@ -10,6 +10,7 @@ from repro.transport.frames import (
     FRAME_MAGIC,
     FRAME_VERSION,
     FRAME_VERSION_PACKED,
+    FRAME_VERSION_PACKED_CALL,
     HEADER_SIZE,
     KNOWN_FRAME_VERSIONS,
     PickleCodec,
@@ -100,9 +101,9 @@ class TestPackedObserveFastPath:
         assert decoded.payload[1] == list(self.EVENTS)
 
     def test_socketless_other_ops_stay_pickled(self):
-        frame = encode_frame(Request(1, "session_advance", (7, 10)))
+        frame = encode_frame(Request(1, "session_close", (7,)))
         assert frame[2] == FRAME_VERSION
-        assert decode_frame(frame) == Request(1, "session_advance", (7, 10))
+        assert decode_frame(frame) == Request(1, "session_close", (7,))
 
     def test_packed_is_smaller_than_pickled(self):
         packed = encode_frame(self.request())
@@ -175,6 +176,12 @@ class TestPackedObserveFastPath:
         assert frame[2] == FRAME_VERSION  # pickled
         assert decode_frame(frame).payload[1][0][3]["wei"] == 2**60 + 1
 
+    def test_packed_call_custom_codec_bypassed_too(self):
+        codec = PickleCodec()
+        frame = encode_frame(Request(1, "session_advance", (7, 40)), codec)
+        assert frame[2] == FRAME_VERSION  # non-default codec owns the bytes
+        assert decode_frame(frame, codec) == Request(1, "session_advance", (7, 40))
+
     def test_custom_codec_bypasses_the_fast_path(self):
         """A non-default codec must see every payload (the codec contract:
         compressing/encrypting/cross-language codecs own the bytes)."""
@@ -194,3 +201,76 @@ class TestPackedObserveFastPath:
         assert codec.encoded == 1
         assert frame[2] == FRAME_VERSION  # codec payload, not packed
         assert decode_frame(frame, codec) == self.request()
+
+
+class TestPackedCallFastPath:
+    """The fixed-shape ``session_advance``/``session_poll`` frames
+    (FRAME_VERSION_PACKED_CALL): with observe these cover the whole
+    per-event hot loop, so a feeding client runs pickle-free."""
+
+    def test_advance_takes_the_packed_call_version(self):
+        request = Request(11, "session_advance", (7, 4000))
+        frame = encode_frame(request)
+        assert frame[2] == FRAME_VERSION_PACKED_CALL
+        assert decode_frame(frame) == request
+
+    def test_poll_takes_the_packed_call_version(self):
+        request = Request(12, "session_poll", (7,))
+        frame = encode_frame(request)
+        assert frame[2] == FRAME_VERSION_PACKED_CALL
+        assert decode_frame(frame) == request
+
+    def test_negative_ids_and_boundaries_roundtrip(self):
+        request = Request(-5, "session_advance", (-9, -(1 << 40)))
+        assert decode_frame(encode_frame(request)) == request
+
+    def test_packed_call_is_smaller_than_pickled(self):
+        packed = encode_frame(Request(11, "session_advance", (7, 4000)))
+        pickled = encode_frame(Request(11, "not_advance", (7, 4000)))
+        assert len(packed) < len(pickled)
+
+    def test_malformed_shapes_fall_back_to_pickle(self):
+        from repro.transport.frames import pack_call_request
+
+        assert pack_call_request(Request(1, "session_advance", "nope")) is None
+        assert pack_call_request(Request(1, "session_advance", (7,))) is None
+        assert pack_call_request(Request(1, "session_advance", (7, 1.5))) is None
+        assert pack_call_request(Request(1, "session_advance", (7, True))) is None
+        assert pack_call_request(Request(1, "session_poll", (7, 8))) is None
+        assert pack_call_request(Request(1, "session_poll", ("7",))) is None
+        # int64 overflow must not truncate silently
+        assert pack_call_request(Request(1, "session_advance", (7, 1 << 70))) is None
+        assert pack_call_request(Request(1 << 70, "session_poll", (7,))) is None
+
+    def test_ineligible_payload_still_decodes_via_pickle(self):
+        odd = Request(3, "session_advance", (7, 1 << 70))
+        frame = encode_frame(odd)
+        assert frame[2] == FRAME_VERSION
+        assert decode_frame(frame) == odd
+
+    def test_wrong_size_payload_raises_service_error(self):
+        from repro.transport.frames import unpack_call_request
+
+        with pytest.raises(ServiceError, match="expected"):
+            unpack_call_request(b"\x01short")
+        # and through the framed path: a truncated frame is rejected too
+        frame = encode_frame(Request(11, "session_poll", (7,)))
+        with pytest.raises(ServiceError):
+            decode_frame(frame[:-1])
+
+    def test_unknown_opcode_raises_service_error(self):
+        import struct
+
+        from repro.transport.frames import unpack_call_request
+
+        with pytest.raises(ServiceError, match="opcode"):
+            unpack_call_request(struct.pack(">Bqqq", 9, 1, 2, 3))
+
+    def test_opt_out_env_flag_covers_calls_too(self, monkeypatch):
+        from repro.transport import frames
+
+        monkeypatch.setattr(frames, "PACK_OBSERVE_BATCHES", False)
+        request = Request(11, "session_advance", (7, 4000))
+        frame = encode_frame(request)
+        assert frame[2] == FRAME_VERSION
+        assert decode_frame(frame) == request  # decode side unchanged
