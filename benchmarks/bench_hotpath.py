@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -49,7 +50,12 @@ from repro.parallel import ParallelMonitor
 from repro.service import MonitorService
 from repro.transport.frames import Request, decode_frame, encode_frame
 
-SCHEMA = 1
+SCHEMA = 2
+
+#: The ``carried_columnar`` metric must show the columnar kernel at least
+#: this much faster than the object path *measured in the same run* — a
+#: relative gate, so it holds on any host speed.
+MIN_COLUMNAR_SPEEDUP = 1.3
 
 #: The carried-residual-heavy reference workload (full / smoke budgets).
 WORKLOAD = WorkloadSpec(
@@ -100,6 +106,52 @@ def bench_carried(mode: str) -> dict:
         "seconds": seconds,
         "verdict_counts": {str(k): v for k, v in sorted(result.verdict_counts.items())},
         "peak_distinct_residuals": peak,
+    }
+
+
+def bench_carried_columnar(mode: str) -> dict:
+    """The carried workload under both progression engines, same process.
+
+    Times the legacy object walk (``REPRO_COLUMNAR=0``) and the columnar
+    kernel on the identical computation/formula, asserts bit-identical
+    verdict multisets, and reports the in-run speedup.  ``seconds`` is
+    the columnar time (so the absolute baseline tracks the shipping
+    path); the relative gate in ``check_against`` uses ``speedup``.
+    """
+    computation = generate_workload(WORKLOAD)
+    formula = formula_for(PHI, WORKLOAD.processes, window_ms=WINDOW_MS)
+
+    def run_once() -> tuple[float, dict]:
+        engine = SmtMonitor(
+            formula,
+            segments=SEGMENTS,
+            saturate=False,
+            max_traces_per_segment=TRACE_BUDGET[mode],
+        )
+        seconds, result = _timed(lambda: engine.run(computation))
+        return seconds, {str(k): v for k, v in sorted(result.verdict_counts.items())}
+
+    previous = os.environ.get("REPRO_COLUMNAR")
+    try:
+        os.environ["REPRO_COLUMNAR"] = "0"
+        object_seconds, object_counts = run_once()
+        os.environ["REPRO_COLUMNAR"] = "1"
+        columnar_seconds, columnar_counts = run_once()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_COLUMNAR", None)
+        else:
+            os.environ["REPRO_COLUMNAR"] = previous
+    if columnar_counts != object_counts:
+        raise SystemExit(
+            f"columnar verdicts {columnar_counts} diverge from object path "
+            f"{object_counts}"
+        )
+    return {
+        "seconds": columnar_seconds,
+        "object_seconds": object_seconds,
+        "speedup": object_seconds / columnar_seconds,
+        "verdict_counts": columnar_counts,
     }
 
 
@@ -234,6 +286,11 @@ def run_suite(mode: str) -> dict:
     metrics["carried_serial"] = bench_carried(mode)
     print(f"  {metrics['carried_serial']['seconds']:.3f}s "
           f"(peak {metrics['carried_serial']['peak_distinct_residuals']} residuals)")
+    print("carried_columnar ...", flush=True)
+    metrics["carried_columnar"] = bench_carried_columnar(mode)
+    print(f"  {metrics['carried_columnar']['seconds']:.3f}s columnar vs "
+          f"{metrics['carried_columnar']['object_seconds']:.3f}s object "
+          f"({metrics['carried_columnar']['speedup']:.2f}x, verdicts bit-identical)")
     print("segment_parallel ...", flush=True)
     metrics["segment_parallel"] = bench_segment_parallel(
         mode, metrics["carried_serial"]["verdict_counts"]
@@ -286,6 +343,17 @@ def check_against(report: dict, baseline_path: Path, tolerance: float) -> int:
             failures += 1
         print(f"  {name:<18} {current['seconds']:.3f}s vs {base['seconds']:.3f}s "
               f"(normalised ratio {ratio:.2f}) {verdict}")
+    columnar = report["metrics"].get("carried_columnar")
+    if columnar is not None:
+        # Relative in-run gate, independent of host speed and baseline:
+        # the columnar kernel must stay measurably faster than the object
+        # path it replaced on the very same run.
+        speedup = columnar["speedup"]
+        ok = speedup >= MIN_COLUMNAR_SPEEDUP
+        if not ok:
+            failures += 1
+        print(f"  columnar speedup   {speedup:.2f}x "
+              f"(gate >= {MIN_COLUMNAR_SPEEDUP}x) {'ok' if ok else 'REGRESSION'}")
     return 1 if failures else 0
 
 

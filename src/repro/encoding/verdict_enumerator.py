@@ -18,39 +18,123 @@ orchestrator watching for the carried set to cross its shard threshold —
 can act on partial outcomes without waiting for the segment to drain.
 :func:`enumerate_segment_outcomes` is the drain-it-all wrapper.
 
-Hot-path notes: carried residuals are interned on entry
-(:func:`~repro.mtl.ast.intern_formula`), one
-:class:`~repro.progression.progressor.TraceProgressor` per trace is
-shared by *all* residuals (subformulas shared between residuals hit one
-memo), and anchor-shifts are computed once per distinct trace start
-time, not once per (trace, residual) pair.
+Hot-path notes: the inner loop is *columnar* — carried residuals live as
+``(arena id, count)`` pairs and every trace is progressed by one batch
+pass of :class:`~repro.progression.columnar.ColumnarSegmentProgressor`
+over the intern arena, touching no Formula objects at all.  Setting
+``REPRO_COLUMNAR=0`` in the environment selects the legacy object path
+(a :class:`~repro.progression.progressor.TraceProgressor` walk per
+trace); the differential suite runs both and asserts bit-identical
+residuals.  :class:`SegmentOutcome` stores ids internally and
+materializes the ``residuals`` dict lazily at the API boundary.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
 from typing import Hashable, Iterator, Mapping
 
 from repro.distributed.hb import HappenedBefore, HappenedBeforeView
 from repro.encoding.enumerator import enumerate_traces
 from repro.encoding.trace_cache import shared_traces
-from repro.mtl.ast import Formula, intern_formula
-from repro.progression.progressor import TraceProgressor, anchor_shift, close
+from repro.mtl.ast import Formula, formula_of, intern_formula
+from repro.progression.columnar import ColumnarSegmentProgressor
+from repro.progression.progressor import TraceProgressor, anchor_shift, close_id
+
+#: Default per-segment trace budget for the online/offline monitors.
+#: Admissible-trace counts explode combinatorially with segment length
+#: (every interleaving × every admissible timestamp assignment), so an
+#: unbounded default can simply never finish (see ROADMAP's ``F[0,30) b``
+#: blowup).  The budget is far above anything exhaustive verification
+#: needs in practice; hitting it flags the result ``truncated`` instead
+#: of hanging.  Pass ``max_traces_per_segment=None`` explicitly for
+#: unbounded enumeration.
+DEFAULT_TRACE_BUDGET = 20_000
 
 
-@dataclass
+def _columnar_enabled() -> bool:
+    """True unless the environment opts out (``REPRO_COLUMNAR=0``)."""
+    return os.environ.get("REPRO_COLUMNAR", "1") != "0"
+
+
 class SegmentOutcome:
-    """Distinct residual formulas after one segment, with class counts."""
+    """Distinct residual formulas after one segment, with class counts.
 
-    residuals: dict[Formula, int] = field(default_factory=dict)
-    traces_enumerated: int = 0
-    truncated: bool = False
-    #: True when enumeration stopped because the *final verdict set* was
-    #: already saturated ({True, False}) — lossless for the verdict set.
-    saturated: bool = False
+    Residuals are stored as intern-arena ids (the columnar kernel's
+    native currency); the ``residuals`` dict of canonical
+    :class:`~repro.mtl.ast.Formula` objects is materialized lazily and
+    cached, so boundary consumers (shard split, snapshots, reports) see
+    the same contract as before while the hot loop never boxes ids.
+    """
+
+    __slots__ = (
+        "_id_counts",
+        "_residuals_cache",
+        "traces_enumerated",
+        "truncated",
+        "saturated",
+    )
+
+    def __init__(
+        self,
+        residuals: Mapping[Formula, int] | None = None,
+        traces_enumerated: int = 0,
+        truncated: bool = False,
+        saturated: bool = False,
+    ) -> None:
+        self._id_counts: dict[int, int] = {}
+        self._residuals_cache: dict[Formula, int] | None = None
+        self.traces_enumerated = traces_enumerated
+        self.truncated = truncated
+        #: True when enumeration stopped because the *final verdict set*
+        #: was already saturated ({True, False}) — lossless for the
+        #: verdict set.
+        self.saturated = saturated
+        if residuals:
+            for residual, count in residuals.items():
+                self.add(residual, count)
+
+    @property
+    def residuals(self) -> dict[Formula, int]:
+        """The distinct residuals as canonical Formula objects."""
+        cached = self._residuals_cache
+        if cached is None:
+            cached = {
+                formula_of(fid): count for fid, count in self._id_counts.items()
+            }
+            self._residuals_cache = cached
+        return cached
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct residuals (no materialization)."""
+        return len(self._id_counts)
+
+    def id_counts(self) -> dict[int, int]:
+        """The residual column itself: arena id -> trace-class count."""
+        return self._id_counts
 
     def add(self, residual: Formula, count: int = 1) -> None:
-        self.residuals[residual] = self.residuals.get(residual, 0) + count
+        self.add_id(intern_formula(residual)._intern_id, count)
+
+    def add_id(self, fid: int, count: int = 1) -> None:
+        counts = self._id_counts
+        counts[fid] = counts.get(fid, 0) + count
+        self._residuals_cache = None
+
+    def __reduce__(self):
+        # Arena ids are process-local; a pickled outcome crosses the wire
+        # as materialized formulas and re-interns on arrival.
+        return (
+            _restore_outcome,
+            (dict(self.residuals), self.traces_enumerated, self.truncated, self.saturated),
+        )
+
+
+def _restore_outcome(
+    residuals: dict, traces_enumerated: int, truncated: bool, saturated: bool
+) -> SegmentOutcome:
+    return SegmentOutcome(residuals, traces_enumerated, truncated, saturated)
 
 
 def stream_segment_outcomes(
@@ -97,13 +181,12 @@ def stream_segment_outcomes(
     """
     outcome = SegmentOutcome()
     closed_verdicts: set[bool] = set()
-    # Interned carried residuals: progression memos key on intern ids,
-    # and structurally equal residuals collapse to one entry up front.
-    pairs: list[tuple[Formula, int]] = []
-    merged: dict[Formula, int] = {}
+    # Interned carried residuals: structurally equal residuals collapse
+    # to one (id, count) column entry up front.
+    merged: dict[int, int] = {}
     for residual, count in carried.items():
-        canonical = intern_formula(residual)
-        merged[canonical] = merged.get(canonical, 0) + count
+        fid = intern_formula(residual)._intern_id
+        merged[fid] = merged.get(fid, 0) + count
     pairs = list(merged.items())
 
     def traces():
@@ -120,30 +203,43 @@ def stream_segment_outcomes(
         )
 
     trace_iter = traces() if cache_key is None else shared_traces(cache_key, traces)
-    # One anchor-shift per distinct trace start time, not per (trace,
-    # residual): traces of a segment share a handful of start times.
+    columnar = _columnar_enabled()
+    kernel = ColumnarSegmentProgressor(pairs) if columnar else None
+    # Legacy path: one anchor-shift per distinct trace start time, not
+    # per (trace, residual) — traces share a handful of start times.
     shifted_by_shift: dict[int, list[tuple[Formula, int]]] = {}
+    id_counts = outcome.id_counts()
     for trace in trace_iter:
         outcome.traces_enumerated += 1
         shift = 0 if anchor is None else trace.start_time - anchor
-        shifted = shifted_by_shift.get(shift)
-        if shifted is None:
-            shifted = [
-                (anchor_shift(residual, shift), count) for residual, count in pairs
-            ]
-            shifted_by_shift[shift] = shifted
-        progressor = TraceProgressor(trace, max(boundary, trace.end_time))
-        residuals = outcome.residuals
-        for formula, count in shifted:
-            progressed = progressor.progress(formula, 0)
-            if saturate_final and progressed not in residuals:
-                closed_verdicts.add(close(progressed))
-            residuals[progressed] = residuals.get(progressed, 0) + count
+        if columnar:
+            progressed_pairs = kernel.progress_trace(
+                trace, shift, max(boundary, trace.end_time)
+            )
+            for fid, count in progressed_pairs:
+                if saturate_final and fid not in id_counts:
+                    closed_verdicts.add(close_id(fid))
+                outcome.add_id(fid, count)
+        else:
+            shifted = shifted_by_shift.get(shift)
+            if shifted is None:
+                shifted = [
+                    (anchor_shift(formula_of(fid), shift), count)
+                    for fid, count in pairs
+                ]
+                shifted_by_shift[shift] = shifted
+            progressor = TraceProgressor(trace, max(boundary, trace.end_time))
+            for formula, count in shifted:
+                progressed = progressor.progress(formula, 0)
+                fid = progressed._intern_id
+                if saturate_final and fid not in id_counts:
+                    closed_verdicts.add(close_id(fid))
+                outcome.add_id(fid, count)
         yield outcome
         if saturate_final and closed_verdicts >= {True, False}:
             outcome.saturated = True
             break
-        if max_distinct is not None and len(outcome.residuals) >= max_distinct:
+        if max_distinct is not None and outcome.distinct >= max_distinct:
             outcome.truncated = True
             break
     if max_traces is not None and outcome.traces_enumerated >= max_traces:

@@ -119,6 +119,10 @@ class _CutWalker:
         self._outcome_memo: dict[tuple[int, int, Formula], dict[bool, int]] = {}
         self._count_memo: dict[tuple[int, int], int] = {}
         self._state_memo: dict[int, tuple[frozenset[str], Mapping[str, float]]] = {}
+        #: ``(residual intern id, d) -> shifted residual``: the walker
+        #: re-anchors the same few residuals by the same few deltas over
+        #: and over across branches of the cut recursion.
+        self._shift_memo: dict[tuple[int, int], Formula] = {}
         self.total_traces = 0
         self.distinct_residuals = 0
         self._seen_residuals: set[Formula] = set()
@@ -223,7 +227,15 @@ class _CutWalker:
         trace = TimedTrace((State(props, valuation),), (timestamp,))
         if residual is None:
             return progress(trace, self._formula, timestamp)
-        shifted = anchor_shift(residual, timestamp - last_time)
+        d = timestamp - last_time
+        if d == 0:
+            shifted = residual
+        else:
+            key = (residual._intern_id, d)
+            shifted = self._shift_memo.get(key)
+            if shifted is None:
+                shifted = anchor_shift(residual, d)
+                self._shift_memo[key] = shifted
         return progress(trace, shifted, timestamp)
 
     def _state_for_mask(self, mask: int) -> tuple[frozenset[str], Mapping[str, float]]:

@@ -21,9 +21,12 @@ from typing import Mapping
 
 from repro.distributed.computation import DistributedComputation
 from repro.encoding.trace_extractor import segment_carry
-from repro.encoding.verdict_enumerator import enumerate_segment_outcomes
+from repro.encoding.verdict_enumerator import (
+    DEFAULT_TRACE_BUDGET,
+    enumerate_segment_outcomes,
+)
 from repro.errors import MonitorError
-from repro.mtl.ast import FalseConst, Formula, TrueConst
+from repro.mtl.ast import FALSE_ID, TRUE_ID, Formula, formula_of
 from repro.monitor.verdicts import MonitorResult, SegmentReport
 from repro.progression.progressor import close
 
@@ -40,7 +43,7 @@ class OnlineMonitor:
         self,
         formula: Formula,
         epsilon: int,
-        max_traces_per_segment: int | None = None,
+        max_traces_per_segment: int | None = DEFAULT_TRACE_BUDGET,
         backend: str = "dfs",
     ) -> None:
         self._formula = formula
@@ -169,20 +172,23 @@ class OnlineMonitor:
                 index=self._segment_counter,
                 events=len(ready),
                 traces_enumerated=outcome.traces_enumerated,
-                distinct_residuals=len(outcome.residuals),
+                distinct_residuals=outcome.distinct,
                 truncated=outcome.truncated,
             )
         )
         self._segment_counter += 1
         self._first_segment_done = True
+        # Classify on the id column (constants have fixed sentinel ids);
+        # undecided residuals materialize into the carried dict, which is
+        # the snapshot wire format — arena ids never cross processes.
         carried: dict[Formula, int] = {}
-        for residual, count in outcome.residuals.items():
-            if isinstance(residual, TrueConst):
+        for fid, count in outcome.id_counts().items():
+            if fid == TRUE_ID:
                 self._result.record(True, count)
-            elif isinstance(residual, FalseConst):
+            elif fid == FALSE_ID:
                 self._result.record(False, count)
             else:
-                carried[residual] = carried.get(residual, 0) + count
+                carried[formula_of(fid)] = count
         self._carried = carried
         self._anchor = boundary
         self._base_valuation, self._frontier_props = segment_carry(

@@ -22,9 +22,12 @@ from repro.distributed.computation import DistributedComputation
 from repro.distributed.hb import HappenedBefore
 from repro.distributed.segmentation import Segment, segment_computation
 from repro.encoding.trace_extractor import segment_carry
-from repro.encoding.verdict_enumerator import enumerate_segment_outcomes
+from repro.encoding.verdict_enumerator import (
+    DEFAULT_TRACE_BUDGET,
+    enumerate_segment_outcomes,
+)
 from repro.errors import MonitorError
-from repro.mtl.ast import FalseConst, Formula, TrueConst
+from repro.mtl.ast import FALSE_ID, TRUE_ID, Formula, formula_of
 from repro.monitor.verdicts import MonitorResult, SegmentReport
 from repro.progression.progressor import close
 
@@ -58,8 +61,13 @@ class SmtMonitor:
         The paper's ``g`` — how many windows to chop the computation into.
     max_traces_per_segment / max_distinct_per_segment:
         Enumeration budgets; when either triggers, the result is flagged
-        non-exhaustive.  ``max_distinct_per_segment`` reproduces the
-        paper's "number of truth values per segment" knob (Fig 5e).
+        non-exhaustive.  ``max_traces_per_segment`` defaults to
+        :data:`~repro.encoding.verdict_enumerator.DEFAULT_TRACE_BUDGET`
+        (admissible-trace counts explode combinatorially, so an
+        unbounded default can hang forever); pass ``None`` explicitly
+        for unbounded enumeration.  ``max_distinct_per_segment``
+        reproduces the paper's "number of truth values per segment"
+        knob (Fig 5e).
     backend:
         ``"dfs"`` (default fast path) or ``"csp"`` (the paper-literal cut
         encoding solved by the constraint engine).
@@ -81,7 +89,7 @@ class SmtMonitor:
         self,
         formula: Formula,
         segments: int = 1,
-        max_traces_per_segment: int | None = None,
+        max_traces_per_segment: int | None = DEFAULT_TRACE_BUDGET,
         max_distinct_per_segment: int | None = None,
         backend: str = "dfs",
         saturate: bool = True,
@@ -180,20 +188,24 @@ class SmtMonitor:
                 index=segment.index,
                 events=len(segment.events),
                 traces_enumerated=outcome.traces_enumerated,
-                distinct_residuals=len(outcome.residuals),
+                distinct_residuals=outcome.distinct,
                 truncated=outcome.truncated,
                 saturated=outcome.saturated,
             )
         )
 
+        # Classify on the outcome's id column: the constants' arena ids
+        # are fixed sentinels, and ids are canonical per structure, so
+        # undecided residuals materialize straight into the carried dict
+        # (no merging needed) for the pickled/sharded boundary contract.
         carried: dict[Formula, int] = {}
-        for residual, count in outcome.residuals.items():
-            if isinstance(residual, TrueConst):
+        for fid, count in outcome.id_counts().items():
+            if fid == TRUE_ID:
                 result.record(True, count)
-            elif isinstance(residual, FalseConst):
+            elif fid == FALSE_ID:
                 result.record(False, count)
             else:
-                carried[residual] = carried.get(residual, 0) + count
+                carried[formula_of(fid)] = count
         base_valuation, frontier = segment_carry(
             segment.events, state.base_valuation, state.frontier
         )

@@ -53,6 +53,15 @@ class MonitorResult:
         return len(self.verdicts) == 1
 
     @property
+    def truncated(self) -> bool:
+        """True when any segment's enumeration hit a budget.
+
+        Verdict counts (and possibly the verdict set) are partial; the
+        monitor finished instead of hanging on a combinatorial blowup.
+        """
+        return any(report.truncated for report in self.segment_reports)
+
+    @property
     def may_be_satisfied(self) -> bool:
         return True in self.verdicts
 

@@ -28,23 +28,175 @@ garbage-collected once no monitor carries them.
 
 from __future__ import annotations
 
-import itertools
 import os
 import threading
 import weakref
+from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping
 
 from repro.errors import FormulaError
-from repro.mtl.interval import Interval
+from repro.mtl.interval import INF, Interval
 
 #: Canonical instance per structural equivalence class, held weakly so
 #: formulas no monitor references any more can be collected.  Keys are
 #: ``(node class, structural fields)``; the lock only guards insertion
-#: (lookups ride on the GIL).
+#: (lookups ride on the GIL).  The *structural record* of every formula
+#: ever interned lives in the append-only :class:`InternArena` below —
+#: an id freed by GC is re-issued to the same structure if it is ever
+#: rebuilt, so intern ids are stable per structure for the process
+#: lifetime.
 _INTERN: "weakref.WeakValueDictionary[tuple, Formula]" = weakref.WeakValueDictionary()
 _INTERN_LOCK = threading.Lock()
-_INTERN_IDS = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# The intern arena: flat columnar storage of every interned formula.
+#
+# The hot monitoring loop (progressing thousands of carried residuals over
+# every enumerated segment trace) runs entirely on dense int ids indexed
+# into these parallel arrays — no Formula objects, no structural hashing,
+# no isinstance dispatch.  Formula objects remain the API-boundary
+# representation and are reconstructible on demand from the arena rows.
+# ---------------------------------------------------------------------------
+
+#: Node-kind codes stored in the arena's ``kinds`` column.
+KIND_TRUE = 0
+KIND_FALSE = 1
+KIND_ATOM = 2
+KIND_PRED = 3
+KIND_NOT = 4
+KIND_AND = 5
+KIND_OR = 6
+KIND_UNTIL = 7
+KIND_EVENTUALLY = 8
+KIND_ALWAYS = 9
+
+#: ``iv_hi`` column encoding of an unbounded interval end (``INF``).
+IV_INF = -1
+
+#: Kinds whose rows carry a meaningful interval (``iv_lo``/``iv_hi``).
+TEMPORAL_KINDS = frozenset({KIND_UNTIL, KIND_EVENTUALLY, KIND_ALWAYS})
+
+
+class InternArena:
+    """Append-only columnar record of every interned formula.
+
+    One row per structural equivalence class, identified by its dense
+    intern id.  Parallel columns:
+
+    * ``kinds[fid]`` — the ``KIND_*`` code (``bytearray``);
+    * ``iv_lo[fid]`` / ``iv_hi[fid]`` — interval bounds for temporal
+      kinds (``iv_hi`` is :data:`IV_INF` for unbounded windows, both 0
+      for non-temporal rows);
+    * ``child_ids[child_off[fid]:child_off[fid+1]]`` — the children's
+      ids (flat ``array('q')`` plus an offsets column);
+    * ``names[fid]`` — the atom name for atom/predicate rows;
+    * ``refs[fid]`` — a weakref to the canonical :class:`Formula`
+      object, or ``None`` until one is (re)built;
+    * ``closed[fid]`` — memoized end-of-trace verdict for
+      :func:`repro.progression.progressor.close` (0 unknown, 1 False,
+      2 True — valid forever, close is purely structural).
+
+    ``by_key`` is the id-keyed intern table and the source of truth for
+    structural identity: a node's key is built from its kind and its
+    *children's ids* (children are always interned first, so every
+    child id is strictly smaller than its parent's — ascending id order
+    is a topological order, which the columnar progression kernel
+    relies on).  Rows are never removed; the canonical *objects* stay
+    weakly held and collectable, and a structure rebuilt after its
+    object died gets its old id back.
+
+    Mutation happens only under the module intern lock; readers ride on
+    the GIL (``by_key`` is populated last, after every column append).
+    """
+
+    __slots__ = (
+        "kinds",
+        "iv_lo",
+        "iv_hi",
+        "child_off",
+        "child_ids",
+        "names",
+        "refs",
+        "closed",
+        "by_key",
+    )
+
+    def __init__(self) -> None:
+        self.kinds = bytearray()
+        self.iv_lo = array("q")
+        self.iv_hi = array("q")
+        self.child_off = array("q", (0,))
+        self.child_ids = array("q")
+        self.names: list[str | None] = []
+        self.refs: list[weakref.ref | None] = []
+        self.closed = bytearray()
+        self.by_key: dict[tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def children(self, fid: int) -> array:
+        """The child ids of row ``fid`` (empty for leaves)."""
+        return self.child_ids[self.child_off[fid] : self.child_off[fid + 1]]
+
+    def interval(self, fid: int) -> Interval:
+        """The interval of a temporal row, decoded."""
+        lo = self.iv_lo[fid]
+        hi = self.iv_hi[fid]
+        if hi == 0 and lo == 0:
+            return Interval.empty()
+        return Interval(lo, INF if hi == IV_INF else hi)
+
+    def append_row(
+        self,
+        key: tuple,
+        kind: int,
+        children: tuple[int, ...],
+        iv_lo: int = 0,
+        iv_hi: int = 0,
+        name: str | None = None,
+    ) -> int:
+        """Append one row (caller holds the intern lock) and return its id."""
+        fid = len(self.kinds)
+        self.kinds.append(kind)
+        self.iv_lo.append(iv_lo)
+        self.iv_hi.append(iv_hi)
+        self.child_ids.extend(children)
+        self.child_off.append(len(self.child_ids))
+        self.names.append(name)
+        self.refs.append(None)
+        self.closed.append(0)
+        self.by_key[key] = fid  # last: readers only see complete rows
+        return fid
+
+    def row_id(
+        self,
+        key: tuple,
+        kind: int,
+        children: tuple[int, ...],
+        iv_lo: int = 0,
+        iv_hi: int = 0,
+        name: str | None = None,
+    ) -> int:
+        """The id of the row with this structure, appending it if new.
+
+        Object-free: rows created here have no :class:`Formula` until
+        :func:`formula_of` materializes one at an API boundary.
+        """
+        fid = self.by_key.get(key)
+        if fid is not None:
+            return fid
+        with _INTERN_LOCK:
+            fid = self.by_key.get(key)
+            if fid is None:
+                fid = self.append_row(key, kind, children, iv_lo, iv_hi, name)
+        return fid
+
+
+#: The process-wide arena.  Append-only; safe to alias its columns.
+ARENA = InternArena()
 
 
 def _reset_intern_lock_after_fork() -> None:
@@ -64,8 +216,59 @@ if hasattr(os, "register_at_fork"):  # not available on Windows (spawn-only)
     os.register_at_fork(after_in_child=_reset_intern_lock_after_fork)
 
 
+def _encode_interval(interval: Interval) -> tuple[int, int]:
+    """An interval as the arena's ``(iv_lo, iv_hi)`` int pair."""
+    end = interval.end
+    return interval.start, (IV_INF if end == INF else end)
+
+
+def _node_signature(node: "Formula") -> tuple[tuple, int, tuple[int, ...], int, int, str | None]:
+    """``(arena key, kind, child ids, iv_lo, iv_hi, name)`` for a node.
+
+    Requires the node's children to be interned already (their ids form
+    the key — that is what makes arena keys O(children) to build and
+    hash instead of O(subtree)).
+    """
+    cls = node.__class__
+    # Constants first: they are interned at module load, before the other
+    # node classes below even exist.
+    if cls is TrueConst:
+        return (KIND_TRUE,), KIND_TRUE, (), 0, 0, None
+    if cls is FalseConst:
+        return (KIND_FALSE,), KIND_FALSE, (), 0, 0, None
+    if cls is Atom:
+        return (KIND_ATOM, node.name), KIND_ATOM, (), 0, 0, node.name
+    if cls is PredicateAtom:
+        return (KIND_PRED, node.name), KIND_PRED, (), 0, 0, node.name
+    if cls is Not:
+        cid = node.operand._intern_id
+        return (KIND_NOT, cid), KIND_NOT, (cid,), 0, 0, None
+    if cls is And or cls is Or:
+        kind = KIND_AND if cls is And else KIND_OR
+        cids = tuple(op._intern_id for op in node.operands)
+        return (kind,) + cids, kind, cids, 0, 0, None
+    if cls is Until:
+        lo, hi = _encode_interval(node.interval)
+        lid = node.left._intern_id
+        rid = node.right._intern_id
+        return (KIND_UNTIL, lid, rid, lo, hi), KIND_UNTIL, (lid, rid), lo, hi, None
+    if cls is Eventually or cls is Always:
+        kind = KIND_EVENTUALLY if cls is Eventually else KIND_ALWAYS
+        lo, hi = _encode_interval(node.interval)
+        cid = node.operand._intern_id
+        return (kind, cid, lo, hi), kind, (cid,), lo, hi, None
+    raise TypeError(f"unknown formula node: {node!r}")
+
+
 def _intern_node(node: "Formula") -> "Formula":
     """Return the canonical instance structurally equal to ``node``."""
+    children = node.children()
+    if children and any(child._intern_id is None for child in children):
+        canonical = tuple(intern_formula(child) for child in children)
+        if any(new is not old for new, old in zip(canonical, children)):
+            node = node._rebuild(canonical)
+            if node._intern_id is not None:
+                return node
     key = (node.__class__, node._key_fields())
     found = _INTERN.get(key)
     if found is not None:
@@ -74,7 +277,21 @@ def _intern_node(node: "Formula") -> "Formula":
         found = _INTERN.get(key)
         if found is not None:
             return found
-        object.__setattr__(node, "_intern_id", next(_INTERN_IDS))
+        arena_key, kind, cids, iv_lo, iv_hi, name = _node_signature(node)
+        fid = ARENA.by_key.get(arena_key)
+        if fid is None:
+            fid = ARENA.append_row(arena_key, kind, cids, iv_lo, iv_hi, name)
+        else:
+            ref = ARENA.refs[fid]
+            live = ref() if ref is not None else None
+            if live is not None:
+                # The canonical object exists but fell out of the object
+                # cache key we looked up (e.g. it was built through
+                # formula_of): heal the cache and reuse it.
+                _INTERN[key] = live
+                return live
+        object.__setattr__(node, "_intern_id", fid)
+        ARENA.refs[fid] = weakref.ref(node)
         _INTERN[key] = node
         return node
 
@@ -93,34 +310,91 @@ def intern_formula(formula: "Formula") -> "Formula":
     Recursively canonicalizes directly constructed subtrees; formulas
     built through the smart constructors come back unchanged.  Interned
     formulas compare by identity, carry a cached hash, and expose a
-    process-unique :func:`intern_id`.
+    process-unique :func:`intern_id` indexing their arena row.
     """
     if formula._intern_id is not None:
         return formula
-    children = formula.children()
-    if children:
-        canonical = tuple(intern_formula(child) for child in children)
-        if any(new is not old for new, old in zip(canonical, children)):
-            formula = formula._rebuild(canonical)
-            if formula._intern_id is not None:
-                return formula
     return _intern_node(formula)
 
 
 def intern_id(formula: "Formula") -> int:
-    """Process-unique id of the formula's structural equivalence class.
+    """Dense arena id of the formula's structural equivalence class.
 
     Cheap total order for deterministic tie-breaking (residual-shard
-    splits sort by it instead of stringifying formulas); ids are stable
-    within a process but *not* across processes or runs.
+    splits sort by it instead of stringifying formulas) and the index
+    the columnar progression kernel runs on; ids are stable per
+    structure within a process (even across GC of the object) but *not*
+    across processes or runs.
     """
     node = formula if formula._intern_id is not None else intern_formula(formula)
     return node._intern_id
 
 
 def interned_count() -> int:
-    """Number of live interned formulas (diagnostics and tests)."""
+    """Number of live interned formula *objects* (diagnostics and tests).
+
+    Arena rows are append-only and never reclaimed; this counts the
+    canonical objects still alive, which shrinks under GC.
+    """
     return len(_INTERN)
+
+
+def formula_of(fid: int) -> "Formula":
+    """The canonical :class:`Formula` for an arena id (the API-boundary
+    inverse of :func:`intern_id`).
+
+    Dereferences the arena's weakref when the canonical object is
+    alive; otherwise rebuilds the object tree from the arena rows and
+    re-registers it under the same id.  Predicate-atom rows cannot be
+    rebuilt (the predicate callable is not part of the structural
+    record) — but a residual referencing one transitively keeps the
+    object alive, so this only raises for formulas nothing references.
+    """
+    ref = ARENA.refs[fid]
+    if ref is not None:
+        obj = ref()
+        if obj is not None:
+            return obj
+    kind = ARENA.kinds[fid]
+    if kind == KIND_TRUE:
+        return TRUE
+    if kind == KIND_FALSE:
+        return FALSE
+    if kind == KIND_PRED:
+        raise FormulaError(
+            f"predicate atom {ARENA.names[fid]!r} (arena id {fid}) has no live "
+            "object; predicates are not reconstructible from the arena"
+        )
+    if kind == KIND_ATOM:
+        node: Formula = Atom(ARENA.names[fid])
+    elif kind == KIND_NOT:
+        node = Not(formula_of(ARENA.child_ids[ARENA.child_off[fid]]))
+    elif kind == KIND_AND:
+        node = And(tuple(formula_of(c) for c in ARENA.children(fid)))
+    elif kind == KIND_OR:
+        node = Or(tuple(formula_of(c) for c in ARENA.children(fid)))
+    elif kind == KIND_UNTIL:
+        off = ARENA.child_off[fid]
+        node = Until(
+            formula_of(ARENA.child_ids[off]),
+            formula_of(ARENA.child_ids[off + 1]),
+            ARENA.interval(fid),
+        )
+    elif kind == KIND_EVENTUALLY:
+        node = Eventually(formula_of(ARENA.child_ids[ARENA.child_off[fid]]), ARENA.interval(fid))
+    elif kind == KIND_ALWAYS:
+        node = Always(formula_of(ARENA.child_ids[ARENA.child_off[fid]]), ARENA.interval(fid))
+    else:
+        raise FormulaError(f"unknown arena kind {kind} at id {fid}")
+    with _INTERN_LOCK:
+        ref = ARENA.refs[fid]
+        obj = ref() if ref is not None else None
+        if obj is not None:
+            return obj
+        object.__setattr__(node, "_intern_id", fid)
+        ARENA.refs[fid] = weakref.ref(node)
+        _INTERN[(node.__class__, node._key_fields())] = node
+    return node
 
 
 def _restore_interned(cls, args) -> "Formula":
@@ -262,6 +536,11 @@ class FalseConst(Formula):
 #: simplification path.
 TRUE = _intern_node(TrueConst())
 FALSE = _intern_node(FalseConst())
+
+#: Arena ids of the constants — the columnar kernel's verdict sentinels.
+#: Interned first, so these are always 0 and 1.
+TRUE_ID: int = TRUE._intern_id
+FALSE_ID: int = FALSE._intern_id
 
 
 @dataclass(frozen=True, eq=False)
@@ -592,3 +871,134 @@ def always(operand: Formula, interval: Interval | None = None) -> Formula:
 F = eventually
 G = always
 U = until
+
+
+# ---------------------------------------------------------------------------
+# Id-level smart constructors.
+#
+# These are the arena-row counterparts of the object constructors above and
+# MUST mirror their simplification semantics exactly — the columnar
+# progression kernel builds residuals through them, and the differential
+# harness asserts bit-identical residual structures against the object
+# path.  They never materialize Formula objects; new structures become
+# bare arena rows via :meth:`InternArena.row_id`.  Intervals travel as
+# encoded ``(lo, hi)`` int pairs (``hi`` may be :data:`IV_INF`); an empty
+# window is ``hi != IV_INF and hi <= lo``.
+# ---------------------------------------------------------------------------
+
+
+def id_lnot(x: int) -> int:
+    """Id-level :func:`lnot`: folds constants and double negation."""
+    kind = ARENA.kinds[x]
+    if kind == KIND_TRUE:
+        return FALSE_ID
+    if kind == KIND_FALSE:
+        return TRUE_ID
+    if kind == KIND_NOT:
+        return ARENA.child_ids[ARENA.child_off[x]]
+    return ARENA.row_id((KIND_NOT, x), KIND_NOT, (x,))
+
+
+def _id_complement_in(flat: list[int], seen: set[int]) -> bool:
+    """True when some member's negation is also a member.
+
+    Mirrors the object path's ``lnot(op) in seen`` check without
+    allocating: ``!x`` either is ``x``'s child (when ``x`` is a Not) or
+    is the already-interned ``Not(x)`` row — a negation row that was
+    never interned cannot be in ``seen``.
+    """
+    kinds = ARENA.kinds
+    child_ids = ARENA.child_ids
+    child_off = ARENA.child_off
+    by_key = ARENA.by_key
+    for x in flat:
+        if kinds[x] == KIND_NOT:
+            neg: int | None = child_ids[child_off[x]]
+        else:
+            neg = by_key.get((KIND_NOT, x))
+        if neg is not None and neg in seen:
+            return True
+    return False
+
+
+def id_land(ids) -> int:
+    """Id-level :func:`land`: folds, flattens, dedups, detects ``p & !p``."""
+    flat: list[int] = []
+    seen: set[int] = set()
+    kinds = ARENA.kinds
+    for x in ids:
+        kind = kinds[x]
+        if kind == KIND_FALSE:
+            return FALSE_ID
+        if kind == KIND_TRUE:
+            continue
+        parts = ARENA.children(x) if kind == KIND_AND else (x,)
+        for part in parts:
+            if part in seen:
+                continue
+            seen.add(part)
+            flat.append(part)
+    if _id_complement_in(flat, seen):
+        return FALSE_ID
+    if not flat:
+        return TRUE_ID
+    if len(flat) == 1:
+        return flat[0]
+    return ARENA.row_id((KIND_AND, *flat), KIND_AND, tuple(flat))
+
+
+def id_lor(ids) -> int:
+    """Id-level :func:`lor` (dual of :func:`id_land`)."""
+    flat: list[int] = []
+    seen: set[int] = set()
+    kinds = ARENA.kinds
+    for x in ids:
+        kind = kinds[x]
+        if kind == KIND_TRUE:
+            return TRUE_ID
+        if kind == KIND_FALSE:
+            continue
+        parts = ARENA.children(x) if kind == KIND_OR else (x,)
+        for part in parts:
+            if part in seen:
+                continue
+            seen.add(part)
+            flat.append(part)
+    if _id_complement_in(flat, seen):
+        return TRUE_ID
+    if not flat:
+        return FALSE_ID
+    if len(flat) == 1:
+        return flat[0]
+    return ARENA.row_id((KIND_OR, *flat), KIND_OR, tuple(flat))
+
+
+def id_until(left: int, right: int, lo: int, hi: int) -> int:
+    """Id-level :func:`until` on an encoded interval."""
+    if hi != IV_INF and hi <= lo:
+        return FALSE_ID
+    return ARENA.row_id(
+        (KIND_UNTIL, left, right, lo, hi), KIND_UNTIL, (left, right), lo, hi
+    )
+
+
+def id_eventually(operand: int, lo: int, hi: int) -> int:
+    """Id-level :func:`eventually` (``F false`` folds, ``F true`` does not)."""
+    if hi != IV_INF and hi <= lo:
+        return FALSE_ID
+    if ARENA.kinds[operand] == KIND_FALSE:
+        return FALSE_ID
+    return ARENA.row_id(
+        (KIND_EVENTUALLY, operand, lo, hi), KIND_EVENTUALLY, (operand,), lo, hi
+    )
+
+
+def id_always(operand: int, lo: int, hi: int) -> int:
+    """Id-level :func:`always` (``G true`` folds, ``G false`` does not)."""
+    if hi != IV_INF and hi <= lo:
+        return TRUE_ID
+    if ARENA.kinds[operand] == KIND_TRUE:
+        return TRUE_ID
+    return ARENA.row_id(
+        (KIND_ALWAYS, operand, lo, hi), KIND_ALWAYS, (operand,), lo, hi
+    )

@@ -286,10 +286,13 @@ class ParallelMonitor:
         re-enumerating, and finer shards balance skewed residual costs.
         The split never changes the merged verdict multiset.
 
-        Ordering is by :func:`~repro.mtl.ast.intern_id` — an O(1) lookup
-        per residual instead of stringifying every formula tree, and just
-        as deterministic: equal carried sets split identically within a
-        process whatever insertion order produced them.
+        Ordering is by :func:`~repro.mtl.ast.intern_id` — the residual's
+        dense intern-arena row id, an O(1) attribute read instead of
+        stringifying every formula tree, and just as deterministic:
+        equal carried sets split identically within a process whatever
+        insertion order produced them.  Shards carry materialized
+        ``Formula`` objects (the pipeline's columnar id column never
+        crosses a process boundary — arena ids are process-local).
         """
         shard_count = min(self._workers * 2, len(carried))
         ordered = sorted(carried.items(), key=lambda kv: intern_id(kv[0]))

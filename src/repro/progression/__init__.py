@@ -1,5 +1,12 @@
 """Formula progression for MTL over finite segments (paper Section IV)."""
 
-from repro.progression.progressor import anchor_shift, close, progress
+from repro.progression.columnar import ColumnarSegmentProgressor
+from repro.progression.progressor import anchor_shift, close, close_id, progress
 
-__all__ = ["anchor_shift", "close", "progress"]
+__all__ = [
+    "ColumnarSegmentProgressor",
+    "anchor_shift",
+    "close",
+    "close_id",
+    "progress",
+]

@@ -40,9 +40,20 @@ obligations are satisfied.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.errors import MonitorError, TraceError
 from repro.mtl.ast import (
+    ARENA,
     FALSE,
+    KIND_ALWAYS,
+    KIND_AND,
+    KIND_EVENTUALLY,
+    KIND_FALSE,
+    KIND_NOT,
+    KIND_OR,
+    KIND_TRUE,
+    KIND_UNTIL,
     TRUE,
     Always,
     And,
@@ -56,13 +67,14 @@ from repro.mtl.ast import (
     Until,
     always,
     eventually,
+    formula_of,
     intern_formula,
     land,
     lnot,
     lor,
     until,
 )
-from repro.mtl.interval import Interval
+from repro.mtl.interval import INF, Interval
 from repro.mtl.trace import TimedTrace
 
 
@@ -97,7 +109,7 @@ class TraceProgressor:
         self._trace = trace
         self._boundary = boundary
         self._cache: dict[tuple[int, int], Formula] = {}
-        self._offsets: dict[tuple[Interval, int], list[int]] = {}
+        self._offsets: dict[tuple[Interval, int], range] = {}
 
     def progress(self, formula: Formula, i: int) -> Formula:
         fid = formula._intern_id
@@ -135,23 +147,24 @@ class TraceProgressor:
 
     # -- temporal rules ------------------------------------------------------
 
-    def _offsets_in_interval(self, i: int, interval: Interval) -> list[int]:
+    def _offsets_in_interval(self, i: int, interval: Interval) -> range:
         """Observed positions ``j >= i`` whose offset from position i is in I.
 
-        Memoized per ``(interval, i)``: distinct residuals overwhelmingly
-        share windows, so each window is scanned once per position.
+        Timestamps are non-decreasing, so the qualifying positions form a
+        contiguous block found by binary search over the timestamp tuple
+        (offset ``tau_j - tau_i in [start, end)`` iff ``tau_j`` lies in
+        ``[tau_i + start, tau_i + end)``).  Memoized per ``(interval, i)``:
+        distinct residuals overwhelmingly share windows.
         """
         key = (interval, i)
         cached = self._offsets.get(key)
         if cached is not None:
             return cached
-        trace = self._trace
-        base = trace.time(i)
-        result = [
-            j
-            for j in range(i, len(trace))
-            if trace.time(j) - base in interval
-        ]
+        times = self._trace.times
+        base = times[i]
+        lo = bisect_left(times, base + interval.start, i)
+        hi = len(times) if interval.end == INF else bisect_left(times, base + interval.end, lo)
+        result = range(lo, hi)
         self._offsets[key] = result
         return result
 
@@ -182,7 +195,7 @@ class TraceProgressor:
         remaining = self._boundary - trace.time(i)
         disjuncts: list[Formula] = []
         left_so_far: list[Formula] = []
-        witnesses = set(self._offsets_in_interval(i, formula.interval))
+        witnesses = self._offsets_in_interval(i, formula.interval)
         for j in range(i, len(trace)):
             if j in witnesses:
                 disjuncts.append(land(*left_so_far, self.progress(formula.right, j)))
@@ -245,27 +258,41 @@ def close(formula: Formula) -> bool:
     Finite-MTL strong/weak split: F/U obligations pending at the end of the
     trace are violated, G obligations are satisfied.
     """
-    return _close(formula)
+    fid = formula._intern_id
+    if fid is None:
+        fid = intern_formula(formula)._intern_id
+    return close_id(fid)
 
 
-def _close(formula: Formula) -> bool:
-    if isinstance(formula, TrueConst):
-        return True
-    if isinstance(formula, FalseConst):
-        return False
-    if isinstance(formula, Not):
-        return not _close(formula.operand)
-    if isinstance(formula, And):
-        return all(_close(op) for op in formula.operands)
-    if isinstance(formula, Or):
-        return any(_close(op) for op in formula.operands)
-    if isinstance(formula, (Eventually, Until)):
-        return False
-    if isinstance(formula, Always):
-        return True
-    if isinstance(formula, Atom):
+def close_id(fid: int) -> bool:
+    """:func:`close` over an arena id — the columnar kernel's verdict pass.
+
+    Memoized in the arena's ``closed`` column (close is purely structural,
+    so a verdict computed once is valid for the process lifetime; rows are
+    never reclaimed).
+    """
+    cached = ARENA.closed[fid]
+    if cached:
+        return cached == 2
+    kind = ARENA.kinds[fid]
+    if kind == KIND_TRUE:
+        result = True
+    elif kind == KIND_FALSE:
+        result = False
+    elif kind == KIND_NOT:
+        result = not close_id(ARENA.child_ids[ARENA.child_off[fid]])
+    elif kind == KIND_AND:
+        result = all(close_id(c) for c in ARENA.children(fid))
+    elif kind == KIND_OR:
+        result = any(close_id(c) for c in ARENA.children(fid))
+    elif kind == KIND_EVENTUALLY or kind == KIND_UNTIL:
+        result = False
+    elif kind == KIND_ALWAYS:
+        result = True
+    else:  # atom / predicate rows have no end-of-trace verdict
         raise MonitorError(
-            f"residual formula contains a bare atom {formula!s}; "
+            f"residual formula contains a bare atom {formula_of(fid)!s}; "
             "atoms are always resolved during progression"
         )
-    raise TypeError(f"unknown formula node: {formula!r}")
+    ARENA.closed[fid] = 2 if result else 1
+    return result

@@ -11,6 +11,14 @@ backends host it: :func:`service_worker_loop` runs it in a
 for the TCP backend — so the two paths are behaviourally identical by
 construction.
 
+Formula state crossing this boundary — session snapshots, standby
+blobs, shard-task carried dicts — is always *materialized*: the hot
+loop's columnar residual representation (intern-arena ids, see
+:mod:`repro.progression.columnar`) is process-local, so snapshot frames
+carry canonical ``Formula`` objects and re-intern on arrival.  A
+snapshot taken from a columnar-path monitor restores bit-identically on
+a worker running either path.
+
 Every request produces exactly one response; worker-side exceptions are
 captured as ``"TypeName: message"`` strings and re-raised client-side by
 :func:`~repro.service.futures.raise_remote`.  The executor itself never

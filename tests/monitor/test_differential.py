@@ -9,11 +9,18 @@ encoding) are likewise cross-checked.
 
 from __future__ import annotations
 
+import os
+import pickle
+from contextlib import contextmanager
+
 from hypothesis import HealthCheck, given, settings
 
 from repro.monitor.baseline import EnumerationMonitor
 from repro.monitor.fast import FastMonitor
+from repro.monitor.online import OnlineMonitor
 from repro.monitor.smt_monitor import SmtMonitor
+from repro.monitor.verdicts import MonitorResult
+from repro.progression.progressor import close
 
 from tests.conftest import formulas, small_computations
 from tests.mtl.test_interning import structural_clone
@@ -71,3 +78,97 @@ def test_saturation_is_lossless_for_the_verdict_set(computation, formula):
     saturated = SmtMonitor(formula, segments=1, saturate=True).run(computation)
     assert saturated.verdicts == exact.verdicts
     assert saturated.verdict_set_complete
+
+
+# -- columnar <-> object path ----------------------------------------------------
+
+
+@contextmanager
+def _columnar(enabled: bool):
+    """Select the progression engine for the enclosed workload."""
+    previous = os.environ.get("REPRO_COLUMNAR")
+    os.environ["REPRO_COLUMNAR"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_COLUMNAR", None)
+        else:
+            os.environ["REPRO_COLUMNAR"] = previous
+
+
+def _pipeline_trajectory(formula, computation, segments):
+    """Verdict counts plus the carried residual dict after *every* segment.
+
+    Drives the resumable ``step`` API directly so the intermediate
+    carried sets — not just the final verdicts — are comparable between
+    the columnar kernel and the legacy object walk.
+    """
+    engine = SmtMonitor(formula, segments=segments, saturate=False)
+    result = MonitorResult(formula)
+    hb = computation.happened_before()
+    segs = engine.segments_of(computation)
+    state = engine.initial_state()
+    carried_per_segment = []
+    for order in range(len(segs)):
+        if not state.carried:
+            break
+        state = engine.step(hb, segs, order, state, result, computation.epsilon)
+        carried_per_segment.append(dict(state.carried))
+    for residual, count in state.carried.items():
+        result.record(close(residual), count)
+    return result.verdict_counts, carried_per_segment
+
+
+@given(computation=small_computations(), formula=formulas(max_depth=2))
+@settings(max_examples=30, **_SETTINGS)
+def test_columnar_equals_object_path(computation, formula):
+    """The columnar kernel and the legacy object walk are bit-identical:
+    same verdict multisets AND same carried residual dicts at every
+    segment boundary, serial and segmented."""
+    for segments in (1, 3):
+        with _columnar(True):
+            col_counts, col_carried = _pipeline_trajectory(
+                formula, computation, segments
+            )
+        with _columnar(False):
+            obj_counts, obj_carried = _pipeline_trajectory(
+                formula, computation, segments
+            )
+        assert col_counts == obj_counts
+        assert col_carried == obj_carried
+
+
+@given(computation=small_computations(), formula=formulas(max_depth=2))
+@settings(max_examples=15, **_SETTINGS)
+def test_columnar_snapshot_restores_onto_object_path(computation, formula):
+    """A session snapshot taken mid-stream under the columnar kernel
+    restores and finishes bit-identically under the object path (and
+    vice versa): the snapshot wire format carries materialized formulas,
+    never arena ids."""
+    events = sorted(computation.events, key=lambda e: (e.local_time, e.process, e.seq))
+    if len(events) < 2:
+        return
+    cut = events[len(events) // 2].local_time + 1
+    epsilon = computation.epsilon
+
+    def run_split(first_columnar: bool, second_columnar: bool):
+        with _columnar(first_columnar):
+            origin = OnlineMonitor(formula, epsilon)
+            for event in events:
+                if event.local_time < cut:
+                    origin.observe(event.process, event.local_time, event.props)
+            origin.advance_to(cut)
+            snapshot = pickle.loads(pickle.dumps(origin.snapshot()))
+        with _columnar(second_columnar):
+            restored = OnlineMonitor.restore(snapshot)
+            for event in events:
+                if event.local_time >= cut:
+                    restored.observe(event.process, event.local_time, event.props)
+            return restored.finish()
+
+    baseline = run_split(False, False)
+    for flags in ((True, True), (True, False), (False, True)):
+        result = run_split(*flags)
+        assert result.verdict_counts == baseline.verdict_counts
+        assert result.verdicts == baseline.verdicts

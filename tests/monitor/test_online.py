@@ -174,6 +174,35 @@ class TestEdgeCases:
         with pytest.raises(MonitorError, match="finished"):
             online.advance_to(10)
 
+    def test_default_budget_tames_the_roadmap_blowup(self):
+        """ROADMAP's blowup case: ``F[0,30) b``, epsilon 2, 16 events on
+        one process, no intervening advance.  With the old unbounded
+        default (``max_traces_per_segment=None``) the final segment's
+        enumeration effectively never terminated; the finite default
+        budget must finish in seconds with a truncation report instead.
+        """
+        monitor = OnlineMonitor(parse("F[0,30) b"), epsilon=2)
+        for t in range(16):
+            monitor.observe("P1", t, {"b"} if t == 7 else ())
+        result = monitor.finish()
+        assert result.truncated
+        assert not result.exhaustive
+        assert result.segment_reports[0].truncated
+        assert result.may_be_satisfied  # the witness at t=7 is found
+        # The budget, not exhaustion, stopped enumeration.
+        from repro.encoding.verdict_enumerator import DEFAULT_TRACE_BUDGET
+
+        assert result.segment_reports[0].traces_enumerated == DEFAULT_TRACE_BUDGET
+
+    def test_explicit_none_budget_is_unbounded(self):
+        """``max_traces_per_segment=None`` still opts out of the budget
+        (small case, exhaustively enumerable)."""
+        monitor = OnlineMonitor(parse("F[0,8) b"), epsilon=1, max_traces_per_segment=None)
+        monitor.observe("P1", 2, "b")
+        result = monitor.finish()
+        assert result.exhaustive
+        assert not result.truncated
+
     def test_run_rejects_message_edges(self):
         """Dropping message edges would enlarge the admissible-trace set
         and return unsound verdicts, so run() must refuse them."""

@@ -1,0 +1,127 @@
+"""The columnar kernel against the object-path progressor, node by node.
+
+These are the narrow-differential companions to the end-to-end pipeline
+tests in ``tests/monitor/test_differential.py``: one trace, one formula,
+both engines — the results must be the *same canonical object* (not just
+equal), because both paths intern into the same arena.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MonitorError
+from repro.mtl import ast
+from repro.mtl.ast import formula_of, intern_formula
+from repro.progression.columnar import ColumnarSegmentProgressor
+from repro.progression.progressor import anchor_shift, close, close_id, progress
+
+from tests.conftest import formulas, timed_traces
+
+_SETTINGS = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(formula=formulas(max_depth=3), trace=timed_traces(), pad=st.integers(0, 5))
+@settings(max_examples=120, **_SETTINGS)
+def test_columnar_matches_object_progression(formula, trace, pad):
+    """One batch pass == one recursive walk, bit-identically."""
+    interned = intern_formula(formula)
+    boundary = trace.end_time + pad
+    kernel = ColumnarSegmentProgressor([(interned._intern_id, 1)])
+    ((rid, count),) = kernel.progress_trace(trace, 0, boundary)
+    expected = progress(trace, interned, boundary)
+    assert count == 1
+    assert formula_of(rid) is expected
+
+
+@given(
+    formula=formulas(max_depth=3),
+    trace=timed_traces(),
+    pad=st.integers(0, 4),
+    d=st.integers(0, 6),
+)
+@settings(max_examples=120, **_SETTINGS)
+def test_shift_root_matches_anchor_shift(formula, trace, pad, d):
+    """Id-level re-anchoring mirrors the object-level one exactly."""
+    residual = progress(trace, intern_formula(formula), trace.end_time + pad)
+    kernel = ColumnarSegmentProgressor([])
+    shifted_id = kernel.shift_root(residual._intern_id, d)
+    assert formula_of(shifted_id) is anchor_shift(residual, d)
+
+
+@given(formula=formulas(max_depth=3), trace=timed_traces(), pad=st.integers(0, 4))
+@settings(max_examples=120, **_SETTINGS)
+def test_close_id_matches_structural_close(formula, trace, pad):
+    """The arena-cached close verdict equals a fresh structural walk."""
+    residual = progress(trace, intern_formula(formula), trace.end_time + pad)
+
+    def reference(node: ast.Formula) -> bool:
+        if isinstance(node, ast.TrueConst):
+            return True
+        if isinstance(node, ast.FalseConst):
+            return False
+        if isinstance(node, ast.Not):
+            return not reference(node.operand)
+        if isinstance(node, ast.And):
+            return all(reference(op) for op in node.operands)
+        if isinstance(node, ast.Or):
+            return any(reference(op) for op in node.operands)
+        if isinstance(node, (ast.Eventually, ast.Until)):
+            return False
+        assert isinstance(node, ast.Always)
+        return True
+
+    assert close_id(residual._intern_id) == reference(residual)
+    assert close(residual) == reference(residual)
+
+
+@given(
+    left=formulas(max_depth=2),
+    right=formulas(max_depth=2),
+    trace=timed_traces(),
+    pad=st.integers(0, 3),
+)
+@settings(max_examples=60, **_SETTINGS)
+def test_multiple_roots_share_one_pass(left, right, trace, pad):
+    """A two-root column progresses both, aligned, with counts intact —
+    including when the roots collapse to the same residual."""
+    a = intern_formula(left)
+    b = intern_formula(right)
+    boundary = trace.end_time + pad
+    kernel = ColumnarSegmentProgressor([(a._intern_id, 3), (b._intern_id, 5)])
+    (ra, ca), (rb, cb) = kernel.progress_trace(trace, 0, boundary)
+    assert (ca, cb) == (3, 5)
+    assert formula_of(ra) is progress(trace, a, boundary)
+    assert formula_of(rb) is progress(trace, b, boundary)
+
+
+def test_constant_roots_pass_through():
+    """TRUE/FALSE roots progress to themselves."""
+    from repro.mtl.trace import State, TimedTrace
+
+    trace = TimedTrace((State(frozenset({"a"})),), (0,))
+    kernel = ColumnarSegmentProgressor(
+        [(ast.TRUE_ID, 2), (ast.FALSE_ID, 7)]
+    )
+    assert kernel.progress_trace(trace, 0, 1) == [
+        (ast.TRUE_ID, 2),
+        (ast.FALSE_ID, 7),
+    ]
+
+
+def test_shift_root_rejects_negative_and_bare_atoms():
+    kernel = ColumnarSegmentProgressor([])
+    fid = intern_formula(ast.atom("a"))._intern_id
+    try:
+        kernel.shift_root(fid, -1)
+    except MonitorError as exc:
+        assert "backwards" in str(exc)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("negative shift must be rejected")
+    try:
+        kernel.shift_root(fid, 2)
+    except MonitorError as exc:
+        assert "bare atom" in str(exc)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("bare atoms must be rejected")
