@@ -17,6 +17,13 @@ Four metrics, each timing one layer of the hot path:
   ``session_service`` end-to-end feed through a one-worker
   :class:`~repro.service.MonitorService` session asserted bit-identical
   to the in-process :class:`~repro.monitor.online.OnlineMonitor`.
+* ``intra_segment`` — an enumeration-bound single-segment computation
+  through ``ParallelMonitor(intra_segment_parts=...)`` vs the serial
+  engine, verdict multisets asserted bit-identical; the in-run speedup
+  is gated only on >= 4-core hosts (report-only on small CI runners).
+* ``preempt_latency`` — cancel a running ``SmtMonitor.run`` via its
+  :class:`~repro.progression.budget.Budget` and time cancel-to-unwind
+  (the one-checkpoint-interval promise, as a smoke number).
 
 Regression guard: ``--baseline`` writes ``BENCH_hotpath.json``;
 ``--check BENCH_hotpath.json`` re-runs the suite and fails when any
@@ -56,6 +63,12 @@ SCHEMA = 2
 #: this much faster than the object path *measured in the same run* — a
 #: relative gate, so it holds on any host speed.
 MIN_COLUMNAR_SPEEDUP = 1.3
+
+#: In-run partitioned-vs-serial speedup the ``intra_segment`` metric must
+#: show — but only on hosts with enough cores for the claim to be
+#: meaningful; below that the number is reported, not gated.
+MIN_INTRA_SEGMENT_SPEEDUP = 1.15
+INTRA_SEGMENT_GATE_CORES = 4
 
 #: The carried-residual-heavy reference workload (full / smoke budgets).
 WORKLOAD = WorkloadSpec(
@@ -274,6 +287,84 @@ def bench_session_service(mode: str) -> dict:
     return {"seconds": seconds, "events": count}
 
 
+def _intra_workload(mode: str):
+    """A dense single-segment computation: enumeration-bound, exhaustive
+    (no truncation — per-part trace budgets would truncate at different
+    points than serial and break the bit-identical assertion)."""
+    from repro.distributed.computation import DistributedComputation
+    from repro.mtl import parse
+
+    per_process = {"full": 6, "smoke": 5}[mode]
+    computation = DistributedComputation.from_event_lists(
+        1,
+        {
+            "P1": [(i, "a" if i % 2 else ()) for i in range(per_process)],
+            "P2": [(i, "b" if i % 3 else ()) for i in range(per_process)],
+            "P3": [(i, ()) for i in range(per_process)],
+        },
+    )
+    return computation, parse("G[0,40) (a -> F[0,5) b)")
+
+
+def bench_intra_segment(mode: str) -> dict:
+    """Partitioned enumeration vs serial on the same run, bit-identical."""
+    computation, formula = _intra_workload(mode)
+    engine = SmtMonitor(formula, saturate=False, max_traces_per_segment=None)
+    serial_seconds, serial_result = _timed(lambda: engine.run(computation))
+    parallel = ParallelMonitor(
+        formula,
+        workers=2,
+        saturate=False,
+        max_traces_per_segment=None,
+        intra_segment_parts=2,
+    )
+    seconds, result = _timed(lambda: parallel.run(computation))
+    serial_counts = {str(k): v for k, v in sorted(serial_result.verdict_counts.items())}
+    counts = {str(k): v for k, v in sorted(result.verdict_counts.items())}
+    if counts != serial_counts:
+        raise SystemExit(
+            f"intra-segment verdicts {counts} diverge from serial {serial_counts}"
+        )
+    return {
+        "seconds": seconds,
+        "serial_seconds": serial_seconds,
+        "speedup": serial_seconds / seconds,
+        "verdict_counts": counts,
+    }
+
+
+def bench_preempt_latency(mode: str) -> dict:
+    """Cancel a running enumeration; time cancel() -> PreemptedError."""
+    import threading
+
+    from repro.errors import PreemptedError
+    from repro.progression.budget import Budget
+
+    computation, formula = _intra_workload("full")  # big enough to outlive the cancel
+    engine = SmtMonitor(formula, saturate=False, max_traces_per_segment=None)
+    budget = Budget()
+    unwound: dict = {}
+
+    def run() -> None:
+        try:
+            engine.run(computation, budget=budget)
+            unwound["completed"] = True
+        except PreemptedError:
+            unwound["at"] = time.perf_counter()
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    time.sleep(0.2)  # let the DFS get deep into the segment
+    cancelled_at = time.perf_counter()
+    budget.cancel("bench preemption smoke")
+    thread.join(timeout=60)
+    if unwound.get("completed") or "at" not in unwound:
+        raise SystemExit(
+            "preemption smoke never preempted - enlarge the workload"
+        )
+    return {"seconds": unwound["at"] - cancelled_at}
+
+
 # -- harness -----------------------------------------------------------------------
 
 
@@ -308,6 +399,14 @@ def run_suite(mode: str) -> dict:
     metrics["session_service"] = bench_session_service(mode)
     print(f"  {metrics['session_service']['seconds']:.3f}s "
           f"({metrics['session_service']['events']} events, verdicts bit-identical)")
+    print("intra_segment ...", flush=True)
+    metrics["intra_segment"] = bench_intra_segment(mode)
+    print(f"  {metrics['intra_segment']['seconds']:.3f}s partitioned vs "
+          f"{metrics['intra_segment']['serial_seconds']:.3f}s serial "
+          f"({metrics['intra_segment']['speedup']:.2f}x, verdicts bit-identical)")
+    print("preempt_latency ...", flush=True)
+    metrics["preempt_latency"] = bench_preempt_latency(mode)
+    print(f"  {metrics['preempt_latency']['seconds'] * 1000:.1f} ms cancel-to-unwind")
     return {
         "schema": SCHEMA,
         "mode": mode,
@@ -354,6 +453,23 @@ def check_against(report: dict, baseline_path: Path, tolerance: float) -> int:
             failures += 1
         print(f"  columnar speedup   {speedup:.2f}x "
               f"(gate >= {MIN_COLUMNAR_SPEEDUP}x) {'ok' if ok else 'REGRESSION'}")
+    intra = report["metrics"].get("intra_segment")
+    if intra is not None:
+        # The parallel speedup claim is meaningless on hosts with fewer
+        # cores than parts + client: gate only where it can hold, report
+        # everywhere (the bit-identical assertion already ran in-suite).
+        cores = os.cpu_count() or 1
+        speedup = intra["speedup"]
+        if cores >= INTRA_SEGMENT_GATE_CORES:
+            ok = speedup >= MIN_INTRA_SEGMENT_SPEEDUP
+            if not ok:
+                failures += 1
+            print(f"  intra-seg speedup  {speedup:.2f}x "
+                  f"(gate >= {MIN_INTRA_SEGMENT_SPEEDUP}x on {cores} cores) "
+                  f"{'ok' if ok else 'REGRESSION'}")
+        else:
+            print(f"  intra-seg speedup  {speedup:.2f}x "
+                  f"(report-only: {cores} cores < {INTRA_SEGMENT_GATE_CORES})")
     return 1 if failures else 0
 
 

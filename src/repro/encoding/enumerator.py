@@ -17,6 +17,7 @@ from repro.distributed.hb import HappenedBefore, HappenedBeforeView
 from repro.encoding.cut_encoder import encode_segment, timestamp_domain
 from repro.encoding.trace_extractor import build_trace, model_to_trace
 from repro.mtl.trace import TimedTrace
+from repro.progression.budget import Budget
 from repro.solver.engine import Solver
 
 
@@ -30,24 +31,71 @@ def enumerate_traces(
     base_valuation=None,
     frontier_props=None,
     timestamp_samples: int | None = None,
+    budget: Budget | None = None,
+    root_branches: Sequence[tuple[int, int]] | None = None,
 ) -> Iterator[TimedTrace]:
     """All traces of ``Tr(E, ⇝)`` for the segment, lazily.
 
     ``backend`` selects the DFS fast path or the paper-literal CSP
     encoding; both enumerate the same set of traces.  ``base_valuation``
     seeds the cumulative numeric valuation (sums carried from previous
-    segments).
+    segments).  ``budget`` is checkpointed once per DFS node (or per CSP
+    model) and raises :class:`~repro.errors.PreemptedError` mid-stream
+    when tripped.  ``root_branches`` restricts the DFS to the given
+    ``(event_index, timestamp)`` first choices — the partitioned mode:
+    the union of the traces over a partition of :func:`root_frontier` is
+    exactly the unrestricted enumeration.
     """
     if backend == "csp":
+        if root_branches is not None:
+            raise ValueError("root_branches requires the dfs backend")
         yield from _enumerate_csp(
             hb, epsilon, clamp_lo, clamp_hi, limit, base_valuation, frontier_props,
-            timestamp_samples)
+            timestamp_samples, budget)
         return
     if backend != "dfs":
         raise ValueError(f"unknown backend {backend!r}")
     yield from _enumerate_dfs(
         hb, epsilon, clamp_lo, clamp_hi, limit, base_valuation, frontier_props,
-        timestamp_samples)
+        timestamp_samples, budget, root_branches)
+
+
+def root_frontier(
+    hb: HappenedBefore | HappenedBeforeView,
+    epsilon: int,
+    clamp_lo: int | None = None,
+    clamp_hi: int | None = None,
+    timestamp_samples: int | None = None,
+) -> list[tuple[int, int]]:
+    """The DFS root branches: every admissible first ``(event, timestamp)``.
+
+    Each pair is an ``(event_index, timestamp)`` first choice of the
+    unrestricted DFS, in the exact order the serial walk would try them.
+    Partitioning this list and running :func:`enumerate_traces` with each
+    part as ``root_branches`` yields disjoint sub-enumerations whose
+    union (as a multiset of traces) equals the serial walk — the split
+    point for intra-segment parallelism.
+    """
+    events: Sequence[Event] = hb.events
+    n = len(events)
+    if n == 0:
+        return []
+    domains = [
+        _diverse_first(
+            timestamp_domain(event, epsilon, clamp_lo, clamp_hi, timestamp_samples).values,
+            events[i].local_time)
+        for i, event in enumerate(events)
+    ]
+    # Mirror the DFS root: dead-branch pruning at last_time=0 empties the
+    # whole enumeration when any event cannot reach a non-negative time.
+    if any(max(d) < 0 for d in domains):
+        return []
+    branches: list[tuple[int, int]] = []
+    for i in range(n):
+        if hb.predecessors_mask(i):
+            continue  # has a happened-before predecessor: never a first pick
+        branches.extend((i, ts) for ts in domains[i] if ts >= 0)
+    return branches
 
 
 def _enumerate_csp(
@@ -59,10 +107,13 @@ def _enumerate_csp(
     base_valuation,
     frontier_props,
     timestamp_samples,
+    budget: Budget | None = None,
 ) -> Iterator[TimedTrace]:
     problem, events = encode_segment(hb, epsilon, clamp_lo, clamp_hi, timestamp_samples)
     solver = Solver(problem)
     for model in solver.solutions(limit):
+        if budget is not None:
+            budget.step()
         yield model_to_trace(
             events, model, base_valuation=base_valuation, frontier_props=frontier_props)
 
@@ -76,6 +127,8 @@ def _enumerate_dfs(
     base_valuation,
     frontier_props,
     timestamp_samples,
+    budget: Budget | None = None,
+    root_branches: Sequence[tuple[int, int]] | None = None,
 ) -> Iterator[TimedTrace]:
     events: Sequence[Event] = hb.events
     n = len(events)
@@ -94,6 +147,8 @@ def _enumerate_dfs(
 
     def recurse(chosen_mask: int, last_time: int) -> Iterator[TimedTrace]:
         nonlocal produced
+        if budget is not None:
+            budget.step()
         if limit is not None and produced >= limit:
             return
         if len(chosen_order) == n:
@@ -120,7 +175,21 @@ def _enumerate_dfs(
                 if limit is not None and produced >= limit:
                     return
 
-    yield from recurse(0, 0)
+    if root_branches is None:
+        yield from recurse(0, 0)
+        return
+    # Partitioned mode: the caller pins the depth-0 choices.  The pruning
+    # and ordering below the root are byte-for-byte the serial walk, so
+    # the union over a partition of root_frontier() is the full stream.
+    for i in range(n):
+        if max_time[i] < 0:
+            return
+    for i, timestamp in root_branches:
+        chosen_order.append((events[i], timestamp))
+        yield from recurse(1 << i, timestamp)
+        chosen_order.pop()
+        if limit is not None and produced >= limit:
+            return
 
 
 def _diverse_first(values: tuple[int, ...], center: int) -> tuple[int, ...]:

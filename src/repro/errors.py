@@ -48,6 +48,21 @@ class MonitorError(ReproError):
     """The monitor was driven incorrectly (segments out of order...)."""
 
 
+class PreemptedError(MonitorError):
+    """A running computation was preempted by its execution budget.
+
+    Raised cooperatively at a :class:`~repro.progression.budget.Budget`
+    checkpoint when the budget was cancelled (a client ``drop`` on the
+    running request, or an explicit :meth:`Budget.cancel`) or its
+    wall-clock deadline passed.  Distinct from *truncation*: a truncated
+    segment stops gracefully at its trace budget and keeps its partial
+    counts; a preempted computation unwinds without committing state, so
+    the same work can be retried after a restore and yield identical
+    verdicts.  Deliberately *not* a :class:`ServiceError` — preemption is
+    an engine outcome, not a transport failure, so durable sessions do
+    not trigger recovery on it."""
+
+
 class ServiceError(MonitorError):
     """The monitor service failed at the transport layer (worker died,
     service already closed, request timed out...).  Worker-side monitoring

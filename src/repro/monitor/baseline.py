@@ -36,7 +36,7 @@ class EnumerationMonitor:
     def formula(self) -> Formula:
         return self._formula
 
-    def run(self, computation: DistributedComputation) -> MonitorResult:
+    def run(self, computation: DistributedComputation, budget=None) -> MonitorResult:
         result = MonitorResult(self._formula)
         if len(computation) == 0:
             result.record(close(self._formula))
@@ -48,6 +48,7 @@ class EnumerationMonitor:
             computation.epsilon,
             limit=self._max_traces,
             timestamp_samples=self._timestamp_samples,
+            budget=budget,
         ):
             enumerated += 1
             result.record(satisfies(trace, self._formula))

@@ -57,7 +57,7 @@ class FastMonitor:
     def formula(self) -> Formula:
         return self._formula
 
-    def run(self, computation: DistributedComputation) -> MonitorResult:
+    def run(self, computation: DistributedComputation, budget=None) -> MonitorResult:
         result = MonitorResult(self._formula)
         if self._timestamp_samples is not None:
             result.exhaustive = False
@@ -65,7 +65,7 @@ class FastMonitor:
         if len(computation) == 0:
             result.record(close(self._formula))
             return result
-        walker = _CutWalker(computation, self._formula, self._timestamp_samples)
+        walker = _CutWalker(computation, self._formula, self._timestamp_samples, budget)
         outcomes = walker.outcomes()
         for verdict, count in outcomes.items():
             result.record(verdict, count)
@@ -89,7 +89,9 @@ class _CutWalker:
         computation: DistributedComputation,
         formula: Formula,
         timestamp_samples: int | None,
+        budget=None,
     ) -> None:
+        self._budget = budget
         self._hb = computation.happened_before()
         self._events: Sequence[Event] = self._hb.events
         self._n = len(self._events)
@@ -168,6 +170,8 @@ class _CutWalker:
         return False
 
     def _walk(self, mask: int, last_time: int, residual: Formula) -> dict[bool, int]:
+        if self._budget is not None:
+            self._budget.step()
         if isinstance(residual, (TrueConst, FalseConst)):
             # The whole subtree is decided; its weight is the number of
             # completions of the cut (0 on a dead branch — drop those so
@@ -197,6 +201,8 @@ class _CutWalker:
 
     def _completions(self, mask: int, last_time: int) -> int:
         """Number of (ordering, timestamp) completions of a partial cut."""
+        if self._budget is not None:
+            self._budget.step()
         if mask == (1 << self._n) - 1:
             return 1
         key = (mask, last_time)

@@ -25,9 +25,10 @@ from repro.encoding.verdict_enumerator import (
     DEFAULT_TRACE_BUDGET,
     enumerate_segment_outcomes,
 )
-from repro.errors import MonitorError
+from repro.errors import MonitorError, PreemptedError
 from repro.mtl.ast import FALSE_ID, TRUE_ID, Formula, formula_of
 from repro.monitor.verdicts import MonitorResult, SegmentReport
+from repro.progression.budget import Budget
 from repro.progression.progressor import close
 
 #: Version tag carried by :meth:`OnlineMonitor.snapshot` payloads, so a
@@ -68,7 +69,9 @@ class OnlineMonitor:
 
     # -- one-shot protocol adapter -------------------------------------------------
 
-    def run(self, computation: DistributedComputation) -> MonitorResult:
+    def run(
+        self, computation: DistributedComputation, budget: Budget | None = None
+    ) -> MonitorResult:
         """Monitor a complete computation (the :class:`Monitor` protocol).
 
         Replays the computation's events through a *fresh* online monitor
@@ -97,7 +100,7 @@ class OnlineMonitor:
             replay.observe(
                 event.process, event.local_time, event.props, dict(event.deltas) or None
             )
-        return replay.finish()
+        return replay.finish(budget=budget)
 
     # -- feeding -----------------------------------------------------------------
 
@@ -123,11 +126,18 @@ class OnlineMonitor:
 
     # -- advancing ----------------------------------------------------------------
 
-    def advance_to(self, boundary: int) -> frozenset[bool]:
+    def advance_to(self, boundary: int, budget: Budget | None = None) -> frozenset[bool]:
         """Declare all times below ``boundary`` final and progress over them.
 
         Returns the set of verdicts already decided (may be empty while
         everything is still pending).
+
+        Preemption has *abort* semantics: when ``budget`` trips mid-
+        segment, the monitor's state — buffer included — is rolled back
+        to exactly what it was before this call and
+        :class:`PreemptedError` propagates.  Retrying the same
+        ``advance_to`` (here, or on a restored snapshot) produces the
+        verdicts the uninterrupted call would have.
         """
         if self._finished:
             raise MonitorError("monitor already finished")
@@ -135,10 +145,15 @@ class OnlineMonitor:
             raise MonitorError(
                 f"boundary must advance: frontier {self._frontier}, got {boundary}"
             )
-        ready = [e for e in self._buffer if e[1] < boundary]
-        self._buffer = [e for e in self._buffer if e[1] >= boundary]
+        original_buffer = self._buffer
+        ready = [e for e in original_buffer if e[1] < boundary]
+        self._buffer = [e for e in original_buffer if e[1] >= boundary]
         if ready:
-            self._process_segment(ready, boundary)
+            try:
+                self._process_segment(ready, boundary, budget)
+            except PreemptedError:
+                self._buffer = original_buffer
+                raise
         self._frontier = boundary
         return self._result.verdicts
 
@@ -146,6 +161,7 @@ class OnlineMonitor:
         self,
         ready: list[tuple[str, int, frozenset[str], Mapping[str, float] | None]],
         boundary: int,
+        budget: Budget | None = None,
     ) -> None:
         computation = DistributedComputation(self._epsilon)
         ready.sort(key=lambda e: (e[1], e[0]))
@@ -164,7 +180,15 @@ class OnlineMonitor:
             backend=self._backend,
             base_valuation=self._base_valuation,
             frontier_props=self._frontier_props,
+            budget=budget,
         )
+        if outcome.preempted:
+            # Raise before any state mutation: the caller rolls the buffer
+            # back and the stream stays exactly where it was.
+            raise PreemptedError(
+                f"segment at boundary {boundary} preempted after "
+                f"{outcome.traces_enumerated} traces"
+            )
         if outcome.truncated:
             self._result.exhaustive = False
         self._result.segment_reports.append(
@@ -294,14 +318,19 @@ class OnlineMonitor:
         """True once :meth:`finish` has sealed the stream."""
         return self._finished
 
-    def finish(self) -> MonitorResult:
-        """Consume any remaining events, close residuals, return verdicts."""
+    def finish(self, budget: Budget | None = None) -> MonitorResult:
+        """Consume any remaining events, close residuals, return verdicts.
+
+        Preemption mid-finish (``budget`` tripping during the final
+        segment) leaves the stream open and unchanged, like
+        :meth:`advance_to`.
+        """
         if self._finished:
             return self._result
         if self._buffer:
             last_time = max(e[1] for e in self._buffer)
             epsilon_pad = self._epsilon  # allow skew-shifted timestamps
-            self.advance_to(last_time + epsilon_pad)
+            self.advance_to(last_time + epsilon_pad, budget=budget)
         for residual, count in self._carried.items():
             self._result.record(close(residual), count)
         self._carried = {}

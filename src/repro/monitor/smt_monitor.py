@@ -25,10 +25,12 @@ from repro.encoding.trace_extractor import segment_carry
 from repro.encoding.verdict_enumerator import (
     DEFAULT_TRACE_BUDGET,
     enumerate_segment_outcomes,
+    partitioned_segment_outcomes,
 )
-from repro.errors import MonitorError
+from repro.errors import MonitorError, PreemptedError
 from repro.mtl.ast import FALSE_ID, TRUE_ID, Formula, formula_of
 from repro.monitor.verdicts import MonitorResult, SegmentReport
+from repro.progression.budget import Budget
 from repro.progression.progressor import close
 
 
@@ -106,12 +108,38 @@ class SmtMonitor:
         self._saturate = saturate
         self._timestamp_samples = timestamp_samples
         self._cache_traces = cache_traces
+        # Client-side intra-segment fan-out, set by attach_partitioner().
+        # Never pickled: shard tasks rebuild SmtMonitor from kwargs.
+        self._partition_submit = None
+        self._partition_parts = 0
 
     @property
     def formula(self) -> Formula:
         return self._formula
 
-    def run(self, computation: DistributedComputation) -> MonitorResult:
+    def attach_partitioner(self, submit, parts: int) -> None:
+        """Fan each segment's root-frontier enumeration across a pool.
+
+        ``submit`` takes a :class:`~repro.service.tasks.SegmentPartTask`
+        and returns a future (``MonitorService.submit_segment_part``);
+        ``parts`` caps the sub-tasks per segment.  Segments that need
+        serial semantics (the saturating last segment, ``max_distinct``
+        early-stop, non-DFS backends) fall back to the serial walk —
+        verdict multisets stay bit-identical either way.
+        """
+        if parts < 2:
+            raise MonitorError(f"parts must be >= 2, got {parts}")
+        self._partition_submit = submit
+        self._partition_parts = parts
+
+    def detach_partitioner(self) -> None:
+        """Return every segment to the serial enumeration path."""
+        self._partition_submit = None
+        self._partition_parts = 0
+
+    def run(
+        self, computation: DistributedComputation, budget: Budget | None = None
+    ) -> MonitorResult:
         """Monitor a complete computation and return its verdict set."""
         if len(computation) == 0:
             # No observations at all: close the specification directly
@@ -119,7 +147,7 @@ class SmtMonitor:
             result = MonitorResult(self._formula)
             result.record(close(self._formula))
             return result
-        return self.run_from(computation, self.initial_state(), start=0)
+        return self.run_from(computation, self.initial_state(), start=0, budget=budget)
 
     # -- resumable pipeline ------------------------------------------------------
 
@@ -141,10 +169,15 @@ class SmtMonitor:
         state: PipelineState,
         result: MonitorResult,
         epsilon: int,
+        budget: Budget | None = None,
     ) -> PipelineState:
         """Consume ``segments[order]``: enumerate its traces, progress every
         carried residual, record decided verdicts into ``result``, and
-        return the state carried into the next segment."""
+        return the state carried into the next segment.
+
+        Preemption (``budget`` tripping) appends a ``preempted`` segment
+        report and raises :class:`PreemptedError` *without* returning a
+        new state — the fold aborts, nothing is committed."""
         segment = segments[order]
         is_first = order == 0
         is_last = order == len(segments) - 1
@@ -153,28 +186,74 @@ class SmtMonitor:
         view = hb.restricted_to(indices)
         clamp_lo = None if is_first else segment.lo
         clamp_hi = None if is_last else segment.hi
-        cache_key = None
-        if self._cache_traces:
-            cache_key = self._segment_cache_key(
-                view, segment, state, epsilon, clamp_lo, clamp_hi
-            )
-        outcome = enumerate_segment_outcomes(
-            view,
-            epsilon,
-            state.carried,
-            state.anchor,
-            boundary=segment.hi,
-            clamp_lo=clamp_lo,
-            clamp_hi=clamp_hi,
-            max_traces=self._max_traces,
-            max_distinct=self._max_distinct,
-            backend=self._backend,
-            base_valuation=state.base_valuation,
-            frontier_props=state.frontier,
-            saturate_final=self._saturate and is_last,
-            timestamp_samples=self._timestamp_samples,
-            cache_key=cache_key,
+        saturate_final = self._saturate and is_last
+        # The saturation and max_distinct early-stops depend on the serial
+        # enumeration order, so those segments keep the serial walk.
+        partitioned = (
+            self._partition_submit is not None
+            and self._backend == "dfs"
+            and not saturate_final
+            and self._max_distinct is None
         )
+        if partitioned:
+            outcome = partitioned_segment_outcomes(
+                self._partition_submit,
+                self._partition_parts,
+                view,
+                epsilon,
+                state.carried,
+                state.anchor,
+                boundary=segment.hi,
+                clamp_lo=clamp_lo,
+                clamp_hi=clamp_hi,
+                max_traces=self._max_traces,
+                backend=self._backend,
+                base_valuation=state.base_valuation,
+                frontier_props=state.frontier,
+                timestamp_samples=self._timestamp_samples,
+                budget=budget,
+            )
+        else:
+            cache_key = None
+            if self._cache_traces:
+                cache_key = self._segment_cache_key(
+                    view, segment, state, epsilon, clamp_lo, clamp_hi
+                )
+            outcome = enumerate_segment_outcomes(
+                view,
+                epsilon,
+                state.carried,
+                state.anchor,
+                boundary=segment.hi,
+                clamp_lo=clamp_lo,
+                clamp_hi=clamp_hi,
+                max_traces=self._max_traces,
+                max_distinct=self._max_distinct,
+                backend=self._backend,
+                base_valuation=state.base_valuation,
+                frontier_props=state.frontier,
+                saturate_final=saturate_final,
+                timestamp_samples=self._timestamp_samples,
+                cache_key=cache_key,
+                budget=budget,
+            )
+        if outcome.preempted:
+            result.exhaustive = False
+            result.verdict_set_complete = False
+            result.segment_reports.append(
+                SegmentReport(
+                    index=segment.index,
+                    events=len(segment.events),
+                    traces_enumerated=outcome.traces_enumerated,
+                    distinct_residuals=outcome.distinct,
+                    truncated=outcome.truncated,
+                    preempted=True,
+                )
+            )
+            raise PreemptedError(
+                f"segment {segment.index} preempted after "
+                f"{outcome.traces_enumerated} traces"
+            )
         if outcome.truncated:
             result.exhaustive = False
             result.verdict_set_complete = False
@@ -261,6 +340,7 @@ class SmtMonitor:
         computation: DistributedComputation,
         state: PipelineState,
         start: int = 0,
+        budget: Budget | None = None,
     ) -> MonitorResult:
         """Run segments ``start..`` from a given carried state and close the
         leftover residuals.  ``run()`` is ``run_from(c, initial_state(), 0)``;
@@ -272,7 +352,9 @@ class SmtMonitor:
         for order in range(start, len(segments)):
             if not state.carried:
                 break
-            state = self.step(hb, segments, order, state, result, computation.epsilon)
+            state = self.step(
+                hb, segments, order, state, result, computation.epsilon, budget=budget
+            )
         for residual, count in state.carried.items():
             result.record(close(residual), count)
         return result

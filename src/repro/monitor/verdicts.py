@@ -25,6 +25,10 @@ class SegmentReport:
     distinct_residuals: int
     truncated: bool
     saturated: bool = False
+    #: True when enumeration of this segment was preempted (budget cancel
+    #: or deadline) before completing — distinct from ``truncated``, which
+    #: is the graceful trace-budget stop.
+    preempted: bool = False
 
 
 @dataclass
@@ -60,6 +64,11 @@ class MonitorResult:
         monitor finished instead of hanging on a combinatorial blowup.
         """
         return any(report.truncated for report in self.segment_reports)
+
+    @property
+    def preempted(self) -> bool:
+        """True when any segment's enumeration was preempted mid-flight."""
+        return any(report.preempted for report in self.segment_reports)
 
     @property
     def may_be_satisfied(self) -> bool:

@@ -77,6 +77,17 @@ class ParallelMonitor:
     min_shard_residuals:
         Segment-parallel mode fans out only once at least this many
         residual formulas are carried (below it the split cannot win).
+    intra_segment_parts:
+        Enable **intra-segment** parallelism instead of residual
+        sharding: every segment's root-frontier enumeration is split
+        into up to this many independent sub-tasks fanned across the
+        pool (see
+        :func:`~repro.encoding.verdict_enumerator.partitioned_segment_outcomes`),
+        merging to a verdict multiset bit-identical to the serial walk.
+        Unlike residual sharding this parallelises from the *first*
+        segment — including single-segment runs, where sharding has
+        nothing to split.  Requires the default ``dfs`` backend; must be
+        >= 2.
     **monitor_kwargs:
         Forwarded to the engine constructor (``segments=``, budgets, ...).
     """
@@ -88,6 +99,7 @@ class ParallelMonitor:
         workers: int | None = None,
         chunksize: int | None = None,
         min_shard_residuals: int = 2,
+        intra_segment_parts: int | None = None,
         endpoints: Sequence[object] | None = None,
         **monitor_kwargs,
     ) -> None:
@@ -96,6 +108,10 @@ class ParallelMonitor:
         if min_shard_residuals < 2:
             raise MonitorError(
                 f"min_shard_residuals must be >= 2, got {min_shard_residuals}"
+            )
+        if intra_segment_parts is not None and intra_segment_parts < 2:
+            raise MonitorError(
+                f"intra_segment_parts must be >= 2, got {intra_segment_parts}"
             )
         self._formula = formula
         self._kind = monitor
@@ -110,6 +126,7 @@ class ParallelMonitor:
             self._workers = workers if workers is not None else default_workers()
         self._chunksize = chunksize
         self._min_shard = min_shard_residuals
+        self._intra_parts = intra_segment_parts
         self._monitor_kwargs = dict(monitor_kwargs)
 
     @property
@@ -189,6 +206,9 @@ class ParallelMonitor:
         if self._workers <= 1 or len(computation) == 0:
             return engine.run(computation)
 
+        if self._intra_parts is not None:
+            return self._run_intra_segment(engine, computation)
+
         segments = engine.segments_of(computation)
         if len(segments) <= 1:
             # One segment can never reach a shardable boundary: stay serial
@@ -245,6 +265,35 @@ class ParallelMonitor:
         self._collapse_segment_reports(result)
         return result
 
+    def _run_intra_segment(
+        self, engine: SmtMonitor, computation: DistributedComputation
+    ) -> MonitorResult:
+        """Run the whole pipeline client-side, fanning each segment's
+        enumeration across a pool.
+
+        The pipeline (segmentation, residual carry, closing) stays on
+        this thread; only the hot enumeration of each segment's root
+        frontier is partitioned into ``segment_part`` sub-tasks.  Works
+        for single-segment computations too — exactly the case residual
+        sharding cannot touch.  The pool is spawned here and closed in
+        the one ``finally`` below, whatever the run outcome.
+        """
+        service = MonitorService(
+            **(
+                {"endpoints": self._endpoints}
+                if self._endpoints is not None
+                else {"workers": self._workers}
+            )
+        )
+        try:
+            engine.attach_partitioner(
+                service.submit_segment_part, self._intra_parts
+            )
+            return engine.run(computation)
+        finally:
+            engine.detach_partitioner()
+            service.close()
+
     @staticmethod
     def _collapse_segment_reports(result: MonitorResult) -> None:
         """Fold the K per-shard reports of each parallel segment into one.
@@ -266,6 +315,7 @@ class ParallelMonitor:
                     distinct_residuals=report.distinct_residuals,
                     truncated=report.truncated,
                     saturated=report.saturated,
+                    preempted=report.preempted,
                 )
                 order.append(report.index)
             else:
@@ -273,6 +323,7 @@ class ParallelMonitor:
                 existing.distinct_residuals += report.distinct_residuals
                 existing.truncated = existing.truncated or report.truncated
                 existing.saturated = existing.saturated or report.saturated
+                existing.preempted = existing.preempted or report.preempted
         result.segment_reports = [by_index[index] for index in order]
 
     def _shard_residuals(

@@ -8,16 +8,22 @@ path (``repro.parallel.worker``) working.
 
 from repro.service.tasks import (
     BatchItem,
+    FrozenTopology,
     MonitorTask,
+    SegmentPartTask,
     SegmentShardTask,
     run_monitor_task,
+    run_segment_part,
     run_segment_shard,
 )
 
 __all__ = [
     "BatchItem",
+    "FrozenTopology",
     "MonitorTask",
+    "SegmentPartTask",
     "SegmentShardTask",
     "run_monitor_task",
+    "run_segment_part",
     "run_segment_shard",
 ]

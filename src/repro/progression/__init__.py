@@ -1,9 +1,11 @@
 """Formula progression for MTL over finite segments (paper Section IV)."""
 
+from repro.progression.budget import Budget
 from repro.progression.columnar import ColumnarSegmentProgressor
 from repro.progression.progressor import anchor_shift, close, close_id, progress
 
 __all__ = [
+    "Budget",
     "ColumnarSegmentProgressor",
     "anchor_shift",
     "close",

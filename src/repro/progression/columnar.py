@@ -37,7 +37,9 @@ API boundaries (segment reports, snapshots, shard tasks).
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
+from collections import OrderedDict
 
 from repro.errors import MonitorError
 from repro.mtl.ast import (
@@ -62,10 +64,69 @@ from repro.mtl.ast import (
     id_lnot,
     id_lor,
     id_until,
+    intern_formula,
 )
 from repro.mtl.trace import TimedTrace
 
-__all__ = ["ColumnarSegmentProgressor"]
+__all__ = [
+    "ColumnarSegmentProgressor",
+    "pack_carried_column",
+    "unpack_carried_column",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]
+
+
+# -- the shared plan cache ----------------------------------------------------------
+#
+# Plans depend only on the shifted root ids and the (append-only) arena, so
+# they are valid process-wide, not just for the one progressor instance that
+# compiled them.  Successive ``stream_segment_outcomes`` calls on the same
+# stream build a fresh progressor per segment but carry structurally
+# recurring residual sets — keying by ``(root ids, shift)`` lets segment k+1
+# reuse segment k's compilations instead of recompiling identical plans.
+
+_PLAN_CACHE: "OrderedDict[tuple, tuple[list[tuple], list[int]]]" = OrderedDict()
+_PLAN_CACHE_LIMIT = 256
+_PLAN_LOCK = threading.Lock()
+_PLAN_STATS = {"hits": 0, "misses": 0}
+
+
+def _shared_plan(roots_key: tuple[int, ...], shift: int, compile_fn):
+    key = (roots_key, shift)
+    with _PLAN_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE.move_to_end(key)
+            _PLAN_STATS["hits"] += 1
+            return plan
+        _PLAN_STATS["misses"] += 1
+    # Compile outside the lock: racing threads compile identical plans and
+    # the last write wins — cheaper than holding the lock through _compile.
+    plan = compile_fn(shift)
+    with _PLAN_LOCK:
+        _PLAN_CACHE[key] = plan
+        if len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the process-wide plan cache."""
+    with _PLAN_LOCK:
+        return {
+            "hits": _PLAN_STATS["hits"],
+            "misses": _PLAN_STATS["misses"],
+            "size": len(_PLAN_CACHE),
+        }
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the counters (tests)."""
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+        _PLAN_STATS["hits"] = 0
+        _PLAN_STATS["misses"] = 0
 
 
 class ColumnarSegmentProgressor:
@@ -77,12 +138,14 @@ class ColumnarSegmentProgressor:
     a segment share a handful of start times).
     """
 
-    __slots__ = ("_pairs", "_shift_memo", "_plans")
+    __slots__ = ("_pairs", "_roots_key", "_shift_memo", "_plans")
 
     def __init__(self, pairs: list[tuple[int, int]]) -> None:
         self._pairs = pairs
+        self._roots_key = tuple(fid for fid, _ in pairs)
         self._shift_memo: dict[tuple[int, int], int] = {}
-        #: shift -> (programs, root plan positions); see :meth:`_compile`.
+        #: shift -> (programs, root plan positions) — a per-instance view
+        #: of the process-wide :data:`_PLAN_CACHE` (no lock per trace).
         self._plans: dict[int, tuple[list[tuple], list[int]]] = {}
 
     # -- anchor shift (id level) ------------------------------------------------
@@ -203,18 +266,22 @@ class ColumnarSegmentProgressor:
     # -- the batch pass ---------------------------------------------------------
 
     def progress_trace(
-        self, trace: TimedTrace, shift: int, boundary: int
+        self, trace: TimedTrace, shift: int, boundary: int, budget=None
     ) -> list[tuple[int, int]]:
         """Progress every carried residual over ``trace`` in one pass.
 
         Returns ``(residual id, count)`` pairs aligned with the carried
-        column (one entry per root, counts passed through).
+        column (one entry per root, counts passed through).  ``budget``
+        (a :class:`~repro.progression.budget.Budget`) is stepped once per
+        program row so a cancel lands within one checkpoint interval.
         """
         plan = self._plans.get(shift)
         if plan is None:
-            plan = self._compile(shift)
+            plan = _shared_plan(self._roots_key, shift, self._compile)
             self._plans[shift] = plan
         programs, root_positions = plan
+        if budget is not None:
+            budget.step(len(programs))
         times = trace.times
         n = len(times)
         res = [0] * (len(programs) * n)
@@ -327,3 +394,97 @@ class ColumnarSegmentProgressor:
             (res[pos * n], count)
             for pos, (_, count) in zip(root_positions, self._pairs)
         ]
+
+
+# -- carried-column wire form -------------------------------------------------------
+#
+# Arena ids are process-local, so a carried ``(id, count)`` column cannot
+# cross the wire as ids.  The packed form ships the *structure* instead:
+# the reachable closure of the roots as plain rows in ascending-id (=
+# topological) order, each row referring to its children by local
+# position.  The receiver replays the rows through ``ARENA.row_id`` —
+# signature-level interning, no Formula objects materialized on either
+# side.  Predicate atoms carry arbitrary callables that only pickle can
+# move, so any closure containing one falls back to an object payload.
+
+_COLUMN_ROWS = "rows"
+_COLUMN_OBJECTS = "objects"
+
+
+def pack_carried_column(pairs: list[tuple[int, int]]):
+    """Pack a carried ``(arena id, count)`` column for the wire.
+
+    Returns ``("rows", row_tuple, ((root_position, count), ...))`` in the
+    object-free fast shape, or ``("objects", [(Formula, count), ...])``
+    when the closure contains a predicate atom (pickle fallback).
+    """
+    roots = [fid for fid, _ in pairs]
+    reachable: set[int] = set()
+    stack = list(roots)
+    while stack:
+        fid = stack.pop()
+        if fid in reachable:
+            continue
+        reachable.add(fid)
+        stack.extend(ARENA.children(fid))
+    if any(ARENA.kinds[fid] == KIND_PRED for fid in reachable):
+        return (
+            _COLUMN_OBJECTS,
+            [(formula_of(fid), count) for fid, count in pairs],
+        )
+    universe = sorted(reachable)
+    local = {fid: idx for idx, fid in enumerate(universe)}
+    rows = tuple(
+        (
+            ARENA.kinds[fid],
+            ARENA.names[fid],
+            ARENA.iv_lo[fid],
+            ARENA.iv_hi[fid],
+            tuple(local[c] for c in ARENA.children(fid)),
+        )
+        for fid in universe
+    )
+    return (
+        _COLUMN_ROWS,
+        rows,
+        tuple((local[fid], count) for fid, count in pairs),
+    )
+
+
+def unpack_carried_column(payload) -> list[tuple[int, int]]:
+    """Re-intern a packed carried column into local ``(id, count)`` pairs.
+
+    Rows replay in ascending order, so every child is interned before its
+    parent — exactly the invariant ``ARENA.row_id`` signature keys need.
+    """
+    if payload[0] == _COLUMN_OBJECTS:
+        return [
+            (intern_formula(formula)._intern_id, count)
+            for formula, count in payload[1]
+        ]
+    if payload[0] != _COLUMN_ROWS:
+        raise MonitorError(f"unknown carried-column payload {payload[0]!r}")
+    _, rows, root_pairs = payload
+    ids: list[int] = []
+    for kind, name, iv_lo, iv_hi, child_locals in rows:
+        children = tuple(ids[c] for c in child_locals)
+        if kind == KIND_TRUE:
+            ids.append(TRUE_ID)
+            continue
+        if kind == KIND_FALSE:
+            ids.append(FALSE_ID)
+            continue
+        if kind == KIND_ATOM:
+            key: tuple = (KIND_ATOM, name)
+        elif kind == KIND_NOT:
+            key = (KIND_NOT, children[0])
+        elif kind == KIND_AND or kind == KIND_OR:
+            key = (kind,) + children
+        elif kind == KIND_UNTIL:
+            key = (KIND_UNTIL, children[0], children[1], iv_lo, iv_hi)
+        elif kind == KIND_ALWAYS or kind == KIND_EVENTUALLY:
+            key = (kind, children[0], iv_lo, iv_hi)
+        else:
+            raise MonitorError(f"cannot unpack arena row of kind {kind}")
+        ids.append(ARENA.row_id(key, kind, children, iv_lo, iv_hi, name))
+    return [(ids[pos], count) for pos, count in root_pairs]

@@ -105,13 +105,16 @@ class TraceProgressor:
     cheap (see DESIGN.md, "Hot path & performance").
     """
 
-    def __init__(self, trace: TimedTrace, boundary: int) -> None:
+    def __init__(self, trace: TimedTrace, boundary: int, budget=None) -> None:
         self._trace = trace
         self._boundary = boundary
+        self._budget = budget
         self._cache: dict[tuple[int, int], Formula] = {}
         self._offsets: dict[tuple[Interval, int], range] = {}
 
     def progress(self, formula: Formula, i: int) -> Formula:
+        if self._budget is not None:
+            self._budget.step()
         fid = formula._intern_id
         if fid is None:
             formula = intern_formula(formula)

@@ -66,7 +66,12 @@ from repro.service.durability import CheckpointConfig, resolve_checkpoint
 from repro.service.futures import MonitorFuture
 from repro.service.reports import BatchReport
 from repro.service.session import Session
-from repro.service.tasks import BatchItem, MonitorTask, SegmentShardTask
+from repro.service.tasks import (
+    BatchItem,
+    MonitorTask,
+    SegmentPartTask,
+    SegmentShardTask,
+)
 from repro.transport import (
     CONTROL_ID,
     DROPPED_BEFORE_EXECUTION,
@@ -83,7 +88,14 @@ from repro.transport import (
 #: Only pure computations qualify: session ops mutate worker-held stream
 #: state, so replaying one elsewhere would corrupt the stream (sessions
 #: have their own recovery — checkpoints and journal replay).
-STEALABLE_OPS = ("monitor", "shard")
+#: ``segment_part`` is pure by construction — it enumerates a shipped
+#: slice of one segment's root frontier against a shipped residual
+#: column, touching no worker-held state.
+STEALABLE_OPS = ("monitor", "shard", "segment_part")
+
+#: Registry re-dial backoff: first retry delay and its cap, seconds.
+REGISTRY_REDIAL_MIN = 0.1
+REGISTRY_REDIAL_MAX = 2.0
 
 #: How often the liveness thread polls each connection's own verdict.
 LIVENESS_POLL_SECONDS = 0.25
@@ -309,6 +321,8 @@ class MonitorService:
         # sections and the blocking transport open).
         self._membership_lock = threading.Lock()
         self._registry = None
+        self._registry_spec = registry
+        self._registry_redial_lock = threading.Lock()
         self._membership_events: queue.Queue = queue.Queue()
         self._membership_thread: threading.Thread | None = None
 
@@ -362,7 +376,10 @@ class MonitorService:
                 )
                 self._membership_thread.start()
                 self._registry = RegistryClient.connect(
-                    registry, token=token, on_event=self._on_membership_event
+                    registry,
+                    token=token,
+                    on_event=self._on_membership_event,
+                    on_lost=self._on_registry_lost,
                 )
                 # watch() returns the snapshot the event stream continues
                 # from, so members present before we subscribed and members
@@ -543,6 +560,19 @@ class MonitorService:
         :class:`~repro.parallel.ParallelMonitor` compatibility wrapper."""
         self._ensure_open()
         return self._send(self._pick_worker(), "shard", task)
+
+    def submit_segment_part(self, task: SegmentPartTask) -> MonitorFuture:
+        """Ship one root-frontier slice of a single segment's enumeration.
+
+        Resolves to the ``(packed column, traces, truncated, preempted)``
+        tuple of :func:`~repro.service.tasks.run_segment_part`.  This is
+        the fan-out primitive behind intra-segment parallel enumeration
+        (see :func:`~repro.encoding.verdict_enumerator.partitioned_segment_outcomes`);
+        like batch monitoring it is pure, so it participates in work
+        stealing.
+        """
+        self._ensure_open()
+        return self._send(self._pick_worker(), "segment_part", task)
 
     # -- session surface ------------------------------------------------------------
 
@@ -871,6 +901,72 @@ class MonitorService:
             if index is not None:
                 self._connections[index].close(timeout=0.0)
                 self._fail_worker_futures([index])
+
+    def _on_registry_lost(self) -> None:
+        """Registry connection died: re-dial it instead of going static.
+
+        Fired (at most once per client) from a registry client thread.
+        Losing the registry must not degrade an elastic pool into a
+        static one for the rest of its life — a daemon thread re-dials
+        the stored address with capped exponential backoff and re-arms
+        the watch, so membership events resume once the registry is back.
+        Existing endpoints keep serving throughout; only *churn* is
+        blind during the outage.
+        """
+        if self._closed:
+            return
+        threading.Thread(
+            target=self._registry_redial_loop,
+            name="monitor-service-registry-redial",
+            daemon=True,
+        ).start()
+
+    def _registry_redial_loop(self) -> None:
+        from repro.cluster import RegistryClient
+
+        # One redialer at a time: a second loss callback (stale client
+        # losing its heartbeat while the replacement is mid-dial) just
+        # finds the lock held and leaves.
+        if not self._registry_redial_lock.acquire(blocking=False):
+            return
+        try:
+            delay = REGISTRY_REDIAL_MIN
+            while not self._closed:
+                try:
+                    client = RegistryClient.connect(
+                        self._registry_spec,
+                        token=self._token,
+                        on_event=self._on_membership_event,
+                        on_lost=self._on_registry_lost,
+                    )
+                except ReproError:
+                    time.sleep(delay)
+                    delay = min(delay * 2, REGISTRY_REDIAL_MAX)
+                    continue
+                if self._closed:
+                    client.close()
+                    return
+                self._registry = client
+                try:
+                    # Re-absorb through the same watch-snapshot path as
+                    # startup: members that joined during the outage are
+                    # added, members already serving are skipped, and
+                    # events after the snapshot flow to the membership
+                    # thread again.
+                    for member in client.watch():
+                        self._absorb_member(member)
+                except ReproError:
+                    # Registry vanished again mid-watch.  Its on_lost may
+                    # have fired while this thread holds the redial lock
+                    # (so no replacement redialer could start): retry
+                    # here instead of returning.
+                    client.close()
+                    time.sleep(delay)
+                    delay = min(delay * 2, REGISTRY_REDIAL_MAX)
+                    continue
+                return
+        finally:
+            self._registry_redial_lock.release()
 
     def _forget_session(self, session_id: int) -> None:
         with self._lock:

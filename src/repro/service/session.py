@@ -48,7 +48,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.errors import MonitorError, ReproError, ServiceError
+from repro.errors import CancelledError, MonitorError, ReproError, ServiceError
 from repro.monitor.verdicts import MonitorResult
 from repro.mtl.ast import Formula
 from repro.service.durability import CheckpointConfig, ReplayJournal
@@ -116,6 +116,11 @@ class Session:
         # rebalancer thread): reentrant because the synchronising calls
         # flush internally.
         self._lock = threading.RLock()
+        #: The synchronising round-trip currently blocking a caller, if
+        #: any — :meth:`interrupt` reads it from *other* threads, so it
+        #: is published before the blocking wait and cleared after,
+        #: never under the session lock from the interrupter's side.
+        self._sync_future: MonitorFuture | None = None
         self._events_observed = 0
         self._migrations = 0
         # Endpoints that may still hold a stale copy of this session: a
@@ -613,6 +618,11 @@ class Session:
         while True:
             try:
                 return fn()
+            except CancelledError:
+                # A deliberate client-side drop (interrupt(), a cancelled
+                # observe batch) — not a worker death.  Recovering would
+                # replay the very call the caller just preempted.
+                raise
             except ServiceError as exc:
                 if self._service.closed or self._finished:
                     raise
@@ -845,10 +855,46 @@ class Session:
             ) from exc
         del self._stale_copies[worker_index]
 
+    # -- preemption ---------------------------------------------------------------
+
+    def interrupt(self) -> bool:
+        """Preempt the session call another thread is blocked in right now.
+
+        Sends the drop frame for the in-flight synchronising round-trip
+        (``advance_to``/``poll``/``finish``) *without* resolving its
+        future client-side: the worker cancels the running request's
+        budget, the engine unwinds within one checkpoint interval, and
+        the blocked caller gets the worker's **typed** answer — a
+        :class:`~repro.errors.PreemptedError` when the drop caught the
+        request mid-execution (worker-side state rolled back, the call
+        is retryable), or a :class:`~repro.errors.CancelledError` when
+        it had not started yet.  Returns True when an interrupt was
+        dispatched, False when no synchronising call was in flight.
+
+        Deliberately takes **no** session lock: the blocked caller holds
+        it, so locking here would deadlock the interrupter.
+        """
+        future = self._sync_future
+        if future is None or future.done():
+            return False
+        hook = future.cancel_hook
+        if hook is None:
+            return False
+        try:
+            hook()
+        except Exception:  # noqa: BLE001 — interrupt stays best-effort
+            return False
+        return True
+
     # -- plumbing -----------------------------------------------------------------
 
     def _roundtrip(self, op: str, payload: object):
-        return self._service._send_session(self._worker, op, payload).result()
+        future = self._service._send_session(self._worker, op, payload)
+        self._sync_future = future
+        try:
+            return future.result()
+        finally:
+            self._sync_future = None
 
     def _endpoint_text(self) -> str:
         try:

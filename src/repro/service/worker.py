@@ -38,11 +38,14 @@ from typing import Any
 
 from repro.errors import MonitorError
 from repro.monitor.online import OnlineMonitor
+from repro.progression.budget import Budget
 from repro.service.session import SessionStatus
 from repro.service.tasks import (
     MonitorTask,
+    SegmentPartTask,
     SegmentShardTask,
     run_monitor_task,
+    run_segment_part,
     run_segment_shard,
 )
 from repro.transport.frames import (
@@ -84,16 +87,32 @@ class RequestExecutor:
         self.dropped: set[int] = set()
         self.max_executed = -1
         self.pid = os.getpid()
+        #: Zero-arg callable a single-threaded host installs so the
+        #: *running* request's budget checkpoints can drain the inbox
+        #: (how a local-backend worker learns about a mid-execution
+        #: drop).  Threaded hosts (the TCP agent's reader) leave it None
+        #: and call :meth:`drop` concurrently instead.
+        self.poll_hook = None
+        #: ``(request id, budget)`` of the currently executing request.
+        self._running: tuple[int, Budget] | None = None
 
     def drop(self, request_id: int) -> None:
-        """Mark a request id cancelled (skipped if not yet executed).
+        """Mark a request id cancelled (skipped, or preempted if running).
 
-        Request ids on one connection arrive in increasing order (the
-        service's counter is monotone and sends are FIFO), so a drop for
-        an id at or below the high-water mark lost its race — the
-        request already executed — and is discarded here rather than
-        parked in ``dropped`` forever.
+        A drop for the *currently executing* request cancels its budget:
+        the engine unwinds cooperatively within one checkpoint interval
+        and the client gets a typed preempted response — not an
+        abandoned worker.  Request ids on one connection arrive in
+        increasing order (the service's counter is monotone and sends
+        are FIFO), so a drop for an id at or below the high-water mark
+        that is not running lost its race — the request already
+        executed — and is discarded here rather than parked in
+        ``dropped`` forever.
         """
+        running = self._running
+        if running is not None and running[0] == request_id:
+            running[1].cancel(f"request {request_id} dropped by client")
+            return
         if request_id > self.max_executed:
             self.dropped.add(request_id)
 
@@ -107,23 +126,46 @@ class RequestExecutor:
         return True
 
     def execute(self, request: Request) -> Response:
-        """Run one request, capturing any failure as response data."""
-        self.max_executed = max(self.max_executed, request.request_id)
-        if request.request_id in self.dropped:
-            self.dropped.discard(request.request_id)
-            return Response(
-                request.request_id,
-                None,
-                DROPPED_BEFORE_EXECUTION,
-                self.pid,
-            )
+        """Run one request, capturing any failure as response data.
+
+        Every request runs under a fresh :class:`Budget` whose cancel
+        flag a concurrent (or polled) ``drop`` can set — publishing
+        ``_running`` *before* updating ``max_executed`` closes the race
+        where a drop arriving between the two would be discarded as
+        already-executed while the request is in fact still running.
+        """
+        budget = Budget(poll_hook=self.poll_hook)
+        self._running = (request.request_id, budget)
         try:
-            payload = _dispatch(request.op, request.payload, self.sessions, self.standby)
-            return Response(request.request_id, payload, None, self.pid)
-        except Exception as exc:  # noqa: BLE001 — the executor must survive any request
-            return Response(
-                request.request_id, None, f"{type(exc).__name__}: {exc}", self.pid
-            )
+            self.max_executed = max(self.max_executed, request.request_id)
+            if request.request_id in self.dropped:
+                self.dropped.discard(request.request_id)
+                return Response(
+                    request.request_id,
+                    None,
+                    DROPPED_BEFORE_EXECUTION,
+                    self.pid,
+                    op=request.op,
+                )
+            try:
+                payload = _dispatch(
+                    request.op,
+                    request.payload,
+                    self.sessions,
+                    self.standby,
+                    budget=budget,
+                )
+                return Response(request.request_id, payload, None, self.pid, op=request.op)
+            except Exception as exc:  # noqa: BLE001 — the executor must survive any request
+                return Response(
+                    request.request_id,
+                    None,
+                    f"{type(exc).__name__}: {exc}",
+                    self.pid,
+                    op=request.op,
+                )
+        finally:
+            self._running = None
 
 
 def service_worker_loop(inbox, response_writer, codec: Codec = DEFAULT_CODEC) -> None:
@@ -151,6 +193,21 @@ def service_worker_loop(inbox, response_writer, codec: Codec = DEFAULT_CODEC) ->
         if executor.ingest(request):
             pending.append(request)
         return True
+
+    def poll_inbox() -> None:
+        # Budget checkpoints call this mid-execution: the single-threaded
+        # loop would otherwise only see a drop for the *running* request
+        # after it finished, making client-side cancel useless for the
+        # one request it most wants to stop.
+        nonlocal running
+        while running:
+            try:
+                item = inbox.get_nowait()
+            except queue.Empty:
+                return
+            running = ingest(item)
+
+    executor.poll_hook = poll_inbox
 
     while running or pending:
         if running and not pending:
@@ -197,15 +254,19 @@ def _dispatch(
     payload: Any,
     sessions: dict[int, OnlineMonitor],
     standby: dict[int, dict] | None = None,
+    budget: Budget | None = None,
 ) -> Any:
     if standby is None:
         standby = {}
     if op == "monitor":
         task: MonitorTask = payload
-        return run_monitor_task(task)
+        return run_monitor_task(task, budget)
     if op == "shard":
         shard: SegmentShardTask = payload
-        return run_segment_shard(shard)
+        return run_segment_shard(shard, budget)
+    if op == "segment_part":
+        part: SegmentPartTask = payload
+        return run_segment_part(part, budget)
     if op == "session_open":
         session_id, formula, epsilon, kwargs = payload
         if session_id in sessions:
@@ -233,7 +294,7 @@ def _dispatch(
         return len(events)
     if op == "session_advance":
         session_id, boundary = payload
-        return _session(sessions, session_id).advance_to(boundary)
+        return _session(sessions, session_id).advance_to(boundary, budget=budget)
     if op == "session_poll":
         (session_id,) = payload
         monitor = _session(sessions, session_id)
@@ -245,7 +306,7 @@ def _dispatch(
         )
     if op == "session_finish":
         (session_id,) = payload
-        result = _session(sessions, session_id).finish()
+        result = _session(sessions, session_id).finish(budget=budget)
         del sessions[session_id]
         return result
     if op == "session_close":

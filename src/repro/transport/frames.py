@@ -103,6 +103,7 @@ DROPPED_BEFORE_EXECUTION = "CancelledError: dropped before execution"
 KNOWN_OPS = (
     "monitor",
     "shard",
+    "segment_part",
     "session_open",
     "session_observe",
     "session_advance",
@@ -157,12 +158,18 @@ class Request:
 
 @dataclass
 class Response:
-    """The worker's answer to one request."""
+    """The worker's answer to one request.
+
+    ``op`` echoes the request's op when the executor knows it — it is
+    advisory (clients match responses by ``request_id`` alone) but lets
+    the encoder pick a packed ack representation for fixed-shape ops.
+    """
 
     request_id: int
     payload: Any = None
     error: str | None = None
     worker: int = 0
+    op: str | None = None
 
 
 class Codec(Protocol):
@@ -318,25 +325,68 @@ def pack_observe_request(request: "Request") -> bytes | None:
     return b"".join(out)
 
 
-# -- packed fixed-shape session calls (advance / poll) -------------------------------
+# -- packed fixed-shape session calls (advance / poll / finish / open) ----------------
 
 #: Ops whose requests take the :data:`FRAME_VERSION_PACKED_CALL` path.
 ADVANCE_OP = "session_advance"
 POLL_OP = "session_poll"
+FINISH_OP = "session_finish"
+OPEN_OP = "session_open"
 
-#: opcode (1 = advance, 2 = poll), request_id, session_id, argument
-#: (the advance boundary; zero-padded for poll).
+#: opcode (1 = advance, 2 = poll, 3 = finish), request_id, session_id,
+#: argument (the advance boundary; zero-padded for poll and finish).
 _PACK_CALL = struct.Struct(">Bqqq")
 _CALL_ADVANCE = 1
 _CALL_POLL = 2
+_CALL_FINISH = 3
+#: Variable-length v3 opcodes: ``session_open`` requests and the two
+#: session-lifecycle ack responses.  One opcode byte leads every v3
+#: payload, so the decoder dispatches per opcode instead of insisting on
+#: the fixed 25-byte shape.
+_CALL_OPEN = 4
+_ACK_OPEN = 5
+_ACK_FINISH = 6
+
+_PACK_OPEN_HEAD = struct.Struct(">Bqqq")  # opcode, request_id, session_id, epsilon
+_PACK_ACK_FINISH_HEAD = struct.Struct(">Bqq")  # opcode, request_id, worker
+_PACK_REPORT = struct.Struct(">qqqqB")  # index, events, traces, distinct, flags
+_PACK_U32 = struct.Struct(">I")
+_PACK_I64 = struct.Struct(">q")
+
+#: ``session_open`` kwargs the packed shape understands; anything else in
+#: the kwargs dict sends the request down the pickle path.
+_OPEN_KWARGS = frozenset({"max_traces_per_segment", "backend"})
+
+
+def _formula_wire_text(formula) -> bytes | None:
+    """The formula's parseable text, or ``None`` when it does not round-trip.
+
+    The packed path only ships formulas whose :func:`~repro.mtl.parser.parse`
+    of ``str(formula)`` reproduces the value exactly — predicate atoms
+    (which wrap callables) and any future non-printable node fail the
+    check and take pickle, per the strict-shape contract.
+    """
+    from repro.mtl.parser import parse  # lazy: frames stays mtl-free otherwise
+
+    try:
+        text = str(formula)
+        if parse(text) != formula:
+            return None
+    except Exception:  # noqa: BLE001 — any render/parse failure means pickle
+        return None
+    data = text.encode()
+    if len(data) > 0xFFFF:
+        return None
+    return data
 
 
 def pack_call_request(request: "Request") -> bytes | None:
-    """Struct-pack a ``session_advance``/``session_poll`` request, or ``None``.
+    """Struct-pack a fixed-shape session call, or ``None``.
 
     Same contract as :func:`pack_observe_request`: strictly shape-checked
     (exact payload tuples of in-range ints), anything else returns
-    ``None`` and takes the pickle path.  Both calls fit one fixed 25-byte
+    ``None`` and takes the pickle path.  ``session_advance``,
+    ``session_poll`` and ``session_finish`` each fit one fixed 25-byte
     struct, so the entire frame is a single C-level pack.
     """
     if type(request.request_id) is not int or not (
@@ -356,27 +406,292 @@ def pack_call_request(request: "Request") -> bytes | None:
         ):
             return None
         return _PACK_CALL.pack(_CALL_ADVANCE, request.request_id, session_id, boundary)
-    if request.op == POLL_OP:
+    if request.op in (POLL_OP, FINISH_OP):
         if type(payload) is not tuple or len(payload) != 1:
             return None
         (session_id,) = payload
         if type(session_id) is not int or not _INT64_MIN <= session_id <= _INT64_MAX:
             return None
-        return _PACK_CALL.pack(_CALL_POLL, request.request_id, session_id, 0)
+        opcode = _CALL_POLL if request.op == POLL_OP else _CALL_FINISH
+        return _PACK_CALL.pack(opcode, request.request_id, session_id, 0)
     return None
 
 
-def unpack_call_request(payload: bytes) -> "Request":
-    """Decode a :data:`FRAME_VERSION_PACKED_CALL` payload back into a request."""
-    if len(payload) != _PACK_CALL.size:
-        raise ServiceError(
-            f"packed call frame is {len(payload)} bytes, expected {_PACK_CALL.size}"
+def pack_open_request(request: "Request") -> bytes | None:
+    """Struct-pack a ``session_open`` request, or ``None``.
+
+    Ships the formula as its parseable text (checked to round-trip, see
+    :func:`_formula_wire_text`) and the session kwargs as tagged fields —
+    only the exact surface the session layer sends
+    (``max_traces_per_segment``: int or None, ``backend``: str) packs;
+    any other kwarg, formula, or shape falls back to pickle.
+
+    Layout after the opcode head (request_id, session_id, epsilon)::
+
+        mt_tag:   B   (0 = kwarg absent, 1 = None, 2 = int64 follows)
+        [mt:      q]
+        be_tag:   B   (0 = kwarg absent, 1 = u16-prefixed text follows)
+        [backend: u16 + bytes]
+        formula:  u16 + bytes (parseable text)
+    """
+    payload = request.payload
+    if type(payload) is not tuple or len(payload) != 4:
+        return None
+    session_id, formula, epsilon, kwargs = payload
+    if (
+        type(request.request_id) is not int
+        or type(session_id) is not int
+        or type(epsilon) is not int
+        or type(kwargs) is not dict
+        or not _INT64_MIN <= request.request_id <= _INT64_MAX
+        or not _INT64_MIN <= session_id <= _INT64_MAX
+        or not _INT64_MIN <= epsilon <= _INT64_MAX
+        or not _OPEN_KWARGS.issuperset(kwargs)
+    ):
+        return None
+    out = [
+        _PACK_OPEN_HEAD.pack(_CALL_OPEN, request.request_id, session_id, epsilon)
+    ]
+    if "max_traces_per_segment" not in kwargs:
+        out.append(b"\x00")
+    else:
+        max_traces = kwargs["max_traces_per_segment"]
+        if max_traces is None:
+            out.append(b"\x01")
+        elif type(max_traces) is int and _INT64_MIN <= max_traces <= _INT64_MAX:
+            out.append(b"\x02")
+            out.append(_PACK_I64.pack(max_traces))
+        else:
+            return None
+    if "backend" not in kwargs:
+        out.append(b"\x00")
+    else:
+        backend = kwargs["backend"]
+        if type(backend) is not str:
+            return None
+        data = backend.encode()
+        if len(data) > 0xFFFF:
+            return None
+        out.append(b"\x01")
+        out.append(_PACK_U16.pack(len(data)))
+        out.append(data)
+    formula_text = _formula_wire_text(formula)
+    if formula_text is None:
+        return None
+    out.append(_PACK_U16.pack(len(formula_text)))
+    out.append(formula_text)
+    return b"".join(out)
+
+
+def pack_ack_response(response: "Response") -> bytes | None:
+    """Struct-pack a session-lifecycle ack response, or ``None``.
+
+    Only successful acks pack (error responses carry arbitrary strings and
+    stay pickled): a ``session_open`` ack is the echoed session id (one
+    fixed struct), a ``session_finish`` ack is the stream's final
+    :class:`~repro.monitor.verdicts.MonitorResult` — verdict counts,
+    exactness flags, per-segment reports, and the formula as round-trip
+    checked text.  Any shape surprise returns ``None`` → pickle.
+    """
+    if response.error is not None or type(response.request_id) is not int:
+        return None
+    if not (
+        _INT64_MIN <= response.request_id <= _INT64_MAX
+        and type(response.worker) is int
+        and _INT64_MIN <= response.worker <= _INT64_MAX
+    ):
+        return None
+    if response.op == OPEN_OP:
+        session_id = response.payload
+        if type(session_id) is not int or not (
+            _INT64_MIN <= session_id <= _INT64_MAX
+        ):
+            return None
+        return _PACK_CALL.pack(
+            _ACK_OPEN, response.request_id, session_id, response.worker
         )
-    opcode, request_id, session_id, argument = _PACK_CALL.unpack(payload)
-    if opcode == _CALL_ADVANCE:
-        return Request(request_id, ADVANCE_OP, (session_id, argument))
-    if opcode == _CALL_POLL:
-        return Request(request_id, POLL_OP, (session_id,))
+    if response.op == FINISH_OP:
+        from repro.monitor.verdicts import MonitorResult, SegmentReport
+
+        result = response.payload
+        if type(result) is not MonitorResult:
+            return None
+        counts = result.verdict_counts
+        if type(counts) is not dict or not all(
+            type(k) is bool and type(v) is int and 0 <= v <= _INT64_MAX
+            for k, v in counts.items()
+        ):
+            return None
+        reports = result.segment_reports
+        if len(reports) > 0xFFFFFFFF:
+            return None
+        formula_text = _formula_wire_text(result.formula)
+        if formula_text is None:
+            return None
+        flags = (
+            (1 if result.exhaustive else 0)
+            | (2 if result.verdict_set_complete else 0)
+            | (4 if True in counts else 0)
+            | (8 if False in counts else 0)
+        )
+        out = [
+            _PACK_ACK_FINISH_HEAD.pack(
+                _ACK_FINISH, response.request_id, response.worker
+            ),
+            bytes([flags]),
+        ]
+        if True in counts:
+            out.append(_PACK_I64.pack(counts[True]))
+        if False in counts:
+            out.append(_PACK_I64.pack(counts[False]))
+        out.append(_PACK_U32.pack(len(reports)))
+        for report in reports:
+            if type(report) is not SegmentReport:
+                return None
+            try:
+                out.append(
+                    _PACK_REPORT.pack(
+                        report.index,
+                        report.events,
+                        report.traces_enumerated,
+                        report.distinct_residuals,
+                        (1 if report.truncated else 0)
+                        | (2 if report.saturated else 0)
+                        | (4 if report.preempted else 0),
+                    )
+                )
+            except struct.error:
+                return None
+        out.append(_PACK_U16.pack(len(formula_text)))
+        out.append(formula_text)
+        return b"".join(out)
+    return None
+
+
+def _read_u16_block(payload: bytes, offset: int) -> tuple[bytes, int]:
+    (length,) = _PACK_U16.unpack_from(payload, offset)
+    offset += 2
+    end = offset + length
+    if end > len(payload):
+        raise ServiceError("packed call frame: length-prefixed block overrun")
+    return payload[offset:end], end
+
+
+def _unpack_open_request(payload: bytes) -> "Request":
+    from repro.mtl.parser import parse
+
+    _, request_id, session_id, epsilon = _PACK_OPEN_HEAD.unpack_from(payload, 0)
+    offset = _PACK_OPEN_HEAD.size
+    kwargs: dict[str, Any] = {}
+    mt_tag = payload[offset]
+    offset += 1
+    if mt_tag == 1:
+        kwargs["max_traces_per_segment"] = None
+    elif mt_tag == 2:
+        (kwargs["max_traces_per_segment"],) = _PACK_I64.unpack_from(payload, offset)
+        offset += 8
+    elif mt_tag != 0:
+        raise ServiceError(f"packed open frame has unknown max-traces tag {mt_tag}")
+    be_tag = payload[offset]
+    offset += 1
+    if be_tag == 1:
+        data, offset = _read_u16_block(payload, offset)
+        kwargs["backend"] = data.decode()
+    elif be_tag != 0:
+        raise ServiceError(f"packed open frame has unknown backend tag {be_tag}")
+    text, offset = _read_u16_block(payload, offset)
+    if offset != len(payload):
+        raise ServiceError(
+            f"packed open frame has {len(payload) - offset} trailing bytes"
+        )
+    formula = parse(text.decode())
+    return Request(request_id, OPEN_OP, (session_id, formula, epsilon, kwargs))
+
+
+def _unpack_finish_ack(payload: bytes) -> "Response":
+    from repro.monitor.verdicts import MonitorResult, SegmentReport
+    from repro.mtl.parser import parse
+
+    _, request_id, worker = _PACK_ACK_FINISH_HEAD.unpack_from(payload, 0)
+    offset = _PACK_ACK_FINISH_HEAD.size
+    flags = payload[offset]
+    offset += 1
+    counts: dict[bool, int] = {}
+    if flags & 4:
+        (counts[True],) = _PACK_I64.unpack_from(payload, offset)
+        offset += 8
+    if flags & 8:
+        (counts[False],) = _PACK_I64.unpack_from(payload, offset)
+        offset += 8
+    (nreports,) = _PACK_U32.unpack_from(payload, offset)
+    offset += 4
+    reports = []
+    for _ in range(nreports):
+        index, events, traces, distinct, rflags = _PACK_REPORT.unpack_from(
+            payload, offset
+        )
+        offset += _PACK_REPORT.size
+        reports.append(
+            SegmentReport(
+                index=index,
+                events=events,
+                traces_enumerated=traces,
+                distinct_residuals=distinct,
+                truncated=bool(rflags & 1),
+                saturated=bool(rflags & 2),
+                preempted=bool(rflags & 4),
+            )
+        )
+    text, offset = _read_u16_block(payload, offset)
+    if offset != len(payload):
+        raise ServiceError(
+            f"packed finish ack has {len(payload) - offset} trailing bytes"
+        )
+    result = MonitorResult(
+        parse(text.decode()),
+        verdict_counts=counts,
+        segment_reports=reports,
+        exhaustive=bool(flags & 1),
+        verdict_set_complete=bool(flags & 2),
+    )
+    return Response(request_id, result, None, worker, op=FINISH_OP)
+
+
+def unpack_call_request(payload: bytes) -> Any:
+    """Decode a :data:`FRAME_VERSION_PACKED_CALL` payload.
+
+    Dispatches on the leading opcode byte: the fixed-shape calls
+    (advance / poll / finish) must be exactly one 25-byte struct, the
+    variable-shape frames (open request, lifecycle acks) carry their own
+    length-prefixed blocks.  Returns a :class:`Request` for request
+    opcodes, a :class:`Response` for ack opcodes.
+    """
+    if not payload:
+        raise ServiceError("packed call frame is empty")
+    opcode = payload[0]
+    try:
+        if opcode in (_CALL_ADVANCE, _CALL_POLL, _CALL_FINISH, _ACK_OPEN):
+            if len(payload) != _PACK_CALL.size:
+                raise ServiceError(
+                    f"packed call frame is {len(payload)} bytes, "
+                    f"expected {_PACK_CALL.size}"
+                )
+            _, request_id, session_id, argument = _PACK_CALL.unpack(payload)
+            if opcode == _CALL_ADVANCE:
+                return Request(request_id, ADVANCE_OP, (session_id, argument))
+            if opcode == _CALL_POLL:
+                return Request(request_id, POLL_OP, (session_id,))
+            if opcode == _CALL_FINISH:
+                return Request(request_id, FINISH_OP, (session_id,))
+            return Response(request_id, session_id, None, argument, op=OPEN_OP)
+        if opcode == _CALL_OPEN:
+            return _unpack_open_request(payload)
+        if opcode == _ACK_FINISH:
+            return _unpack_finish_ack(payload)
+    except ServiceError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — struct/decode errors on bad bytes
+        raise ServiceError(f"corrupt packed call frame: {exc}") from None
     raise ServiceError(f"packed call frame has unknown opcode {opcode}")
 
 
@@ -447,34 +762,35 @@ def encode_frame(obj: Any, codec: Codec = DEFAULT_CODEC) -> bytes:
     """Serialize one frame: versioned header + payload.
 
     ``session_observe`` requests take the struct-packed fast path (frame
-    version :data:`FRAME_VERSION_PACKED`), ``session_advance`` and
-    ``session_poll`` the fixed-shape one
+    version :data:`FRAME_VERSION_PACKED`); ``session_advance``,
+    ``session_poll``, ``session_finish`` and ``session_open`` requests —
+    plus the successful open/finish ack responses — the packed-call one
     (:data:`FRAME_VERSION_PACKED_CALL`); everything else goes through
     the codec under :data:`FRAME_VERSION`.
     """
-    if PACK_OBSERVE_BATCHES and codec is DEFAULT_CODEC and type(obj) is Request:
+    if PACK_OBSERVE_BATCHES and codec is DEFAULT_CODEC:
         # Only beside the stock pickle codec: a custom codec (compressing,
         # encrypting, cross-language) must see every payload, per the
         # codec contract above.
-        if obj.op == OBSERVE_OP:
-            payload = pack_observe_request(obj)
-            if payload is not None:
-                if len(payload) > MAX_FRAME_BYTES:
-                    raise ServiceError(
-                        f"frame payload of {len(payload)} bytes exceeds the "
-                        f"{MAX_FRAME_BYTES}-byte frame limit"
-                    )
-                return (
-                    _HEADER.pack(FRAME_MAGIC, FRAME_VERSION_PACKED, len(payload))
-                    + payload
+        packed = None
+        version = FRAME_VERSION_PACKED_CALL
+        if type(obj) is Request:
+            if obj.op == OBSERVE_OP:
+                packed = pack_observe_request(obj)
+                version = FRAME_VERSION_PACKED
+            elif obj.op in (ADVANCE_OP, POLL_OP, FINISH_OP):
+                packed = pack_call_request(obj)
+            elif obj.op == OPEN_OP:
+                packed = pack_open_request(obj)
+        elif type(obj) is Response and obj.op in (OPEN_OP, FINISH_OP):
+            packed = pack_ack_response(obj)
+        if packed is not None:
+            if len(packed) > MAX_FRAME_BYTES:
+                raise ServiceError(
+                    f"frame payload of {len(packed)} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte frame limit"
                 )
-        elif obj.op in (ADVANCE_OP, POLL_OP):
-            payload = pack_call_request(obj)
-            if payload is not None:
-                return (
-                    _HEADER.pack(FRAME_MAGIC, FRAME_VERSION_PACKED_CALL, len(payload))
-                    + payload
-                )
+            return _HEADER.pack(FRAME_MAGIC, version, len(packed)) + packed
     payload = codec.encode(obj)
     if len(payload) > MAX_FRAME_BYTES:
         raise ServiceError(

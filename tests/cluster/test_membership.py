@@ -291,3 +291,54 @@ class TestRegistryDrivenMembership:
         finally:
             for agent in agents:
                 _close_agent(agent)
+
+
+class TestRegistryRedial:
+    def test_service_rearms_watch_after_registry_restart(self):
+        """Losing the registry must not degrade the pool to a static
+        one: the service re-dials the stored address with capped backoff
+        and re-arms its watch, so an agent that joins the *restarted*
+        registry still grows the pool."""
+        from repro.cluster import spawn_registry
+
+        popen, host, port = spawn_registry(token=TOKEN)
+        address = f"tcp://{host}:{port}"
+        agents = []
+        restarted = None
+        try:
+            agents.append(spawn_agent(token=TOKEN, registry=address))
+            with MonitorService(registry=address, token=TOKEN) as service:
+                assert len(service.endpoints()) == 1
+
+                popen.kill()
+                popen.wait(timeout=10)
+                popen.stdout.close()
+                popen = None
+                time.sleep(0.3)  # let on_lost fire and the redial start
+
+                restarted = spawn_registry(host=host, port=port, token=TOKEN)
+                # The first agent's own registry lease died with the old
+                # process (agents do not re-dial) — only the new agent
+                # registers with the restarted registry.
+                agents.append(spawn_agent(token=TOKEN, registry=address))
+                _poll(
+                    lambda: len(service.endpoints()) == 2,
+                    20.0,
+                    "the re-armed watch to absorb the new agent",
+                )
+
+                # The grown pool serves work end to end.
+                session = service.open_session(SPEC, epsilon=EPSILON)
+                result = _replay(session, _stream(0))
+                assert result.verdict_counts == _reference_counts()[0]
+        finally:
+            if popen is not None:
+                popen.kill()
+                popen.wait(timeout=10)
+                popen.stdout.close()
+            if restarted is not None:
+                restarted[0].kill()
+                restarted[0].wait(timeout=10)
+                restarted[0].stdout.close()
+            for agent in agents:
+                _close_agent(agent)

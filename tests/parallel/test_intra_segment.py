@@ -1,0 +1,159 @@
+"""Intra-segment parallel enumeration: partitioned vs serial.
+
+The contract: partitioning a segment's root frontier into sub-tasks,
+fanning them across the pool, and merging the per-part carried columns
+is **bit-identical** to the serial enumeration — verdict multisets are
+order-independent, so any partition of the root branches merged by
+summing ``(id, count)`` pairs reproduces the serial outcome exactly.
+That must hold at one segment (the case residual sharding cannot
+parallelise at all) and at several, and preemption must propagate to
+every in-flight sub-task.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.distributed.computation import DistributedComputation
+from repro.encoding.verdict_enumerator import partition_branches
+from repro.errors import MonitorError, PreemptedError
+from repro.monitor.smt_monitor import SmtMonitor
+from repro.mtl import parse
+from repro.parallel import ParallelMonitor
+from repro.progression.budget import Budget
+from repro.service import MonitorService
+
+from tests.conftest import formulas, small_computations
+
+
+def _corpus() -> list[tuple[DistributedComputation, object]]:
+    fig3 = DistributedComputation.from_event_lists(
+        2, {"P1": [(1, "a"), (4, ())], "P2": [(2, "a"), (5, "b")]}
+    )
+    skewed = DistributedComputation.from_event_lists(
+        3,
+        {
+            "P1": [(0, "a"), (3, "a"), (6, ())],
+            "P2": [(1, ()), (4, "b")],
+            "P3": [(2, "a")],
+        },
+    )
+    specs = [
+        parse("a U[0,6) b"),
+        parse("F[0,8) b"),
+        parse("G[0,4) (a | b)"),
+        parse("(F[0,5) a) & (F[0,9) b)"),
+    ]
+    return [(comp, spec) for comp in (fig3, skewed) for spec in specs]
+
+
+class TestPartitionBranches:
+    def test_round_robin_covers_every_branch_exactly_once(self):
+        branches = [(i, 10 * i) for i in range(11)]
+        groups = partition_branches(branches, 3)
+        assert len(groups) == 3
+        flat = [branch for group in groups for branch in group]
+        assert sorted(flat) == sorted(branches)
+
+    def test_parts_clamped_to_branch_count(self):
+        branches = [(0, 0), (1, 5)]
+        groups = partition_branches(branches, 8)
+        assert len(groups) == 2
+        assert all(group for group in groups)
+
+    def test_single_part_is_identity(self):
+        branches = [(i, i) for i in range(4)]
+        assert partition_branches(branches, 1) == [branches]
+
+
+class TestBitIdenticalToSerial:
+    @pytest.mark.parametrize("segments", [1, 3])
+    @pytest.mark.parametrize("parts", [2, 3])
+    def test_partitioned_matches_serial(self, segments, parts):
+        for computation, spec in _corpus():
+            serial = SmtMonitor(spec, segments=segments, saturate=False).run(
+                computation
+            )
+            partitioned = ParallelMonitor(
+                spec,
+                workers=2,
+                segments=segments,
+                saturate=False,
+                intra_segment_parts=parts,
+            ).run(computation)
+            assert partitioned.verdict_counts == serial.verdict_counts, (
+                f"{spec} at segments={segments} parts={parts}"
+            )
+            assert partitioned.verdicts == serial.verdicts
+            assert partitioned.exhaustive == serial.exhaustive
+
+    @settings(
+        max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(computation=small_computations(), formula=formulas(max_depth=2))
+    def test_random_corpus_identical(self, computation, formula):
+        serial = SmtMonitor(formula, segments=3, saturate=False).run(computation)
+        partitioned = ParallelMonitor(
+            formula, workers=2, segments=3, saturate=False, intra_segment_parts=2
+        ).run(computation)
+        assert partitioned.verdict_counts == serial.verdict_counts
+
+
+class TestModeSelection:
+    def test_too_few_parts_rejected(self):
+        with pytest.raises(MonitorError, match="intra_segment_parts"):
+            ParallelMonitor(parse("F[0,5) a"), workers=2, intra_segment_parts=1)
+
+    def test_single_segment_still_uses_the_pool(self):
+        """Residual sharding needs a segment boundary; intra-segment
+        mode must parallelise even a single-segment run."""
+        computation, spec = _corpus()[0]
+        serial = SmtMonitor(spec, segments=1, saturate=False).run(computation)
+        result = ParallelMonitor(
+            spec, workers=2, segments=1, saturate=False, intra_segment_parts=2
+        ).run(computation)
+        assert result.verdict_counts == serial.verdict_counts
+
+
+class TestPreemptionPropagates:
+    def test_cancel_unwinds_partitioned_run(self):
+        """A budget cancelled mid-run preempts the client-side pipeline
+        *and* the in-flight sub-tasks: the run raises promptly instead
+        of waiting out every part."""
+        computation = DistributedComputation.from_event_lists(
+            3,
+            {
+                "P1": [(i, "a" if i % 2 else ()) for i in range(10)],
+                "P2": [(i, "b" if i % 3 else ()) for i in range(10)],
+                "P3": [(i, ()) for i in range(10)],
+            },
+        )
+        spec = parse("G[0,40) (a -> F[0,6) b)")
+        engine = SmtMonitor(spec, saturate=False)
+        budget = Budget(check_every=1)
+        seen = [0]
+
+        def hook() -> None:
+            seen[0] += 1
+            if seen[0] >= 3:
+                budget.cancel("scripted mid-run cancel")
+
+        budget.poll_hook = hook
+        with MonitorService(workers=2) as service:
+            engine.attach_partitioner(service.submit_segment_part, 2)
+            try:
+                with pytest.raises(PreemptedError):
+                    engine.run(computation, budget=budget)
+            finally:
+                engine.detach_partitioner()
+            # The pool must come back clean: a fresh small run completes.
+            small, small_spec = _corpus()[0]
+            engine2 = SmtMonitor(small_spec, saturate=False)
+            engine2.attach_partitioner(service.submit_segment_part, 2)
+            try:
+                result = engine2.run(small)
+            finally:
+                engine2.detach_partitioner()
+            reference = SmtMonitor(small_spec, saturate=False).run(small)
+            assert result.verdict_counts == reference.verdict_counts

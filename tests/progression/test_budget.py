@@ -1,0 +1,135 @@
+"""Unit tests for the cooperative execution budget.
+
+The contract (see :mod:`repro.progression.budget`): ``step`` is a
+counter decrement until ``check_every`` units accumulate, then one full
+checkpoint runs — poll hook first, then the cancel chain, then the
+deadline.  Cancellation and deadlines *preempt* (raise
+:class:`~repro.errors.PreemptedError`); the trace facet *truncates*
+(never raises).  Budgets chain: a parent's cancellation preempts every
+child.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import MonitorError, PreemptedError, ServiceError
+from repro.progression.budget import DEFAULT_CHECK_EVERY, Budget
+
+
+class TestStepAndCheckpoint:
+    def test_steps_below_interval_never_checkpoint(self):
+        calls = []
+        budget = Budget(check_every=10, poll_hook=lambda: calls.append(1))
+        for _ in range(9):
+            budget.step()
+        assert calls == []
+
+    def test_checkpoint_fires_at_interval_and_rearms(self):
+        calls = []
+        budget = Budget(check_every=5, poll_hook=lambda: calls.append(1))
+        for _ in range(5):
+            budget.step()
+        assert len(calls) == 1
+        for _ in range(5):
+            budget.step()
+        assert len(calls) == 2
+
+    def test_bulk_step_reaches_checkpoint(self):
+        calls = []
+        budget = Budget(check_every=100, poll_hook=lambda: calls.append(1))
+        budget.step(250)
+        assert len(calls) == 1
+
+    def test_invalid_check_every_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(check_every=0)
+
+
+class TestCancelFacet:
+    def test_cancel_preempts_at_next_checkpoint(self):
+        budget = Budget(check_every=1)
+        budget.step()  # fine before the cancel
+        budget.cancel("stop right there")
+        with pytest.raises(PreemptedError, match="stop right there"):
+            budget.step()
+
+    def test_cancel_is_idempotent_and_keeps_first_reason(self):
+        budget = Budget()
+        budget.cancel("first")
+        budget.cancel("second")
+        assert budget.preempt_reason() == "first"
+
+    def test_preempted_is_monitor_error_but_not_service_error(self):
+        # Load-bearing for durable sessions: a preemption must NOT look
+        # like a worker loss, or _durable_call would replay the very
+        # call the client just interrupted.
+        assert issubclass(PreemptedError, MonitorError)
+        assert not issubclass(PreemptedError, ServiceError)
+
+    def test_parent_cancellation_preempts_child(self):
+        parent = Budget()
+        child = Budget(max_traces=10, parent=parent)
+        parent.cancel("parent gone")
+        assert child.cancelled
+        with pytest.raises(PreemptedError, match="parent gone"):
+            child.checkpoint()
+
+    def test_poll_hook_runs_before_cancel_is_read(self):
+        # The single-threaded-worker shape: the hook is how the budget
+        # *learns* about the cancel, so the same checkpoint must trip.
+        budget = Budget(check_every=1)
+        budget.poll_hook = lambda: budget.cancel("discovered in inbox")
+        with pytest.raises(PreemptedError, match="discovered in inbox"):
+            budget.step()
+
+
+class TestDeadlineFacet:
+    def test_expired_deadline_preempts(self):
+        budget = Budget(deadline_seconds=0.0)
+        time.sleep(0.01)
+        with pytest.raises(PreemptedError, match="wall-clock"):
+            budget.checkpoint()
+
+    def test_future_deadline_does_not_preempt(self):
+        budget = Budget(deadline_seconds=60.0)
+        budget.checkpoint()
+
+
+class TestTraceFacet:
+    def test_trace_budget_truncates_without_raising(self):
+        budget = Budget(max_traces=3)
+        assert budget.trace_limit() == 3
+        assert not budget.traces_exhausted(2)
+        assert budget.traces_exhausted(3)
+        budget.checkpoint()  # exhaustion is not preemption
+
+    def test_unbounded_by_default(self):
+        budget = Budget()
+        assert budget.trace_limit() is None
+        assert not budget.traces_exhausted(10**9)
+
+
+class TestEnsure:
+    def test_none_with_limit_builds_truncation_only_budget(self):
+        budget = Budget.ensure(None, max_traces=7)
+        assert budget.trace_limit() == 7
+        assert not budget.cancelled
+
+    def test_existing_budget_adopts_limit_as_child(self):
+        outer = Budget()
+        merged = Budget.ensure(outer, max_traces=7)
+        assert merged is not outer
+        assert merged.parent is outer
+        assert merged.trace_limit() == 7
+        outer.cancel("outer cancelled")
+        assert merged.cancelled  # caller facets still apply
+
+    def test_budget_with_own_limit_wins(self):
+        outer = Budget(max_traces=5)
+        assert Budget.ensure(outer, max_traces=7) is outer
+
+    def test_default_interval_is_sane(self):
+        assert DEFAULT_CHECK_EVERY >= 1

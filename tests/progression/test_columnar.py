@@ -110,6 +110,38 @@ def test_constant_roots_pass_through():
     ]
 
 
+def test_plan_cache_hits_across_progressor_instances():
+    """The plan cache is process-local, not per-progressor: a second
+    progressor over the same root set must *hit* the plans the first one
+    compiled instead of recompiling them."""
+    from repro.mtl.parser import parse
+    from repro.mtl.trace import State, TimedTrace
+    from repro.progression.columnar import clear_plan_cache, plan_cache_stats
+
+    interned = intern_formula(parse("G[0,9) (a -> F[0,3) b)"))
+    trace = TimedTrace(
+        (State(frozenset({"a"})), State(frozenset({"b"}))), (0, 1)
+    )
+    clear_plan_cache()
+    try:
+        first = ColumnarSegmentProgressor([(interned._intern_id, 1)])
+        first.progress_trace(trace, 0, 2)
+        after_first = plan_cache_stats()
+        assert after_first["misses"] >= 1
+        assert after_first["size"] >= 1
+
+        second = ColumnarSegmentProgressor([(interned._intern_id, 1)])
+        result = second.progress_trace(trace, 0, 2)
+        after_second = plan_cache_stats()
+        assert after_second["hits"] > after_first["hits"]
+        assert after_second["misses"] == after_first["misses"]
+
+        # And the cached plan computes the same residual, of course.
+        assert result == first.progress_trace(trace, 0, 2)
+    finally:
+        clear_plan_cache()
+
+
 def test_shift_root_rejects_negative_and_bare_atoms():
     kernel = ColumnarSegmentProgressor([])
     fid = intern_formula(ast.atom("a"))._intern_id

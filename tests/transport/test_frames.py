@@ -274,3 +274,128 @@ class TestPackedCallFastPath:
         frame = encode_frame(request)
         assert frame[2] == FRAME_VERSION
         assert decode_frame(frame) == request  # decode side unchanged
+
+
+class TestPackedSessionLifecycleFrames:
+    """The v3 family extended to the session lifecycle: ``session_open``
+    and ``session_finish`` requests plus their ack responses, under the
+    same strict-shape-or-pickle-fallback contract."""
+
+    def _formula(self):
+        from repro.mtl import parse
+
+        return parse("G[0,10) (!a | F[0,3) b)")
+
+    def test_open_request_takes_the_packed_call_version(self):
+        request = Request(3, "session_open", (7, self._formula(), 2, {}))
+        frame = encode_frame(request)
+        assert frame[2] == FRAME_VERSION_PACKED_CALL
+        assert decode_frame(frame) == request
+
+    def test_open_request_with_kwargs_roundtrips(self):
+        for kwargs in (
+            {"max_traces_per_segment": None},
+            {"max_traces_per_segment": 5000},
+            {"backend": "csp"},
+            {"max_traces_per_segment": 123, "backend": "dfs"},
+        ):
+            request = Request(3, "session_open", (7, self._formula(), 2, kwargs))
+            frame = encode_frame(request)
+            assert frame[2] == FRAME_VERSION_PACKED_CALL, kwargs
+            assert decode_frame(frame) == request, kwargs
+
+    def test_open_with_foreign_kwarg_falls_back_to_pickle(self):
+        request = Request(
+            3, "session_open", (7, self._formula(), 2, {"surprise": 1})
+        )
+        frame = encode_frame(request)
+        assert frame[2] == FRAME_VERSION
+        assert decode_frame(frame) == request
+
+    def test_finish_request_takes_the_packed_call_version(self):
+        request = Request(9, "session_finish", (7,))
+        frame = encode_frame(request)
+        assert frame[2] == FRAME_VERSION_PACKED_CALL
+        assert decode_frame(frame) == request
+
+    def test_open_ack_takes_the_packed_call_version(self):
+        ack = Response(3, 7, None, 4321, op="session_open")
+        frame = encode_frame(ack)
+        assert frame[2] == FRAME_VERSION_PACKED_CALL
+        assert decode_frame(frame) == ack
+
+    def test_finish_ack_roundtrips_the_result(self):
+        from repro.monitor.verdicts import MonitorResult, SegmentReport
+
+        result = MonitorResult(
+            formula=self._formula(),
+            verdict_counts={True: 41, False: 1},
+            segment_reports=[
+                SegmentReport(
+                    index=0,
+                    events=3,
+                    traces_enumerated=42,
+                    distinct_residuals=5,
+                    truncated=False,
+                ),
+                SegmentReport(
+                    index=1,
+                    events=2,
+                    traces_enumerated=17,
+                    distinct_residuals=1,
+                    truncated=True,
+                    preempted=True,
+                ),
+            ],
+            exhaustive=False,
+            verdict_set_complete=True,
+        )
+        ack = Response(9, result, None, 4321, op="session_finish")
+        frame = encode_frame(ack)
+        assert frame[2] == FRAME_VERSION_PACKED_CALL
+        decoded = decode_frame(frame)
+        assert decoded.payload.formula == result.formula
+        assert decoded.payload.verdict_counts == result.verdict_counts
+        assert decoded.payload.exhaustive == result.exhaustive
+        assert decoded.payload.verdict_set_complete == result.verdict_set_complete
+        reports = decoded.payload.segment_reports
+        assert [vars(r) for r in reports] == [
+            vars(r) for r in result.segment_reports
+        ]
+
+    def test_error_ack_falls_back_to_pickle(self):
+        ack = Response(9, None, "MonitorError: boom", 4321, op="session_finish")
+        frame = encode_frame(ack)
+        assert frame[2] == FRAME_VERSION
+        assert decode_frame(frame) == ack
+
+    def test_unparseable_formula_falls_back_to_pickle(self):
+        from repro.mtl import ast
+
+        # A predicate atom renders as text that cannot be re-parsed, so
+        # the strict round-trip check must reject the fast path.
+        from repro.mtl.interval import Interval
+
+        formula = ast.Eventually(
+            ast.PredicateAtom("x", predicate=bool), Interval(0, 5)
+        )
+        request = Request(3, "session_open", (7, formula, 2, {}))
+        frame = encode_frame(request)
+        assert frame[2] == FRAME_VERSION
+
+    def test_opt_out_env_flag_covers_lifecycle_too(self, monkeypatch):
+        from repro.transport import frames
+
+        monkeypatch.setattr(frames, "PACK_OBSERVE_BATCHES", False)
+        request = Request(3, "session_open", (7, self._formula(), 2, {}))
+        assert encode_frame(request)[2] == FRAME_VERSION
+        ack = Response(3, 7, None, 4321, op="session_open")
+        assert encode_frame(ack)[2] == FRAME_VERSION
+
+    def test_packed_open_is_smaller_than_pickled(self):
+        request = Request(3, "session_open", (7, self._formula(), 2, {}))
+        packed = encode_frame(request)
+        pickled = encode_frame(
+            Request(3, "not_session_open", (7, self._formula(), 2, {}))
+        )
+        assert len(packed) < len(pickled)
