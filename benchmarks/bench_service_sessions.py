@@ -96,6 +96,7 @@ def run_session_sweep_point(
     length_seconds: float,
     endpoints: list[str] | None = None,
     checkpoint: dict | None = None,
+    call_policy=None,
 ) -> dict:
     """Drive ``sessions`` concurrent streams; return wall/throughput.
 
@@ -103,6 +104,8 @@ def run_session_sweep_point(
     (e.g. ``["tcp://host:7701", ...]`` worker agents) — same workload,
     different wire.  ``checkpoint`` (a ``CheckpointConfig`` spec dict)
     makes every stream durable, so the sweep prices the checkpoint tax.
+    ``call_policy`` (a :class:`~repro.retry.RetryPolicy`) arms the
+    gray-failure fence on every stream — required under ``--faults``.
     """
     spec = parse(SESSION_SPEC)
     advance_ms = max(MIN_ADVANCE_MS, round(1000.0 * EVENTS_PER_ADVANCE / rate))
@@ -116,7 +119,11 @@ def run_session_sweep_point(
     with MonitorService(**pool) as service:
         handles = {
             seed: service.open_session(
-                spec, EPSILON, key=f"stream-{seed}", checkpoint=checkpoint
+                spec,
+                EPSILON,
+                key=f"stream-{seed}",
+                checkpoint=checkpoint,
+                call_policy=call_policy,
             )
             for seed in streams
         }
@@ -222,6 +229,71 @@ def run_skewed_point(
         "events_per_second": total_events / wall if wall else float("inf"),
         "migrations": migrations,
         "verdict_sets": verdict_sets,
+    }
+
+
+#: Lossy-link schedule for --faults: a few percent of frames dropped, a
+#: small per-frame latency with jitter, and occasional 0.2 s stalls —
+#: the "bad but not dead" link the quarantine/fence machinery degrades
+#: gracefully on.  Deterministic: same seed, same faults.
+FAULT_SEED = "bench-lossy-link"
+FAULT_KNOBS = dict(
+    drop=0.02,
+    latency=0.001,
+    jitter=0.002,
+    delay=0.03,
+    delay_seconds=0.2,
+    grace=8,
+)
+#: Per-attempt fence timeout for --faults streams (generous: the stalls
+#: are 0.2 s; the bound exists so a dropped frame is retried, not waited
+#: on forever).
+FAULT_CALL_TIMEOUT = 2.0
+
+
+def run_faults_comparison(
+    workers: int, sessions: int, rate: float, length_seconds: float
+) -> dict:
+    """The --faults claim: a lossy link costs throughput, never verdicts.
+
+    Runs the identical sweep point twice — once on a clean local pool,
+    once with every endpoint behind :class:`~repro.transport.
+    FaultyTransport` on a seeded lossy-link schedule — and reports the
+    degradation factor.  Asserts the verdict multisets are bit-identical
+    (zero lost sessions, exactly-once under retries).
+    """
+    from repro.retry import RetryPolicy
+    from repro.transport import FaultSchedule, FaultyTransport, LocalTransport
+
+    clean = run_session_sweep_point(workers, sessions, rate, length_seconds)
+
+    schedule = FaultSchedule(seed=FAULT_SEED, **FAULT_KNOBS)
+    endpoints = [FaultyTransport(LocalTransport(), schedule) for _ in range(workers)]
+    policy = RetryPolicy(attempts=4, timeout=FAULT_CALL_TIMEOUT, base_delay=0.05)
+    faulty = run_session_sweep_point(
+        workers,
+        sessions,
+        rate,
+        length_seconds,
+        endpoints=endpoints,
+        checkpoint={"every_events": 8},
+        call_policy=policy,
+    )
+    assert faulty["verdict_sets"] == clean["verdict_sets"], (
+        "the lossy link changed the verdicts"
+    )
+    stats = {"sent": 0, "dropped": 0, "duplicated": 0}
+    for endpoint in endpoints:
+        for key in stats:
+            stats[key] += endpoint.stats()[key]
+    return {
+        "schedule": schedule.describe(),
+        "clean": clean,
+        "faulty": faulty,
+        "fault_stats": stats,
+        "slowdown": clean["events_per_second"] / faulty["events_per_second"]
+        if faulty["events_per_second"]
+        else float("inf"),
     }
 
 
@@ -334,6 +406,12 @@ def main() -> int:
         help="skewed-feed workload (1 hot stream @ 10x vs 15 cold) with live "
         "rebalancing on vs off; asserts bit-identical verdicts",
     )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="rerun the sweep point behind a seeded lossy-link fault "
+        "schedule and report the throughput degradation; asserts "
+        "bit-identical verdicts (the graceful-degradation number)",
+    )
     parser.add_argument("--workers", type=int, default=None, help="pool size")
     parser.add_argument(
         "--checkpoint", type=int, default=None, metavar="N",
@@ -355,6 +433,27 @@ def main() -> int:
 
     pool_text = ", ".join(args.endpoint) if args.endpoint else f"{workers} local"
     print(f"cpu cores: {cores}, workers: {pool_text}")
+
+    if args.faults:
+        sessions, rate = (SMOKE_GRID if args.smoke else SWEEP_GRID)[0]
+        print(f"\nlossy-link degradation ({sessions} sessions @ {rate:.0f} ev/s):")
+        comparison = run_faults_comparison(workers, sessions, rate, length)
+        print(f"  schedule: {comparison['schedule']}")
+        for label in ("clean", "faulty"):
+            point = comparison[label]
+            print(
+                f"  {label:>7}: {point['events']:>6} events  "
+                f"wall {point['wall']:.3f}s  "
+                f"{point['events_per_second']:>7.0f} ev/s"
+            )
+        stats = comparison["fault_stats"]
+        print(
+            f"  link: {stats['sent']} frames sent, {stats['dropped']} dropped, "
+            f"{stats['duplicated']} duplicated"
+        )
+        print(f"  slowdown under faults: {comparison['slowdown']:.2f}x")
+        print("  verdicts bit-identical under faults: ok (asserted)")
+        return 0
 
     if args.skew:
         print(

@@ -27,6 +27,7 @@ import time
 from typing import Callable
 
 from repro.errors import ServiceError
+from repro.retry import REGISTRY_CALL_POLICY, RetryPolicy
 from repro.transport.auth import client_handshake, resolve_token
 from repro.transport.frames import (
     DEFAULT_CODEC,
@@ -50,8 +51,11 @@ OnEvent = Callable[[dict], None]
 #: Registry-loss callback: fired at most once, from a client thread.
 OnLost = Callable[[], None]
 
-#: Bound on one registry round trip (register/leave/members/watch).
-CALL_TIMEOUT = 10.0
+#: Bound on one registry round trip (register/leave/members/watch) —
+#: the per-attempt timeout of the shared registry call policy
+#: (:data:`repro.retry.REGISTRY_CALL_POLICY`), kept as a name because
+#: callers and tests reference it.
+CALL_TIMEOUT = REGISTRY_CALL_POLICY.timeout
 
 
 class RegistryClient:
@@ -66,6 +70,7 @@ class RegistryClient:
         on_lost: OnLost | None = None,
         heartbeat_interval: float = HEARTBEAT_INTERVAL,
         liveness_timeout: float = LIVENESS_TIMEOUT,
+        call_policy: RetryPolicy = REGISTRY_CALL_POLICY,
     ) -> None:
         self._endpoint = endpoint
         self._sock = sock
@@ -74,6 +79,7 @@ class RegistryClient:
         self._on_lost = on_lost
         self._heartbeat_interval = heartbeat_interval
         self._liveness_timeout = liveness_timeout
+        self._call_policy = call_policy
         self._write_lock = threading.Lock()
         self._calls_lock = threading.Lock()
         self._calls: dict[int, _PendingCall] = {}
@@ -156,8 +162,14 @@ class RegistryClient:
         change after it)."""
         return self.call(WATCH_OP, None)
 
-    def call(self, op: str, payload, timeout: float = CALL_TIMEOUT):
-        """One registry round trip; raises on error, loss, or timeout."""
+    def call(self, op: str, payload, timeout: float | None = None):
+        """One registry round trip; raises on error, loss, or timeout.
+
+        ``timeout`` overrides the client's call policy per-attempt bound
+        (:data:`~repro.retry.REGISTRY_CALL_POLICY` by default).
+        """
+        if timeout is None:
+            timeout = self._call_policy.timeout
         if self._closed:
             raise ServiceError(f"registry client for {self._endpoint} is closed")
         if self._lost:

@@ -328,7 +328,9 @@ class _RegistryPeer:
             leftover = server_handshake(
                 self._sock, self._codec, self._registry._token
             )
-        except (ServiceError, OSError):
+        except Exception:  # noqa: BLE001 — hostile pre-auth bytes (bad
+            # pickle, torn stream) must still run the peer-loss cleanup,
+            # not leak a half-registered peer by killing this thread.
             self.stop()
             self._registry._lose_peer(self)
             return
@@ -366,6 +368,12 @@ class _RegistryPeer:
         except ServiceError as exc:
             self._respond(Response(frame.request_id, None, f"ServiceError: {exc}"))
             return
+        except Exception as exc:  # noqa: BLE001 — hostile payload shapes must
+            # fail their own request, never the reader thread serving them.
+            self._respond(
+                Response(frame.request_id, None, f"{type(exc).__name__}: {exc}")
+            )
+            return
         self._respond(Response(frame.request_id, payload, None))
 
     def _respond(self, response: Response) -> None:
@@ -389,8 +397,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="shared auth token gating connections (default: REPRO_AGENT_TOKEN)",
     )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=LEASE_TIMEOUT,
+        metavar="SECONDS",
+        help="silence threshold before a member's lease is reaped as dead "
+        f"(default: {LEASE_TIMEOUT} s; fault tests run this at milliseconds)",
+    )
     args = parser.parse_args(argv)
-    registry = ClusterRegistry(args.host, args.port, token=args.token)
+    registry = ClusterRegistry(
+        args.host, args.port, token=args.token, lease_timeout=args.lease_timeout
+    )
     registry.start()
     auth = "token-auth" if registry._token is not None else "no-auth"
     print(f"{READY_PREFIX}{registry.address} (pid {os.getpid()}, {auth})", flush=True)
@@ -407,7 +425,12 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def spawn_registry(host: str = "127.0.0.1", port: int = 0, token: str | None = None):
+def spawn_registry(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    token: str | None = None,
+    lease_timeout: float | None = None,
+):
     """Start a registry in a fresh OS process; returns ``(popen, host, port)``."""
     import subprocess
     import sys
@@ -429,6 +452,8 @@ def spawn_registry(host: str = "127.0.0.1", port: int = 0, token: str | None = N
     ]
     if token is not None:
         argv += ["--token", token]
+    if lease_timeout is not None:
+        argv += ["--lease-timeout", str(lease_timeout)]
     popen = subprocess.Popen(argv, stdout=subprocess.PIPE, env=env, text=True)
     line = popen.stdout.readline()
     if not line.startswith(READY_PREFIX):

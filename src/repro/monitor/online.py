@@ -308,6 +308,11 @@ class OnlineMonitor:
         return self._events_consumed
 
     @property
+    def frontier(self) -> int:
+        """Everything strictly below this time is already final."""
+        return self._frontier
+
+    @property
     def current_verdicts(self) -> frozenset[bool]:
         """Verdicts decided so far (grows as segments close; final after
         :meth:`finish`)."""

@@ -43,6 +43,7 @@ class MonitorFuture:
         "_cancelled",
         "cancel_hook",
         "task_index",
+        "request_id",
     )
 
     #: The error string a client-side cancellation resolves with.
@@ -63,6 +64,11 @@ class MonitorFuture:
         #: the worker (cancelled, transport failure) consistently with
         #: the items that did.
         self.task_index: int | None = None
+        #: The wire request id the service allocated for this future —
+        #: lets an abandoning caller (session recovery on a lossy link)
+        #: settle the outstanding books without waiting for an ack that
+        #: may never arrive.
+        self.request_id: int | None = None
 
     def done(self) -> bool:
         """True once the worker has responded (successfully or not)."""

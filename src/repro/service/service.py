@@ -62,6 +62,7 @@ from typing import Sequence
 from repro.distributed.computation import DistributedComputation
 from repro.errors import CancelledError, MonitorError, ReproError, ServiceError
 from repro.mtl.ast import Formula
+from repro.retry import REDIAL_POLICY, RetryPolicy
 from repro.service.durability import CheckpointConfig, resolve_checkpoint
 from repro.service.futures import MonitorFuture
 from repro.service.reports import BatchReport
@@ -94,11 +95,20 @@ from repro.transport import (
 STEALABLE_OPS = ("monitor", "shard", "segment_part")
 
 #: Registry re-dial backoff: first retry delay and its cap, seconds.
-REGISTRY_REDIAL_MIN = 0.1
-REGISTRY_REDIAL_MAX = 2.0
+#: Aliases into the shared :data:`repro.retry.REDIAL_POLICY` — the
+#: service, the agent, and any future redialer back off identically.
+REGISTRY_REDIAL_MIN = REDIAL_POLICY.base_delay
+REGISTRY_REDIAL_MAX = REDIAL_POLICY.max_delay
 
 #: How often the liveness thread polls each connection's own verdict.
 LIVENESS_POLL_SECONDS = 0.25
+
+#: Gray-failure quarantine hysteresis: a quarantined endpoint must
+#: answer this many consecutive probe pings, each within the probe
+#: timeout, before it is readmitted to placement.  One slow ping resets
+#: the streak — flapping links stay quarantined.
+QUARANTINE_PROBES = 3
+QUARANTINE_PROBE_TIMEOUT = 2.0
 
 #: Session placement policies accepted by :meth:`MonitorService.open_session`.
 PLACEMENTS = ("hash", "least_loaded")
@@ -152,6 +162,16 @@ class MonitorService:
         (HMAC challenge/response at connection open — see
         :mod:`repro.transport.auth`).  ``None`` resolves
         ``REPRO_AGENT_TOKEN``; the empty string disables auth explicitly.
+    heartbeat_interval:
+        Heartbeat cadence for TCP endpoints given as *string* specs
+        (including endpoints absorbed from registry joins), seconds.
+        ``None`` keeps the transport default (1 s).  Endpoints passed as
+        ready :class:`~repro.transport.Transport` objects keep their own
+        cadence.  Fault-schedule tests run this at millisecond scale so
+        silence is detected in tens of milliseconds, not seconds.
+    liveness_timeout:
+        Silence threshold before a string-spec TCP endpoint is declared
+        dead, seconds.  ``None`` keeps the transport default (5 s).
     auto_calibrate:
         Run a budgeted engine-crossover probe at startup and apply the
         measured thresholds to the ``kind="auto"`` factory (see
@@ -195,6 +215,8 @@ class MonitorService:
         endpoints: Sequence[Transport | str] | None = None,
         registry: str | None = None,
         token: str | None = None,
+        heartbeat_interval: float | None = None,
+        liveness_timeout: float | None = None,
         auto_calibrate: bool = False,
         auto_calibrate_budget: float = 1.0,
         rebalance=None,
@@ -242,8 +264,21 @@ class MonitorService:
                 "need a rebalance policy"
             )
 
+        # TCP liveness cadence for endpoints given as *string* specs —
+        # here, from add_endpoint, and from registry join events.  Ready
+        # Transport objects keep whatever cadence they were built with.
+        self._heartbeat_interval = heartbeat_interval
+        self._liveness_timeout = liveness_timeout
         if endpoints is not None:
-            transports = [resolve_transport(spec, token) for spec in endpoints]
+            transports = [
+                resolve_transport(
+                    spec,
+                    token,
+                    heartbeat_interval=heartbeat_interval,
+                    liveness_timeout=liveness_timeout,
+                )
+                for spec in endpoints
+            ]
             if not transports and registry is None:
                 raise MonitorError("endpoints must name at least one worker")
             if workers is not None and workers != len(transports):
@@ -313,6 +348,14 @@ class MonitorService:
         self._outstanding = [0] * self._workers
         self._dead = [False] * self._workers
         self._retired = [False] * self._workers
+        # Gray-failure quarantine: flagged endpoints are excluded from
+        # all placement (like retiring ones) but their connection stays
+        # open — sessions still need it to snapshot/migrate off, and the
+        # liveness loop probes it for readmission.
+        self._quarantined = [False] * self._workers
+        self._quarantine_reasons: dict[int, str] = {}
+        self._probe_futures: dict[int, tuple[MonitorFuture, float]] = {}
+        self._probe_streak: dict[int, int] = {}
         self._sessions: dict[int, Session] = {}
         self._inflight = threading.BoundedSemaphore(max_in_flight)
         # Serializes pool-shape changes (add/retire): reservations and
@@ -432,18 +475,25 @@ class MonitorService:
         """Per-endpoint unusability flags (reaped endpoints stay dead).
 
         True also for endpoints that are *retiring* (draining toward a
-        graceful leave) — everything that keys placement off this signal
-        (standby replicas, rebalance targets) must treat a retiring
-        endpoint exactly like a dead one: never put anything new there.
+        graceful leave) or *quarantined* (gray-failing: partitioned or
+        slow, placement-excluded until probes readmit them) — everything
+        that keys placement off this signal (standby replicas, rebalance
+        targets) must treat those exactly like dead ones: never put
+        anything new there.
         """
         with self._lock:
             installed = len(self._connections)
             return [
-                dead or retired or index >= installed
-                for index, (dead, retired) in enumerate(
-                    zip(self._dead, self._retired)
+                dead or retired or quarantined or index >= installed
+                for index, (dead, retired, quarantined) in enumerate(
+                    zip(self._dead, self._retired, self._quarantined)
                 )
             ]
+
+    def quarantined_endpoints(self) -> list[bool]:
+        """Per-endpoint quarantine flags (subset of :meth:`dead_endpoints`)."""
+        with self._lock:
+            return list(self._quarantined)
 
     def live_sessions(self) -> list[Session]:
         """The sessions currently tracked by this client (rebalancer input)."""
@@ -583,6 +633,7 @@ class MonitorService:
         key: str | None = None,
         placement: str = "hash",
         checkpoint: bool | dict | CheckpointConfig | None = None,
+        call_policy: RetryPolicy | None = None,
         **monitor_kwargs,
     ) -> Session:
         """Open one live monitoring stream, pinned to a pool worker.
@@ -608,6 +659,14 @@ class MonitorService:
         service-level default, ``False`` forces a plain session, ``True``
         / dict / :class:`~repro.service.durability.CheckpointConfig`
         picks a policy for this session alone.
+
+        ``call_policy`` (a :class:`~repro.retry.RetryPolicy` with a
+        ``timeout``) bounds every synchronising round-trip of the
+        session and arms the gray-failure fence: a call that times out
+        is cancelled worker-side and retried only when the worker
+        *proves* it never executed (see
+        :meth:`Session._fence_slow_call <repro.service.session.Session>`).
+        ``None`` keeps the historical block-until-answered behaviour.
         """
         self._ensure_open()
         if checkpoint is None:
@@ -632,7 +691,9 @@ class MonitorService:
                 candidates = [
                     i
                     for i in range(len(self._connections))
-                    if not self._dead[i] and not self._retired[i]
+                    if not self._dead[i]
+                    and not self._retired[i]
+                    and not self._quarantined[i]
                 ]
             if not candidates:
                 raise ServiceError("all service workers have died")
@@ -653,6 +714,7 @@ class MonitorService:
             epsilon,
             monitor_kwargs=monitor_kwargs,
             checkpoint=config,
+            call_policy=call_policy,
         )
         with self._lock:
             self._sessions[session_id] = session
@@ -690,7 +752,11 @@ class MonitorService:
         # the old slot stays as a dead tombstone, so prefer a usable match.
         with self._lock:
             for index in matches:
-                if not self._dead[index] and not self._retired[index]:
+                if (
+                    not self._dead[index]
+                    and not self._retired[index]
+                    and not self._quarantined[index]
+                ):
                     return index
         return matches[-1]
 
@@ -709,7 +775,10 @@ class MonitorService:
         """
         self._ensure_open()
         transport = resolve_transport(
-            spec, token if token is not None else self._token
+            spec,
+            token if token is not None else self._token,
+            heartbeat_interval=self._heartbeat_interval,
+            liveness_timeout=self._liveness_timeout,
         )
         with self._membership_lock:
             with self._lock:
@@ -723,6 +792,7 @@ class MonitorService:
                 self._outstanding.append(0)
                 self._dead.append(False)
                 self._retired.append(False)
+                self._quarantined.append(False)
                 self._send_locks.append(threading.Lock())
             installed = threading.Event()
             on_response = self._make_on_response(index)
@@ -751,6 +821,7 @@ class MonitorService:
                     self._outstanding.pop()
                     self._dead.pop()
                     self._retired.pop()
+                    self._quarantined.pop()
                     self._send_locks.pop()
                 raise
             with self._lock:
@@ -790,7 +861,10 @@ class MonitorService:
             others = [
                 i
                 for i in range(len(self._connections))
-                if i != index and not self._dead[i] and not self._retired[i]
+                if i != index
+                and not self._dead[i]
+                and not self._retired[i]
+                and not self._quarantined[i]
             ]
             if not others:
                 raise ServiceError(
@@ -835,6 +909,122 @@ class MonitorService:
         self._fail_worker_futures([index])
         if self.rebalancer is not None:
             self.rebalancer.kick()
+
+    def quarantine_endpoint(self, endpoint: int | str, reason: str = "") -> bool:
+        """Exclude a gray-failing endpoint from placement, reversibly.
+
+        The graceful-degradation path for endpoints that are *alive but
+        wrong* — partitioned one way, crawling, or repeatedly timing out
+        — where killing the connection would be both premature (the link
+        may heal) and lossy (sessions still need it to snapshot off).
+        Unlike :meth:`retire_endpoint` this keeps the connection open
+        and is **reversible**: the liveness loop probes the endpoint
+        with pings and readmits it after :data:`QUARANTINE_PROBES`
+        consecutive fast answers (hysteresis — one slow probe resets
+        the streak).
+
+        Sessions pinned to the endpoint are proactively migrated off on
+        a background sweep (best-effort: a session mid-recovery moves
+        itself), and queued batch work is stolen back.  Refused (returns
+        False) when it would leave no live endpoint — degrading to a
+        one-endpoint pool beats degrading to none.
+        """
+        self._ensure_open()
+        index = self._resolve_endpoint_index(endpoint)
+        with self._lock:
+            if self._dead[index] or self._retired[index] or self._quarantined[index]:
+                return self._quarantined[index]
+            others = [
+                i
+                for i in range(len(self._connections))
+                if i != index
+                and not self._dead[i]
+                and not self._retired[i]
+                and not self._quarantined[i]
+            ]
+            if not others:
+                return False
+            self._quarantined[index] = True
+            self._quarantine_reasons[index] = reason
+            self._probe_streak[index] = 0
+        try:
+            self.steal_queued(index)
+        except ReproError:
+            pass
+        threading.Thread(
+            target=self._migrate_off_quarantined,
+            args=(index,),
+            name=f"monitor-service-quarantine-{index}",
+            daemon=True,
+        ).start()
+        if self.rebalancer is not None:
+            self.rebalancer.kick()
+        return True
+
+    def _migrate_off_quarantined(self, index: int) -> None:
+        """Best-effort sweep moving live sessions off a quarantined slot.
+
+        A session currently blocked or recovering moves itself (its
+        recovery picks a healthy endpoint); this sweep covers the idle
+        ones so they do not discover the gray link on their next call.
+        """
+        for session in self.live_sessions():
+            if self._closed or not self._quarantined[index]:
+                return
+            if session.worker_index != index or session.finished:
+                continue
+            try:
+                session.migrate(self._pick_worker())
+            except ReproError:
+                continue  # it will recover (or be re-swept) on its own
+
+    def _readmit(self, index: int) -> None:
+        with self._lock:
+            if not self._quarantined[index] or self._dead[index]:
+                return
+            self._quarantined[index] = False
+            self._quarantine_reasons.pop(index, None)
+            self._probe_streak.pop(index, None)
+            self._probe_futures.pop(index, None)
+        if self.rebalancer is not None:
+            self.rebalancer.kick()
+
+    def _probe_quarantined(self) -> None:
+        """One liveness tick of quarantine probing (readmission path)."""
+        with self._lock:
+            indices = [
+                i
+                for i, flagged in enumerate(self._quarantined)
+                if flagged and not self._dead[i] and not self._retired[i]
+            ]
+        for index in indices:
+            probe = self._probe_futures.get(index)
+            if probe is not None:
+                future, started = probe
+                if future.done():
+                    self._probe_futures.pop(index, None)
+                    try:
+                        future.result(timeout=0.0)
+                    except ReproError:
+                        self._probe_streak[index] = 0  # typed failure: not healthy
+                        continue
+                    streak = self._probe_streak.get(index, 0) + 1
+                    self._probe_streak[index] = streak
+                    if streak >= QUARANTINE_PROBES:
+                        self._readmit(index)
+                    continue
+                if time.monotonic() - started > QUARANTINE_PROBE_TIMEOUT:
+                    # Still gray: abandon this probe (its eventual answer
+                    # resolves a future nobody reads) and restart the streak.
+                    self._probe_futures.pop(index, None)
+                    self._probe_streak[index] = 0
+                continue
+            try:
+                future = self._send(index, "ping", None)
+            except ReproError:
+                self._probe_streak[index] = 0
+                continue
+            self._probe_futures[index] = (future, time.monotonic())
 
     def _find_live_index(self, address: str) -> int | None:
         with self._lock:
@@ -930,19 +1120,16 @@ class MonitorService:
         if not self._registry_redial_lock.acquire(blocking=False):
             return
         try:
-            delay = REGISTRY_REDIAL_MIN
-            while not self._closed:
-                try:
-                    client = RegistryClient.connect(
-                        self._registry_spec,
-                        token=self._token,
-                        on_event=self._on_membership_event,
-                        on_lost=self._on_registry_lost,
-                    )
-                except ReproError:
-                    time.sleep(delay)
-                    delay = min(delay * 2, REGISTRY_REDIAL_MAX)
-                    continue
+
+            def attempt() -> None:
+                if self._closed:
+                    return
+                client = RegistryClient.connect(
+                    self._registry_spec,
+                    token=self._token,
+                    on_event=self._on_membership_event,
+                    on_lost=self._on_registry_lost,
+                )
                 if self._closed:
                     client.close()
                     return
@@ -958,13 +1145,18 @@ class MonitorService:
                 except ReproError:
                     # Registry vanished again mid-watch.  Its on_lost may
                     # have fired while this thread holds the redial lock
-                    # (so no replacement redialer could start): retry
-                    # here instead of returning.
+                    # (so no replacement redialer could start): keep
+                    # retrying here instead of returning.
                     client.close()
-                    time.sleep(delay)
-                    delay = min(delay * 2, REGISTRY_REDIAL_MAX)
-                    continue
-                return
+                    raise
+
+            # Unbounded capped backoff (the shared redial policy);
+            # ``_liveness_stop`` doubles as the close signal.
+            REDIAL_POLICY.run(
+                attempt, retry_on=(ReproError, OSError), stop=self._liveness_stop
+            )
+        except Exception:  # noqa: BLE001 — only exhausted by the stop event
+            pass
         finally:
             self._registry_redial_lock.release()
 
@@ -1081,7 +1273,9 @@ class MonitorService:
             alive = [
                 i
                 for i in range(len(self._connections))
-                if not self._dead[i] and not self._retired[i]
+                if not self._dead[i]
+                and not self._retired[i]
+                and not self._quarantined[i]
             ]
             if not alive:
                 raise ServiceError("all service workers have died")
@@ -1105,6 +1299,7 @@ class MonitorService:
                         f"({self._connections[worker_index].endpoint}) has died"
                     )
                 request_id = next(self._request_ids)
+                future.request_id = request_id
                 self._futures[request_id] = future
                 self._request_to_worker[request_id] = worker_index
                 self._outstanding[worker_index] += 1
@@ -1128,6 +1323,28 @@ class MonitorService:
         future.cancel_hook = lambda: self._drop_request(worker_index, request_id)
         return future
 
+    def _abandon_requests(self, futures) -> None:
+        """Settle the books for requests nobody will wait on again.
+
+        Session recovery on a lossy link abandons its in-flight batches:
+        their frames (or their responses) may have been silently dropped,
+        so waiting for acks to settle the outstanding counters could
+        wait forever.  Forgetting the ids here decrements the counters
+        immediately; a late response for a forgotten id is ignored by
+        the dispatcher (the pop finds nothing), so books never settle
+        twice.
+        """
+        with self._lock:
+            for future in futures:
+                request_id = future.request_id
+                if request_id is None or self._futures.pop(request_id, None) is None:
+                    continue
+                self._stealable.pop(request_id, None)
+                self._stealing.discard(request_id)
+                worker_index = self._request_to_worker.pop(request_id, None)
+                if worker_index is not None:
+                    self._outstanding[worker_index] -= 1
+
     def _drop_request(self, worker_index: int, request_id: int) -> None:
         """Best-effort ``drop`` control frame behind ``MonitorFuture.cancel``.
 
@@ -1145,14 +1362,54 @@ class MonitorService:
             # leave the outstanding counters depending on its delivery.
             pass
 
+    #: Error a request resolves with when a later response on the same
+    #: connection proves it will never be answered (FIFO gap).
+    OVERTAKEN = (
+        "ServiceError: request overtaken on its connection — "
+        "its frame (or its response) was lost in transit"
+    )
+
     def _make_on_response(self, worker_index: int):
         def on_response(response: Response) -> None:
             resteal: tuple[str, object, MonitorFuture] | None = None
+            reaped: list[MonitorFuture] = []
             with self._lock:
                 future = self._futures.pop(response.request_id, None)
                 stealable = self._stealable.pop(response.request_id, None)
                 if self._request_to_worker.pop(response.request_id, None) is not None:
                     self._outstanding[worker_index] -= 1
+                # FIFO gap reaper: ids reach one connection in increasing
+                # order and are answered in that order, so a response for
+                # id R proves every pending id < R on this worker will
+                # never be answered — its frame never arrived (the worker
+                # fence now stale-rejects it if it ever does) or its
+                # response died in transit.  Settle those books now: on a
+                # lossy link the ack the counters would otherwise wait
+                # for may simply not exist.  A late (reordered) response
+                # for a reaped id finds its id already popped and is
+                # ignored, so nothing settles twice.  The one response
+                # that breaks the answered-in-order premise is a minted
+                # drop ack: the worker emits it the moment the drop
+                # control frame is ingested, jumping ahead of earlier
+                # requests still queued behind the running one — it
+                # proves nothing about them, so it must not reap.
+                stale_ids = (
+                    []
+                    if response.error == DROPPED_BEFORE_EXECUTION
+                    else [
+                        rid
+                        for rid, owner in self._request_to_worker.items()
+                        if owner == worker_index and rid < response.request_id
+                    ]
+                )
+                for rid in stale_ids:
+                    stale = self._futures.pop(rid, None)
+                    self._stealable.pop(rid, None)
+                    self._stealing.discard(rid)
+                    del self._request_to_worker[rid]
+                    self._outstanding[worker_index] -= 1
+                    if stale is not None:
+                        reaped.append(stale)
                 if response.request_id in self._stealing:
                     self._stealing.discard(response.request_id)
                     if (
@@ -1168,6 +1425,11 @@ class MonitorService:
                         # response means the drop lost — the request
                         # completed where it was, resolve normally.
                         resteal = (stealable[0], stealable[1], future)
+            # Overtaken requests resolve *before* the overtaking response:
+            # a session's FIFO gap check runs when its synchronising call
+            # returns and must already see the loss it proves.
+            for stale in reaped:
+                stale.resolve(None, self.OVERTAKEN)
             if resteal is not None:
                 self._resteal(*resteal, avoid=worker_index)
                 return
@@ -1259,6 +1521,8 @@ class MonitorService:
             ]
             if newly_dead and not self._closed:
                 self._fail_worker_futures(newly_dead)
+            if not self._closed:
+                self._probe_quarantined()
 
     def _fail_worker_futures(self, worker_indices: list[int]) -> None:
         """Mark endpoints dead; steal or fail their outstanding requests.
@@ -1285,6 +1549,11 @@ class MonitorService:
         with self._lock:
             for index in worker_indices:
                 self._dead[index] = True
+                # Death supersedes quarantine: stop probing a tombstone.
+                self._quarantined[index] = False
+                self._quarantine_reasons.pop(index, None)
+                self._probe_streak.pop(index, None)
+                self._probe_futures.pop(index, None)
             any_alive = not all(self._dead)
             by_worker: dict[int, list[int]] = {}
             for request_id, worker_index in self._request_to_worker.items():

@@ -48,9 +48,16 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.errors import CancelledError, MonitorError, ReproError, ServiceError
+from repro.errors import (
+    CancelledError,
+    MonitorError,
+    PreemptedError,
+    ReproError,
+    ServiceError,
+)
 from repro.monitor.verdicts import MonitorResult
 from repro.mtl.ast import Formula
+from repro.retry import SESSION_CALL_POLICY, RetryPolicy
 from repro.service.durability import CheckpointConfig, ReplayJournal
 from repro.service.futures import MonitorFuture, raise_remote
 from repro.transport.frames import (
@@ -69,13 +76,14 @@ OBSERVE_FLUSH_THRESHOLD = 256
 
 #: Bound on each blocking round-trip inside a migration (snapshot,
 #: restore): a hop must fail loudly rather than park the stream forever
-#: behind a wedged endpoint.
-MIGRATE_TIMEOUT = 30.0
+#: behind a wedged endpoint.  Aliases the shared session call policy so
+#: every session-layer round-trip answers to one knob.
+MIGRATE_TIMEOUT = SESSION_CALL_POLICY.timeout
 
 #: Bound on each blocking round-trip inside a recovery (promote,
 #: restore, replayed batch): recovery happens on the caller's thread, so
 #: a wedged replacement endpoint must fail the call, not hang it.
-RECOVERY_TIMEOUT = 30.0
+RECOVERY_TIMEOUT = SESSION_CALL_POLICY.timeout
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,7 @@ class Session:
         epsilon: int,
         monitor_kwargs: Mapping[str, object] | None = None,
         checkpoint: CheckpointConfig | None = None,
+        call_policy: RetryPolicy | None = None,
     ) -> None:
         self._service = service
         self._id = session_id
@@ -130,6 +139,16 @@ class Session:
         # client).  Any later hop back to such an endpoint must fence on
         # the discard first — see :meth:`_fence_stale_copy`.
         self._stale_copies: dict[int, MonitorFuture | None] = {}
+        #: Per-call retry policy for the synchronising round-trips
+        #: (``advance_to``/``poll``/``finish``).  ``None`` (the default)
+        #: keeps the historical behaviour: block until the worker
+        #: answers, however long that takes.  A policy with a
+        #: ``timeout`` arms the gray-failure fence: a round-trip that
+        #: outlives its per-attempt bound sends the worker a drop frame
+        #: and classifies the typed answer — proven-not-executed and
+        #: executed-then-unwound both retry safely, silence quarantines
+        #: the endpoint (see :meth:`_fence_slow_call`).
+        self._call_policy = call_policy
         # -- durability state (all None/zero when not checkpointing) --
         self._checkpoint = checkpoint
         self._journal: ReplayJournal | None = (
@@ -291,12 +310,19 @@ class Session:
         ``OnlineMonitor``, where a rejected ``observe`` does not poison
         the stream).
         """
+        # A waiting check is bounded by the call policy's per-attempt
+        # timeout when one is set: a dropped observe frame (or its lost
+        # response) must surface as a ServiceError — evidence of frame
+        # loss that durable sessions repair by restore-and-replay —
+        # rather than park the caller forever.
+        policy = self._call_policy
+        timeout = policy.timeout if policy is not None else None
         while self._inflight:
             future = self._inflight[0]
             if not wait and not future.done():
                 break
             self._inflight.popleft()
-            future.result()  # raises the remote error if the batch failed
+            future.result(timeout)  # raises the remote error if the batch failed
 
     # -- advancing / inspecting ----------------------------------------------------
 
@@ -313,6 +339,7 @@ class Session:
         self._flush()
         self._check_inflight()
         verdicts = self._roundtrip("session_advance", (self._id, boundary))
+        self._confirm_inflight("session_advance")
         if self._journal is not None:
             # Journaled only after the worker acknowledged: an advance
             # that died mid-flight is *retried* after replay, not
@@ -340,7 +367,9 @@ class Session:
     def _poll_once(self) -> SessionStatus:
         self._flush()
         self._check_inflight()
-        return self._roundtrip("session_poll", (self._id,))
+        status = self._roundtrip("session_poll", (self._id,))
+        self._confirm_inflight("session_poll")
+        return status
 
     def finish(self) -> MonitorResult:
         """Consume everything buffered, close residuals, return the verdicts.
@@ -364,7 +393,9 @@ class Session:
     def _finish_once(self) -> MonitorResult:
         self._flush()
         self._check_inflight()
-        return self._roundtrip("session_finish", (self._id,))
+        result = self._roundtrip("session_finish", (self._id,))
+        self._confirm_inflight("session_finish")
+        return result
 
     def close(self) -> None:
         """Discard the stream without computing verdicts.
@@ -482,7 +513,7 @@ class Session:
             if wait or future.done():
                 self._pending_checkpoint = None
                 try:
-                    snapshot = future.result(RECOVERY_TIMEOUT)
+                    snapshot = future.result(self._recovery_timeout())
                 except ReproError:
                     pass
                 else:
@@ -568,7 +599,7 @@ class Session:
             return
         self._pending_standby = None
         try:
-            future.result(RECOVERY_TIMEOUT)
+            future.result(self._recovery_timeout())
         except ReproError:
             self._retire_standby()
             return
@@ -601,6 +632,16 @@ class Session:
             pass
 
     # -- recovery -------------------------------------------------------------------
+
+    def _recovery_timeout(self) -> float:
+        """Bound on each blocking round-trip inside recovery/checkpoint
+        settling: the session's call-policy timeout when one is armed
+        (chaos runs need recovery to fail fast and re-pick), the
+        generous :data:`RECOVERY_TIMEOUT` default otherwise."""
+        policy = self._call_policy
+        if policy is not None and policy.timeout is not None:
+            return policy.timeout
+        return RECOVERY_TIMEOUT
 
     def _durable_call(self, fn: Callable):
         """Run one session step; on transport death, restore-and-replay
@@ -648,6 +689,7 @@ class Session:
         # freshest committed replica.
         self._apply_pending_checkpoint()
         self._poll_pending_standby(wait=True)
+        origin = self._worker
         restored = False
         dead = self._service.dead_endpoints()
         standby = self._standby_worker
@@ -663,41 +705,96 @@ class Session:
                     standby,
                     PROMOTE_SESSION,
                     (self._id, self._journal.checkpoints_applied),
-                ).result(RECOVERY_TIMEOUT)
+                ).result(self._recovery_timeout())
                 self._worker = standby
                 self._standby_worker = None
                 restored = True
             except ReproError:
+                # The promote may have *executed* with its ack lost on a
+                # lossy link, leaving a live primary copy on the replica
+                # endpoint: fence it so a later placement discards the
+                # possible orphan before reusing the endpoint.
+                self._stale_copies.setdefault(standby, None)
                 self._standby_worker = None  # replica unusable: cold path
         if not restored:
             target = self._service._pick_worker()  # raises when none live
             if target == self._worker:
-                # The origin is somehow still live: the error was not a
-                # worker death — restoring on top of the live copy would
-                # collide, so surface the original failure.  Nothing has
-                # been cleared yet: the buffer and in-flight batches are
+                # The origin still passes liveness yet failed a session
+                # call: a *gray* endpoint (partitioned one way, crawling,
+                # dropping frames) rather than a corpse.  Restoring on
+                # top of the live copy would collide, so quarantine the
+                # origin out of placement and pick again; when it is the
+                # last live endpoint there is nowhere to fail over to
+                # and the original failure surfaces.  Nothing has been
+                # cleared yet: the buffer and in-flight batches are
                 # intact for the retried call to deliver.
-                raise cause
-            self._fence_stale_copy(target, RECOVERY_TIMEOUT)
-            if self._journal.snapshot is not None:
-                self._service._send_session(
-                    target, RESTORE_SESSION, (self._id, self._journal.snapshot)
-                ).result(RECOVERY_TIMEOUT)
-            else:
-                # Died before the first checkpoint: the journal covers the
-                # stream from the very beginning, so recovery is a fresh
-                # open plus a full replay.
-                self._service._send_session(
-                    target,
-                    "session_open",
-                    (self._id, self._formula, self._epsilon, dict(self._monitor_kwargs)),
-                ).result(RECOVERY_TIMEOUT)
+                if not self._service.quarantine_endpoint(
+                    self._worker,
+                    reason=f"session {self._id} recovery after: {cause}",
+                ):
+                    raise cause
+                target = self._service._pick_worker()
+                if target == self._worker:
+                    raise cause
+            try:
+                self._fence_stale_copy(target, self._recovery_timeout())
+                if self._journal.snapshot is not None:
+                    self._service._send_session(
+                        target, RESTORE_SESSION, (self._id, self._journal.snapshot)
+                    ).result(self._recovery_timeout())
+                else:
+                    # Died before the first checkpoint: the journal covers
+                    # the stream from the very beginning, so recovery is a
+                    # fresh open plus a full replay.
+                    self._service._send_session(
+                        target,
+                        "session_open",
+                        (
+                            self._id,
+                            self._formula,
+                            self._epsilon,
+                            dict(self._monitor_kwargs),
+                        ),
+                    ).result(self._recovery_timeout())
+            except ServiceError:
+                # The restore/open may have *executed* with its ack lost:
+                # remember the possible orphan copy so the next placement
+                # onto this endpoint discards it first, then let the
+                # durable loop retry the recovery.
+                self._stale_copies.setdefault(target, None)
+                raise
+            except MonitorError as exc:
+                # An unconfirmable fence, or a collision with an orphan
+                # copy a previous lost-ack restore left behind.  Both are
+                # retryable at this level: fence the endpoint and re-raise
+                # as ServiceError so the durable loop re-picks instead of
+                # surfacing a fatal monitor error.
+                self._stale_copies.setdefault(target, None)
+                raise ServiceError(
+                    f"session {self._id} could not be restored onto "
+                    f"endpoint {target}: {exc}"
+                ) from exc
             self._worker = target
+        if self._worker != origin and not self._service.dead_endpoints()[origin]:
+            # A gray origin survived the failover and may still hold a
+            # live copy of this stream: queue a best-effort discard
+            # behind whatever is wedged on its connection, and fence any
+            # later placement back onto it (``_stale_copies`` tracks the
+            # unconfirmed discard exactly like a migration's would).
+            self._discard_copy(origin)
         # Only now that a rebuilt copy verifiably exists is the
         # superseded work dropped: the journal records it all, and
         # replay re-feeds it onto the restored state.  Clearing any
         # earlier would let a recovery that secures no target (e.g. the
         # raise above) silently strand buffered events in the journal.
+        # Each abandoned batch is cancelled (best-effort worker-side
+        # drop, so a frame still in flight is parked, not executed
+        # against the superseded copy) and its outstanding bookkeeping
+        # settled explicitly — a lossy link may never deliver the ack
+        # the books would otherwise wait on.
+        for future in self._inflight:
+            future.cancel()
+        self._service._abandon_requests(list(self._inflight))
         self._inflight.clear()
         self._buffer.clear()
         self._recoveries += 1
@@ -710,7 +807,7 @@ class Session:
                 try:
                     self._service._send_session(
                         self._worker, "session_observe", (self._id, payload)
-                    ).result(RECOVERY_TIMEOUT)
+                    ).result(self._recovery_timeout())
                 except MonitorError:
                     # A journaled event the monitor rejects was rejected
                     # identically when first fed (and surfaced then);
@@ -719,7 +816,7 @@ class Session:
             else:
                 self._service._send_session(
                     self._worker, "session_advance", (self._id, payload)
-                ).result(RECOVERY_TIMEOUT)
+                ).result(self._recovery_timeout())
 
     # -- migration ----------------------------------------------------------------
 
@@ -889,12 +986,142 @@ class Session:
     # -- plumbing -----------------------------------------------------------------
 
     def _roundtrip(self, op: str, payload: object):
-        future = self._service._send_session(self._worker, op, payload)
-        self._sync_future = future
+        policy = self._call_policy
+        if policy is None or policy.timeout is None:
+            # Historical behaviour: block until the worker answers.
+            future = self._service._send_session(self._worker, op, payload)
+            self._sync_future = future
+            try:
+                return future.result()
+            finally:
+                self._sync_future = None
+        delays = policy.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            future = self._service._send_session(self._worker, op, payload)
+            self._sync_future = future
+            try:
+                try:
+                    return future.result(policy.timeout)
+                except ServiceError:
+                    if future.done():
+                        raise  # the worker (or transport) answered: real failure
+            finally:
+                self._sync_future = None
+            # The round-trip outlived its per-attempt bound with no
+            # answer at all — an ambiguous timeout.  Retrying blindly
+            # could execute the op twice, so fence first.
+            outcome, value = self._fence_slow_call(future, op)
+            if outcome == "done":
+                return value
+            if outcome == "retry":
+                delay = next(delays, None)
+                if delay is not None:
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                raise ServiceError(
+                    f"session call {op!r} to {self._endpoint_text()} timed "
+                    f"out on all {attempt} attempt(s) "
+                    f"({policy.timeout}s per attempt)"
+                )
+            # Gray endpoint: alive enough to hold the connection open,
+            # too broken to answer even the fence.  Settle the silent
+            # request's books (its ack may never come), quarantine the
+            # endpoint out of placement (reversible — probes readmit a
+            # healed link) and surface a ServiceError: durable sessions
+            # restore-and-replay onto a live endpoint, plain sessions
+            # fail loudly.
+            self._service._abandon_requests([future])
+            self._service.quarantine_endpoint(
+                self._worker,
+                reason=f"session call {op!r} fence unanswered "
+                f"after {policy.timeout}s",
+            )
+            raise ServiceError(
+                f"session call {op!r} to {self._endpoint_text()} timed out "
+                f"and the cancellation fence went unanswered: endpoint is "
+                f"gray (quarantined), the call may or may not have executed"
+            )
+
+    def _fence_slow_call(self, future: MonitorFuture, op: str):
+        """Classify a synchronising round-trip that outlived its timeout.
+
+        Sends the worker a drop frame for the in-flight request (the
+        same control path :meth:`interrupt` uses) and waits one more
+        per-attempt timeout for the *typed* answer.  FIFO per connection
+        makes the classification sound:
+
+        * ``CancelledError`` — the worker acked the drop before ever
+          executing the request (:data:`~repro.transport.frames.
+          DROPPED_BEFORE_EXECUTION`), or the request id was already
+          superseded.  Proof of zero executions: safe to resend.
+        * ``PreemptedError`` — the drop caught the request mid-execution
+          and the engine unwound without mutating monitor state.  Also
+          safe to resend.
+        * a payload — the response was merely slow; the call executed
+          exactly once and this *is* its result.
+        * any other resolved error — a real failure; re-raised.
+        * still silent — nothing provable: the endpoint is gray and the
+          caller must not retry (``("gray", None)``).
+        """
+        hook = future.cancel_hook
+        if hook is not None:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 — fence stays best-effort
+                pass
         try:
-            return future.result()
-        finally:
-            self._sync_future = None
+            payload = future.result(self._call_policy.timeout)
+        except CancelledError:
+            return ("retry", None)  # proven: dropped before execution
+        except PreemptedError:
+            return ("retry", None)  # proven: executed-then-unwound
+        except ServiceError:
+            if future.done():
+                raise  # a real failure answered the fence
+            return ("gray", None)
+        return ("done", payload)
+
+    def _confirm_inflight(self, op: str) -> None:
+        """FIFO gap check: run after a synchronising round-trip resolves,
+        *before* its result is journaled or returned.
+
+        Requests on one connection execute and answer in order, so the
+        sync response resolving proves every earlier observe batch was
+        answered first.  An earlier future still unresolved is therefore
+        positive evidence of frame loss (the batch or its response died
+        in transit) — the sync call may have executed *without* those
+        events, so its verdicts cannot be trusted.  Raised as a
+        :class:`~repro.errors.ServiceError`: durable sessions repair by
+        restore-and-replay (the journal holds every lost event), plain
+        sessions fail loudly instead of silently mis-monitoring.
+        """
+        lost = sum(1 for future in self._inflight if not future.done())
+        if lost:
+            raise ServiceError(
+                f"{lost} observe batch(es) for session {self._id} were still "
+                f"unresolved when {op!r} answered — frames were lost on "
+                f"{self._endpoint_text()}, so this call's result is untrusted"
+            )
+        # A batch the *transport layer* refused is the same evidence in a
+        # different uniform: a reordered frame the worker's request-id
+        # fence rejected as stale, or one dropped before execution.  The
+        # sync call then ran without those events.  (Monitor-level
+        # validation rejections are NOT gap evidence — the in-process
+        # monitor would have refused the same events — and keep
+        # surfacing from the post-call ``_check_inflight`` pass.)
+        for future in self._inflight:
+            error = future.error
+            if error is not None and error.startswith(
+                ("ServiceError", "CancelledError")
+            ):
+                raise ServiceError(
+                    f"an observe batch for session {self._id} was refused in "
+                    f"transit ({error}) before {op!r} answered — this call's "
+                    f"result is untrusted"
+                )
 
     def _endpoint_text(self) -> str:
         try:

@@ -56,6 +56,7 @@ from repro.transport.frames import (
     PROMOTE_SESSION,
     RESTORE_SESSION,
     SNAPSHOT_SESSION,
+    STALE_REQUEST_PREFIX,
     STANDBY_SESSION,
     Codec,
     Request,
@@ -87,6 +88,16 @@ class RequestExecutor:
         self.dropped: set[int] = set()
         self.max_executed = -1
         self.pid = os.getpid()
+        #: Drop acknowledgements minted by :meth:`drop` for requests
+        #: whose frame has not arrived (yet, or ever — a lossy link may
+        #: have eaten it).  The host flushes these to the client like any
+        #: response; without them a drop racing a *lost* request would
+        #: never be acknowledged and work stealing would hang on a frame
+        #: the network already discarded.
+        self.pending_acks: list[Response] = []
+        #: Ids already answered by an immediate drop-ack: if their frame
+        #: shows up later it is consumed without a second response.
+        self._acked: set[int] = set()
         #: Zero-arg callable a single-threaded host installs so the
         #: *running* request's budget checkpoints can drain the inbox
         #: (how a local-backend worker learns about a mid-execution
@@ -115,18 +126,42 @@ class RequestExecutor:
             return
         if request_id > self.max_executed:
             self.dropped.add(request_id)
+            # Ack immediately instead of waiting for the frame: on a
+            # lossy link the request may never arrive, and an unacked
+            # drop would stall work stealing forever.  The id stays
+            # parked, so a late arrival is still skipped — silently,
+            # because this ack already answered it (``_acked``).
+            self._acked.add(request_id)
+            self.pending_acks.append(
+                Response(request_id, None, DROPPED_BEFORE_EXECUTION, self.pid)
+            )
 
     def ingest(self, request: Request) -> bool:
         """Handle a control frame in-band; True when ``request`` still
         needs :meth:`execute` (i.e. it was not a control frame)."""
         if request.request_id == CONTROL_ID:
-            if request.op == "drop":
+            # Shape-check before acting: a control frame is unauthenticated
+            # input like any other, and a hostile ``drop`` payload must not
+            # take the reader thread down with a TypeError.
+            if request.op == "drop" and type(request.payload) is int:
                 self.drop(request.payload)
             return False
         return True
 
-    def execute(self, request: Request) -> Response:
+    def execute(self, request: Request) -> Response | None:
         """Run one request, capturing any failure as response data.
+
+        Returns ``None`` when the request needs no response — its id was
+        already answered by an immediate drop-ack and answering again
+        would put two responses for one id on the wire.
+
+        **Idempotency fence:** request ids on one connection strictly
+        increase (monotone counter + FIFO sends), so a request at or
+        below ``max_executed`` can only be a frame the network
+        duplicated or reordered.  It is refused with a typed
+        :data:`STALE_REQUEST_PREFIX` error *without executing* — this is
+        what makes a client retry after an ambiguous timeout safe:
+        whichever copy arrives second is provably inert.
 
         Every request runs under a fresh :class:`Budget` whose cancel
         flag a concurrent (or polled) ``drop`` can set — publishing
@@ -134,12 +169,29 @@ class RequestExecutor:
         where a drop arriving between the two would be discarded as
         already-executed while the request is in fact still running.
         """
+        if request.request_id <= self.max_executed:
+            self.dropped.discard(request.request_id)
+            if request.request_id in self._acked:
+                self._acked.discard(request.request_id)
+                return None
+            return Response(
+                request.request_id,
+                None,
+                f"{STALE_REQUEST_PREFIX} {request.request_id} "
+                f"(high-water mark {self.max_executed}): duplicate or "
+                f"reordered frame refused without executing",
+                self.pid,
+                op=request.op,
+            )
         budget = Budget(poll_hook=self.poll_hook)
         self._running = (request.request_id, budget)
         try:
             self.max_executed = max(self.max_executed, request.request_id)
             if request.request_id in self.dropped:
                 self.dropped.discard(request.request_id)
+                if request.request_id in self._acked:
+                    self._acked.discard(request.request_id)
+                    return None
                 return Response(
                     request.request_id,
                     None,
@@ -147,6 +199,13 @@ class RequestExecutor:
                     self.pid,
                     op=request.op,
                 )
+            if self._acked or self.dropped:
+                # Remaining parked ids below the new high-water mark can
+                # only reach us through the fence above, which consumes
+                # them without dispatch; stop tracking them here so a
+                # lost frame's id does not linger forever.
+                self._acked = {r for r in self._acked if r > self.max_executed}
+                self.dropped = {r for r in self.dropped if r > self.max_executed}
             try:
                 payload = _dispatch(
                     request.op,
@@ -192,6 +251,12 @@ def service_worker_loop(inbox, response_writer, codec: Codec = DEFAULT_CODEC) ->
         request = decode_frame(item, codec)
         if executor.ingest(request):
             pending.append(request)
+        elif executor.pending_acks:
+            # A drop for a frame that never arrived mints its ack right
+            # here — ship it now, there may be nothing else to trigger it.
+            acks, executor.pending_acks = executor.pending_acks, []
+            for ack in acks:
+                _send_response(response_writer, ack, codec)
         return True
 
     def poll_inbox() -> None:
@@ -221,6 +286,8 @@ def service_worker_loop(inbox, response_writer, codec: Codec = DEFAULT_CODEC) ->
         if not pending:
             continue
         response = executor.execute(pending.popleft())
+        if response is None:
+            continue  # already answered by an immediate drop-ack
         if not _send_response(response_writer, response, codec):
             break  # parent closed/broke the pipe: exit the loop
     response_writer.close()
@@ -294,7 +361,17 @@ def _dispatch(
         return len(events)
     if op == "session_advance":
         session_id, boundary = payload
-        return _session(sessions, session_id).advance_to(boundary, budget=budget)
+        monitor = _session(sessions, session_id)
+        if boundary == monitor.frontier and boundary > 0:
+            # Memoized exactly-once reply: the frontier already moved
+            # here, so this is a *retried* advance whose first response
+            # was lost in transit (the retry carries a fresh request id,
+            # so the connection-level fence cannot catch it).  Re-answer
+            # with the verdicts decided so far — the same cumulative set
+            # ``advance_to`` returned — instead of re-executing or
+            # surfacing the in-process boundary error.
+            return monitor.current_verdicts
+        return monitor.advance_to(boundary, budget=budget)
     if op == "session_poll":
         (session_id,) = payload
         monitor = _session(sessions, session_id)

@@ -35,16 +35,28 @@ from repro.transport.frames import (
     decode_frame,
     encode_frame,
 )
+from repro.transport.faults import (
+    ChaosProxy,
+    FaultDecision,
+    FaultSchedule,
+    FaultyConnection,
+    FaultyTransport,
+)
 from repro.transport.local import LocalConnection, LocalTransport
 from repro.transport.tcp import TcpConnection, TcpTransport, parse_address
 
 __all__ = [
     "CONTROL_ID",
+    "ChaosProxy",
     "Codec",
     "Connection",
     "DEFAULT_CODEC",
     "DROPPED_BEFORE_EXECUTION",
     "DROP_STANDBY",
+    "FaultDecision",
+    "FaultSchedule",
+    "FaultyConnection",
+    "FaultyTransport",
     "HEARTBEAT_ID",
     "KNOWN_OPS",
     "Listener",
@@ -72,14 +84,21 @@ __all__ = [
 ]
 
 
-def resolve_transport(spec: "Transport | str", token: str | None = None) -> Transport:
+def resolve_transport(
+    spec: "Transport | str",
+    token: str | None = None,
+    heartbeat_interval: float | None = None,
+    liveness_timeout: float | None = None,
+) -> Transport:
     """Turn an endpoint spec into a transport.
 
     Accepts a ready :class:`Transport`, the string ``"local"`` (spawn a
     worker process), or a TCP address (``"tcp://host:port"`` /
     ``"host:port"``).  ``token`` authenticates TCP endpoints (``None``
-    resolves ``REPRO_AGENT_TOKEN``); ready transports and local workers
-    ignore it.
+    resolves ``REPRO_AGENT_TOKEN``); ``heartbeat_interval`` /
+    ``liveness_timeout`` override the TCP liveness cadence (``None``
+    keeps the backend defaults).  Ready transports and local workers
+    ignore all three.
     """
     if isinstance(spec, Transport):
         return spec
@@ -87,7 +106,12 @@ def resolve_transport(spec: "Transport | str", token: str | None = None) -> Tran
         if spec == "local":
             return LocalTransport()
         host, port = parse_address(spec)
-        return TcpTransport(host, port, token=token)
+        kwargs: dict[str, float] = {}
+        if heartbeat_interval is not None:
+            kwargs["heartbeat_interval"] = heartbeat_interval
+        if liveness_timeout is not None:
+            kwargs["liveness_timeout"] = liveness_timeout
+        return TcpTransport(host, port, token=token, **kwargs)
     raise ServiceError(
         f"bad endpoint {spec!r}: expected a Transport, 'local', or 'tcp://host:port'"
     )

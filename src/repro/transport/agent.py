@@ -297,7 +297,9 @@ class _ConnectionHandler:
         # tokenless leniency hands back the peer's first regular frame.
         try:
             leftover = server_handshake(self._sock, self._codec, self._token)
-        except (ServiceError, OSError):
+        except Exception:  # noqa: BLE001 — hostile pre-auth bytes (bad
+            # pickle, torn stream) must close the connection cleanly, not
+            # kill this thread with the socket still registered.
             self.stop()
             return
         if leftover is not None:
@@ -321,10 +323,18 @@ class _ConnectionHandler:
             # false-positive on a merely busy worker.
             self._send(Response(HEARTBEAT_ID, "pong", None, self._executor.pid))
             return
+        acks: list[Response] = []
         with self._wakeup:
             if self._executor.ingest(frame):
                 self._pending.append(frame)
+            elif self._executor.pending_acks:
+                # A drop for a frame that never arrived mints its ack in
+                # ingest; ship it from here (the reader), since nothing
+                # will ever reach the executor thread to trigger it.
+                acks, self._executor.pending_acks = self._executor.pending_acks, []
             self._wakeup.notify_all()
+        for ack in acks:
+            self._send(ack)
 
     def _run_loop(self) -> None:
         while True:
@@ -335,6 +345,8 @@ class _ConnectionHandler:
                     return
                 request = self._pending.popleft()
             response = self._executor.execute(request)
+            if response is None:
+                continue  # already answered by an immediate drop-ack
             if not self._send(response):
                 return
 
@@ -453,7 +465,9 @@ class _ProcessConnectionHandler:
     def _read_loop(self) -> None:
         try:
             leftover = server_handshake(self._sock, self._codec, self._token)
-        except (ServiceError, OSError):
+        except Exception:  # noqa: BLE001 — hostile pre-auth bytes (bad
+            # pickle, torn stream) must close the connection cleanly, not
+            # kill this thread with the socket still registered.
             self.stop()
             return
         if not self._spawn_child():
@@ -511,6 +525,99 @@ class _ProcessConnectionHandler:
         return True
 
 
+class _AgentRegistrar:
+    """Keeps an agent registered across registry restarts.
+
+    Mirror of the service's registry redial loop (PR 9): when the
+    registry connection dies — restart, partition, crash — a single
+    background redial (non-blocking lock = single-flight) reconnects
+    with capped exponential backoff and *re-registers*, so the agent
+    rejoins pools live instead of silently falling out of the directory.
+    The first registration happens inline and fails hard: an unreachable
+    registry at startup is a real configuration error.
+    """
+
+    def __init__(
+        self,
+        registry: str,
+        address: str,
+        kind: str,
+        token: str | None,
+        stop: "threading.Event",
+        heartbeat_interval: float | None = None,
+        liveness_timeout: float | None = None,
+    ) -> None:
+        self._registry = registry
+        self._address = address
+        self._kind = kind
+        self._token = token
+        self._stop = stop
+        self._kwargs: dict[str, float] = {}
+        if heartbeat_interval is not None:
+            self._kwargs["heartbeat_interval"] = heartbeat_interval
+        if liveness_timeout is not None:
+            self._kwargs["liveness_timeout"] = liveness_timeout
+        self._redial_lock = threading.Lock()
+        self._client = None
+
+    def start(self) -> None:
+        self._client = self._dial()
+
+    def _dial(self):
+        from repro.cluster import RegistryClient  # lazy: cluster imports transport
+
+        client = RegistryClient.connect(
+            self._registry, token=self._token, on_lost=self._on_lost, **self._kwargs
+        )
+        try:
+            client.register(self._address, kind=self._kind)
+        except Exception:
+            client.close()
+            raise
+        return client
+
+    def _on_lost(self) -> None:
+        if self._stop.is_set():
+            return
+        threading.Thread(
+            target=self._redial_loop, name="agent-registry-redial", daemon=True
+        ).start()
+
+    def _redial_loop(self) -> None:
+        from repro.retry import REDIAL_POLICY  # lazy: retry imports progression
+
+        if not self._redial_lock.acquire(blocking=False):
+            return  # a redial is already in flight
+        try:
+            old, self._client = self._client, None
+            if old is not None:
+                old.close()
+
+            def attempt() -> None:
+                self._client = self._dial()
+
+            REDIAL_POLICY.run(
+                attempt, retry_on=(ServiceError, OSError), stop=self._stop
+            )
+        except Exception:  # noqa: BLE001 — only exhausted by the stop event
+            pass
+        finally:
+            self._redial_lock.release()
+
+    def leave(self) -> None:
+        client = self._client
+        if client is not None:
+            try:
+                client.leave()
+            except Exception:  # noqa: BLE001 — registry may already be gone
+                pass
+
+    def close(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Host monitor-service workers behind a TCP listener."
@@ -551,6 +658,22 @@ def main(argv: list[str] | None = None) -> int:
         help="graceful-leave bound: how long SIGTERM waits for services "
         "to migrate sessions off before the agent exits",
     )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat cadence on this agent's registry connection "
+        "(default: transport default, 1 s)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="silence threshold before the registry connection is "
+        "declared dead and redialed (default: transport default, 5 s)",
+    )
     args = parser.parse_args(argv)
     agent = WorkerAgent(
         args.host, args.port, token=args.token, processes=args.processes
@@ -567,18 +690,21 @@ def main(argv: list[str] | None = None) -> int:
 
     signal.signal(signal.SIGTERM, _graceful)
 
-    registry_client = None
+    registrar = None
     if args.registry is not None:
-        from repro.cluster import RegistryClient  # lazy: cluster imports transport
-
         advertise_host = args.advertise or args.host
         if advertise_host in ("0.0.0.0", "::"):
             advertise_host = "127.0.0.1"
-        registry_client = RegistryClient.connect(args.registry, token=args.token)
-        registry_client.register(
+        registrar = _AgentRegistrar(
+            args.registry,
             f"tcp://{advertise_host}:{agent.port}",
-            kind="process" if args.processes else "thread",
+            "process" if args.processes else "thread",
+            args.token,
+            stop,
+            heartbeat_interval=args.heartbeat_interval,
+            liveness_timeout=args.heartbeat_timeout,
         )
+        registrar.start()
 
     mode = "process-pool" if args.processes else "thread"
     auth = "token-auth" if agent.authenticated else "no-auth"
@@ -595,14 +721,11 @@ def main(argv: list[str] | None = None) -> int:
         # Graceful leave: announce first (services start draining), wait
         # for them to detach, then stop serving.  A second SIGTERM during
         # the drain is harmless (the event is already set).
-        if registry_client is not None:
-            try:
-                registry_client.leave()
-            except Exception:  # noqa: BLE001 — registry may already be gone
-                pass
+        if registrar is not None:
+            registrar.leave()
         agent.drain(args.drain_timeout)
-        if registry_client is not None:
-            registry_client.close()
+        if registrar is not None:
+            registrar.close()
         agent.close()
     return 0
 
@@ -613,6 +736,8 @@ def spawn_agent(
     token: str | None = None,
     processes: bool = False,
     registry: str | None = None,
+    heartbeat_interval: float | None = None,
+    heartbeat_timeout: float | None = None,
 ):
     """Start a worker agent in a fresh OS process; returns ``(popen, host, port)``.
 
@@ -646,6 +771,10 @@ def spawn_agent(
         argv.append("--processes")
     if registry is not None:
         argv += ["--registry", registry]
+    if heartbeat_interval is not None:
+        argv += ["--heartbeat-interval", str(heartbeat_interval)]
+    if heartbeat_timeout is not None:
+        argv += ["--heartbeat-timeout", str(heartbeat_timeout)]
     popen = subprocess.Popen(argv, stdout=subprocess.PIPE, env=env, text=True)
     line = popen.stdout.readline()
     if not line.startswith(READY_PREFIX):

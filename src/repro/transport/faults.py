@@ -1,0 +1,715 @@
+"""Deterministic, seed-driven fault injection for transports.
+
+Every distributed-failure test in this repo used to rely on the
+cleanest failure there is: SIGKILL, which turns into an instant EOF.
+Real networks misbehave far more creatively — they deliver frames late,
+twice, out of order, partially, or not at all, while both endpoints
+stay perfectly alive.  This module makes those *gray* failures
+reproducible:
+
+* :class:`FaultSchedule` — a pure, seed-driven decision source.  For a
+  given ``(seed, lane, frame index)`` it always produces the same
+  :class:`FaultDecision`, independent of thread scheduling, platform,
+  or wall-clock time (string seeding of :class:`random.Random` is
+  stable SHA-512-based initialisation).  A failing chaos run therefore
+  reproduces from nothing but its printed seed.
+
+* :class:`FaultyTransport` / :class:`FaultyConnection` — wrap any
+  :class:`~repro.transport.base.Transport` (local or TCP) and apply
+  **drop / delay / duplicate / reorder / corrupt / one-way-partition /
+  slow-link** faults at message granularity, per direction (``c2s`` =
+  client→server requests, ``s2c`` = server→client responses).  Each
+  direction is pumped by one FIFO thread, so a *delay* stalls the whole
+  lane (like a congested link) rather than silently reordering.
+  *Corrupt* is modeled as what a corrupt frame does to a real framed
+  stream: the receiver cannot decode it and tears the connection down —
+  the wrapper drops the frame, closes the inner channel, and fires
+  ``on_disconnect``.  Because the wrapper sits *above* the TCP
+  heartbeat loop, a slow wrapper lane is exactly the dangerous case:
+  a connection that stays heartbeat-alive while traffic crawls.
+
+* :class:`ChaosProxy` — a TCP relay for out-of-process agents.  It
+  parses the length-prefixed framing so faults stay frame-granular,
+  and *corrupt* here is a real bit flip in the payload bytes crossing
+  the wire.  Because it sits *below* the heartbeat loop, proxy faults
+  can starve liveness pings and trip the detector — the complement of
+  the wrapper's alive-but-slow lane.
+
+Nothing here changes delivery *content*: apart from ``corrupt``, every
+frame that is delivered is delivered verbatim, so correctness claims
+("bit-identical verdict multisets under faults") test the protocol, not
+the injector.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ServiceError
+from repro.transport.base import Connection, OnDisconnect, OnResponse, Transport
+from repro.transport.frames import (
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    MAX_FRAME_BYTES,
+    Request,
+    Response,
+)
+
+#: Direction labels: client→server requests / server→client responses.
+C2S = "c2s"
+S2C = "s2c"
+DIRECTIONS = (C2S, S2C)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one frame.  Pure data, fully printable."""
+
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    corrupt: bool = False
+    #: Seconds the lane stalls before delivering this frame (slow link
+    #: latency + jitter + any injected delay, folded into one number).
+    stall: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.duplicate or self.reorder or self.corrupt or self.stall)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Seed-driven fault decisions, deterministic per ``(lane, index)``.
+
+    Probabilities are independent per fault class; the per-frame RNG is
+    ``random.Random(f"{seed}:{lane}:{index}")``, so decisions do not
+    depend on how many frames other lanes carried or on thread timing.
+
+    ``partition`` models a one-way (or symmetric) partition as a frame
+    *index window*: frames ``partition_start <= i < partition_start +
+    partition_span`` in the partitioned direction are dropped; a
+    ``partition_span`` of ``None`` never heals.
+    """
+
+    seed: int | str = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    #: Probability of an extra stall of ``delay_seconds`` on a frame.
+    delay: float = 0.0
+    delay_seconds: float = 0.05
+    #: Fixed per-frame latency (slow link) plus uniform jitter on top.
+    latency: float = 0.0
+    jitter: float = 0.0
+    #: One-way partition: "c2s", "s2c", or "both"; None disables.
+    partition: str | None = None
+    partition_start: int = 0
+    partition_span: int | None = None
+    #: How long a reordered frame is held waiting for a successor
+    #: before being flushed in order anyway.
+    reorder_window: float = 0.05
+    #: Initial frames per lane delivered untouched (setup traffic such
+    #: as ``session_open`` round-trips passes clean before chaos begins
+    #: — the wrapper-level analogue of :class:`ChaosProxy`'s
+    #: ``handshake_grace``).
+    grace: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grace < 0:
+            raise ValueError(f"grace must be >= 0, got {self.grace!r}")
+        for name in ("drop", "duplicate", "reorder", "corrupt", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], got {p!r}")
+        if self.partition not in (None, C2S, S2C, "both"):
+            raise ValueError(f"partition must be one of {C2S!r}, {S2C!r}, 'both', None")
+
+    def rng(self, lane: str, index: int) -> random.Random:
+        """The per-frame RNG; exposed so :class:`ChaosProxy` can draw
+        corruption offsets from the same deterministic stream."""
+        return random.Random(f"{self.seed}:{lane}:{index}")
+
+    def partitioned(self, direction: str, index: int) -> bool:
+        if self.partition is None or self.partition not in (direction, "both"):
+            return False
+        if index < self.partition_start:
+            return False
+        span = self.partition_span
+        return span is None or index < self.partition_start + span
+
+    def decision(self, lane: str, index: int) -> FaultDecision:
+        rng = self.rng(lane, index)
+        # Fixed draw order: each class consumes exactly one uniform so
+        # adding a probability never shifts another class's stream.
+        u_drop = rng.random()
+        u_dup = rng.random()
+        u_reorder = rng.random()
+        u_corrupt = rng.random()
+        u_delay = rng.random()
+        u_jitter = rng.random()
+        stall = self.latency + self.jitter * u_jitter
+        if self.delay and u_delay < self.delay:
+            stall += self.delay_seconds
+        return FaultDecision(
+            drop=bool(self.drop and u_drop < self.drop),
+            duplicate=bool(self.duplicate and u_dup < self.duplicate),
+            reorder=bool(self.reorder and u_reorder < self.reorder),
+            corrupt=bool(self.corrupt and u_corrupt < self.corrupt),
+            stall=stall,
+        )
+
+    def describe(self) -> str:
+        knobs = []
+        for name in ("drop", "duplicate", "reorder", "corrupt", "delay", "latency"):
+            value = getattr(self, name)
+            if value:
+                knobs.append(f"{name}={value}")
+        if self.partition:
+            span = "∞" if self.partition_span is None else str(self.partition_span)
+            knobs.append(f"partition={self.partition}[{self.partition_start}+{span}]")
+        return f"FaultSchedule(seed={self.seed!r}, {', '.join(knobs) or 'clean'})"
+
+
+class _ClosePump:
+    """Sentinel asking a lane pump to drain and exit."""
+
+
+_CLOSE = _ClosePump()
+
+
+class _Lane:
+    """One direction's FIFO fault pump.
+
+    Frames enter via :meth:`push` in send order and leave via
+    ``deliver`` on the pump thread, after the schedule's decision for
+    their arrival index has been applied.  FIFO is preserved except for
+    explicit ``reorder`` swaps.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        direction: str,
+        lane_key: str,
+        deliver: Callable[[object], None],
+        on_link_loss: Callable[[str], None],
+        stats: dict[str, int],
+    ) -> None:
+        self._schedule = schedule
+        self._direction = direction
+        self._lane_key = lane_key
+        self._deliver = deliver
+        self._on_link_loss = on_link_loss
+        self._stats = stats
+        self._queue: deque[object] = deque()
+        self._cond = threading.Condition()
+        self._stopped = False
+        self._index = 0
+        self._thread = threading.Thread(
+            target=self._pump, name=f"fault-lane-{lane_key}", daemon=True
+        )
+        self._thread.start()
+
+    def push(self, frame: object) -> None:
+        with self._cond:
+            if self._stopped:
+                return
+            self._queue.append(frame)
+            self._cond.notify()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Ask the pump to drain what is queued, then exit."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._queue.append(_CLOSE)
+            self._cond.notify()
+        self._thread.join(timeout)
+        with self._cond:
+            self._stopped = True
+
+    def kill(self) -> None:
+        with self._cond:
+            self._stopped = True
+            self._queue.clear()
+            self._cond.notify()
+
+    def _pop(self, timeout: float | None) -> object | None:
+        """Next queued frame, ``None`` on timeout or kill."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._queue and not self._stopped:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            if self._stopped or not self._queue:
+                return None
+            return self._queue.popleft()
+
+    def _send(self, frame: object) -> bool:
+        try:
+            self._deliver(frame)
+        except Exception:
+            self._on_link_loss(f"{self._direction} delivery failed")
+            return False
+        self._stats["delivered"] += 1
+        return True
+
+    def _pump(self) -> None:
+        held: object | None = None
+        held_deadline = 0.0
+        while True:
+            timeout = None
+            if held is not None:
+                timeout = max(0.0, held_deadline - time.monotonic())
+            frame = self._pop(timeout)
+            if frame is None:
+                if self._stopped:
+                    return
+                # Reorder window expired with no successor: flush in order.
+                if held is not None:
+                    flushed, held = held, None
+                    if not self._send(flushed):
+                        return
+                continue
+            if frame is _CLOSE:
+                if held is not None and not self._send(held):
+                    return
+                with self._cond:
+                    self._stopped = True
+                return
+            index = self._index
+            self._index += 1
+            if index < self._schedule.grace:
+                if not self._send(frame):
+                    return
+                continue
+            decision = self._schedule.decision(self._lane_key, index)
+            if self._schedule.partitioned(self._direction, index):
+                self._stats["partitioned"] += 1
+                continue
+            if decision.drop:
+                self._stats["dropped"] += 1
+                continue
+            if decision.corrupt:
+                # A corrupt frame is undecodable at the receiver, which
+                # tears the framed stream down; model exactly that.
+                self._stats["corrupted"] += 1
+                self._on_link_loss("corrupt frame")
+                return
+            if decision.stall:
+                time.sleep(decision.stall)
+            if held is not None:
+                # Successor arrived inside the window: swap delivery order.
+                self._stats["reordered"] += 1
+                if not self._send(frame):
+                    return
+                flushed, held = held, None
+                if not self._send(flushed):
+                    return
+                continue
+            if decision.reorder:
+                held = frame
+                held_deadline = time.monotonic() + self._schedule.reorder_window
+                continue
+            if not self._send(frame):
+                return
+            if decision.duplicate:
+                self._stats["duplicated"] += 1
+                if not self._send(frame):
+                    return
+
+
+def _fresh_stats() -> dict[str, int]:
+    return {
+        "sent": 0,
+        "received": 0,
+        "delivered": 0,
+        "dropped": 0,
+        "duplicated": 0,
+        "reordered": 0,
+        "corrupted": 0,
+        "partitioned": 0,
+    }
+
+
+class FaultyConnection(Connection):
+    """A :class:`Connection` whose frames pass through a fault schedule.
+
+    Requests queue into the ``c2s`` lane before reaching the inner
+    connection; responses from the inner connection queue into the
+    ``s2c`` lane before reaching the caller's ``on_response``.  Link
+    loss injected by the schedule (``corrupt``) surfaces exactly like a
+    real peer death: ``alive()`` goes false, ``on_disconnect`` fires
+    once, and further :meth:`send` calls raise
+    :class:`~repro.errors.ServiceError`.
+    """
+
+    def __init__(
+        self,
+        inner: Connection,
+        schedule: FaultSchedule,
+        on_response: OnResponse,
+        on_disconnect: OnDisconnect,
+        conn_index: int = 0,
+    ) -> None:
+        self._inner = inner
+        self._schedule = schedule
+        self._on_response = on_response
+        self._on_disconnect = on_disconnect
+        self._lost = False
+        self._closed = False
+        self._lost_lock = threading.Lock()
+        self.stats = _fresh_stats()
+        self._c2s = _Lane(
+            schedule, C2S, f"{conn_index}:{C2S}", inner.send, self._lose, self.stats
+        )
+        self._s2c = _Lane(
+            schedule, S2C, f"{conn_index}:{S2C}", on_response, self._lose, self.stats
+        )
+
+    # -- callbacks handed to the inner connection ---------------------
+
+    def _inner_response(self, response: Response) -> None:
+        self.stats["received"] += 1
+        self._s2c.push(response)
+
+    def _inner_disconnect(self) -> None:
+        self._lose("inner connection lost", close_inner=False)
+
+    # -- fault plumbing ------------------------------------------------
+
+    def _lose(self, reason: str, close_inner: bool = True) -> None:
+        with self._lost_lock:
+            if self._lost:
+                return
+            self._lost = True
+            fire = not self._closed
+        if close_inner:
+            try:
+                self._inner.close(timeout=0.0)
+            except Exception:
+                pass
+        if fire:
+            try:
+                self._on_disconnect()
+            except Exception:
+                pass
+
+    # -- Connection interface -----------------------------------------
+
+    @property
+    def endpoint(self) -> str:
+        return f"faulty({self._inner.endpoint})"
+
+    def send(self, request: Request) -> None:
+        if self._closed or self._lost:
+            raise ServiceError(f"connection to {self.endpoint} is closed")
+        self.stats["sent"] += 1
+        self._c2s.push(request)
+
+    def alive(self) -> bool:
+        return not self._lost and not self._closed and self._inner.alive()
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Drain queued requests first so a graceful close still delivers
+        # everything already accepted by send().
+        self._c2s.close(timeout)
+        self._inner.close(timeout)
+        self._s2c.close(timeout=1.0)
+
+    def kill(self) -> None:
+        self._closed = True
+        self._c2s.kill()
+        self._s2c.kill()
+        try:
+            self._inner.kill()
+        except Exception:
+            pass
+
+
+class FaultyTransport(Transport):
+    """Wrap any transport so its connections inject scheduled faults.
+
+    Connections opened through one ``FaultyTransport`` get consecutive
+    lane keys (``0:c2s``, ``1:c2s``, ...), so multi-endpoint runs stay
+    deterministic as long as endpoints are opened in a fixed order —
+    which :class:`~repro.service.MonitorService` does.
+    """
+
+    def __init__(self, inner: Transport, schedule: FaultSchedule) -> None:
+        self._inner = inner
+        self._schedule = schedule
+        self._conn_count = 0
+        self._lock = threading.Lock()
+        self.connections: list[FaultyConnection] = []
+
+    def open(self, on_response: OnResponse, on_disconnect: OnDisconnect) -> Connection:
+        with self._lock:
+            conn_index = self._conn_count
+            self._conn_count += 1
+        holder: list[FaultyConnection] = []
+
+        def inner_response(response: Response) -> None:
+            holder[0]._inner_response(response)
+
+        def inner_disconnect() -> None:
+            holder[0]._inner_disconnect()
+
+        inner = self._inner.open(inner_response, inner_disconnect)
+        connection = FaultyConnection(
+            inner, self._schedule, on_response, on_disconnect, conn_index
+        )
+        holder.append(connection)
+        with self._lock:
+            self.connections.append(connection)
+        return connection
+
+    def describe(self) -> str:
+        return f"faulty({self._inner.describe()})"
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate fault counters across every opened connection."""
+        total = _fresh_stats()
+        with self._lock:
+            connections = list(self.connections)
+        for connection in connections:
+            for key, value in connection.stats.items():
+                total[key] += value
+        return total
+
+
+_LENGTH = struct.Struct(">I")
+
+
+class ChaosProxy:
+    """A frame-granular TCP relay that injects scheduled faults.
+
+    Sits between a :class:`~repro.transport.tcp.TcpTransport` client and
+    a real agent/registry socket.  Both directions are parsed into
+    length-prefixed frames (``magic | version | length | payload``) so
+    faults never split a frame in half — except ``corrupt``, which flips
+    one payload bit and delivers the damage, exercising the receiver's
+    decoder hardening for real.
+
+    ``handshake_grace`` initial frames per direction pass through
+    untouched so the token-auth handshake (which legitimately aborts the
+    connection on any tampering) completes before chaos begins.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        schedule: FaultSchedule,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        handshake_grace: int = 4,
+    ) -> None:
+        self._target = (target_host, target_port)
+        self._schedule = schedule
+        self._host = host
+        self._port = port
+        self._grace = handshake_grace
+        self._server: socket.socket | None = None
+        self._closed = False
+        self._conn_count = 0
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._peers: list[socket.socket] = []
+        self.stats = _fresh_stats()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        server = socket.create_server((self._host, self._port))
+        server.settimeout(0.2)
+        self._server = server
+        self._port = server.getsockname()[1]
+        accept = threading.Thread(target=self._accept_loop, name="chaos-proxy", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    def close(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        with self._lock:
+            peers = list(self._peers)
+        for sock in peers:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- relay ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while not self._closed:
+            try:
+                client, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self._target, timeout=5.0)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                conn_index = self._conn_count
+                self._conn_count += 1
+                self._peers.extend((client, upstream))
+            for direction, src, dst in ((C2S, client, upstream), (S2C, upstream, client)):
+                thread = threading.Thread(
+                    target=self._relay,
+                    args=(direction, f"{conn_index}:{direction}", src, dst),
+                    name=f"chaos-relay-{conn_index}-{direction}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    @staticmethod
+    def _read_exact(sock: socket.socket, count: int) -> bytes | None:
+        chunks = b""
+        while len(chunks) < count:
+            try:
+                chunk = sock.recv(count - len(chunks))
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks += chunk
+        return chunks
+
+    def _read_frame(self, sock: socket.socket) -> bytes | None:
+        header = self._read_exact(sock, HEADER_SIZE)
+        if header is None:
+            return None
+        if header[:2] != FRAME_MAGIC:
+            # Unparseable stream: give up on frame granularity and drop
+            # the link (a real middlebox would do no better).
+            return None
+        (length,) = _LENGTH.unpack(header[3:7])
+        if length > MAX_FRAME_BYTES:
+            return None
+        payload = self._read_exact(sock, length)
+        if payload is None:
+            return None
+        return header + payload
+
+    def _relay(self, direction: str, lane_key: str, src: socket.socket, dst: socket.socket) -> None:
+        index = 0
+        held: bytes | None = None
+
+        def ship(frame: bytes) -> bool:
+            try:
+                dst.sendall(frame)
+            except OSError:
+                return False
+            self.stats["delivered"] += 1
+            return True
+
+        try:
+            while not self._closed:
+                frame = self._read_frame(src)
+                if frame is None:
+                    break
+                if index < self._grace:
+                    index += 1
+                    if not ship(frame):
+                        break
+                    continue
+                decision = self._schedule.decision(lane_key, index)
+                partitioned = self._schedule.partitioned(direction, index)
+                index += 1
+                if partitioned:
+                    self.stats["partitioned"] += 1
+                    continue
+                if decision.drop:
+                    self.stats["dropped"] += 1
+                    continue
+                if decision.stall:
+                    time.sleep(decision.stall)
+                if decision.corrupt:
+                    frame = self._flip_bit(frame, lane_key, index - 1)
+                    self.stats["corrupted"] += 1
+                if held is not None:
+                    self.stats["reordered"] += 1
+                    if not ship(frame):
+                        break
+                    flushed, held = held, None
+                    if not ship(flushed):
+                        break
+                    continue
+                if decision.reorder and not decision.corrupt:
+                    held = frame
+                    continue
+                if not ship(frame):
+                    break
+                if decision.duplicate:
+                    self.stats["duplicated"] += 1
+                    if not ship(frame):
+                        break
+        finally:
+            if held is not None:
+                ship(held)
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _flip_bit(self, frame: bytes, lane_key: str, index: int) -> bytes:
+        rng = self._schedule.rng(f"{lane_key}:flip", index)
+        payload_len = len(frame) - HEADER_SIZE
+        if payload_len <= 0:
+            # Header-only frame: damage the version byte instead.
+            damaged = bytearray(frame)
+            damaged[2] ^= 0xFF
+            return bytes(damaged)
+        offset = HEADER_SIZE + rng.randrange(payload_len)
+        bit = 1 << rng.randrange(8)
+        damaged = bytearray(frame)
+        damaged[offset] ^= bit
+        return bytes(damaged)

@@ -97,6 +97,15 @@ DROP_STANDBY = "session_standby_drop"
 #: to a dropped request means the drop lost its race.
 DROPPED_BEFORE_EXECUTION = "CancelledError: dropped before execution"
 
+#: Error-string prefix of the executor's idempotency fence: a request
+#: whose id is at or below the connection's high-water mark is a
+#: duplicated or reordered frame and is *refused without executing*.
+#: Request ids on one connection strictly increase (the service's
+#: monotone counter + FIFO sends), so under faults this fence upgrades
+#: the at-most-once guarantee from "a drop-ack proves it never started"
+#: to "no frame can ever execute twice, however the network replays it".
+STALE_REQUEST_PREFIX = "ServiceError: stale request id"
+
 #: Every op the request executor understands, for conformance checks and
 #: protocol docs.  ``drop`` rides on :data:`CONTROL_ID` and produces no
 #: response; everything else produces exactly one.

@@ -1,0 +1,142 @@
+"""Agent-side registry redial: agents rejoin a restarted registry.
+
+The registrar mirrors the service's registry redial loop (PR 9) on the
+*agent* side: when the registry connection dies — restart, partition,
+crash — one background redial with capped backoff reconnects and
+re-registers, so the agent rejoins pools live instead of silently
+falling out of the directory.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import ClusterRegistry
+from repro.errors import ServiceError
+from repro.transport.agent import _AgentRegistrar, spawn_agent
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _member_addresses(registry: ClusterRegistry) -> list[str]:
+    return [member.address for member in registry.members()]
+
+
+def _wait_for(predicate, deadline: float = 15.0, interval: float = 0.05) -> bool:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestRegistrarUnit:
+    def test_first_registration_fails_hard(self):
+        # An unreachable registry at startup is a configuration error,
+        # not something to mask behind a background retry.
+        registrar = _AgentRegistrar(
+            "127.0.0.1:1", "127.0.0.1:7001", "thread", "", threading.Event()
+        )
+        with pytest.raises((ServiceError, OSError)):
+            registrar.start()
+
+    def test_redial_is_single_flight(self):
+        with ClusterRegistry(token="") as registry:
+            stop = threading.Event()
+            registrar = _AgentRegistrar(
+                registry.address, "127.0.0.1:7002", "thread", "", stop
+            )
+            try:
+                dials: list[str] = []
+                gate = threading.Event()
+                real_dial = registrar._dial
+
+                def slow_dial():
+                    dials.append(threading.current_thread().name)
+                    if not gate.wait(10.0):
+                        raise ServiceError("test gate never opened")
+                    return real_dial()
+
+                registrar._dial = slow_dial
+                # Two loss notifications racing: only the one holding
+                # the (non-blocking) redial lock may dial.
+                registrar._on_lost()
+                registrar._on_lost()
+                assert _wait_for(lambda: len(dials) >= 1, 5.0)
+                time.sleep(0.2)  # window for a second dial to sneak in
+                gate.set()
+                assert _wait_for(lambda: registrar._client is not None, 5.0)
+                assert len(dials) == 1
+                assert "127.0.0.1:7002" in _member_addresses(registry)
+            finally:
+                stop.set()
+                gate.set()
+                registrar.close()
+
+    def test_stop_event_suppresses_redial(self):
+        stop = threading.Event()
+        stop.set()
+        registrar = _AgentRegistrar(
+            "127.0.0.1:1", "127.0.0.1:7003", "thread", "", stop
+        )
+        registrar._on_lost()  # must not spawn a dial at a dead address
+        time.sleep(0.1)
+        assert registrar._client is None
+
+    def test_redial_reregisters_after_inprocess_registry_restart(self):
+        port = _free_port()
+        stop = threading.Event()
+        registrar = None
+        try:
+            with ClusterRegistry(port=port, token="") as registry:
+                registrar = _AgentRegistrar(
+                    registry.address, "127.0.0.1:7004", "thread", "", stop
+                )
+                registrar.start()
+                assert "127.0.0.1:7004" in _member_addresses(registry)
+            # Context exit closed the registry: the registrar's on_lost
+            # fires and the backoff loop starts knocking.
+            with ClusterRegistry(port=port, token="") as reborn:
+                assert _wait_for(
+                    lambda: "127.0.0.1:7004" in _member_addresses(reborn)
+                ), "agent never re-registered with the restarted registry"
+        finally:
+            stop.set()
+            if registrar is not None:
+                registrar.close()
+
+
+class TestAgentRejoinsRestartedRegistry:
+    def test_spawned_agent_reregisters_after_registry_restart(self):
+        # End-to-end: the registrar lives inside a real agent process;
+        # the registry it joined dies and is reborn on the same port.
+        port = _free_port()
+        popen = None
+        try:
+            with ClusterRegistry(port=port, token="") as registry:
+                popen, host, agent_port = spawn_agent(
+                    token="", registry=registry.address
+                )
+                agent_address = f"tcp://{host}:{agent_port}"
+                assert _wait_for(
+                    lambda: agent_address in _member_addresses(registry)
+                ), "agent never registered at startup"
+            with ClusterRegistry(port=port, token="") as reborn:
+                assert _wait_for(
+                    lambda: agent_address in _member_addresses(reborn)
+                ), "agent never rejoined the restarted registry"
+                assert [m.kind for m in reborn.members()] == ["thread"]
+        finally:
+            if popen is not None:
+                popen.terminate()
+                popen.wait(timeout=10)

@@ -1,0 +1,146 @@
+"""RetryPolicy: the one backoff/timeout shape every peer-facing layer shares."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import CancelledError, PreemptedError, ServiceError
+from repro.progression.budget import Budget
+from repro.retry import (
+    REDIAL_POLICY,
+    REGISTRY_CALL_POLICY,
+    SESSION_CALL_POLICY,
+    RetryPolicy,
+)
+
+
+class TestShape:
+    def test_delays_are_capped_exponential(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=0.5, multiplier=2.0)
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.5])
+
+    def test_single_attempt_has_no_delays(self):
+        assert list(RetryPolicy(attempts=1).delays()) == []
+
+    def test_unbounded_policy_streams_delays(self):
+        delays = REDIAL_POLICY.delays()
+        first = [next(delays) for _ in range(10)]
+        assert first[0] == pytest.approx(REDIAL_POLICY.base_delay)
+        assert max(first) == REDIAL_POLICY.max_delay
+        assert first == sorted(first)  # monotone up to the cap
+
+    def test_with_timeout_returns_a_new_frozen_policy(self):
+        tighter = SESSION_CALL_POLICY.with_timeout(0.5)
+        assert tighter.timeout == 0.5
+        assert SESSION_CALL_POLICY.timeout == 30.0
+        with pytest.raises(Exception):
+            tighter.timeout = 1.0  # frozen dataclass
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(attempts=0), dict(base_delay=-1), dict(multiplier=0.5)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_shared_policies_are_single_attempt_calls(self):
+        # Pinned: call-site policies delegate retrying to their own
+        # loops (recovery, redial); accidental double-retry under faults
+        # would break the exactly-once analysis.
+        assert SESSION_CALL_POLICY.attempts == 1
+        assert REGISTRY_CALL_POLICY.attempts == 1
+        assert REDIAL_POLICY.attempts is None
+
+
+FAST = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+class TestRun:
+    def test_returns_first_success(self):
+        calls = []
+        assert FAST.run(lambda: calls.append(1) or "ok") == "ok"
+        assert len(calls) == 1
+
+    def test_retries_then_succeeds(self):
+        outcomes = iter([ServiceError("one"), ServiceError("two"), "ok"])
+
+        def attempt():
+            value = next(outcomes)
+            if isinstance(value, Exception):
+                raise value
+            return value
+
+        retried = []
+        result = FAST.run(attempt, on_retry=lambda n, exc: retried.append((n, str(exc))))
+        assert result == "ok"
+        assert retried == [(1, "one"), (2, "two")]
+
+    def test_exhaustion_reraises_the_last_error(self):
+        attempts = []
+
+        def always_fails():
+            attempts.append(1)
+            raise ServiceError(f"failure {len(attempts)}")
+
+        with pytest.raises(ServiceError, match="failure 3"):
+            FAST.run(always_fails)
+        assert len(attempts) == 3
+
+    def test_no_retry_on_wins_over_retry_on(self):
+        # CancelledError subclasses ServiceError; no_retry_on is checked
+        # first so a proven cancellation is not blindly retried.
+        attempts = []
+
+        def cancelled():
+            attempts.append(1)
+            raise CancelledError("proven dead")
+
+        with pytest.raises(CancelledError):
+            FAST.run(cancelled, no_retry_on=(CancelledError,))
+        assert len(attempts) == 1
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        with pytest.raises(KeyError):
+            FAST.run(lambda: (_ for _ in ()).throw(KeyError("boom")))
+
+    def test_deadline_stops_early(self):
+        policy = RetryPolicy(attempts=50, base_delay=0.2, max_delay=0.2, deadline=0.3)
+        attempts = []
+
+        def always_fails():
+            attempts.append(1)
+            raise ServiceError("slow system")
+
+        with pytest.raises(ServiceError, match="slow system"):
+            policy.run(always_fails)
+        assert len(attempts) <= 3  # ~0.3s of 0.2s gaps, not 50 attempts
+
+    def test_stop_event_aborts_between_attempts(self):
+        stop = threading.Event()
+        policy = RetryPolicy(attempts=None, base_delay=0.05, max_delay=0.05)
+        attempts = []
+
+        def fail_then_signal():
+            attempts.append(1)
+            if len(attempts) == 3:
+                stop.set()
+            raise ServiceError("still down")
+
+        with pytest.raises(ServiceError, match="still down"):
+            policy.run(fail_then_signal, stop=stop)
+        assert len(attempts) == 3
+
+    def test_preset_stop_raises_without_calling(self):
+        stop = threading.Event()
+        stop.set()
+        with pytest.raises(ServiceError, match="before the first attempt"):
+            FAST.run(lambda: "never", stop=stop)
+
+    def test_cancelled_budget_aborts_like_preemption(self):
+        budget = Budget()
+        budget.cancel("shutting down")
+        with pytest.raises(PreemptedError):
+            FAST.run(lambda: "never", budget=budget)

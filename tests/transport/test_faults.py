@@ -1,0 +1,370 @@
+"""Deterministic fault injection: schedule, wrapper, and proxy.
+
+The contract (see :mod:`repro.transport.faults`): a
+:class:`FaultSchedule` is a pure function of ``(seed, lane, index)`` —
+same seed, same decisions, regardless of thread timing; the
+:class:`FaultyConnection` wrapper applies those decisions per direction
+with FIFO preserved except for explicit reorder swaps; ``corrupt`` at
+the wrapper level is link loss (a real receiver tears down on an
+undecodable frame); the :class:`ChaosProxy` relays real TCP frames and
+its ``corrupt`` is a genuine bit flip that must be *caught* by the
+receiving decoder, never misread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.transport import (
+    ChaosProxy,
+    FaultSchedule,
+    FaultyTransport,
+    LocalTransport,
+    Request,
+    Response,
+    TcpTransport,
+)
+from repro.transport.agent import WorkerAgent
+from repro.transport.faults import C2S, S2C, FaultyConnection
+
+
+class TestFaultSchedule:
+    def test_deterministic_per_seed_lane_index(self):
+        knobs = dict(drop=0.3, duplicate=0.3, reorder=0.3, corrupt=0.1, delay=0.5)
+        first = FaultSchedule(seed="chaos:7", **knobs)
+        second = FaultSchedule(seed="chaos:7", **knobs)
+        for lane in ("0:c2s", "0:s2c", "9:c2s"):
+            for index in range(64):
+                assert first.decision(lane, index) == second.decision(lane, index)
+
+    def test_lanes_draw_independent_streams(self):
+        schedule = FaultSchedule(seed=3, drop=0.5)
+        a = [schedule.decision("0:c2s", i).drop for i in range(64)]
+        b = [schedule.decision("1:c2s", i).drop for i in range(64)]
+        assert a != b  # distinct lanes must not mirror each other
+
+    def test_draw_order_is_fixed_across_knobs(self):
+        """Adding one fault class never shifts another class's stream."""
+        drop_only = FaultSchedule(seed=11, drop=0.4)
+        drop_and_more = FaultSchedule(seed=11, drop=0.4, delay=0.9, corrupt=0.2)
+        for index in range(64):
+            assert (
+                drop_only.decision("0:c2s", index).drop
+                == drop_and_more.decision("0:c2s", index).drop
+            )
+
+    def test_partition_window(self):
+        schedule = FaultSchedule(partition=C2S, partition_start=3, partition_span=4)
+        assert [schedule.partitioned(C2S, i) for i in range(9)] == [
+            False, False, False, True, True, True, True, False, False,
+        ]
+        assert not any(schedule.partitioned(S2C, i) for i in range(9))
+
+    def test_partition_none_span_never_heals(self):
+        schedule = FaultSchedule(partition="both", partition_start=2)
+        assert schedule.partitioned(C2S, 10_000)
+        assert schedule.partitioned(S2C, 10_000)
+        assert not schedule.partitioned(C2S, 1)
+
+    def test_stall_folds_latency_jitter_and_delay(self):
+        slow = FaultSchedule(latency=0.01, jitter=0.0, delay=1.0, delay_seconds=0.5)
+        decision = slow.decision("0:c2s", 0)
+        assert decision.stall == pytest.approx(0.51)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(drop=1.5),
+            dict(reorder=-0.1),
+            dict(partition="sideways"),
+            dict(grace=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSchedule(**kwargs)
+
+    def test_describe_names_seed_and_active_knobs(self):
+        text = FaultSchedule(
+            seed="s1", drop=0.1, partition=C2S, partition_start=5, partition_span=9
+        ).describe()
+        assert "'s1'" in text and "drop=0.1" in text and "partition=c2s[5+9]" in text
+        assert "duplicate" not in text
+
+
+class _FakeInner:
+    """A recording stand-in for the wrapped connection."""
+
+    endpoint = "fake://peer"
+
+    def __init__(self):
+        self.sent: "queue.Queue[Request]" = queue.Queue()
+        self.closed = threading.Event()
+        self.fail_sends = False
+
+    def send(self, request: Request) -> None:
+        if self.fail_sends:
+            raise ServiceError("wire is gone")
+        self.sent.put(request)
+
+    def alive(self) -> bool:
+        return not self.closed.is_set()
+
+    def close(self, timeout: float = 5.0) -> None:
+        self.closed.set()
+
+    def kill(self) -> None:
+        self.closed.set()
+
+
+class _Sink:
+    def __init__(self):
+        self.responses: "queue.Queue[Response]" = queue.Queue()
+        self.disconnected = threading.Event()
+
+    def on_response(self, response: Response) -> None:
+        self.responses.put(response)
+
+    def on_disconnect(self) -> None:
+        self.disconnected.set()
+
+
+def _wrap(schedule: FaultSchedule):
+    inner = _FakeInner()
+    sink = _Sink()
+    connection = FaultyConnection(
+        inner, schedule, sink.on_response, sink.on_disconnect
+    )
+    return inner, sink, connection
+
+
+def _drain(q: "queue.Queue", count: int, timeout: float = 5.0) -> list:
+    got = []
+    deadline = time.monotonic() + timeout
+    while len(got) < count and time.monotonic() < deadline:
+        try:
+            got.append(q.get(timeout=max(0.01, deadline - time.monotonic())))
+        except queue.Empty:
+            break
+    return got
+
+
+class TestFaultyConnection:
+    def test_clean_schedule_preserves_order(self):
+        inner, _, connection = _wrap(FaultSchedule())
+        try:
+            for i in range(6):
+                connection.send(Request(i, "echo", i))
+            assert [r.request_id for r in _drain(inner.sent, 6)] == list(range(6))
+            assert connection.stats["delivered"] == 6
+        finally:
+            connection.kill()
+
+    def test_drop_swallows_frames_after_grace(self):
+        inner, _, connection = _wrap(FaultSchedule(drop=1.0, grace=2))
+        try:
+            for i in range(5):
+                connection.send(Request(i, "echo", i))
+            assert [r.request_id for r in _drain(inner.sent, 2)] == [0, 1]
+            time.sleep(0.1)
+            assert inner.sent.empty()
+            assert connection.stats["dropped"] == 3
+        finally:
+            connection.kill()
+
+    def test_duplicate_delivers_twice(self):
+        inner, _, connection = _wrap(FaultSchedule(duplicate=1.0))
+        try:
+            connection.send(Request(1, "echo", "x"))
+            pair = _drain(inner.sent, 2)
+            assert [r.request_id for r in pair] == [1, 1]
+            assert connection.stats["duplicated"] == 1
+        finally:
+            connection.kill()
+
+    def test_reorder_swaps_adjacent_frames(self):
+        # reorder=1.0 holds every odd-positioned frame until its
+        # successor arrives, so four sends deliver pairwise swapped.
+        inner, _, connection = _wrap(FaultSchedule(reorder=1.0, reorder_window=5.0))
+        try:
+            for i in range(4):
+                connection.send(Request(i, "echo", i))
+            assert [r.request_id for r in _drain(inner.sent, 4)] == [1, 0, 3, 2]
+            assert connection.stats["reordered"] == 2
+        finally:
+            connection.kill()
+
+    def test_reorder_window_expiry_flushes_in_order(self):
+        inner, _, connection = _wrap(FaultSchedule(reorder=1.0, reorder_window=0.05))
+        try:
+            connection.send(Request(7, "echo", None))
+            # No successor arrives: the hold must flush, not vanish.
+            assert [r.request_id for r in _drain(inner.sent, 1)] == [7]
+            assert connection.stats["reordered"] == 0
+        finally:
+            connection.kill()
+
+    def test_one_way_partition_drops_requests_not_responses(self):
+        inner, sink, connection = _wrap(
+            FaultSchedule(partition=C2S, partition_start=0)
+        )
+        try:
+            connection.send(Request(1, "echo", None))
+            time.sleep(0.1)
+            assert inner.sent.empty()
+            assert connection.alive()  # partitioned, not dead: the gray case
+            connection._inner_response(Response(0, "pong"))
+            assert _drain(sink.responses, 1)[0].payload == "pong"
+            assert connection.stats["partitioned"] == 1
+        finally:
+            connection.kill()
+
+    def test_corrupt_is_link_loss(self):
+        inner, sink, connection = _wrap(FaultSchedule(corrupt=1.0))
+        connection.send(Request(1, "echo", None))
+        assert sink.disconnected.wait(5.0)
+        assert inner.closed.is_set()
+        assert not connection.alive()
+        with pytest.raises(ServiceError, match="closed"):
+            connection.send(Request(2, "echo", None))
+        assert connection.stats["corrupted"] == 1
+
+    def test_slow_link_stalls_but_delivers(self):
+        inner, _, connection = _wrap(
+            FaultSchedule(delay=1.0, delay_seconds=0.2)
+        )
+        try:
+            started = time.monotonic()
+            connection.send(Request(1, "echo", None))
+            assert _drain(inner.sent, 1)[0].request_id == 1
+            assert time.monotonic() - started >= 0.2
+        finally:
+            connection.kill()
+
+    def test_inner_send_failure_surfaces_as_disconnect(self):
+        inner, sink, connection = _wrap(FaultSchedule())
+        inner.fail_sends = True
+        connection.send(Request(1, "echo", None))
+        assert sink.disconnected.wait(5.0)
+        assert not connection.alive()
+
+    def test_grace_frames_ignore_every_fault(self):
+        inner, _, connection = _wrap(
+            FaultSchedule(drop=1.0, duplicate=1.0, corrupt=1.0, grace=3)
+        )
+        try:
+            for i in range(3):
+                connection.send(Request(i, "echo", i))
+            assert [r.request_id for r in _drain(inner.sent, 3)] == [0, 1, 2]
+            assert connection.alive()
+        finally:
+            connection.kill()
+
+
+class TestFaultyTransportEndToEnd:
+    """The wrapper over a real LocalTransport worker."""
+
+    def test_clean_wrapper_is_transparent(self):
+        transport = FaultyTransport(LocalTransport(), FaultSchedule())
+        sink = _Sink()
+        connection = transport.open(sink.on_response, sink.on_disconnect)
+        try:
+            connection.send(Request(1, "echo", "through-the-wrapper"))
+            response = _drain(sink.responses, 1)[0]
+            assert response.payload == "through-the-wrapper"
+            assert transport.stats()["sent"] == 1
+            assert transport.stats()["received"] == 1
+        finally:
+            connection.close(timeout=5.0)
+
+    def test_connections_get_distinct_lanes(self):
+        # Lane keys are per-connection, so two endpoints see different
+        # decision streams from one shared schedule.
+        transport = FaultyTransport(LocalTransport(), FaultSchedule(seed=5))
+        sinks = [_Sink(), _Sink()]
+        connections = [
+            transport.open(sink.on_response, sink.on_disconnect) for sink in sinks
+        ]
+        try:
+            assert connections[0]._c2s._lane_key == "0:c2s"
+            assert connections[1]._c2s._lane_key == "1:c2s"
+        finally:
+            for connection in connections:
+                connection.close(timeout=5.0)
+
+    def test_describe_marks_the_wrapping(self):
+        transport = FaultyTransport(LocalTransport(), FaultSchedule())
+        assert transport.describe().startswith("faulty(")
+
+
+@pytest.fixture
+def agent():
+    with WorkerAgent(token="") as served:
+        yield served
+
+
+class TestChaosProxy:
+    def test_clean_proxy_relays_bit_identically(self, agent):
+        with ChaosProxy("127.0.0.1", agent.port, FaultSchedule()) as proxy:
+            sink = _Sink()
+            connection = TcpTransport("127.0.0.1", proxy.port, token="").open(
+                sink.on_response, sink.on_disconnect
+            )
+            try:
+                payload = {"nested": [1, 2, ("deep", frozenset({"a"}))]}
+                connection.send(Request(1, "echo", payload))
+                assert _drain(sink.responses, 1)[0].payload == payload
+                assert proxy.stats["delivered"] >= 2
+            finally:
+                connection.close(timeout=5.0)
+
+    def test_bit_flip_is_caught_by_the_decoder(self, agent):
+        # Corrupt every post-grace frame: the agent's reader must reject
+        # the damaged frame and drop the connection — never misread it.
+        schedule = FaultSchedule(corrupt=1.0)
+        with ChaosProxy(
+            "127.0.0.1", agent.port, schedule, handshake_grace=2
+        ) as proxy:
+            sink = _Sink()
+            connection = TcpTransport("127.0.0.1", proxy.port, token="").open(
+                sink.on_response, sink.on_disconnect
+            )
+            try:
+                connection.send(Request(1, "echo", "will-be-damaged"))
+                assert sink.disconnected.wait(10.0)
+                assert proxy.stats["corrupted"] >= 1
+            finally:
+                connection.kill()
+        # The agent itself survives the hostile frame: a clean, direct
+        # connection still serves.
+        clean = _Sink()
+        direct = TcpTransport("127.0.0.1", agent.port, token="").open(
+            clean.on_response, clean.on_disconnect
+        )
+        try:
+            direct.send(Request(1, "echo", "still-alive"))
+            assert _drain(clean.responses, 1)[0].payload == "still-alive"
+        finally:
+            direct.close(timeout=5.0)
+
+    def test_proxy_drop_loses_the_request(self, agent):
+        schedule = FaultSchedule(drop=1.0)
+        with ChaosProxy(
+            "127.0.0.1", agent.port, schedule, handshake_grace=2
+        ) as proxy:
+            sink = _Sink()
+            connection = TcpTransport("127.0.0.1", proxy.port, token="").open(
+                sink.on_response, sink.on_disconnect
+            )
+            try:
+                connection.send(Request(1, "echo", "into-the-void"))
+                with pytest.raises(queue.Empty):
+                    sink.responses.get(timeout=0.5)
+                assert proxy.stats["dropped"] >= 1
+            finally:
+                connection.kill()
